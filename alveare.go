@@ -1,0 +1,128 @@
+// Package alveare is a software implementation of ALVEARE, the
+// domain-specific framework for regular expressions of Carloni,
+// Conficconi and Santambrogio (DAC 2024): regular expressions are
+// compiled by a three-stage flow onto a 43-bit RE-tailored RISC-style
+// ISA, and executed by a cycle-level model of the paper's speculative
+// microarchitecture, optionally scaled out over multiple cores.
+//
+// Quick start:
+//
+//	prog, err := alveare.Compile(`([a-z0-9]+)@acme\.(com|org)`)
+//	if err != nil { ... }
+//	eng, err := alveare.NewEngine(prog, alveare.WithCores(4))
+//	if err != nil { ... }
+//	m, ok, err := eng.Find(data)        // leftmost match
+//	ms, err := eng.FindAll(data)        // all non-overlapping matches
+//	st := eng.Stats()                   // cycles, speculations, rollbacks
+//
+// Compiled programs can be disassembled (prog.Disassemble), serialised
+// to the instruction-memory binary format (prog.MarshalBinary) and
+// reloaded (UnmarshalBinary). Matching is byte-oriented and PCRE-like:
+// leftmost-first semantics with greedy and lazy quantifiers; see the
+// package documentation of internal/syntax for the accepted operator
+// set (POSIX ERE and PCRE subsets, per the paper).
+package alveare
+
+import (
+	"alveare/internal/backend"
+	"alveare/internal/core"
+	"alveare/internal/ir"
+)
+
+// Program is a compiled, loadable ALVEARE executable.
+type Program = core.Program
+
+// Match is one pattern occurrence: the half-open interval [Start, End).
+type Match = core.Match
+
+// Stats are the microarchitecture's performance counters: cycles,
+// instructions, speculations, rollbacks, scan and refill cycles.
+type Stats = core.Stats
+
+// Engine executes one compiled program over data streams.
+type Engine = core.Engine
+
+// Option configures NewEngine.
+type Option = core.Option
+
+// WithCores selects the multi-core scale-out width (1..perf.MaxCores in
+// the paper's prototype; any positive count here).
+func WithCores(n int) Option { return core.WithCores(n) }
+
+// WithPrefilter enables the necessary-factor prefilter hint attached by
+// the compiler (an extension beyond the paper's baseline design);
+// results are identical, candidate scanning gets cheaper.
+func WithPrefilter() Option { return core.WithPrefilter() }
+
+// Compile translates a regular expression into an ALVEARE executable
+// with all advanced ISA primitives enabled (RANGE, NOT, counters,
+// operation fusion).
+func Compile(re string) (*Program, error) { return core.Compile(re) }
+
+// CompileMinimal compiles with the paper's §7.1 baseline compiler —
+// no advanced primitives, unfolded counters, no fusion — useful to
+// reproduce the Table 2 comparison.
+func CompileMinimal(re string) (*Program, error) {
+	return core.CompileWith(re, backend.Minimal())
+}
+
+// CompilerOptions exposes the fine-grained compiler switches.
+type CompilerOptions struct {
+	// Minimal disables every advanced primitive (implies the rest).
+	Minimal bool
+	// NoRange unfolds RANGE primitives into OR alternations.
+	NoRange bool
+	// NoNot unfolds negated classes into positive complements.
+	NoNot bool
+	// NoCounters unfolds bounded quantifiers.
+	NoCounters bool
+	// NoFusion emits every closing operator as its own instruction.
+	NoFusion bool
+	// CaseInsensitive folds ASCII letter case during lowering.
+	CaseInsensitive bool
+}
+
+func (o CompilerOptions) backend() backend.Options {
+	return backend.Options{
+		IR: ir.Options{
+			Minimal:         o.Minimal,
+			NoRange:         o.NoRange,
+			NoNot:           o.NoNot,
+			NoCounters:      o.NoCounters,
+			CaseInsensitive: o.CaseInsensitive,
+		},
+		NoFusion: o.NoFusion,
+	}
+}
+
+// CompileWith compiles with explicit compiler switches.
+func CompileWith(re string, opt CompilerOptions) (*Program, error) {
+	return core.CompileWith(re, opt.backend())
+}
+
+// RuleSet is a compiled multi-pattern database (one engine per rule),
+// the deployment unit of DPI-style workloads.
+type RuleSet = core.RuleSet
+
+// RuleMatches reports one rule's hits in a scanned stream.
+type RuleMatches = core.RuleMatches
+
+// NewRuleSet compiles a pattern database.
+func NewRuleSet(patterns []string, copt CompilerOptions, opts ...Option) (*RuleSet, error) {
+	return core.NewRuleSet(patterns, copt.backend(), opts...)
+}
+
+// NewEngine loads a compiled program into an execution engine.
+func NewEngine(p *Program, opts ...Option) (*Engine, error) {
+	return core.NewEngine(p, opts...)
+}
+
+// MustCompile is Compile that panics on error, for initialisation of
+// package-level patterns (mirroring regexp.MustCompile).
+func MustCompile(re string) *Program {
+	p, err := Compile(re)
+	if err != nil {
+		panic("alveare: MustCompile(" + re + "): " + err.Error())
+	}
+	return p
+}

@@ -1,0 +1,249 @@
+package alveare
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"alveare/internal/baseline/backtrack"
+	"alveare/internal/baseline/pikevm"
+)
+
+func TestQuickstart(t *testing.T) {
+	prog, err := Compile(`([a-z0-9]+)@acme\.(com|org)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("contact bob7@acme.org or alice@acme.com today")
+	m, ok, err := eng.Find(data)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if string(data[m.Start:m.End]) != "bob7@acme.org" {
+		t.Errorf("match = %q", data[m.Start:m.End])
+	}
+	ms, err := eng.FindAll(data)
+	if err != nil || len(ms) != 2 {
+		t.Fatalf("FindAll = %v err=%v", ms, err)
+	}
+	if st := eng.Stats(); st.Cycles == 0 {
+		t.Error("no cycles accounted")
+	}
+}
+
+func TestMultiCoreAPI(t *testing.T) {
+	prog := MustCompile("needle")
+	eng, err := NewEngine(prog, WithCores(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Cores() != 4 {
+		t.Errorf("Cores = %d", eng.Cores())
+	}
+	data := []byte(strings.Repeat("hay", 10000) + "needle" + strings.Repeat("hay", 10000))
+	n, err := eng.Count(data)
+	if err != nil || n != 1 {
+		t.Fatalf("Count = %d err=%v", n, err)
+	}
+	res, err := eng.Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallCycles == 0 || len(res.PerCore) != 4 {
+		t.Errorf("Run result: %+v", res)
+	}
+}
+
+func TestCompileMinimalAndOptions(t *testing.T) {
+	adv := MustCompile("[a-zA-Z]")
+	min, err := CompileMinimal("[a-zA-Z]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.OpCount() <= adv.OpCount() {
+		t.Errorf("minimal %d <= advanced %d", min.OpCount(), adv.OpCount())
+	}
+	nr, err := CompileWith("[a-d]", CompilerOptions{NoRange: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.OpCount() != 1 {
+		// [a-d] without RANGE is a single 4-char OR.
+		t.Errorf("NoRange [a-d] ops = %d", nr.OpCount())
+	}
+	if _, err := Compile("("); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile did not panic")
+		}
+	}()
+	MustCompile("(")
+}
+
+func TestDisassembleAndBinary(t *testing.T) {
+	prog := MustCompile("([^A-Z])+")
+	dis := prog.Disassemble()
+	if !strings.Contains(dis, "NOT RANGE") || !strings.Contains(dis, "EOR") {
+		t.Errorf("disassembly:\n%s", dis)
+	}
+	bin, err := prog.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Program
+	if err := q.UnmarshalBinary(bin); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := eng.Match([]byte("HIab"))
+	if err != nil || !ok {
+		t.Fatalf("reloaded program does not run: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestEndToEndDifferential is the repository's integration oracle: for a
+// grid of patterns and inputs, the full ALVEARE pipeline (front-end,
+// middle-end, back-end, microarchitecture) must agree with Go's regexp,
+// the from-scratch Pike VM and the backtracking oracle on leftmost
+// match bounds — in both compilation modes and with multiple cores for
+// containment.
+func TestEndToEndDifferential(t *testing.T) {
+	patterns := []string{
+		"abc", "a+b", "(a|ab)c", "x(a|b)*y", "a{2,4}?", "[a-f]{3}",
+		"(ab|cd|ef)+x", "[^c]+c", "q(w|e)*?r", "z?a{2}b{1,2}",
+		"(0|1(01*0)*1)+", "colou?r", "[a-z]+[0-9]{2,3}",
+	}
+	r := rand.New(rand.NewSource(99))
+	var inputs []string
+	inputs = append(inputs, "", "a", "abc", "xabababy", "aaaa", "qwer", "color")
+	for i := 0; i < 60; i++ {
+		buf := make([]byte, r.Intn(30))
+		for j := range buf {
+			buf[j] = "abcdefqwrxy012 "[r.Intn(15)]
+		}
+		inputs = append(inputs, string(buf))
+	}
+
+	for _, pat := range patterns {
+		std := regexp.MustCompile(pat)
+		vm, err := pikevm.Compile(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bt, err := backtrack.New(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engAdv, err := NewEngine(MustCompile(pat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		minProg, err := CompileMinimal(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engMin, err := NewEngine(minProg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, in := range inputs {
+			data := []byte(in)
+			want := std.FindStringIndex(in)
+
+			if vmM, vmOK := vm.Find(data); (want == nil) == vmOK {
+				t.Errorf("pikevm disagrees with stdlib on %q/%q (%v vs %v)", pat, in, vmM, want)
+			}
+			btM, btOK, err := bt.Find(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (want == nil) == btOK {
+				t.Errorf("backtrack disagrees with stdlib on %q/%q", pat, in)
+			}
+			if btOK && (btM.Start != want[0] || btM.End != want[1]) {
+				t.Errorf("backtrack bounds on %q/%q: %v vs %v", pat, in, btM, want)
+			}
+
+			for name, eng := range map[string]*Engine{"advanced": engAdv, "minimal": engMin} {
+				m, ok, err := eng.Find(data)
+				if err != nil {
+					t.Fatalf("%s %q on %q: %v", name, pat, in, err)
+				}
+				if want == nil {
+					if ok {
+						t.Errorf("%s %q on %q: matched [%d,%d), want none", name, pat, in, m.Start, m.End)
+					}
+					continue
+				}
+				if !ok {
+					t.Errorf("%s %q on %q: no match, want [%d,%d)", name, pat, in, want[0], want[1])
+					continue
+				}
+				if m.Start != want[0] || m.End != want[1] {
+					t.Errorf("%s %q on %q: [%d,%d), want [%d,%d)", name, pat, in, m.Start, m.End, want[0], want[1])
+				}
+			}
+		}
+	}
+}
+
+// TestRandomDifferential fuzzes pattern x input combinations across the
+// whole stack.
+func TestRandomDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	atoms := []string{"a", "b", "c", "ab", "[ab]", "[^a]", "[a-c]", "."}
+	quants := []string{"", "", "*", "+", "?", "{2}", "{1,3}", "*?", "+?"}
+	for i := 0; i < 120; i++ {
+		var sb strings.Builder
+		n := 1 + r.Intn(4)
+		for j := 0; j < n; j++ {
+			a := atoms[r.Intn(len(atoms))]
+			q := quants[r.Intn(len(quants))]
+			if q != "" && len(a) > 1 && a[0] != '[' && a != "." {
+				a = "(" + a + ")"
+			}
+			sb.WriteString(a + q)
+		}
+		if r.Intn(4) == 0 {
+			sb.WriteString("|" + atoms[r.Intn(len(atoms))])
+		}
+		pat := sb.String()
+		std, err := regexp.Compile(pat)
+		if err != nil {
+			continue
+		}
+		eng, err := NewEngine(MustCompile(pat))
+		if err != nil {
+			t.Fatalf("%q: %v", pat, err)
+		}
+		for j := 0; j < 15; j++ {
+			buf := make([]byte, r.Intn(16))
+			for k := range buf {
+				buf[k] = "abcx\n"[r.Intn(5)]
+			}
+			want := std.FindIndex(buf)
+			m, ok, err := eng.Find(buf)
+			if err != nil {
+				t.Fatalf("%q on %q: %v", pat, buf, err)
+			}
+			if (want == nil) != !ok {
+				t.Errorf("%q on %q: ok=%v stdlib=%v", pat, buf, ok, want)
+				continue
+			}
+			if ok && (m.Start != want[0] || m.End != want[1]) {
+				t.Errorf("%q on %q: [%d,%d) vs %v", pat, buf, m.Start, m.End, want)
+			}
+		}
+	}
+}

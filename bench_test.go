@@ -1,0 +1,358 @@
+// Benchmarks regenerating the paper's evaluation artifacts with
+// testing.B. One benchmark (family) exists per table and figure:
+//
+//	BenchmarkTable2*   — §7.1 Table 2, ISA advanced primitives
+//	BenchmarkFig4*     — §7.2 Figure 4, execution time per suite/engine
+//	BenchmarkFig5*     — §7.2 Figure 5, energy efficiency
+//	BenchmarkScaling*  — §7.2 core scaling (with the utilisation model)
+//	BenchmarkAblation* — design-choice ablations from DESIGN.md
+//
+// Benchmarks run at a reduced scale (a few rules, tens of kilobytes)
+// so `go test -bench=.` stays quick; cmd/alvearebench runs the same
+// harness at the paper's scale (200 rules, 1 MB, 10 cores). Modelled
+// device time is attached to each benchmark via ReportMetric as
+// "modeled-us/op".
+package alveare_test
+
+import (
+	"testing"
+
+	"alveare"
+	"alveare/internal/anmlzoo"
+	"alveare/internal/arch"
+	"alveare/internal/backend"
+	"alveare/internal/baseline/dpu"
+	"alveare/internal/baseline/gpu"
+	"alveare/internal/baseline/pikevm"
+	"alveare/internal/bench"
+	"alveare/internal/multicore"
+	"alveare/internal/perf"
+)
+
+// benchScale is the reduced experiment scale used by the testing.B
+// entry points.
+var benchScale = bench.Options{Patterns: 5, DatasetSize: 32 << 10, Seed: 2024, Cores: perf.MaxCores}
+
+// suitesForBench generates the three suites once.
+func suitesForBench(b *testing.B) []*anmlzoo.Suite {
+	b.Helper()
+	return anmlzoo.All(benchScale.Patterns, benchScale.DatasetSize, benchScale.Seed)
+}
+
+// ---------------------------------------------------------------------
+// Table 2
+
+// BenchmarkTable2Compile measures the compiler producing the Table 2
+// programs in both modes (the artifact itself is deterministic; the
+// assertion-level reproduction lives in internal/bench.Table2).
+func BenchmarkTable2Compile(b *testing.B) {
+	res := []string{"[a-zA-Z]", "[DBEZX]{7}", ".{3,6}", "[^ ]*"}
+	for _, mode := range []struct {
+		name string
+		opt  backend.Options
+	}{{"advanced", backend.Options{}}, {"minimal", backend.Minimal()}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, re := range res {
+					if _, err := backend.Compile(re, mode.opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2Execute measures the dynamic effect of the advanced
+// primitives: executing each microbenchmark over a text block in both
+// compilation modes.
+func BenchmarkTable2Execute(b *testing.B) {
+	const filler = "The Quick Brown Fox 0123456789 jumps. "
+	data := make([]byte, 16<<10)
+	for i := range data {
+		data[i] = filler[i%len(filler)]
+	}
+	for _, re := range []string{"[a-zA-Z]", "[DBEZX]{7}", ".{3,6}", "[^ ]*"} {
+		for _, mode := range []struct {
+			name string
+			opt  backend.Options
+		}{{"advanced", backend.Options{}}, {"minimal", backend.Minimal()}} {
+			p, err := backend.Compile(re, mode.opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(re+"/"+mode.name, func(b *testing.B) {
+				var cycles int64
+				for i := 0; i < b.N; i++ {
+					c, err := arch.NewCore(p, arch.DefaultConfig())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := c.FindAll(data, 0); err != nil {
+						b.Fatal(err)
+					}
+					cycles = c.Stats().Cycles
+				}
+				b.ReportMetric(perf.AlveareTime(cycles)*1e6, "modeled-us/op")
+				b.SetBytes(int64(len(data)))
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 4 (execution time) — one sub-benchmark per suite and engine.
+
+func BenchmarkFig4Alveare1(b *testing.B) {
+	benchAlveare(b, 1)
+}
+
+func BenchmarkFig4Alveare10(b *testing.B) {
+	benchAlveare(b, perf.MaxCores)
+}
+
+func benchAlveare(b *testing.B, cores int) {
+	for _, suite := range suitesForBench(b) {
+		progs := compileSuite(b, suite)
+		b.Run(suite.Name, func(b *testing.B) {
+			var wall int64
+			for i := 0; i < b.N; i++ {
+				wall = 0
+				for _, p := range progs {
+					eng, err := multicore.New(p, cores, arch.DefaultConfig(), 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := eng.Run(suite.Dataset)
+					if err != nil {
+						continue // pathological rule: skipped, as in the harness
+					}
+					wall += res.WallCycles
+				}
+			}
+			avg := perf.AlveareTime(wall) / float64(len(progs))
+			b.ReportMetric(avg*1e6, "modeled-us/op")
+			b.SetBytes(int64(len(suite.Dataset)) * int64(len(progs)))
+		})
+	}
+}
+
+func BenchmarkFig4RE2A53(b *testing.B) {
+	for _, suite := range suitesForBench(b) {
+		b.Run(suite.Name, func(b *testing.B) {
+			var secs float64
+			for i := 0; i < b.N; i++ {
+				secs = 0
+				for _, re := range suite.Patterns {
+					p, err := pikevm.Compile(re)
+					if err != nil {
+						b.Fatal(err)
+					}
+					p.Count(suite.Dataset)
+					secs += perf.A53Time(p.Steps)
+				}
+			}
+			b.ReportMetric(secs/float64(len(suite.Patterns))*1e6, "modeled-us/op")
+			b.SetBytes(int64(len(suite.Dataset)) * int64(len(suite.Patterns)))
+		})
+	}
+}
+
+func BenchmarkFig4DPU(b *testing.B) {
+	for _, suite := range suitesForBench(b) {
+		b.Run(suite.Name, func(b *testing.B) {
+			var secs float64
+			for i := 0; i < b.N; i++ {
+				secs = 0
+				for _, re := range suite.Patterns {
+					e, err := dpu.New(re, dpu.DefaultConfig())
+					if err != nil {
+						b.Fatal(err)
+					}
+					secs += e.Process(suite.Dataset).DeviceSeconds
+				}
+			}
+			b.ReportMetric(secs/float64(len(suite.Patterns))*1e6, "modeled-us/op")
+			b.SetBytes(int64(len(suite.Dataset)) * int64(len(suite.Patterns)))
+		})
+	}
+}
+
+func BenchmarkFig4GPU(b *testing.B) {
+	for _, suite := range suitesForBench(b) {
+		b.Run(suite.Name, func(b *testing.B) {
+			infCfg, obatCfg := gpu.INFAntConfig(), gpu.OBATConfig()
+			var tInf, tObat float64
+			for i := 0; i < b.N; i++ {
+				tInf, tObat = 0, 0
+				for _, re := range suite.Patterns {
+					e, err := gpu.New(re, obatCfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					w := e.Measure(suite.Dataset)
+					tInf += infCfg.Model(w).DeviceSeconds
+					tObat += obatCfg.Model(w).DeviceSeconds
+				}
+			}
+			n := float64(len(suite.Patterns))
+			b.ReportMetric(tInf/n*1e6, "modeled-infant-us/op")
+			b.ReportMetric(tObat/n*1e6, "modeled-obat-us/op")
+			b.SetBytes(int64(len(suite.Dataset)) * int64(len(suite.Patterns)))
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 5 (energy efficiency): the KPI derives from the Figure 4
+// measurement and the power model; this benchmark runs the derivation
+// end to end on one suite and reports the efficiencies.
+
+func BenchmarkFig5EnergyEff(b *testing.B) {
+	opt := benchScale
+	opt.Patterns = 3
+	opt.DatasetSize = 16 << 10
+	var rs []bench.SuiteResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		rs, err = bench.Figure4(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, sr := range rs {
+		for _, e := range sr.Engines {
+			if e.Engine == "ALVEARE-10" || e.Engine == "DPU" {
+				b.ReportMetric(e.EnergyEff, "eff-"+sr.Suite+"-"+e.Engine)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Scaling (§7.2 text): 1..10-core speedup on one suite.
+
+func BenchmarkScaling(b *testing.B) {
+	suite := anmlzoo.PowerEN(4, 32<<10, benchScale.Seed)
+	progs := compileSuite(b, suite)
+	for _, cores := range []int{1, 2, 4, perf.MaxCores} {
+		b.Run(label("cores", cores), func(b *testing.B) {
+			var wall int64
+			for i := 0; i < b.N; i++ {
+				wall = 0
+				for _, p := range progs {
+					eng, err := multicore.New(p, cores, arch.DefaultConfig(), 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := eng.Run(suite.Dataset)
+					if err != nil {
+						continue
+					}
+					wall += res.WallCycles
+				}
+			}
+			lut, bram := perf.Utilization(cores)
+			b.ReportMetric(perf.AlveareTime(wall)*1e6, "modeled-us/op")
+			b.ReportMetric(lut, "lut-pct")
+			b.ReportMetric(bram, "bram-pct")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation: design choices (fusion, RANGE, NOT, counters, CU width).
+
+func BenchmarkAblation(b *testing.B) {
+	suite := anmlzoo.PowerEN(4, 16<<10, benchScale.Seed)
+	configs := []struct {
+		name string
+		opt  backend.Options
+		cus  int
+	}{
+		{"full", backend.Options{}, 4},
+		{"no-fusion", backend.Options{NoFusion: true}, 4},
+		{"minimal-compiler", backend.Minimal(), 4},
+		{"cu1", backend.Options{}, 1},
+		{"cu2", backend.Options{}, 2},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				cycles = 0
+				for _, re := range suite.Patterns {
+					p, err := backend.Compile(re, cfg.opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					acfg := arch.DefaultConfig()
+					acfg.ComputeUnits = cfg.cus
+					c, err := arch.NewCore(p, acfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := c.FindAll(suite.Dataset, 0); err != nil {
+						continue
+					}
+					cycles += c.Stats().Cycles
+				}
+			}
+			b.ReportMetric(float64(cycles)/float64(len(suite.Patterns)), "cycles/rule")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Library-level microbenchmarks: the public API's raw throughput.
+
+func BenchmarkEngineFindLiteral(b *testing.B) {
+	eng, err := alveare.NewEngine(alveare.MustCompile("needle"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 64<<10)
+	copy(data[len(data)-6:], "needle")
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := eng.Find(data); err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+	}
+}
+
+func BenchmarkEngineFindClassQuant(b *testing.B) {
+	eng, err := alveare.NewEngine(alveare.MustCompile(`[a-z0-9]{8,16}@[a-z]+`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := []byte("x")
+	for len(data) < 32<<10 {
+		data = append(data, " lorem ipsum dolor sit amet user12345@example"...)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.FindAll(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func compileSuite(b *testing.B, suite *anmlzoo.Suite) []*alveare.Program {
+	b.Helper()
+	var progs []*alveare.Program
+	for _, re := range suite.Patterns {
+		p, err := backend.Compile(re, backend.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		progs = append(progs, p)
+	}
+	return progs
+}
+
+func label(k string, v int) string {
+	return k + "-" + string(rune('0'+v/10)) + string(rune('0'+v%10))
+}

@@ -1,0 +1,203 @@
+package alveare_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildTools compiles the command-line tools once per test binary.
+var buildTools = sync.OnceValues(func() (map[string]string, error) {
+	dir, err := os.MkdirTemp("", "alveare-cli")
+	if err != nil {
+		return nil, err
+	}
+	tools := map[string]string{}
+	for _, name := range []string{"alvearec", "alvearerun", "alvearebench", "alvearegen"} {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return nil, &buildError{name, string(out), err}
+		}
+		tools[name] = bin
+	}
+	return tools, nil
+})
+
+type buildError struct {
+	tool, out string
+	err       error
+}
+
+func (e *buildError) Error() string { return e.tool + ": " + e.err.Error() + "\n" + e.out }
+
+func tool(t *testing.T, name string) string {
+	t.Helper()
+	tools, err := buildTools()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tools[name]
+}
+
+func run(t *testing.T, name string, stdin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(tool(t, name), args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out), code
+}
+
+func TestCLICompileDisassemble(t *testing.T) {
+	out, code := run(t, "alvearec", "", "([^A-Z])+")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"NOT RANGE [A-Z] + )+G", "EOR", "2 excluding EoR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Round trip through a binary file.
+	bin := filepath.Join(t.TempDir(), "p.alv")
+	if _, code := run(t, "alvearec", "", "-o", bin, "([^A-Z])+"); code != 0 {
+		t.Fatal("compile -o failed")
+	}
+	out, code = run(t, "alvearec", "", "-d", bin)
+	if code != 0 || !strings.Contains(out, "NOT RANGE") {
+		t.Errorf("disassemble: exit %d\n%s", code, out)
+	}
+}
+
+func TestCLIAssemble(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "l.s")
+	listing := "; regex: hand\n( {1,inf} fwd=2\nAND \"ab\" + )+G\nEOR\n"
+	if err := os.WriteFile(src, []byte(listing), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := run(t, "alvearec", "", "-asm", src)
+	if code != 0 || !strings.Contains(out, `AND "ab" + )+G`) {
+		t.Errorf("assemble: exit %d\n%s", code, out)
+	}
+	// Reject malformed listings.
+	bad := filepath.Join(t.TempDir(), "bad.s")
+	os.WriteFile(bad, []byte("FROB\nEOR\n"), 0o644)
+	if _, code := run(t, "alvearec", "", "-asm", bad); code == 0 {
+		t.Error("malformed listing accepted")
+	}
+}
+
+func TestCLIOpTableCountDot(t *testing.T) {
+	out, code := run(t, "alvearec", "", "-optable")
+	if code != 0 || !strings.Contains(out, "QUANT L") || !strings.Contains(out, "End of RE") {
+		t.Errorf("optable: exit %d\n%s", code, out)
+	}
+	out, code = run(t, "alvearec", "", "-count", ".{3,6}")
+	if code != 0 || !strings.Contains(out, "advanced: 2 ops") {
+		t.Errorf("count: exit %d\n%s", code, out)
+	}
+	out, code = run(t, "alvearec", "", "-dot", "a+b")
+	if code != 0 || !strings.Contains(out, "digraph") {
+		t.Errorf("dot: exit %d\n%s", code, out)
+	}
+	// Bad pattern -> non-zero exit.
+	if _, code := run(t, "alvearec", "", "("); code == 0 {
+		t.Error("bad pattern accepted")
+	}
+}
+
+func TestCLIRun(t *testing.T) {
+	out, code := run(t, "alvearerun", "one ERROR two\n", "ERROR", "-")
+	if code != 0 || !strings.Contains(out, "[4,9)") {
+		t.Errorf("run: exit %d\n%s", code, out)
+	}
+	// No match -> exit 1.
+	if _, code := run(t, "alvearerun", "clean\n", "-q", "ERROR", "-"); code != 1 {
+		t.Errorf("no-match exit = %d, want 1", code)
+	}
+	// Stats and multi-core all-matches mode.
+	out, code = run(t, "alvearerun", "a b a b a\n", "-all", "-stats", "-cores", "2", "a", "-")
+	if code != 0 || !strings.Contains(out, "matches=3") {
+		t.Errorf("all+stats: exit %d\n%s", code, out)
+	}
+	// File input.
+	f := filepath.Join(t.TempDir(), "in.txt")
+	os.WriteFile(f, []byte("needle"), 0o644)
+	out, code = run(t, "alvearerun", "", "needle", f)
+	if code != 0 || !strings.Contains(out, "[0,6)") {
+		t.Errorf("file input: exit %d\n%s", code, out)
+	}
+}
+
+func TestCLIRunTraceAndVCD(t *testing.T) {
+	vcd := filepath.Join(t.TempDir(), "w.vcd")
+	out, code := run(t, "alvearerun", "xxabc\n", "-trace", "-vcd", vcd, "(a|ab)c", "-")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "rollback") {
+		t.Errorf("trace missing rollback events:\n%s", out)
+	}
+	wave, err := os.ReadFile(vcd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(wave), "$enddefinitions $end") {
+		t.Error("VCD file malformed")
+	}
+}
+
+func TestCLIGen(t *testing.T) {
+	dir := t.TempDir()
+	out, code := run(t, "alvearegen", "", "-suite", "snort", "-o", dir, "-patterns", "5", "-size", "4096")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	rules, err := os.ReadFile(filepath.Join(dir, "snort.rules"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(rules), "\n"); n != 5 {
+		t.Errorf("rules lines = %d, want 5", n)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "snort.data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 4096 {
+		t.Errorf("data size = %d", len(data))
+	}
+	// The exported rules must run against the exported data.
+	firstRule := strings.SplitN(string(rules), "\n", 2)[0]
+	dataFile := filepath.Join(dir, "snort.data")
+	if out, code := run(t, "alvearerun", "", "-q", firstRule, dataFile); code > 1 {
+		t.Errorf("alvearerun on exported workload: exit %d\n%s", code, out)
+	}
+	if _, code := run(t, "alvearegen", "", "-suite", "bogus", "-o", dir); code == 0 {
+		t.Error("unknown suite accepted")
+	}
+}
+
+func TestCLIBenchSmoke(t *testing.T) {
+	out, code := run(t, "alvearebench", "", "-exp", "table2")
+	if code != 0 || !strings.Contains(out, "589.00x") {
+		t.Errorf("table2: exit %d\n%s", code, out)
+	}
+	out, code = run(t, "alvearebench", "",
+		"-exp", "fig4", "-patterns", "3", "-size", "8192", "-cores", "2", "-v=false")
+	if code != 0 || !strings.Contains(out, "ALVEARE-2") {
+		t.Errorf("fig4: exit %d\n%s", code, out)
+	}
+}

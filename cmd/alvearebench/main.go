@@ -1,0 +1,145 @@
+// Command alvearebench regenerates the paper's evaluation artifacts:
+//
+//	alvearebench -exp table2                 ISA primitive reductions (Table 2)
+//	alvearebench -exp fig4                   execution time per suite/engine (Figure 4)
+//	alvearebench -exp fig5                   energy efficiency (Figure 5)
+//	alvearebench -exp scaling                1..10-core speedups + FPGA utilisation
+//	alvearebench -exp ablation               design-choice ablations
+//	alvearebench -exp all                    everything
+//
+// By default experiments run at paper scale (200 rules, 1 MB datasets,
+// 10 cores); -patterns, -size and -cores rescale them for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"alveare/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table2, fig4, fig5, scaling, ablation, all")
+		patterns = flag.Int("patterns", 0, "rules per suite (0 = paper's 200)")
+		size     = flag.Int("size", 0, "dataset bytes per suite (0 = paper's 1 MiB)")
+		cores    = flag.Int("cores", 0, "scale-out width (0 = paper's 10)")
+		seed     = flag.Int64("seed", 2024, "workload generator seed")
+		suite    = flag.String("suite", "Snort", "suite for the ablation experiment")
+		verbose  = flag.Bool("v", true, "print progress lines to stderr")
+		jsonOut  = flag.String("json", "", "also write a machine-readable report to this file")
+		csvOut   = flag.String("csv", "", "also write the Figure 4/5 series as CSV to this file")
+	)
+	flag.Parse()
+
+	opt := bench.Options{Patterns: *patterns, DatasetSize: *size, Seed: *seed, Cores: *cores}
+	if *verbose {
+		opt.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "    ... "+format+"\n", args...)
+		}
+	}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		fmt.Printf("==> %s\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "alvearebench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("    (%s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	report := &bench.Report{Options: opt}
+
+	if want("table2") {
+		run("Table 2: ISA advanced primitives (code/cycle reduction)", func() error {
+			rows, err := bench.Table2()
+			if err != nil {
+				return err
+			}
+			report.Table2 = rows
+			fmt.Print(bench.RenderTable2(rows))
+			return nil
+		})
+	}
+
+	var figData []bench.SuiteResult
+	needFig := want("fig4") || want("fig5")
+	if needFig {
+		run("Figures 4+5: measuring all engines on all suites", func() error {
+			rs, err := bench.Figure4(opt)
+			figData = rs
+			report.Figures = rs
+			return err
+		})
+	}
+	if want("fig4") {
+		fmt.Println("==> Figure 4: execution time (lower is better)")
+		fmt.Print(bench.RenderFigure4(figData))
+		fmt.Println()
+	}
+	if want("fig5") {
+		fmt.Println("==> Figure 5: energy efficiency (higher is better)")
+		fmt.Print(bench.RenderFigure5(figData))
+		fmt.Println()
+	}
+	if needFig {
+		fmt.Println("==> Headline speedups (big ALVEARE vs baselines)")
+		fmt.Print(bench.Speedups(figData))
+		fmt.Println()
+	}
+
+	if want("scaling") {
+		run("Scaling: cores vs speedup and FPGA utilisation", func() error {
+			rows, err := bench.Scaling(opt)
+			if err != nil {
+				return err
+			}
+			report.Scaling = rows
+			fmt.Print(bench.RenderScaling(rows, []string{"PowerEN", "Protomata", "Snort"}))
+			return nil
+		})
+	}
+
+	if want("ablation") {
+		run("Ablation: design choices", func() error {
+			rows, err := bench.Ablation(opt, *suite)
+			if err != nil {
+				return err
+			}
+			report.Ablation = rows
+			fmt.Print(bench.RenderAblation(rows))
+			return nil
+		})
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alvearebench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := bench.WriteJSON(f, report); err != nil {
+			fmt.Fprintln(os.Stderr, "alvearebench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("report written to", *jsonOut)
+	}
+	if *csvOut != "" && len(report.Figures) > 0 {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alvearebench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := bench.WriteFiguresCSV(f, report.Figures); err != nil {
+			fmt.Fprintln(os.Stderr, "alvearebench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("series written to", *csvOut)
+	}
+}

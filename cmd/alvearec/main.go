@@ -1,0 +1,113 @@
+// Command alvearec is the ALVEARE compiler driver: it compiles regular
+// expressions to the 43-bit ISA, disassembles the result, writes
+// loadable binaries, and prints the ISA operation table.
+//
+// Usage:
+//
+//	alvearec [-minimal] [-nofusion] [-o prog.alv] 'regex'   compile
+//	alvearec -d prog.alv                                     disassemble a binary
+//	alvearec -asm listing.s -o prog.alv                      assemble a textual listing
+//	alvearec -dot 'regex'                                    emit the control-flow graph (Graphviz)
+//	alvearec -optable                                        print the ISA table (paper Table 1)
+//	alvearec -count 'regex'                                  print instruction counts (Table 2 metric)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"alveare/internal/backend"
+	"alveare/internal/isa"
+)
+
+func main() {
+	var (
+		minimal  = flag.Bool("minimal", false, "compile without advanced primitives (paper §7.1 baseline)")
+		noFusion = flag.Bool("nofusion", false, "disable back-end operation fusion")
+		out      = flag.String("o", "", "write the loadable binary to this file")
+		disasm   = flag.String("d", "", "disassemble the given binary file and exit")
+		asm      = flag.String("asm", "", "assemble the given textual listing and exit")
+		dot      = flag.Bool("dot", false, "emit the compiled program's control-flow graph in DOT form")
+		optable  = flag.Bool("optable", false, "print the ISA operation classes (paper Table 1) and exit")
+		count    = flag.Bool("count", false, "print minimal vs advanced instruction counts and exit")
+	)
+	flag.Parse()
+
+	switch {
+	case *optable:
+		fmt.Printf("%-8s %-8s %-9s %s\n", "Class", "Operator", "Opcode", "Description")
+		for _, r := range isa.OpTable() {
+			fmt.Printf("%-8s %-8s %-9s %s\n", r.Class, r.Operator, r.Opcode, r.Description)
+		}
+		return
+
+	case *disasm != "":
+		data, err := os.ReadFile(*disasm)
+		fatalIf(err)
+		var p isa.Program
+		fatalIf(p.UnmarshalBinary(data))
+		fmt.Print(p.Disassemble())
+		return
+
+	case *asm != "":
+		text, err := os.ReadFile(*asm)
+		fatalIf(err)
+		p, err := isa.Assemble(string(text))
+		fatalIf(err)
+		if *out != "" {
+			bin, err := p.MarshalBinary()
+			fatalIf(err)
+			fatalIf(os.WriteFile(*out, bin, 0o644))
+			fmt.Printf("; wrote %d bytes to %s\n", len(bin), *out)
+			return
+		}
+		fmt.Print(p.Disassemble())
+		return
+
+	case *count:
+		re := argRE()
+		min, err := backend.Compile(re, backend.Minimal())
+		fatalIf(err)
+		adv, err := backend.Compile(re, backend.Options{})
+		fatalIf(err)
+		fmt.Printf("minimal: %d ops, advanced: %d ops, reduction: %.2fx (EoR excluded)\n",
+			min.OpCount(), adv.OpCount(), float64(min.OpCount())/float64(adv.OpCount()))
+		return
+	}
+
+	re := argRE()
+	opt := backend.Options{NoFusion: *noFusion}
+	if *minimal {
+		opt = backend.Minimal()
+	}
+	p, err := backend.Compile(re, opt)
+	fatalIf(err)
+	if *dot {
+		fatalIf(p.WriteDot(os.Stdout, "alveare"))
+		return
+	}
+	fmt.Print(p.Disassemble())
+	fmt.Printf("; %d instructions (%d excluding EoR)\n", p.Len(), p.OpCount())
+	if *out != "" {
+		bin, err := p.MarshalBinary()
+		fatalIf(err)
+		fatalIf(os.WriteFile(*out, bin, 0o644))
+		fmt.Printf("; wrote %d bytes to %s\n", len(bin), *out)
+	}
+}
+
+func argRE() string {
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: alvearec [flags] 'regex' (see -h)")
+		os.Exit(2)
+	}
+	return flag.Arg(0)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alvearec:", err)
+		os.Exit(1)
+	}
+}

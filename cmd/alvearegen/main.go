@@ -1,0 +1,62 @@
+// Command alvearegen exports the synthetic ANMLZoo-equivalent workloads
+// (PowerEN, Protomata, Snort) to disk so they can be inspected, reused
+// by external tools, or checked into experiment archives:
+//
+//	alvearegen -suite snort -o outdir [-patterns 200] [-size 1048576] [-seed 2024]
+//	alvearegen -suite all -o outdir
+//
+// Each suite writes <name>.rules (one RE per line) and <name>.data
+// (the raw byte stream with planted witnesses).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"alveare/internal/anmlzoo"
+)
+
+func main() {
+	var (
+		suite    = flag.String("suite", "all", "suite to export: poweren, protomata, snort, all")
+		out      = flag.String("o", ".", "output directory")
+		patterns = flag.Int("patterns", 0, "rules per suite (0 = paper's 200)")
+		size     = flag.Int("size", 0, "dataset bytes (0 = paper's 1 MiB)")
+		seed     = flag.Int64("seed", 2024, "generator seed")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	var suites []*anmlzoo.Suite
+	if strings.EqualFold(*suite, "all") {
+		suites = anmlzoo.All(*patterns, *size, *seed)
+	} else {
+		s, err := anmlzoo.ByName(*suite, *patterns, *size, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		suites = []*anmlzoo.Suite{s}
+	}
+	for _, s := range suites {
+		base := filepath.Join(*out, strings.ToLower(s.Name))
+		rules := strings.Join(s.Patterns, "\n") + "\n"
+		if err := os.WriteFile(base+".rules", []byte(rules), 0o644); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(base+".data", s.Dataset, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d rules -> %s.rules, %d bytes -> %s.data\n",
+			s.Name, len(s.Patterns), base, len(s.Dataset), base)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "alvearegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,147 @@
+// Command alvearerun executes a regular expression over files or stdin
+// on the ALVEARE simulator and reports matches and the
+// microarchitecture's performance counters.
+//
+// Usage:
+//
+//	alvearerun [-cores N] [-all] [-stats] 'regex' [file...]
+//
+// With no files, data is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"alveare"
+	"alveare/internal/arch"
+	"alveare/internal/perf"
+)
+
+func main() {
+	var (
+		cores = flag.Int("cores", 1, "ALVEARE cores (divide-and-conquer over the stream)")
+		all   = flag.Bool("all", false, "report every non-overlapping match, not just the first")
+		stats = flag.Bool("stats", false, "print microarchitecture counters and modelled device time")
+		quiet = flag.Bool("q", false, "suppress per-match output (exit status only)")
+		trace = flag.Bool("trace", false, "print a cycle-by-cycle execution trace to stderr (single core)")
+		vcd   = flag.String("vcd", "", "write a VCD waveform of the execution to this file (single core)")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: alvearerun [flags] 'regex' [file...]")
+		os.Exit(2)
+	}
+	prog, err := alveare.Compile(flag.Arg(0))
+	fatalIf(err)
+	eng, err := alveare.NewEngine(prog, alveare.WithCores(*cores))
+	fatalIf(err)
+
+	// Tracing runs on a dedicated single core so the trace and the
+	// waveform describe one coherent pipeline.
+	var traceCore *arch.Core
+	var vcdWriter *arch.VCDWriter
+	if *trace || *vcd != "" {
+		traceCore, err = arch.NewCore(prog, arch.DefaultConfig())
+		fatalIf(err)
+		if *vcd != "" {
+			f, err := os.Create(*vcd)
+			fatalIf(err)
+			defer f.Close()
+			vcdWriter = arch.NewVCDWriter(f, "1ns")
+			defer vcdWriter.Close()
+			traceCore.SetTracer(vcdWriter.Tracer())
+		}
+		if *trace {
+			text := arch.TextTracer(os.Stderr)
+			if vcdWriter != nil {
+				wave := vcdWriter.Tracer()
+				traceCore.SetTracer(func(ev arch.TraceEvent) { text(ev); wave(ev) })
+			} else {
+				traceCore.SetTracer(text)
+			}
+		}
+	}
+
+	files := flag.Args()[1:]
+	if len(files) == 0 {
+		files = []string{"-"}
+	}
+	found := false
+	for _, name := range files {
+		data, err := readInput(name)
+		fatalIf(err)
+		label := name
+		if name == "-" {
+			label = "(stdin)"
+		}
+		if traceCore != nil {
+			// Drive the traced core over the same input (first match).
+			if _, _, err := traceCore.Find(data); err != nil {
+				fmt.Fprintln(os.Stderr, "alvearerun: trace:", err)
+			}
+		}
+		if *all {
+			res, err := eng.Run(data)
+			fatalIf(err)
+			for _, m := range res.Matches {
+				found = true
+				if !*quiet {
+					fmt.Printf("%s: [%d,%d) %q\n", label, m.Start, m.End, clip(data[m.Start:m.End]))
+				}
+			}
+			if *stats {
+				printRunStats(res.WallCycles, res.TotalCycles, len(res.Matches))
+			}
+			continue
+		}
+		m, ok, err := eng.Find(data)
+		fatalIf(err)
+		if ok {
+			found = true
+			if !*quiet {
+				fmt.Printf("%s: [%d,%d) %q\n", label, m.Start, m.End, clip(data[m.Start:m.End]))
+			}
+		} else if !*quiet {
+			fmt.Printf("%s: no match\n", label)
+		}
+		if *stats {
+			st := eng.Stats()
+			fmt.Printf("  cycles=%d instructions=%d speculations=%d rollbacks=%d scan=%d refill=%d\n",
+				st.Cycles, st.Instructions, st.Speculations, st.Rollbacks, st.ScanCycles, st.RefillCycles)
+			fmt.Printf("  modelled time @300MHz: %.3g s\n", perf.AlveareTime(st.Cycles))
+		}
+	}
+	if !found {
+		os.Exit(1)
+	}
+}
+
+func printRunStats(wall, total int64, matches int) {
+	fmt.Printf("  matches=%d wall_cycles=%d total_cycles=%d modelled_time=%.3g s\n",
+		matches, wall, total, perf.AlveareTime(wall))
+}
+
+func readInput(name string) ([]byte, error) {
+	if name == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(name)
+}
+
+func clip(b []byte) string {
+	const max = 60
+	if len(b) > max {
+		return string(b[:max]) + "..."
+	}
+	return string(b)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alvearerun:", err)
+		os.Exit(1)
+	}
+}

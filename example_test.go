@@ -1,0 +1,83 @@
+package alveare_test
+
+import (
+	"fmt"
+	"log"
+
+	"alveare"
+)
+
+// The basic flow: compile, execute, inspect.
+func ExampleCompile() {
+	prog, err := alveare.Compile(`(foo|bar)+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(prog.OpCount(), "instructions (EoR excluded)")
+	// Output: 6 instructions (EoR excluded)
+}
+
+func ExampleEngine_Find() {
+	eng, err := alveare.NewEngine(alveare.MustCompile(`[0-9]+`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := []byte("order 1234 shipped")
+	m, ok, err := eng.Find(data)
+	if err != nil || !ok {
+		log.Fatal(ok, err)
+	}
+	fmt.Printf("%s at [%d,%d)\n", data[m.Start:m.End], m.Start, m.End)
+	// Output: 1234 at [6,10)
+}
+
+func ExampleEngine_FindAll() {
+	eng, err := alveare.NewEngine(alveare.MustCompile(`a+`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, err := eng.FindAll([]byte("aa b aaa b a"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range ms {
+		fmt.Printf("[%d,%d) ", m.Start, m.End)
+	}
+	fmt.Println()
+	// Output: [0,2) [5,8) [11,12)
+}
+
+// Programs disassemble to the paper's instruction mnemonics.
+func ExampleProgram_disassemble() {
+	prog := alveare.MustCompile(`([^A-Z])+`)
+	fmt.Print(prog.Disassemble())
+	// Output:
+	// ; regex: ([^A-Z])+
+	// 0000:  400d007f002  ( {1,inf} fwd=2
+	// 0001:  3ac415a0000  NOT RANGE [A-Z] + )+G
+	// 0002:  00000000000  EOR
+}
+
+// The minimal compiler reproduces the paper's Table 2 baseline.
+func ExampleCompileMinimal() {
+	adv := alveare.MustCompile(`[a-zA-Z]`)
+	min, err := alveare.CompileMinimal(`[a-zA-Z]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("minimal %d -> advanced %d\n", min.OpCount(), adv.OpCount())
+	// Output: minimal 27 -> advanced 1
+}
+
+func ExampleNewRuleSet() {
+	rs, err := alveare.NewRuleSet([]string{`GET /admin`, `passwd`}, alveare.CompilerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rule, ok, err := rs.FirstMatch([]byte("GET /admin/panel HTTP/1.1"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rule, ok)
+	// Output: 0 true
+}

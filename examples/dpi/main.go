@@ -1,0 +1,83 @@
+// Deep packet inspection: the paper's Snort scenario. A small rule set
+// of HTTP/binary signatures is compiled once and swept over a packet
+// stream by a 4-core ALVEARE — the near-data SmartNIC use case where the
+// RE engine must not burn host CPU cycles.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"alveare"
+)
+
+// rules are Snort-style payload signatures: note the PCRE features the
+// ALVEARE ISA supports natively — alternation of methods, negated line
+// classes with unbounded quantifiers, bounded counters, and raw binary
+// bytes via \xHH (the reference-enable bits make non-ASCII patterns
+// first-class).
+var rules = []struct{ name, re string }{
+	{"http-traversal", `(GET|POST) [^ ]*\.\./\.\./`},
+	{"cgi-bin-probe", `/cgi-bin/[^ \r\n]{1,40}\.(sh|pl|exe)`},
+	{"long-host-header", `Host: [^\r\n]{40,}`},
+	{"shellcode-nop-sled", `\x90{8,}`},
+	{"dns-tunnel-label", `[a-f0-9]{32,60}\.evil\.com`},
+	{"admin-login", `/(admin|manager)/login\.(php|jsp)`},
+}
+
+func main() {
+	stream := buildPacketStream()
+
+	for _, r := range rules {
+		prog, err := alveare.Compile(r.re)
+		if err != nil {
+			log.Fatalf("%s: %v", r.name, err)
+		}
+		eng, err := alveare.NewEngine(prog, alveare.WithCores(4))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.Run(stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "clean"
+		if len(res.Matches) > 0 {
+			verdict = fmt.Sprintf("ALERT x%d (first at offset %d)", len(res.Matches), res.Matches[0].Start)
+		}
+		fmt.Printf("%-20s %-46s %s\n", r.name, r.re, verdict)
+		fmt.Printf("%-20s wall=%d cycles over %d cores (program: %d instrs)\n",
+			"", res.WallCycles, len(res.PerCore), prog.OpCount())
+	}
+}
+
+// buildPacketStream assembles a synthetic capture: benign HTTP traffic
+// with a few planted attacks, including a binary NOP sled.
+func buildPacketStream() []byte {
+	var b []byte
+	add := func(s string) { b = append(b, s...) }
+	for i := 0; i < 50; i++ {
+		add(fmt.Sprintf("GET /index%d.html HTTP/1.1\r\nHost: example%d.org\r\n\r\n", i, i))
+	}
+	add("GET /static/../../../../etc/passwd HTTP/1.1\r\n")
+	add("POST /cgi-bin/backup.sh HTTP/1.1\r\n")
+	add("Host: " + repeat('a', 64) + "\r\n")
+	for i := 0; i < 12; i++ {
+		b = append(b, 0x90)
+	}
+	add("\x31\xc0\x50\x68")
+	add("GET /admin/login.php HTTP/1.1\r\n")
+	add("deadbeefcafebabedeadbeefcafebabe.evil.com\r\n")
+	for i := 0; i < 50; i++ {
+		add(fmt.Sprintf("GET /img/%d.png HTTP/1.1\r\nHost: cdn.example.org\r\n\r\n", i))
+	}
+	return b
+}
+
+func repeat(c byte, n int) string {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = c
+	}
+	return string(s)
+}

@@ -1,0 +1,75 @@
+// ISA tour: a guided walk through the 43-bit instruction format using
+// the paper's own running example ([^A-Z])+ and a few companions —
+// what Figures 1 and 2 and Table 1 look like in this implementation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"alveare"
+	"alveare/internal/backend"
+	"alveare/internal/isa"
+)
+
+func main() {
+	fmt.Println("ALVEARE ISA operation classes (paper Table 1)")
+	fmt.Printf("%-8s %-8s %-9s %s\n", "Class", "Operator", "Opcode", "Description")
+	for _, r := range isa.OpTable() {
+		fmt.Printf("%-8s %-8s %-9s %s\n", r.Class, r.Operator, r.Opcode, r.Description)
+	}
+
+	fmt.Println("\nThe paper's worked example: ([^A-Z])+")
+	prog := alveare.MustCompile("([^A-Z])+")
+	for pc, in := range prog.Code {
+		w, err := in.Encode()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %04d: opcode=%07b enable=%04b ref=%032b  %s\n",
+			pc, w>>36, (w>>32)&0xf, w&0xffffffff, in.String())
+	}
+
+	fmt.Println("\nOperation fusion at work: (ab)+ vs the unfused layout")
+	fused := alveare.MustCompile("(ab)+")
+	unfused, err := backend.Compile("(ab)+", backend.Options{NoFusion: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fused:")
+	fmt.Print(indent(fused.Disassemble()))
+	fmt.Println("unfused:")
+	fmt.Print(indent(unfused.Disassemble()))
+
+	fmt.Println("\nTwo ranges packed in one RANGE instruction: [a-z0-9]")
+	fmt.Print(indent(alveare.MustCompile("[a-z0-9]").Disassemble()))
+
+	fmt.Println("\nA complex OR chain for a wide class: [aeiou0-9%#]")
+	fmt.Print(indent(alveare.MustCompile("[aeiou0-9%#]").Disassemble()))
+
+	fmt.Println("\nCounter decomposition beyond the 6-bit limit: a{100}")
+	fmt.Print(indent(alveare.MustCompile("a{100}").Disassemble()))
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

@@ -1,0 +1,49 @@
+// Quickstart: compile a regular expression to the ALVEARE ISA, run it
+// on the microarchitecture model, and look at what the hardware did.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"alveare"
+)
+
+func main() {
+	// Compile: front-end -> middle-end -> back-end -> 43-bit ISA.
+	prog, err := alveare.Compile(`([a-z0-9.]+)@([a-z]+)\.(com|org|it)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The compiled artifact is inspectable...
+	fmt.Println("compiled program:")
+	fmt.Print(prog.Disassemble())
+
+	// ...and loadable: this is what the instruction memory receives.
+	bin, err := prog.MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nloadable binary: %d bytes (%d instructions)\n\n", len(bin), prog.Len())
+
+	// Execute on a single core.
+	eng, err := alveare.NewEngine(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := []byte("contact filippo.c@polimi.it or sales@acme.com; spam@bad goes unmatched")
+	ms, err := eng.FindAll(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range ms {
+		fmt.Printf("match [%3d,%3d): %s\n", m.Start, m.End, data[m.Start:m.End])
+	}
+
+	// The engine is a hardware model: its counters tell you what the
+	// controller, the vector unit and the speculation stack did.
+	st := eng.Stats()
+	fmt.Printf("\ncycles=%d instructions=%d speculations=%d rollbacks=%d scan-cycles=%d\n",
+		st.Cycles, st.Instructions, st.Speculations, st.Rollbacks, st.ScanCycles)
+}

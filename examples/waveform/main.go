@@ -1,0 +1,59 @@
+// Waveform: observe the microarchitecture at work. The execution of a
+// backtracking-heavy pattern is recorded as (1) a cycle-by-cycle text
+// trace of the controller's decisions and (2) an IEEE 1364 VCD waveform
+// (alveare.vcd) you can open in GTKWave to watch pc, dp, the
+// speculation-stack depth and the match/rollback pulses — exactly what
+// you would probe on the FPGA prototype.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"alveare"
+	"alveare/internal/arch"
+)
+
+func main() {
+	const pattern = "(a|ab)*c"
+	const input = "ababxabc"
+
+	prog := alveare.MustCompile(pattern)
+	fmt.Printf("pattern %q over %q\n\n", pattern, input)
+	fmt.Print(prog.Disassemble())
+
+	core, err := arch.NewCore(prog, arch.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create("alveare.vcd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	wave := arch.NewVCDWriter(f, "1ns")
+	defer wave.Close()
+
+	text := arch.TextTracer(os.Stdout)
+	waveTr := wave.Tracer()
+	core.SetTracer(func(ev arch.TraceEvent) {
+		text(ev)
+		waveTr(ev)
+	})
+
+	fmt.Println("\ncycle-by-cycle trace:")
+	m, ok, err := core.Find([]byte(input))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := core.Stats()
+	fmt.Printf("\nmatch=%v", ok)
+	if ok {
+		fmt.Printf(" [%d,%d) %q", m.Start, m.End, input[m.Start:m.End])
+	}
+	fmt.Printf("\ncycles=%d speculations=%d rollbacks=%d max-stack=%d\n",
+		st.Cycles, st.Speculations, st.Rollbacks, st.MaxStackDepth)
+	fmt.Println("waveform written to alveare.vcd (open with GTKWave)")
+}

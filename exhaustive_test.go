@@ -1,0 +1,115 @@
+package alveare
+
+import (
+	"regexp"
+	"testing"
+
+	"alveare/internal/baseline/backtrack"
+	"alveare/internal/baseline/pikevm"
+)
+
+// TestExhaustiveSmallPatterns is a bounded model check: every pattern
+// from a small systematic grammar is run against every input string
+// over {a,b} up to length 4, and four independent engines must agree on
+// the leftmost match — the ALVEARE core in both compilation modes, the
+// Pike VM and the backtracking oracle. Exhaustive enumeration catches
+// the corner cases random fuzzing misses.
+func TestExhaustiveSmallPatterns(t *testing.T) {
+	atoms := []string{"a", "b", "ab", "[ab]", "[^a]", "."}
+	quants := []string{"", "*", "+", "?", "{2}", "{1,2}", "*?", "+?", "{0,2}?"}
+
+	// Level 1: quantified atoms (multi-byte atoms need grouping).
+	var level1 []string
+	for _, a := range atoms {
+		for _, q := range quants {
+			p := a
+			if q != "" && len(a) > 1 && a[0] != '[' {
+				p = "(" + a + ")"
+			}
+			level1 = append(level1, p+q)
+		}
+	}
+	// Level 2: concatenations and alternations of level-1 pairs,
+	// strided to keep the census around two thousand patterns.
+	patterns := append([]string{}, level1...)
+	stride := 2
+	for i := 0; i < len(level1); i += stride {
+		for j := 1; j < len(level1); j += stride {
+			patterns = append(patterns, level1[i]+level1[j])
+			patterns = append(patterns, "("+level1[i]+"|"+level1[j]+")")
+		}
+	}
+	// A third level of quantified groups over a sample of pairs.
+	for i := 0; i < len(level1); i += 7 {
+		for j := 2; j < len(level1); j += 7 {
+			patterns = append(patterns, "("+level1[i]+level1[j]+")+")
+			patterns = append(patterns, "("+level1[i]+"|"+level1[j]+")*"+"b")
+		}
+	}
+
+	// Every input over {a,b} with length 0..4.
+	var inputs [][]byte
+	var grow func(prefix []byte, depth int)
+	grow = func(prefix []byte, depth int) {
+		inputs = append(inputs, append([]byte(nil), prefix...))
+		if depth == 0 {
+			return
+		}
+		grow(append(prefix, 'a'), depth-1)
+		grow(append(prefix, 'b'), depth-1)
+	}
+	grow(nil, 5)
+
+	t.Logf("%d patterns x %d inputs x 4 engines", len(patterns), len(inputs))
+	for _, pat := range patterns {
+		bt, err := backtrack.New(pat)
+		if err != nil {
+			t.Fatalf("oracle %q: %v", pat, err)
+		}
+		vm, err := pikevm.Compile(pat)
+		if err != nil {
+			t.Fatalf("pikevm %q: %v", pat, err)
+		}
+		std := regexp.MustCompile(pat)
+		adv, err := NewEngine(MustCompile(pat))
+		if err != nil {
+			t.Fatalf("%q: %v", pat, err)
+		}
+		minProg, err := CompileMinimal(pat)
+		if err != nil {
+			t.Fatalf("minimal %q: %v", pat, err)
+		}
+		min, err := NewEngine(minProg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range inputs {
+			want, wantOK, err := bt.Find(in)
+			if err != nil {
+				t.Fatalf("oracle %q on %q: %v", pat, in, err)
+			}
+			// The Pike VM implements RE2's semantics, which diverge
+			// from PCRE's on empty-width repeats (RE2 documents this);
+			// hold it to exact bounds only where Go's RE2 agrees with
+			// the PCRE oracle, and to match/no-match everywhere.
+			stdIdx := std.FindIndex(in)
+			re2AgreesWithPCRE := (stdIdx == nil) == !wantOK &&
+				(stdIdx == nil || (stdIdx[0] == want.Start && stdIdx[1] == want.End))
+			got, ok := vm.Find(in)
+			if ok != wantOK {
+				t.Errorf("pikevm %q on %q: ok=%v, oracle ok=%v", pat, in, ok, wantOK)
+			} else if re2AgreesWithPCRE && ok && (got.Start != want.Start || got.End != want.End) {
+				t.Errorf("pikevm %q on %q: %v, oracle %v", pat, in, got, want)
+			}
+			for name, eng := range map[string]*Engine{"advanced": adv, "minimal": min} {
+				got, ok, err := eng.Find(in)
+				if err != nil {
+					t.Fatalf("%s %q on %q: %v", name, pat, in, err)
+				}
+				if ok != wantOK || (ok && (got.Start != want.Start || got.End != want.End)) {
+					t.Errorf("%s %q on %q: %v/%v, oracle %v/%v", name, pat, in, got, ok, want, wantOK)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package alveare
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"alveare/internal/baseline/backtrack"
+	"alveare/internal/baseline/pikevm"
+)
+
+// TestByteLevelDifferential fuzzes the full pipeline on binary-oriented
+// patterns (raw high bytes, \xHH escapes, negated classes over the full
+// 0..255 alphabet) where Go's rune-oriented regexp cannot act as the
+// oracle; the from-scratch Pike VM and the backtracker — two
+// independent byte-oriented engines — serve instead.
+func TestByteLevelDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	genPattern := func() string {
+		atoms := []string{
+			fmt.Sprintf("\\x%02x", r.Intn(256)),
+			fmt.Sprintf("[\\x%02x-\\x%02x]", 0x40+r.Intn(32), 0x80+r.Intn(64)),
+			fmt.Sprintf("[^\\x%02x]", r.Intn(256)),
+			"\\x00", "\\xff", ".", "[\\x80-\\xff]",
+		}
+		quants := []string{"", "", "*", "+", "?", "{2}", "{1,3}", "+?"}
+		out := ""
+		for i := 0; i < 1+r.Intn(3); i++ {
+			out += atoms[r.Intn(len(atoms))] + quants[r.Intn(len(quants))]
+		}
+		return out
+	}
+	for i := 0; i < 100; i++ {
+		pat := genPattern()
+		vm, err := pikevm.Compile(pat)
+		if err != nil {
+			t.Fatalf("pikevm %q: %v", pat, err)
+		}
+		bt, err := backtrack.New(pat)
+		if err != nil {
+			t.Fatalf("backtrack %q: %v", pat, err)
+		}
+		eng, err := NewEngine(MustCompile(pat))
+		if err != nil {
+			t.Fatalf("%q: %v", pat, err)
+		}
+		for j := 0; j < 30; j++ {
+			buf := make([]byte, r.Intn(24))
+			for k := range buf {
+				buf[k] = byte(r.Intn(256))
+			}
+			bm, bok, err := bt.Find(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vmM, vmOK := vm.Find(buf)
+			am, aok, err := eng.Find(buf)
+			if err != nil {
+				t.Fatalf("%q on %x: %v", pat, buf, err)
+			}
+			if bok != vmOK || (bok && (bm.Start != vmM.Start || bm.End != vmM.End)) {
+				t.Fatalf("oracles disagree on %q / %x: backtrack %v/%v pikevm %v/%v",
+					pat, buf, bm, bok, vmM, vmOK)
+			}
+			if aok != bok {
+				t.Errorf("%q on %x: alveare ok=%v oracle ok=%v", pat, buf, aok, bok)
+				continue
+			}
+			if aok && (am.Start != bm.Start || am.End != bm.End) {
+				t.Errorf("%q on %x: alveare [%d,%d) oracle [%d,%d)",
+					pat, buf, am.Start, am.End, bm.Start, bm.End)
+			}
+		}
+	}
+}
+
+// TestDeepNestingFuzz drives deeply nested random patterns through the
+// engine against the backtracking oracle (stressing the speculation
+// stack discipline).
+func TestDeepNestingFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(88))
+	var gen func(depth int) string
+	gen = func(depth int) string {
+		if depth == 0 {
+			return string(rune('a' + r.Intn(3)))
+		}
+		switch r.Intn(4) {
+		case 0:
+			return "(" + gen(depth-1) + "|" + gen(depth-1) + ")"
+		case 1:
+			return "(" + gen(depth-1) + ")" + []string{"*", "+", "?", "{1,2}", "{0,2}?"}[r.Intn(5)]
+		case 2:
+			return gen(depth-1) + gen(depth-1)
+		default:
+			return gen(depth - 1)
+		}
+	}
+	for i := 0; i < 80; i++ {
+		pat := gen(4)
+		bt, err := backtrack.New(pat)
+		if err != nil {
+			t.Fatalf("%q: %v", pat, err)
+		}
+		eng, err := NewEngine(MustCompile(pat))
+		if err != nil {
+			t.Fatalf("%q: %v", pat, err)
+		}
+		for j := 0; j < 20; j++ {
+			buf := make([]byte, r.Intn(14))
+			for k := range buf {
+				buf[k] = byte('a' + r.Intn(4))
+			}
+			bm, bok, err := bt.Find(buf)
+			if err != nil {
+				continue // oracle budget blown: skip this input
+			}
+			am, aok, err := eng.Find(buf)
+			if err != nil {
+				t.Fatalf("%q on %q: %v", pat, buf, err)
+			}
+			if aok != bok || (aok && am != Match(bm)) {
+				t.Errorf("%q on %q: alveare %v/%v oracle %v/%v", pat, buf, am, aok, bm, bok)
+			}
+		}
+	}
+}

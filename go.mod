@@ -1,0 +1,3 @@
+module alveare
+
+go 1.22

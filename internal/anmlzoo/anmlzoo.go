@@ -1,0 +1,328 @@
+// Package anmlzoo generates the synthetic equivalents of the three
+// ANMLZoo benchmarks the paper evaluates (§7.2): PowerEN (IBM's
+// synthetic network-SoC rule set), Protomata (protein motif patterns)
+// and Snort (production deep-packet-inspection rules from CISCO).
+//
+// The original suites and their 1 MB corpora are not redistributable,
+// so each generator produces — deterministically from a seed — a rule
+// set with the same operator mix (character classes, bounded and
+// unbounded counters, alternations, binary escapes) and a dataset with
+// planted matches, per the substitution policy in DESIGN.md: what
+// drives every engine under test is the primitive-usage profile of the
+// rules, not the exact bytes of the original corpora.
+package anmlzoo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"alveare/internal/syntax"
+)
+
+// Suite is one benchmark: a rule set and a data stream.
+type Suite struct {
+	Name     string
+	Patterns []string
+	Dataset  []byte
+}
+
+// Defaults of the paper's setup: 200 randomly selected well-formed REs
+// over a 1 MB dataset.
+const (
+	DefaultPatterns    = 200
+	DefaultDatasetSize = 1 << 20
+)
+
+// Names lists the available suites in evaluation order.
+func Names() []string { return []string{"PowerEN", "Protomata", "Snort"} }
+
+// ByName generates the named suite. Non-positive nPatterns or size
+// select the paper defaults.
+func ByName(name string, nPatterns, size int, seed int64) (*Suite, error) {
+	if nPatterns <= 0 {
+		nPatterns = DefaultPatterns
+	}
+	if size <= 0 {
+		size = DefaultDatasetSize
+	}
+	switch strings.ToLower(name) {
+	case "poweren":
+		return PowerEN(nPatterns, size, seed), nil
+	case "protomata":
+		return Protomata(nPatterns, size, seed), nil
+	case "snort":
+		return Snort(nPatterns, size, seed), nil
+	}
+	return nil, fmt.Errorf("anmlzoo: unknown suite %q", name)
+}
+
+// All generates the three suites with consecutive seeds.
+func All(nPatterns, size int, seed int64) []*Suite {
+	return []*Suite{
+		PowerEN(nPatterns, size, seed),
+		Protomata(nPatterns, size, seed+1),
+		Snort(nPatterns, size, seed+2),
+	}
+}
+
+// PowerEN generates synthetic network-SoC patterns: keyword fragments
+// combined with hex-class counters and small alternations, the profile
+// of IBM's PowerEN regression rules.
+func PowerEN(nPatterns, size int, seed int64) *Suite {
+	r := rand.New(rand.NewSource(seed))
+	keywords := []string{
+		"session", "token", "flow", "proto", "hdr", "chan", "frame",
+		"crc", "seq", "ack", "mpls", "vlan", "ipsec", "tln",
+	}
+	var pats []string
+	for len(pats) < nPatterns {
+		var b strings.Builder
+		// Half of the rules lead with an alternation of keywords — the
+		// real PowerEN suite stresses complex operators up front, which
+		// also defeats single-instruction scan filtering.
+		if r.Intn(2) == 0 {
+			fmt.Fprintf(&b, "(%s|%s|%s)", pick(r, keywords), pick(r, keywords), pick(r, keywords))
+		} else {
+			b.WriteString(pick(r, keywords))
+		}
+		switch r.Intn(4) {
+		case 0:
+			fmt.Fprintf(&b, "[0-9a-f]{%d,%d}", 2+r.Intn(3), 6+r.Intn(6))
+		case 1:
+			fmt.Fprintf(&b, "=[0-9]{%d}", 2+r.Intn(4))
+		case 2:
+			b.WriteString("[_:-]")
+			b.WriteString(pick(r, keywords))
+		case 3:
+			fmt.Fprintf(&b, "(%s|%s)", pick(r, keywords), pick(r, keywords))
+		}
+		if r.Intn(3) == 0 {
+			fmt.Fprintf(&b, "\\.[a-z]{2,5}")
+		}
+		pats = append(pats, b.String())
+	}
+	data := fillDataset(r, size, pats, func(r *rand.Rand, w *strings.Builder) {
+		// Filler: key=value token soup.
+		w.WriteString(pick(r, keywords))
+		w.WriteString("=")
+		for i := 0; i < 4+r.Intn(8); i++ {
+			w.WriteByte("0123456789abcdefxyz_"[r.Intn(20)])
+		}
+		w.WriteString(" ")
+	})
+	return &Suite{Name: "PowerEN", Patterns: pats, Dataset: data}
+}
+
+// protAlphabet is the 20-letter amino-acid alphabet of Protomata.
+const protAlphabet = "ACDEFGHIKLMNPQRSTVWY"
+
+// Protomata generates PROSITE-style protein motifs lowered to REs —
+// classes of residues, any-residue gaps with bounded counters — the
+// most backtracking-heavy suite of the three (the paper calls it one of
+// the most complex in ANMLZoo).
+func Protomata(nPatterns, size int, seed int64) *Suite {
+	r := rand.New(rand.NewSource(seed))
+	var pats []string
+	for len(pats) < nPatterns {
+		var b strings.Builder
+		// Real PROSITE motifs are long: 8..15 elements with wide
+		// bounded gaps. This is what makes Protomata the most complex
+		// (and most DFA-hostile) suite in ANMLZoo.
+		elems := 8 + r.Intn(8)
+		for i := 0; i < elems; i++ {
+			switch r.Intn(6) {
+			case 0, 1: // single residue
+				b.WriteByte(protAlphabet[r.Intn(20)])
+			case 2: // residue class [LIVM]
+				b.WriteString("[")
+				n := 2 + r.Intn(5)
+				seen := map[byte]bool{}
+				for len(seen) < n {
+					c := protAlphabet[r.Intn(20)]
+					if !seen[c] {
+						seen[c] = true
+						b.WriteByte(c)
+					}
+				}
+				b.WriteString("]")
+			case 3, 4: // any-residue gap: x(n) mostly, x(n,m) sometimes
+				n := 1 + r.Intn(5)
+				if r.Intn(3) == 0 {
+					fmt.Fprintf(&b, "[%s]{%d,%d}", protAlphabet, n, n+1+r.Intn(3))
+				} else {
+					fmt.Fprintf(&b, "[%s]{%d}", protAlphabet, n)
+				}
+			case 5: // excluded-residue class {P} -> [^P...]
+				b.WriteString("[^")
+				b.WriteByte(protAlphabet[r.Intn(20)])
+				b.WriteString("]")
+			}
+		}
+		pats = append(pats, b.String())
+	}
+	data := fillDataset(r, size, pats, func(r *rand.Rand, w *strings.Builder) {
+		for i := 0; i < 40; i++ {
+			w.WriteByte(protAlphabet[r.Intn(20)])
+		}
+	})
+	return &Suite{Name: "Protomata", Patterns: pats, Dataset: data}
+}
+
+// Snort generates DPI-style rules: HTTP keywords, URI fragments, binary
+// escape sequences (exercising the reference-enable bits), negated
+// line classes with unbounded quantifiers.
+func Snort(nPatterns, size int, seed int64) *Suite {
+	r := rand.New(rand.NewSource(seed))
+	methods := []string{"GET", "POST", "HEAD", "PUT", "DELETE", "OPTIONS"}
+	uriBits := []string{"/cgi-bin/", "/admin/", "/login", "/api/v", "/upload", "/shell", "/etc/passwd", "/cmd\\.exe"}
+	headers := []string{"Host: ", "User-Agent: ", "Cookie: ", "Content-Type: ", "Referer: "}
+	var pats []string
+	for len(pats) < nPatterns {
+		var b strings.Builder
+		switch r.Intn(5) {
+		case 0: // method + URI fragment
+			fmt.Fprintf(&b, "(%s|%s) [^ ]*%s", pick(r, methods), pick(r, methods), pick(r, uriBits))
+		case 1: // header + constrained value
+			b.WriteString(pick(r, headers))
+			fmt.Fprintf(&b, "[^\\r\\n]{%d,}", 4+r.Intn(12))
+		case 2: // binary signature
+			for i := 0; i < 3+r.Intn(4); i++ {
+				fmt.Fprintf(&b, "\\x%02x", r.Intn(256))
+			}
+			if r.Intn(2) == 0 {
+				fmt.Fprintf(&b, ".{0,%d}\\x%02x", 2+r.Intn(6), r.Intn(256))
+			}
+		case 3: // URI with hex-encoded bytes
+			b.WriteString(pick(r, uriBits))
+			fmt.Fprintf(&b, "(%%[0-9a-fA-F]{2})+")
+		case 4: // keyword then anything then keyword on one line
+			fmt.Fprintf(&b, "%s[^\\r\\n]*%s", pick(r, uriBits), pick(r, []string{"\\.php", "\\.asp", "\\.jsp", "=admin", "passwd"}))
+		}
+		pats = append(pats, b.String())
+	}
+	data := fillDataset(r, size, pats, func(r *rand.Rand, w *strings.Builder) {
+		switch r.Intn(3) {
+		case 0: // HTTP-ish line
+			fmt.Fprintf(w, "%s /index%d.html HTTP/1.1\r\n", pick(r, methods), r.Intn(100))
+		case 1: // header line
+			w.WriteString(pick(r, headers))
+			for i := 0; i < 8+r.Intn(20); i++ {
+				w.WriteByte(byte(0x21 + r.Intn(94)))
+			}
+			w.WriteString("\r\n")
+		case 2: // binary payload
+			for i := 0; i < 16+r.Intn(32); i++ {
+				w.WriteByte(byte(r.Intn(256)))
+			}
+		}
+	})
+	return &Suite{Name: "Snort", Patterns: pats, Dataset: data}
+}
+
+func pick(r *rand.Rand, ss []string) string { return ss[r.Intn(len(ss))] }
+
+// fillDataset builds a size-byte stream from the filler generator and
+// plants at least one witness of every pattern, so every rule has work
+// to find. Witness positions are skewed toward the start of the stream
+// (quadratic density): real corpora are not uniform, and the skew gives
+// the multi-core divide-and-conquer realistic load imbalance.
+func fillDataset(r *rand.Rand, size int, pats []string, filler func(*rand.Rand, *strings.Builder)) []byte {
+	nPlants := witnessRepeat * len(pats)
+	positions := make([]int, nPlants)
+	for i := range positions {
+		u := r.Float64()
+		positions[i] = int(u * u * float64(size) * 0.95)
+	}
+	sort.Ints(positions)
+
+	var b strings.Builder
+	b.Grow(size + 1024)
+	planted := 0
+	for b.Len() < size {
+		for planted < nPlants && b.Len() >= positions[planted] {
+			pat := pats[planted%len(pats)]
+			if w, err := Witness(pat, r); err == nil {
+				b.Write(w)
+			}
+			planted++
+		}
+		filler(r, &b)
+	}
+	out := []byte(b.String())
+	if len(out) > size {
+		out = out[:size]
+	}
+	return out
+}
+
+// witnessRepeat is how many witnesses of each pattern the dataset
+// receives (spread across the stream).
+const witnessRepeat = 2
+
+// Witness samples one string from the language of the pattern, used to
+// plant matches in the generated datasets. Unbounded quantifiers are
+// capped at min+2 repetitions.
+func Witness(re string, r *rand.Rand) ([]byte, error) {
+	ast, err := syntax.Parse(re)
+	if err != nil {
+		return nil, err
+	}
+	var b []byte
+	sample(ast, r, &b)
+	return b, nil
+}
+
+func sample(n syntax.Node, r *rand.Rand, out *[]byte) {
+	switch n := n.(type) {
+	case *syntax.Empty:
+	case *syntax.Literal:
+		*out = append(*out, n.Bytes...)
+	case *syntax.Class:
+		*out = append(*out, sampleClass(n, r))
+	case *syntax.Shorthand:
+		rs, neg, _ := syntax.ShorthandRanges(n.Kind)
+		*out = append(*out, sampleClass(&syntax.Class{Neg: neg, Ranges: rs}, r))
+	case *syntax.Dot:
+		c := byte(0x20 + r.Intn(95))
+		*out = append(*out, c)
+	case *syntax.Group:
+		sample(n.Sub, r, out)
+	case *syntax.Concat:
+		for _, s := range n.Subs {
+			sample(s, r, out)
+		}
+	case *syntax.Alternate:
+		sample(n.Subs[r.Intn(len(n.Subs))], r, out)
+	case *syntax.Repeat:
+		max := n.Max
+		if max == syntax.Unlimited {
+			max = n.Min + 2
+		}
+		k := n.Min
+		if max > n.Min {
+			k += r.Intn(max - n.Min + 1)
+		}
+		for i := 0; i < k; i++ {
+			sample(n.Sub, r, out)
+		}
+	}
+}
+
+func sampleClass(c *syntax.Class, r *rand.Rand) byte {
+	in := func(b byte) bool {
+		for _, rg := range c.Ranges {
+			if b >= rg.Lo && b <= rg.Hi {
+				return true
+			}
+		}
+		return false
+	}
+	for {
+		b := byte(r.Intn(256))
+		if in(b) != c.Neg {
+			return b
+		}
+	}
+}

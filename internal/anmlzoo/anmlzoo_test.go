@@ -1,0 +1,160 @@
+package anmlzoo
+
+import (
+	"bytes"
+	"math/rand"
+	"regexp"
+	"testing"
+
+	"alveare/internal/backend"
+	"alveare/internal/baseline/pikevm"
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		a, err := ByName(name, 50, 64<<10, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ByName(name, 50, 64<<10, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Patterns) != len(b.Patterns) {
+			t.Fatalf("%s: pattern counts differ", name)
+		}
+		for i := range a.Patterns {
+			if a.Patterns[i] != b.Patterns[i] {
+				t.Fatalf("%s: pattern %d differs", name, i)
+			}
+		}
+		if !bytes.Equal(a.Dataset, b.Dataset) {
+			t.Errorf("%s: datasets differ for the same seed", name)
+		}
+		c, err := ByName(name, 50, 64<<10, 43)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(a.Dataset, c.Dataset) {
+			t.Errorf("%s: different seeds produced identical datasets", name)
+		}
+	}
+}
+
+func TestSizesAndDefaults(t *testing.T) {
+	s, err := ByName("snort", 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Patterns) != DefaultPatterns {
+		t.Errorf("patterns = %d, want %d", len(s.Patterns), DefaultPatterns)
+	}
+	if len(s.Dataset) != DefaultDatasetSize {
+		t.Errorf("dataset = %d bytes, want %d", len(s.Dataset), DefaultDatasetSize)
+	}
+	if _, err := ByName("nope", 0, 0, 1); err == nil {
+		t.Error("unknown suite accepted")
+	}
+}
+
+// TestPatternsCompile: every generated rule must be accepted by the
+// ALVEARE compiler in both modes.
+func TestPatternsCompile(t *testing.T) {
+	for _, s := range All(60, 16<<10, 7) {
+		for _, pat := range s.Patterns {
+			if _, err := backend.Compile(pat, backend.Options{}); err != nil {
+				t.Errorf("%s: %q does not compile: %v", s.Name, pat, err)
+			}
+		}
+	}
+}
+
+// TestPlantedMatches: every rule must find at least one occurrence in
+// its suite's dataset (the generator plants witnesses).
+func TestPlantedMatches(t *testing.T) {
+	for _, s := range All(40, 256<<10, 99) {
+		missing := 0
+		for _, pat := range s.Patterns {
+			p, err := pikevm.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s: %q: %v", s.Name, pat, err)
+			}
+			if !p.Match(s.Dataset) {
+				missing++
+			}
+		}
+		if missing > 0 {
+			t.Errorf("%s: %d/%d rules have no match in the dataset", s.Name, missing, len(s.Patterns))
+		}
+	}
+}
+
+// TestWitness: sampled witnesses are members of the pattern language.
+// Byte-oriented patterns (negated classes, binary escapes) are checked
+// with the byte-oriented Pike VM; stdlib regexp is rune-oriented and
+// would misjudge non-UTF-8 witnesses.
+func TestWitness(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	pats := []string{
+		"abc", "[a-f]{3}", "(GET|POST) /x", "a+b?", "x[0-9]{2,4}y",
+		"[^ ]{3}", "\\x41\\x00", "q(w|e)*r",
+	}
+	for _, pat := range pats {
+		vm, err := pikevm.Compile(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var std *regexp.Regexp
+		if pat != "[^ ]{3}" && pat != "\\x41\\x00" {
+			std = regexp.MustCompile(pat)
+		}
+		for i := 0; i < 50; i++ {
+			w, err := Witness(pat, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !vm.Match(w) {
+				t.Errorf("%q: witness %q does not match (pikevm)", pat, w)
+			}
+			if std != nil && !std.Match(w) {
+				t.Errorf("%q: witness %q does not match (stdlib)", pat, w)
+			}
+		}
+	}
+	if _, err := Witness("(", r); err == nil {
+		t.Error("bad pattern accepted")
+	}
+}
+
+func TestSuiteCharacters(t *testing.T) {
+	prot := Protomata(20, 32<<10, 3)
+	for _, c := range prot.Dataset {
+		if !bytes.ContainsRune([]byte(protAlphabet), rune(c)) {
+			// Witness bytes may fall outside the alphabet only for
+			// negated classes; the bulk must be amino acids.
+			continue
+		}
+	}
+	// At least: dataset non-empty and mostly alphabet.
+	inAlpha := 0
+	for _, c := range prot.Dataset {
+		if bytes.IndexByte([]byte(protAlphabet), c) >= 0 {
+			inAlpha++
+		}
+	}
+	if float64(inAlpha) < 0.9*float64(len(prot.Dataset)) {
+		t.Errorf("Protomata dataset only %d/%d amino acids", inAlpha, len(prot.Dataset))
+	}
+
+	sn := Snort(20, 32<<10, 3)
+	var hasBinary bool
+	for _, c := range sn.Dataset {
+		if c >= 0x80 {
+			hasBinary = true
+			break
+		}
+	}
+	if !hasBinary {
+		t.Error("Snort dataset has no binary payload bytes")
+	}
+}

@@ -1,0 +1,616 @@
+// Package arch is a cycle-level software model of the ALVEARE single-core
+// microarchitecture (paper §6, Fig. 3). It executes compiled ISA programs
+// against a data stream with the paper's structural organisation:
+//
+//   - Memories (A): the instruction memory serves the three possible
+//     control flows (sequential, backward, forward) every cycle, so any
+//     taken jump completes without a bubble; the data memory is a
+//     two-level hierarchy whose small RAM refills are charged to the
+//     cycle budget as the stream pointer advances.
+//   - Decode units (B): three decoders prepare the prefetched
+//     instructions; decode is pipelined and adds no per-instruction
+//     cycles. A backup of the first instruction restarts the RE after a
+//     complete sub-matching failure.
+//   - Execution (C): a vectorial unit of ComputeUnits CUs, each with
+//     four comparators, processes base operators; the aggregator
+//     combines comparator results (and applies NOT). In scan mode the
+//     overlapped CUs test ComputeUnits adjacent start offsets per cycle
+//     (window = 4 + (CUs-1) characters).
+//   - Controller and speculation stack (D): complex operators
+//     (counters, sub-RE alternation) are executed with a
+//     depth-first-like speculative approach; snapshots pushed on the
+//     stack allow backtracking on mispredictions, in greedy or lazy
+//     modality.
+//
+// The model is cycle-faithful at the ISA contract level: one instruction
+// completes per cycle (fused base+close counts once), every speculation
+// rollback costs one cycle, scanning advances ComputeUnits offsets per
+// cycle, and small-RAM refills cost RefillCycles per window.
+package arch
+
+import (
+	"errors"
+	"fmt"
+
+	"alveare/internal/isa"
+)
+
+// Config parameterises the microarchitecture. The zero value is not
+// valid; use DefaultConfig.
+type Config struct {
+	// ComputeUnits is the number of vector compute units; the paper's
+	// design point is four (a 7-character window).
+	ComputeUnits int
+	// SmallRAMSize is the window, in bytes, served by the small data
+	// RAM between refills from the on-chip local buffer.
+	SmallRAMSize int
+	// RefillCycles is the cost of one small-RAM refill.
+	RefillCycles int
+	// StackDepth bounds the speculation stack; exceeding it is an
+	// execution error (hardware would stall or fault). Zero means the
+	// DefaultConfig depth.
+	StackDepth int
+	// MaxCycles aborts pathological executions (runaway backtracking on
+	// adversarial inputs); zero means the DefaultConfig budget.
+	MaxCycles int64
+	// EnablePrefilter lets the engine use the compiler's
+	// necessary-factor hint (isa.Program.Hint) to narrow candidate
+	// start offsets when the program opens with a complex operator.
+	// Off by default: the paper's baseline design scans with the first
+	// instruction only.
+	EnablePrefilter bool
+}
+
+// DefaultConfig returns the paper's design point: four compute units,
+// a 64-byte small RAM with single-cycle refill, a 4096-entry speculation
+// stack, and a generous runaway budget.
+func DefaultConfig() Config {
+	return Config{
+		ComputeUnits: 4,
+		SmallRAMSize: 64,
+		RefillCycles: 1,
+		StackDepth:   4096,
+		MaxCycles:    1 << 40,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.ComputeUnits <= 0 {
+		c.ComputeUnits = d.ComputeUnits
+	}
+	if c.SmallRAMSize <= 0 {
+		c.SmallRAMSize = d.SmallRAMSize
+	}
+	if c.RefillCycles < 0 {
+		c.RefillCycles = d.RefillCycles
+	}
+	if c.StackDepth <= 0 {
+		c.StackDepth = d.StackDepth
+	}
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = d.MaxCycles
+	}
+	return c
+}
+
+// Stats accumulates the core's performance counters across executions.
+type Stats struct {
+	Cycles        int64 // total clock cycles
+	Instructions  int64 // instructions dispatched
+	Speculations  int64 // snapshots pushed for alternative paths
+	Rollbacks     int64 // mispredictions recovered from the stack
+	ScanCycles    int64 // cycles spent in multi-CU scan mode
+	RefillCycles  int64 // cycles spent refilling the small data RAM
+	Attempts      int64 // match attempts started
+	MaxStackDepth int   // deepest speculation stack observed
+
+	// Per-class dispatch counters (BaseOps counts vector-unit
+	// executions including fused closes, which are also counted in
+	// CloseOps; the classes therefore sum to >= Instructions).
+	BaseOps  int64
+	OpenOps  int64
+	CloseOps int64
+}
+
+// add merges s2 into s.
+func (s *Stats) add(s2 Stats) {
+	s.Cycles += s2.Cycles
+	s.Instructions += s2.Instructions
+	s.Speculations += s2.Speculations
+	s.Rollbacks += s2.Rollbacks
+	s.ScanCycles += s2.ScanCycles
+	s.RefillCycles += s2.RefillCycles
+	s.Attempts += s2.Attempts
+	s.BaseOps += s2.BaseOps
+	s.OpenOps += s2.OpenOps
+	s.CloseOps += s2.CloseOps
+	if s2.MaxStackDepth > s.MaxStackDepth {
+		s.MaxStackDepth = s2.MaxStackDepth
+	}
+}
+
+// Match is one pattern occurrence: the half-open byte interval
+// [Start, End) of the data stream.
+type Match struct {
+	Start, End int
+}
+
+// Execution errors.
+var (
+	ErrStackOverflow = errors.New("arch: speculation stack overflow")
+	ErrRunaway       = errors.New("arch: cycle budget exceeded")
+	ErrIntegrity     = errors.New("arch: program/controller integrity violation")
+)
+
+// Core is one ALVEARE execution core with its private instruction
+// memory (the loaded program) and statistics.
+type Core struct {
+	cfg    Config
+	code   []isa.Instr
+	prog   *isa.Program
+	stats  Stats
+	tracer Tracer
+}
+
+// NewCore loads a validated program into a core.
+func NewCore(p *isa.Program, cfg Config) (*Core, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Core{cfg: cfg.withDefaults(), code: p.Code, prog: p}, nil
+}
+
+// Program returns the loaded program.
+func (c *Core) Program() *isa.Program { return c.prog }
+
+// Stats returns the accumulated performance counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// ResetStats clears the performance counters.
+func (c *Core) ResetStats() { c.stats = Stats{} }
+
+// frameKind distinguishes the two speculation-stack frame flavours.
+type frameKind uint8
+
+const (
+	fQuant frameKind = iota // counter sub-RE: OPEN with counters
+	fGroup                  // alternation chain / alternative sub-RE
+)
+
+// frame is the execution-status snapshot pushed when a complex opening
+// operator is encountered: the quantification bounds, the current match
+// count, the sub-matching state, the latest matched position, and the
+// data-stream address at sub-pattern entry (paper §6 (D)).
+type frame struct {
+	kind    frameKind
+	openPC  int
+	exitPC  int
+	nextAlt int // next alternative's OPEN; -1 when none
+	min     int
+	max     int // -1 for unbounded
+	lazy    bool
+	count   int
+	enterDP int // data pointer at sub-RE entry
+	iterDP  int // data pointer at current iteration entry
+}
+
+// choice is one alternative execution path recorded by the speculation
+// mechanism; restoring it recovers from a misprediction.
+type choice struct {
+	pc, dp int
+	frames []frame
+}
+
+// machine is the per-search transient state.
+type machine struct {
+	core    *Core
+	data    []byte
+	frames  []frame
+	choices []choice
+	st      *Stats
+	// data-memory model: high-water mark of the small RAM.
+	buffered int
+	budget   int64
+	// prefilter occurrence cache (per data stream).
+	occ      []int
+	occValid bool
+}
+
+// Find reports the leftmost match in data.
+func (c *Core) Find(data []byte) (Match, bool, error) {
+	return c.FindFrom(data, 0)
+}
+
+// FindFrom reports the leftmost match starting at or after from.
+func (c *Core) FindFrom(data []byte, from int) (Match, bool, error) {
+	m := &machine{core: c, data: data, st: &c.stats, budget: c.cfg.MaxCycles}
+	return m.search(from)
+}
+
+// FindAll returns all non-overlapping matches (leftmost-first). A
+// non-positive limit means no limit.
+func (c *Core) FindAll(data []byte, limit int) ([]Match, error) {
+	var out []Match
+	m := &machine{core: c, data: data, st: &c.stats, budget: c.cfg.MaxCycles}
+	from := 0
+	for from <= len(data) {
+		match, ok, err := m.search(from)
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, match)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		if match.End > match.Start {
+			from = match.End
+		} else {
+			from = match.End + 1
+		}
+	}
+	return out, nil
+}
+
+// Count returns the number of non-overlapping matches.
+func (c *Core) Count(data []byte) (int, error) {
+	ms, err := c.FindAll(data, 0)
+	return len(ms), err
+}
+
+// search drives the scan loop: candidate start offsets are filtered by
+// the overlapped compute units when the first instruction is a base
+// operator, then each candidate runs a full speculative attempt.
+func (m *machine) search(from int) (Match, bool, error) {
+	code := m.core.code
+	cus := m.core.cfg.ComputeUnits
+	scanFirst := code[0].HasBase()
+	if !scanFirst {
+		if h := m.core.prefilterHint(); h != nil {
+			return m.searchPrefiltered(from, h)
+		}
+	}
+	start := from
+	if start < 0 {
+		start = 0
+	}
+	for start <= len(m.data) {
+		if scanFirst {
+			cand := start
+			for cand < len(m.data) {
+				if _, ok := code[0].MatchBase(m.data[cand:]); ok {
+					break
+				}
+				cand++
+			}
+			skipped := cand - start
+			if skipped > 0 {
+				sc := int64((skipped + cus - 1) / cus)
+				m.st.Cycles += sc
+				m.st.ScanCycles += sc
+				m.emit(EvScan, 0, cand, isa.Instr{})
+			}
+			// Scanning consumes the stream from the data memory too.
+			m.touch(cand)
+			if cand >= len(m.data) {
+				// The tail cannot start a match unless the pattern can
+				// match empty input; probe the final offset only for
+				// base-first programs when data remains unconsumed.
+				return Match{}, false, nil
+			}
+			start = cand
+		}
+		end, ok, err := m.attempt(start)
+		if err != nil {
+			return Match{}, false, err
+		}
+		if ok {
+			return Match{Start: start, End: end}, true, nil
+		}
+		start++
+	}
+	return Match{}, false, nil
+}
+
+// attempt executes the program once with the match anchored at start,
+// returning the end of the match on success.
+func (m *machine) attempt(start int) (end int, ok bool, err error) {
+	code := m.core.code
+	m.frames = m.frames[:0]
+	m.choices = m.choices[:0]
+	m.st.Attempts++
+	pc, dp := 0, start
+	m.emit(EvAttempt, 0, start, isa.Instr{})
+
+	for {
+		if m.st.Cycles >= m.budget {
+			return 0, false, fmt.Errorf("%w: %d cycles", ErrRunaway, m.st.Cycles)
+		}
+		if pc < 0 || pc >= len(code) {
+			return 0, false, fmt.Errorf("%w: pc %d outside program", ErrIntegrity, pc)
+		}
+		in := code[pc]
+		m.st.Cycles++
+		m.st.Instructions++
+		m.emit(EvExec, pc, dp, in)
+
+		switch {
+		case in.IsEoR():
+			m.emit(EvMatch, pc, dp, in)
+			return dp, true, nil
+
+		case in.Open:
+			m.st.OpenOps++
+			npc, err := m.open(in, pc, dp)
+			if err != nil {
+				return 0, false, err
+			}
+			pc = npc
+
+		case in.HasBase():
+			m.st.BaseOps++
+			m.touch(dp + in.Consumes())
+			n, hit := in.MatchBase(m.data[min(dp, len(m.data)):])
+			if !hit {
+				npc, ndp, alive := m.mismatch(in, pc)
+				if !alive {
+					return 0, false, nil
+				}
+				pc, dp = npc, ndp
+				continue
+			}
+			dp += n
+			if in.Close == isa.CloseNone {
+				pc++
+				continue
+			}
+			npc, ndp, alive, err := m.close(in.Close, pc, dp)
+			if err != nil {
+				return 0, false, err
+			}
+			if !alive {
+				return 0, false, nil
+			}
+			pc, dp = npc, ndp
+
+		case in.Close != isa.CloseNone:
+			npc, ndp, alive, err := m.close(in.Close, pc, dp)
+			if err != nil {
+				return 0, false, err
+			}
+			if !alive {
+				return 0, false, nil
+			}
+			pc, dp = npc, ndp
+
+		default:
+			return 0, false, fmt.Errorf("%w: undecodable instruction at pc %d", ErrIntegrity, pc)
+		}
+	}
+}
+
+// open executes an entering sub-RE operator: it pushes the execution
+// status to the speculation stack and, for counters, runs the boundary
+// decision; for alternation it records the alternative path.
+func (m *machine) open(in isa.Instr, pc, dp int) (int, error) {
+	exit := pc + in.Fwd
+	if in.MinEn || in.MaxEn {
+		f := frame{
+			kind:    fQuant,
+			openPC:  pc,
+			exitPC:  exit,
+			nextAlt: -1,
+			min:     int(in.Min),
+			max:     -1,
+			lazy:    in.Lazy,
+			enterDP: dp,
+			iterDP:  dp,
+		}
+		if in.MaxEn && in.Max != isa.Unbounded {
+			f.max = int(in.Max)
+		}
+		if !in.MinEn {
+			f.min = 0
+		}
+		if err := m.push(f); err != nil {
+			return 0, err
+		}
+		return m.boundary(dp)
+	}
+	f := frame{kind: fGroup, openPC: pc, exitPC: exit, nextAlt: -1, enterDP: dp, iterDP: dp}
+	if in.BwdEn {
+		f.nextAlt = pc + in.Bwd
+		// Speculate: if this alternative mismatches anywhere, resume at
+		// the next alternative's entering operator with the entry data
+		// pointer.
+		if err := m.speculate(f.nextAlt, dp, m.frames); err != nil {
+			return 0, err
+		}
+	}
+	if err := m.push(f); err != nil {
+		return 0, err
+	}
+	return pc + 1, nil
+}
+
+// boundary runs the counter decision of the paper's controller: repeat
+// while under the minimum; stop at the maximum; otherwise speculate
+// according to the greedy or lazy modality.
+func (m *machine) boundary(dp int) (int, error) {
+	f := &m.frames[len(m.frames)-1]
+	switch {
+	case f.count < f.min:
+		f.iterDP = dp
+		return f.openPC + 1, nil
+	case f.max >= 0 && f.count >= f.max:
+		exit := f.exitPC
+		m.pop()
+		return exit, nil
+	case f.lazy:
+		// Lazy: speculate on the operation after the sub-RE; the
+		// alternative path repeats the body once more.
+		snap := m.snapshot(m.frames)
+		top := &snap[len(snap)-1]
+		top.iterDP = dp
+		if err := m.speculateSnap(f.openPC+1, dp, snap); err != nil {
+			return 0, err
+		}
+		exit := f.exitPC
+		m.pop()
+		return exit, nil
+	default:
+		// Greedy: speculate on re-matching the sub-RE; the alternative
+		// path exits past the close.
+		if err := m.speculate(f.exitPC, dp, m.frames[:len(m.frames)-1]); err != nil {
+			return 0, err
+		}
+		f.iterDP = dp
+		return f.openPC + 1, nil
+	}
+}
+
+// close executes a closing operator at pc with the data pointer dp.
+// alive == false means the whole attempt failed (rollback exhausted).
+func (m *machine) close(op isa.CloseOp, pc, dp int) (npc, ndp int, alive bool, err error) {
+	m.st.CloseOps++
+	if len(m.frames) == 0 {
+		return 0, 0, false, fmt.Errorf("%w: close at pc %d with empty stack", ErrIntegrity, pc)
+	}
+	f := &m.frames[len(m.frames)-1]
+	switch op {
+	case isa.CloseQuantGreedy, isa.CloseQuantLazy:
+		if f.kind != fQuant {
+			return 0, 0, false, fmt.Errorf("%w: quantifier close at pc %d over non-counter sub-RE", ErrIntegrity, pc)
+		}
+		f.count++
+		if dp == f.iterDP {
+			// The iteration consumed no input. In the mandatory phase,
+			// empty matches satisfy the remaining minimum (a body that
+			// matched empty once can do so for every remaining copy).
+			// In the speculative phase, an empty iteration is rejected
+			// as a misprediction: the rollback first revisits the
+			// body's own pending alternatives (which may produce a
+			// non-empty iteration) and eventually the recorded loop
+			// exit. This mirrors PCRE's empty-loop rule.
+			if f.count <= f.min {
+				f.count = f.min
+				npc, err := m.boundary(dp)
+				return npc, dp, true, err
+			}
+			npc, ndp, alive := m.rollback()
+			return npc, ndp, alive, nil
+		}
+		npc, err := m.boundary(dp)
+		return npc, dp, true, err
+	case isa.CloseAlt:
+		if f.kind != fGroup {
+			return 0, 0, false, fmt.Errorf("%w: \")|\" at pc %d over a counter sub-RE", ErrIntegrity, pc)
+		}
+		exit := f.exitPC
+		m.pop()
+		return exit, dp, true, nil
+	case isa.ClosePlain:
+		if f.kind != fGroup {
+			return 0, 0, false, fmt.Errorf("%w: \")\" at pc %d over a counter sub-RE", ErrIntegrity, pc)
+		}
+		m.pop()
+		return pc + 1, dp, true, nil
+	}
+	return 0, 0, false, fmt.Errorf("%w: unknown close %v at pc %d", ErrIntegrity, op, pc)
+}
+
+// mismatch handles a failed base operation: within an alternation chain
+// the controller steps to the next alternative directly (all elements
+// re-test the same character, so no snapshot is needed); otherwise it
+// rolls back the most recent speculation. alive == false means the
+// attempt failed.
+func (m *machine) mismatch(in isa.Instr, pc int) (npc, ndp int, alive bool) {
+	if len(m.frames) > 0 {
+		f := &m.frames[len(m.frames)-1]
+		if f.kind == fGroup && f.nextAlt < 0 {
+			// Chain element stepping. A fused ")|" marks a non-final
+			// element; an unfused element is followed by its standalone
+			// ")|" close.
+			if in.Close == isa.CloseAlt {
+				m.st.Cycles++
+				m.st.Rollbacks++
+				return pc + 1, f.enterDP, true
+			}
+			if in.Close == isa.CloseNone && pc+1 < len(m.core.code) {
+				next := m.core.code[pc+1]
+				if !next.HasBase() && !next.Open && next.Close == isa.CloseAlt {
+					m.st.Cycles++
+					m.st.Rollbacks++
+					return pc + 2, f.enterDP, true
+				}
+			}
+		}
+	}
+	return m.rollback()
+}
+
+// rollback restores the most recent speculation snapshot.
+func (m *machine) rollback() (npc, ndp int, alive bool) {
+	if len(m.choices) == 0 {
+		return 0, 0, false
+	}
+	ch := m.choices[len(m.choices)-1]
+	m.choices = m.choices[:len(m.choices)-1]
+	m.frames = append(m.frames[:0], ch.frames...)
+	m.st.Cycles++
+	m.st.Rollbacks++
+	m.emit(EvRollback, ch.pc, ch.dp, isa.Instr{})
+	return ch.pc, ch.dp, true
+}
+
+// speculate records an alternative path with a copy of the given frame
+// stack prefix.
+func (m *machine) speculate(pc, dp int, frames []frame) error {
+	return m.speculateSnap(pc, dp, m.snapshot(frames))
+}
+
+func (m *machine) speculateSnap(pc, dp int, snap []frame) error {
+	if len(m.choices)+len(m.frames) >= m.core.cfg.StackDepth {
+		return ErrStackOverflow
+	}
+	m.choices = append(m.choices, choice{pc: pc, dp: dp, frames: snap})
+	m.st.Speculations++
+	if d := len(m.choices) + len(m.frames); d > m.st.MaxStackDepth {
+		m.st.MaxStackDepth = d
+	}
+	return nil
+}
+
+func (m *machine) snapshot(frames []frame) []frame {
+	return append([]frame(nil), frames...)
+}
+
+// push adds a frame to the structural stack, enforcing the hardware
+// stack capacity (frames and choices share the physical stack memory).
+func (m *machine) push(f frame) error {
+	if len(m.frames)+len(m.choices) >= m.core.cfg.StackDepth {
+		return ErrStackOverflow
+	}
+	m.frames = append(m.frames, f)
+	if d := len(m.frames) + len(m.choices); d > m.st.MaxStackDepth {
+		m.st.MaxStackDepth = d
+	}
+	return nil
+}
+
+func (m *machine) pop() {
+	m.frames = m.frames[:len(m.frames)-1]
+}
+
+// touch models the two-level data memory: advancing the stream pointer
+// past the buffered window refills the small RAM from the local buffer.
+func (m *machine) touch(dp int) {
+	for dp > m.buffered {
+		m.buffered += m.core.cfg.SmallRAMSize
+		m.st.Cycles += int64(m.core.cfg.RefillCycles)
+		m.st.RefillCycles += int64(m.core.cfg.RefillCycles)
+	}
+}

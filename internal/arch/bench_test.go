@@ -1,0 +1,72 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+
+	"alveare/internal/backend"
+)
+
+// Micro-benchmarks of the simulator's hot paths, for tracking the
+// model's own (host) performance.
+
+func benchCore(b *testing.B, re string) *Core {
+	b.Helper()
+	p, err := backend.Compile(re, backend.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewCore(p, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkScanThroughput(b *testing.B) {
+	c := benchCore(b, "needle")
+	data := []byte(strings.Repeat("x", 256<<10))
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := c.Find(data); err != nil || ok {
+			b.Fatal(ok, err)
+		}
+	}
+}
+
+func BenchmarkBacktrackingHeavy(b *testing.B) {
+	c := benchCore(b, "(a|ab)*c")
+	data := []byte(strings.Repeat("ab", 2000) + "c")
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := c.Find(data); err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+	}
+}
+
+func BenchmarkClassHeavy(b *testing.B) {
+	c := benchCore(b, "[a-f]{4,12}[0-9]")
+	data := []byte(strings.Repeat("abcdefgh ", 4000) + "abcdef7")
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Find(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindAllDense(b *testing.B) {
+	c := benchCore(b, "ab")
+	data := []byte(strings.Repeat("ab", 8000))
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.FindAll(data, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

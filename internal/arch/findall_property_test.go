@@ -1,0 +1,68 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+
+	"alveare/internal/backend"
+)
+
+// TestFindAllInvariants: for random patterns and inputs, FindAll
+// results are sorted, non-overlapping, in bounds, each independently
+// re-findable, and consistent with repeated FindFrom stepping.
+func TestFindAllInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	patterns := []string{
+		"a+", "ab", "[ab]{2}", "(a|b)b", "a*b", "b+a?", "(ab|ba)+",
+	}
+	for _, re := range patterns {
+		p, err := backend.Compile(re, backend.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewCore(p, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 60; trial++ {
+			buf := make([]byte, r.Intn(40))
+			for i := range buf {
+				buf[i] = "aab b"[r.Intn(5)]
+			}
+			ms, err := c.FindAll(buf, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prevEnd := -1
+			for i, m := range ms {
+				if m.Start < 0 || m.End > len(buf) || m.End < m.Start {
+					t.Fatalf("%q on %q: match %v out of bounds", re, buf, m)
+				}
+				if m.Start < prevEnd || (i > 0 && m.Start == ms[i-1].Start) {
+					t.Fatalf("%q on %q: overlapping/unsorted matches %v", re, buf, ms)
+				}
+				if m.End > m.Start {
+					prevEnd = m.End
+				} else {
+					prevEnd = m.End + 1
+				}
+				// Each reported match must be re-findable at its start.
+				got, ok, err := c.FindFrom(buf, m.Start)
+				if err != nil || !ok || got.Start != m.Start {
+					t.Fatalf("%q on %q: match %v not re-findable (got %v/%v, %v)", re, buf, m, got, ok, err)
+				}
+			}
+			// First FindAll entry equals Find.
+			f, ok, err := c.Find(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != (len(ms) > 0) {
+				t.Fatalf("%q on %q: Find ok=%v but FindAll=%v", re, buf, ok, ms)
+			}
+			if ok && f != ms[0] {
+				t.Fatalf("%q on %q: Find %v != FindAll[0] %v", re, buf, f, ms[0])
+			}
+		}
+	}
+}

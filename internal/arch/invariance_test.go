@@ -1,0 +1,86 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+
+	"alveare/internal/backend"
+)
+
+// TestConfigInvariance: microarchitectural parameters (compute units,
+// data-memory window, refill cost) affect cycles only — match results
+// must be bit-identical across configurations. This is the
+// functional/timing separation a hardware model must maintain.
+func TestConfigInvariance(t *testing.T) {
+	configs := []Config{
+		DefaultConfig(),
+		{ComputeUnits: 1, SmallRAMSize: 8, RefillCycles: 5, StackDepth: 512, MaxCycles: 1 << 40},
+		{ComputeUnits: 2, SmallRAMSize: 16, RefillCycles: 0, StackDepth: 4096, MaxCycles: 1 << 40},
+		{ComputeUnits: 7, SmallRAMSize: 1024, RefillCycles: 3, StackDepth: 4096, MaxCycles: 1 << 40},
+	}
+	patterns := []string{
+		"abc", "(a|ab)+c", "[a-f]{2,5}x", "a*?b", "((c)?d)*e", "\\w+@\\w+",
+	}
+	r := rand.New(rand.NewSource(55))
+	for _, re := range patterns {
+		p, err := backend.Compile(re, backend.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 40; trial++ {
+			buf := make([]byte, r.Intn(60))
+			for i := range buf {
+				buf[i] = "abcdefx@ "[r.Intn(9)]
+			}
+			type outcome struct {
+				m  Match
+				ok bool
+			}
+			var ref outcome
+			for ci, cfg := range configs {
+				c, err := NewCore(p, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, ok, err := c.Find(buf)
+				if err != nil {
+					t.Fatalf("%q cfg%d on %q: %v", re, ci, buf, err)
+				}
+				got := outcome{m, ok}
+				if ci == 0 {
+					ref = got
+					continue
+				}
+				if got != ref {
+					t.Fatalf("%q on %q: cfg%d returned %+v, cfg0 returned %+v",
+						re, buf, ci, got, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestCycleMonotonicity: pricing knobs move cycles in the expected
+// direction without changing results.
+func TestCycleMonotonicity(t *testing.T) {
+	p, err := backend.Compile("needle", backend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 32<<10)
+	cyclesWith := func(refill int) int64 {
+		cfg := DefaultConfig()
+		cfg.RefillCycles = refill
+		c, err := NewCore(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := c.Find(data); err != nil || ok {
+			t.Fatal(ok, err)
+		}
+		return c.Stats().Cycles
+	}
+	if c0, c5 := cyclesWith(0), cyclesWith(5); c5 <= c0 {
+		t.Errorf("refill cost did not increase cycles: %d vs %d", c0, c5)
+	}
+}

@@ -1,0 +1,99 @@
+package arch
+
+import (
+	"bytes"
+
+	"alveare/internal/isa"
+)
+
+// Prefiltered search: when the compiler attached a necessary-factor
+// hint to the program (isa.Program.Hint) and the pattern is not
+// scannable by the first instruction (it opens with a complex
+// operator), the engine narrows candidate start offsets to the
+// neighbourhoods of the literal's occurrences. The vector unit performs
+// the literal scan at the same multi-CU rate as scan mode; only the
+// surviving candidates pay a full speculative attempt.
+//
+// The optimisation is exact: a match starting at p must contain the
+// literal beginning within [p+PreMin, p+PreMax], so every start offset
+// outside the occurrence windows cannot match.
+
+// occurrences returns the start indices of lit in data (cached per
+// machine; computed once even across FindAll's repeated searches).
+func (m *machine) occurrences(lit []byte) []int {
+	if m.occValid {
+		return m.occ
+	}
+	m.occValid = true
+	for i := 0; i+len(lit) <= len(m.data); {
+		j := bytes.Index(m.data[i:], lit)
+		if j < 0 {
+			break
+		}
+		m.occ = append(m.occ, i+j)
+		i += j + 1
+	}
+	return m.occ
+}
+
+// searchPrefiltered drives the candidate loop over the literal's
+// occurrence windows, in ascending start order (leftmost semantics).
+func (m *machine) searchPrefiltered(from int, h *isa.PrefilterHint) (Match, bool, error) {
+	cus := m.core.cfg.ComputeUnits
+	occ := m.occurrences(h.Literal)
+	start := from
+	if start < 0 {
+		start = 0
+	}
+	chargeSkip := func(to int) {
+		if to > start {
+			sc := int64((to - start + cus - 1) / cus)
+			m.st.Cycles += sc
+			m.st.ScanCycles += sc
+			m.touch(to)
+		}
+	}
+	oi := 0
+	for start <= len(m.data) {
+		// Find the first occurrence that can cover a start >= start.
+		for oi < len(occ) && occ[oi]-h.PreMin < start {
+			oi++
+		}
+		if oi >= len(occ) {
+			chargeSkip(len(m.data))
+			return Match{}, false, nil
+		}
+		o := occ[oi]
+		lo := o - h.PreMax
+		if lo < start {
+			lo = start
+		}
+		hi := o - h.PreMin
+		chargeSkip(lo)
+		for p := lo; p <= hi; p++ {
+			end, ok, err := m.attempt(p)
+			if err != nil {
+				return Match{}, false, err
+			}
+			if ok {
+				return Match{Start: p, End: end}, true, nil
+			}
+		}
+		start = hi + 1
+		oi++
+	}
+	return Match{}, false, nil
+}
+
+// prefilterHint returns the usable hint of the loaded program, if the
+// configuration enables prefiltering.
+func (c *Core) prefilterHint() *isa.PrefilterHint {
+	if !c.cfg.EnablePrefilter {
+		return nil
+	}
+	h := c.prog.Hint
+	if h == nil || len(h.Literal) < 2 || h.PreMax < 0 {
+		return nil
+	}
+	return h
+}

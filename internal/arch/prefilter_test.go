@@ -1,0 +1,134 @@
+package arch
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"alveare/internal/backend"
+)
+
+func prefilteredCore(t *testing.T, re string) *Core {
+	t.Helper()
+	p, err := backend.Compile(re, backend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.EnablePrefilter = true
+	c, err := NewCore(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestPrefilterEquivalence: enabling the prefilter never changes
+// results — matches, positions, FindAll sets — across patterns and
+// random inputs.
+func TestPrefilterEquivalence(t *testing.T) {
+	patterns := []string{
+		"(GET|POST) /index",
+		"(foo|bar)baz",
+		"(a|b){2}needle[0-9]?",
+		"(x|y)?WORD",
+		"(alpha|beta|gamma)-tail",
+	}
+	r := rand.New(rand.NewSource(61))
+	pieces := []string{"GET /index", "POST /index", "foobaz", "barbaz", "abneedle7",
+		"xWORD", "WORD", "beta-tail", " ", "noise", "GET /x", "baz", "needle"}
+	for _, re := range patterns {
+		plain := mustCore(t, re, backend.Options{})
+		fast := prefilteredCore(t, re)
+		if fast.prefilterHint() == nil {
+			t.Fatalf("%q: no usable prefilter hint", re)
+		}
+		for trial := 0; trial < 50; trial++ {
+			var sb strings.Builder
+			for i := 0; i < r.Intn(8); i++ {
+				sb.WriteString(pieces[r.Intn(len(pieces))])
+			}
+			data := []byte(sb.String())
+			m1, ok1, err1 := plain.Find(data)
+			m2, ok2, err2 := fast.Find(data)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if ok1 != ok2 || m1 != m2 {
+				t.Fatalf("%q on %q: plain %v/%v, prefiltered %v/%v", re, data, m1, ok1, m2, ok2)
+			}
+			a1, err := plain.FindAll(data, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a2, err := fast.FindAll(data, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a1) != len(a2) {
+				t.Fatalf("%q on %q: FindAll %v vs %v", re, data, a1, a2)
+			}
+			for i := range a1 {
+				if a1[i] != a2[i] {
+					t.Fatalf("%q on %q: FindAll[%d] %v vs %v", re, data, i, a1[i], a2[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPrefilterSavesCycles: on sparse data an alternation-led pattern
+// costs far fewer cycles with the literal prefilter.
+func TestPrefilterSavesCycles(t *testing.T) {
+	const re = "(GET|POST|HEAD|PUT) /admin"
+	data := []byte(strings.Repeat("x", 64<<10) + "GET /admin")
+	plain := mustCore(t, re, backend.Options{})
+	fast := prefilteredCore(t, re)
+	m1, ok1, err := plain.Find(data)
+	if err != nil || !ok1 {
+		t.Fatal(ok1, err)
+	}
+	m2, ok2, err := fast.Find(data)
+	if err != nil || !ok2 || m1 != m2 {
+		t.Fatal(ok2, err, m1, m2)
+	}
+	cp, cf := plain.Stats().Cycles, fast.Stats().Cycles
+	if cf*4 > cp {
+		t.Errorf("prefilter saved too little: %d vs %d cycles", cf, cp)
+	}
+}
+
+// TestPrefilterMissesNothingAtBoundaries: candidates at the very start
+// and end of the stream.
+func TestPrefilterMissesNothingAtBoundaries(t *testing.T) {
+	fast := prefilteredCore(t, "(a|bb)END")
+	for _, in := range []string{"aEND", "bbEND", "aENDtail", "xxaEND", "END", "aEN"} {
+		plain := mustCore(t, "(a|bb)END", backend.Options{})
+		m1, ok1, _ := plain.Find([]byte(in))
+		m2, ok2, err := fast.Find([]byte(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok1 != ok2 || m1 != m2 {
+			t.Errorf("on %q: plain %v/%v, prefiltered %v/%v", in, m1, ok1, m2, ok2)
+		}
+	}
+}
+
+// TestPrefilterDisabledByDefault: the baseline design ignores hints.
+func TestPrefilterDisabledByDefault(t *testing.T) {
+	p, err := backend.Compile("(foo|bar)baz", backend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hint == nil {
+		t.Fatal("compiler attached no hint")
+	}
+	c, err := NewCore(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.prefilterHint() != nil {
+		t.Error("prefilter active without opting in")
+	}
+}

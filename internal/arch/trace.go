@@ -1,0 +1,89 @@
+package arch
+
+import (
+	"fmt"
+	"io"
+
+	"alveare/internal/isa"
+)
+
+// EventKind classifies one architectural event of the execution trace.
+type EventKind uint8
+
+const (
+	// EvExec: one instruction dispatched (pc, instr and dp are valid).
+	EvExec EventKind = iota
+	// EvMatch: the EoR completed a match ending at dp.
+	EvMatch
+	// EvRollback: a misprediction was recovered from the speculation
+	// stack; pc/dp are the restored values.
+	EvRollback
+	// EvScan: the multi-CU scan advanced the candidate start to dp.
+	EvScan
+	// EvAttempt: a new match attempt was anchored at dp.
+	EvAttempt
+)
+
+// String returns the event mnemonic.
+func (k EventKind) String() string {
+	switch k {
+	case EvExec:
+		return "exec"
+	case EvMatch:
+		return "match"
+	case EvRollback:
+		return "rollback"
+	case EvScan:
+		return "scan"
+	case EvAttempt:
+		return "attempt"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// TraceEvent is one record of the execution trace.
+type TraceEvent struct {
+	Kind       EventKind
+	Cycle      int64
+	PC, DP     int
+	StackDepth int
+	Instr      isa.Instr // valid for EvExec
+}
+
+// Tracer receives trace events; installed with Core.SetTracer. A nil
+// tracer (the default) costs nothing.
+type Tracer func(TraceEvent)
+
+// SetTracer installs (or, with nil, removes) the execution tracer.
+func (c *Core) SetTracer(t Tracer) { c.tracer = t }
+
+// TextTracer returns a Tracer that renders events as an aligned log on
+// w, the form `alvearerun -trace` prints.
+func TextTracer(w io.Writer) Tracer {
+	return func(ev TraceEvent) {
+		switch ev.Kind {
+		case EvExec:
+			fmt.Fprintf(w, "%10d  pc=%04d dp=%06d stk=%02d  %s\n",
+				ev.Cycle, ev.PC, ev.DP, ev.StackDepth, ev.Instr.String())
+		default:
+			fmt.Fprintf(w, "%10d  %-8s pc=%04d dp=%06d stk=%02d\n",
+				ev.Cycle, ev.Kind, ev.PC, ev.DP, ev.StackDepth)
+		}
+	}
+}
+
+// emit forwards an event to the tracer when one is installed.
+func (m *machine) emit(kind EventKind, pc, dp int, in isa.Instr) {
+	t := m.core.tracer
+	if t == nil {
+		return
+	}
+	t(TraceEvent{
+		Kind:       kind,
+		Cycle:      m.st.Cycles,
+		PC:         pc,
+		DP:         dp,
+		StackDepth: len(m.frames) + len(m.choices),
+		Instr:      in,
+	})
+}

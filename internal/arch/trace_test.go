@@ -1,0 +1,157 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+
+	"alveare/internal/backend"
+)
+
+// TestTracerEvents checks that the trace contains the architecturally
+// expected event sequence for a run with scan, speculation, rollback
+// and a match.
+func TestTracerEvents(t *testing.T) {
+	core := mustCore(t, "(a|ab)c", backend.Options{})
+	var kinds []EventKind
+	var execs int
+	core.SetTracer(func(ev TraceEvent) {
+		kinds = append(kinds, ev.Kind)
+		if ev.Kind == EvExec {
+			execs++
+		}
+	})
+	if _, ok := find(t, core, "xxabc"); !ok {
+		t.Fatal("no match")
+	}
+	core.SetTracer(nil)
+
+	has := func(k EventKind) bool {
+		for _, kk := range kinds {
+			if kk == k {
+				return true
+			}
+		}
+		return false
+	}
+	for _, k := range []EventKind{EvExec, EvMatch, EvRollback, EvAttempt} {
+		if !has(k) {
+			t.Errorf("trace missing %v events", k)
+		}
+	}
+	if kinds[len(kinds)-1] != EvMatch {
+		t.Errorf("last event = %v, want match", kinds[len(kinds)-1])
+	}
+	if int64(execs) != core.Stats().Instructions {
+		t.Errorf("exec events %d != instructions %d", execs, core.Stats().Instructions)
+	}
+	// Scan happens on a literal-first... this pattern opens with an
+	// alternation, so no scan events; verify scan separately.
+	lit := mustCore(t, "needle", backend.Options{})
+	sawScan := false
+	lit.SetTracer(func(ev TraceEvent) {
+		if ev.Kind == EvScan {
+			sawScan = true
+		}
+	})
+	find(t, lit, "hayhayhayneedle")
+	if !sawScan {
+		t.Error("no scan events on a literal pattern with a mismatching prefix")
+	}
+}
+
+func TestTextTracer(t *testing.T) {
+	core := mustCore(t, "ab", backend.Options{})
+	var sb strings.Builder
+	core.SetTracer(TextTracer(&sb))
+	find(t, core, "zab")
+	out := sb.String()
+	for _, want := range []string{"attempt", `AND "ab"`, "match", "pc=", "dp=", "stk="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestVCDWriter validates the dump structure: header, variable
+// definitions, timestamps and value changes.
+func TestVCDWriter(t *testing.T) {
+	core := mustCore(t, "(a|ab)c", backend.Options{})
+	var sb strings.Builder
+	v := NewVCDWriter(&sb, "1ns")
+	core.SetTracer(v.Tracer())
+	find(t, core, "xxabc")
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module alveare $end",
+		"$var wire 16 ! pc",
+		"$var wire 32 \" dp",
+		"$var wire 1 % match",
+		"$var wire 1 & rollback",
+		"$enddefinitions $end",
+		"$dumpvars",
+		"1%", // match pulse
+		"1&", // rollback pulse
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// Timestamps are monotonic.
+	last := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "#") {
+			var ts int64
+			if _, err := sscan(line[1:], &ts); err != nil {
+				t.Fatalf("bad timestamp line %q", line)
+			}
+			if ts < last {
+				t.Fatalf("timestamps not monotonic: %d after %d", ts, last)
+			}
+			last = ts
+		}
+	}
+	// Pulses return to zero.
+	if strings.Count(out, "1%") != strings.Count(out, "0%")-1+1 && !strings.Contains(out, "0%") {
+		t.Error("match pulse never cleared")
+	}
+}
+
+// sscan is a minimal integer scanner to avoid fmt.Sscanf noise.
+func sscan(s string, v *int64) (int, error) {
+	var n int64
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, errParse
+		}
+		n = n*10 + int64(s[i]-'0')
+	}
+	*v = n
+	return 1, nil
+}
+
+var errParse = &parseError{}
+
+type parseError struct{}
+
+func (*parseError) Error() string { return "parse error" }
+
+// TestTracerOverheadFree: with no tracer installed results are
+// identical (guard against accidental behavioural coupling).
+func TestTracerOverheadFree(t *testing.T) {
+	a := mustCore(t, "a+b", backend.Options{})
+	b := mustCore(t, "a+b", backend.Options{})
+	b.SetTracer(func(TraceEvent) {})
+	data := "xxaaabyy"
+	ma, oka := find(t, a, data)
+	mb, okb := find(t, b, data)
+	if ma != mb || oka != okb {
+		t.Error("tracer changed results")
+	}
+	if a.Stats().Cycles != b.Stats().Cycles {
+		t.Error("tracer changed cycle accounting")
+	}
+}

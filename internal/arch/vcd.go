@@ -1,0 +1,171 @@
+package arch
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// VCDWriter records an execution as an IEEE 1364 Value Change Dump, the
+// waveform interchange format of HDL simulators — the natural way to
+// inspect a run of the microarchitecture model in GTKWave or any other
+// waveform viewer.
+//
+// Dumped signals (module "alveare"):
+//
+//	pc[15:0]       program counter of the dispatched instruction
+//	dp[31:0]       data-stream pointer
+//	stack[15:0]    speculation-stack depth (frames + snapshots)
+//	opclass[2:0]   0 idle, 1 base, 2 open, 3 close, 4 EoR
+//	match          pulses high for one cycle on a completed match
+//	rollback       pulses high for one cycle on a misprediction recovery
+//
+// Use it as the core's tracer:
+//
+//	v := arch.NewVCDWriter(f, "1ns")
+//	core.SetTracer(v.Tracer())
+//	core.Find(data)
+//	v.Close()
+type VCDWriter struct {
+	w         *bufio.Writer
+	headerOut bool
+	started   bool
+	lastCycle int64
+	timescale string
+
+	prevPC, prevDP, prevStack, prevClass int
+	matchHot, rollbackHot                bool
+}
+
+// NewVCDWriter creates a writer; timescale is a VCD timescale such as
+// "1ns" (one cycle = one timescale unit; at 300 MHz a cycle is 3.3 ns,
+// but waveform viewers only need relative time).
+func NewVCDWriter(w io.Writer, timescale string) *VCDWriter {
+	if timescale == "" {
+		timescale = "1ns"
+	}
+	return &VCDWriter{w: bufio.NewWriter(w), timescale: timescale,
+		prevPC: -1, prevDP: -1, prevStack: -1, prevClass: -1}
+}
+
+// Signal identifier codes.
+const (
+	idPC       = "!"
+	idDP       = "\""
+	idStack    = "#"
+	idClass    = "$"
+	idMatch    = "%"
+	idRollback = "&"
+)
+
+func (v *VCDWriter) header() {
+	fmt.Fprintf(v.w, "$timescale %s $end\n", v.timescale)
+	fmt.Fprintln(v.w, "$scope module alveare $end")
+	fmt.Fprintf(v.w, "$var wire 16 %s pc [15:0] $end\n", idPC)
+	fmt.Fprintf(v.w, "$var wire 32 %s dp [31:0] $end\n", idDP)
+	fmt.Fprintf(v.w, "$var wire 16 %s stack [15:0] $end\n", idStack)
+	fmt.Fprintf(v.w, "$var wire 3 %s opclass [2:0] $end\n", idClass)
+	fmt.Fprintf(v.w, "$var wire 1 %s match $end\n", idMatch)
+	fmt.Fprintf(v.w, "$var wire 1 %s rollback $end\n", idRollback)
+	fmt.Fprintln(v.w, "$upscope $end")
+	fmt.Fprintln(v.w, "$enddefinitions $end")
+	fmt.Fprintln(v.w, "$dumpvars")
+	v.vec(0, idPC)
+	v.vec(0, idDP)
+	v.vec(0, idStack)
+	v.vec(0, idClass)
+	fmt.Fprintf(v.w, "0%s\n0%s\n", idMatch, idRollback)
+	fmt.Fprintln(v.w, "$end")
+	v.headerOut = true
+}
+
+func (v *VCDWriter) vec(val int, id string) {
+	fmt.Fprintf(v.w, "b%b %s\n", uint(val), id)
+}
+
+// opClass encodes the instruction class for the waveform.
+func opClass(ev TraceEvent) int {
+	switch ev.Kind {
+	case EvExec:
+		in := ev.Instr
+		switch {
+		case in.IsEoR():
+			return 4
+		case in.Open:
+			return 2
+		case in.HasBase():
+			return 1
+		default:
+			return 3
+		}
+	default:
+		return 0
+	}
+}
+
+// Tracer returns the Tracer callback that feeds this writer.
+func (v *VCDWriter) Tracer() Tracer {
+	return func(ev TraceEvent) {
+		if !v.headerOut {
+			v.header()
+		}
+		v.stamp(ev.Cycle)
+		if ev.PC != v.prevPC {
+			v.vec(ev.PC, idPC)
+			v.prevPC = ev.PC
+		}
+		if ev.DP != v.prevDP {
+			v.vec(ev.DP, idDP)
+			v.prevDP = ev.DP
+		}
+		if ev.StackDepth != v.prevStack {
+			v.vec(ev.StackDepth, idStack)
+			v.prevStack = ev.StackDepth
+		}
+		if c := opClass(ev); c != v.prevClass {
+			v.vec(c, idClass)
+			v.prevClass = c
+		}
+		switch ev.Kind {
+		case EvMatch:
+			fmt.Fprintf(v.w, "1%s\n", idMatch)
+			v.matchHot = true
+		case EvRollback:
+			fmt.Fprintf(v.w, "1%s\n", idRollback)
+			v.rollbackHot = true
+		}
+	}
+}
+
+// stamp advances simulation time, dropping one-cycle pulses first.
+func (v *VCDWriter) stamp(cycle int64) {
+	if v.started && cycle == v.lastCycle {
+		return
+	}
+	v.started = true
+	if v.matchHot {
+		fmt.Fprintf(v.w, "0%s\n", idMatch)
+		v.matchHot = false
+	}
+	if v.rollbackHot {
+		fmt.Fprintf(v.w, "0%s\n", idRollback)
+		v.rollbackHot = false
+	}
+	fmt.Fprintf(v.w, "#%d\n", cycle)
+	v.lastCycle = cycle
+}
+
+// Close flushes the dump.
+func (v *VCDWriter) Close() error {
+	if !v.headerOut {
+		v.header()
+	}
+	if v.matchHot {
+		fmt.Fprintf(v.w, "0%s\n", idMatch)
+	}
+	if v.rollbackHot {
+		fmt.Fprintf(v.w, "0%s\n", idRollback)
+	}
+	fmt.Fprintf(v.w, "#%d\n", v.lastCycle+1)
+	return v.w.Flush()
+}

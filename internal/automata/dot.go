@@ -1,0 +1,78 @@
+package automata
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot renders the NFA in Graphviz DOT form: consuming edges are
+// labelled with a compact description of their byte set, epsilon edges
+// are dashed.
+func (n *NFA) WriteDot(w io.Writer, name string) error {
+	if name == "" {
+		name = "nfa"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	fmt.Fprintf(&b, "  n%d [shape=doublecircle];\n", n.Accept)
+	fmt.Fprintf(&b, "  start [shape=point]; start -> n%d;\n", n.Start)
+	for i, s := range n.States {
+		if s.Consume != nil {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", i, s.Next, setLabel(s.Consume))
+			continue
+		}
+		for _, e := range s.Eps {
+			if e >= 0 {
+				fmt.Fprintf(&b, "  n%d -> n%d [style=dashed];\n", i, e)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// setLabel renders a byte set compactly: single bytes, ranges, or a
+// negated form when the complement is smaller.
+func setLabel(s *ByteSet) string {
+	if s.Len() > 128 {
+		inv := *s
+		inv.Complement()
+		return "^" + setLabel(&inv)
+	}
+	var parts []string
+	c := 0
+	for c < 256 {
+		if !s.Has(byte(c)) {
+			c++
+			continue
+		}
+		lo := c
+		for c < 256 && s.Has(byte(c)) {
+			c++
+		}
+		hi := c - 1
+		if lo == hi {
+			parts = append(parts, byteLabel(byte(lo)))
+		} else {
+			parts = append(parts, byteLabel(byte(lo))+"-"+byteLabel(byte(hi)))
+		}
+	}
+	if len(parts) == 0 {
+		return "∅"
+	}
+	out := strings.Join(parts, ",")
+	if len(out) > 24 {
+		out = out[:21] + "..."
+	}
+	return out
+}
+
+func byteLabel(c byte) string {
+	if c > 0x20 && c < 0x7f && c != '"' && c != '\\' {
+		return string(c)
+	}
+	return fmt.Sprintf("x%02X", c)
+}

@@ -1,0 +1,45 @@
+package automata
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNFAWriteDot(t *testing.T) {
+	n, err := Compile("a[b-d]+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := n.WriteDot(&b, "x"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`digraph "x" {`, "doublecircle", "start ->", `label="a"`, `label="b-d"`, "style=dashed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSetLabel(t *testing.T) {
+	var s ByteSet
+	s.Add('a')
+	if got := setLabel(&s); got != "a" {
+		t.Errorf("single = %q", got)
+	}
+	s.AddRange('0', '9')
+	if got := setLabel(&s); got != "0-9,a" {
+		t.Errorf("range+single = %q", got)
+	}
+	var neg ByteSet
+	neg.Complement()
+	neg[0] &^= 1 << ' ' // all but space
+	if got := setLabel(&neg); !strings.HasPrefix(got, "^") {
+		t.Errorf("negated = %q, want ^-form", got)
+	}
+	var empty ByteSet
+	if got := setLabel(&empty); got != "∅" {
+		t.Errorf("empty = %q", got)
+	}
+}

@@ -1,0 +1,259 @@
+package automata
+
+import (
+	"fmt"
+
+	"alveare/internal/syntax"
+)
+
+// Glushkov builds the position automaton of a regular expression: an
+// epsilon-free NFA with exactly one state per character position plus
+// an initial state. This is the construction GPU NFA engines (iNFAnt
+// and successors) actually ship to the device — no epsilon closures at
+// run time, a flat transition table — and it is provided here both as a
+// second, independently-testable construction (equivalence with the
+// Thompson form is a strong property test) and as the realistic size
+// metric for device-resident automata.
+//
+// The returned automaton reuses the NFA container: every state is
+// consuming (Eps unused) except that Start may also be Accept when the
+// expression is nullable; Accept is a dedicated sink reached by final
+// positions... — instead, acceptance is tracked with AcceptSet.
+type Glushkov struct {
+	// Sets[i] is the byte set of position i (1-based; 0 is the initial
+	// state and consumes nothing).
+	Sets []ByteSet
+	// Follow[i] lists the positions that may follow position i;
+	// Follow[0] is the FIRST set.
+	Follow [][]int
+	// Last marks accepting positions; Nullable accepts the empty word.
+	Last     []bool
+	Nullable bool
+}
+
+// NumStates returns the automaton size (positions + the initial state).
+func (g *Glushkov) NumStates() int { return len(g.Sets) }
+
+// CompileGlushkov builds the position automaton of re.
+func CompileGlushkov(re string) (*Glushkov, error) {
+	ast, err := syntax.Parse(re)
+	if err != nil {
+		return nil, err
+	}
+	return GlushkovFromAST(ast)
+}
+
+// glushkovInfo is the classic (nullable, first, last) triple over
+// position indices.
+type glushkovInfo struct {
+	nullable    bool
+	first, last []int
+}
+
+// GlushkovFromAST builds the position automaton of a parsed expression.
+func GlushkovFromAST(n syntax.Node) (*Glushkov, error) {
+	g := &Glushkov{
+		Sets:   make([]ByteSet, 1), // position 0: initial
+		Follow: make([][]int, 1),
+		Last:   make([]bool, 1),
+	}
+	info, err := g.build(n)
+	if err != nil {
+		return nil, err
+	}
+	g.Follow[0] = append(g.Follow[0], info.first...)
+	for _, p := range info.last {
+		g.Last[p] = true
+	}
+	g.Nullable = info.nullable
+	return g, nil
+}
+
+// newPos allocates a position with the given byte set.
+func (g *Glushkov) newPos(set ByteSet) int {
+	g.Sets = append(g.Sets, set)
+	g.Follow = append(g.Follow, nil)
+	g.Last = append(g.Last, false)
+	return len(g.Sets) - 1
+}
+
+// link adds first(next) to follow(p) for every p in last(prev).
+func (g *Glushkov) link(last []int, first []int) {
+	for _, p := range last {
+		g.Follow[p] = append(g.Follow[p], first...)
+	}
+}
+
+func (g *Glushkov) build(n syntax.Node) (glushkovInfo, error) {
+	switch n := n.(type) {
+	case *syntax.Empty:
+		return glushkovInfo{nullable: true}, nil
+	case *syntax.Literal:
+		var info glushkovInfo
+		var prev []int
+		for i, c := range n.Bytes {
+			var s ByteSet
+			s.Add(c)
+			p := g.newPos(s)
+			if i == 0 {
+				info.first = []int{p}
+			} else {
+				g.link(prev, []int{p})
+			}
+			prev = []int{p}
+		}
+		info.last = prev
+		info.nullable = len(n.Bytes) == 0
+		return info, nil
+	case *syntax.Class:
+		var s ByteSet
+		for _, r := range n.Ranges {
+			s.AddRange(r.Lo, r.Hi)
+		}
+		if n.Neg {
+			s.Complement()
+		}
+		p := g.newPos(s)
+		return glushkovInfo{first: []int{p}, last: []int{p}}, nil
+	case *syntax.Shorthand:
+		rs, neg, ok := syntax.ShorthandRanges(n.Kind)
+		if !ok {
+			return glushkovInfo{}, fmt.Errorf("automata: unknown shorthand \\%c", n.Kind)
+		}
+		return g.build(&syntax.Class{Neg: neg, Ranges: rs})
+	case *syntax.Dot:
+		return g.build(&syntax.Class{Neg: true, Ranges: []syntax.ClassRange{{Lo: '\n', Hi: '\n'}}})
+	case *syntax.Group:
+		return g.build(n.Sub)
+	case *syntax.Concat:
+		info := glushkovInfo{nullable: true}
+		for _, sub := range n.Subs {
+			si, err := g.build(sub)
+			if err != nil {
+				return glushkovInfo{}, err
+			}
+			g.link(info.last, si.first)
+			if info.nullable {
+				info.first = append(info.first, si.first...)
+			}
+			if si.nullable {
+				info.last = append(info.last, si.last...)
+			} else {
+				info.last = si.last
+			}
+			info.nullable = info.nullable && si.nullable
+		}
+		return info, nil
+	case *syntax.Alternate:
+		var info glushkovInfo
+		for _, sub := range n.Subs {
+			si, err := g.build(sub)
+			if err != nil {
+				return glushkovInfo{}, err
+			}
+			info.first = append(info.first, si.first...)
+			info.last = append(info.last, si.last...)
+			info.nullable = info.nullable || si.nullable
+		}
+		return info, nil
+	case *syntax.Repeat:
+		return g.buildRepeat(n)
+	}
+	return glushkovInfo{}, fmt.Errorf("automata: unknown AST node %T", n)
+}
+
+// buildRepeat unfolds X{min,max} into mandatory copies, optional copies
+// and a looping tail, composing the (nullable, first, last) algebra.
+func (g *Glushkov) buildRepeat(n *syntax.Repeat) (glushkovInfo, error) {
+	concat := func(a, b glushkovInfo) glushkovInfo {
+		g.link(a.last, b.first)
+		out := glushkovInfo{nullable: a.nullable && b.nullable}
+		out.first = append(out.first, a.first...)
+		if a.nullable {
+			out.first = append(out.first, b.first...)
+		}
+		out.last = append(out.last, b.last...)
+		if b.nullable {
+			out.last = append(out.last, a.last...)
+		}
+		return out
+	}
+	star := func(x glushkovInfo) glushkovInfo {
+		g.link(x.last, x.first)
+		return glushkovInfo{nullable: true, first: x.first, last: x.last}
+	}
+	opt := func(x glushkovInfo) glushkovInfo {
+		return glushkovInfo{nullable: true, first: x.first, last: x.last}
+	}
+
+	// X* and X+ reuse one copy of the body with a feedback loop — the
+	// position automaton does not grow with unbounded repetition.
+	if n.Max == syntax.Unlimited && n.Min <= 1 {
+		si, err := g.build(n.Sub)
+		if err != nil {
+			return glushkovInfo{}, err
+		}
+		g.link(si.last, si.first)
+		if n.Min == 0 {
+			si.nullable = true
+		}
+		return si, nil
+	}
+
+	info := glushkovInfo{nullable: true}
+	for i := 0; i < n.Min; i++ {
+		si, err := g.build(n.Sub)
+		if err != nil {
+			return glushkovInfo{}, err
+		}
+		info = concat(info, si)
+	}
+	if n.Max == syntax.Unlimited {
+		si, err := g.build(n.Sub)
+		if err != nil {
+			return glushkovInfo{}, err
+		}
+		info = concat(info, star(si))
+		return info, nil
+	}
+	for i := n.Min; i < n.Max; i++ {
+		si, err := g.build(n.Sub)
+		if err != nil {
+			return glushkovInfo{}, err
+		}
+		info = concat(info, opt(si))
+	}
+	return info, nil
+}
+
+// Match reports whether the pattern occurs anywhere in data, simulating
+// the position automaton breadth-first (unanchored: position 0 is
+// re-injected every step).
+func (g *Glushkov) Match(data []byte) bool {
+	if g.Nullable {
+		return true
+	}
+	cur := NewStateSet(len(g.Sets))
+	next := NewStateSet(len(g.Sets))
+	cur.Add(0)
+	for _, c := range data {
+		next.Clear()
+		accepted := false
+		cur.ForEach(func(p int) {
+			for _, q := range g.Follow[p] {
+				if g.Sets[q].Has(c) {
+					next.Add(q)
+					if g.Last[q] {
+						accepted = true
+					}
+				}
+			}
+		})
+		if accepted {
+			return true
+		}
+		next.Add(0) // unanchored restart
+		cur, next = next, cur
+	}
+	return false
+}

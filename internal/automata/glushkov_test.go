@@ -1,0 +1,106 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGlushkovEquivalentToThompson: the two constructions must accept
+// the same language — a strong cross-validation of both.
+func TestGlushkovEquivalentToThompson(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for _, c := range corpus {
+		thompson, err := Compile(c.re)
+		if err != nil {
+			t.Fatal(err)
+		}
+		glushkov, err := CompileGlushkov(c.re)
+		if err != nil {
+			t.Fatalf("glushkov %q: %v", c.re, err)
+		}
+		run := NewRunner(thompson)
+		check := func(in []byte) {
+			want := run.Match(in)
+			if got := glushkov.Match(in); got != want {
+				t.Errorf("%q on %q: glushkov %v, thompson %v", c.re, in, got, want)
+			}
+		}
+		for _, in := range c.yes {
+			check([]byte(in))
+		}
+		for _, in := range c.no {
+			check([]byte(in))
+		}
+		for i := 0; i < 100; i++ {
+			buf := make([]byte, r.Intn(30))
+			for j := range buf {
+				buf[j] = byte('a' + r.Intn(8))
+			}
+			check(buf)
+		}
+	}
+}
+
+// TestGlushkovPositions: the position automaton has exactly one state
+// per character position plus the initial state.
+func TestGlushkovPositions(t *testing.T) {
+	cases := []struct {
+		re        string
+		positions int
+	}{
+		{"abc", 3},
+		{"[a-z]", 1},
+		{"a|bc", 3},
+		{"a*", 1},
+		{"a{3}", 3},
+		{"a{2,4}", 4},
+		{"(ab|c)+x", 4},
+		{"", 0},
+	}
+	for _, c := range cases {
+		g, err := CompileGlushkov(c.re)
+		if err != nil {
+			t.Fatalf("%q: %v", c.re, err)
+		}
+		if got := g.NumStates() - 1; got != c.positions {
+			t.Errorf("%q: %d positions, want %d", c.re, got, c.positions)
+		}
+	}
+}
+
+// TestGlushkovEpsilonFree: every state except the initial one carries a
+// non-empty byte set (no epsilon states — the property GPU engines need).
+func TestGlushkovEpsilonFree(t *testing.T) {
+	for _, re := range []string{"(a|b)*c{2,5}[^x]+", "\\w+@\\w+", "a(bc|de)*f?"} {
+		g, err := CompileGlushkov(re)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < g.NumStates(); i++ {
+			if g.Sets[i].Empty() {
+				t.Errorf("%q: position %d has an empty byte set", re, i)
+			}
+		}
+	}
+}
+
+func TestGlushkovNullable(t *testing.T) {
+	for re, want := range map[string]bool{
+		"a*":     true,
+		"a?":     true,
+		"":       true,
+		"(a|)":   true,
+		"a":      false,
+		"a+":     false,
+		"a{0,3}": true,
+		"a{1,3}": false,
+	} {
+		g, err := CompileGlushkov(re)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Nullable != want {
+			t.Errorf("%q: nullable = %v, want %v", re, g.Nullable, want)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+// Package automata is the finite-automata substrate the baseline engines
+// are built on: Thompson NFA construction from the shared front-end AST,
+// epsilon-closure precomputation, breadth-first (bitset-frontier)
+// simulation, subset-construction DFA with alphabet compression and a
+// state cap, and DFA minimisation.
+//
+// It stands in for the automata toolchains of the systems the paper
+// compares against: the BlueField-2 DPU's rule compiler (DFA-oriented)
+// and the GPU NFA engines iNFAnt and OBAT (transition-table frontier
+// simulation).
+package automata
+
+import (
+	"errors"
+	"fmt"
+
+	"alveare/internal/syntax"
+)
+
+// State is one Thompson NFA state: either a consuming state (one
+// ByteSet-labelled edge to Next) or an epsilon state (up to two
+// epsilon edges). Accept states have no outgoing edges.
+type State struct {
+	// Consume is non-nil for consuming states.
+	Consume *ByteSet
+	Next    int
+	// Eps holds the epsilon successors of non-consuming states.
+	Eps []int
+}
+
+// NFA is a Thompson automaton with a single start and a single accept
+// state.
+type NFA struct {
+	States []State
+	Start  int
+	Accept int
+}
+
+// maxNFAStates bounds construction (counted repetitions unfold).
+const maxNFAStates = 1 << 20
+
+var errNFATooLarge = errors.New("automata: NFA exceeds the state bound")
+
+// builder assembles states.
+type builder struct {
+	states []State
+}
+
+func (b *builder) add(s State) (int, error) {
+	if len(b.states) >= maxNFAStates {
+		return 0, errNFATooLarge
+	}
+	b.states = append(b.states, s)
+	return len(b.states) - 1, nil
+}
+
+// frag is a partial automaton: entry state and a list of dangling
+// out-edge patch locations.
+type frag struct {
+	start int
+	outs  []patch
+}
+
+// patch identifies a dangling edge: state index and which slot.
+type patch struct {
+	state int
+	slot  int // 0: Next (consuming) or Eps[0]; 1: Eps[1]
+}
+
+func (b *builder) patchTo(outs []patch, target int) {
+	for _, p := range outs {
+		s := &b.states[p.state]
+		if s.Consume != nil {
+			s.Next = target
+			continue
+		}
+		for len(s.Eps) <= p.slot {
+			s.Eps = append(s.Eps, -1)
+		}
+		s.Eps[p.slot] = target
+	}
+}
+
+// Compile builds the Thompson NFA of a regular expression using the
+// shared ALVEARE front-end.
+func Compile(re string) (*NFA, error) {
+	ast, err := syntax.Parse(re)
+	if err != nil {
+		return nil, err
+	}
+	return FromAST(ast)
+}
+
+// FromAST builds the Thompson NFA of a parsed regular expression.
+func FromAST(n syntax.Node) (*NFA, error) {
+	b := &builder{}
+	f, err := b.build(n)
+	if err != nil {
+		return nil, err
+	}
+	accept, err := b.add(State{})
+	if err != nil {
+		return nil, err
+	}
+	b.patchTo(f.outs, accept)
+	return &NFA{States: b.states, Start: f.start, Accept: accept}, nil
+}
+
+// Union builds the NFA matching any of the given expressions, the
+// multi-pattern form rule-set engines compile.
+func Union(res ...string) (*NFA, error) {
+	if len(res) == 0 {
+		return nil, errors.New("automata: empty union")
+	}
+	b := &builder{}
+	var starts []int
+	var outs []patch
+	for _, re := range res {
+		ast, err := syntax.Parse(re)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %w", re, err)
+		}
+		f, err := b.build(ast)
+		if err != nil {
+			return nil, err
+		}
+		starts = append(starts, f.start)
+		outs = append(outs, f.outs...)
+	}
+	// Epsilon fan-out to every pattern (binary tree of split states).
+	for len(starts) > 1 {
+		var next []int
+		for i := 0; i < len(starts); i += 2 {
+			if i+1 == len(starts) {
+				next = append(next, starts[i])
+				continue
+			}
+			s, err := b.add(State{Eps: []int{starts[i], starts[i+1]}})
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, s)
+		}
+		starts = next
+	}
+	accept, err := b.add(State{})
+	if err != nil {
+		return nil, err
+	}
+	b.patchTo(outs, accept)
+	return &NFA{States: b.states, Start: starts[0], Accept: accept}, nil
+}
+
+func (b *builder) build(n syntax.Node) (frag, error) {
+	switch n := n.(type) {
+	case *syntax.Empty:
+		s, err := b.add(State{Eps: []int{-1}})
+		if err != nil {
+			return frag{}, err
+		}
+		return frag{start: s, outs: []patch{{s, 0}}}, nil
+	case *syntax.Literal:
+		var f frag
+		for i, c := range n.Bytes {
+			var set ByteSet
+			set.Add(c)
+			s, err := b.add(State{Consume: &set, Next: -1})
+			if err != nil {
+				return frag{}, err
+			}
+			if i == 0 {
+				f.start = s
+			} else {
+				b.patchTo(f.outs, s)
+			}
+			f.outs = []patch{{s, 0}}
+		}
+		return f, nil
+	case *syntax.Class:
+		var set ByteSet
+		for _, r := range n.Ranges {
+			set.AddRange(r.Lo, r.Hi)
+		}
+		if n.Neg {
+			set.Complement()
+		}
+		s, err := b.add(State{Consume: &set, Next: -1})
+		if err != nil {
+			return frag{}, err
+		}
+		return frag{start: s, outs: []patch{{s, 0}}}, nil
+	case *syntax.Shorthand:
+		rs, neg, ok := syntax.ShorthandRanges(n.Kind)
+		if !ok {
+			return frag{}, fmt.Errorf("automata: unknown shorthand \\%c", n.Kind)
+		}
+		return b.build(&syntax.Class{Neg: neg, Ranges: rs})
+	case *syntax.Dot:
+		return b.build(&syntax.Class{Neg: true, Ranges: []syntax.ClassRange{{Lo: '\n', Hi: '\n'}}})
+	case *syntax.Group:
+		return b.build(n.Sub)
+	case *syntax.Concat:
+		var f frag
+		for i, sub := range n.Subs {
+			g, err := b.build(sub)
+			if err != nil {
+				return frag{}, err
+			}
+			if i == 0 {
+				f = g
+				continue
+			}
+			b.patchTo(f.outs, g.start)
+			f.outs = g.outs
+		}
+		if len(n.Subs) == 0 {
+			return b.build(&syntax.Empty{})
+		}
+		return f, nil
+	case *syntax.Alternate:
+		var starts []int
+		var outs []patch
+		for _, sub := range n.Subs {
+			g, err := b.build(sub)
+			if err != nil {
+				return frag{}, err
+			}
+			starts = append(starts, g.start)
+			outs = append(outs, g.outs...)
+		}
+		for len(starts) > 1 {
+			var next []int
+			for i := 0; i < len(starts); i += 2 {
+				if i+1 == len(starts) {
+					next = append(next, starts[i])
+					continue
+				}
+				s, err := b.add(State{Eps: []int{starts[i], starts[i+1]}})
+				if err != nil {
+					return frag{}, err
+				}
+				next = append(next, s)
+			}
+			starts = next
+		}
+		return frag{start: starts[0], outs: outs}, nil
+	case *syntax.Repeat:
+		return b.buildRepeat(n)
+	}
+	return frag{}, fmt.Errorf("automata: unknown AST node %T", n)
+}
+
+// buildRepeat unfolds counted repetition into mandatory and optional
+// copies, with loop fragments for unbounded tails. Laziness does not
+// change the recognised language, so it is ignored here.
+func (b *builder) buildRepeat(n *syntax.Repeat) (frag, error) {
+	buildOpt := func() (frag, error) { // X? fragment
+		g, err := b.build(n.Sub)
+		if err != nil {
+			return frag{}, err
+		}
+		s, err := b.add(State{Eps: []int{g.start, -1}})
+		if err != nil {
+			return frag{}, err
+		}
+		return frag{start: s, outs: append(g.outs, patch{s, 1})}, nil
+	}
+	buildStar := func() (frag, error) { // X* fragment
+		g, err := b.build(n.Sub)
+		if err != nil {
+			return frag{}, err
+		}
+		s, err := b.add(State{Eps: []int{g.start, -1}})
+		if err != nil {
+			return frag{}, err
+		}
+		b.patchTo(g.outs, s)
+		return frag{start: s, outs: []patch{{s, 1}}}, nil
+	}
+
+	var parts []frag
+	for i := 0; i < n.Min; i++ {
+		g, err := b.build(n.Sub)
+		if err != nil {
+			return frag{}, err
+		}
+		parts = append(parts, g)
+	}
+	if n.Max == syntax.Unlimited {
+		g, err := buildStar()
+		if err != nil {
+			return frag{}, err
+		}
+		parts = append(parts, g)
+	} else {
+		for i := n.Min; i < n.Max; i++ {
+			g, err := buildOpt()
+			if err != nil {
+				return frag{}, err
+			}
+			parts = append(parts, g)
+		}
+	}
+	if len(parts) == 0 {
+		return b.build(&syntax.Empty{})
+	}
+	f := parts[0]
+	for _, g := range parts[1:] {
+		b.patchTo(f.outs, g.start)
+		f.outs = g.outs
+	}
+	return f, nil
+}
+
+// NumStates returns the automaton size, the capacity metric automata
+// accelerators are provisioned by.
+func (n *NFA) NumStates() int { return len(n.States) }
+
+// closures returns the epsilon closure of every state as a bitset,
+// including the state itself.
+func (n *NFA) closures() []*StateSet {
+	out := make([]*StateSet, len(n.States))
+	var dfs func(i int, set *StateSet)
+	dfs = func(i int, set *StateSet) {
+		if set.Has(i) {
+			return
+		}
+		set.Add(i)
+		if n.States[i].Consume != nil {
+			return
+		}
+		for _, e := range n.States[i].Eps {
+			if e >= 0 {
+				dfs(e, set)
+			}
+		}
+	}
+	for i := range n.States {
+		out[i] = NewStateSet(len(n.States))
+		dfs(i, out[i])
+	}
+	return out
+}

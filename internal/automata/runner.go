@@ -1,0 +1,103 @@
+package automata
+
+// Runner simulates an NFA breadth-first over a byte stream with bitset
+// frontiers, the processing discipline of transition-table GPU engines
+// (iNFAnt keeps exactly such a state vector per block and updates it
+// symbol by symbol). The search is unanchored: the start closure is
+// re-injected at every position, which is equivalent to a leading ".*"
+// self-loop.
+type Runner struct {
+	nfa      *NFA
+	closures []*StateSet
+	startSet *StateSet
+
+	cur, next *StateSet
+
+	// Steps counts per-symbol frontier updates; ActiveStateSteps sums
+	// the frontier population over all steps (the work metric parallel
+	// NFA engines are limited by).
+	Steps            int64
+	ActiveStateSteps int64
+}
+
+// NewRunner precomputes epsilon closures and the start frontier.
+func NewRunner(n *NFA) *Runner {
+	cl := n.closures()
+	start := NewStateSet(len(n.States))
+	start.Or(cl[n.Start])
+	r := &Runner{
+		nfa:      n,
+		closures: cl,
+		startSet: start,
+		cur:      NewStateSet(len(n.States)),
+		next:     NewStateSet(len(n.States)),
+	}
+	r.Reset()
+	return r
+}
+
+// Reset re-arms the runner for a new stream.
+func (r *Runner) Reset() {
+	r.cur.CopyFrom(r.startSet)
+	r.next.Clear()
+}
+
+// Accepting reports whether the current frontier contains the accept
+// state (a match ends at the current position).
+func (r *Runner) Accepting() bool { return r.cur.Has(r.nfa.Accept) }
+
+// ActiveCount returns the current frontier population.
+func (r *Runner) ActiveCount() int { return r.cur.Count() }
+
+// Feed advances the frontier by one input byte and reports whether the
+// new frontier accepts (i.e. some match ends right after c).
+func (r *Runner) Feed(c byte) bool {
+	r.Steps++
+	r.ActiveStateSteps += int64(r.cur.Count())
+	r.next.Clear()
+	states := r.nfa.States
+	r.cur.ForEach(func(i int) {
+		s := &states[i]
+		if s.Consume != nil && s.Consume.Has(c) {
+			r.next.Or(r.closures[s.Next])
+		}
+	})
+	// Unanchored search: a match may start at the next position.
+	r.next.Or(r.startSet)
+	r.cur, r.next = r.next, r.cur
+	return r.Accepting()
+}
+
+// Match reports whether the pattern occurs anywhere in data.
+func (r *Runner) Match(data []byte) bool {
+	r.Reset()
+	if r.Accepting() {
+		return true
+	}
+	for _, c := range data {
+		if r.Feed(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// CountEnds scans the whole stream and counts non-overlapping matches:
+// every time the frontier accepts, it is reset to the start closure
+// (restart discipline, the hardware-friendly approximation of
+// leftmost non-overlapping counting).
+func (r *Runner) CountEnds(data []byte) int {
+	r.Reset()
+	count := 0
+	if r.Accepting() {
+		count++
+		r.cur.CopyFrom(r.startSet)
+	}
+	for _, c := range data {
+		if r.Feed(c) {
+			count++
+			r.cur.CopyFrom(r.startSet)
+		}
+	}
+	return count
+}

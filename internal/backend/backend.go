@@ -1,0 +1,233 @@
+// Package backend implements the back-end of the ALVEARE compilation
+// flow (paper §5): it translates the optimised IR into the executable
+// binary layout, applying the architectural-aware operation fusion the
+// ISA allows — a closing sub-RE operator merges with a preceding base
+// operator into a single instruction because base operators use the
+// reference field while closing operators do not. When two consecutive
+// closing operators occur, only the one nearest to the base operator is
+// merged; the outermost one needs its own instruction.
+//
+// The package also exposes Compile, the full RE-to-binary pipeline
+// (front-end, middle-end, back-end), which the rest of the system uses.
+package backend
+
+import (
+	"errors"
+	"fmt"
+
+	"alveare/internal/ir"
+	"alveare/internal/isa"
+	"alveare/internal/syntax"
+)
+
+// Options selects compiler behaviour across the middle- and back-end.
+// The zero value is the full optimising compiler.
+type Options struct {
+	// IR configures the middle-end (advanced-primitive usage).
+	IR ir.Options
+	// NoFusion disables back-end operation fusion; every closing
+	// operator is emitted as a standalone instruction. Implied by
+	// IR.Minimal, which models the paper's Table 2 baseline.
+	NoFusion bool
+}
+
+func (o Options) noFusion() bool { return o.NoFusion || o.IR.Minimal }
+
+// Minimal returns the configuration of the paper's §7.1 baseline
+// compiler: no RANGE, no NOT, no bounded counters, no fusion.
+func Minimal() Options {
+	return Options{IR: ir.Options{Minimal: true}, NoFusion: true}
+}
+
+// Compile runs the full compilation flow on one regular expression and
+// returns the validated executable program.
+func Compile(src string, opt Options) (*isa.Program, error) {
+	ast, err := syntax.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	op, err := ir.Lower(ast, opt.IR)
+	if err != nil {
+		return nil, err
+	}
+	return Emit(op, src, opt)
+}
+
+// Emit translates an IR tree into the executable program, appending the
+// End-of-RE terminator and validating the result.
+func Emit(op ir.Op, src string, opt Options) (*isa.Program, error) {
+	e := emitter{noFusion: opt.noFusion()}
+	code, err := e.emit(op)
+	if err != nil {
+		return nil, err
+	}
+	code = append(code, isa.Instr{}) // EoR
+	p := &isa.Program{Source: src, Code: code}
+	if pf := ir.FindPrefilter(op); pf != nil {
+		p.Hint = &isa.PrefilterHint{Literal: pf.Literal, PreMin: pf.PreMin, PreMax: pf.PreMax}
+		if pf.PreMax == ir.LenUnbounded {
+			p.Hint.PreMax = -1
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("backend: emitted invalid program: %w", err)
+	}
+	return p, nil
+}
+
+type emitter struct {
+	noFusion bool
+}
+
+var errNotLeaf = errors.New("backend: chain element is not a single-instruction leaf")
+
+func (e *emitter) emit(op ir.Op) ([]isa.Instr, error) {
+	switch op := op.(type) {
+	case *ir.And:
+		return []isa.Instr{isa.NewAND(op.Bytes...)}, nil
+	case *ir.Or:
+		in := isa.NewOR(op.Bytes...)
+		in.Not = op.Not
+		return []isa.Instr{in}, nil
+	case *ir.Range:
+		var in isa.Instr
+		switch len(op.Pairs) {
+		case 1:
+			in = isa.NewRANGE(op.Pairs[0].Lo, op.Pairs[0].Hi)
+		case 2:
+			in = isa.NewRANGE2(op.Pairs[0].Lo, op.Pairs[0].Hi, op.Pairs[1].Lo, op.Pairs[1].Hi)
+		default:
+			return nil, fmt.Errorf("backend: RANGE with %d pairs", len(op.Pairs))
+		}
+		in.Not = op.Not
+		return []isa.Instr{in}, nil
+	case *ir.Seq:
+		var out []isa.Instr
+		for _, s := range op.Ops {
+			code, err := e.emit(s)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, code...)
+		}
+		return out, nil
+	case *ir.Quant:
+		return e.emitQuant(op)
+	case *ir.Chain:
+		return e.emitChain(op)
+	case *ir.Alt:
+		return e.emitAlt(op)
+	}
+	return nil, fmt.Errorf("backend: unknown IR op %T", op)
+}
+
+// emitQuant lays out OPEN{min,max} body close, fusing the close onto the
+// body's final base instruction when the fusion rule allows it.
+func (e *emitter) emitQuant(q *ir.Quant) ([]isa.Instr, error) {
+	body, err := e.emit(q.Body)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) == 0 {
+		return nil, errors.New("backend: quantified empty body survived the middle-end")
+	}
+	closeKind := isa.CloseQuantGreedy
+	if q.Lazy {
+		closeKind = isa.CloseQuantLazy
+	}
+	body = e.attachClose(body, closeKind)
+
+	if q.Min < 0 || q.Min > isa.MaxCounter {
+		return nil, fmt.Errorf("backend: min counter %d survived decomposition", q.Min)
+	}
+	max := uint8(isa.Unbounded)
+	if q.Max != ir.Unbounded {
+		if q.Max > isa.MaxCounter {
+			return nil, fmt.Errorf("backend: max counter %d survived decomposition", q.Max)
+		}
+		max = uint8(q.Max)
+	}
+	open := isa.NewOpen(uint8(q.Min), max, q.Lazy, len(body)+1)
+	return append([]isa.Instr{open}, body...), nil
+}
+
+// emitChain lays out the complex OR chain: one OPEN whose forward offset
+// targets the chain end, followed by single-instruction alternatives
+// closed with ")|" (the last with ")"). The closes always attach to the
+// element instructions unless fusion is disabled.
+func (e *emitter) emitChain(c *ir.Chain) ([]isa.Instr, error) {
+	var body []isa.Instr
+	for i, elem := range c.Elems {
+		code, err := e.emit(elem)
+		if err != nil {
+			return nil, err
+		}
+		if len(code) != 1 || !code[0].HasBase() || code[0].Consumes() != 1 {
+			return nil, errNotLeaf
+		}
+		closeKind := isa.CloseAlt
+		if i == len(c.Elems)-1 {
+			closeKind = isa.ClosePlain
+		}
+		body = append(body, e.attachClose(code, closeKind)...)
+	}
+	open := isa.Instr{Open: true, FwdEn: true, Fwd: len(body) + 1}
+	return append([]isa.Instr{open}, body...), nil
+}
+
+// emitAlt lays out a general alternation: one entering operator per
+// alternative whose forward offset targets the end of the alternation
+// chain and whose backward-address field targets the next alternative's
+// entering operator.
+func (e *emitter) emitAlt(a *ir.Alt) ([]isa.Instr, error) {
+	blocks := make([][]isa.Instr, len(a.Alts))
+	for i, alt := range a.Alts {
+		body, err := e.emit(alt)
+		if err != nil {
+			return nil, err
+		}
+		closeKind := isa.CloseAlt
+		if i == len(a.Alts)-1 {
+			closeKind = isa.ClosePlain
+		}
+		blocks[i] = e.attachClose(body, closeKind)
+	}
+	// Block i occupies 1 (OPEN) + len(blocks[i]) instructions; compute
+	// each OPEN's distance to the chain end.
+	total := 0
+	for _, b := range blocks {
+		total += 1 + len(b)
+	}
+	var out []isa.Instr
+	pos := 0
+	for i, b := range blocks {
+		blockLen := 1 + len(b)
+		fwd := total - pos // distance from this OPEN to the chain end
+		nextAlt := 0
+		if i < len(blocks)-1 {
+			nextAlt = blockLen
+		}
+		out = append(out, isa.NewOpenAlt(fwd, nextAlt))
+		out = append(out, b...)
+		pos += blockLen
+	}
+	return out, nil
+}
+
+// attachClose merges the closing operator into the final base
+// instruction of body when the ISA composition rule allows it (base op
+// present, no other close, not an OPEN); otherwise — or when fusion is
+// disabled — it appends a standalone close instruction. This implements
+// the paper's rule that of two consecutive closing operators only the
+// innermost merges with the base operator.
+func (e *emitter) attachClose(body []isa.Instr, c isa.CloseOp) []isa.Instr {
+	if !e.noFusion && len(body) > 0 {
+		last := body[len(body)-1]
+		if last.HasBase() && !last.Open && last.Close == isa.CloseNone {
+			last.Close = c
+			body[len(body)-1] = last
+			return body
+		}
+	}
+	return append(body, isa.Instr{Close: c})
+}

@@ -1,0 +1,103 @@
+package backend
+
+import (
+	"strings"
+	"testing"
+
+	"alveare/internal/isa"
+)
+
+// TestNestedAlternationOffsets verifies the emitted jump targets for an
+// alternation nested inside another alternation's branch.
+func TestNestedAlternationOffsets(t *testing.T) {
+	p := compile(t, "(a(x|y)|bb)z", Options{})
+	// Walk every OPEN and check its forward target lands on an
+	// instruction just after a close, and its next-alt target is an
+	// OPEN.
+	for pc, in := range p.Code {
+		if !in.Open {
+			continue
+		}
+		exit := pc + in.Fwd
+		if p.Code[exit-1].Close == isa.CloseNone {
+			t.Errorf("open at %d: fwd target %d not preceded by a close\n%s", pc, exit, p.Disassemble())
+		}
+		if in.BwdEn && !p.Code[pc+in.Bwd].Open {
+			t.Errorf("open at %d: next-alt %d is not an OPEN", pc, pc+in.Bwd)
+		}
+	}
+}
+
+// TestNoFusionChains: chains in NoFusion mode interleave standalone
+// ")|" closes that the controller's unfused stepping understands.
+func TestNoFusionChains(t *testing.T) {
+	p := compile(t, "[aeiou]", Options{NoFusion: true})
+	var standaloneAlts int
+	for _, in := range p.Code {
+		if !in.HasBase() && !in.Open && in.Close == isa.CloseAlt {
+			standaloneAlts++
+		}
+	}
+	if standaloneAlts == 0 {
+		t.Fatalf("no standalone \")|\" in unfused chain:\n%s", p.Disassemble())
+	}
+}
+
+// TestDeepNestingEmission: five levels of nesting still produce valid,
+// encodable programs.
+func TestDeepNestingEmission(t *testing.T) {
+	p := compile(t, "((((((a|b)c)+d)?e){1,2}f)|g)h", Options{})
+	if _, err := p.MarshalBinary(); err != nil {
+		t.Fatalf("binary encoding: %v\n%s", err, p.Disassemble())
+	}
+}
+
+// TestPrefilterHintAttachment: the back-end attaches hints in both
+// compilation modes and they agree on the literal.
+func TestPrefilterHintAttachment(t *testing.T) {
+	adv := compile(t, "(foo|bar)needle", Options{})
+	if adv.Hint == nil || string(adv.Hint.Literal) != "needle" {
+		t.Fatalf("advanced hint = %+v", adv.Hint)
+	}
+	if adv.Hint.PreMin != 3 || adv.Hint.PreMax != 3 {
+		t.Errorf("hint window = [%d,%d], want [3,3]", adv.Hint.PreMin, adv.Hint.PreMax)
+	}
+	min := compile(t, "(foo|bar)needle", Minimal())
+	if min.Hint == nil || string(min.Hint.Literal) != "needle" {
+		t.Errorf("minimal hint = %+v", min.Hint)
+	}
+	// No mandatory literal -> no hint.
+	if p := compile(t, "[a-z]+", Options{}); p.Hint != nil {
+		t.Errorf("spurious hint %+v", p.Hint)
+	}
+}
+
+// TestSourcePreserved: the Source survives compilation and shows in the
+// disassembly of both modes.
+func TestSourcePreserved(t *testing.T) {
+	for _, opt := range []Options{{}, Minimal()} {
+		p := compile(t, "a{2,3}", opt)
+		if p.Source != "a{2,3}" {
+			t.Errorf("source = %q", p.Source)
+		}
+		if !strings.Contains(p.Disassemble(), "; regex: a{2,3}") {
+			t.Error("disassembly missing the source header")
+		}
+	}
+}
+
+// TestCaseInsensitiveEmission: folded literals become two-byte ORs.
+func TestCaseInsensitiveEmission(t *testing.T) {
+	opt := Options{}
+	opt.IR.CaseInsensitive = true
+	p := compile(t, "ab1", opt)
+	ors := 0
+	for _, in := range p.Code {
+		if in.Base == isa.BaseOR && in.NChars == 2 {
+			ors++
+		}
+	}
+	if ors != 2 {
+		t.Errorf("expected 2 folded ORs, got %d:\n%s", ors, p.Disassemble())
+	}
+}

@@ -1,0 +1,83 @@
+package backend
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the compiler golden file")
+
+// goldenPatterns is the canonical compiler regression corpus: one
+// pattern per shape class the back-end emits.
+var goldenPatterns = []string{
+	"a",
+	"abc",
+	"abcdefghij",
+	"[a-z]",
+	"[a-z0-9]",
+	"[^a-z]",
+	"[^abc]",
+	"[aeiou]",
+	"\\w",
+	".",
+	"a*",
+	"a+?",
+	"a{3,6}",
+	"a{100}",
+	"(ab)+",
+	"(ab|cd|ef)",
+	"(a|)",
+	"([^A-Z])+",
+	"(GET|POST) /",
+	"x(a|b)*?y",
+	"\\x00\\xff",
+	"[DBEZX]{7}",
+	".{3,6}",
+	"[^ ]*",
+}
+
+// TestGoldenDisassembly pins the full compiler output (advanced mode)
+// for the canonical corpus against testdata/compiler.golden. Run with
+// -update-golden after an intentional compiler change.
+func TestGoldenDisassembly(t *testing.T) {
+	var sb strings.Builder
+	for _, re := range goldenPatterns {
+		p, err := Compile(re, Options{})
+		if err != nil {
+			t.Fatalf("compile %q: %v", re, err)
+		}
+		sb.WriteString("==== ")
+		sb.WriteString(re)
+		sb.WriteString("\n")
+		sb.WriteString(p.Disassemble())
+	}
+	got := sb.String()
+
+	const path = "testdata/compiler.golden"
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated (%d bytes)", len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		// Report the first diverging line for a readable failure.
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("compiler output changed at line %d:\n got: %s\nwant: %s\n(run with -update-golden if intentional)", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("compiler output length changed: %d vs %d lines", len(gl), len(wl))
+	}
+}

@@ -1,0 +1,72 @@
+package backend
+
+import (
+	"reflect"
+	"testing"
+
+	"alveare/internal/anmlzoo"
+	"alveare/internal/isa"
+)
+
+// TestSuiteProgramsRoundTrip compiles every rule of every generated
+// suite and pushes the result through both interchange formats — the
+// textual listing (Disassemble/Assemble) and, where the offsets fit,
+// the 43-bit binary (Marshal/Unmarshal) — requiring exact round trips.
+// This is the broadest census of real program shapes in the test suite.
+func TestSuiteProgramsRoundTrip(t *testing.T) {
+	suites := anmlzoo.All(40, 4<<10, 123)
+	var programs, binaries int
+	for _, s := range suites {
+		for _, re := range s.Patterns {
+			p, err := Compile(re, Options{})
+			if err != nil {
+				t.Fatalf("%s: compile %q: %v", s.Name, re, err)
+			}
+			programs++
+
+			text := p.Disassemble()
+			q, err := isa.Assemble(text)
+			if err != nil {
+				t.Fatalf("%s: %q: assemble failed: %v\n%s", s.Name, re, err, text)
+			}
+			if !reflect.DeepEqual(q.Code, p.Code) {
+				t.Fatalf("%s: %q: listing round-trip mismatch", s.Name, re)
+			}
+
+			bin, err := p.MarshalBinary()
+			if err != nil {
+				continue // wide offsets: listing-only, by design
+			}
+			binaries++
+			var r isa.Program
+			if err := r.UnmarshalBinary(bin); err != nil {
+				t.Fatalf("%s: %q: unmarshal: %v", s.Name, re, err)
+			}
+			if !reflect.DeepEqual(r.Code, p.Code) {
+				t.Fatalf("%s: %q: binary round-trip mismatch", s.Name, re)
+			}
+		}
+	}
+	if programs == 0 || binaries == 0 {
+		t.Fatalf("census too small: %d programs, %d binaries", programs, binaries)
+	}
+	t.Logf("%d programs round-tripped (%d via binary)", programs, binaries)
+}
+
+// TestSuiteProgramsValidate: every compiled suite rule passes program
+// validation in both compiler modes.
+func TestSuiteProgramsValidate(t *testing.T) {
+	for _, s := range anmlzoo.All(30, 4<<10, 321) {
+		for _, re := range s.Patterns {
+			for _, opt := range []Options{{}, Minimal()} {
+				p, err := Compile(re, opt)
+				if err != nil {
+					t.Fatalf("%s %q: %v", s.Name, re, err)
+				}
+				if err := p.Validate(); err != nil {
+					t.Fatalf("%s %q: invalid: %v", s.Name, re, err)
+				}
+			}
+		}
+	}
+}

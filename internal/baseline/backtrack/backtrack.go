@@ -1,0 +1,180 @@
+// Package backtrack is a PCRE-style recursive backtracking matcher over
+// the front-end AST. It serves as the semantic oracle of the repository:
+// the ALVEARE core (a hardware backtracker) must agree with it on
+// match/no-match and on leftmost-first match bounds, and the linear-time
+// engines must agree on containment.
+package backtrack
+
+import (
+	"errors"
+
+	"alveare/internal/syntax"
+)
+
+// ErrBudget reports that the matcher exceeded its step budget
+// (catastrophic backtracking on an adversarial input).
+var ErrBudget = errors.New("backtrack: step budget exceeded")
+
+// Matcher matches one parsed regular expression.
+type Matcher struct {
+	ast syntax.Node
+	// Budget bounds backtracking steps per Find call; zero means the
+	// default of 50 million.
+	Budget int64
+	// Steps counts node evaluations across calls.
+	Steps int64
+}
+
+// New parses the pattern and returns a matcher.
+func New(re string) (*Matcher, error) {
+	ast, err := syntax.Parse(re)
+	if err != nil {
+		return nil, err
+	}
+	return &Matcher{ast: ast}, nil
+}
+
+// Result is a leftmost-first match.
+type Result struct {
+	Start, End int
+}
+
+type budgetPanic struct{}
+
+// Find returns the leftmost-first match, trying each start offset in
+// order and exploring alternatives in PCRE preference order.
+func (m *Matcher) Find(data []byte) (res Result, ok bool, err error) {
+	budget := m.Budget
+	if budget <= 0 {
+		budget = 50_000_000
+	}
+	deadline := m.Steps + budget
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isBudget := r.(budgetPanic); isBudget {
+				err = ErrBudget
+				return
+			}
+			panic(r)
+		}
+	}()
+	for start := 0; start <= len(data); start++ {
+		end := -1
+		m.node(m.ast, data, start, deadline, func(p int) bool {
+			end = p
+			return true
+		})
+		if end >= 0 {
+			return Result{Start: start, End: end}, true, nil
+		}
+	}
+	return Result{}, false, nil
+}
+
+// Match reports containment.
+func (m *Matcher) Match(data []byte) (bool, error) {
+	_, ok, err := m.Find(data)
+	return ok, err
+}
+
+// node matches n at pos and calls k with every end position in
+// preference order until k returns true.
+func (m *Matcher) node(n syntax.Node, data []byte, pos int, deadline int64, k func(int) bool) bool {
+	m.Steps++
+	if m.Steps > deadline {
+		panic(budgetPanic{})
+	}
+	switch n := n.(type) {
+	case *syntax.Empty:
+		return k(pos)
+	case *syntax.Literal:
+		if pos+len(n.Bytes) > len(data) {
+			return false
+		}
+		for i, b := range n.Bytes {
+			if data[pos+i] != b {
+				return false
+			}
+		}
+		return k(pos + len(n.Bytes))
+	case *syntax.Class:
+		if pos >= len(data) {
+			return false
+		}
+		c := data[pos]
+		hit := false
+		for _, r := range n.Ranges {
+			if c >= r.Lo && c <= r.Hi {
+				hit = true
+				break
+			}
+		}
+		if n.Neg {
+			hit = !hit
+		}
+		if !hit {
+			return false
+		}
+		return k(pos + 1)
+	case *syntax.Shorthand:
+		rs, neg, _ := syntax.ShorthandRanges(n.Kind)
+		return m.node(&syntax.Class{Neg: neg, Ranges: rs}, data, pos, deadline, k)
+	case *syntax.Dot:
+		if pos >= len(data) || data[pos] == '\n' {
+			return false
+		}
+		return k(pos + 1)
+	case *syntax.Group:
+		return m.node(n.Sub, data, pos, deadline, k)
+	case *syntax.Concat:
+		var chain func(i, p int) bool
+		chain = func(i, p int) bool {
+			if i == len(n.Subs) {
+				return k(p)
+			}
+			return m.node(n.Subs[i], data, p, deadline, func(q int) bool {
+				return chain(i+1, q)
+			})
+		}
+		return chain(0, pos)
+	case *syntax.Alternate:
+		for _, sub := range n.Subs {
+			if m.node(sub, data, pos, deadline, k) {
+				return true
+			}
+		}
+		return false
+	case *syntax.Repeat:
+		max := n.Max
+		var rep func(count, p int) bool
+		rep = func(count, p int) bool {
+			if count < n.Min {
+				return m.node(n.Sub, data, p, deadline, func(q int) bool {
+					if q == p {
+						// Zero-width mandatory iteration: the remaining
+						// mandatory copies also match empty.
+						return rep(n.Min, q)
+					}
+					return rep(count+1, q)
+				})
+			}
+			if max != syntax.Unlimited && count >= max {
+				return k(p)
+			}
+			more := func() bool {
+				return m.node(n.Sub, data, p, deadline, func(q int) bool {
+					if q == p {
+						return false // zero-width optional iteration
+					}
+					return rep(count+1, q)
+				})
+			}
+			if n.Lazy {
+				return k(p) || more()
+			}
+			return more() || k(p)
+		}
+		return rep(0, pos)
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package backtrack
+
+import (
+	"errors"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestDifferentialVsStdlib(t *testing.T) {
+	patterns := []string{
+		"abc", "a+b", "(a|ab)c", "a{2,4}?", "x(a|b)*y", "[a-c]{2}",
+		"(ab)+", "a*?b", "colou?r", "(a|)b", "[^x]+x",
+	}
+	inputs := []string{
+		"", "abc", "aab", "abcx", "aaaa", "xababy", "xy", "ab", "bb",
+		"color", "colour", "yyyx", "aaab", "abab",
+	}
+	for _, pat := range patterns {
+		std := regexp.MustCompile(pat)
+		m, err := New(pat)
+		if err != nil {
+			t.Fatalf("compile %q: %v", pat, err)
+		}
+		for _, in := range inputs {
+			want := std.FindStringIndex(in)
+			got, ok, err := m.Find([]byte(in))
+			if err != nil {
+				t.Fatalf("%q on %q: %v", pat, in, err)
+			}
+			if want == nil {
+				if ok {
+					t.Errorf("%q on %q: matched, stdlib says no", pat, in)
+				}
+				continue
+			}
+			if !ok || got.Start != want[0] || got.End != want[1] {
+				t.Errorf("%q on %q: got %v/%v, stdlib %v", pat, in, got, ok, want)
+			}
+		}
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	m, err := New("(a|aa)+b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Budget = 10000
+	_, _, err = m.Find([]byte(strings.Repeat("a", 64)))
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestZeroWidthLoops(t *testing.T) {
+	for _, pat := range []string{"(a*)*", "(a*)+", "()*", "(a|)*"} {
+		m, err := New(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := m.Find([]byte("b"))
+		if err != nil {
+			t.Fatalf("%q diverged: %v", pat, err)
+		}
+		if !ok || got.Start != 0 || got.End != 0 {
+			t.Errorf("%q on \"b\": %v/%v, want empty match at 0", pat, got, ok)
+		}
+	}
+}
+
+func TestStepsAccumulate(t *testing.T) {
+	m, err := New("a+b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Match([]byte("aaab")); err != nil {
+		t.Fatal(err)
+	}
+	if m.Steps == 0 {
+		t.Error("Steps not counted")
+	}
+}
+
+func TestMandatoryZeroWidth(t *testing.T) {
+	// (a*){3} must match empty without looping forever.
+	m, err := New("(a*){3}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := m.Find([]byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || got != (Result{0, 0}) {
+		t.Errorf("got %v/%v", got, ok)
+	}
+}

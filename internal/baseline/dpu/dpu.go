@@ -1,0 +1,248 @@
+// Package dpu models the NVIDIA BlueField-2 DPU's RegEx accelerator
+// (RXP), the near-data comparator of the paper's evaluation. The real
+// device compiles rule sets to deterministic automata and processes
+// input in jobs of at most 16 KiB through a pool of hardware-threaded
+// engines; this model reproduces that discipline with real automata
+// built by internal/automata and an analytical device-time model:
+//
+//	jobCycles    = JobOverheadCycles + jobBytes * CyclesPerByte
+//	deviceCycles = max(ceil(totalJobCycles / Threads), max jobCycles)
+//	deviceTime   = deviceCycles / ClockHz
+//
+// When subset construction blows past the state cap, the engine falls
+// back to NFA frontier stepping with a per-active-state cost, mirroring
+// the RXP's throughput collapse on DFA-hostile rules.
+package dpu
+
+import (
+	"alveare/internal/automata"
+	"alveare/internal/syntax"
+)
+
+// Config is the device model. The defaults approximate the BlueField-2
+// RXP public figures: 16 parallel engines, a 1 GHz accelerator clock,
+// one byte per cycle per engine, and a fixed per-job setup cost that
+// makes small jobs overhead-dominated.
+type Config struct {
+	Threads           int     // parallel hardware RegEx engines
+	ChunkSize         int     // job size limit in bytes (16 KiB)
+	ClockHz           float64 // accelerator clock
+	JobOverheadCycles int64   // per-job submission/setup/teardown
+	CyclesPerByte     float64 // DFA engine throughput
+	NFAFallbackCPB    float64 // cycles per active-state step in fallback
+	MaxDFAStates      int     // determinization cap before fallback
+
+	// RXP rule-complexity limits (each disabled when non-positive). A
+	// rule whose counter-unfolded NFA exceeds RXPMaxStates, that uses
+	// more than RXPMaxCounters repetition operators, an unbounded
+	// quantifier, or a counter range wider than RXPMaxCounterSpan, is
+	// rejected by the hardware rule compiler and served by the host
+	// software path (as DOCA falls back to a software RegEx library):
+	// a serial scan at SWFallbackCPB device-clock cycles per byte after
+	// SWSetupCycles.
+	RXPMaxStates      int
+	RXPMaxCounters    int
+	RXPMaxCounterSpan int
+	SWFallbackCPB     float64
+	SWSetupCycles     int64
+}
+
+// DefaultConfig returns the BlueField-2-like model parameters. The
+// dominant term is JobOverheadCycles: submitting one RegEx job through
+// the host API (DOCA) costs hundreds of microseconds end to end, which
+// is what makes the device overhead-bound at the paper's 16 KiB job
+// size; CyclesPerByte reflects the RXP's degraded sustained rate on
+// complex (counter- and class-heavy) rules rather than its marketing
+// line rate.
+func DefaultConfig() Config {
+	return Config{
+		Threads:           16,
+		ChunkSize:         16 << 10,
+		ClockHz:           1.0e9,
+		JobOverheadCycles: 400_000,
+		CyclesPerByte:     3.0,
+		NFAFallbackCPB:    1.5,
+		MaxDFAStates:      1 << 13,
+		RXPMaxStates:      48,
+		RXPMaxCounters:    2,
+		RXPMaxCounterSpan: 6,
+		SWFallbackCPB:     18.0, // ~55 MB/s serial host scan
+		SWSetupCycles:     200_000,
+	}
+}
+
+// Engine is one compiled rule (or rule set) loaded on the device.
+type Engine struct {
+	cfg    Config
+	dfa    *automata.DFA
+	nfa    *automata.NFA
+	runner *automata.Runner
+	sw     bool // RXP rejected the rule: host software path
+}
+
+// New compiles a single rule.
+func New(re string, cfg Config) (*Engine, error) {
+	nfa, err := automata.Compile(re)
+	if err != nil {
+		return nil, err
+	}
+	e := fromNFA(nfa, cfg)
+	e.sw = hostile(re, nfa, cfg)
+	return e, nil
+}
+
+// NewSet compiles a rule set into one multi-pattern engine, the way the
+// device's rule compiler merges a database. The set takes the software
+// path if any member rule is RXP-hostile.
+func NewSet(res []string, cfg Config) (*Engine, error) {
+	nfa, err := automata.Union(res...)
+	if err != nil {
+		return nil, err
+	}
+	e := fromNFA(nfa, cfg)
+	for _, re := range res {
+		single, err := automata.Compile(re)
+		if err != nil {
+			return nil, err
+		}
+		if hostile(re, single, cfg) {
+			e.sw = true
+			break
+		}
+	}
+	return e, nil
+}
+
+func fromNFA(nfa *automata.NFA, cfg Config) *Engine {
+	e := &Engine{cfg: cfg, nfa: nfa}
+	dfa, err := automata.Determinize(nfa, cfg.MaxDFAStates)
+	if err == nil {
+		e.dfa = dfa.Minimize()
+	} else {
+		e.runner = automata.NewRunner(nfa)
+	}
+	return e
+}
+
+// hostile reports whether the RXP rule compiler rejects the rule,
+// pushing it to the host software path: unbounded quantifiers, wide
+// counter ranges, or a counter-unfolded automaton above the per-rule
+// state budget.
+func hostile(re string, nfa *automata.NFA, cfg Config) bool {
+	if cfg.RXPMaxStates > 0 && nfa.NumStates() > cfg.RXPMaxStates {
+		return true
+	}
+	ast, err := syntax.Parse(re)
+	if err != nil {
+		return true
+	}
+	bad := false
+	counters := 0
+	var walk func(n syntax.Node)
+	walk = func(n syntax.Node) {
+		switch n := n.(type) {
+		case *syntax.Repeat:
+			counters++
+			if cfg.RXPMaxCounterSpan > 0 &&
+				(n.Max == syntax.Unlimited || n.Max-n.Min >= cfg.RXPMaxCounterSpan) {
+				bad = true
+			}
+			walk(n.Sub)
+		case *syntax.Group:
+			walk(n.Sub)
+		case *syntax.Concat:
+			for _, s := range n.Subs {
+				walk(s)
+			}
+		case *syntax.Alternate:
+			for _, s := range n.Subs {
+				walk(s)
+			}
+		}
+	}
+	walk(ast)
+	if cfg.RXPMaxCounters > 0 && counters > cfg.RXPMaxCounters {
+		bad = true
+	}
+	return bad
+}
+
+// UsesDFA reports whether the rule compiled to a DFA (the accelerator's
+// fast path).
+func (e *Engine) UsesDFA() bool { return e.dfa != nil && !e.sw }
+
+// SoftwarePath reports whether the RXP rejected the rule and the host
+// software library serves it.
+func (e *Engine) SoftwarePath() bool { return e.sw }
+
+// States returns the automaton size loaded on the device.
+func (e *Engine) States() int {
+	if e.dfa != nil {
+		return e.dfa.NumStates()
+	}
+	return e.nfa.NumStates()
+}
+
+// Result reports one Process call: match count, job accounting and the
+// modelled device time.
+type Result struct {
+	Matches       int
+	Jobs          int
+	DeviceCycles  int64
+	DeviceSeconds float64
+}
+
+// Process runs the engine over data with the device's chunked job
+// discipline. Matches spanning a chunk boundary are missed — the
+// documented 16 KiB input-chunk limitation the paper accounts for.
+// Rules on the software path are scanned serially by the host library:
+// matches are still counted with the compiled automaton, but the device
+// time follows the software cost model and does not parallelise over
+// the hardware threads.
+func (e *Engine) Process(data []byte) Result {
+	var r Result
+	var totalCycles, maxJob int64
+	for off := 0; off < len(data) || (off == 0 && len(data) == 0); off += e.cfg.ChunkSize {
+		end := off + e.cfg.ChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := data[off:end]
+		r.Jobs++
+		var jobCycles int64
+		if e.dfa != nil {
+			r.Matches += e.dfa.CountEnds(chunk)
+			// Large rule automata overflow the RXP's fast transition
+			// storage: throughput degrades with the DFA footprint.
+			cpb := e.cfg.CyclesPerByte * (1 + float64(e.dfa.NumStates())/4096)
+			jobCycles = e.cfg.JobOverheadCycles + int64(float64(len(chunk))*cpb)
+		} else {
+			before := e.runner.ActiveStateSteps
+			r.Matches += e.runner.CountEnds(chunk)
+			work := e.runner.ActiveStateSteps - before
+			jobCycles = e.cfg.JobOverheadCycles + int64(float64(work)*e.cfg.NFAFallbackCPB)
+		}
+		totalCycles += jobCycles
+		if jobCycles > maxJob {
+			maxJob = jobCycles
+		}
+		if len(data) == 0 {
+			break
+		}
+	}
+	if e.sw {
+		r.DeviceCycles = e.cfg.SWSetupCycles + int64(float64(len(data))*e.cfg.SWFallbackCPB)
+		r.DeviceSeconds = float64(r.DeviceCycles) / e.cfg.ClockHz
+		return r
+	}
+	threads := int64(e.cfg.Threads)
+	if threads < 1 {
+		threads = 1
+	}
+	r.DeviceCycles = (totalCycles + threads - 1) / threads
+	if r.DeviceCycles < maxJob {
+		r.DeviceCycles = maxJob
+	}
+	r.DeviceSeconds = float64(r.DeviceCycles) / e.cfg.ClockHz
+	return r
+}

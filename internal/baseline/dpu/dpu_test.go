@@ -1,0 +1,194 @@
+package dpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatchCounting(t *testing.T) {
+	e, err := New("ab", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.Process([]byte("ab xx ab yy ab"))
+	if r.Matches != 3 {
+		t.Errorf("Matches = %d, want 3", r.Matches)
+	}
+	if !e.UsesDFA() {
+		t.Error("simple rule should determinize")
+	}
+	if r.DeviceSeconds <= 0 {
+		t.Error("no device time modelled")
+	}
+}
+
+func TestChunkBoundaryLimitation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ChunkSize = 4
+	e, err := New("ab", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "ab" spans the 4-byte chunk boundary: xxxa | b...
+	r := e.Process([]byte("xxxab"))
+	if r.Matches != 0 {
+		t.Errorf("Matches = %d; the 16KB-chunk model must miss boundary-spanning matches", r.Matches)
+	}
+	if r.Jobs != 2 {
+		t.Errorf("Jobs = %d, want 2", r.Jobs)
+	}
+	// The same match inside one chunk is found.
+	r = e.Process([]byte("abxx"))
+	if r.Matches != 1 {
+		t.Errorf("in-chunk Matches = %d, want 1", r.Matches)
+	}
+}
+
+func TestThreadScaling(t *testing.T) {
+	data := []byte(strings.Repeat("x", 256<<10))
+	timeFor := func(threads int) float64 {
+		cfg := DefaultConfig()
+		cfg.Threads = threads
+		e, err := New("needle", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Process(data).DeviceSeconds
+	}
+	t1, t16 := timeFor(1), timeFor(16)
+	if t16 >= t1 {
+		t.Errorf("16 threads (%g) not faster than 1 (%g)", t16, t1)
+	}
+	if t1/t16 < 8 {
+		t.Errorf("thread scaling too weak: %g", t1/t16)
+	}
+}
+
+func TestJobOverheadDominatesSmallJobs(t *testing.T) {
+	cfg := DefaultConfig()
+	e, err := New("a", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := e.Process(make([]byte, 64)).DeviceCycles
+	if small < cfg.JobOverheadCycles/int64(cfg.Threads) {
+		t.Errorf("small-job cycles %d below amortized overhead", small)
+	}
+}
+
+func TestNFAFallback(t *testing.T) {
+	// Disable the RXP hostility checks to isolate the determinization
+	// blowup path.
+	relaxed := DefaultConfig()
+	relaxed.RXPMaxStates = 0
+	relaxed.RXPMaxCounters = 0
+	relaxed.RXPMaxCounterSpan = 0
+
+	cfg := relaxed
+	cfg.MaxDFAStates = 8 // force blowup
+	e, err := New("(a|b)*a(a|b){10}", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.UsesDFA() {
+		t.Fatal("expected NFA fallback")
+	}
+	data := []byte("bbbabbbbbbbbbb")
+	r := e.Process(data)
+	// Compare against the DFA path for match agreement.
+	e2, err := New("(a|b)*a(a|b){10}", relaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e2.UsesDFA() {
+		t.Fatal("expected DFA with the default cap")
+	}
+	r2 := e2.Process(data)
+	if r.Matches != r2.Matches {
+		t.Errorf("fallback found %d matches, DFA %d", r.Matches, r2.Matches)
+	}
+}
+
+func TestSoftwarePath(t *testing.T) {
+	cfg := DefaultConfig()
+	// Unbounded quantifier: RXP rejects, host software serves.
+	e, err := New("Host: [^\r\n]{40,}", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.SoftwarePath() {
+		t.Fatal("unbounded rule should take the software path")
+	}
+	data := append([]byte("Host: "), make([]byte, 64)...)
+	for i := 6; i < len(data); i++ {
+		data[i] = 'a'
+	}
+	r := e.Process(data)
+	if r.Matches == 0 {
+		t.Error("software path lost the matches")
+	}
+	// Software path is serial: it must be slower per byte than the
+	// hardware path of a simple rule at the same input size.
+	hw, err := New("abc", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.SoftwarePath() {
+		t.Fatal("simple literal took the software path")
+	}
+	big := make([]byte, 1<<20)
+	if sw, hwr := e.Process(big), hw.Process(big); sw.DeviceSeconds <= hwr.DeviceSeconds {
+		t.Errorf("software path (%g) not slower than hardware (%g) at 1 MiB", sw.DeviceSeconds, hwr.DeviceSeconds)
+	}
+
+	// Wide counter ranges are hostile too; narrow ones are not.
+	wide, err := New("a{2,20}", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wide.SoftwarePath() {
+		t.Error("wide counter range should be RXP-hostile")
+	}
+	narrow, err := New("a{2,4}", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.SoftwarePath() {
+		t.Error("narrow counter range should compile on the RXP")
+	}
+}
+
+func TestNewSet(t *testing.T) {
+	e, err := NewSet([]string{"abc", "[0-9]+x"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.Process([]byte("abc 12x abc"))
+	if r.Matches != 3 {
+		t.Errorf("Matches = %d, want 3", r.Matches)
+	}
+	if _, err := NewSet([]string{"("}, DefaultConfig()); err == nil {
+		t.Error("bad rule accepted")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	e, err := New("a", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.Process(nil)
+	if r.Matches != 0 || r.Jobs != 1 {
+		t.Errorf("empty input: %+v", r)
+	}
+}
+
+func TestStates(t *testing.T) {
+	e, err := New("abc", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.States() == 0 {
+		t.Error("no states reported")
+	}
+}

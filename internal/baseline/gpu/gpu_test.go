@@ -1,0 +1,115 @@
+package gpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatchCounting(t *testing.T) {
+	for _, cfg := range []Config{INFAntConfig(), OBATConfig()} {
+		e, err := New("ab", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := e.Process([]byte("ab xx ab yy ab"))
+		if r.Matches != 3 {
+			t.Errorf("Matches = %d, want 3", r.Matches)
+		}
+		if r.DeviceSeconds <= 0 {
+			t.Error("no device time modelled")
+		}
+	}
+}
+
+func TestOBATFasterThanINFAnt(t *testing.T) {
+	data := []byte(strings.Repeat("the quick brown fox ", 1000))
+	re := "(fox|dog)[a-z ]{3,10}jumps"
+	inf, err := New(re, INFAntConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obat, err := New(re, OBATConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti := inf.Process(data).DeviceSeconds
+	to := obat.Process(data).DeviceSeconds
+	if to >= ti {
+		t.Errorf("OBAT (%g) not faster than iNFAnt (%g)", to, ti)
+	}
+}
+
+func TestHotStartLaunches(t *testing.T) {
+	data := make([]byte, 20000)
+	inf, err := New("a", INFAntConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obat, err := New("a", OBATConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := inf.Process(data)
+	ro := obat.Process(data)
+	if ro.Launches != 1 {
+		t.Errorf("hotstart launches = %d, want 1", ro.Launches)
+	}
+	if ri.Launches <= 1 {
+		t.Errorf("iNFAnt launches = %d, want one per batch", ri.Launches)
+	}
+}
+
+func TestLaunchOverheadDominatesSmallInputs(t *testing.T) {
+	cfg := INFAntConfig()
+	e, err := New("a", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.Process(make([]byte, 64))
+	if r.DeviceCycles < cfg.LaunchOverheadCycles {
+		t.Errorf("device cycles %d below one launch overhead %d", r.DeviceCycles, cfg.LaunchOverheadCycles)
+	}
+}
+
+func TestTimeScalesWithInput(t *testing.T) {
+	e, err := New("zz", OBATConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := e.Process(make([]byte, 1<<10)).DeviceCycles
+	big := e.Process(make([]byte, 1<<20)).DeviceCycles
+	if big <= small {
+		t.Errorf("device time does not scale: %d vs %d", small, big)
+	}
+}
+
+func TestNewSet(t *testing.T) {
+	e, err := NewSet([]string{"abc", "xyz"}, OBATConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.Process([]byte("abc then xyz"))
+	if r.Matches != 2 {
+		t.Errorf("Matches = %d, want 2", r.Matches)
+	}
+	if _, err := NewSet([]string{"("}, OBATConfig()); err == nil {
+		t.Error("bad rule accepted")
+	}
+	if e.States() == 0 {
+		t.Error("no states reported")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	e, err := New("a", OBATConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.Process(nil)
+	if r.Matches != 0 {
+		t.Errorf("Matches = %d, want 0", r.Matches)
+	}
+	if r.Launches < 1 {
+		t.Error("even an empty job pays a launch")
+	}
+}

@@ -1,0 +1,359 @@
+// Package pikevm implements the matching core of Google RE2 — a Pike
+// virtual machine running Thompson-NFA bytecode breadth-first with
+// priority-ordered thread lists — built from scratch on the shared
+// ALVEARE front-end. It is the algorithmic stand-in for "RE2 on the
+// ARM A53" in the paper's evaluation: guaranteed linear time, no
+// backtracking, leftmost-first match semantics.
+//
+// The VM counts thread-instruction steps; the device model in
+// internal/perf converts those steps into embedded-CPU seconds.
+package pikevm
+
+import (
+	"alveare/internal/automata"
+	"alveare/internal/syntax"
+)
+
+// opcode of one VM instruction.
+type opcode uint8
+
+const (
+	opChar  opcode = iota // consume one byte in set, goto x
+	opSplit               // fork to x (preferred) and y
+	opJmp                 // goto x
+	opMatch               // report a match
+)
+
+// inst is one VM instruction.
+type inst struct {
+	op   opcode
+	x, y int
+	set  *automata.ByteSet
+}
+
+// scanPC is the program counter of the unanchored-scan any-byte
+// instruction; threads stepping through it have not started matching.
+const scanPC = 1
+
+// Prog is a compiled Pike-VM program.
+type Prog struct {
+	insts []inst
+	// Steps counts executed thread-instructions across all calls, the
+	// work metric of the CPU engine.
+	Steps int64
+}
+
+// Compile translates a regular expression into VM bytecode. The program
+// is unanchored: a lazy any-byte loop precedes the pattern so the VM
+// finds the leftmost match without restarting the scan.
+func Compile(re string) (*Prog, error) {
+	ast, err := syntax.Parse(re)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{}
+	split := c.emit(inst{op: opSplit}) // pc 0
+	anyPos := c.emit(inst{op: opChar, set: anySet()})
+	if anyPos != scanPC {
+		panic("pikevm: scan prefix layout changed")
+	}
+	c.insts[anyPos].x = split
+	c.insts[split].x = len(c.insts) // prefer entering the pattern
+	c.insts[split].y = anyPos
+
+	out := c.compile(ast)
+	m := c.emit(inst{op: opMatch})
+	c.patch(out, m)
+	return &Prog{insts: c.insts}, nil
+}
+
+func anySet() *automata.ByteSet {
+	var s automata.ByteSet
+	s.Complement()
+	return &s
+}
+
+type compiler struct {
+	insts []inst
+}
+
+func (c *compiler) emit(i inst) int {
+	c.insts = append(c.insts, i)
+	return len(c.insts) - 1
+}
+
+// hole marks a dangling destination to be patched.
+type hole struct {
+	pc   int
+	slot int // 0 = x, 1 = y
+}
+
+func (c *compiler) patch(hs []hole, target int) {
+	for _, h := range hs {
+		if h.slot == 0 {
+			c.insts[h.pc].x = target
+		} else {
+			c.insts[h.pc].y = target
+		}
+	}
+}
+
+// compile emits the fragment for n starting at the current end of the
+// program and returns its dangling exits.
+func (c *compiler) compile(n syntax.Node) []hole {
+	switch n := n.(type) {
+	case *syntax.Empty:
+		pc := c.emit(inst{op: opJmp})
+		return []hole{{pc, 0}}
+	case *syntax.Literal:
+		var out []hole
+		for _, b := range n.Bytes {
+			var s automata.ByteSet
+			s.Add(b)
+			pc := c.emit(inst{op: opChar, set: &s})
+			c.patch(out, pc)
+			out = []hole{{pc, 0}}
+		}
+		return out
+	case *syntax.Class:
+		var s automata.ByteSet
+		for _, r := range n.Ranges {
+			s.AddRange(r.Lo, r.Hi)
+		}
+		if n.Neg {
+			s.Complement()
+		}
+		pc := c.emit(inst{op: opChar, set: &s})
+		return []hole{{pc, 0}}
+	case *syntax.Shorthand:
+		rs, neg, _ := syntax.ShorthandRanges(n.Kind)
+		return c.compile(&syntax.Class{Neg: neg, Ranges: rs})
+	case *syntax.Dot:
+		return c.compile(&syntax.Class{Neg: true, Ranges: []syntax.ClassRange{{Lo: '\n', Hi: '\n'}}})
+	case *syntax.Group:
+		return c.compile(n.Sub)
+	case *syntax.Concat:
+		if len(n.Subs) == 0 {
+			return c.compile(&syntax.Empty{})
+		}
+		out := c.compile(n.Subs[0])
+		for _, sub := range n.Subs[1:] {
+			start := len(c.insts)
+			next := c.compile(sub)
+			c.patch(out, start)
+			out = next
+		}
+		return out
+	case *syntax.Alternate:
+		// Layout: split1, A, split2, B, ..., Z with split_i.x = the i-th
+		// alternative and split_i.y = the next split (or the last
+		// alternative), giving first-alternative preference.
+		var out []hole
+		prevSplit := -1
+		for i, sub := range n.Subs {
+			last := i == len(n.Subs)-1
+			if !last {
+				split := c.emit(inst{op: opSplit})
+				if prevSplit >= 0 {
+					c.insts[prevSplit].y = split
+				}
+				c.insts[split].x = len(c.insts)
+				prevSplit = split
+			} else if prevSplit >= 0 {
+				c.insts[prevSplit].y = len(c.insts)
+			}
+			out = append(out, c.compile(sub)...)
+		}
+		return out
+	case *syntax.Repeat:
+		return c.compileRepeat(n)
+	}
+	return nil
+}
+
+func (c *compiler) compileRepeat(n *syntax.Repeat) []hole {
+	if n.Max != syntax.Unlimited && n.Max == 0 {
+		return c.compile(&syntax.Empty{})
+	}
+	var outs []hole
+	emitted := false
+	// chain compiles one stage at the current pc, linking the previous
+	// stage's exits to its start.
+	chain := func(f func() []hole) {
+		start := len(c.insts)
+		hs := f()
+		if emitted {
+			c.patch(outs, start)
+		}
+		emitted = true
+		outs = hs
+	}
+	for i := 0; i < n.Min; i++ {
+		chain(func() []hole { return c.compile(n.Sub) })
+	}
+	if n.Max == syntax.Unlimited {
+		chain(func() []hole {
+			split := c.emit(inst{op: opSplit})
+			bodyStart := len(c.insts)
+			bodyOut := c.compile(n.Sub)
+			c.patch(bodyOut, split)
+			if n.Lazy {
+				c.insts[split].y = bodyStart
+				return []hole{{split, 0}}
+			}
+			c.insts[split].x = bodyStart
+			return []hole{{split, 1}}
+		})
+		return outs
+	}
+	for i := n.Min; i < n.Max; i++ {
+		chain(func() []hole {
+			split := c.emit(inst{op: opSplit})
+			bodyStart := len(c.insts)
+			var exits []hole
+			if n.Lazy {
+				c.insts[split].y = bodyStart
+				exits = []hole{{split, 0}}
+			} else {
+				c.insts[split].x = bodyStart
+				exits = []hole{{split, 1}}
+			}
+			return append(exits, c.compile(n.Sub)...)
+		})
+	}
+	if !emitted {
+		return c.compile(&syntax.Empty{})
+	}
+	return outs
+}
+
+// thread is one VM thread: a program counter plus the match start the
+// thread is committed to (leftmost-first bookkeeping).
+type thread struct {
+	pc    int
+	start int
+}
+
+// threadList is a priority-ordered dedup list (sparse-set generation
+// trick, as in RE2).
+type threadList struct {
+	dense []thread
+	gen   []int32
+	cur   int32
+}
+
+func newThreadList(n int) *threadList {
+	return &threadList{gen: make([]int32, n)}
+}
+
+func (l *threadList) reset() {
+	l.dense = l.dense[:0]
+	l.cur++
+}
+
+func (l *threadList) has(pc int) bool { return l.gen[pc] == l.cur }
+
+// Result is a leftmost-first match.
+type Result struct {
+	Start, End int
+}
+
+// Find returns the leftmost-first match in data, PCRE/RE2-compatible for
+// the supported operator set.
+func (p *Prog) Find(data []byte) (Result, bool) {
+	clist := newThreadList(len(p.insts))
+	nlist := newThreadList(len(p.insts))
+	clist.reset()
+	nlist.reset()
+
+	matched := false
+	var best Result
+
+	// add expands jumps and splits eagerly so thread lists hold only
+	// opChar and opMatch threads in priority order.
+	var add func(l *threadList, t thread)
+	add = func(l *threadList, t thread) {
+		if l.has(t.pc) {
+			return
+		}
+		l.gen[t.pc] = l.cur
+		p.Steps++
+		in := &p.insts[t.pc]
+		switch in.op {
+		case opJmp:
+			add(l, thread{in.x, t.start})
+		case opSplit:
+			add(l, thread{in.x, t.start})
+			add(l, thread{in.y, t.start})
+		default:
+			l.dense = append(l.dense, t)
+		}
+	}
+
+	add(clist, thread{0, 0})
+	for pos := 0; ; pos++ {
+		atEnd := pos >= len(data)
+		var c byte
+		if !atEnd {
+			c = data[pos]
+		}
+		nlist.reset()
+		for di := 0; di < len(clist.dense); di++ {
+			t := clist.dense[di]
+			p.Steps++
+			in := &p.insts[t.pc]
+			switch in.op {
+			case opChar:
+				if atEnd || !in.set.Has(c) {
+					continue
+				}
+				start := t.start
+				if t.pc == scanPC {
+					// Passing through the scan loop: the match, if any,
+					// starts after this byte.
+					start = pos + 1
+				}
+				add(nlist, thread{in.x, start})
+			case opMatch:
+				// Leftmost-first: this thread outranks every thread
+				// after it in the list; record and cut lower priority.
+				best = Result{Start: t.start, End: pos}
+				matched = true
+				clist.dense = clist.dense[:di+1]
+			}
+		}
+		clist, nlist = nlist, clist
+		if atEnd || len(clist.dense) == 0 {
+			break
+		}
+	}
+	return best, matched
+}
+
+// Match reports whether the pattern occurs in data.
+func (p *Prog) Match(data []byte) bool {
+	_, ok := p.Find(data)
+	return ok
+}
+
+// Count returns the number of non-overlapping leftmost matches.
+func (p *Prog) Count(data []byte) int {
+	n := 0
+	pos := 0
+	for pos <= len(data) {
+		m, ok := p.Find(data[pos:])
+		if !ok {
+			break
+		}
+		n++
+		adv := m.End
+		if adv <= m.Start {
+			adv = m.Start + 1
+		}
+		pos += adv
+	}
+	return n
+}
+
+// Size returns the bytecode length.
+func (p *Prog) Size() int { return len(p.insts) }

@@ -1,0 +1,155 @@
+package pikevm
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"alveare/internal/baseline/backtrack"
+)
+
+var patterns = []string{
+	"abc", "a+b", "a*b", "(a|b)+c", "a{2,3}b?", "[a-c]+d", "x.y",
+	"a+?b", "(ab|cd|ef)+", "(a|ab)(c|bc)", "z?a{2}", "(0|1)*2",
+	"[^b]+b", "(aa|a)+b", "colou?r", "\\d+\\w", "a{3}", "a{2,}",
+	"([a-f]x){2,4}", "q(w|e)*r",
+}
+
+var inputs = []string{
+	"", "a", "b", "ab", "abc", "aabbcc", "abab", "xaby", "aaab",
+	"cdcdef", "zaa", "0101012", "bbbab", "aaaab", "abxycdef",
+	"aaaaaaaaab", "abcabcabc", "color", "colour", "12x", "axbxcx",
+	"qwer", "qweer", "qr", "fxax", "aaa",
+}
+
+// TestDifferentialVsStdlib: the Pike VM must agree with Go's regexp
+// (RE2's leftmost-first semantics) on both containment and match bounds.
+func TestDifferentialVsStdlib(t *testing.T) {
+	for _, pat := range patterns {
+		std := regexp.MustCompile(pat)
+		p, err := Compile(pat)
+		if err != nil {
+			t.Fatalf("compile %q: %v", pat, err)
+		}
+		for _, in := range inputs {
+			want := std.FindStringIndex(in)
+			got, ok := p.Find([]byte(in))
+			if want == nil {
+				if ok {
+					t.Errorf("%q on %q: matched [%d,%d), stdlib no match", pat, in, got.Start, got.End)
+				}
+				continue
+			}
+			if !ok {
+				t.Errorf("%q on %q: no match, stdlib [%d,%d)", pat, in, want[0], want[1])
+				continue
+			}
+			if got.Start != want[0] || got.End != want[1] {
+				t.Errorf("%q on %q: [%d,%d), stdlib [%d,%d)", pat, in, got.Start, got.End, want[0], want[1])
+			}
+		}
+	}
+}
+
+// TestAgainstBacktrackOracle cross-checks the two baseline engines on
+// random patterns and random inputs.
+func TestAgainstBacktrackOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	atoms := []string{"a", "b", "ab", "[ab]", "[^a]", "a?", "b+", "(a|bb)", "(ab)*", "a{2,3}"}
+	for i := 0; i < 150; i++ {
+		var sb strings.Builder
+		for j := 0; j < 1+r.Intn(4); j++ {
+			sb.WriteString(atoms[r.Intn(len(atoms))])
+		}
+		pat := sb.String()
+		p, err := Compile(pat)
+		if err != nil {
+			t.Fatalf("pikevm compile %q: %v", pat, err)
+		}
+		bt, err := backtrack.New(pat)
+		if err != nil {
+			t.Fatalf("backtrack compile %q: %v", pat, err)
+		}
+		for j := 0; j < 20; j++ {
+			buf := make([]byte, r.Intn(12))
+			for k := range buf {
+				buf[k] = "ab"[r.Intn(2)]
+			}
+			pm, pok := p.Find(buf)
+			bm, bok, err := bt.Find(buf)
+			if err != nil {
+				t.Fatalf("%q on %q: %v", pat, buf, err)
+			}
+			if pok != bok {
+				t.Errorf("%q on %q: pikevm ok=%v, backtrack ok=%v", pat, buf, pok, bok)
+				continue
+			}
+			if pok && (pm.Start != bm.Start || pm.End != bm.End) {
+				t.Errorf("%q on %q: pikevm [%d,%d), backtrack [%d,%d)",
+					pat, buf, pm.Start, pm.End, bm.Start, bm.End)
+			}
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	p, err := Compile("ab+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Count([]byte("abxabbyab")); got != 3 {
+		t.Errorf("Count = %d, want 3", got)
+	}
+	e, err := Compile("a*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Count([]byte("bab")); got < 2 {
+		t.Errorf("empty-capable Count = %d, want >= 2", got)
+	}
+}
+
+func TestStepsAccounting(t *testing.T) {
+	p, err := Compile("(a|b)+c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Match([]byte("ababab"))
+	if p.Steps == 0 {
+		t.Error("no steps recorded")
+	}
+	small := p.Steps
+	p.Match([]byte(strings.Repeat("ab", 500)))
+	if p.Steps < 10*small {
+		t.Errorf("steps did not grow with input: %d -> %d", small, p.Steps)
+	}
+}
+
+// TestLinearTime: the Pike VM must not blow up on the classic
+// catastrophic-backtracking input.
+func TestLinearTime(t *testing.T) {
+	p, err := Compile("(a|aa)+b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte(strings.Repeat("a", 2000)) // no match
+	if p.Match(data) {
+		t.Fatal("unexpected match")
+	}
+	// Steps bounded by O(len * progsize).
+	bound := int64(len(data)+2) * int64(p.Size()) * 2
+	if p.Steps > bound {
+		t.Errorf("steps %d exceed linear bound %d", p.Steps, bound)
+	}
+}
+
+func TestSize(t *testing.T) {
+	p, err := Compile("abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() < 5 { // scan prefix (2) + 3 chars + match
+		t.Errorf("Size = %d, want >= 5", p.Size())
+	}
+}

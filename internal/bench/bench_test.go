@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable2(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	// Pin the advanced counts and the reduction shape.
+	wantAdvanced := map[string]int{
+		"[a-zA-Z]":   1,
+		"[DBEZX]{7}": 5,
+		".{3,6}":     2,
+		"[^ ]*":      2,
+	}
+	for _, r := range rows {
+		if got := wantAdvanced[r.RE]; r.AdvancedOps != got {
+			t.Errorf("%s: advanced = %d, want %d", r.RE, r.AdvancedOps, got)
+		}
+		if r.Reduction < 4 {
+			t.Errorf("%s: reduction %.2f below 4x", r.RE, r.Reduction)
+		}
+		if r.MinimalOps <= r.AdvancedOps {
+			t.Errorf("%s: no reduction", r.RE)
+		}
+	}
+	// The big unfold dominates: .{3,6} must be the largest reduction,
+	// as in the paper (580x).
+	var best string
+	bestRed := 0.0
+	for _, r := range rows {
+		if r.Reduction > bestRed {
+			bestRed, best = r.Reduction, r.RE
+		}
+	}
+	if best != ".{3,6}" {
+		t.Errorf("largest reduction on %s, want .{3,6}", best)
+	}
+	out := RenderTable2(rows)
+	if !strings.Contains(out, "580.00x") || !strings.Contains(out, "[DBEZX]{7}") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+}
+
+// TestFigure4SmallShape runs the whole pipeline at test scale and
+// checks the paper's ordering: the big ALVEARE is the fastest engine
+// and GPUs are orders of magnitude slower.
+func TestFigure4SmallShape(t *testing.T) {
+	rs, err := Figure4(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("suites = %d, want 3", len(rs))
+	}
+	for _, sr := range rs {
+		byName := map[string]EngineResult{}
+		for _, e := range sr.Engines {
+			byName[e.Engine] = e
+			if e.Seconds <= 0 {
+				t.Errorf("%s/%s: no time measured", sr.Suite, e.Engine)
+			}
+		}
+		big := byName["ALVEARE-4"]
+		one := byName[EngAlveare1]
+		re2 := byName[EngRE2A53]
+		inf := byName[EngINFAnt]
+		obat := byName[EngOBAT]
+
+		if big.Seconds >= one.Seconds {
+			t.Errorf("%s: multi-core (%g) not faster than single (%g)", sr.Suite, big.Seconds, one.Seconds)
+		}
+		if one.Seconds >= re2.Seconds {
+			t.Errorf("%s: single-core ALVEARE (%g) not faster than RE2 model (%g)", sr.Suite, one.Seconds, re2.Seconds)
+		}
+		// GPUs at least an order of magnitude behind the big ALVEARE
+		// even at this small scale (launch overhead dominates).
+		if inf.Seconds < 10*big.Seconds || obat.Seconds < 10*big.Seconds {
+			t.Errorf("%s: GPU times not dominated: inf=%g obat=%g alveare=%g",
+				sr.Suite, inf.Seconds, obat.Seconds, big.Seconds)
+		}
+		if obat.Seconds > inf.Seconds {
+			t.Errorf("%s: OBAT (%g) slower than iNFAnt (%g)", sr.Suite, obat.Seconds, inf.Seconds)
+		}
+		// Every engine finds matches (witnesses are planted).
+		for _, e := range sr.Engines {
+			if e.Matches == 0 {
+				t.Errorf("%s/%s: zero matches", sr.Suite, e.Engine)
+			}
+		}
+		// Energy: the KPI must be populated and favour ALVEARE over the
+		// GPU by a wide margin.
+		if big.EnergyEff <= obat.EnergyEff {
+			t.Errorf("%s: energy efficiency shape wrong", sr.Suite)
+		}
+	}
+	f4 := RenderFigure4(rs)
+	f5 := RenderFigure5(rs)
+	sp := Speedups(rs)
+	for _, s := range []string{"PowerEN", "Protomata", "Snort"} {
+		if !strings.Contains(f4, s) || !strings.Contains(f5, s) || !strings.Contains(sp, s) {
+			t.Errorf("render missing suite %s", s)
+		}
+	}
+}
+
+func TestExports(t *testing.T) {
+	opt := Small()
+	opt.Patterns = 2
+	opt.DatasetSize = 4 << 10
+	rs, err := Figure4(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, &Report{Options: opt, Table2: rows, Figures: rs}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"table2"`, `"figures"`, `"PowerEN"`, `"Engine"`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("JSON missing %q", want)
+		}
+	}
+
+	sb.Reset()
+	if err := WriteFiguresCSV(&sb, rs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 1+3*6 { // header + 3 suites x 6 engines
+		t.Errorf("CSV rows = %d:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "suite,engine,seconds,matches,skipped,power_w,energy_eff" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+
+	sc, err := Scaling(opt, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := WriteScalingCSV(&sb, sc, []string{"PowerEN", "Protomata", "Snort"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "cores,lut_pct") {
+		t.Errorf("scaling CSV:\n%s", sb.String())
+	}
+}
+
+func TestScalingSmall(t *testing.T) {
+	opt := Small()
+	opt.Patterns = 4
+	opt.DatasetSize = 16 << 10
+	rows, err := Scaling(opt, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Cores != 1 || rows[1].Cores != 4 {
+		t.Errorf("core order wrong: %+v", rows)
+	}
+	for suite, sp := range rows[1].Speedup {
+		if sp < 1.5 {
+			t.Errorf("%s: 4-core speedup %.2f too small", suite, sp)
+		}
+	}
+	if rows[1].LUTPct <= rows[0].LUTPct {
+		t.Error("utilisation not increasing")
+	}
+	out := RenderScaling(rows, []string{"PowerEN", "Protomata", "Snort"})
+	if !strings.Contains(out, "LUT%") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestAblationSmall(t *testing.T) {
+	opt := Small()
+	opt.Patterns = 4
+	opt.DatasetSize = 8 << 10
+	rows, err := Ablation(opt, "PowerEN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ablationConfigs()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Slowdown != 1.0 {
+		t.Errorf("baseline slowdown = %.2f", rows[0].Slowdown)
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Config] = r
+		if r.AvgCycles <= 0 {
+			t.Errorf("%s: no cycles", r.Config)
+		}
+	}
+	// Fewer compute units must cost cycles (scan ablation).
+	if byName["1 compute unit"].AvgCycles <= rows[0].AvgCycles {
+		t.Error("1 CU not slower than 4 CU")
+	}
+	// The minimal compiler must cost cycles relative to the full design
+	// (the margin is modest at this tiny test scale).
+	if byName["minimal compiler"].Slowdown < 1.02 {
+		t.Errorf("minimal compiler slowdown = %.2f, want > 1.02", byName["minimal compiler"].Slowdown)
+	}
+	out := RenderAblation(rows)
+	if !strings.Contains(out, "no fusion") {
+		t.Errorf("render:\n%s", out)
+	}
+	if _, err := Ablation(opt, "nope"); err == nil {
+		t.Error("unknown suite accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Report bundles every experiment's results for machine consumption
+// (plotting scripts, CI trend tracking).
+type Report struct {
+	Options  Options       `json:"options"`
+	Table2   []Table2Row   `json:"table2,omitempty"`
+	Figures  []SuiteResult `json:"figures,omitempty"`
+	Scaling  []ScalingRow  `json:"scaling,omitempty"`
+	Ablation []AblationRow `json:"ablation,omitempty"`
+}
+
+// WriteJSON serialises the report with stable, indented formatting.
+func WriteJSON(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFiguresCSV emits the Figure 4/5 series in long form:
+// suite,engine,seconds,matches,skipped,power_w,energy_eff — one row per
+// engine, ready for any plotting tool.
+func WriteFiguresCSV(w io.Writer, rs []SuiteResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"suite", "engine", "seconds", "matches", "skipped", "power_w", "energy_eff"}); err != nil {
+		return err
+	}
+	for _, sr := range rs {
+		for _, e := range sr.Engines {
+			rec := []string{
+				sr.Suite, e.Engine,
+				strconv.FormatFloat(e.Seconds, 'g', -1, 64),
+				strconv.FormatInt(e.Matches, 10),
+				strconv.Itoa(e.Skipped),
+				strconv.FormatFloat(e.PowerW, 'g', -1, 64),
+				strconv.FormatFloat(e.EnergyEff, 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteScalingCSV emits the scaling experiment in long form:
+// cores,lut_pct,bram_pct,suite,speedup.
+func WriteScalingCSV(w io.Writer, rows []ScalingRow, suites []string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cores", "lut_pct", "bram_pct", "suite", "speedup"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, s := range suites {
+			rec := []string{
+				strconv.Itoa(r.Cores),
+				fmt.Sprintf("%.2f", r.LUTPct),
+				fmt.Sprintf("%.2f", r.BRAMPct),
+				s,
+				fmt.Sprintf("%.4f", r.Speedup[s]),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

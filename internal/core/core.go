@@ -1,0 +1,169 @@
+// Package core assembles the paper's primary contribution into one
+// engine: the RE-tailored ISA (internal/isa), the three-stage
+// compilation flow (internal/syntax, internal/ir, internal/backend) and
+// the speculative microarchitecture (internal/arch), with the optional
+// multi-core scale-out (internal/multicore).
+//
+// The root package alveare re-exports this API for library users; the
+// internal packages remain importable by the benchmark harness and the
+// command-line tools.
+package core
+
+import (
+	"fmt"
+
+	"alveare/internal/arch"
+	"alveare/internal/backend"
+	"alveare/internal/isa"
+	"alveare/internal/multicore"
+)
+
+// Program is a compiled, loadable ALVEARE executable.
+type Program = isa.Program
+
+// Match is one pattern occurrence, [Start, End) in the data stream.
+type Match = arch.Match
+
+// Stats are the microarchitecture performance counters.
+type Stats = arch.Stats
+
+// Compile runs the full compilation flow (front-end, middle-end,
+// back-end) with all advanced primitives enabled.
+func Compile(re string) (*Program, error) {
+	return backend.Compile(re, backend.Options{})
+}
+
+// CompileWith runs the compilation flow with explicit compiler options
+// (minimal mode, ablation switches).
+func CompileWith(re string, opt backend.Options) (*Program, error) {
+	return backend.Compile(re, opt)
+}
+
+// Option configures an Engine.
+type Option func(*settings)
+
+type settings struct {
+	cores   int
+	overlap int
+	cfg     arch.Config
+}
+
+// WithCores selects the scale-out width (default 1, the single core).
+func WithCores(n int) Option {
+	return func(s *settings) { s.cores = n }
+}
+
+// WithArchConfig overrides the microarchitecture parameters (compute
+// units, data-memory window, speculation-stack depth, cycle budget).
+func WithArchConfig(cfg arch.Config) Option {
+	return func(s *settings) { s.cfg = cfg }
+}
+
+// WithOverlap sets the multi-core chunk-boundary overlap in bytes.
+func WithOverlap(n int) Option {
+	return func(s *settings) { s.overlap = n }
+}
+
+// WithPrefilter enables the compiler's necessary-factor hint: when the
+// program opens with a complex operator, candidate start offsets are
+// narrowed to the neighbourhoods of a required literal's occurrences.
+// Results are unchanged; only cycles drop.
+func WithPrefilter() Option {
+	return func(s *settings) { s.cfg.EnablePrefilter = true }
+}
+
+// Engine executes one compiled RE over data streams, on a single core
+// or on the scale-out configuration.
+type Engine struct {
+	prog   *Program
+	single *arch.Core
+	multi  *multicore.Engine
+}
+
+// NewEngine loads a compiled program.
+func NewEngine(p *Program, opts ...Option) (*Engine, error) {
+	s := settings{cores: 1, cfg: arch.DefaultConfig()}
+	for _, o := range opts {
+		o(&s)
+	}
+	if s.cores < 1 {
+		return nil, fmt.Errorf("core: %d cores", s.cores)
+	}
+	e := &Engine{prog: p}
+	single, err := arch.NewCore(p, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.single = single
+	if s.cores > 1 {
+		multi, err := multicore.New(p, s.cores, s.cfg, s.overlap)
+		if err != nil {
+			return nil, err
+		}
+		e.multi = multi
+	}
+	return e, nil
+}
+
+// Program returns the loaded executable.
+func (e *Engine) Program() *Program { return e.prog }
+
+// Cores returns the scale-out width.
+func (e *Engine) Cores() int {
+	if e.multi != nil {
+		return e.multi.Cores()
+	}
+	return 1
+}
+
+// Find returns the leftmost match.
+func (e *Engine) Find(data []byte) (Match, bool, error) {
+	return e.single.Find(data)
+}
+
+// Match reports whether the pattern occurs in data.
+func (e *Engine) Match(data []byte) (bool, error) {
+	_, ok, err := e.single.Find(data)
+	return ok, err
+}
+
+// FindAll returns all non-overlapping matches. On a multi-core engine
+// the stream is divided among the cores.
+func (e *Engine) FindAll(data []byte) ([]Match, error) {
+	if e.multi != nil {
+		res, err := e.multi.Run(data)
+		return res.Matches, err
+	}
+	return e.single.FindAll(data, 0)
+}
+
+// Count returns the number of non-overlapping matches.
+func (e *Engine) Count(data []byte) (int, error) {
+	ms, err := e.FindAll(data)
+	return len(ms), err
+}
+
+// Run executes a full multi-core pass and returns the detailed result
+// (wall cycles, per-core counters). On a single-core engine it wraps
+// the core's counters in the same shape.
+func (e *Engine) Run(data []byte) (multicore.Result, error) {
+	if e.multi != nil {
+		return e.multi.Run(data)
+	}
+	e.single.ResetStats()
+	ms, err := e.single.FindAll(data, 0)
+	if err != nil {
+		return multicore.Result{}, err
+	}
+	st := e.single.Stats()
+	return multicore.Result{
+		Matches:     ms,
+		WallCycles:  st.Cycles,
+		TotalCycles: st.Cycles,
+		PerCore:     []arch.Stats{st},
+	}, nil
+}
+
+// Stats returns the single-core counters (aggregate counters for
+// multi-core runs come from Run's result).
+func (e *Engine) Stats() Stats { return e.single.Stats() }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"alveare/internal/arch"
+	"alveare/internal/backend"
+)
+
+func TestCompileAndRun(t *testing.T) {
+	p, err := Compile("ab+c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := e.Find([]byte("xxabbbcyy"))
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if m.Start != 2 || m.End != 7 {
+		t.Errorf("match = %+v", m)
+	}
+	if got, err := e.Match([]byte("nope")); err != nil || got {
+		t.Errorf("Match = %v/%v", got, err)
+	}
+	if e.Program() != p {
+		t.Error("Program accessor lost the program")
+	}
+}
+
+func TestCompileWithMinimal(t *testing.T) {
+	adv, err := Compile("[a-z]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := CompileWith("[a-z]", backend.Minimal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.OpCount() <= adv.OpCount() {
+		t.Errorf("minimal %d <= advanced %d", min.OpCount(), adv.OpCount())
+	}
+}
+
+func TestEngineOptions(t *testing.T) {
+	p, err := Compile("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(p, WithCores(0)); err == nil {
+		t.Error("zero cores accepted")
+	}
+	cfg := arch.DefaultConfig()
+	cfg.ComputeUnits = 1
+	e, err := NewEngine(p, WithArchConfig(cfg), WithCores(3), WithOverlap(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Cores() != 3 {
+		t.Errorf("Cores = %d", e.Cores())
+	}
+	n, err := e.Count([]byte("x.x.x"))
+	if err != nil || n != 3 {
+		t.Errorf("Count = %d/%v", n, err)
+	}
+}
+
+func TestRunSingleVsMulti(t *testing.T) {
+	p, err := Compile("needle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte(strings.Repeat("straw ", 5000) + "needle" + strings.Repeat(" straw", 5000))
+	single, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := NewEngine(p, WithCores(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := single.Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := multi.Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Matches) != 1 || len(rm.Matches) != 1 {
+		t.Fatalf("matches: single %d, multi %d", len(rs.Matches), len(rm.Matches))
+	}
+	if rs.Matches[0] != rm.Matches[0] {
+		t.Errorf("positions differ: %v vs %v", rs.Matches[0], rm.Matches[0])
+	}
+	if rm.WallCycles >= rs.WallCycles {
+		t.Errorf("multi wall %d not below single %d", rm.WallCycles, rs.WallCycles)
+	}
+	if len(rs.PerCore) != 1 || len(rm.PerCore) != 8 {
+		t.Errorf("per-core shapes: %d, %d", len(rs.PerCore), len(rm.PerCore))
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"alveare/internal/backend"
+)
+
+// RuleSet is a compiled multi-pattern database — the deployment unit of
+// deep-packet-inspection workloads, where hundreds of rules scan the
+// same stream. Each rule keeps its own engine (the multi-core ALVEARE
+// parallelises over data, rules are dispatched sequentially, as in the
+// paper's per-RE evaluation).
+type RuleSet struct {
+	patterns []string
+	engines  []*Engine
+}
+
+// NewRuleSet compiles every pattern with the given compiler options and
+// builds one engine per rule.
+func NewRuleSet(patterns []string, copt backend.Options, opts ...Option) (*RuleSet, error) {
+	rs := &RuleSet{patterns: append([]string(nil), patterns...)}
+	for i, re := range patterns {
+		p, err := CompileWith(re, copt)
+		if err != nil {
+			return nil, fmt.Errorf("core: rule %d %q: %w", i, re, err)
+		}
+		eng, err := NewEngine(p, opts...)
+		if err != nil {
+			return nil, err
+		}
+		rs.engines = append(rs.engines, eng)
+	}
+	return rs, nil
+}
+
+// Len returns the number of rules.
+func (rs *RuleSet) Len() int { return len(rs.engines) }
+
+// Pattern returns the i-th rule's source.
+func (rs *RuleSet) Pattern(i int) string { return rs.patterns[i] }
+
+// Engine returns the i-th rule's engine.
+func (rs *RuleSet) Engine(i int) *Engine { return rs.engines[i] }
+
+// RuleMatches reports one rule's hits in a scanned stream.
+type RuleMatches struct {
+	Rule    int
+	Matches []Match
+}
+
+// Scan runs every rule over data and returns the hits of the rules that
+// matched, in rule order.
+func (rs *RuleSet) Scan(data []byte) ([]RuleMatches, error) {
+	var out []RuleMatches
+	for i, eng := range rs.engines {
+		ms, err := eng.FindAll(data)
+		if err != nil {
+			return nil, fmt.Errorf("core: rule %d %q: %w", i, rs.patterns[i], err)
+		}
+		if len(ms) > 0 {
+			out = append(out, RuleMatches{Rule: i, Matches: ms})
+		}
+	}
+	return out, nil
+}
+
+// FirstMatch returns the lowest-numbered rule that occurs in data.
+func (rs *RuleSet) FirstMatch(data []byte) (rule int, ok bool, err error) {
+	for i, eng := range rs.engines {
+		hit, err := eng.Match(data)
+		if err != nil {
+			return 0, false, fmt.Errorf("core: rule %d %q: %w", i, rs.patterns[i], err)
+		}
+		if hit {
+			return i, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// TotalCycles sums the single-core cycle counters across all rules.
+func (rs *RuleSet) TotalCycles() int64 {
+	var total int64
+	for _, eng := range rs.engines {
+		total += eng.Stats().Cycles
+	}
+	return total
+}

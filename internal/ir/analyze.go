@@ -1,0 +1,176 @@
+package ir
+
+// Analysis of IR trees used by the back-end to emit prefilter hints:
+// match-length bounds and required literals (necessary factors).
+
+// LenUnbounded marks an unbounded maximum match length.
+const LenUnbounded = -1
+
+// Lengths returns the minimum and maximum number of bytes any match of
+// op consumes; max == LenUnbounded when no upper bound exists.
+func Lengths(op Op) (min, max int) {
+	switch op := op.(type) {
+	case *And:
+		return len(op.Bytes), len(op.Bytes)
+	case *Or, *Range:
+		return 1, 1
+	case *Chain:
+		return 1, 1
+	case *Seq:
+		for _, s := range op.Ops {
+			lo, hi := Lengths(s)
+			min += lo
+			max = addLen(max, hi)
+		}
+		return min, max
+	case *Alt:
+		first := true
+		for _, s := range op.Alts {
+			lo, hi := Lengths(s)
+			if first {
+				min, max = lo, hi
+				first = false
+				continue
+			}
+			if lo < min {
+				min = lo
+			}
+			max = maxLen(max, hi)
+		}
+		return min, max
+	case *Quant:
+		lo, hi := Lengths(op.Body)
+		min = lo * op.Min
+		if op.Max == Unbounded {
+			if hi == 0 {
+				return min, min
+			}
+			return min, LenUnbounded
+		}
+		return min, mulLen(hi, op.Max)
+	}
+	return 0, 0
+}
+
+func addLen(a, b int) int {
+	if a == LenUnbounded || b == LenUnbounded {
+		return LenUnbounded
+	}
+	return a + b
+}
+
+func mulLen(a, n int) int {
+	if a == LenUnbounded {
+		return LenUnbounded
+	}
+	return a * n
+}
+
+func maxLen(a, b int) int {
+	if a == LenUnbounded || b == LenUnbounded {
+		return LenUnbounded
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Prefilter is a necessary-factor hint: every match of the pattern
+// contains Literal, beginning between PreMin and PreMax bytes
+// (PreMax == LenUnbounded when unbounded) after the match start. The
+// engine can therefore reduce candidate starts to the neighbourhoods of
+// the literal's occurrences — the software-side optimisation that costs
+// the hardware nothing (paper §5's philosophy: complexity moves to the
+// compiler).
+type Prefilter struct {
+	Literal        []byte
+	PreMin, PreMax int
+}
+
+// Usable reports whether the hint can narrow candidate windows (a
+// bounded prefix) rather than only answer containment.
+func (p *Prefilter) Usable() bool {
+	return p != nil && len(p.Literal) > 0 && p.PreMax != LenUnbounded
+}
+
+// FindPrefilter extracts the longest required literal of the pattern
+// with its prefix-distance bounds. It returns nil when no literal of at
+// least two bytes is mandatory.
+func FindPrefilter(op Op) *Prefilter {
+	best := &Prefilter{}
+	walk(op, 0, 0, best)
+	if len(best.Literal) < 2 {
+		return nil
+	}
+	return best
+}
+
+// walk scans sequences for maximal runs of consecutive And leaves,
+// tracking the length bounds of everything before the run. preMin and
+// preMax are the bounds of the path from the match start to op.
+func walk(op Op, preMin, preMax int, best *Prefilter) {
+	switch op := op.(type) {
+	case *And:
+		consider(op.Bytes, preMin, preMax, best)
+	case *Seq:
+		// Merge adjacent And leaves into one literal run.
+		i := 0
+		for i < len(op.Ops) {
+			if a, ok := op.Ops[i].(*And); ok {
+				lit := append([]byte(nil), a.Bytes...)
+				j := i + 1
+				for j < len(op.Ops) {
+					b, ok := op.Ops[j].(*And)
+					if !ok {
+						break
+					}
+					lit = append(lit, b.Bytes...)
+					j++
+				}
+				consider(lit, preMin, preMax, best)
+				preMin += len(lit)
+				preMax = addLen(preMax, len(lit))
+				i = j
+				continue
+			}
+			sub := op.Ops[i]
+			walk(sub, preMin, preMax, best)
+			lo, hi := Lengths(sub)
+			preMin += lo
+			preMax = addLen(preMax, hi)
+			i++
+		}
+	case *Quant:
+		if op.Min >= 1 {
+			// The first mandatory repetition contains the body's
+			// literals at a known offset.
+			walk(op.Body, preMin, preMax, best)
+		}
+	case *Alt, *Chain, *Or, *Range:
+		// Branch-dependent content is not a required factor. (A common
+		// factor across all alternatives would be; that refinement is
+		// left to the compiler's future work, as in hyperscan's
+		// dominant-path analysis.)
+	}
+}
+
+// consider keeps the better literal: longer wins; on a tie, the one
+// with a bounded, narrower prefix window wins.
+func consider(lit []byte, preMin, preMax int, best *Prefilter) {
+	if len(lit) < len(best.Literal) {
+		return
+	}
+	window := func(pMax int) int {
+		if pMax == LenUnbounded {
+			return 1 << 30
+		}
+		return pMax
+	}
+	if len(lit) == len(best.Literal) &&
+		window(preMax)-preMin >= window(best.PreMax)-best.PreMin {
+		return
+	}
+	best.Literal = append(best.Literal[:0], lit...)
+	best.PreMin, best.PreMax = preMin, preMax
+}

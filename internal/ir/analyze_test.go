@@ -1,0 +1,86 @@
+package ir
+
+import (
+	"testing"
+)
+
+func analyzeOf(t *testing.T, re string) Op {
+	t.Helper()
+	return lower(t, re, Options{})
+}
+
+func TestLengths(t *testing.T) {
+	cases := []struct {
+		re       string
+		min, max int
+	}{
+		{"abc", 3, 3},
+		{"[a-z]", 1, 1},
+		{"a|bc", 1, 2},
+		{"a*", 0, LenUnbounded},
+		{"a{2,5}", 2, 5},
+		{"(ab){3}", 6, 6},
+		{"a?b", 1, 2},
+		{"(GET|POST) /", 5, 6},
+		{"", 0, 0},
+		{"x[0-9]{2,4}y", 4, 6},
+		{"a+", 1, LenUnbounded},
+	}
+	for _, c := range cases {
+		t.Run(c.re, func(t *testing.T) {
+			lo, hi := Lengths(analyzeOf(t, c.re))
+			if lo != c.min || hi != c.max {
+				t.Errorf("Lengths(%q) = (%d,%d), want (%d,%d)", c.re, lo, hi, c.min, c.max)
+			}
+		})
+	}
+}
+
+func TestFindPrefilter(t *testing.T) {
+	cases := []struct {
+		re             string
+		lit            string // "" = no usable prefilter
+		preMin, preMax int
+	}{
+		{"(GET|POST) /index", " /index", 3, 4},
+		{"abcdef", "abcdef", 0, 0},
+		{"[a-z]+needle", "needle", 1, LenUnbounded},
+		{"(a|b)(c|d)", "", 0, 0}, // no mandatory literal
+		{"x?hello", "hello", 0, 1},
+		{"(foo|bar)baz(qux|quux)", "baz", 3, 3},
+		{"a{2,4}WORD", "WORD", 2, 4},
+		{"(ab)+tail", "tail", 2, LenUnbounded}, // unbounded prefix: containment-only hint
+		{"ab", "ab", 0, 0},
+		{"a", "", 0, 0}, // single byte: too weak
+	}
+	for _, c := range cases {
+		t.Run(c.re, func(t *testing.T) {
+			pf := FindPrefilter(analyzeOf(t, c.re))
+			if c.lit == "" {
+				if pf != nil {
+					t.Fatalf("unexpected prefilter %q", pf.Literal)
+				}
+				return
+			}
+			if pf == nil {
+				t.Fatalf("no prefilter, want %q", c.lit)
+			}
+			if string(pf.Literal) != c.lit || pf.PreMin != c.preMin || pf.PreMax != c.preMax {
+				t.Errorf("prefilter = %q @ [%d,%d], want %q @ [%d,%d]",
+					pf.Literal, pf.PreMin, pf.PreMax, c.lit, c.preMin, c.preMax)
+			}
+		})
+	}
+}
+
+func TestPrefilterMandatoryQuantBody(t *testing.T) {
+	// The first mandatory repetition pins the body literal's offset.
+	pf := FindPrefilter(analyzeOf(t, "(hello){2,5}"))
+	if pf == nil || string(pf.Literal) != "hello" || pf.PreMin != 0 || pf.PreMax != 0 {
+		t.Errorf("prefilter = %+v", pf)
+	}
+	// Optional bodies guarantee nothing.
+	if pf := FindPrefilter(analyzeOf(t, "(hello)?x?")); pf != nil {
+		t.Errorf("optional body produced %q", pf.Literal)
+	}
+}

@@ -1,0 +1,773 @@
+// Package ir implements the middle-end of the ALVEARE compilation flow
+// (paper §5, "Middle-End: Lowering and Optimizing the REs"): it
+// transforms the front-end AST into an ISA-oriented intermediate
+// representation, removing over-parenthesised sub-REs, expanding
+// ISA-unsupported primitives (\w, .) into supported ones, grouping
+// characters by the four-byte reference limit, packing class ranges two
+// per RANGE primitive, normalising Kleene operators to the single
+// counter primitive, and decomposing counters that exceed the ISA's
+// 6-bit bound.
+//
+// The IR is a tree whose leaves correspond one-to-one to base
+// instructions and whose interior nodes correspond to the complex
+// operator structures the back-end emits (counters, alternation chains,
+// class OR-chains).
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"alveare/internal/isa"
+	"alveare/internal/syntax"
+)
+
+// Unbounded marks a Quant with no upper repetition limit.
+const Unbounded = -1
+
+// Op is one IR node. Leaf implementations (And, Or, Range) map to single
+// base instructions; structural implementations (Seq, Quant, Alt, Chain)
+// map to complex-operator layouts.
+type Op interface {
+	dump(b *strings.Builder)
+}
+
+// And matches 1..4 literal bytes consecutively (vectorised AND).
+type And struct {
+	Bytes []byte
+}
+
+// Or matches one character against 1..4 alternatives, optionally negated
+// (the composable NOT primitive).
+type Or struct {
+	Bytes []byte
+	Not   bool
+}
+
+// Pair is one inclusive byte range of a RANGE primitive.
+type Pair struct {
+	Lo, Hi byte
+}
+
+// Range matches one character against one or two packed ranges,
+// optionally negated.
+type Range struct {
+	Pairs []Pair
+	Not   bool
+}
+
+// Seq is the concatenation of its operands (the ISA's implicit AND
+// between consecutive instructions).
+type Seq struct {
+	Ops []Op
+}
+
+// Quant repeats Body between Min and Max times (Max == Unbounded for no
+// limit) in greedy or lazy modality; it lowers to the single counter
+// primitive of the ISA.
+type Quant struct {
+	Body     Op
+	Min, Max int
+	Lazy     bool
+}
+
+// Alt is a general alternation of sub-REs; each alternative lowers to an
+// entering sub-RE operator plus its body and a ")|" (or final ")") close.
+type Alt struct {
+	Alts []Op
+}
+
+// Chain is the complex OR chain the middle-end builds for base
+// expressions exceeding the four-character reference limit: a single
+// entering operator followed by single-instruction alternatives, each a
+// base OR or RANGE leaf. All elements consume exactly one character.
+type Chain struct {
+	Elems []Op
+}
+
+func (o *And) dump(b *strings.Builder) {
+	b.WriteString("and{")
+	dumpBytes(b, o.Bytes)
+	b.WriteString("}")
+}
+
+func (o *Or) dump(b *strings.Builder) {
+	if o.Not {
+		b.WriteString("!")
+	}
+	b.WriteString("or{")
+	dumpBytes(b, o.Bytes)
+	b.WriteString("}")
+}
+
+func (o *Range) dump(b *strings.Builder) {
+	if o.Not {
+		b.WriteString("!")
+	}
+	b.WriteString("rng{")
+	for i, p := range o.Pairs {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		dumpBytes(b, []byte{p.Lo})
+		b.WriteString("-")
+		dumpBytes(b, []byte{p.Hi})
+	}
+	b.WriteString("}")
+}
+
+func (o *Seq) dump(b *strings.Builder)   { dumpList(b, "seq", o.Ops) }
+func (o *Alt) dump(b *strings.Builder)   { dumpList(b, "alt", o.Alts) }
+func (o *Chain) dump(b *strings.Builder) { dumpList(b, "chain", o.Elems) }
+
+func (o *Quant) dump(b *strings.Builder) {
+	b.WriteString("q{")
+	fmt.Fprintf(b, "%d,", o.Min)
+	if o.Max == Unbounded {
+		b.WriteString("inf")
+	} else {
+		fmt.Fprintf(b, "%d", o.Max)
+	}
+	if o.Lazy {
+		b.WriteString(" lazy")
+	}
+	b.WriteString(" ")
+	o.Body.dump(b)
+	b.WriteString("}")
+}
+
+func dumpList(b *strings.Builder, tag string, ops []Op) {
+	b.WriteString(tag)
+	b.WriteString("(")
+	for i, o := range ops {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		o.dump(b)
+	}
+	b.WriteString(")")
+}
+
+func dumpByte(b *strings.Builder, c byte) {
+	switch {
+	case c >= 0x21 && c <= 0x7e:
+		b.WriteByte(c)
+	case c == ' ':
+		b.WriteString("\\s")
+	case c == '\n':
+		b.WriteString("\\n")
+	case c == '\t':
+		b.WriteString("\\t")
+	case c == '\r':
+		b.WriteString("\\r")
+	default:
+		fmt.Fprintf(b, "\\x%02x", c)
+	}
+}
+
+func dumpBytes(b *strings.Builder, cs []byte) {
+	for _, c := range cs {
+		dumpByte(b, c)
+	}
+}
+
+// Dump renders the IR in a stable s-expression form for tests.
+func Dump(o Op) string {
+	var b strings.Builder
+	o.dump(&b)
+	return b.String()
+}
+
+// Options selects the middle-end operating mode. The zero value is the
+// full advanced-primitive compiler. Minimal reproduces the paper's §7.1
+// baseline ("compiler-based unfolding" with the minimal regular-language
+// operator set); the fine-grained switches drive the ablation study.
+type Options struct {
+	// Minimal disables every advanced primitive at once: RANGE, NOT and
+	// bounded counters (Table 2's "Minimal Op." column). It implies
+	// NoRange, NoNot and NoCounters.
+	Minimal bool
+
+	// NoRange unfolds RANGE primitives into OR alternations.
+	NoRange bool
+	// NoNot unfolds negated classes into their positive complement.
+	NoNot bool
+	// NoCounters unfolds bounded quantifiers into alternations of
+	// repeated concatenations; unbounded quantifiers necessarily keep
+	// the loop form.
+	NoCounters bool
+
+	// ASCIIAlphabet restricts class complements to bytes 0..127, the
+	// alphabet the paper's microbenchmark arithmetic assumes. It is set
+	// implicitly by Minimal so that unfolded counts are comparable with
+	// the paper's Table 2.
+	ASCIIAlphabet bool
+
+	// CaseInsensitive folds ASCII letter case during lowering: literals
+	// become per-letter two-character ORs and classes gain the folded
+	// ranges.
+	CaseInsensitive bool
+}
+
+func (o Options) noRange() bool    { return o.Minimal || o.NoRange }
+func (o Options) noNot() bool      { return o.Minimal || o.NoNot }
+func (o Options) noCounters() bool { return o.Minimal || o.NoCounters }
+func (o Options) maxByte() byte {
+	if o.Minimal || o.ASCIIAlphabet {
+		return 127
+	}
+	return 255
+}
+
+// Lower transforms a front-end AST into the optimised IR, running the
+// full middle-end pipeline: lowering, unsupported-primitive expansion,
+// grouping, counter normalisation and decomposition.
+func Lower(n syntax.Node, opt Options) (Op, error) {
+	l := lowerer{opt: opt}
+	op, err := l.lower(n)
+	if err != nil {
+		return nil, err
+	}
+	op = simplify(op)
+	op, err = decomposeCounters(op, opt)
+	if err != nil {
+		return nil, err
+	}
+	return simplify(op), nil
+}
+
+type lowerer struct {
+	opt Options
+}
+
+func (l *lowerer) lower(n syntax.Node) (Op, error) {
+	switch n := n.(type) {
+	case *syntax.Empty:
+		return &Seq{}, nil
+	case *syntax.Literal:
+		return l.lowerLiteral(n.Bytes), nil
+	case *syntax.Group:
+		// Over-parenthesised sub-REs are removed: the ISA's default AND
+		// between consecutive instructions makes the grouping implicit.
+		return l.lower(n.Sub)
+	case *syntax.Dot:
+		// The "." translates into [^\n] (paper §5).
+		return l.lowerClass([]syntax.ClassRange{{Lo: '\n', Hi: '\n'}}, true), nil
+	case *syntax.Shorthand:
+		rs, neg, ok := syntax.ShorthandRanges(n.Kind)
+		if !ok {
+			return nil, fmt.Errorf("ir: unknown shorthand \\%c", n.Kind)
+		}
+		return l.lowerClass(rs, neg), nil
+	case *syntax.Class:
+		return l.lowerClass(n.Ranges, n.Neg), nil
+	case *syntax.Concat:
+		seq := &Seq{}
+		for _, s := range n.Subs {
+			op, err := l.lower(s)
+			if err != nil {
+				return nil, err
+			}
+			seq.Ops = append(seq.Ops, op)
+		}
+		return seq, nil
+	case *syntax.Alternate:
+		// Alternations of single characters collapse into a class: the
+		// middle-end groups OR expressions by four characters instead of
+		// paying one sub-RE per alternative.
+		if bytes, ok := singleByteAlts(n.Subs); ok {
+			rs := make([]syntax.ClassRange, len(bytes))
+			for i, c := range bytes {
+				rs[i] = syntax.ClassRange{Lo: c, Hi: c}
+			}
+			return l.lowerClass(rs, false), nil
+		}
+		alt := &Alt{}
+		for _, s := range n.Subs {
+			op, err := l.lower(s)
+			if err != nil {
+				return nil, err
+			}
+			alt.Alts = append(alt.Alts, op)
+		}
+		return alt, nil
+	case *syntax.Repeat:
+		body, err := l.lower(n.Sub)
+		if err != nil {
+			return nil, err
+		}
+		max := n.Max
+		if max == syntax.Unlimited {
+			max = Unbounded
+		}
+		return &Quant{Body: body, Min: n.Min, Max: max, Lazy: n.Lazy}, nil
+	}
+	return nil, fmt.Errorf("ir: unknown AST node %T", n)
+}
+
+// lowerLiteral splits a literal run into AND leaves of at most four
+// bytes; the implicit AND between consecutive instructions makes the
+// groups behave as one long AND (paper §5). Under case folding, runs of
+// letters become per-letter two-character ORs instead.
+func (l *lowerer) lowerLiteral(bs []byte) Op {
+	if len(bs) == 0 {
+		return &Seq{}
+	}
+	if l.opt.CaseInsensitive {
+		seq := &Seq{}
+		run := make([]byte, 0, 4)
+		flush := func() {
+			if len(run) > 0 {
+				seq.Ops = append(seq.Ops, l.lowerLiteralRun(run))
+				run = run[:0]
+			}
+		}
+		for _, c := range bs {
+			if lo, hi, ok := foldLetter(c); ok {
+				flush()
+				seq.Ops = append(seq.Ops, &Or{Bytes: []byte{lo, hi}})
+				continue
+			}
+			run = append(run, c)
+		}
+		flush()
+		return simplify(seq)
+	}
+	return l.lowerLiteralRun(bs)
+}
+
+func (l *lowerer) lowerLiteralRun(bs []byte) Op {
+	if len(bs) <= 4 {
+		return &And{Bytes: append([]byte(nil), bs...)}
+	}
+	seq := &Seq{}
+	for i := 0; i < len(bs); i += 4 {
+		end := min(i+4, len(bs))
+		seq.Ops = append(seq.Ops, &And{Bytes: append([]byte(nil), bs[i:end]...)})
+	}
+	return seq
+}
+
+// foldLetter returns the lower/upper pair of an ASCII letter.
+func foldLetter(c byte) (lo, hi byte, ok bool) {
+	switch {
+	case c >= 'a' && c <= 'z':
+		return c, c - 'a' + 'A', true
+	case c >= 'A' && c <= 'Z':
+		return c - 'A' + 'a', c, true
+	}
+	return 0, 0, false
+}
+
+// singleByteAlts reports whether every alternative is a one-byte literal
+// and returns the byte set.
+func singleByteAlts(subs []syntax.Node) ([]byte, bool) {
+	var out []byte
+	for _, s := range subs {
+		lit, ok := s.(*syntax.Literal)
+		if !ok || len(lit.Bytes) != 1 {
+			return nil, false
+		}
+		out = append(out, lit.Bytes[0])
+	}
+	return out, true
+}
+
+// lowerClass is the class-lowering strategy selector described in
+// DESIGN.md §4: it chooses the cheapest representation among a single
+// (possibly negated) RANGE, a single (possibly negated) OR, and a
+// complex OR chain over the positive character set.
+func (l *lowerer) lowerClass(ranges []syntax.ClassRange, neg bool) Op {
+	if l.opt.CaseInsensitive {
+		ranges = foldRanges(ranges)
+	}
+	norm := normalizeRanges(ranges, l.opt.maxByte())
+	if len(norm) == 0 {
+		if neg {
+			// Negation of the empty set: any character.
+			norm = []Pair{{0, l.opt.maxByte()}}
+			neg = false
+		} else {
+			// The front-end rejects empty classes; an empty set after
+			// clipping matches nothing. Represent as an impossible OR.
+			return &Or{Bytes: []byte{0}, Not: false}
+		}
+	}
+
+	// Direct single-instruction representations.
+	if !l.opt.noNot() || !neg {
+		if op, ok := leafFor(norm, neg, l.opt); ok {
+			return op
+		}
+	}
+
+	// Fall back to the positive set (complementing if negated) and build
+	// the complex OR chain.
+	pos := norm
+	if neg {
+		pos = complement(norm, l.opt.maxByte())
+		if len(pos) == 0 {
+			return &Or{Bytes: []byte{0}, Not: false} // matches nothing
+		}
+		if op, ok := leafFor(pos, false, l.opt); ok {
+			return op
+		}
+	}
+	return l.chainFor(pos)
+}
+
+// leafFor returns a single-instruction leaf for the normalised range set
+// when one exists under the active options.
+func leafFor(pairs []Pair, neg bool, opt Options) (Op, bool) {
+	if bs, ok := pairsToBytes(pairs, 4); ok {
+		return &Or{Bytes: bs, Not: neg}, true
+	}
+	if len(pairs) <= 2 && !opt.noRange() {
+		return &Range{Pairs: append([]Pair(nil), pairs...), Not: neg}, true
+	}
+	return nil, false
+}
+
+// chainFor packs a positive range set into a complex OR chain: single
+// characters grouped four per OR instruction, ranges two per RANGE
+// instruction (or unfolded to characters when RANGE is disabled).
+func (l *lowerer) chainFor(pairs []Pair) Op {
+	var singles []byte
+	var wide []Pair
+	for _, p := range pairs {
+		if l.opt.noRange() || p.Lo == p.Hi {
+			for c := int(p.Lo); c <= int(p.Hi); c++ {
+				singles = append(singles, byte(c))
+			}
+		} else {
+			wide = append(wide, p)
+		}
+	}
+	var elems []Op
+	for len(wide) >= 2 {
+		elems = append(elems, &Range{Pairs: []Pair{wide[0], wide[1]}})
+		wide = wide[2:]
+	}
+	if len(wide) == 1 {
+		// Fill the half-empty RANGE slot with a single character when
+		// one is available.
+		ps := []Pair{wide[0]}
+		if len(singles) > 0 {
+			ps = append(ps, Pair{singles[0], singles[0]})
+			singles = singles[1:]
+		}
+		elems = append(elems, &Range{Pairs: ps})
+	}
+	for i := 0; i < len(singles); i += 4 {
+		end := min(i+4, len(singles))
+		elems = append(elems, &Or{Bytes: append([]byte(nil), singles[i:end]...)})
+	}
+	if len(elems) == 1 {
+		return elems[0]
+	}
+	return &Chain{Elems: elems}
+}
+
+// pairsToBytes flattens a range set to at most limit single bytes,
+// reporting false if it is wider.
+func pairsToBytes(pairs []Pair, limit int) ([]byte, bool) {
+	var out []byte
+	for _, p := range pairs {
+		for c := int(p.Lo); c <= int(p.Hi); c++ {
+			out = append(out, byte(c))
+			if len(out) > limit {
+				return nil, false
+			}
+		}
+	}
+	return out, true
+}
+
+// foldRanges adds the opposite-case image of every letter covered by
+// the range set.
+func foldRanges(ranges []syntax.ClassRange) []syntax.ClassRange {
+	out := append([]syntax.ClassRange(nil), ranges...)
+	for _, r := range ranges {
+		for c := int(r.Lo); c <= int(r.Hi); c++ {
+			if lo, hi, ok := foldLetter(byte(c)); ok {
+				out = append(out, syntax.ClassRange{Lo: lo, Hi: lo}, syntax.ClassRange{Lo: hi, Hi: hi})
+			}
+		}
+	}
+	return out
+}
+
+// normalizeRanges sorts, clips to the alphabet and merges the range set.
+func normalizeRanges(ranges []syntax.ClassRange, maxByte byte) []Pair {
+	covered := [256]bool{}
+	for _, r := range ranges {
+		lo, hi := r.Lo, r.Hi
+		if lo > maxByte {
+			continue
+		}
+		if hi > maxByte {
+			hi = maxByte
+		}
+		for c := int(lo); c <= int(hi); c++ {
+			covered[c] = true
+		}
+	}
+	var out []Pair
+	c := 0
+	for c <= int(maxByte) {
+		if !covered[c] {
+			c++
+			continue
+		}
+		lo := c
+		for c <= int(maxByte) && covered[c] {
+			c++
+		}
+		out = append(out, Pair{byte(lo), byte(c - 1)})
+	}
+	return out
+}
+
+// complement returns the complement of a normalised range set over the
+// alphabet 0..maxByte.
+func complement(pairs []Pair, maxByte byte) []Pair {
+	covered := [256]bool{}
+	for _, p := range pairs {
+		for c := int(p.Lo); c <= int(p.Hi); c++ {
+			covered[c] = true
+		}
+	}
+	var out []Pair
+	c := 0
+	for c <= int(maxByte) {
+		if covered[c] {
+			c++
+			continue
+		}
+		lo := c
+		for c <= int(maxByte) && !covered[c] {
+			c++
+		}
+		out = append(out, Pair{byte(lo), byte(c - 1)})
+	}
+	return out
+}
+
+// simplify flattens nested sequences, unwraps trivial quantifiers and
+// drops empty operands.
+func simplify(op Op) Op {
+	switch op := op.(type) {
+	case *Seq:
+		var ops []Op
+		for _, s := range op.Ops {
+			s = simplify(s)
+			if sub, ok := s.(*Seq); ok {
+				ops = append(ops, sub.Ops...)
+				continue
+			}
+			ops = append(ops, s)
+		}
+		if len(ops) == 1 {
+			return ops[0]
+		}
+		return &Seq{Ops: ops}
+	case *Alt:
+		for i, a := range op.Alts {
+			op.Alts[i] = simplify(a)
+		}
+		if len(op.Alts) == 1 {
+			return op.Alts[0]
+		}
+		return op
+	case *Quant:
+		op.Body = simplify(op.Body)
+		if isEmpty(op.Body) {
+			// Repetition of the empty expression matches the empty
+			// string regardless of the bounds.
+			return &Seq{}
+		}
+		if op.Min == 1 && op.Max == 1 {
+			return op.Body
+		}
+		if op.Max == 0 {
+			return &Seq{}
+		}
+		return op
+	case *Chain:
+		for i, e := range op.Elems {
+			op.Elems[i] = simplify(e)
+		}
+		if len(op.Elems) == 1 {
+			return op.Elems[0]
+		}
+		return op
+	}
+	return op
+}
+
+// isEmpty reports whether the op emits no instructions.
+func isEmpty(op Op) bool {
+	s, ok := op.(*Seq)
+	return ok && len(s.Ops) == 0
+}
+
+// clone deep-copies an IR subtree; counter decomposition duplicates
+// bodies and must not alias them.
+func clone(op Op) Op {
+	switch op := op.(type) {
+	case *And:
+		return &And{Bytes: append([]byte(nil), op.Bytes...)}
+	case *Or:
+		return &Or{Bytes: append([]byte(nil), op.Bytes...), Not: op.Not}
+	case *Range:
+		return &Range{Pairs: append([]Pair(nil), op.Pairs...), Not: op.Not}
+	case *Seq:
+		out := &Seq{Ops: make([]Op, len(op.Ops))}
+		for i, s := range op.Ops {
+			out.Ops[i] = clone(s)
+		}
+		return out
+	case *Alt:
+		out := &Alt{Alts: make([]Op, len(op.Alts))}
+		for i, s := range op.Alts {
+			out.Alts[i] = clone(s)
+		}
+		return out
+	case *Chain:
+		out := &Chain{Elems: make([]Op, len(op.Elems))}
+		for i, s := range op.Elems {
+			out.Elems[i] = clone(s)
+		}
+		return out
+	case *Quant:
+		return &Quant{Body: clone(op.Body), Min: op.Min, Max: op.Max, Lazy: op.Lazy}
+	}
+	panic(fmt.Sprintf("ir: clone of unknown op %T", op))
+}
+
+// decomposeCounters rewrites quantifiers whose bounds exceed the ISA's
+// 6-bit counters into language-equivalent compositions of supported
+// counters, and — under NoCounters — unfolds bounded quantifiers into
+// alternations of repeated concatenations (the paper's minimal baseline).
+func decomposeCounters(op Op, opt Options) (Op, error) {
+	switch op := op.(type) {
+	case *Seq:
+		for i, s := range op.Ops {
+			d, err := decomposeCounters(s, opt)
+			if err != nil {
+				return nil, err
+			}
+			op.Ops[i] = d
+		}
+		return op, nil
+	case *Alt:
+		for i, s := range op.Alts {
+			d, err := decomposeCounters(s, opt)
+			if err != nil {
+				return nil, err
+			}
+			op.Alts[i] = d
+		}
+		return op, nil
+	case *Chain:
+		return op, nil // chain elements are leaves
+	case *Quant:
+		body, err := decomposeCounters(op.Body, opt)
+		if err != nil {
+			return nil, err
+		}
+		op.Body = body
+		return rewriteQuant(op, opt)
+	default:
+		return op, nil
+	}
+}
+
+// rewriteQuant implements the counter rewrites for one quantifier.
+func rewriteQuant(q *Quant, opt Options) (Op, error) {
+	if opt.noCounters() {
+		return unfoldQuant(q)
+	}
+	if q.Min <= isa.MaxCounter && (q.Max == Unbounded || q.Max <= isa.MaxCounter) {
+		return q, nil
+	}
+	// X{n,m} with wide bounds: X{n} · X{0,m-n} (or X{0,inf}), each part
+	// recursively decomposed into <=62-wide counters.
+	var seq Seq
+	if q.Min > 0 {
+		seq.Ops = append(seq.Ops, exactCopies(q.Body, q.Min)...)
+	}
+	switch {
+	case q.Max == Unbounded:
+		seq.Ops = append(seq.Ops, &Quant{Body: clone(q.Body), Min: 0, Max: Unbounded, Lazy: q.Lazy})
+	case q.Max > q.Min:
+		rest := q.Max - q.Min
+		for rest > 0 {
+			step := min(rest, isa.MaxCounter)
+			seq.Ops = append(seq.Ops, &Quant{Body: clone(q.Body), Min: 0, Max: step, Lazy: q.Lazy})
+			rest -= step
+		}
+	}
+	return simplify(&seq), nil
+}
+
+// exactCopies emits X{n} as chained counters of at most 62 repetitions.
+func exactCopies(body Op, n int) []Op {
+	var ops []Op
+	for n > 0 {
+		step := min(n, isa.MaxCounter)
+		if step == 1 {
+			ops = append(ops, clone(body))
+		} else {
+			ops = append(ops, &Quant{Body: clone(body), Min: step, Max: step})
+		}
+		n -= step
+	}
+	return ops
+}
+
+// maxUnfold bounds the code-size explosion the minimal mode accepts when
+// unfolding bounded quantifiers.
+const maxUnfold = 1 << 16
+
+// unfoldQuant implements the paper's minimal baseline: bounded
+// repetitions become unfolded sequences of concatenations, bounded
+// ranges {n,m} become alternations of the unfolded sequences, and
+// unbounded quantifiers keep the loop form with the mandatory prefix
+// unfolded.
+func unfoldQuant(q *Quant) (Op, error) {
+	rep := func(n int) Op {
+		s := &Seq{}
+		for i := 0; i < n; i++ {
+			s.Ops = append(s.Ops, clone(q.Body))
+		}
+		return simplify(s)
+	}
+	if q.Max == Unbounded {
+		// X{n,} -> X^n X{0,inf}: the loop itself cannot be unfolded.
+		s := &Seq{Ops: []Op{rep(q.Min), &Quant{Body: clone(q.Body), Min: 0, Max: Unbounded, Lazy: q.Lazy}}}
+		return simplify(s), nil
+	}
+	if q.Max == q.Min {
+		if q.Min > maxUnfold {
+			return nil, fmt.Errorf("ir: unfolding {%d} exceeds the code-size bound", q.Min)
+		}
+		return rep(q.Min), nil
+	}
+	if q.Max*2 > maxUnfold {
+		return nil, fmt.Errorf("ir: unfolding {%d,%d} exceeds the code-size bound", q.Min, q.Max)
+	}
+	// Alternation ordered by the matching modality: greedy prefers the
+	// longest unfolding first, lazy the shortest.
+	alt := &Alt{}
+	if q.Lazy {
+		for n := q.Min; n <= q.Max; n++ {
+			alt.Alts = append(alt.Alts, rep(n))
+		}
+	} else {
+		for n := q.Max; n >= q.Min; n-- {
+			alt.Alts = append(alt.Alts, rep(n))
+		}
+	}
+	return simplify(alt), nil
+}

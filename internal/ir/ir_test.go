@@ -1,0 +1,294 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"alveare/internal/syntax"
+)
+
+func lower(t *testing.T, re string, opt Options) Op {
+	t.Helper()
+	ast, err := syntax.Parse(re)
+	if err != nil {
+		t.Fatalf("parse %q: %v", re, err)
+	}
+	op, err := Lower(ast, opt)
+	if err != nil {
+		t.Fatalf("lower %q: %v", re, err)
+	}
+	return op
+}
+
+// TestLowerGolden pins the middle-end output for representative REs in
+// the full advanced-primitive mode.
+func TestLowerGolden(t *testing.T) {
+	cases := []struct{ re, want string }{
+		{"abc", "and{abc}"},
+		{"abcdefgh", "seq(and{abcd} and{efgh})"},
+		{"abcdefghi", "seq(and{abcd} and{efgh} and{i})"},
+		{"a|b", "or{ab}"},         // single-char alternation folds to a class
+		{"a|b|c|d|e", "rng{a-e}"}, // contiguous chars merge into one RANGE
+		{"a|b|x|y|z", "rng{a-b x-z}"},
+		{"[a-z]", "rng{a-z}"},
+		{"[a-z0-9]", "rng{0-9 a-z}"}, // two ranges pack into one RANGE
+		{"[^a-z]", "!rng{a-z}"},      // NOT composes with RANGE
+		{"[^abc]", "!or{abc}"},       // NOT composes with OR
+		{".", "!or{\\n}"},            // dot lowers to [^\n]
+		{"\\w", "chain(rng{0-9 A-Z} rng{a-z _-_})"},
+		{"\\d", "rng{0-9}"},
+		{"\\s", "rng{\\t-\\r \\s-\\s}"},
+		{"[a-zA-Z]", "rng{A-Z a-z}"},
+		{"(ab)", "and{ab}"}, // over-parenthesis removal
+		{"((a))", "and{a}"},
+		{"a*", "q{0,inf and{a}}"},
+		{"a+", "q{1,inf and{a}}"},
+		{"a?", "q{0,1 and{a}}"},
+		{"a{3,6}?", "q{3,6 lazy and{a}}"},
+		{"(ab)+", "q{1,inf and{ab}}"},
+		{"(a|bc)", "alt(and{a} and{bc})"},
+		{"[abc][def]", "seq(or{abc} or{def})"},
+		{"x{1}", "and{x}"},
+		{"(a|b|c)d", "seq(or{abc} and{d})"},
+		{"", "seq()"},
+		{"()*", "seq()"}, // quantified empty group vanishes
+	}
+	for _, c := range cases {
+		t.Run(c.re, func(t *testing.T) {
+			got := Dump(lower(t, c.re, Options{}))
+			if got != c.want {
+				t.Errorf("Lower(%q) = %s, want %s", c.re, got, c.want)
+			}
+		})
+	}
+}
+
+// TestTable2Lowerings pins the IR of the paper's Table 2 microbenchmarks
+// under the advanced-primitive compiler.
+func TestTable2Lowerings(t *testing.T) {
+	cases := []struct{ re, want string }{
+		{"[a-zA-Z]", "rng{A-Z a-z}"},
+		{"[DBEZX]{7}", "q{7,7 chain(rng{D-E B-B} or{XZ})}"},
+		{".{3,6}", "q{3,6 !or{\\n}}"},
+		{"[^ ]*", "q{0,inf !or{\\s}}"},
+	}
+	for _, c := range cases {
+		t.Run(c.re, func(t *testing.T) {
+			if got := Dump(lower(t, c.re, Options{})); got != c.want {
+				t.Errorf("Lower(%q) = %s, want %s", c.re, got, c.want)
+			}
+		})
+	}
+}
+
+// TestMinimalModeUnfolds checks the §7.1 baseline: classes unfold to OR
+// chains, negation unfolds to complements, bounded counters unfold to
+// alternations of concatenations.
+func TestMinimalModeUnfolds(t *testing.T) {
+	min := Options{Minimal: true}
+
+	t.Run("range unfolds to chain of ORs", func(t *testing.T) {
+		got := Dump(lower(t, "[a-h]", min))
+		want := "chain(or{abcd} or{efgh})"
+		if got != want {
+			t.Errorf("got %s, want %s", got, want)
+		}
+	})
+	t.Run("negation unfolds to ASCII complement", func(t *testing.T) {
+		op := lower(t, "[^ ]", min)
+		ch, ok := op.(*Chain)
+		if !ok {
+			t.Fatalf("op = %T, want *Chain", op)
+		}
+		// 127 ASCII characters (0..127 minus space) in groups of four.
+		if len(ch.Elems) != 32 {
+			t.Errorf("chain has %d elements, want 32", len(ch.Elems))
+		}
+		for _, e := range ch.Elems {
+			or, ok := e.(*Or)
+			if !ok {
+				t.Fatalf("chain element %T, want *Or", e)
+			}
+			if or.Not {
+				t.Error("minimal mode emitted a NOT primitive")
+			}
+		}
+	})
+	t.Run("bounded quantifier unfolds to alternation", func(t *testing.T) {
+		op := lower(t, "a{2,4}", min)
+		alt, ok := op.(*Alt)
+		if !ok {
+			t.Fatalf("op = %T, want *Alt", op)
+		}
+		if len(alt.Alts) != 3 {
+			t.Fatalf("alternation of %d branches, want 3", len(alt.Alts))
+		}
+		// Greedy: longest branch first.
+		if got := Dump(alt.Alts[0]); got != "seq(and{a} and{a} and{a} and{a})" {
+			t.Errorf("first branch = %s, want four a's", got)
+		}
+		if got := Dump(alt.Alts[2]); got != "seq(and{a} and{a})" {
+			t.Errorf("last branch = %s, want two a's", got)
+		}
+	})
+	t.Run("lazy unfold orders shortest first", func(t *testing.T) {
+		op := lower(t, "a{2,3}?", min)
+		alt := op.(*Alt)
+		if got := Dump(alt.Alts[0]); got != "seq(and{a} and{a})" {
+			t.Errorf("first branch = %s, want two a's", got)
+		}
+	})
+	t.Run("exact bound unfolds to concatenation", func(t *testing.T) {
+		got := Dump(lower(t, "a{3}", min))
+		if got != "seq(and{a} and{a} and{a})" {
+			t.Errorf("got %s", got)
+		}
+	})
+	t.Run("unbounded keeps the loop", func(t *testing.T) {
+		got := Dump(lower(t, "a{2,}", min))
+		want := "seq(and{a} and{a} q{0,inf and{a}})"
+		if got != want {
+			t.Errorf("got %s, want %s", got, want)
+		}
+	})
+	t.Run("kleene star survives minimal mode", func(t *testing.T) {
+		got := Dump(lower(t, "a*", min))
+		if got != "q{0,inf and{a}}" {
+			t.Errorf("got %s", got)
+		}
+	})
+}
+
+// TestCounterDecomposition checks the rewrites for bounds exceeding the
+// ISA's 6-bit counters (0..62).
+func TestCounterDecomposition(t *testing.T) {
+	cases := []struct{ re, want string }{
+		{"a{62}", "q{62,62 and{a}}"},
+		{"a{63}", "seq(q{62,62 and{a}} and{a})"},
+		{"a{100}", "seq(q{62,62 and{a}} q{38,38 and{a}})"},
+		{"a{124}", "seq(q{62,62 and{a}} q{62,62 and{a}})"},
+		{"a{70,}", "seq(q{62,62 and{a}} q{8,8 and{a}} q{0,inf and{a}})"},
+		{"a{0,100}", "seq(q{0,62 and{a}} q{0,38 and{a}})"},
+		{"a{5,100}", "seq(q{5,5 and{a}} q{0,62 and{a}} q{0,33 and{a}})"},
+		{"a{62,62}", "q{62,62 and{a}}"},
+		{"a{0,62}", "q{0,62 and{a}}"},
+		{"a{63,64}", "seq(q{62,62 and{a}} and{a} q{0,1 and{a}})"},
+	}
+	for _, c := range cases {
+		t.Run(c.re, func(t *testing.T) {
+			if got := Dump(lower(t, c.re, Options{})); got != c.want {
+				t.Errorf("Lower(%q) = %s, want %s", c.re, got, c.want)
+			}
+		})
+	}
+}
+
+// TestCloneIndependence guards the unfolding passes against aliased
+// bodies.
+func TestCloneIndependence(t *testing.T) {
+	orig := &Seq{Ops: []Op{&And{Bytes: []byte("ab")}, &Quant{Body: &Or{Bytes: []byte("xy")}, Min: 1, Max: 2}}}
+	cp := clone(orig).(*Seq)
+	cp.Ops[0].(*And).Bytes[0] = 'Z'
+	cp.Ops[1].(*Quant).Body.(*Or).Bytes[0] = 'Z'
+	if orig.Ops[0].(*And).Bytes[0] != 'a' {
+		t.Error("clone aliases And bytes")
+	}
+	if orig.Ops[1].(*Quant).Body.(*Or).Bytes[0] != 'x' {
+		t.Error("clone aliases nested Quant body")
+	}
+}
+
+func TestUnfoldCodeSizeBound(t *testing.T) {
+	ast, err := syntax.Parse("a{9999}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lower(ast, Options{}); err != nil {
+		t.Errorf("advanced mode rejected a{9999}: %v", err)
+	}
+	// Minimal mode unfolds 9999 copies: within the bound, accepted.
+	if _, err := Lower(ast, Options{Minimal: true}); err != nil {
+		t.Errorf("minimal mode rejected a{9999}: %v", err)
+	}
+}
+
+// TestChainElementInvariant: every chain element is a one-character
+// leaf, the property the back-end and the controller rely on.
+func TestChainElementInvariant(t *testing.T) {
+	for _, re := range []string{"[^ ]", "\\w", "[a-zA-Z0-9%#@!]", "a|b|c|d|e|f"} {
+		op := lower(t, re, Options{})
+		var walk func(Op)
+		walk = func(o Op) {
+			switch o := o.(type) {
+			case *Chain:
+				for _, e := range o.Elems {
+					switch leaf := e.(type) {
+					case *Or:
+						if len(leaf.Bytes) < 1 || len(leaf.Bytes) > 4 {
+							t.Errorf("%q: chain OR with %d bytes", re, len(leaf.Bytes))
+						}
+					case *Range:
+						if len(leaf.Pairs) < 1 || len(leaf.Pairs) > 2 {
+							t.Errorf("%q: chain RANGE with %d pairs", re, len(leaf.Pairs))
+						}
+					default:
+						t.Errorf("%q: chain element %T", re, e)
+					}
+				}
+			case *Seq:
+				for _, s := range o.Ops {
+					walk(s)
+				}
+			case *Alt:
+				for _, s := range o.Alts {
+					walk(s)
+				}
+			case *Quant:
+				walk(o.Body)
+			}
+		}
+		walk(op)
+	}
+}
+
+func TestNormalizeRanges(t *testing.T) {
+	got := normalizeRanges([]syntax.ClassRange{{Lo: 'c', Hi: 'f'}, {Lo: 'a', Hi: 'd'}, {Lo: 'g', Hi: 'g'}}, 255)
+	if len(got) != 1 || got[0] != (Pair{'a', 'g'}) {
+		t.Errorf("merge failed: %v", got)
+	}
+	// Clipping to the ASCII alphabet.
+	got = normalizeRanges([]syntax.ClassRange{{Lo: 'a', Hi: 0xff}}, 127)
+	if len(got) != 1 || got[0] != (Pair{'a', 127}) {
+		t.Errorf("clip failed: %v", got)
+	}
+	if got := normalizeRanges([]syntax.ClassRange{{Lo: 0x90, Hi: 0xff}}, 127); len(got) != 0 {
+		t.Errorf("out-of-alphabet range survived: %v", got)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	got := complement([]Pair{{0, 'a' - 1}, {'z' + 1, 255}}, 255)
+	if len(got) != 1 || got[0] != (Pair{'a', 'z'}) {
+		t.Errorf("complement = %v, want [a-z]", got)
+	}
+}
+
+// TestSeparateAblationSwitches verifies that each advanced primitive can
+// be disabled independently for the ablation study.
+func TestSeparateAblationSwitches(t *testing.T) {
+	if got := Dump(lower(t, "[a-d]", Options{NoRange: true})); got != "or{abcd}" {
+		t.Errorf("NoRange [a-d] = %s, want or{abcd}", got)
+	}
+	got := Dump(lower(t, "[^a]", Options{NoNot: true}))
+	if strings.Contains(got, "!") {
+		t.Errorf("NoNot [^a] still uses NOT: %s", got)
+	}
+	got = Dump(lower(t, "a{2}", Options{NoCounters: true}))
+	if got != "seq(and{a} and{a})" {
+		t.Errorf("NoCounters a{2} = %s", got)
+	}
+	// Advanced primitives stay on where not disabled.
+	if got := Dump(lower(t, "[^a-z]", Options{NoCounters: true})); got != "!rng{a-z}" {
+		t.Errorf("NoCounters should keep NOT/RANGE: %s", got)
+	}
+}

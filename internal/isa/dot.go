@@ -1,0 +1,66 @@
+package isa
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot renders the program's control-flow graph in Graphviz DOT
+// form: one node per instruction, solid edges for sequential flow,
+// dashed edges for the entering operator's forward (exit) and
+// next-alternative addresses, and dotted edges for the quantifier
+// loop back to the sub-RE body.
+func (p *Program) WriteDot(w io.Writer, name string) error {
+	if name == "" {
+		name = "alveare"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
+	if p.Source != "" {
+		fmt.Fprintf(&b, "  label=%q;\n", "regex: "+p.Source)
+	}
+
+	openFor := make(map[int]int) // close pc -> open pc (for loop edges)
+	for pc, in := range p.Code {
+		label := fmt.Sprintf("%04d: %s", pc, in.String())
+		shape := "box"
+		switch {
+		case in.IsEoR():
+			shape = "doublecircle"
+		case in.Open:
+			shape = "house"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q, shape=%s];\n", pc, label, shape)
+		if in.Open && in.FwdEn {
+			// Remember which close terminates this sub-RE.
+			openFor[pc+in.Fwd-1] = pc
+		}
+	}
+	for pc, in := range p.Code {
+		if in.IsEoR() {
+			continue
+		}
+		// Sequential flow.
+		if pc+1 < len(p.Code) {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", pc, pc+1)
+		}
+		if in.Open {
+			if in.FwdEn {
+				fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, label=\"fwd\"];\n", pc, pc+in.Fwd)
+			}
+			if in.BwdEn {
+				fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, label=\"alt\"];\n", pc, pc+in.Bwd)
+			}
+		}
+		if in.IsQuantClose() {
+			if open, ok := openFor[pc]; ok {
+				fmt.Fprintf(&b, "  n%d -> n%d [style=dotted, label=\"loop\"];\n", pc, open+1)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

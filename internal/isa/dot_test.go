@@ -1,0 +1,47 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDot(t *testing.T) {
+	p := validProgram()
+	var b strings.Builder
+	if err := p.WriteDot(&b, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`digraph "test" {`,
+		"regex: ([^A-Z])+",
+		"house",        // OPEN node shape
+		"doublecircle", // EoR
+		`label="fwd"`,
+		`label="loop"`, // quant close loops to the body
+		"n0 -> n1",     // sequential
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Alternation: next-alternative edges.
+	alt := &Program{Code: []Instr{
+		NewOpenAlt(4, 2),
+		func() Instr { i := NewAND('a'); i.Close = CloseAlt; return i }(),
+		NewOpenAlt(2, 0),
+		func() Instr { i := NewAND('b'); i.Close = ClosePlain; return i }(),
+		{},
+	}}
+	if err := alt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := alt.WriteDot(&b, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `label="alt"`) {
+		t.Errorf("alternation edge missing:\n%s", b.String())
+	}
+}

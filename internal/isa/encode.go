@@ -1,0 +1,166 @@
+package isa
+
+import "fmt"
+
+// Bit positions of the 43-bit instruction word (paper Fig. 1 and Fig. 2).
+const (
+	bitOpen = 42
+	bitNot  = 41
+
+	baseShift = 39 // bits 40..39
+	baseMask  = 0x3
+
+	closeShift = 36 // bits 38..36
+	closeMask  = 0x7
+
+	enShift = 32 // bits 35..32, bit35 enables reference byte 0
+	enMask  = 0xf
+
+	refMask = 0xffffffff // bits 31..0
+
+	// OPEN reference subfields (Fig. 2): 5 enabler bits then the
+	// 27-bit payload whose 3 MSBs are unused.
+	openMinEnBit = 31
+	openMaxEnBit = 30
+	openBwdEnBit = 29
+	openFwdEnBit = 28
+	openLazyBit  = 27
+	openMinShift = 18 // bits 23..18
+	openMaxShift = 12 // bits 17..12
+	openBwdShift = 6  // bits 11..6
+	openFwdShift = 0  // bits 5..0
+	sixBitMask   = 0x3f
+)
+
+// WordMask covers the 43 significant bits of an encoded instruction.
+const WordMask = (uint64(1) << 43) - 1
+
+// Encode packs the instruction into its 43-bit binary word (returned in
+// the low bits of a uint64). It fails with ErrOffsetOverflow or
+// ErrCounterOverflow when an in-memory field exceeds its binary subfield,
+// and with ErrBadInstr for structurally invalid instructions.
+func (in Instr) Encode() (uint64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	var w uint64
+	if in.Open {
+		w |= 1 << bitOpen
+	}
+	if in.Not {
+		w |= 1 << bitNot
+	}
+	w |= uint64(in.Base&baseMask) << baseShift
+	w |= uint64(in.Close&closeMask) << closeShift
+
+	if in.Open {
+		var ref uint64
+		if in.MinEn {
+			ref |= 1 << openMinEnBit
+			ref |= uint64(in.Min&sixBitMask) << openMinShift
+		}
+		if in.MaxEn {
+			ref |= 1 << openMaxEnBit
+			ref |= uint64(in.Max&sixBitMask) << openMaxShift
+		}
+		if in.BwdEn {
+			if in.Bwd > MaxOffset {
+				return 0, fmt.Errorf("%w: bwd=%d", ErrOffsetOverflow, in.Bwd)
+			}
+			ref |= 1 << openBwdEnBit
+			ref |= uint64(in.Bwd&sixBitMask) << openBwdShift
+		}
+		if in.FwdEn {
+			if in.Fwd > MaxOffset {
+				return 0, fmt.Errorf("%w: fwd=%d", ErrOffsetOverflow, in.Fwd)
+			}
+			ref |= 1 << openFwdEnBit
+			ref |= uint64(in.Fwd&sixBitMask) << openFwdShift
+		}
+		if in.Lazy {
+			ref |= 1 << openLazyBit
+		}
+		w |= ref
+		return w, nil
+	}
+
+	// Base payload: sequential "0"-ended enable bits, byte 0 in the
+	// reference MSBs (bit35 -> bits 31..24).
+	var en, ref uint64
+	for i := 0; i < in.NChars; i++ {
+		en |= 1 << (3 - i)
+		ref |= uint64(in.Chars[i]) << (24 - 8*i)
+	}
+	w |= en << enShift
+	w |= ref
+	return w, nil
+}
+
+// Decode unpacks a 43-bit binary word into an Instr. Bits above position
+// 42 must be zero. The decoded instruction is re-validated so that a
+// malformed word cannot produce an executable instruction.
+func Decode(w uint64) (Instr, error) {
+	if w&^WordMask != 0 {
+		return Instr{}, fmt.Errorf("%w: bits set above bit 42", ErrBadInstr)
+	}
+	var in Instr
+	in.Open = w&(1<<bitOpen) != 0
+	in.Not = w&(1<<bitNot) != 0
+	in.Base = BaseOp((w >> baseShift) & baseMask)
+	in.Close = CloseOp((w >> closeShift) & closeMask)
+
+	if in.Open {
+		in.MinEn = w&(1<<openMinEnBit) != 0
+		in.MaxEn = w&(1<<openMaxEnBit) != 0
+		in.BwdEn = w&(1<<openBwdEnBit) != 0
+		in.FwdEn = w&(1<<openFwdEnBit) != 0
+		in.Lazy = w&(1<<openLazyBit) != 0
+		if in.MinEn {
+			in.Min = uint8((w >> openMinShift) & sixBitMask)
+		}
+		if in.MaxEn {
+			in.Max = uint8((w >> openMaxShift) & sixBitMask)
+		}
+		if in.BwdEn {
+			in.Bwd = int((w >> openBwdShift) & sixBitMask)
+		}
+		if in.FwdEn {
+			in.Fwd = int((w >> openFwdShift) & sixBitMask)
+		}
+		if err := in.Validate(); err != nil {
+			return Instr{}, err
+		}
+		return in, canonical(in, w)
+	}
+
+	en := (w >> enShift) & enMask
+	n := 0
+	for i := 0; i < 4; i++ {
+		if en&(1<<(3-i)) != 0 {
+			if i != n {
+				return Instr{}, fmt.Errorf("%w: enable bits not \"0\"-ended (%04b)", ErrBadInstr, en)
+			}
+			in.Chars[i] = byte(w >> (24 - 8*i))
+			n++
+		}
+	}
+	in.NChars = n
+	if err := in.Validate(); err != nil {
+		return Instr{}, err
+	}
+	return in, canonical(in, w)
+}
+
+// canonical rejects words that decode losslessly in the enabled fields but
+// carry stray bits in disabled or unused subfields: every loadable word
+// must be the canonical encoding of its instruction.
+func canonical(in Instr, w uint64) error {
+	w2, err := in.Encode()
+	if err != nil {
+		return err
+	}
+	if w2 != w {
+		return fmt.Errorf("%w: stray bits in disabled subfields (%011x != canonical %011x)", ErrBadInstr, w, w2)
+	}
+	return nil
+}

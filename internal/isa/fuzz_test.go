@@ -1,0 +1,73 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestUnmarshalBinaryNeverPanics: arbitrary byte mutations of a valid
+// binary either load to a valid program or fail cleanly — the loader is
+// the trust boundary of the instruction memory.
+func TestUnmarshalBinaryNeverPanics(t *testing.T) {
+	base := validProgram()
+	bin, err := base.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		b := append([]byte(nil), bin...)
+		// 1..4 random mutations: bit flips, truncations, extensions.
+		for m := 0; m < 1+r.Intn(4); m++ {
+			switch r.Intn(4) {
+			case 0:
+				if len(b) > 0 {
+					b[r.Intn(len(b))] ^= 1 << r.Intn(8)
+				}
+			case 1:
+				if len(b) > 1 {
+					b = b[:r.Intn(len(b))]
+				}
+			case 2:
+				b = append(b, byte(r.Intn(256)))
+			case 3:
+				if len(b) > 0 {
+					b[r.Intn(len(b))] = byte(r.Intn(256))
+				}
+			}
+		}
+		var p Program
+		if err := p.UnmarshalBinary(b); err == nil {
+			// Accepted: must then be fully valid.
+			if verr := p.Validate(); verr != nil {
+				t.Fatalf("loader accepted an invalid program: %v", verr)
+			}
+		}
+	}
+}
+
+// TestRandomWordsQuick: Decode of arbitrary 43-bit words never panics
+// and only canonical words are accepted.
+func TestRandomWordsQuick(t *testing.T) {
+	f := func(w uint64) bool {
+		in, err := Decode(w & WordMask)
+		if err != nil {
+			return true
+		}
+		w2, err := in.Encode()
+		return err == nil && w2 == w&WordMask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOpCountMatchesDisassembly: OpCount equals the number of non-EoR
+// lines the disassembler prints.
+func TestOpCountMatchesDisassembly(t *testing.T) {
+	p := validProgram()
+	if got, want := p.OpCount(), p.Len()-1; got != want {
+		t.Errorf("OpCount = %d, want %d", got, want)
+	}
+}

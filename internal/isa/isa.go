@@ -1,0 +1,431 @@
+// Package isa defines the ALVEARE regular-expression instruction set:
+// a fixed-size 43-bit format that composes control, base (intra-character)
+// and complex (intra-RE) operators in a single word, following the DAC'24
+// paper "ALVEARE: a Domain-Specific Framework for Regular Expressions".
+//
+// Each instruction breaks into three fields:
+//
+//	bits 42..36  opcode (7 bits, composable)
+//	bits 35..32  reference-enable bits ("0"-ended, one per reference byte)
+//	bits 31..0   reference (characters for base ops, counters and relative
+//	             jumps for the entering sub-RE operator)
+//
+// The opcode field itself is a composition of sub-fields:
+//
+//	bit 42       OPEN  — entering sub-RE operator "("
+//	bit 41       NOT   — match inversion (composes with OR and RANGE)
+//	bits 40..39  BASE  — 00 none, 01 OR, 10 AND, 11 RANGE
+//	bits 38..36  CLOSE — 000 none, 001 ")"+lazy quantifier,
+//	             010 ")"+greedy quantifier, 011 ")|", 100 plain ")"
+//
+// An all-zero word is the End-of-RE (EoR) control instruction; the zero
+// value of Instr is therefore EoR and is ready to use.
+//
+// Operators from different classes may be active in the same instruction
+// if and only if at most one of them uses the reference field: closing
+// operators carry no reference and fuse with base operators, while OPEN
+// owns the reference and never fuses.
+package isa
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// BaseOp selects the intra-character operation of an instruction.
+type BaseOp uint8
+
+// Base operator encodings (bits 40..39 of the opcode).
+const (
+	BaseNone  BaseOp = iota // no base operation in this instruction
+	BaseOR                  // any enabled reference byte matches one char
+	BaseAND                 // all enabled reference bytes match consecutively
+	BaseRANGE               // char within [lo1,hi1] or, if enabled, [lo2,hi2]
+)
+
+// String returns the mnemonic of the base operator.
+func (b BaseOp) String() string {
+	switch b {
+	case BaseNone:
+		return "-"
+	case BaseOR:
+		return "OR"
+	case BaseAND:
+		return "AND"
+	case BaseRANGE:
+		return "RANGE"
+	}
+	return fmt.Sprintf("BaseOp(%d)", uint8(b))
+}
+
+// CloseOp selects the sub-RE-terminating operation of an instruction.
+type CloseOp uint8
+
+// Close operator encodings (bits 38..36 of the opcode).
+const (
+	CloseNone        CloseOp = iota // no closing operation
+	CloseQuantLazy                  // ")" + lazy quantifier
+	CloseQuantGreedy                // ")" + greedy quantifier
+	CloseAlt                        // ")|" — end of a sub-RE alternative
+	ClosePlain                      // plain ")" — simple sub-RE termination
+)
+
+// String returns the mnemonic of the close operator.
+func (c CloseOp) String() string {
+	switch c {
+	case CloseNone:
+		return "-"
+	case CloseQuantLazy:
+		return ")?L"
+	case CloseQuantGreedy:
+		return ")+G"
+	case CloseAlt:
+		return ")|"
+	case ClosePlain:
+		return ")"
+	}
+	return fmt.Sprintf("CloseOp(%d)", uint8(c))
+}
+
+// Unbounded is the reserved 6-bit counter value encoding an infinite upper
+// bound: counters span 0..62 and 63 means "no maximum".
+const Unbounded = 63
+
+// MaxCounter is the largest representable bounded repetition count.
+const MaxCounter = 62
+
+// MaxOffset is the largest relative jump representable in the 43-bit
+// binary encoding (6-bit bwd/fwd subfields). In-memory programs may hold
+// larger offsets; Encode rejects them with ErrOffsetOverflow.
+const MaxOffset = 63
+
+// Instr is the decoded, in-memory form of one 43-bit ALVEARE instruction.
+// The zero value is the End-of-RE control instruction.
+//
+// The Bwd and Fwd relative offsets are kept as full ints so that programs
+// whose jumps exceed the 6-bit binary subfields can still be executed by
+// the simulator; Encode reports ErrOffsetOverflow for such instructions.
+type Instr struct {
+	Open  bool    // entering sub-RE operator "("
+	Not   bool    // match inversion, composes with OR/RANGE
+	Base  BaseOp  // intra-character operation
+	Close CloseOp // sub-RE-terminating operation
+
+	// Base-operator payload: Chars[0..NChars-1] are the enabled reference
+	// bytes ("0"-ended sequential enable bits). For RANGE, pairs
+	// (Chars[0],Chars[1]) and (Chars[2],Chars[3]) are [lo,hi] ranges and
+	// NChars is 2 or 4.
+	Chars  [4]byte
+	NChars int
+
+	// OPEN payload (paper Fig. 2). MinEn/MaxEn validate the counters,
+	// BwdEn/FwdEn validate the offsets, Lazy anticipates lazy matching.
+	MinEn, MaxEn, BwdEn, FwdEn, Lazy bool
+	Min, Max                         uint8 // 0..62; Max==Unbounded means no limit
+	Bwd, Fwd                         int   // relative jumps, see package doc
+}
+
+// Errors reported by instruction validation and encoding.
+var (
+	ErrOffsetOverflow  = errors.New("isa: relative jump exceeds 6-bit encoding")
+	ErrCounterOverflow = errors.New("isa: counter exceeds 6-bit encoding")
+	ErrBadInstr        = errors.New("isa: malformed instruction")
+)
+
+// IsEoR reports whether the instruction is the End-of-RE control operator,
+// i.e. no opcode bit is set.
+func (in Instr) IsEoR() bool {
+	return !in.Open && !in.Not && in.Base == BaseNone && in.Close == CloseNone
+}
+
+// IsQuantClose reports whether the instruction carries a quantifier close
+// (greedy or lazy).
+func (in Instr) IsQuantClose() bool {
+	return in.Close == CloseQuantGreedy || in.Close == CloseQuantLazy
+}
+
+// HasBase reports whether the instruction carries a base operation.
+func (in Instr) HasBase() bool { return in.Base != BaseNone }
+
+// Consumes returns the number of data characters a successful base match
+// consumes: len(chars) for AND, one for OR and RANGE, zero otherwise.
+func (in Instr) Consumes() int {
+	switch in.Base {
+	case BaseAND:
+		return in.NChars
+	case BaseOR, BaseRANGE:
+		return 1
+	}
+	return 0
+}
+
+// MatchBase evaluates the instruction's base operation against data,
+// reading at most Consumes() bytes. It returns the number of bytes
+// consumed and whether the operation matched. The NOT composition is
+// applied for OR and RANGE (a negated match still consumes one byte).
+// A zero-length data slice never matches an operation that consumes input.
+func (in Instr) MatchBase(data []byte) (n int, ok bool) {
+	switch in.Base {
+	case BaseAND:
+		if len(data) < in.NChars {
+			return 0, false
+		}
+		for i := 0; i < in.NChars; i++ {
+			if data[i] != in.Chars[i] {
+				return 0, false
+			}
+		}
+		return in.NChars, true
+	case BaseOR:
+		if len(data) == 0 {
+			return 0, false
+		}
+		c := data[0]
+		hit := false
+		for i := 0; i < in.NChars; i++ {
+			if c == in.Chars[i] {
+				hit = true
+				break
+			}
+		}
+		if in.Not {
+			hit = !hit
+		}
+		if hit {
+			return 1, true
+		}
+		return 0, false
+	case BaseRANGE:
+		if len(data) == 0 {
+			return 0, false
+		}
+		c := data[0]
+		hit := c >= in.Chars[0] && c <= in.Chars[1]
+		if !hit && in.NChars == 4 {
+			hit = c >= in.Chars[2] && c <= in.Chars[3]
+		}
+		if in.Not {
+			hit = !hit
+		}
+		if hit {
+			return 1, true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// Validate checks the structural invariants of a single instruction:
+// reference ownership (at most one reference user), composition rules,
+// counter and enable-bit consistency. Program-level rules (jump targets,
+// balancing, EoR placement) are checked by Program.Validate.
+func (in Instr) Validate() error {
+	if in.Open {
+		if in.Base != BaseNone || in.NChars != 0 {
+			return fmt.Errorf("%w: OPEN fused with base operator (both use the reference)", ErrBadInstr)
+		}
+		if in.Close != CloseNone {
+			return fmt.Errorf("%w: OPEN fused with a closing operator", ErrBadInstr)
+		}
+		if in.Not {
+			return fmt.Errorf("%w: NOT composed with OPEN", ErrBadInstr)
+		}
+		if in.MinEn && in.Min > MaxCounter {
+			return fmt.Errorf("%w: min counter %d", ErrCounterOverflow, in.Min)
+		}
+		if in.MaxEn && in.Max > Unbounded {
+			return fmt.Errorf("%w: max counter %d", ErrCounterOverflow, in.Max)
+		}
+		if in.MinEn && in.MaxEn && in.Max != Unbounded && in.Min > in.Max {
+			return fmt.Errorf("%w: min %d > max %d", ErrBadInstr, in.Min, in.Max)
+		}
+		if in.Bwd < 0 || in.Fwd < 0 {
+			return fmt.Errorf("%w: negative relative jump", ErrBadInstr)
+		}
+		return nil
+	}
+	if in.Not && in.Base != BaseOR && in.Base != BaseRANGE {
+		return fmt.Errorf("%w: NOT composes only with OR and RANGE", ErrBadInstr)
+	}
+	switch in.Base {
+	case BaseNone:
+		if in.NChars != 0 {
+			return fmt.Errorf("%w: reference bytes enabled without a base operator", ErrBadInstr)
+		}
+	case BaseAND, BaseOR:
+		if in.NChars < 1 || in.NChars > 4 {
+			return fmt.Errorf("%w: %s with %d enabled bytes", ErrBadInstr, in.Base, in.NChars)
+		}
+	case BaseRANGE:
+		if in.NChars != 2 && in.NChars != 4 {
+			return fmt.Errorf("%w: RANGE with %d enabled bytes (want 2 or 4)", ErrBadInstr, in.NChars)
+		}
+		if in.Chars[0] > in.Chars[1] {
+			return fmt.Errorf("%w: RANGE lo1 %q > hi1 %q", ErrBadInstr, in.Chars[0], in.Chars[1])
+		}
+		if in.NChars == 4 && in.Chars[2] > in.Chars[3] {
+			return fmt.Errorf("%w: RANGE lo2 %q > hi2 %q", ErrBadInstr, in.Chars[2], in.Chars[3])
+		}
+	default:
+		return fmt.Errorf("%w: unknown base op %d", ErrBadInstr, in.Base)
+	}
+	if in.Close > ClosePlain {
+		return fmt.Errorf("%w: unknown close op %d", ErrBadInstr, in.Close)
+	}
+	return nil
+}
+
+// String renders a one-line human-readable form of the instruction, the
+// same syntax the disassembler emits.
+func (in Instr) String() string {
+	if in.IsEoR() {
+		return "EOR"
+	}
+	var b strings.Builder
+	if in.Open {
+		b.WriteString("(")
+		if in.MinEn || in.MaxEn {
+			b.WriteString(" {")
+			if in.MinEn {
+				fmt.Fprintf(&b, "%d", in.Min)
+			}
+			b.WriteString(",")
+			if in.MaxEn {
+				if in.Max == Unbounded {
+					b.WriteString("inf")
+				} else {
+					fmt.Fprintf(&b, "%d", in.Max)
+				}
+			}
+			b.WriteString("}")
+		}
+		if in.Lazy {
+			b.WriteString(" lazy")
+		}
+		if in.BwdEn {
+			fmt.Fprintf(&b, " bwd=%d", in.Bwd)
+		}
+		if in.FwdEn {
+			fmt.Fprintf(&b, " fwd=%d", in.Fwd)
+		}
+		return b.String()
+	}
+	if in.HasBase() {
+		if in.Not {
+			b.WriteString("NOT ")
+		}
+		b.WriteString(in.Base.String())
+		b.WriteString(" ")
+		switch in.Base {
+		case BaseRANGE:
+			fmt.Fprintf(&b, "[%s-%s", rangeByte(in.Chars[0]), rangeByte(in.Chars[1]))
+			if in.NChars == 4 {
+				fmt.Fprintf(&b, "%s-%s", rangeByte(in.Chars[2]), rangeByte(in.Chars[3]))
+			}
+			b.WriteString("]")
+		default:
+			b.WriteString("\"")
+			for i := 0; i < in.NChars; i++ {
+				b.WriteString(quoteByte(in.Chars[i]))
+			}
+			b.WriteString("\"")
+		}
+	}
+	if in.Close != CloseNone {
+		if in.HasBase() {
+			b.WriteString(" + ")
+		}
+		b.WriteString(in.Close.String())
+	}
+	return b.String()
+}
+
+// rangeByte renders a RANGE bound, additionally escaping the bytes that
+// are structural inside a range rendering ('-', '[' and ']') so the
+// assembler can parse listings back unambiguously.
+func rangeByte(c byte) string {
+	switch c {
+	case '-', '[', ']':
+		return fmt.Sprintf("\\x%02x", c)
+	}
+	return quoteByte(c)
+}
+
+// quoteByte renders a byte printably, using \xHH for non-graphic bytes.
+func quoteByte(c byte) string {
+	if c >= 0x21 && c <= 0x7e && c != '"' && c != '\\' {
+		return string(c)
+	}
+	switch c {
+	case ' ':
+		return "\\s"
+	case '\n':
+		return "\\n"
+	case '\t':
+		return "\\t"
+	case '\r':
+		return "\\r"
+	}
+	return fmt.Sprintf("\\x%02x", c)
+}
+
+// SetChars installs the enabled reference bytes of a base operator.
+func (in *Instr) SetChars(cs ...byte) {
+	in.NChars = len(cs)
+	copy(in.Chars[:], cs)
+}
+
+// NewAND builds an AND instruction matching the given 1..4 literal bytes.
+func NewAND(cs ...byte) Instr {
+	in := Instr{Base: BaseAND}
+	in.SetChars(cs...)
+	return in
+}
+
+// NewOR builds an OR instruction matching any of the given 1..4 bytes.
+func NewOR(cs ...byte) Instr {
+	in := Instr{Base: BaseOR}
+	in.SetChars(cs...)
+	return in
+}
+
+// NewRANGE builds a RANGE instruction over one [lo,hi] pair.
+func NewRANGE(lo, hi byte) Instr {
+	in := Instr{Base: BaseRANGE}
+	in.SetChars(lo, hi)
+	return in
+}
+
+// NewRANGE2 builds a RANGE instruction packing two [lo,hi] pairs, the
+// single-instruction form of classes such as [a-z0-9].
+func NewRANGE2(lo1, hi1, lo2, hi2 byte) Instr {
+	in := Instr{Base: BaseRANGE}
+	in.SetChars(lo1, hi1, lo2, hi2)
+	return in
+}
+
+// NewOpen builds an entering sub-RE instruction with a bounded or
+// unbounded counter ({min,max}, max==Unbounded for no limit) and the
+// forward offset to the instruction following the sub-RE's close.
+func NewOpen(min, max uint8, lazy bool, fwd int) Instr {
+	return Instr{
+		Open:  true,
+		MinEn: true, Min: min,
+		MaxEn: true, Max: max,
+		Lazy:  lazy,
+		FwdEn: true, Fwd: fwd,
+	}
+}
+
+// NewOpenAlt builds the entering instruction of one alternative in an
+// alternation chain: fwd is the offset to the chain end, nextAlt the
+// offset to the next alternative's OPEN (0 for the last alternative).
+func NewOpenAlt(fwd, nextAlt int) Instr {
+	in := Instr{Open: true, FwdEn: true, Fwd: fwd}
+	if nextAlt != 0 {
+		in.BwdEn = true
+		in.Bwd = nextAlt
+	}
+	return in
+}

@@ -1,0 +1,468 @@
+package isa
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperExampleEncoding pins the worked example of the paper's §4:
+// ([^A-Z])+ compiles to three instructions whose opcodes are "1000000",
+// "0111010" and "0000000", with enable bits "1100" and reference "AZ" on
+// the middle one.
+func TestPaperExampleEncoding(t *testing.T) {
+	open := NewOpen(1, Unbounded, false, 2)
+	body := NewRANGE('A', 'Z')
+	body.Not = true
+	body.Close = CloseQuantGreedy
+	eor := Instr{}
+
+	wOpen, err := open.Encode()
+	if err != nil {
+		t.Fatalf("encode open: %v", err)
+	}
+	wBody, err := body.Encode()
+	if err != nil {
+		t.Fatalf("encode body: %v", err)
+	}
+	wEoR, err := eor.Encode()
+	if err != nil {
+		t.Fatalf("encode EoR: %v", err)
+	}
+
+	if got := wOpen >> 36; got != 0b1000000 {
+		t.Errorf("open opcode = %07b, want 1000000", got)
+	}
+	if got := wBody >> 36; got != 0b0111010 {
+		t.Errorf("body opcode = %07b, want 0111010", got)
+	}
+	if wEoR != 0 {
+		t.Errorf("EoR word = %#x, want 0", wEoR)
+	}
+	if got := (wBody >> 32) & 0xf; got != 0b1100 {
+		t.Errorf("body enable bits = %04b, want 1100", got)
+	}
+	if b0, b1 := byte(wBody>>24), byte(wBody>>16); b0 != 'A' || b1 != 'Z' {
+		t.Errorf("body reference bytes = %q %q, want 'A' 'Z'", b0, b1)
+	}
+
+	// Fig. 2 enabler bits for the open: min, max and fwd valid, greedy.
+	if wOpen&(1<<openMinEnBit) == 0 || wOpen&(1<<openMaxEnBit) == 0 || wOpen&(1<<openFwdEnBit) == 0 {
+		t.Errorf("open enablers missing: %043b", wOpen)
+	}
+	if wOpen&(1<<openLazyBit) != 0 {
+		t.Errorf("open lazy bit set for a greedy quantifier")
+	}
+	if min := (wOpen >> openMinShift) & sixBitMask; min != 1 {
+		t.Errorf("open min = %d, want 1", min)
+	}
+	if max := (wOpen >> openMaxShift) & sixBitMask; max != Unbounded {
+		t.Errorf("open max = %d, want %d (unbounded)", max, Unbounded)
+	}
+	if fwd := (wOpen >> openFwdShift) & sixBitMask; fwd != 2 {
+		t.Errorf("open fwd = %d, want 2", fwd)
+	}
+}
+
+func TestOpcodeTableEncodings(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Instr
+		top7 uint64
+	}{
+		{"EoR", Instr{}, 0b0000000},
+		{"AND", NewAND('a'), 0b0010000},
+		{"OR", NewOR('a', 'b'), 0b0001000},
+		{"RANGE", NewRANGE('a', 'z'), 0b0011000},
+		{"NOT OR", func() Instr { i := NewOR('a'); i.Not = true; return i }(), 0b0101000},
+		{"open", NewOpenAlt(3, 0), 0b1000000},
+		{"AND+close", func() Instr { i := NewAND('x'); i.Close = ClosePlain; return i }(), 0b0010100},
+		{"AND+quantL", func() Instr { i := NewAND('x'); i.Close = CloseQuantLazy; return i }(), 0b0010001},
+		{"AND+quantG", func() Instr { i := NewAND('x'); i.Close = CloseQuantGreedy; return i }(), 0b0010010},
+		{"AND+altclose", func() Instr { i := NewAND('x'); i.Close = CloseAlt; return i }(), 0b0010011},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w, err := c.in.Encode()
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			if got := w >> 36; got != c.top7 {
+				t.Errorf("opcode = %07b, want %07b", got, c.top7)
+			}
+		})
+	}
+}
+
+func TestMatchBase(t *testing.T) {
+	notOR := NewOR(' ')
+	notOR.Not = true
+	notRange := NewRANGE('A', 'Z')
+	notRange.Not = true
+	r2 := NewRANGE2('a', 'z', '0', '9')
+
+	cases := []struct {
+		name string
+		in   Instr
+		data string
+		n    int
+		ok   bool
+	}{
+		{"AND hit", NewAND('a', 'b', 'c'), "abcd", 3, true},
+		{"AND miss", NewAND('a', 'b', 'c'), "abd", 0, false},
+		{"AND short data", NewAND('a', 'b', 'c'), "ab", 0, false},
+		{"AND single", NewAND('x'), "x", 1, true},
+		{"AND empty data", NewAND('x'), "", 0, false},
+		{"OR hit first", NewOR('a', 'b'), "a", 1, true},
+		{"OR hit last", NewOR('a', 'b', 'c', 'd'), "d", 1, true},
+		{"OR miss", NewOR('a', 'b'), "c", 0, false},
+		{"OR empty data", NewOR('a'), "", 0, false},
+		{"NOT OR hit", notOR, "x", 1, true},
+		{"NOT OR miss", notOR, " ", 0, false},
+		{"RANGE low edge", NewRANGE('a', 'z'), "a", 1, true},
+		{"RANGE high edge", NewRANGE('a', 'z'), "z", 1, true},
+		{"RANGE below", NewRANGE('a', 'z'), "`", 0, false},
+		{"RANGE above", NewRANGE('a', 'z'), "{", 0, false},
+		{"RANGE2 second pair", r2, "5", 1, true},
+		{"RANGE2 miss", r2, "_", 0, false},
+		{"NOT RANGE hit", notRange, "a", 1, true},
+		{"NOT RANGE miss", notRange, "M", 0, false},
+		{"RANGE empty data", NewRANGE('a', 'z'), "", 0, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n, ok := c.in.MatchBase([]byte(c.data))
+			if n != c.n || ok != c.ok {
+				t.Errorf("MatchBase(%q) = (%d,%v), want (%d,%v)", c.data, n, ok, c.n, c.ok)
+			}
+		})
+	}
+}
+
+func TestConsumes(t *testing.T) {
+	if got := NewAND('a', 'b', 'c').Consumes(); got != 3 {
+		t.Errorf("AND consumes %d, want 3", got)
+	}
+	if got := NewOR('a', 'b', 'c', 'd').Consumes(); got != 1 {
+		t.Errorf("OR consumes %d, want 1", got)
+	}
+	if got := NewRANGE2('a', 'z', '0', '9').Consumes(); got != 1 {
+		t.Errorf("RANGE consumes %d, want 1", got)
+	}
+	eor := Instr{}
+	if got := eor.Consumes(); got != 0 {
+		t.Errorf("EoR consumes %d, want 0", got)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	openWithBase := NewOpen(0, 1, false, 2)
+	openWithBase.Base = BaseAND
+	openWithBase.NChars = 1
+
+	openWithClose := NewOpen(0, 1, false, 2)
+	openWithClose.Close = ClosePlain
+
+	notAND := NewAND('a')
+	notAND.Not = true
+
+	openNot := NewOpen(0, 1, false, 2)
+	openNot.Not = true
+
+	badRange := NewRANGE('z', 'a')
+	badRange2 := NewRANGE2('a', 'z', '9', '0')
+
+	zeroAND := Instr{Base: BaseAND}
+	fiveOR := Instr{Base: BaseOR, NChars: 5}
+	threeRange := Instr{Base: BaseRANGE, NChars: 3, Chars: [4]byte{'a', 'z', 'x', 0}}
+
+	minGtMax := NewOpen(5, 2, false, 2)
+	negFwd := Instr{Open: true, FwdEn: true, Fwd: -1}
+
+	strayChars := Instr{NChars: 2, Chars: [4]byte{'a', 'b'}}
+
+	cases := []struct {
+		name string
+		in   Instr
+	}{
+		{"open fused with base", openWithBase},
+		{"open fused with close", openWithClose},
+		{"NOT with AND", notAND},
+		{"NOT with OPEN", openNot},
+		{"range lo>hi", badRange},
+		{"range2 lo>hi", badRange2},
+		{"AND zero chars", zeroAND},
+		{"OR five chars", fiveOR},
+		{"RANGE three chars", threeRange},
+		{"min>max", minGtMax},
+		{"negative fwd", negFwd},
+		{"chars without base", strayChars},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.in.Validate(); err == nil {
+				t.Errorf("Validate accepted malformed instruction %+v", c.in)
+			}
+		})
+	}
+}
+
+func TestEncodeOffsetOverflow(t *testing.T) {
+	in := NewOpen(0, Unbounded, false, MaxOffset+1)
+	if _, err := in.Encode(); !errors.Is(err, ErrOffsetOverflow) {
+		t.Errorf("Encode(fwd=%d) err = %v, want ErrOffsetOverflow", MaxOffset+1, err)
+	}
+	// In-memory validation still accepts it: the simulator can run wide
+	// programs even when the binary encoding cannot hold them.
+	if err := in.Validate(); err != nil {
+		t.Errorf("Validate rejected wide offset: %v", err)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	if _, err := Decode(1 << 43); err == nil {
+		t.Error("Decode accepted bits above 42")
+	}
+	// Non-"0"-ended enable bits: 1010.
+	w := uint64(BaseOR) << baseShift
+	w |= uint64(0b1010) << enShift
+	w |= uint64('a') << 24
+	if _, err := Decode(w); err == nil {
+		t.Error("Decode accepted non-sequential enable bits")
+	}
+}
+
+// genInstr produces a random valid instruction for property tests.
+func genInstr(r *rand.Rand) Instr {
+	switch r.Intn(5) {
+	case 0: // EoR
+		return Instr{}
+	case 1: // AND
+		n := 1 + r.Intn(4)
+		cs := make([]byte, n)
+		for i := range cs {
+			cs[i] = byte(r.Intn(256))
+		}
+		in := NewAND(cs...)
+		in.Close = CloseOp(r.Intn(5))
+		return in
+	case 2: // OR, maybe NOT
+		n := 1 + r.Intn(4)
+		cs := make([]byte, n)
+		for i := range cs {
+			cs[i] = byte(r.Intn(256))
+		}
+		in := NewOR(cs...)
+		in.Not = r.Intn(2) == 0
+		in.Close = CloseOp(r.Intn(5))
+		return in
+	case 3: // RANGE, maybe NOT, maybe two pairs
+		lo1, hi1 := byte(r.Intn(200)), byte(0)
+		hi1 = lo1 + byte(r.Intn(int(255-lo1)+1))
+		in := NewRANGE(lo1, hi1)
+		if r.Intn(2) == 0 {
+			lo2 := byte(r.Intn(200))
+			hi2 := lo2 + byte(r.Intn(int(255-lo2)+1))
+			in = NewRANGE2(lo1, hi1, lo2, hi2)
+		}
+		in.Not = r.Intn(2) == 0
+		in.Close = CloseOp(r.Intn(5))
+		return in
+	default: // OPEN
+		min := uint8(r.Intn(MaxCounter + 1))
+		max := min + uint8(r.Intn(int(MaxCounter-min)+1))
+		if r.Intn(3) == 0 {
+			max = Unbounded
+		}
+		in := NewOpen(min, max, r.Intn(2) == 0, 1+r.Intn(MaxOffset))
+		if r.Intn(2) == 0 {
+			in.BwdEn = true
+			in.Bwd = 1 + r.Intn(MaxOffset)
+		}
+		return in
+	}
+}
+
+// TestEncodeDecodeRoundTrip is the core property of the binary format:
+// Decode(Encode(i)) == i for every valid instruction.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		in := genInstr(r)
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatalf("#%d: encode %+v: %v", i, in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("#%d: decode %011x: %v", i, w, err)
+		}
+		if !reflect.DeepEqual(got, in) {
+			t.Fatalf("#%d: roundtrip mismatch:\n in=%+v\nout=%+v", i, in, got)
+		}
+	}
+}
+
+// TestDecodeEncodeRoundTripQuick drives the opposite direction with
+// testing/quick: any word that decodes must re-encode to the same word.
+func TestDecodeEncodeRoundTripQuick(t *testing.T) {
+	f := func(w uint64) bool {
+		w &= WordMask
+		in, err := Decode(w)
+		if err != nil {
+			return true // invalid words are allowed to be rejected
+		}
+		w2, err := in.Encode()
+		return err == nil && w2 == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func validProgram() *Program {
+	body := NewRANGE('A', 'Z')
+	body.Not = true
+	body.Close = CloseQuantGreedy
+	return &Program{
+		Source: "([^A-Z])+",
+		Code:   []Instr{NewOpen(1, Unbounded, false, 2), body, {}},
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	p := validProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	if got := p.OpCount(); got != 2 {
+		t.Errorf("OpCount = %d, want 2 (EoR excluded)", got)
+	}
+
+	t.Run("empty", func(t *testing.T) {
+		p := &Program{}
+		if err := p.Validate(); !errors.Is(err, ErrEmptyProg) {
+			t.Errorf("err = %v, want ErrEmptyProg", err)
+		}
+	})
+	t.Run("missing EoR", func(t *testing.T) {
+		p := &Program{Code: []Instr{NewAND('a')}}
+		if err := p.Validate(); !errors.Is(err, ErrNoEoR) {
+			t.Errorf("err = %v, want ErrNoEoR", err)
+		}
+	})
+	t.Run("stray EoR", func(t *testing.T) {
+		p := &Program{Code: []Instr{{}, NewAND('a'), {}}}
+		if err := p.Validate(); !errors.Is(err, ErrStrayEoR) {
+			t.Errorf("err = %v, want ErrStrayEoR", err)
+		}
+	})
+	t.Run("fwd out of range", func(t *testing.T) {
+		p := validProgram()
+		p.Code[0].Fwd = 9
+		if err := p.Validate(); !errors.Is(err, ErrBadTarget) {
+			t.Errorf("err = %v, want ErrBadTarget", err)
+		}
+	})
+	t.Run("unbalanced close", func(t *testing.T) {
+		c := NewAND('a')
+		c.Close = ClosePlain
+		p := &Program{Code: []Instr{c, {}}}
+		if err := p.Validate(); !errors.Is(err, ErrUnbalanced) {
+			t.Errorf("err = %v, want ErrUnbalanced", err)
+		}
+	})
+	t.Run("unclosed open", func(t *testing.T) {
+		p := &Program{Code: []Instr{NewOpen(0, 1, false, 1), {}}}
+		err := p.Validate()
+		if !errors.Is(err, ErrUnbalanced) && !errors.Is(err, ErrBadTarget) {
+			t.Errorf("err = %v, want unbalanced/bad-target", err)
+		}
+	})
+}
+
+func TestProgramBinaryRoundTrip(t *testing.T) {
+	p := validProgram()
+	bin, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	wantLen := 9 + 6*len(p.Code)
+	if len(bin) != wantLen {
+		t.Errorf("binary length = %d, want %d", len(bin), wantLen)
+	}
+	var q Program
+	if err := q.UnmarshalBinary(bin); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(q.Code, p.Code) {
+		t.Errorf("roundtrip mismatch:\n in=%+v\nout=%+v", p.Code, q.Code)
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte{}, bin...)
+		b[0] = 'X'
+		var q Program
+		if err := q.UnmarshalBinary(b); !errors.Is(err, ErrBadMagic) {
+			t.Errorf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		var q Program
+		if err := q.UnmarshalBinary(bin[:len(bin)-1]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("err = %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("short header", func(t *testing.T) {
+		var q Program
+		if err := q.UnmarshalBinary(bin[:5]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("err = %v, want ErrTruncated", err)
+		}
+	})
+}
+
+func TestDisassemble(t *testing.T) {
+	p := validProgram()
+	d := p.Disassemble()
+	for _, want := range []string{"; regex: ([^A-Z])+", "NOT RANGE", ")+G", "EOR", "{1,inf}", "fwd=2"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	lazyOpen := NewOpen(3, 6, true, 2)
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{}, "EOR"},
+		{NewAND('a', 'b'), `AND "ab"`},
+		{NewRANGE2('a', 'z', '0', '9'), "RANGE [a-z0-9]"},
+		{lazyOpen, "( {3,6} lazy fwd=2"},
+		{NewOR('\n', ' '), `OR "\n\s"`},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestOpTable(t *testing.T) {
+	rows := OpTable()
+	if len(rows) != 10 {
+		t.Fatalf("OpTable has %d rows, want 10", len(rows))
+	}
+	classes := map[string]int{}
+	for _, r := range rows {
+		classes[r.Class]++
+	}
+	if classes["Control"] != 1 || classes["Base"] != 4 || classes["Complex"] != 5 {
+		t.Errorf("class distribution = %v, want Control:1 Base:4 Complex:5", classes)
+	}
+}

@@ -1,0 +1,224 @@
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Program is a compiled ALVEARE executable: a sequence of instructions
+// terminated by a single End-of-RE control instruction.
+type Program struct {
+	// Source is the regular expression the program was compiled from,
+	// kept for diagnostics and disassembly headers. It does not affect
+	// execution.
+	Source string
+
+	Code []Instr
+
+	// Hint is optional compiler metadata (like an ELF note): a
+	// necessary-factor prefilter the engine may use when configured to.
+	// It is not part of the 43-bit binary encoding and is not
+	// serialised by MarshalBinary.
+	Hint *PrefilterHint
+}
+
+// PrefilterHint records a literal every match must contain, starting
+// between PreMin and PreMax bytes after the match start (PreMax < 0
+// when the prefix is unbounded, in which case only containment
+// filtering is possible).
+type PrefilterHint struct {
+	Literal        []byte
+	PreMin, PreMax int
+}
+
+// Errors reported by program-level validation and binary loading.
+var (
+	ErrNoEoR       = errors.New("isa: program does not end with EoR")
+	ErrStrayEoR    = errors.New("isa: EoR before the last instruction")
+	ErrBadTarget   = errors.New("isa: jump target outside program")
+	ErrUnbalanced  = errors.New("isa: unbalanced sub-RE open/close")
+	ErrBadMagic    = errors.New("isa: bad binary magic")
+	ErrTruncated   = errors.New("isa: truncated binary")
+	ErrEmptyProg   = errors.New("isa: empty program")
+	ErrQuantNoOpen = errors.New("isa: quantifier close without matching OPEN counters")
+)
+
+// Len returns the number of instructions including the EoR.
+func (p *Program) Len() int { return len(p.Code) }
+
+// OpCount returns the instruction count excluding the EoR terminator,
+// the metric the paper's Table 2 reports ("excluding the EoR").
+func (p *Program) OpCount() int {
+	n := 0
+	for i := range p.Code {
+		if !p.Code[i].IsEoR() {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks program-level invariants: per-instruction validity, a
+// single trailing EoR, in-range jump targets, and the sub-RE structure.
+// Structure is span-based rather than depth-based because a complex OR
+// chain has one entering operator but one ")|" per alternative: every
+// OPEN's forward offset must delimit a non-empty span whose final
+// instruction carries a closing operator, every closing operator must
+// lie inside some OPEN's span, and every next-alternative (backward)
+// address must target another entering operator.
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return ErrEmptyProg
+	}
+	last := len(p.Code) - 1
+	if !p.Code[last].IsEoR() {
+		return ErrNoEoR
+	}
+	inSpan := make([]bool, len(p.Code))
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("pc %d: %w", pc, err)
+		}
+		if in.IsEoR() {
+			if pc != last {
+				return fmt.Errorf("%w: pc %d", ErrStrayEoR, pc)
+			}
+			continue
+		}
+		if !in.Open {
+			continue
+		}
+		if !in.FwdEn {
+			return fmt.Errorf("%w: OPEN at pc %d without forward address", ErrUnbalanced, pc)
+		}
+		end := pc + in.Fwd // first instruction after the sub-RE
+		if in.Fwd < 2 || end > last {
+			return fmt.Errorf("%w: pc %d fwd->%d", ErrBadTarget, pc, end)
+		}
+		if p.Code[end-1].Close == CloseNone {
+			return fmt.Errorf("%w: sub-RE at pc %d does not end with a close (pc %d)", ErrUnbalanced, pc, end-1)
+		}
+		for i := pc + 1; i < end; i++ {
+			inSpan[i] = true
+		}
+		if in.BwdEn {
+			t := pc + in.Bwd
+			if t <= pc || t > last || !p.Code[t].Open {
+				return fmt.Errorf("%w: pc %d next-alt->%d is not an OPEN", ErrBadTarget, pc, t)
+			}
+		}
+	}
+	for pc := range p.Code {
+		if p.Code[pc].Close != CloseNone && !inSpan[pc] {
+			return fmt.Errorf("%w: close at pc %d with no open sub-RE", ErrUnbalanced, pc)
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the whole program as a human-readable listing, one
+// instruction per line with its address and, when encodable, the 43-bit
+// word in hexadecimal.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	if p.Source != "" {
+		fmt.Fprintf(&b, "; regex: %s\n", p.Source)
+	}
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		w, err := in.Encode()
+		if err != nil {
+			fmt.Fprintf(&b, "%04d:  %-14s %s\n", pc, "(wide)", in.String())
+			continue
+		}
+		fmt.Fprintf(&b, "%04d:  %011x  %s\n", pc, w, in.String())
+	}
+	return b.String()
+}
+
+// binaryMagic identifies the ALVEARE loadable binary format: the magic,
+// a format version and the instruction count precede the packed words.
+var binaryMagic = [4]byte{'A', 'L', 'V', 'R'}
+
+const binaryVersion = 1
+
+// MarshalBinary serialises the program to the loadable format the
+// instruction memory accepts: "ALVR", version byte, big-endian uint32
+// count, then one 43-bit word per instruction packed in 6 bytes
+// (big-endian, 48 bits with the top 5 clear). It fails if any instruction
+// exceeds the binary field widths (e.g. ErrOffsetOverflow).
+func (p *Program) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 9+6*len(p.Code))
+	out = append(out, binaryMagic[:]...)
+	out = append(out, binaryVersion)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(p.Code)))
+	var buf [8]byte
+	for pc := range p.Code {
+		w, err := p.Code[pc].Encode()
+		if err != nil {
+			return nil, fmt.Errorf("pc %d: %w", pc, err)
+		}
+		binary.BigEndian.PutUint64(buf[:], w)
+		out = append(out, buf[2:]...) // low 48 bits, top 5 of them zero
+	}
+	return out, nil
+}
+
+// UnmarshalBinary loads a program previously produced by MarshalBinary,
+// re-validating every instruction and the program structure.
+func (p *Program) UnmarshalBinary(data []byte) error {
+	if len(data) < 9 {
+		return ErrTruncated
+	}
+	if [4]byte(data[:4]) != binaryMagic {
+		return ErrBadMagic
+	}
+	if data[4] != binaryVersion {
+		return fmt.Errorf("%w: version %d", ErrBadMagic, data[4])
+	}
+	n := int(binary.BigEndian.Uint32(data[5:9]))
+	body := data[9:]
+	if len(body) != 6*n {
+		return fmt.Errorf("%w: want %d instruction bytes, have %d", ErrTruncated, 6*n, len(body))
+	}
+	code := make([]Instr, n)
+	var buf [8]byte
+	for i := 0; i < n; i++ {
+		copy(buf[2:], body[6*i:6*i+6])
+		buf[0], buf[1] = 0, 0
+		w := binary.BigEndian.Uint64(buf[:])
+		in, err := Decode(w)
+		if err != nil {
+			return fmt.Errorf("instruction %d: %w", i, err)
+		}
+		code[i] = in
+	}
+	p.Code = code
+	return p.Validate()
+}
+
+// OpTableRow describes one row of the paper's Table 1 (operation classes).
+type OpTableRow struct {
+	Class, Operator, Opcode, Description string
+}
+
+// OpTable returns the ISA operation classes exactly as the paper's
+// Table 1 lays them out, with the opcode bit patterns of this
+// implementation ("-" marks don't-care composition bits).
+func OpTable() []OpTableRow {
+	return []OpTableRow{
+		{"Control", "EoR", "0000000", "End of RE"},
+		{"Base", "AND", "0-10---", "Char-based And"},
+		{"Base", "OR", "0-01---", "Char-based Or"},
+		{"Base", "RANGE", "0-11---", "Char-based Range"},
+		{"Base", "NOT", "01-----", "Match Inversion"},
+		{"Complex", "(", "1000000", "New Sub-RE"},
+		{"Complex", ")", "0----100", "End of Sub-RE"},
+		{"Complex", "QUANT L", "0----001", ") + Lazy Quantifier"},
+		{"Complex", "QUANT", "0----010", ") + Greedy Quantifier"},
+		{"Complex", ")|", "0----011", ") + OR of Sub-RE"},
+	}
+}

@@ -1,0 +1,153 @@
+// Package multicore implements the scale-out ALVEARE described in the
+// paper's §6: independent cores with private instruction and data
+// memories, all loaded with the same compiled RE, each searching a
+// different portion of the data stream — parallelism at the data-stream
+// level through divide and conquer.
+//
+// Chunks carry a configurable overlap so matches that begin near a
+// boundary can complete inside the owning core's extended window;
+// matches longer than the overlap are the scheme's documented blind
+// spot (the same trade the DPU's 16 KiB jobs make).
+package multicore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"alveare/internal/arch"
+	"alveare/internal/isa"
+)
+
+// DefaultOverlap is the boundary overlap in bytes.
+const DefaultOverlap = 256
+
+// StartupCycles is the fixed per-core cost of arming one run: host
+// control writes, pipeline reset and prefetch warm-up. It bounds the
+// scale-out efficiency on short, fast workloads (part of why the
+// paper's synthetic suite scales worse than the real ones).
+const StartupCycles = 3000
+
+// Engine is a multi-core ALVEARE: n cores sharing nothing but the
+// compiled program image.
+type Engine struct {
+	prog    *isa.Program
+	cfg     arch.Config
+	cores   []*arch.Core
+	overlap int
+}
+
+// New builds an n-core engine. A non-positive overlap selects
+// DefaultOverlap.
+func New(p *isa.Program, n int, cfg arch.Config, overlap int) (*Engine, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("multicore: %d cores", n)
+	}
+	if overlap <= 0 {
+		overlap = DefaultOverlap
+	}
+	e := &Engine{prog: p, cfg: cfg, overlap: overlap}
+	for i := 0; i < n; i++ {
+		c, err := arch.NewCore(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.cores = append(e.cores, c)
+	}
+	return e, nil
+}
+
+// Cores returns the core count.
+func (e *Engine) Cores() int { return len(e.cores) }
+
+// Result aggregates one multi-core run.
+type Result struct {
+	// Matches are the non-overlapping matches found, in stream order,
+	// each owned by the core whose chunk contains its start.
+	Matches []arch.Match
+	// WallCycles is the parallel execution time in cycles: the slowest
+	// core bounds the run (cores operate independently).
+	WallCycles int64
+	// TotalCycles sums all cores' cycles (the energy-relevant count).
+	TotalCycles int64
+	// PerCore reports each core's counters for this run.
+	PerCore []arch.Stats
+}
+
+// Run searches the whole stream with all cores in parallel and merges
+// the results. Each core owns the matches starting inside its chunk and
+// may read up to overlap bytes past it to complete them.
+func (e *Engine) Run(data []byte) (Result, error) {
+	n := len(e.cores)
+	chunk := (len(data) + n - 1) / n
+	if chunk == 0 {
+		chunk = 1
+	}
+	type coreOut struct {
+		matches []arch.Match
+		stats   arch.Stats
+		err     error
+	}
+	outs := make([]coreOut, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		lo := i * chunk
+		if lo >= len(data) && i > 0 {
+			continue
+		}
+		hi := lo + chunk
+		if hi > len(data) {
+			hi = len(data)
+		}
+		ext := hi + e.overlap
+		if ext > len(data) {
+			ext = len(data)
+		}
+		wg.Add(1)
+		go func(i, lo, hi, ext int) {
+			defer wg.Done()
+			core := e.cores[i]
+			core.ResetStats()
+			window := data[lo:ext]
+			ms, err := core.FindAll(window, 0)
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			for _, m := range ms {
+				start := lo + m.Start
+				if start >= hi {
+					break // owned by the next core
+				}
+				outs[i].matches = append(outs[i].matches, arch.Match{Start: start, End: lo + m.End})
+			}
+			outs[i].stats = core.Stats()
+		}(i, lo, hi, ext)
+	}
+	wg.Wait()
+
+	var res Result
+	for i := range outs {
+		if outs[i].err != nil {
+			return Result{}, fmt.Errorf("core %d: %w", i, outs[i].err)
+		}
+		res.Matches = append(res.Matches, outs[i].matches...)
+		res.PerCore = append(res.PerCore, outs[i].stats)
+		cycles := outs[i].stats.Cycles + StartupCycles
+		res.TotalCycles += cycles
+		if cycles > res.WallCycles {
+			res.WallCycles = cycles
+		}
+	}
+	sort.Slice(res.Matches, func(a, b int) bool { return res.Matches[a].Start < res.Matches[b].Start })
+	return res, nil
+}
+
+// Count runs the engine and returns only the match count and timing.
+func (e *Engine) Count(data []byte) (int, Result, error) {
+	res, err := e.Run(data)
+	if err != nil {
+		return 0, Result{}, err
+	}
+	return len(res.Matches), res, nil
+}

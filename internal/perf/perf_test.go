@@ -1,0 +1,89 @@
+package perf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUtilizationAnchors(t *testing.T) {
+	lut1, bram1 := Utilization(1)
+	if math.Abs(lut1-11.39) > 0.05 {
+		t.Errorf("1-core LUT = %.2f%%, want 11.39%%", lut1)
+	}
+	if math.Abs(bram1-6.71) > 0.05 {
+		t.Errorf("1-core BRAM = %.2f%%, want 6.71%%", bram1)
+	}
+	lut10, bram10 := Utilization(10)
+	if math.Abs(lut10-84.65) > 0.5 {
+		t.Errorf("10-core LUT = %.2f%%, want 84.65%%", lut10)
+	}
+	if math.Abs(bram10-67.13) > 0.1 {
+		t.Errorf("10-core BRAM = %.2f%%, want 67.13%%", bram10)
+	}
+}
+
+func TestUtilizationShape(t *testing.T) {
+	// BRAM linear, LUT sublinear: the per-core LUT increment shrinks.
+	prevLut, prevBram := Utilization(1)
+	prevLutDelta := math.Inf(1)
+	for n := 2; n <= MaxCores; n++ {
+		lut, bram := Utilization(n)
+		if lut <= prevLut || bram <= prevBram {
+			t.Fatalf("utilisation not monotonic at %d cores", n)
+		}
+		lutDelta := lut - prevLut
+		if lutDelta > prevLutDelta+1e-9 {
+			t.Errorf("LUT increment grew at %d cores: %.3f > %.3f (should be sublinear)", n, lutDelta, prevLutDelta)
+		}
+		bramDelta := bram - prevBram
+		if math.Abs(bramDelta-6.713) > 1e-6 {
+			t.Errorf("BRAM increment at %d cores = %.3f, want linear 6.713", n, bramDelta)
+		}
+		prevLut, prevBram, prevLutDelta = lut, bram, lutDelta
+	}
+}
+
+func TestFitsFabric(t *testing.T) {
+	if !FitsFabric(MaxCores) {
+		t.Error("the paper's 10-core design must fit")
+	}
+	if FitsFabric(13) {
+		t.Error("13 cores should exceed the fabric")
+	}
+}
+
+func TestTimes(t *testing.T) {
+	if got := AlveareTime(300_000_000); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("AlveareTime(300M cycles) = %g s, want 1", got)
+	}
+	ratio := float64(A53ClockHz) / A53CyclesPerStep
+	steps := int64(ratio)
+	if got := A53Time(steps); math.Abs(got-1.0) > 1e-6 {
+		t.Errorf("A53Time inverse = %g s, want 1", got)
+	}
+}
+
+func TestEnergyEff(t *testing.T) {
+	e := EnergyEff(2.0, 5.0)
+	if math.Abs(e-0.1) > 1e-12 {
+		t.Errorf("EnergyEff(2s, 5W) = %g, want 0.1", e)
+	}
+	if !math.IsInf(EnergyEff(0, 5), 1) {
+		t.Error("zero time should be infinite efficiency")
+	}
+	// The paper's headline: ALVEARE at 7.05 W beats the DPU at 27 W for
+	// equal execution time by the power ratio.
+	ratio := EnergyEff(1, AlvearePowerW) / EnergyEff(1, DPUPowerW)
+	if math.Abs(ratio-DPUPowerW/AlvearePowerW) > 1e-9 {
+		t.Errorf("efficiency ratio = %g", ratio)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(10, 2) != 5 {
+		t.Error("Speedup(10,2) != 5")
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Error("Speedup with zero subject should be +inf")
+	}
+}

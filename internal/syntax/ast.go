@@ -1,0 +1,219 @@
+// Package syntax implements the front-end of the ALVEARE compilation
+// flow: lexical analysis and syntax analysis of regular expressions into
+// an abstract syntax tree (paper §5, "Front-End").
+//
+// The paper builds this stage with FLEX and BISON; here the same accepted
+// language is implemented with a hand-written lexer and recursive-descent
+// parser. Supported POSIX ERE / PCRE operators (paper §5): character
+// alternation and concatenation; character classes ([abc]), ranges
+// ([a-z]), their negation ([^abc]) and shorthands (\w, \d, \s and their
+// negations); the any-character-except-newline dot; bounded (?, {n},
+// {n,m}) and unbounded (*, +, {n,}) quantifiers with lazy options
+// ({n,}?); and character escaping with backslash, including \xHH byte
+// escapes for binary (non-ASCII) pattern matching.
+//
+// The front-end is purely syntactic: shorthand classes and the dot are
+// kept as dedicated AST nodes and expanded by the middle-end
+// (internal/ir), mirroring the paper's compiler organisation.
+package syntax
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is one vertex of the abstract syntax tree. Implementations are
+// Literal, Class, Shorthand, Dot, Concat, Alternate, Repeat, Group and
+// Empty.
+type Node interface {
+	// dump renders the canonical s-expression form used by tests and
+	// debugging output.
+	dump(b *strings.Builder)
+}
+
+// Unlimited marks a Repeat with no upper bound ({n,}, *, +).
+const Unlimited = -1
+
+// Literal is a run of one or more literal bytes matched by concatenation.
+type Literal struct {
+	Bytes []byte
+}
+
+// ClassRange is one inclusive byte range of a character class; a single
+// character is encoded with Lo == Hi.
+type ClassRange struct {
+	Lo, Hi byte
+}
+
+// Class is a bracket expression: a union of byte ranges, optionally
+// negated. Shorthands that appear inside a bracket expression (e.g.
+// [\w.-]) are expanded into ranges at parse time, since inside brackets
+// they are plain character sets rather than operators.
+type Class struct {
+	Neg    bool
+	Ranges []ClassRange
+}
+
+// Shorthand is a top-level shorthand class: Kind is one of
+// 'w', 'W', 'd', 'D', 's', 'S'. The middle-end lowers it to its
+// equivalent bracket expression (\w -> [a-zA-Z0-9_], paper §5).
+type Shorthand struct {
+	Kind byte
+}
+
+// Dot is the any-character-except-newline operator; the middle-end
+// lowers it to [^\n] (paper §5).
+type Dot struct{}
+
+// Concat is the concatenation of two or more sub-expressions.
+type Concat struct {
+	Subs []Node
+}
+
+// Alternate is the alternation of two or more sub-expressions.
+type Alternate struct {
+	Subs []Node
+}
+
+// Repeat applies a quantifier to its sub-expression. Max == Unlimited
+// encodes an unbounded upper limit. Lazy selects the lazy matching
+// modality (e.g. {n,}?).
+type Repeat struct {
+	Sub      Node
+	Min, Max int
+	Lazy     bool
+}
+
+// Group is an explicitly parenthesised sub-expression. The middle-end
+// removes over-parenthesised groups that carry no quantifier.
+type Group struct {
+	Sub Node
+}
+
+// Empty matches the empty string (e.g. one branch of "(a|)").
+type Empty struct{}
+
+func (n *Literal) dump(b *strings.Builder) {
+	b.WriteString("lit{")
+	for _, c := range n.Bytes {
+		dumpByte(b, c)
+	}
+	b.WriteString("}")
+}
+
+func (n *Class) dump(b *strings.Builder) {
+	b.WriteString("cc[")
+	if n.Neg {
+		b.WriteString("^")
+	}
+	for _, r := range n.Ranges {
+		dumpByte(b, r.Lo)
+		if r.Hi != r.Lo {
+			b.WriteString("-")
+			dumpByte(b, r.Hi)
+		}
+	}
+	b.WriteString("]")
+}
+
+func (n *Shorthand) dump(b *strings.Builder) { fmt.Fprintf(b, "\\%c", n.Kind) }
+func (n *Dot) dump(b *strings.Builder)       { b.WriteString("dot") }
+func (n *Empty) dump(b *strings.Builder)     { b.WriteString("eps") }
+
+func (n *Concat) dump(b *strings.Builder)    { dumpList(b, "cat", n.Subs) }
+func (n *Alternate) dump(b *strings.Builder) { dumpList(b, "alt", n.Subs) }
+
+func (n *Repeat) dump(b *strings.Builder) {
+	b.WriteString("rep{")
+	fmt.Fprintf(b, "%d,", n.Min)
+	if n.Max == Unlimited {
+		b.WriteString("inf")
+	} else {
+		fmt.Fprintf(b, "%d", n.Max)
+	}
+	if n.Lazy {
+		b.WriteString(" lazy")
+	}
+	b.WriteString(" ")
+	n.Sub.dump(b)
+	b.WriteString("}")
+}
+
+func (n *Group) dump(b *strings.Builder) {
+	b.WriteString("grp(")
+	n.Sub.dump(b)
+	b.WriteString(")")
+}
+
+func dumpList(b *strings.Builder, tag string, subs []Node) {
+	b.WriteString(tag)
+	b.WriteString("(")
+	for i, s := range subs {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		s.dump(b)
+	}
+	b.WriteString(")")
+}
+
+func dumpByte(b *strings.Builder, c byte) {
+	switch {
+	case c >= 0x21 && c <= 0x7e:
+		b.WriteByte(c)
+	case c == ' ':
+		b.WriteString("\\s")
+	case c == '\n':
+		b.WriteString("\\n")
+	case c == '\t':
+		b.WriteString("\\t")
+	case c == '\r':
+		b.WriteString("\\r")
+	default:
+		fmt.Fprintf(b, "\\x%02x", c)
+	}
+}
+
+// Dump renders the AST in the canonical s-expression form, a stable
+// format for golden tests.
+func Dump(n Node) string {
+	var b strings.Builder
+	n.dump(&b)
+	return b.String()
+}
+
+// Error is a front-end error: lexical or syntactic non-compliance of the
+// input RE, with the byte offset where it was detected.
+type Error struct {
+	Pos int
+	Msg string
+	Src string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("syntax: %s at offset %d in %q", e.Msg, e.Pos, e.Src)
+}
+
+// shorthandRanges returns the bracket-expression equivalent of a
+// shorthand class kind, as the paper's middle-end defines them
+// (\w -> [a-zA-Z0-9_]). Negated kinds (W, D, S) return neg == true with
+// the positive ranges.
+func shorthandRanges(kind byte) (rs []ClassRange, neg bool, ok bool) {
+	switch kind {
+	case 'w', 'W':
+		rs = []ClassRange{{'a', 'z'}, {'A', 'Z'}, {'0', '9'}, {'_', '_'}}
+	case 'd', 'D':
+		rs = []ClassRange{{'0', '9'}}
+	case 's', 'S':
+		rs = []ClassRange{{' ', ' '}, {'\t', '\t'}, {'\n', '\n'}, {'\v', '\v'}, {'\f', '\f'}, {'\r', '\r'}}
+	default:
+		return nil, false, false
+	}
+	return rs, kind <= 'Z', true
+}
+
+// ShorthandRanges exposes the shorthand expansion to the middle-end.
+func ShorthandRanges(kind byte) (rs []ClassRange, neg bool, ok bool) {
+	return shorthandRanges(kind)
+}

@@ -1,0 +1,369 @@
+package syntax
+
+import "fmt"
+
+// tokKind enumerates the token classes the lexer produces, mirroring the
+// tokenizing rules the paper implements with FLEX.
+type tokKind int
+
+const (
+	tChar      tokKind = iota // literal byte (val)
+	tShorthand                // \w \W \d \D \s \S (val = kind letter)
+	tDot                      // .
+	tStar                     // *
+	tPlus                     // +
+	tQuest                    // ?
+	tRepeat                   // {n}, {n,}, {n,m} (min, max)
+	tPipe                     // |
+	tLParen                   // ( or (?:
+	tRParen                   // )
+	tClass                    // full bracket expression (neg, ranges)
+	tEOF
+)
+
+// token is one lexical unit with its source position for error reporting.
+type token struct {
+	kind     tokKind
+	pos      int
+	val      byte
+	min, max int
+	neg      bool
+	ranges   []ClassRange
+}
+
+// lexer tokenizes a regular expression byte string. It is byte-oriented:
+// arbitrary binary patterns (e.g. \x00 escapes, raw high bytes) are
+// first-class, as required by binary pattern-matching applications.
+type lexer struct {
+	src []byte
+	pos int
+	str string // original source, for errors
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []byte(src), str: src}
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...), Src: l.str}
+}
+
+// next returns the following token or a lexical error.
+func (l *lexer) next() (token, error) {
+	if l.pos >= len(l.src) {
+		return token{kind: tEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	l.pos++
+	switch c {
+	case '.':
+		return token{kind: tDot, pos: start}, nil
+	case '*':
+		return token{kind: tStar, pos: start}, nil
+	case '+':
+		return token{kind: tPlus, pos: start}, nil
+	case '?':
+		return token{kind: tQuest, pos: start}, nil
+	case '|':
+		return token{kind: tPipe, pos: start}, nil
+	case '(':
+		// Accept the PCRE non-capturing form "(?:" as a plain group:
+		// ALVEARE has no captures, so the two are equivalent here.
+		if l.pos+1 < len(l.src) && l.src[l.pos] == '?' && l.src[l.pos+1] == ':' {
+			l.pos += 2
+		}
+		return token{kind: tLParen, pos: start}, nil
+	case ')':
+		return token{kind: tRParen, pos: start}, nil
+	case '[':
+		return l.lexClass(start)
+	case '{':
+		if tok, ok := l.lexRepeat(start); ok {
+			return tok, nil
+		}
+		// Not a well-formed bounded quantifier: PCRE treats the brace
+		// as a literal character.
+		return token{kind: tChar, pos: start, val: '{'}, nil
+	case '^', '$':
+		return token{}, l.errf(start, "anchor %q is not supported by the ALVEARE operator set", c)
+	case '\\':
+		return l.lexEscape(start)
+	default:
+		return token{kind: tChar, pos: start, val: c}, nil
+	}
+}
+
+// lexEscape handles a backslash escape outside a bracket expression.
+func (l *lexer) lexEscape(start int) (token, error) {
+	v, sh, err := l.escapeValue(start)
+	if err != nil {
+		return token{}, err
+	}
+	if sh {
+		return token{kind: tShorthand, pos: start, val: v}, nil
+	}
+	return token{kind: tChar, pos: start, val: v}, nil
+}
+
+// escapeValue decodes the escape following a consumed backslash. It
+// returns the literal byte value, or shorthand == true with the shorthand
+// kind letter in v.
+func (l *lexer) escapeValue(start int) (v byte, shorthand bool, err error) {
+	if l.pos >= len(l.src) {
+		return 0, false, l.errf(start, "trailing backslash")
+	}
+	c := l.src[l.pos]
+	l.pos++
+	switch c {
+	case 'w', 'W', 'd', 'D', 's', 'S':
+		return c, true, nil
+	case 'n':
+		return '\n', false, nil
+	case 't':
+		return '\t', false, nil
+	case 'r':
+		return '\r', false, nil
+	case 'f':
+		return '\f', false, nil
+	case 'v':
+		return '\v', false, nil
+	case 'a':
+		return 7, false, nil
+	case '0':
+		return 0, false, nil
+	case 'x':
+		if l.pos+1 >= len(l.src) {
+			return 0, false, l.errf(start, "incomplete \\xHH escape")
+		}
+		hi, ok1 := hexVal(l.src[l.pos])
+		lo, ok2 := hexVal(l.src[l.pos+1])
+		if !ok1 || !ok2 {
+			return 0, false, l.errf(start, "bad hex digits in \\x escape")
+		}
+		l.pos += 2
+		return hi<<4 | lo, false, nil
+	}
+	if isAlnum(c) {
+		return 0, false, l.errf(start, "unknown escape \\%c", c)
+	}
+	return c, false, nil // escaped metacharacter or punctuation
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+func isAlnum(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// lexRepeat attempts to read "{n}", "{n,}" or "{n,m}" after a consumed
+// "{". On failure it restores the position and reports ok == false so the
+// brace falls back to a literal.
+func (l *lexer) lexRepeat(start int) (token, bool) {
+	save := l.pos
+	n, ok := l.lexInt()
+	if !ok {
+		l.pos = save
+		return token{}, false
+	}
+	tok := token{kind: tRepeat, pos: start, min: n, max: n}
+	if l.pos < len(l.src) && l.src[l.pos] == ',' {
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '}' {
+			tok.max = Unlimited
+		} else {
+			m, ok := l.lexInt()
+			if !ok {
+				l.pos = save
+				return token{}, false
+			}
+			tok.max = m
+		}
+	}
+	if l.pos >= len(l.src) || l.src[l.pos] != '}' {
+		l.pos = save
+		return token{}, false
+	}
+	l.pos++
+	return tok, true
+}
+
+// maxRepeatLiteral bounds the counters accepted by the front-end; the
+// middle-end further decomposes anything above the ISA's 6-bit limit.
+const maxRepeatLiteral = 9999
+
+func (l *lexer) lexInt() (int, bool) {
+	n := 0
+	digits := 0
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		n = n*10 + int(l.src[l.pos]-'0')
+		if n > maxRepeatLiteral {
+			return 0, false
+		}
+		l.pos++
+		digits++
+	}
+	return n, digits > 0
+}
+
+// posixClasses maps POSIX named classes ([:alpha:] etc.) to their ranges.
+var posixClasses = map[string][]ClassRange{
+	"alpha":  {{'a', 'z'}, {'A', 'Z'}},
+	"digit":  {{'0', '9'}},
+	"alnum":  {{'a', 'z'}, {'A', 'Z'}, {'0', '9'}},
+	"upper":  {{'A', 'Z'}},
+	"lower":  {{'a', 'z'}},
+	"space":  {{' ', ' '}, {'\t', '\t'}, {'\n', '\n'}, {'\v', '\v'}, {'\f', '\f'}, {'\r', '\r'}},
+	"xdigit": {{'0', '9'}, {'a', 'f'}, {'A', 'F'}},
+	"punct":  {{'!', '/'}, {':', '@'}, {'[', '`'}, {'{', '~'}},
+	"print":  {{' ', '~'}},
+	"graph":  {{'!', '~'}},
+	"cntrl":  {{0, 0x1f}, {0x7f, 0x7f}},
+	"blank":  {{' ', ' '}, {'\t', '\t'}},
+}
+
+// lexClass reads a full bracket expression after a consumed "[",
+// producing a single tClass token. Supported: negation, ranges, escapes,
+// shorthand sets, POSIX named classes, and the POSIX literal rules for
+// "]" in first position and "-" at either end.
+func (l *lexer) lexClass(start int) (token, error) {
+	tok := token{kind: tClass, pos: start}
+	if l.pos < len(l.src) && l.src[l.pos] == '^' {
+		tok.neg = true
+		l.pos++
+	}
+	first := true
+	for {
+		if l.pos >= len(l.src) {
+			return token{}, l.errf(start, "unterminated bracket expression")
+		}
+		c := l.src[l.pos]
+		if c == ']' && !first {
+			l.pos++
+			break
+		}
+		first = false
+		// POSIX named class [:name:].
+		if c == '[' && l.pos+1 < len(l.src) && l.src[l.pos+1] == ':' {
+			namePos := l.pos
+			name, err := l.lexPosixName()
+			if err != nil {
+				return token{}, err
+			}
+			rs, ok := posixClasses[name]
+			if !ok {
+				return token{}, l.errf(namePos, "unknown POSIX class [:%s:]", name)
+			}
+			tok.ranges = append(tok.ranges, rs...)
+			continue
+		}
+		lo, isSet, rs, err := l.classAtom(start)
+		if err != nil {
+			return token{}, err
+		}
+		if isSet {
+			if l.pos+1 < len(l.src) && l.src[l.pos] == '-' && l.src[l.pos+1] != ']' {
+				return token{}, l.errf(l.pos, "shorthand cannot be a range endpoint")
+			}
+			tok.ranges = append(tok.ranges, rs...)
+			continue
+		}
+		// Possible range "lo-hi": "-" is literal at the end of the class.
+		if l.pos+1 < len(l.src) && l.src[l.pos] == '-' && l.src[l.pos+1] != ']' {
+			dashPos := l.pos
+			l.pos++
+			hi, isSet2, _, err := l.classAtom(start)
+			if err != nil {
+				return token{}, err
+			}
+			if isSet2 {
+				return token{}, l.errf(dashPos, "shorthand cannot be a range endpoint")
+			}
+			if lo > hi {
+				return token{}, l.errf(dashPos, "reversed range %q-%q in bracket expression", lo, hi)
+			}
+			tok.ranges = append(tok.ranges, ClassRange{lo, hi})
+			continue
+		}
+		tok.ranges = append(tok.ranges, ClassRange{lo, lo})
+	}
+	if len(tok.ranges) == 0 {
+		return token{}, l.errf(start, "empty bracket expression")
+	}
+	return tok, nil
+}
+
+// classAtom reads one class member: a literal byte, an escape, or a
+// shorthand set (isSet == true with its expansion).
+func (l *lexer) classAtom(start int) (b byte, isSet bool, rs []ClassRange, err error) {
+	c := l.src[l.pos]
+	l.pos++
+	if c != '\\' {
+		return c, false, nil, nil
+	}
+	v, sh, err := l.escapeValue(start)
+	if err != nil {
+		return 0, false, nil, err
+	}
+	if !sh {
+		return v, false, nil, nil
+	}
+	ranges, neg, _ := shorthandRanges(v)
+	if neg {
+		// A negated shorthand inside a class ([\W]) is the complement
+		// set; expand it eagerly.
+		ranges = complementRanges(ranges)
+	}
+	return 0, true, ranges, nil
+}
+
+// lexPosixName reads "[:name:]" after detecting "[:" at l.pos.
+func (l *lexer) lexPosixName() (string, error) {
+	start := l.pos
+	l.pos += 2 // "[:"
+	nameStart := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] != ':' {
+		l.pos++
+	}
+	if l.pos+1 >= len(l.src) || l.src[l.pos+1] != ']' {
+		return "", l.errf(start, "unterminated POSIX class")
+	}
+	name := string(l.src[nameStart:l.pos])
+	l.pos += 2 // ":]"
+	return name, nil
+}
+
+// complementRanges returns the complement of a sorted-or-not union of
+// byte ranges over the full 0..255 alphabet.
+func complementRanges(rs []ClassRange) []ClassRange {
+	covered := [256]bool{}
+	for _, r := range rs {
+		for c := int(r.Lo); c <= int(r.Hi); c++ {
+			covered[c] = true
+		}
+	}
+	var out []ClassRange
+	c := 0
+	for c < 256 {
+		if covered[c] {
+			c++
+			continue
+		}
+		lo := c
+		for c < 256 && !covered[c] {
+			c++
+		}
+		out = append(out, ClassRange{byte(lo), byte(c - 1)})
+	}
+	return out
+}

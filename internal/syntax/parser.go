@@ -1,0 +1,193 @@
+package syntax
+
+// Parse runs the front-end on one regular expression: it tokenizes the
+// input, checks its lexical and syntactic compliance against the
+// supported POSIX ERE / PCRE operator set, and returns the abstract
+// syntax tree.
+func Parse(src string) (Node, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	n, err := p.alternate()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tRParen {
+		return nil, p.lex.errf(p.tok.pos, "unmatched )")
+	}
+	if p.tok.kind != tEOF {
+		return nil, p.lex.errf(p.tok.pos, "unexpected token")
+	}
+	return n, nil
+}
+
+// parser is a recursive-descent parser with one token of lookahead,
+// implementing the grammar alternate <- concat ('|' concat)*,
+// concat <- repeat*, repeat <- atom quantifier? lazy?.
+type parser struct {
+	lex *parserLexer
+	tok token
+}
+
+// parserLexer is the lexer interface the parser consumes; concretely the
+// package lexer.
+type parserLexer = lexer
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// alternate parses a '|'-separated list of concatenations.
+func (p *parser) alternate() (Node, error) {
+	first, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tPipe {
+		return first, nil
+	}
+	subs := []Node{first}
+	for p.tok.kind == tPipe {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		n, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, n)
+	}
+	return &Alternate{Subs: subs}, nil
+}
+
+// concat parses a (possibly empty) sequence of quantified atoms, merging
+// adjacent literal characters into literal runs.
+func (p *parser) concat() (Node, error) {
+	var subs []Node
+	for {
+		switch p.tok.kind {
+		case tEOF, tPipe, tRParen:
+			switch len(subs) {
+			case 0:
+				return &Empty{}, nil
+			case 1:
+				return subs[0], nil
+			}
+			return &Concat{Subs: subs}, nil
+		case tStar, tPlus, tQuest, tRepeat:
+			n, err := p.quantify(subs)
+			if err != nil {
+				return nil, err
+			}
+			subs = n
+		default:
+			atom, err := p.atom()
+			if err != nil {
+				return nil, err
+			}
+			if lit, ok := atom.(*Literal); ok && len(subs) > 0 {
+				if prev, ok := subs[len(subs)-1].(*Literal); ok {
+					prev.Bytes = append(prev.Bytes, lit.Bytes...)
+					continue
+				}
+			}
+			subs = append(subs, atom)
+		}
+	}
+}
+
+// quantify applies the pending quantifier token to the most recent atom.
+// A quantifier binds to the last character of a literal run ("abc*" is
+// "ab" then "c*"), so multi-byte literals are split first.
+func (p *parser) quantify(subs []Node) ([]Node, error) {
+	if len(subs) == 0 {
+		return nil, p.lex.errf(p.tok.pos, "quantifier with nothing to repeat")
+	}
+	last := subs[len(subs)-1]
+	if lit, ok := last.(*Literal); ok && len(lit.Bytes) > 1 {
+		tail := &Literal{Bytes: []byte{lit.Bytes[len(lit.Bytes)-1]}}
+		lit.Bytes = lit.Bytes[:len(lit.Bytes)-1]
+		subs = append(subs, tail)
+		last = tail
+	}
+	if _, ok := last.(*Repeat); ok {
+		return nil, p.lex.errf(p.tok.pos, "nested quantifier (quantifier applied to a quantified atom)")
+	}
+
+	rep := &Repeat{Sub: last}
+	switch p.tok.kind {
+	case tStar:
+		rep.Min, rep.Max = 0, Unlimited
+	case tPlus:
+		rep.Min, rep.Max = 1, Unlimited
+	case tQuest:
+		rep.Min, rep.Max = 0, 1
+	case tRepeat:
+		rep.Min, rep.Max = p.tok.min, p.tok.max
+		if rep.Max != Unlimited && rep.Max < rep.Min {
+			return nil, p.lex.errf(p.tok.pos, "repetition bounds out of order {%d,%d}", rep.Min, rep.Max)
+		}
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	// An immediately following '?' selects the lazy modality.
+	if p.tok.kind == tQuest {
+		rep.Lazy = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	subs[len(subs)-1] = rep
+	return subs, nil
+}
+
+// atom parses one indivisible expression: a literal, a class, a
+// shorthand, a dot, or a parenthesised group.
+func (p *parser) atom() (Node, error) {
+	tok := p.tok
+	switch tok.kind {
+	case tChar:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Literal{Bytes: []byte{tok.val}}, nil
+	case tShorthand:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Shorthand{Kind: tok.val}, nil
+	case tDot:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Dot{}, nil
+	case tClass:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Class{Neg: tok.neg, Ranges: tok.ranges}, nil
+	case tLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.alternate()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tRParen {
+			return nil, p.lex.errf(tok.pos, "missing closing )")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Group{Sub: inner}, nil
+	}
+	return nil, p.lex.errf(tok.pos, "unexpected token in atom position")
+}

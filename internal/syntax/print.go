@@ -1,0 +1,173 @@
+package syntax
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders an AST back into pattern text that reparses to an
+// equivalent expression — the inverse of Parse up to grouping
+// normalisation. It is used by tooling that rewrites patterns (e.g.
+// rule-set minimisers) and tested as a fixed point of Parse∘Print.
+func Print(n Node) string {
+	var b strings.Builder
+	printNode(&b, n, precTop)
+	return b.String()
+}
+
+// Operator precedence levels for parenthesisation.
+type prec int
+
+const (
+	precTop    prec = iota // alternation may appear bare
+	precConcat             // inside concatenation: wrap alternations
+	precRepeat             // quantifier operand: wrap all but atoms
+)
+
+func printNode(b *strings.Builder, n Node, p prec) {
+	switch n := n.(type) {
+	case *Empty:
+		if p >= precRepeat {
+			b.WriteString("()")
+		}
+	case *Literal:
+		if p >= precRepeat && len(n.Bytes) > 1 {
+			b.WriteString("(")
+			printLiteral(b, n.Bytes)
+			b.WriteString(")")
+			return
+		}
+		printLiteral(b, n.Bytes)
+	case *Class:
+		printClass(b, n)
+	case *Shorthand:
+		fmt.Fprintf(b, "\\%c", n.Kind)
+	case *Dot:
+		b.WriteString(".")
+	case *Group:
+		b.WriteString("(")
+		printNode(b, n.Sub, precTop)
+		b.WriteString(")")
+	case *Concat:
+		wrap := p >= precRepeat
+		if wrap {
+			b.WriteString("(")
+		}
+		for _, s := range n.Subs {
+			printNode(b, s, precConcat)
+		}
+		if wrap {
+			b.WriteString(")")
+		}
+	case *Alternate:
+		wrap := p >= precConcat
+		if wrap {
+			b.WriteString("(")
+		}
+		for i, s := range n.Subs {
+			if i > 0 {
+				b.WriteString("|")
+			}
+			printNode(b, s, precConcat)
+		}
+		if wrap {
+			b.WriteString(")")
+		}
+	case *Repeat:
+		if p >= precRepeat {
+			// A quantifier cannot directly follow another quantifier.
+			b.WriteString("(")
+			printNode(b, n, precTop)
+			b.WriteString(")")
+			return
+		}
+		printNode(b, n.Sub, precRepeat)
+		switch {
+		case n.Min == 0 && n.Max == Unlimited:
+			b.WriteString("*")
+		case n.Min == 1 && n.Max == Unlimited:
+			b.WriteString("+")
+		case n.Min == 0 && n.Max == 1:
+			b.WriteString("?")
+		case n.Max == Unlimited:
+			fmt.Fprintf(b, "{%d,}", n.Min)
+		case n.Min == n.Max:
+			fmt.Fprintf(b, "{%d}", n.Min)
+		default:
+			fmt.Fprintf(b, "{%d,%d}", n.Min, n.Max)
+		}
+		if n.Lazy {
+			b.WriteString("?")
+		}
+	}
+}
+
+func printLiteral(b *strings.Builder, bs []byte) {
+	for _, c := range bs {
+		printByte(b, c)
+	}
+}
+
+// printByte emits one literal byte with the escaping Parse accepts.
+func printByte(b *strings.Builder, c byte) {
+	switch c {
+	case '\\', '.', '*', '+', '?', '(', ')', '[', ']', '{', '}', '|', '^', '$', '-', '/':
+		b.WriteByte('\\')
+		b.WriteByte(c)
+		return
+	case '\n':
+		b.WriteString("\\n")
+		return
+	case '\t':
+		b.WriteString("\\t")
+		return
+	case '\r':
+		b.WriteString("\\r")
+		return
+	}
+	if c >= 0x20 && c <= 0x7e {
+		b.WriteByte(c)
+		return
+	}
+	fmt.Fprintf(b, "\\x%02x", c)
+}
+
+func printClass(b *strings.Builder, n *Class) {
+	b.WriteString("[")
+	if n.Neg {
+		b.WriteString("^")
+	}
+	for _, r := range n.Ranges {
+		printClassByte(b, r.Lo)
+		if r.Hi != r.Lo {
+			b.WriteString("-")
+			printClassByte(b, r.Hi)
+		}
+	}
+	b.WriteString("]")
+}
+
+// printClassByte emits one class member byte; inside brackets the
+// metacharacters differ from the top level.
+func printClassByte(b *strings.Builder, c byte) {
+	switch c {
+	case '\\', ']', '^', '-', '[':
+		b.WriteByte('\\')
+		b.WriteByte(c)
+		return
+	case '\n':
+		b.WriteString("\\n")
+		return
+	case '\t':
+		b.WriteString("\\t")
+		return
+	case '\r':
+		b.WriteString("\\r")
+		return
+	}
+	if c >= 0x20 && c <= 0x7e {
+		b.WriteByte(c)
+		return
+	}
+	fmt.Fprintf(b, "\\x%02x", c)
+}

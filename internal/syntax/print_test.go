@@ -1,0 +1,129 @@
+package syntax
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPrintFixedPoint: Print∘Parse is a fixed point — printing a parsed
+// pattern and reparsing yields text that prints identically.
+func TestPrintFixedPoint(t *testing.T) {
+	pats := []string{
+		"abc", "a|b|c", "ab*", "(ab)+?", "[a-z0-9_]", "[^a-f]", ".*",
+		"\\w+@\\w+\\.(com|org)", "a{3,6}?", "x(a|b){2,}y", "(a|)",
+		"\\x00\\xff", "[\\]^-]", "a\\.b\\*c", "(?:ab|cd)ef", "colou?r",
+		"[[:digit:]]+", "q(w|e)*?r", "a{0,3}", "()*",
+	}
+	for _, pat := range pats {
+		n1, err := Parse(pat)
+		if err != nil {
+			t.Fatalf("parse %q: %v", pat, err)
+		}
+		out1 := Print(n1)
+		n2, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("reparse %q (printed from %q): %v", out1, pat, err)
+		}
+		out2 := Print(n2)
+		if out1 != out2 {
+			t.Errorf("%q: print not a fixed point: %q -> %q", pat, out1, out2)
+		}
+	}
+}
+
+// TestPrintPreservesLanguage compares dumps after one round trip for
+// patterns whose structure survives (no implicit grouping changes).
+func TestPrintPreservesLanguage(t *testing.T) {
+	pats := []string{"abc", "[a-z]+", "a|b", "a{2,4}?", ".", "\\d\\s"}
+	for _, pat := range pats {
+		n1, err := Parse(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n2, err := Parse(Print(n1))
+		if err != nil {
+			t.Fatalf("%q -> %q: %v", pat, Print(n1), err)
+		}
+		if Dump(n1) != Dump(n2) {
+			t.Errorf("%q: dump changed: %s -> %s", pat, Dump(n1), Dump(n2))
+		}
+	}
+}
+
+// TestPrintRandomRoundTrip fuzzes random ASTs through Print/Parse.
+func TestPrintRandomRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 500; i++ {
+		n1 := randomNode(r, 3)
+		out1 := Print(n1)
+		n2, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("#%d: printed %q from %s does not reparse: %v", i, out1, Dump(n1), err)
+		}
+		out2 := Print(n2)
+		if out1 != out2 {
+			t.Errorf("#%d: not a fixed point: %q -> %q", i, out1, out2)
+		}
+	}
+}
+
+// randomNode builds a random valid AST.
+func randomNode(r *rand.Rand, depth int) Node {
+	if depth == 0 {
+		return randomLeaf(r)
+	}
+	switch r.Intn(6) {
+	case 0:
+		subs := make([]Node, 2+r.Intn(2))
+		for i := range subs {
+			subs[i] = randomNode(r, depth-1)
+		}
+		return &Concat{Subs: subs}
+	case 1:
+		subs := make([]Node, 2+r.Intn(2))
+		for i := range subs {
+			subs[i] = randomNode(r, depth-1)
+		}
+		return &Alternate{Subs: subs}
+	case 2:
+		min := r.Intn(3)
+		max := min + r.Intn(4)
+		if r.Intn(3) == 0 {
+			max = Unlimited
+		}
+		if min == 0 && max == 0 {
+			max = 1
+		}
+		return &Repeat{Sub: randomNode(r, depth-1), Min: min, Max: max, Lazy: r.Intn(2) == 0}
+	case 3:
+		return &Group{Sub: randomNode(r, depth-1)}
+	default:
+		return randomLeaf(r)
+	}
+}
+
+func randomLeaf(r *rand.Rand) Node {
+	switch r.Intn(5) {
+	case 0:
+		n := 1 + r.Intn(4)
+		bs := make([]byte, n)
+		for i := range bs {
+			bs[i] = byte(r.Intn(256))
+		}
+		return &Literal{Bytes: bs}
+	case 1:
+		nr := 1 + r.Intn(3)
+		rs := make([]ClassRange, nr)
+		for i := range rs {
+			lo := byte(r.Intn(250))
+			rs[i] = ClassRange{Lo: lo, Hi: lo + byte(r.Intn(5))}
+		}
+		return &Class{Neg: r.Intn(2) == 0, Ranges: rs}
+	case 2:
+		return &Shorthand{Kind: "wWdDsS"[r.Intn(6)]}
+	case 3:
+		return &Dot{}
+	default:
+		return &Literal{Bytes: []byte{byte('a' + r.Intn(26))}}
+	}
+}

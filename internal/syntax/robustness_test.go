@@ -1,0 +1,50 @@
+package syntax
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics: arbitrary byte strings either parse or fail
+// with an error — the front-end is a safe boundary for untrusted rule
+// files.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		n, err := Parse(string(b))
+		if err != nil {
+			return true
+		}
+		// Whatever parsed must also dump and print without panicking,
+		// and the printed form must reparse.
+		_ = Dump(n)
+		if _, err := Parse(Print(n)); err != nil {
+			t.Logf("printed form of %q does not reparse: %v", b, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseASCIISoup drives printable-ASCII strings (much likelier to
+// hit operator combinations than raw bytes).
+func TestParseASCIISoup(t *testing.T) {
+	const meta = `ab(|)*+?{},[]^-\.0129xnwWsSdD`
+	f := func(idxs []uint8) bool {
+		buf := make([]byte, len(idxs))
+		for i, x := range idxs {
+			buf[i] = meta[int(x)%len(meta)]
+		}
+		n, err := Parse(string(buf))
+		if err != nil {
+			return true
+		}
+		_, err = Parse(Print(n))
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+package syntax
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseGolden pins the AST shapes of representative expressions in
+// the canonical dump format.
+func TestParseGolden(t *testing.T) {
+	cases := []struct{ re, want string }{
+		{"abc", "lit{abc}"},
+		{"a|b", "alt(lit{a} lit{b})"},
+		{"a|b|c", "alt(lit{a} lit{b} lit{c})"},
+		{"ab*", "cat(lit{a} rep{0,inf lit{b}})"},
+		{"ab+c", "cat(lit{a} rep{1,inf lit{b}} lit{c})"},
+		{"a?", "rep{0,1 lit{a}}"},
+		{"a{3}", "rep{3,3 lit{a}}"},
+		{"a{3,}", "rep{3,inf lit{a}}"},
+		{"a{3,6}", "rep{3,6 lit{a}}"},
+		{"a{3,6}?", "rep{3,6 lazy lit{a}}"},
+		{"a*?", "rep{0,inf lazy lit{a}}"},
+		{"a+?", "rep{1,inf lazy lit{a}}"},
+		{"(ab)+", "rep{1,inf grp(lit{ab})}"},
+		{"(a|b)c", "cat(grp(alt(lit{a} lit{b})) lit{c})"},
+		{"(?:ab)", "grp(lit{ab})"},
+		{"[abc]", "cc[abc]"},
+		{"[a-z]", "cc[a-z]"},
+		{"[^abc]", "cc[^abc]"},
+		{"[a-zA-Z0-9_]", "cc[a-zA-Z0-9_]"},
+		{"[]a]", "cc[]a]"},   // ] literal in first position
+		{"[a-]", "cc[a-]"},   // - literal at the end
+		{"[^a-]", "cc[^a-]"}, // both with negation
+		{"[\\]]", "cc[]]"},   // escaped ]
+		{"[\\x00-\\x1f]", "cc[\\x00-\\x1f]"},
+		{".", "dot"},
+		{".*", "rep{0,inf dot}"},
+		{"\\w", "\\w"},
+		{"\\W+", "rep{1,inf \\W}"},
+		{"\\d\\s", "cat(\\d \\s)"},
+		{"a\\.b", "lit{a.b}"},
+		{"\\n\\t\\r\\f\\v", "lit{\\n\\t\\r\\x0c\\x0b}"},
+		{"\\x41\\x5A", "lit{AZ}"},
+		{"\\0", "lit{\\x00}"},
+		{"", "eps"},
+		{"(a|)", "grp(alt(lit{a} eps))"},
+		{"a{,3}", "lit{a{,3}}"}, // not a quantifier: literal braces
+		{"a{x}", "lit{a{x}}"},   // ditto
+		{"[[:digit:]]", "cc[0-9]"},
+		{"[[:alpha:]_]", "cc[a-zA-Z_]"},
+		{"ab|cd", "alt(lit{ab} lit{cd})"},
+		{"a(bc)*d", "cat(lit{a} rep{0,inf grp(lit{bc})} lit{d})"},
+		{"((a))", "grp(grp(lit{a}))"},
+		{"[\\d]", "cc[0-9]"},
+		{"[\\w.-]", "cc[a-zA-Z0-9_.-]"},
+		{"\\{\\}", "lit{{}}"},
+		{"a|b*", "alt(lit{a} rep{0,inf lit{b}})"},
+	}
+	for _, c := range cases {
+		t.Run(c.re, func(t *testing.T) {
+			n, err := Parse(c.re)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", c.re, err)
+			}
+			if got := Dump(n); got != c.want {
+				t.Errorf("Parse(%q) = %s, want %s", c.re, got, c.want)
+			}
+		})
+	}
+}
+
+// TestParseErrors checks that non-compliant REs are rejected with
+// positioned errors, the front-end's compliance-checking role.
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ re, wantSub string }{
+		{"*a", "nothing to repeat"},
+		{"+", "nothing to repeat"},
+		{"|*", "nothing to repeat"},
+		{"a**", "nested quantifier"},
+		{"a{2}{3}", "nested quantifier"},
+		{"(a", "missing closing )"},
+		{"a)", "unmatched )"},
+		{"[abc", "unterminated bracket"},
+		{"[]", "unterminated bracket"}, // "]" first is literal, class never closes
+		{"[z-a]", "reversed range"},
+		{"a{6,3}", "out of order"},
+		{"\\", "trailing backslash"},
+		{"\\q", "unknown escape"},
+		{"\\x1", "incomplete \\xHH"},
+		{"\\xgg", "bad hex digits"},
+		{"^a", "anchor"},
+		{"a$", "anchor"},
+		{"[[:nope:]]", "unknown POSIX class"},
+		{"[[:alpha]", "unterminated POSIX class"},
+		{"[\\w-z]", "shorthand cannot be a range endpoint"},
+	}
+	for _, c := range cases {
+		t.Run(c.re, func(t *testing.T) {
+			_, err := Parse(c.re)
+			if err == nil {
+				t.Fatalf("Parse(%q) accepted, want error containing %q", c.re, c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("Parse(%q) error = %v, want substring %q", c.re, err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorPosition(t *testing.T) {
+	_, err := Parse("abc(de")
+	se, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type = %T, want *Error", err)
+	}
+	if se.Pos != 3 {
+		t.Errorf("error position = %d, want 3 (the open paren)", se.Pos)
+	}
+	if se.Src != "abc(de" {
+		t.Errorf("error source = %q", se.Src)
+	}
+}
+
+// TestQuantifierBinding verifies that a quantifier binds only to the last
+// character of a literal run.
+func TestQuantifierBinding(t *testing.T) {
+	n, err := Parse("abc{2,3}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "cat(lit{ab} rep{2,3 lit{c}})"
+	if got := Dump(n); got != want {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+// TestBinaryBytes exercises raw high bytes and \xHH escapes, the
+// binary-pattern support the reference-enable bits exist for.
+func TestBinaryBytes(t *testing.T) {
+	n, err := Parse("\\x00\\xff\\x7f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit, ok := n.(*Literal)
+	if !ok {
+		t.Fatalf("node = %T, want *Literal", n)
+	}
+	if string(lit.Bytes) != "\x00\xff\x7f" {
+		t.Errorf("bytes = %x, want 00ff7f", lit.Bytes)
+	}
+
+	// Raw non-ASCII bytes in the pattern are literal.
+	n, err = Parse(string([]byte{0xc3, 0xa9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit, ok = n.(*Literal)
+	if !ok || string(lit.Bytes) != "\xc3\xa9" {
+		t.Errorf("raw bytes parse = %v", n)
+	}
+}
+
+func TestShorthandRanges(t *testing.T) {
+	rs, neg, ok := ShorthandRanges('w')
+	if !ok || neg {
+		t.Fatalf("\\w: ok=%v neg=%v", ok, neg)
+	}
+	if len(rs) != 4 {
+		t.Errorf("\\w ranges = %v", rs)
+	}
+	_, neg, ok = ShorthandRanges('W')
+	if !ok || !neg {
+		t.Errorf("\\W: ok=%v neg=%v, want negated", ok, neg)
+	}
+	if _, _, ok := ShorthandRanges('q'); ok {
+		t.Error("ShorthandRanges accepted unknown kind 'q'")
+	}
+}
+
+func TestComplementRanges(t *testing.T) {
+	got := complementRanges([]ClassRange{{'a', 'z'}})
+	want := []ClassRange{{0, 'a' - 1}, {'z' + 1, 255}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("complement([a-z]) = %v, want %v", got, want)
+	}
+	// Complement of everything is empty.
+	if got := complementRanges([]ClassRange{{0, 255}}); len(got) != 0 {
+		t.Errorf("complement(all) = %v, want empty", got)
+	}
+	// Negated shorthand inside a class expands to the complement.
+	n, err := Parse("[\\D]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := n.(*Class)
+	if cc.Neg {
+		t.Error("[\\D] parsed as negated class; want positive complement set")
+	}
+	covers := func(c byte) bool {
+		for _, r := range cc.Ranges {
+			if c >= r.Lo && c <= r.Hi {
+				return true
+			}
+		}
+		return false
+	}
+	if covers('5') || !covers('x') || !covers(0) {
+		t.Errorf("[\\D] coverage wrong: ranges %v", cc.Ranges)
+	}
+}
+
+func TestDumpStability(t *testing.T) {
+	// Dump must be deterministic: parse twice, compare.
+	const re = "(a|b[c-f]{2,4}?)+\\w\\x00"
+	n1, err := Parse(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, _ := Parse(re)
+	if Dump(n1) != Dump(n2) {
+		t.Error("Dump is not deterministic")
+	}
+}
