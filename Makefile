@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race check fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+## race: the concurrency gate — the concurrent RuleSet scanner and the
+## streaming reader tests all run under the race detector.
+race:
+	$(GO) test -race ./...
+
+## check: the full local CI gate.
+check: vet race
+
+## fuzz: cross-check the chunked reader scan against one-shot FindAll.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzStreamChunking -fuzztime 30s .

@@ -13,6 +13,7 @@
 //	if err != nil { ... }
 //	m, ok, err := eng.Find(data)        // leftmost match
 //	ms, err := eng.FindAll(data)        // all non-overlapping matches
+//	ms, err = eng.FindReader(r)         // stream an io.Reader, chunked
 //	st := eng.Stats()                   // cycles, speculations, rollbacks
 //
 // Compiled programs can be disassembled (prog.Disassemble), serialised
@@ -53,6 +54,21 @@ func WithCores(n int) Option { return core.WithCores(n) }
 // the compiler (an extension beyond the paper's baseline design);
 // results are identical, candidate scanning gets cheaper.
 func WithPrefilter() Option { return core.WithPrefilter() }
+
+// WithOverlap sets the chunk-boundary overlap in bytes for the
+// multi-core divide and conquer and the streaming reader scan. The
+// overlap bounds the longest match the chunked disciplines report
+// identically to a one-shot scan; longer matches are the scheme's
+// documented blind spot.
+func WithOverlap(n int) Option { return core.WithOverlap(n) }
+
+// WithChunkSize sets the refill granularity of the streaming reader
+// scan (FindReader, CountReader, ScanReader).
+func WithChunkSize(n int) Option { return core.WithChunkSize(n) }
+
+// WithWorkers bounds a RuleSet's rule-level scan concurrency; the
+// default (0) is GOMAXPROCS.
+func WithWorkers(n int) Option { return core.WithWorkers(n) }
 
 // Compile translates a regular expression into an ALVEARE executable
 // with all advanced ISA primitives enabled (RANGE, NOT, counters,
@@ -100,8 +116,10 @@ func CompileWith(re string, opt CompilerOptions) (*Program, error) {
 	return core.CompileWith(re, opt.backend())
 }
 
-// RuleSet is a compiled multi-pattern database (one engine per rule),
-// the deployment unit of DPI-style workloads.
+// RuleSet is a compiled multi-pattern database, the deployment unit of
+// DPI-style workloads. Scans dispatch rules to a bounded worker pool
+// (WithWorkers) over pooled per-rule cores, so one RuleSet serves
+// concurrent Scan calls.
 type RuleSet = core.RuleSet
 
 // RuleMatches reports one rule's hits in a scanned stream.

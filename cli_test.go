@@ -16,7 +16,7 @@ var buildTools = sync.OnceValues(func() (map[string]string, error) {
 		return nil, err
 	}
 	tools := map[string]string{}
-	for _, name := range []string{"alvearec", "alvearerun", "alvearebench", "alvearegen"} {
+	for _, name := range []string{"alvearec", "alvearerun", "alvearebench", "alvearegen", "alvearescan"} {
 		bin := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -138,6 +138,53 @@ func TestCLIRun(t *testing.T) {
 	out, code = run(t, "alvearerun", "", "needle", f)
 	if code != 0 || !strings.Contains(out, "[0,6)") {
 		t.Errorf("file input: exit %d\n%s", code, out)
+	}
+}
+
+// TestCLIRunStreams drives the default single-core path — now the
+// chunked reader scan — over an input spanning many windows.
+func TestCLIRunStreams(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "big.txt")
+	data := strings.Repeat("x", 5000) + "needle" + strings.Repeat("y", 5000)
+	os.WriteFile(f, []byte(data), 0o644)
+	out, code := run(t, "alvearerun", "", "-chunk", "512", "-overlap", "64", "needle", f)
+	if code != 0 || !strings.Contains(out, "[5000,5006)") {
+		t.Errorf("streamed first match: exit %d\n%s", code, out)
+	}
+	out, code = run(t, "alvearerun", "", "-all", "-stats", "-chunk", "256", "needle|x{10}", f)
+	if code != 0 || !strings.Contains(out, "[5000,5006)") || !strings.Contains(out, "matches=") {
+		t.Errorf("streamed -all: exit %d\n%s", code, out)
+	}
+}
+
+func TestCLIScan(t *testing.T) {
+	dir := t.TempDir()
+	rulesFile := filepath.Join(dir, "rules.txt")
+	os.WriteFile(rulesFile, []byte("# DPI ruleset\nneedle\n\n[0-9]{3}-[0-9]{4}\nnosuchthing\n"), 0o644)
+	input := "call 555-1234 about the needle now"
+	out, code := run(t, "alvearescan", input, "-rules", rulesFile, "-workers", "4", "-stats", "-")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"rule 0 [24,30)", "rule 1 [5,13)", "hits=2", "cycles="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// File input across chunk boundaries.
+	dataFile := filepath.Join(dir, "cap.bin")
+	os.WriteFile(dataFile, []byte(strings.Repeat("z", 3000)+"555-9876"+strings.Repeat("z", 3000)), 0o644)
+	out, code = run(t, "alvearescan", "", "-rules", rulesFile, "-chunk", "512", dataFile)
+	if code != 0 || !strings.Contains(out, "rule 1 [3000,3008)") {
+		t.Errorf("chunked file scan: exit %d\n%s", code, out)
+	}
+	// No rule matches -> exit 1.
+	if _, code := run(t, "alvearescan", "clean traffic\n", "-q", "-rules", rulesFile, "-"); code != 1 {
+		t.Errorf("no-match exit = %d, want 1", code)
+	}
+	// Missing rules flag -> usage error.
+	if _, code := run(t, "alvearescan", "x", "-"); code != 2 {
+		t.Errorf("missing -rules exit = %d, want 2", code)
 	}
 }
 

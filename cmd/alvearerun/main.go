@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	alvearerun [-cores N] [-all] [-stats] 'regex' [file...]
+//	alvearerun [-cores N] [-all] [-stats] [-chunk N] [-overlap N] 'regex' [file...]
 //
-// With no files, data is read from standard input.
+// With no files, data is read from standard input. Single-core runs
+// without -trace/-vcd stream the input through a chunked window
+// (Engine.ScanReader), so arbitrarily large inputs are never loaded
+// into memory; multi-core and traced runs need random access and read
+// the whole input.
 package main
 
 import (
@@ -28,6 +32,8 @@ func main() {
 		quiet = flag.Bool("q", false, "suppress per-match output (exit status only)")
 		trace = flag.Bool("trace", false, "print a cycle-by-cycle execution trace to stderr (single core)")
 		vcd   = flag.String("vcd", "", "write a VCD waveform of the execution to this file (single core)")
+		chunk = flag.Int("chunk", 0, "streaming window size in bytes (0 = default 64 KiB)")
+		olap  = flag.Int("overlap", 0, "chunk-boundary overlap in bytes (0 = default 256)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -36,7 +42,8 @@ func main() {
 	}
 	prog, err := alveare.Compile(flag.Arg(0))
 	fatalIf(err)
-	eng, err := alveare.NewEngine(prog, alveare.WithCores(*cores))
+	eng, err := alveare.NewEngine(prog, alveare.WithCores(*cores),
+		alveare.WithChunkSize(*chunk), alveare.WithOverlap(*olap))
 	fatalIf(err)
 
 	// Tracing runs on a dedicated single core so the trace and the
@@ -71,12 +78,20 @@ func main() {
 	}
 	found := false
 	for _, name := range files {
-		data, err := readInput(name)
-		fatalIf(err)
 		label := name
 		if name == "-" {
 			label = "(stdin)"
 		}
+		// The common case — one core, no tracing — streams the input
+		// through a bounded window instead of slurping it.
+		if traceCore == nil && *cores == 1 {
+			if scanStream(eng, name, label, *all, *stats, *quiet) {
+				found = true
+			}
+			continue
+		}
+		data, err := readInput(name)
+		fatalIf(err)
 		if traceCore != nil {
 			// Drive the traced core over the same input (first match).
 			if _, _, err := traceCore.Find(data); err != nil {
@@ -119,9 +134,55 @@ func main() {
 	}
 }
 
+// scanStream runs one input through the chunked reader scan and prints
+// results in the same format as the in-memory paths. It reports
+// whether anything matched.
+func scanStream(eng *alveare.Engine, name, label string, all, stats, quiet bool) bool {
+	in, closeIn, err := openInput(name)
+	fatalIf(err)
+	defer closeIn()
+	eng.ResetStats()
+	matched := false
+	n := 0
+	_, err = eng.ScanReader(in, func(m alveare.Match, text []byte) bool {
+		matched = true
+		n++
+		if !quiet {
+			fmt.Printf("%s: [%d,%d) %q\n", label, m.Start, m.End, clip(text))
+		}
+		return all // first-match mode stops after one hit
+	})
+	fatalIf(err)
+	if !matched && !all && !quiet {
+		fmt.Printf("%s: no match\n", label)
+	}
+	if stats {
+		st := eng.Stats()
+		if all {
+			printRunStats(st.Cycles, st.Cycles, n)
+		} else {
+			fmt.Printf("  cycles=%d instructions=%d speculations=%d rollbacks=%d scan=%d refill=%d\n",
+				st.Cycles, st.Instructions, st.Speculations, st.Rollbacks, st.ScanCycles, st.RefillCycles)
+			fmt.Printf("  modelled time @300MHz: %.3g s\n", perf.AlveareTime(st.Cycles))
+		}
+	}
+	return matched
+}
+
 func printRunStats(wall, total int64, matches int) {
 	fmt.Printf("  matches=%d wall_cycles=%d total_cycles=%d modelled_time=%.3g s\n",
 		matches, wall, total, perf.AlveareTime(wall))
+}
+
+func openInput(name string) (io.Reader, func() error, error) {
+	if name == "-" {
+		return os.Stdin, func() error { return nil }, nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
 }
 
 func readInput(name string) ([]byte, error) {

@@ -1,0 +1,201 @@
+package alveare
+
+import (
+	"bytes"
+	"math/rand"
+	"regexp"
+	"testing"
+)
+
+// difftestTable is the supported-subset pattern census for the
+// differential harness: every entry compiles under both ALVEARE and
+// Go's regexp, spanning the ISA's advanced primitives — RANGE classes,
+// NOT classes, bounded/unbounded counters, greedy and lazy quantifiers,
+// alternation — plus realistic compositions. The witness is a known
+// matching fragment planted into the generated corpora so every
+// pattern is exercised on hits, not only on misses.
+var difftestTable = []struct{ pattern, witness string }{
+	// RANGE primitives.
+	{`[a-f]+`, "fade"},
+	{`[0-9]{3}`, "123"},
+	{`[a-m][n-z]`, "an"},
+	{`[0-9a-f]{2,4}`, "a1b2"},
+	{`x[a-c]*y`, "xabcy"},
+	{`[d-g]?h`, "gh"},
+	{`[2-7][0-5]`, "43"},
+	{`[b-y]{5}`, "bcdef"},
+	// NOT (negated classes).
+	{`[^a]`, "z"},
+	{`[^0-9]+`, "abc"},
+	{`a[^b]c`, "axc"},
+	{`[^ ]{4}`, "abcd"},
+	{`[^a-m]{2}`, "xy"},
+	{`q[^u]`, "qa"},
+	{`[^x][^y]`, "ab"},
+	// Counters (bounded and unbounded quantifiers).
+	{`a{3}`, "aaa"},
+	{`(ab){2}`, "abab"},
+	{`[ab]{2,5}`, "abba"},
+	{`z{0,3}a`, "zza"},
+	{`(a|b){3}`, "aba"},
+	{`a{2,}b`, "aaab"},
+	{`(ha){2,3}`, "hahaha"},
+	{`o{1,2}k`, "ook"},
+	// Lazy quantifiers.
+	{`a+?b`, "aab"},
+	{`[0-9]+?x`, "12x"},
+	{`a{1,4}?b`, "aab"},
+	{`(ab)+?c`, "ababc"},
+	{`q.*?r`, "qwer"},
+	{`x[ab]*?y`, "xaby"},
+	{`[a-z]{2,6}?0`, "abc0"},
+	// Alternation.
+	{`cat|dog|bird`, "bird"},
+	{`(GET|POST) /`, "GET /"},
+	{`a(b|c)d`, "acd"},
+	{`(foo|bar)+`, "foobar"},
+	{`(a|ab)c`, "abc"},
+	{`th(e|is|at)`, "this"},
+	// Realistic compositions.
+	{`[a-z0-9]+@[a-z]+\.(com|org)`, "bob7@acme.com"},
+	{`ERROR|WARN`, "ERROR"},
+	{`"[^"]*"`, `"hi"`},
+	{`<[a-z]+>`, "<div>"},
+	{`[0-9]+\.[0-9]+`, "3.14"},
+	{`0x[0-9a-f]+`, "0xff"},
+	{`--+`, "---"},
+	{` +`, "  "},
+	{`[a-z]+[0-9]{2,3}`, "abc12"},
+	{`(0|1)+2`, "1012"},
+	{`colou?r`, "colour"},
+	{`[A-Z][a-z]+`, "Hello"},
+	{`.at`, "cat"},
+	{`(x|y)(1|2)z`, "x1z"},
+	{`[aeiou]{2}`, "ea"},
+	{`end\.`, "end."},
+}
+
+// difftestCorpus builds the seeded corpora for one pattern: fixed edge
+// cases plus random streams over a mixed ASCII alphabet with the
+// witness planted at random offsets.
+func difftestCorpus(r *rand.Rand, witness string) [][]byte {
+	const alphabet = "abcdefghxyzq0123456789 .-@\"<>/GETPOSHWcloured"
+	out := [][]byte{
+		{},
+		[]byte(witness),
+		[]byte(witness + witness),
+		[]byte(" " + witness + " tail"),
+	}
+	for i := 0; i < 10; i++ {
+		buf := make([]byte, r.Intn(300))
+		for j := range buf {
+			buf[j] = alphabet[r.Intn(len(alphabet))]
+		}
+		for k := 0; k < 1+r.Intn(3) && len(buf) >= len(witness); k++ {
+			p := r.Intn(len(buf) - len(witness) + 1)
+			copy(buf[p:], witness)
+		}
+		out = append(out, buf)
+	}
+	return out
+}
+
+// goFindAllSemantics maps ALVEARE's FindAll discipline onto Go
+// regexp's: Go suppresses an empty match that lands exactly at the end
+// of the previously found match (regexp's prevMatchEnd rule) while
+// ALVEARE reports it; both resume one byte later, so dropping those
+// entries aligns the two sequences exactly. Non-empty matches are
+// never suppressed by either engine.
+func goFindAllSemantics(ms []Match) [][]int {
+	var out [][]int
+	prevEnd := -1
+	for _, m := range ms {
+		if !(m.Start == m.End && m.Start == prevEnd) {
+			out = append(out, []int{m.Start, m.End})
+		}
+		prevEnd = m.End
+	}
+	return out
+}
+
+func assertSameSpans(t *testing.T, label, pat string, data []byte, got, want [][]int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s %q on %q: %d spans, stdlib %d\n got %v\nwant %v", label, pat, data, len(got), len(want), got, want)
+		return
+	}
+	for i := range got {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Errorf("%s %q on %q: span %d = %v, stdlib %v", label, pat, data, i, got[i], want[i])
+			return
+		}
+	}
+}
+
+// TestFindAllDifferential is the FindAll-level differential harness:
+// for every supported-subset pattern, the full ALVEARE pipeline — in
+// both compilation modes — must report exactly Go regexp's
+// FindAllIndex spans over the seeded corpora.
+func TestFindAllDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	for _, tc := range difftestTable {
+		std := regexp.MustCompile(tc.pattern)
+		engAdv, err := NewEngine(MustCompile(tc.pattern))
+		if err != nil {
+			t.Fatalf("%q: %v", tc.pattern, err)
+		}
+		minProg, err := CompileMinimal(tc.pattern)
+		if err != nil {
+			t.Fatalf("minimal %q: %v", tc.pattern, err)
+		}
+		engMin, err := NewEngine(minProg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := std.FindString(tc.witness); m == "" {
+			t.Fatalf("witness %q does not match %q", tc.witness, tc.pattern)
+		}
+		for _, data := range difftestCorpus(r, tc.witness) {
+			want := std.FindAllIndex(data, -1)
+			for label, eng := range map[string]*Engine{"advanced": engAdv, "minimal": engMin} {
+				ms, err := eng.FindAll(data)
+				if err != nil {
+					t.Fatalf("%s %q on %q: %v", label, tc.pattern, data, err)
+				}
+				assertSameSpans(t, label, tc.pattern, data, goFindAllSemantics(ms), want)
+			}
+		}
+	}
+}
+
+// TestStreamingDifferential holds the chunked reader path to the same
+// external oracle: FindReader over small chunks must reproduce Go
+// regexp's spans (overlap sized over the longest match, per the
+// documented blind-spot contract).
+func TestStreamingDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(777))
+	for _, tc := range difftestTable {
+		std := regexp.MustCompile(tc.pattern)
+		prog := MustCompile(tc.pattern)
+		for _, data := range difftestCorpus(r, tc.witness) {
+			want := std.FindAllIndex(data, -1)
+			maxLen := 1
+			for _, w := range want {
+				if l := w[1] - w[0]; l > maxLen {
+					maxLen = l
+				}
+			}
+			for _, chunk := range []int{7, 64} {
+				eng, err := NewEngine(prog, WithChunkSize(chunk), WithOverlap(maxLen+8))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ms, err := eng.FindReader(bytes.NewReader(data))
+				if err != nil {
+					t.Fatalf("%q chunk=%d on %q: %v", tc.pattern, chunk, data, err)
+				}
+				assertSameSpans(t, "stream", tc.pattern, data, goFindAllSemantics(ms), want)
+			}
+		}
+	}
+}

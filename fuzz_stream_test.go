@@ -1,0 +1,68 @@
+package alveare
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStreamChunking fuzzes (pattern, input, chunkSize) and
+// cross-checks the chunked reader scan against the one-shot FindAll.
+// The overlap is sized from the one-shot result's longest match, which
+// is exactly the contract under which the two disciplines are
+// byte-identical — so any divergence the fuzzer finds is a real bug in
+// the carry-over logic, not the documented blind spot.
+func FuzzStreamChunking(f *testing.F) {
+	f.Add("a+b", "aabab aab", 7)
+	f.Add("[a-f]{2,4}", "xxfadexxbeadxx", 3)
+	f.Add("(cat|dog)+", "catdogcat catcat", 64)
+	f.Add("[^ ]+", "split into many words here", 5)
+	f.Add("a*", "bbaabbb", 1)
+	f.Add("q(w|e)*?r", "qwer qweer qr", 11)
+	f.Add("x{2,}y", "xxxxy xy xxy", 2)
+	f.Add("", "empty pattern input", 8)
+	f.Fuzz(func(t *testing.T, pat, input string, chunkSize int) {
+		if len(pat) > 40 || len(input) > 1<<12 {
+			t.Skip()
+		}
+		prog, err := Compile(pat)
+		if err != nil {
+			t.Skip() // outside the supported subset
+		}
+		oneShot, err := NewEngine(prog)
+		if err != nil {
+			t.Skip()
+		}
+		data := []byte(input)
+		want, err := oneShot.FindAll(data)
+		if err != nil {
+			t.Skip() // pathological execution (stack/cycle budget)
+		}
+		maxLen := 1
+		for _, m := range want {
+			if l := m.End - m.Start; l > maxLen {
+				maxLen = l
+			}
+		}
+		chunk := chunkSize
+		if chunk < 1 {
+			chunk = 1 - chunk
+		}
+		chunk = 1 + chunk%4096
+		eng, err := NewEngine(prog, WithChunkSize(chunk), WithOverlap(maxLen))
+		if err != nil {
+			t.Fatalf("engine for %q: %v", pat, err)
+		}
+		got, err := eng.FindReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%q chunk=%d on %q: streaming failed where one-shot succeeded: %v", pat, chunk, input, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%q chunk=%d overlap=%d on %q:\nstream  %v\noneshot %v", pat, chunk, maxLen, input, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%q chunk=%d overlap=%d on %q: match %d %v vs %v", pat, chunk, maxLen, input, i, got[i], want[i])
+			}
+		}
+	})
+}

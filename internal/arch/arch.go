@@ -113,8 +113,10 @@ type Stats struct {
 	CloseOps int64
 }
 
-// add merges s2 into s.
-func (s *Stats) add(s2 Stats) {
+// Add merges s2 into s: counters sum, stack high-water marks take the
+// maximum. It is the aggregation primitive for multi-core and
+// multi-rule runs (the caller serialises concurrent merges).
+func (s *Stats) Add(s2 Stats) {
 	s.Cycles += s2.Cycles
 	s.Instructions += s2.Instructions
 	s.Speculations += s2.Speculations
@@ -144,13 +146,20 @@ var (
 )
 
 // Core is one ALVEARE execution core with its private instruction
-// memory (the loaded program) and statistics.
+// memory (the loaded program) and statistics. A core is not safe for
+// concurrent use: it owns the speculation-stack memory that successive
+// searches recycle (pool cores, or use one per goroutine, to scan in
+// parallel).
 type Core struct {
 	cfg    Config
 	code   []isa.Instr
 	prog   *isa.Program
 	stats  Stats
 	tracer Tracer
+	// scratch is the reusable per-search state: the speculation stack
+	// arenas survive across searches so a recycled core pays no
+	// reallocation on its next input (see Reset).
+	scratch machine
 }
 
 // NewCore loads a validated program into a core.
@@ -169,6 +178,24 @@ func (c *Core) Stats() Stats { return c.stats }
 
 // ResetStats clears the performance counters.
 func (c *Core) ResetStats() { c.stats = Stats{} }
+
+// Reset prepares the core for a fresh input stream: it clears the
+// performance counters and drops every reference to the previous data
+// (the prefilter occurrence cache, the data slice itself) while
+// retaining the speculation-stack and snapshot arenas at their grown
+// capacity. Reset is what makes pooled cores cheap to recycle — a
+// reused core re-runs without reallocating the stack memory its
+// earlier inputs forced it to grow.
+func (c *Core) Reset() {
+	c.stats = Stats{}
+	m := &c.scratch
+	m.data = nil
+	m.frames = m.frames[:0]
+	m.recycleChoices()
+	m.occ = m.occ[:0]
+	m.occValid = false
+	m.buffered = 0
+}
 
 // frameKind distinguishes the two speculation-stack frame flavours.
 type frameKind uint8
@@ -202,19 +229,52 @@ type choice struct {
 	frames []frame
 }
 
-// machine is the per-search transient state.
+// machine is the per-search transient state. One machine lives inside
+// each Core (Core.scratch) so its arenas — the structural frame stack,
+// the choice stack and the snapshot free list — are recycled across
+// searches instead of reallocated.
 type machine struct {
 	core    *Core
 	data    []byte
 	frames  []frame
 	choices []choice
-	st      *Stats
+	// spare is the snapshot free list: frame slices released by
+	// rollbacks, reused by the next speculation instead of allocating.
+	spare [][]frame
+	st    *Stats
 	// data-memory model: high-water mark of the small RAM.
 	buffered int
 	budget   int64
 	// prefilter occurrence cache (per data stream).
 	occ      []int
 	occValid bool
+}
+
+// machine rebinds the core's scratch machine to a new data stream,
+// keeping the grown arenas.
+func (c *Core) machine(data []byte) *machine {
+	m := &c.scratch
+	m.core = c
+	m.data = data
+	m.st = &c.stats
+	m.budget = c.cfg.MaxCycles
+	m.buffered = 0
+	m.frames = m.frames[:0]
+	m.recycleChoices()
+	m.occ = m.occ[:0]
+	m.occValid = false
+	return m
+}
+
+// recycleChoices moves every pending choice's snapshot onto the free
+// list and empties the choice stack.
+func (m *machine) recycleChoices() {
+	for i := range m.choices {
+		if s := m.choices[i].frames; s != nil {
+			m.spare = append(m.spare, s[:0])
+		}
+	}
+	m.choices = m.choices[:0]
 }
 
 // Find reports the leftmost match in data.
@@ -224,15 +284,14 @@ func (c *Core) Find(data []byte) (Match, bool, error) {
 
 // FindFrom reports the leftmost match starting at or after from.
 func (c *Core) FindFrom(data []byte, from int) (Match, bool, error) {
-	m := &machine{core: c, data: data, st: &c.stats, budget: c.cfg.MaxCycles}
-	return m.search(from)
+	return c.machine(data).search(from)
 }
 
 // FindAll returns all non-overlapping matches (leftmost-first). A
 // non-positive limit means no limit.
 func (c *Core) FindAll(data []byte, limit int) ([]Match, error) {
 	var out []Match
-	m := &machine{core: c, data: data, st: &c.stats, budget: c.cfg.MaxCycles}
+	m := c.machine(data)
 	from := 0
 	for from <= len(data) {
 		match, ok, err := m.search(from)
@@ -320,7 +379,7 @@ func (m *machine) search(from int) (Match, bool, error) {
 func (m *machine) attempt(start int) (end int, ok bool, err error) {
 	code := m.core.code
 	m.frames = m.frames[:0]
-	m.choices = m.choices[:0]
+	m.recycleChoices()
 	m.st.Attempts++
 	pc, dp := 0, start
 	m.emit(EvAttempt, 0, start, isa.Instr{})
@@ -560,6 +619,9 @@ func (m *machine) rollback() (npc, ndp int, alive bool) {
 	ch := m.choices[len(m.choices)-1]
 	m.choices = m.choices[:len(m.choices)-1]
 	m.frames = append(m.frames[:0], ch.frames...)
+	if ch.frames != nil {
+		m.spare = append(m.spare, ch.frames[:0])
+	}
 	m.st.Cycles++
 	m.st.Rollbacks++
 	m.emit(EvRollback, ch.pc, ch.dp, isa.Instr{})
@@ -584,7 +646,15 @@ func (m *machine) speculateSnap(pc, dp int, snap []frame) error {
 	return nil
 }
 
+// snapshot copies the given frame prefix into a slice drawn from the
+// free list when one is available (rollbacks return theirs), so steady
+// speculate/rollback churn runs allocation-free.
 func (m *machine) snapshot(frames []frame) []frame {
+	if n := len(m.spare); n > 0 {
+		s := m.spare[n-1]
+		m.spare = m.spare[:n-1]
+		return append(s, frames...)
+	}
 	return append([]frame(nil), frames...)
 }
 

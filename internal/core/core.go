@@ -11,11 +11,13 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"alveare/internal/arch"
 	"alveare/internal/backend"
 	"alveare/internal/isa"
 	"alveare/internal/multicore"
+	"alveare/internal/stream"
 )
 
 // Program is a compiled, loadable ALVEARE executable.
@@ -45,6 +47,8 @@ type Option func(*settings)
 type settings struct {
 	cores   int
 	overlap int
+	chunk   int
+	workers int
 	cfg     arch.Config
 }
 
@@ -59,9 +63,25 @@ func WithArchConfig(cfg arch.Config) Option {
 	return func(s *settings) { s.cfg = cfg }
 }
 
-// WithOverlap sets the multi-core chunk-boundary overlap in bytes.
+// WithOverlap sets the chunk-boundary overlap in bytes, for both the
+// multi-core divide and conquer and the streaming reader scan. It
+// bounds the longest match the chunked disciplines report identically
+// to a one-shot scan (see internal/stream).
 func WithOverlap(n int) Option {
 	return func(s *settings) { s.overlap = n }
+}
+
+// WithChunkSize sets the refill granularity of the streaming reader
+// scan (FindReader, CountReader, ScanReader); the default is
+// stream.DefaultChunkSize.
+func WithChunkSize(n int) Option {
+	return func(s *settings) { s.chunk = n }
+}
+
+// WithWorkers bounds the rule-level scan concurrency of a RuleSet
+// (default GOMAXPROCS). It has no effect on a single Engine.
+func WithWorkers(n int) Option {
+	return func(s *settings) { s.workers = n }
 }
 
 // WithPrefilter enables the compiler's necessary-factor hint: when the
@@ -78,6 +98,7 @@ type Engine struct {
 	prog   *Program
 	single *arch.Core
 	multi  *multicore.Engine
+	stream stream.Config
 }
 
 // NewEngine loads a compiled program.
@@ -89,7 +110,7 @@ func NewEngine(p *Program, opts ...Option) (*Engine, error) {
 	if s.cores < 1 {
 		return nil, fmt.Errorf("core: %d cores", s.cores)
 	}
-	e := &Engine{prog: p}
+	e := &Engine{prog: p, stream: stream.Config{ChunkSize: s.chunk, Overlap: s.overlap}}
 	single, err := arch.NewCore(p, s.cfg)
 	if err != nil {
 		return nil, err
@@ -143,6 +164,40 @@ func (e *Engine) Count(data []byte) (int, error) {
 	return len(ms), err
 }
 
+// ScanReader scans r to EOF in chunks (WithChunkSize) with overlap
+// carry-over (WithOverlap), calling emit for every match in stream
+// order; only one window is buffered, so the input may be arbitrarily
+// large. text aliases the window buffer and is valid only during the
+// call. emit returning false stops the scan early without error.
+//
+// Results are byte-identical to FindAll over the whole input provided
+// no match exceeds the overlap — longer matches are the chunking
+// scheme's documented blind spot (see internal/stream). Reader scans
+// run on the engine's single core regardless of WithCores: divide and
+// conquer needs random access, a stream is consumed once.
+func (e *Engine) ScanReader(r io.Reader, emit func(m Match, text []byte) bool) (int64, error) {
+	sc := stream.ForCore(e.single, e.stream)
+	return sc.Scan(r, stream.EmitFunc(emit))
+}
+
+// FindReader returns every match in the stream, reading r to EOF one
+// window at a time (only the match list is buffered).
+func (e *Engine) FindReader(r io.Reader) ([]Match, error) {
+	var out []Match
+	_, err := e.ScanReader(r, func(m Match, _ []byte) bool {
+		out = append(out, m)
+		return true
+	})
+	return out, err
+}
+
+// CountReader returns the number of matches in the stream.
+func (e *Engine) CountReader(r io.Reader) (int, error) {
+	n := 0
+	_, err := e.ScanReader(r, func(Match, []byte) bool { n++; return true })
+	return n, err
+}
+
 // Run executes a full multi-core pass and returns the detailed result
 // (wall cycles, per-core counters). On a single-core engine it wraps
 // the core's counters in the same shape.
@@ -167,3 +222,7 @@ func (e *Engine) Run(data []byte) (multicore.Result, error) {
 // Stats returns the single-core counters (aggregate counters for
 // multi-core runs come from Run's result).
 func (e *Engine) Stats() Stats { return e.single.Stats() }
+
+// ResetStats clears the single-core counters and releases the core's
+// references to the previous input (multi-core cores reset per Run).
+func (e *Engine) ResetStats() { e.single.Reset() }

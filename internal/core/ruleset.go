@@ -2,24 +2,52 @@ package core
 
 import (
 	"fmt"
+	"io"
+	"runtime"
+	"sync"
 
+	"alveare/internal/arch"
 	"alveare/internal/backend"
+	"alveare/internal/isa"
+	"alveare/internal/stream"
 )
 
 // RuleSet is a compiled multi-pattern database — the deployment unit of
 // deep-packet-inspection workloads, where hundreds of rules scan the
-// same stream. Each rule keeps its own engine (the multi-core ALVEARE
-// parallelises over data, rules are dispatched sequentially, as in the
-// paper's per-RE evaluation).
+// same stream. Rules are dispatched to a bounded worker pool (the
+// multi-core ALVEARE parallelises over data; a rule set parallelises
+// over rules, as the paper's per-RE evaluation runs one RE per loaded
+// core). Scanning cores are recycled through per-rule pools, so a
+// RuleSet is safe for concurrent Scan calls from multiple goroutines.
 type RuleSet struct {
 	patterns []string
+	progs    []*isa.Program
 	engines  []*Engine
+	cfg      arch.Config
+	workers  int
+	stream   stream.Config
+
+	// pools hold per-rule scanning cores; Get yields a Reset core whose
+	// speculation-stack arenas survive recycling (arch.Core.Reset).
+	pools []sync.Pool
+
+	mu  sync.Mutex // guards agg
+	agg arch.Stats
 }
 
 // NewRuleSet compiles every pattern with the given compiler options and
 // builds one engine per rule.
 func NewRuleSet(patterns []string, copt backend.Options, opts ...Option) (*RuleSet, error) {
-	rs := &RuleSet{patterns: append([]string(nil), patterns...)}
+	s := settings{cores: 1, cfg: arch.DefaultConfig()}
+	for _, o := range opts {
+		o(&s)
+	}
+	rs := &RuleSet{
+		patterns: append([]string(nil), patterns...),
+		cfg:      s.cfg,
+		workers:  s.workers,
+		stream:   stream.Config{ChunkSize: s.chunk, Overlap: s.overlap},
+	}
 	for i, re := range patterns {
 		p, err := CompileWith(re, copt)
 		if err != nil {
@@ -29,7 +57,21 @@ func NewRuleSet(patterns []string, copt backend.Options, opts ...Option) (*RuleS
 		if err != nil {
 			return nil, err
 		}
+		rs.progs = append(rs.progs, p)
 		rs.engines = append(rs.engines, eng)
+	}
+	rs.pools = make([]sync.Pool, len(rs.progs))
+	for i := range rs.pools {
+		prog := rs.progs[i]
+		rs.pools[i].New = func() any {
+			// The program passed validation when its engine was built,
+			// so NewCore cannot fail here.
+			c, err := arch.NewCore(prog, rs.cfg)
+			if err != nil {
+				return nil
+			}
+			return c
+		}
 	}
 	return rs, nil
 }
@@ -43,26 +85,201 @@ func (rs *RuleSet) Pattern(i int) string { return rs.patterns[i] }
 // Engine returns the i-th rule's engine.
 func (rs *RuleSet) Engine(i int) *Engine { return rs.engines[i] }
 
+// Workers returns the scan concurrency bound (0 means GOMAXPROCS).
+func (rs *RuleSet) Workers() int { return rs.workers }
+
+// workerCount clamps the configured bound to the job count.
+func (rs *RuleSet) workerCount(jobs int) int {
+	n := rs.workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > jobs {
+		n = jobs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// getCore borrows the i-th rule's scanning core, reset for a new input.
+func (rs *RuleSet) getCore(i int) (*arch.Core, error) {
+	if c, ok := rs.pools[i].Get().(*arch.Core); ok && c != nil {
+		c.Reset()
+		return c, nil
+	}
+	return arch.NewCore(rs.progs[i], rs.cfg)
+}
+
 // RuleMatches reports one rule's hits in a scanned stream.
 type RuleMatches struct {
 	Rule    int
 	Matches []Match
 }
 
-// Scan runs every rule over data and returns the hits of the rules that
-// matched, in rule order.
+// Scan runs every rule over data on the worker pool and returns the
+// hits of the rules that matched, in rule order. Per-rule counters are
+// merged race-free into the aggregate reported by Stats.
 func (rs *RuleSet) Scan(data []byte) ([]RuleMatches, error) {
-	var out []RuleMatches
-	for i, eng := range rs.engines {
-		ms, err := eng.FindAll(data)
+	n := rs.Len()
+	if n == 0 {
+		return nil, nil
+	}
+	matches := make([][]Match, n)
+	errs := make([]error, n)
+	var agg arch.Stats
+	var aggMu sync.Mutex
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < rs.workerCount(n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				core, err := rs.getCore(i)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				matches[i], errs[i] = core.FindAll(data, 0)
+				st := core.Stats()
+				rs.pools[i].Put(core)
+				aggMu.Lock()
+				agg.Add(st)
+				aggMu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	rs.mu.Lock()
+	rs.agg.Add(agg)
+	rs.mu.Unlock()
+	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: rule %d %q: %w", i, rs.patterns[i], err)
 		}
+	}
+	var out []RuleMatches
+	for i, ms := range matches {
 		if len(ms) > 0 {
 			out = append(out, RuleMatches{Rule: i, Matches: ms})
 		}
 	}
 	return out, nil
+}
+
+// ScanReader scans an unbounded stream against every rule: the input
+// is consumed once, window by window (WithChunkSize / WithOverlap),
+// and each window is dispatched to the worker pool — one resume
+// position per rule, following the same one-shot-equivalent discipline
+// as Engine.ScanReader. emit is called sequentially (never
+// concurrently), windows in stream order and rules in rule order
+// within a window; text aliases the window buffer and is valid only
+// during the call. Returning false stops the scan. The byte count
+// consumed from r is returned.
+//
+// Matches longer than the overlap are the chunking scheme's documented
+// blind spot, exactly as for Engine.ScanReader.
+func (rs *RuleSet) ScanReader(r io.Reader, emit func(rule int, m Match, text []byte) bool) (int64, error) {
+	n := rs.Len()
+	cfg := rs.stream
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = stream.DefaultChunkSize
+	}
+	if cfg.Overlap <= 0 {
+		cfg.Overlap = stream.DefaultOverlap
+	}
+	buf := make([]byte, 0, cfg.ChunkSize+cfg.Overlap)
+	pos := make([]int, n) // per-rule resume offsets
+	base := 0
+	final := false
+	for !final {
+		have := len(buf)
+		buf = buf[:have+cfg.ChunkSize]
+		nr, err := io.ReadFull(r, buf[have:])
+		buf = buf[:have+nr]
+		switch err {
+		case nil:
+		case io.EOF, io.ErrUnexpectedEOF:
+			final = true
+		default:
+			return int64(base + len(buf)), fmt.Errorf("core: ruleset read at offset %d: %w", base+have, err)
+		}
+		limit := base + len(buf)
+
+		// Fan the window out to the workers; collect per rule so the
+		// emission below is deterministic.
+		wins := make([][]Match, n)
+		errs := make([]error, n)
+		var agg arch.Stats
+		var aggMu sync.Mutex
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < rs.workerCount(n); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					core, err := rs.getCore(i)
+					if err != nil {
+						errs[i] = err
+						continue
+					}
+					npos, _, err := stream.ScanWindow(core, buf, base, final, cfg.Overlap, pos[i],
+						func(m Match, _ []byte) bool {
+							wins[i] = append(wins[i], m)
+							return true
+						})
+					pos[i], errs[i] = npos, err
+					st := core.Stats()
+					rs.pools[i].Put(core)
+					aggMu.Lock()
+					agg.Add(st)
+					aggMu.Unlock()
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+
+		rs.mu.Lock()
+		rs.agg.Add(agg)
+		rs.mu.Unlock()
+		for i, err := range errs {
+			if err != nil {
+				return int64(limit), fmt.Errorf("core: rule %d %q: %w", i, rs.patterns[i], err)
+			}
+		}
+		for i, ms := range wins {
+			for _, m := range ms {
+				if !emit(i, m, buf[m.Start-base:m.End-base]) {
+					return int64(limit), nil
+				}
+			}
+		}
+		if final {
+			break
+		}
+		// Carry the shared overlap tail; every rule's resume offset is
+		// at or past it (ScanWindow guarantees pos >= limit-overlap).
+		carry := limit - cfg.Overlap
+		if carry < base {
+			carry = base
+		}
+		copy(buf, buf[carry-base:])
+		buf = buf[:limit-carry]
+		base = carry
+	}
+	return int64(base + len(buf)), nil
 }
 
 // FirstMatch returns the lowest-numbered rule that occurs in data.
@@ -79,9 +296,25 @@ func (rs *RuleSet) FirstMatch(data []byte) (rule int, ok bool, err error) {
 	return 0, false, nil
 }
 
-// TotalCycles sums the single-core cycle counters across all rules.
+// Stats returns the aggregate counters merged from every pooled core
+// across all Scan and ScanReader calls so far.
+func (rs *RuleSet) Stats() Stats {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.agg
+}
+
+// ResetStats clears the aggregate scan counters.
+func (rs *RuleSet) ResetStats() {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.agg = arch.Stats{}
+}
+
+// TotalCycles sums the scan-pool aggregate and the per-rule engines'
+// single-core counters (the engines serve Find-style probes).
 func (rs *RuleSet) TotalCycles() int64 {
-	var total int64
+	total := rs.Stats().Cycles
 	for _, eng := range rs.engines {
 		total += eng.Stats().Cycles
 	}

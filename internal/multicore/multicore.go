@@ -17,10 +17,13 @@ import (
 
 	"alveare/internal/arch"
 	"alveare/internal/isa"
+	"alveare/internal/stream"
 )
 
-// DefaultOverlap is the boundary overlap in bytes.
-const DefaultOverlap = 256
+// DefaultOverlap is the boundary overlap in bytes, shared with the
+// sequential streaming scanner (internal/stream owns the chunk
+// plan/ownership discipline both engines apply).
+const DefaultOverlap = stream.DefaultOverlap
 
 // StartupCycles is the fixed per-core cost of arming one run: host
 // control writes, pipeline reset and prefetch warm-up. It bounds the
@@ -78,51 +81,28 @@ type Result struct {
 // the results. Each core owns the matches starting inside its chunk and
 // may read up to overlap bytes past it to complete them.
 func (e *Engine) Run(data []byte) (Result, error) {
-	n := len(e.cores)
-	chunk := (len(data) + n - 1) / n
-	if chunk == 0 {
-		chunk = 1
-	}
+	chunks := stream.Plan(len(data), len(e.cores), e.overlap)
 	type coreOut struct {
 		matches []arch.Match
 		stats   arch.Stats
 		err     error
 	}
-	outs := make([]coreOut, n)
+	outs := make([]coreOut, len(chunks))
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		lo := i * chunk
-		if lo >= len(data) && i > 0 {
-			continue
-		}
-		hi := lo + chunk
-		if hi > len(data) {
-			hi = len(data)
-		}
-		ext := hi + e.overlap
-		if ext > len(data) {
-			ext = len(data)
-		}
+	for i, c := range chunks {
 		wg.Add(1)
-		go func(i, lo, hi, ext int) {
+		go func(i int, c stream.Chunk) {
 			defer wg.Done()
 			core := e.cores[i]
-			core.ResetStats()
-			window := data[lo:ext]
-			ms, err := core.FindAll(window, 0)
+			core.Reset()
+			ms, err := core.FindAll(data[c.Lo:c.Ext], 0)
 			if err != nil {
 				outs[i].err = err
 				return
 			}
-			for _, m := range ms {
-				start := lo + m.Start
-				if start >= hi {
-					break // owned by the next core
-				}
-				outs[i].matches = append(outs[i].matches, arch.Match{Start: start, End: lo + m.End})
-			}
+			outs[i].matches = stream.OwnMatches(ms, c.Lo, c.Hi)
 			outs[i].stats = core.Stats()
-		}(i, lo, hi, ext)
+		}(i, c)
 	}
 	wg.Wait()
 

@@ -1,0 +1,205 @@
+// Package stream implements chunked scanning of unbounded data
+// streams: a Scanner consumes an io.Reader in configurable chunks,
+// carries an overlap tail across chunk boundaries, and emits matches
+// incrementally — the whole input is never resident, only one window
+// of ChunkSize+Overlap bytes.
+//
+// The discipline is the sequential counterpart of the multicore
+// engine's divide and conquer (paper §6): every window extends
+// Overlap bytes past the region it finalises, so a match that begins
+// near a boundary completes inside the extended window. The results
+// are byte-identical to a one-shot Core.FindAll over the whole input
+// provided no match is longer than Overlap bytes; longer matches are
+// the scheme's documented blind spot (the same trade the BlueField-2
+// DPU's 16 KiB jobs make). The equivalence is exact, not heuristic:
+// within a window the scanner only finalises matches that start at
+// least Overlap bytes before the window's end, and a leftmost-first
+// attempt at such a start can only diverge from the one-shot attempt
+// by matching past the window — which needs a match longer than the
+// overlap.
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"alveare/internal/arch"
+	"alveare/internal/isa"
+)
+
+// DefaultChunkSize is the refill granularity in bytes.
+const DefaultChunkSize = 64 * 1024
+
+// Config parameterises a Scanner. The zero value selects the defaults.
+type Config struct {
+	// ChunkSize is the refill granularity; non-positive selects
+	// DefaultChunkSize. It may be smaller than Overlap: the window then
+	// grows across refills until it covers one overlap.
+	ChunkSize int
+	// Overlap is the boundary carry in bytes — the longest match the
+	// scanner is guaranteed to report identically to a one-shot scan.
+	// Non-positive selects DefaultOverlap.
+	Overlap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = DefaultChunkSize
+	}
+	if c.Overlap <= 0 {
+		c.Overlap = DefaultOverlap
+	}
+	return c
+}
+
+// EmitFunc receives one match as it is finalised. text is the matched
+// bytes inside the scanner's window buffer — valid only during the
+// call; copy it to retain it. Returning false stops the scan.
+type EmitFunc func(m arch.Match, text []byte) bool
+
+// Scanner scans unbounded streams with one execution core.
+type Scanner struct {
+	core *arch.Core
+	cfg  Config
+}
+
+// New builds a scanner with a private core for the compiled program.
+func New(p *isa.Program, hw arch.Config, cfg Config) (*Scanner, error) {
+	core, err := arch.NewCore(p, hw)
+	if err != nil {
+		return nil, err
+	}
+	return ForCore(core, cfg), nil
+}
+
+// ForCore wraps an existing core (for engines and pools that own the
+// core's lifecycle). The scanner inherits the core's single-goroutine
+// discipline.
+func ForCore(core *arch.Core, cfg Config) *Scanner {
+	return &Scanner{core: core, cfg: cfg.withDefaults()}
+}
+
+// Core returns the scanner's execution core (counters live there).
+func (s *Scanner) Core() *arch.Core { return s.core }
+
+// Scan consumes r to EOF, emitting every match in stream order.
+// It returns the number of bytes consumed from r. The scan stops early
+// without error when emit returns false.
+func (s *Scanner) Scan(r io.Reader, emit EmitFunc) (int64, error) {
+	chunk, overlap := s.cfg.ChunkSize, s.cfg.Overlap
+	buf := make([]byte, 0, chunk+overlap)
+	base := 0 // stream offset of buf[0]
+	pos := 0  // resume offset of the one-shot FindAll discipline
+	final := false
+	for !final {
+		have := len(buf)
+		buf = buf[:have+chunk]
+		n, err := io.ReadFull(r, buf[have:])
+		buf = buf[:have+n]
+		switch err {
+		case nil:
+		case io.EOF, io.ErrUnexpectedEOF:
+			final = true
+		default:
+			return int64(base + len(buf)), fmt.Errorf("stream: read at offset %d: %w", base+have, err)
+		}
+		npos, cont, werr := ScanWindow(s.core, buf, base, final, overlap, pos, emit)
+		pos = npos
+		if werr != nil || !cont {
+			return int64(base + len(buf)), werr
+		}
+		if final {
+			break
+		}
+		// Carry the unfinalised tail (at most Overlap bytes) into the
+		// next window; everything before the resume position is done.
+		limit := base + len(buf)
+		carry := pos
+		if carry > limit {
+			carry = limit
+		}
+		copy(buf, buf[carry-base:])
+		buf = buf[:limit-carry]
+		base = carry
+	}
+	return int64(base + len(buf)), nil
+}
+
+// ScanWindow advances the one-shot FindAll resume discipline over one
+// buffered window covering stream offsets [base, base+len(buf)). pos is
+// the absolute resume offset (>= base); the updated offset is returned.
+// When final is false the window only finalises matches starting before
+// its last overlap bytes — later starts are re-searched by the caller's
+// next window, which must begin at or before the returned offset.
+// cont reports whether the scan should continue (emit returned true
+// throughout and no execution error occurred).
+//
+// The helper is shared by Scanner and by the rule-set streaming scan,
+// which runs one resume position per rule over a common window buffer.
+func ScanWindow(core *arch.Core, buf []byte, base int, final bool, overlap, pos int, emit EmitFunc) (npos int, cont bool, err error) {
+	limit := base + len(buf)
+	ownEnd := limit
+	if !final {
+		ownEnd = limit - overlap
+		if ownEnd < base {
+			ownEnd = base
+		}
+	}
+	for pos <= limit {
+		if !final && pos >= ownEnd {
+			break
+		}
+		m, ok, ferr := core.FindFrom(buf, pos-base)
+		if ferr != nil {
+			return pos, false, ferr
+		}
+		if !ok {
+			// No match anywhere in the window: every owned offset is
+			// cleared (a match starting before ownEnd would have been
+			// wholly visible).
+			if pos < ownEnd {
+				pos = ownEnd
+			}
+			if final {
+				pos = limit + 1
+			}
+			break
+		}
+		start, end := base+m.Start, base+m.End
+		if !final && start >= ownEnd {
+			// Deferred: the match starts inside the carry region and is
+			// re-found (with full read-ahead) by the next window. The
+			// offsets before it hold no match start.
+			pos = ownEnd
+			break
+		}
+		keep := emit(arch.Match{Start: start, End: end}, buf[start-base:end-base])
+		if end > start {
+			pos = end
+		} else {
+			pos = end + 1 // empty match: advance one byte, as FindAll does
+		}
+		if !keep {
+			return pos, false, nil
+		}
+	}
+	return pos, true, nil
+}
+
+// FindAll collects every match in the stream (the input itself is
+// still processed window by window; only the match list is buffered).
+func (s *Scanner) FindAll(r io.Reader) ([]arch.Match, error) {
+	var out []arch.Match
+	_, err := s.Scan(r, func(m arch.Match, _ []byte) bool {
+		out = append(out, m)
+		return true
+	})
+	return out, err
+}
+
+// Count returns the number of matches in the stream.
+func (s *Scanner) Count(r io.Reader) (int, error) {
+	n := 0
+	_, err := s.Scan(r, func(arch.Match, []byte) bool { n++; return true })
+	return n, err
+}
