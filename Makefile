@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check fuzz
+.PHONY: build test vet race check fuzz fuzzsmoke leakcheck
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,23 @@ vet:
 race:
 	$(GO) test -race ./...
 
-## check: the full local CI gate.
-check: vet race
+## check: the full local CI gate — vet, everything under the race
+## detector (including the goroutine-leak assertions in the fault
+## matrix), then a short fuzz pass over both differential fuzzers.
+check: vet race leakcheck fuzzsmoke
 
 ## fuzz: cross-check the chunked reader scan against one-shot FindAll.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzStreamChunking -fuzztime 30s .
+
+## fuzzsmoke: 30-second smoke of each fuzzer — the chunking
+## differential and the fault-injection offset/prefix invariants.
+fuzzsmoke:
+	$(GO) test -run '^$$' -fuzz FuzzStreamChunking -fuzztime 30s .
+	$(GO) test -run '^$$' -fuzz FuzzFaultInjection -fuzztime 30s .
+
+## leakcheck: the guardrail tests carry goroutine-leak assertions
+## (leakCheck in faultmatrix_test.go); run just those under -race so a
+## stuck worker or an undrained pool fails loudly.
+leakcheck:
+	$(GO) test -race -run 'TestFaultMatrix|TestCancelMidScan|TestRuleSetEarlyStopDrains|TestRuleSetFaultIsolation' .

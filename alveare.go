@@ -70,6 +70,56 @@ func WithChunkSize(n int) Option { return core.WithChunkSize(n) }
 // default (0) is GOMAXPROCS.
 func WithWorkers(n int) Option { return core.WithWorkers(n) }
 
+// Policy selects how an Engine or RuleSet contains recoverable
+// execution faults — a core tripping its cycle budget (ErrRunaway) or
+// speculation-stack capacity (ErrStackOverflow) on adversarial input.
+// Cancellation, deadline expiry and stream read failures always
+// surface regardless of policy.
+type Policy = core.Policy
+
+// The failure policies, selected with WithPolicy.
+const (
+	// FailFast aborts the scan on the first fault (the default); the
+	// returned *ScanError names the rule and the absolute byte offset.
+	FailFast = core.FailFast
+	// Degrade retries the faulting window on the safe linear-time
+	// engine (a Pike VM — no speculation, guaranteed O(n)), keeping the
+	// match output complete; Stats.Fallbacks counts the degradations.
+	Degrade = core.Degrade
+	// Skip drops the poisoned region or rule and continues; matches may
+	// be missed where the fault hit.
+	Skip = core.Skip
+)
+
+// WithPolicy selects the failure policy (default FailFast).
+func WithPolicy(p Policy) Option { return core.WithPolicy(p) }
+
+// WithBudget caps the speculative core's cycle budget per scan attempt
+// (default 2^40, effectively unbounded). A tight budget makes
+// pathological backtracking trip ErrRunaway quickly — the knob that
+// gives Degrade and Skip something to contain; n <= 0 keeps the
+// default.
+func WithBudget(n int64) Option { return core.WithBudget(n) }
+
+// ParsePolicy maps the command-line spellings "failfast", "degrade"
+// and "skip" to a Policy.
+func ParsePolicy(s string) (Policy, error) { return core.ParsePolicy(s) }
+
+// ScanError is the structured failure every scan path reports: the
+// failing rule (-1 for single-pattern engines), the absolute byte
+// offset of the failure, and the cause. It is errors.Is/As-friendly:
+// errors.Is(err, ErrRunaway) and errors.Is(err, context.Canceled) see
+// through it.
+type ScanError = core.ScanError
+
+// Execution fault sentinels, for errors.Is classification.
+var (
+	// ErrRunaway is the speculative core's cycle-budget trip.
+	ErrRunaway = core.ErrRunaway
+	// ErrStackOverflow is the speculation-stack capacity fault.
+	ErrStackOverflow = core.ErrStackOverflow
+)
+
 // Compile translates a regular expression into an ALVEARE executable
 // with all advanced ISA primitives enabled (RANGE, NOT, counters,
 // operation fusion).

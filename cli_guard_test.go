@@ -1,0 +1,106 @@
+package alveare_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startStreaming launches a tool reading an endless trickle of data on
+// stdin (64-byte windows keep the cooperative cancellation checks
+// firing) and returns the exit code and combined output once the
+// process ends. interruptAfter > 0 sends SIGINT at that point.
+func startStreaming(t *testing.T, name string, interruptAfter time.Duration, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(tool(t, name), args...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		payload := []byte(strings.Repeat("needle--", 8))
+		for {
+			if _, err := stdin.Write(payload); err != nil {
+				return // the process exited; the pipe is gone
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	if interruptAfter > 0 {
+		time.Sleep(interruptAfter)
+		if err := cmd.Process.Signal(os.Interrupt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = cmd.Wait()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s: %v\n%s", name, err, out.String())
+	}
+	return code, out.String()
+}
+
+func TestCLITimeoutExits124(t *testing.T) {
+	code, out := startStreaming(t, "alvearerun", 0,
+		"-timeout", "300ms", "-chunk", "64", "-all", "-q", "needle", "-")
+	if code != 124 {
+		t.Fatalf("exit = %d, want 124\n%s", code, out)
+	}
+	if !strings.Contains(out, "stopped after") {
+		t.Errorf("timeout did not flush the running counts:\n%s", out)
+	}
+}
+
+func TestCLIInterruptExits130(t *testing.T) {
+	code, out := startStreaming(t, "alvearerun", 300*time.Millisecond,
+		"-chunk", "64", "-all", "-q", "needle", "-")
+	if code != 130 {
+		t.Fatalf("exit = %d, want 130\n%s", code, out)
+	}
+	if !strings.Contains(out, "stopped after") {
+		t.Errorf("interrupt did not flush the running counts:\n%s", out)
+	}
+}
+
+func TestCLIScanTimeoutExits124(t *testing.T) {
+	rulesFile := t.TempDir() + "/rules.txt"
+	if err := os.WriteFile(rulesFile, []byte("needle\nxyzzy\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out := startStreaming(t, "alvearescan", 0,
+		"-rules", rulesFile, "-timeout", "300ms", "-chunk", "64", "-q", "-")
+	if code != 124 {
+		t.Fatalf("exit = %d, want 124\n%s", code, out)
+	}
+	if !strings.Contains(out, "stopped after") {
+		t.Errorf("timeout did not flush the running counts:\n%s", out)
+	}
+}
+
+func TestCLIBadPolicyIsUsageError(t *testing.T) {
+	if _, code := run(t, "alvearerun", "x", "-policy", "explode", "a", "-"); code != 2 {
+		t.Errorf("alvearerun bad -policy exit = %d, want 2", code)
+	}
+	rulesFile := t.TempDir() + "/rules.txt"
+	os.WriteFile(rulesFile, []byte("a\n"), 0o644)
+	if _, code := run(t, "alvearescan", "x", "-rules", rulesFile, "-policy", "explode", "-"); code != 2 {
+		t.Errorf("alvearescan bad -policy exit = %d, want 2", code)
+	}
+}
+
+func TestCLIPolicyFlagAccepted(t *testing.T) {
+	out, code := run(t, "alvearerun", "one ERROR two\n", "-policy", "degrade", "ERROR", "-")
+	if code != 0 || !strings.Contains(out, "[4,9)") {
+		t.Errorf("-policy degrade run: exit %d\n%s", code, out)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"alveare/internal/bench"
+	"alveare/internal/cli"
 )
 
 func main() {
@@ -31,8 +32,15 @@ func main() {
 		verbose  = flag.Bool("v", true, "print progress lines to stderr")
 		jsonOut  = flag.String("json", "", "also write a machine-readable report to this file")
 		csvOut   = flag.String("csv", "", "also write the Figure 4/5 series as CSV to this file")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (exit status 124)")
 	)
 	flag.Parse()
+	// The harness drives long experiments that do not poll a context;
+	// the watchdog aborts the process on Ctrl-C or -timeout with the
+	// conventional exit code (130 / 124).
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+	defer cli.Watch(ctx, "alvearebench")()
 
 	opt := bench.Options{Patterns: *patterns, DatasetSize: *size, Seed: *seed, Cores: *cores}
 	if *verbose {

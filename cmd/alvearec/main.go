@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"alveare/internal/backend"
+	"alveare/internal/cli"
 	"alveare/internal/isa"
 )
 
@@ -31,8 +32,14 @@ func main() {
 		dot      = flag.Bool("dot", false, "emit the compiled program's control-flow graph in DOT form")
 		optable  = flag.Bool("optable", false, "print the ISA operation classes (paper Table 1) and exit")
 		count    = flag.Bool("count", false, "print minimal vs advanced instruction counts and exit")
+		timeout  = flag.Duration("timeout", 0, "abort after this duration (exit status 124)")
 	)
 	flag.Parse()
+	// The compiler cannot poll a context mid-pass; the watchdog aborts
+	// the process with the conventional code on Ctrl-C or -timeout.
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+	defer cli.Watch(ctx, "alvearec")()
 
 	switch {
 	case *optable:

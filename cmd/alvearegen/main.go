@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"alveare/internal/anmlzoo"
+	"alveare/internal/cli"
 )
 
 func main() {
@@ -26,8 +27,14 @@ func main() {
 		patterns = flag.Int("patterns", 0, "rules per suite (0 = paper's 200)")
 		size     = flag.Int("size", 0, "dataset bytes (0 = paper's 1 MiB)")
 		seed     = flag.Int64("seed", 2024, "generator seed")
+		timeout  = flag.Duration("timeout", 0, "abort after this duration (exit status 124)")
 	)
 	flag.Parse()
+	// Generation cannot poll a context; the watchdog aborts the process
+	// with the conventional code on Ctrl-C or -timeout.
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+	defer cli.Watch(ctx, "alvearegen")()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)

@@ -4,16 +4,26 @@
 //
 // Usage:
 //
-//	alvearerun [-cores N] [-all] [-stats] [-chunk N] [-overlap N] 'regex' [file...]
+//	alvearerun [-cores N] [-all] [-stats] [-chunk N] [-overlap N]
+//	           [-policy failfast|degrade|skip] [-budget N] [-timeout D]
+//	           'regex' [file...]
 //
 // With no files, data is read from standard input. Single-core runs
 // without -trace/-vcd stream the input through a chunked window
 // (Engine.ScanReader), so arbitrarily large inputs are never loaded
 // into memory; multi-core and traced runs need random access and read
 // the whole input.
+//
+// Exit status is 1 when nothing matches, 124 when -timeout expires and
+// 130 on Ctrl-C — both stops flush the counts gathered so far. -policy
+// selects the runaway containment: abort (failfast), retry on the safe
+// linear-time engine (degrade), or drop the poisoned region (skip);
+// -budget caps the cycles one scan attempt may burn before it counts
+// as a runaway (the default 2^40 effectively never trips).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,29 +31,47 @@ import (
 
 	"alveare"
 	"alveare/internal/arch"
+	"alveare/internal/cli"
 	"alveare/internal/perf"
 )
 
+// ctx is the tool's root context: cancelled by SIGINT/SIGTERM and by
+// -timeout, threaded through every scan so Ctrl-C stops a run cleanly,
+// flushing the counts collected so far.
+var ctx context.Context
+
 func main() {
 	var (
-		cores = flag.Int("cores", 1, "ALVEARE cores (divide-and-conquer over the stream)")
-		all   = flag.Bool("all", false, "report every non-overlapping match, not just the first")
-		stats = flag.Bool("stats", false, "print microarchitecture counters and modelled device time")
-		quiet = flag.Bool("q", false, "suppress per-match output (exit status only)")
-		trace = flag.Bool("trace", false, "print a cycle-by-cycle execution trace to stderr (single core)")
-		vcd   = flag.String("vcd", "", "write a VCD waveform of the execution to this file (single core)")
-		chunk = flag.Int("chunk", 0, "streaming window size in bytes (0 = default 64 KiB)")
-		olap  = flag.Int("overlap", 0, "chunk-boundary overlap in bytes (0 = default 256)")
+		cores   = flag.Int("cores", 1, "ALVEARE cores (divide-and-conquer over the stream)")
+		all     = flag.Bool("all", false, "report every non-overlapping match, not just the first")
+		stats   = flag.Bool("stats", false, "print microarchitecture counters and modelled device time")
+		quiet   = flag.Bool("q", false, "suppress per-match output (exit status only)")
+		trace   = flag.Bool("trace", false, "print a cycle-by-cycle execution trace to stderr (single core)")
+		vcd     = flag.String("vcd", "", "write a VCD waveform of the execution to this file (single core)")
+		chunk   = flag.Int("chunk", 0, "streaming window size in bytes (0 = default 64 KiB)")
+		olap    = flag.Int("overlap", 0, "chunk-boundary overlap in bytes (0 = default 256)")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (exit status 124)")
+		policyF = flag.String("policy", "failfast", "runaway containment: failfast, degrade or skip")
+		budget  = flag.Int64("budget", 0, "cycle budget per scan attempt; pathological backtracking past it trips the -policy containment (0 = effectively unbounded)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: alvearerun [flags] 'regex' [file...]")
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
+	policy, err := alveare.ParsePolicy(*policyF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alvearerun:", err)
+		os.Exit(cli.ExitUsage)
+	}
+	var stop context.CancelFunc
+	ctx, stop = cli.Context(*timeout)
+	defer stop()
 	prog, err := alveare.Compile(flag.Arg(0))
 	fatalIf(err)
 	eng, err := alveare.NewEngine(prog, alveare.WithCores(*cores),
-		alveare.WithChunkSize(*chunk), alveare.WithOverlap(*olap))
+		alveare.WithChunkSize(*chunk), alveare.WithOverlap(*olap),
+		alveare.WithPolicy(policy), alveare.WithBudget(*budget))
 	fatalIf(err)
 
 	// Tracing runs on a dedicated single core so the trace and the
@@ -99,7 +127,8 @@ func main() {
 			}
 		}
 		if *all {
-			res, err := eng.Run(data)
+			res, err := eng.RunCtx(ctx, data)
+			flushIfStopped(label, len(res.Matches), err)
 			fatalIf(err)
 			for _, m := range res.Matches {
 				found = true
@@ -112,7 +141,8 @@ func main() {
 			}
 			continue
 		}
-		m, ok, err := eng.Find(data)
+		m, ok, err := eng.FindCtx(ctx, data)
+		flushIfStopped(label, 0, err)
 		fatalIf(err)
 		if ok {
 			found = true
@@ -144,7 +174,7 @@ func scanStream(eng *alveare.Engine, name, label string, all, stats, quiet bool)
 	eng.ResetStats()
 	matched := false
 	n := 0
-	_, err = eng.ScanReader(in, func(m alveare.Match, text []byte) bool {
+	_, err = eng.ScanReaderCtx(ctx, in, func(m alveare.Match, text []byte) bool {
 		matched = true
 		n++
 		if !quiet {
@@ -152,6 +182,7 @@ func scanStream(eng *alveare.Engine, name, label string, all, stats, quiet bool)
 		}
 		return all // first-match mode stops after one hit
 	})
+	flushIfStopped(label, n, err)
 	fatalIf(err)
 	if !matched && !all && !quiet {
 		fmt.Printf("%s: no match\n", label)
@@ -200,9 +231,23 @@ func clip(b []byte) string {
 	return string(b)
 }
 
+// flushIfStopped handles an interrupted or timed-out scan: the counts
+// collected before the stop are flushed to stdout, the cause goes to
+// stderr, and the process exits with the conventional code (130 for
+// Ctrl-C, 124 for -timeout). Other errors — and nil — return to the
+// caller untouched.
+func flushIfStopped(label string, matches int, err error) {
+	code := cli.ExitCode(err)
+	if code != cli.ExitInterrupt && code != cli.ExitDeadline {
+		return
+	}
+	fmt.Printf("%s: stopped after %d match(es)\n", label, matches)
+	cli.Exit("alvearerun", err)
+}
+
 func fatalIf(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "alvearerun:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitError)
 	}
 }

@@ -6,11 +6,19 @@
 //
 // Usage:
 //
-//	alvearescan -rules rules.txt [-workers N] [-chunk N] [-overlap N] [-stats] [-q] [file...]
+//	alvearescan -rules rules.txt [-workers N] [-chunk N] [-overlap N]
+//	            [-policy failfast|degrade|skip] [-budget N] [-timeout D]
+//	            [-stats] [-q] [file...]
 //
 // The rules file holds one regular expression per line; blank lines
 // and lines starting with '#' are skipped. With no files, data is read
-// from standard input. Exit status is 1 when no rule matches anywhere.
+// from standard input. Exit status is 1 when no rule matches anywhere,
+// 124 when -timeout expires and 130 on Ctrl-C — both stops flush the
+// match counts gathered so far. -policy selects what happens when a
+// rule's core trips its cycle budget mid-stream: abort (failfast),
+// retry on the safe linear-time engine (degrade), or retire the rule
+// and keep scanning (skip). -budget sets that per-attempt cycle cap
+// (the default 2^40 effectively never trips).
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"strings"
 
 	"alveare"
+	"alveare/internal/cli"
 	"alveare/internal/perf"
 )
 
@@ -33,19 +42,30 @@ func main() {
 		olap      = flag.Int("overlap", 0, "chunk-boundary overlap in bytes (0 = default 256)")
 		stats     = flag.Bool("stats", false, "print aggregate microarchitecture counters per input")
 		quiet     = flag.Bool("q", false, "suppress per-match output (exit status only)")
+		timeout   = flag.Duration("timeout", 0, "abort the scan after this duration (exit status 124)")
+		policyF   = flag.String("policy", "failfast", "runaway containment: failfast, degrade or skip")
+		budget    = flag.Int64("budget", 0, "cycle budget per rule scan attempt; pathological backtracking past it trips the -policy containment (0 = effectively unbounded)")
 	)
 	flag.Parse()
 	if *rulesPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: alvearescan -rules FILE [flags] [file...]")
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
+	policy, err := alveare.ParsePolicy(*policyF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alvearescan:", err)
+		os.Exit(cli.ExitUsage)
+	}
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 	rules, err := loadRules(*rulesPath)
 	fatalIf(err)
 	if len(rules) == 0 {
 		fatalIf(fmt.Errorf("%s: no rules", *rulesPath))
 	}
 	rs, err := alveare.NewRuleSet(rules, alveare.CompilerOptions{},
-		alveare.WithWorkers(*workers), alveare.WithChunkSize(*chunk), alveare.WithOverlap(*olap))
+		alveare.WithWorkers(*workers), alveare.WithChunkSize(*chunk), alveare.WithOverlap(*olap),
+		alveare.WithPolicy(policy), alveare.WithBudget(*budget))
 	fatalIf(err)
 
 	files := flag.Args()
@@ -62,7 +82,7 @@ func main() {
 		fatalIf(err)
 		rs.ResetStats()
 		hits := 0
-		consumed, err := rs.ScanReader(in, func(rule int, m alveare.Match, text []byte) bool {
+		consumed, err := rs.ScanReaderCtx(ctx, in, func(rule int, m alveare.Match, text []byte) bool {
 			found = true
 			hits++
 			if !*quiet {
@@ -71,6 +91,12 @@ func main() {
 			return true
 		})
 		fatalIf(closeIn())
+		// An interrupt or -timeout flushes the counts gathered so far and
+		// exits with the conventional code (130 / 124).
+		if code := cli.ExitCode(err); code == cli.ExitInterrupt || code == cli.ExitDeadline {
+			fmt.Printf("%s: stopped after %d match(es) in %d bytes\n", label, hits, consumed)
+			cli.Exit("alvearescan", err)
+		}
 		fatalIf(err)
 		if *stats {
 			st := rs.Stats()
@@ -128,6 +154,6 @@ func clip(b []byte) string {
 func fatalIf(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "alvearescan:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitError)
 	}
 }

@@ -1,0 +1,501 @@
+package alveare
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"alveare/internal/arch"
+	"alveare/internal/baseline/pikevm"
+	"alveare/internal/core"
+	"alveare/internal/faultinject"
+)
+
+// leakCheck snapshots the goroutine count; the returned func asserts
+// the scan under test drained every worker it started.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		for i := 0; i < 100; i++ {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+	}
+}
+
+// matrixCorpus is large enough for several 256-byte windows and holds
+// periodic ab+c matches.
+func matrixCorpus() []byte {
+	return []byte(strings.Repeat("xxabbcxx", 200)) // 1600 bytes, 200 matches
+}
+
+func matrixEngine(t *testing.T, opts ...Option) *Engine {
+	t.Helper()
+	opts = append([]Option{WithChunkSize(256), WithOverlap(32)}, opts...)
+	e, err := NewEngine(MustCompile(`ab+c`), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestFaultMatrix drives every public reader-scan path through every
+// injected stream fault. Non-failing faults (torn reads, short reads,
+// slow producer) must not change the match list; the hard I/O fault
+// must surface as a *ScanError carrying the exact failing offset with
+// the emitted prefix intact. No path may leak a goroutine.
+func TestFaultMatrix(t *testing.T) {
+	data := matrixCorpus()
+	ref, err := matrixEngine(t).FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != 200 {
+		t.Fatalf("reference matches = %d, want 200", len(ref))
+	}
+
+	const failAt = 700 // mid-stream, inside the third window
+	faults := []struct {
+		name  string
+		wrap  func(io.Reader) io.Reader
+		fails bool
+	}{
+		{"clean", func(r io.Reader) io.Reader { return r }, false},
+		{"torn", faultinject.Torn, false},
+		{"short3", func(r io.Reader) io.Reader { return faultinject.Short(r, 3) }, false},
+		{"slow", func(r io.Reader) io.Reader { return faultinject.Slow(r, 10*time.Microsecond) }, false},
+		{"errAt", func(r io.Reader) io.Reader { return faultinject.ErrAt(r, failAt, nil) }, true},
+	}
+
+	paths := []struct {
+		name string
+		scan func(t *testing.T, r io.Reader) ([]Match, error)
+	}{
+		{"Engine.FindReader", func(t *testing.T, r io.Reader) ([]Match, error) {
+			return matrixEngine(t).FindReader(r)
+		}},
+		{"Engine.ScanReaderCtx", func(t *testing.T, r io.Reader) ([]Match, error) {
+			var out []Match
+			_, err := matrixEngine(t).ScanReaderCtx(context.Background(), r, func(m Match, _ []byte) bool {
+				out = append(out, m)
+				return true
+			})
+			return out, err
+		}},
+		{"RuleSet.ScanReaderCtx", func(t *testing.T, r io.Reader) ([]Match, error) {
+			rs, err := NewRuleSet([]string{`ab+c`}, CompilerOptions{}, WithChunkSize(256), WithOverlap(32))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out []Match
+			_, serr := rs.ScanReaderCtx(context.Background(), r, func(rule int, m Match, _ []byte) bool {
+				out = append(out, m)
+				return true
+			})
+			return out, serr
+		}},
+	}
+
+	for _, p := range paths {
+		for _, f := range faults {
+			t.Run(p.name+"/"+f.name, func(t *testing.T) {
+				defer leakCheck(t)()
+				got, err := p.scan(t, f.wrap(bytes.NewReader(data)))
+				if !f.fails {
+					if err != nil {
+						t.Fatalf("err = %v, want nil", err)
+					}
+					if len(got) != len(ref) {
+						t.Fatalf("matches = %d, want %d", len(got), len(ref))
+					}
+					for i := range got {
+						if got[i] != ref[i] {
+							t.Fatalf("match %d = %+v, want %+v", i, got[i], ref[i])
+						}
+					}
+					return
+				}
+				var se *ScanError
+				if !errors.As(err, &se) {
+					t.Fatalf("err = %v (%T), want *ScanError", err, err)
+				}
+				if se.Offset != failAt {
+					t.Fatalf("ScanError.Offset = %d, want %d", se.Offset, failAt)
+				}
+				if !errors.Is(err, faultinject.ErrInjected) {
+					t.Fatalf("errors.Is(err, ErrInjected) = false; err = %v", err)
+				}
+				// Everything emitted before the fault is a clean prefix.
+				if len(got) > len(ref) {
+					t.Fatalf("emitted %d matches, reference has %d", len(got), len(ref))
+				}
+				for i := range got {
+					if got[i] != ref[i] {
+						t.Fatalf("partial match %d = %+v, want %+v", i, got[i], ref[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRunawayEndToEnd drives an organically runaway pattern (ambiguous
+// alternation under a plus, no accepting suffix) through every public
+// scan path under FailFast and asserts the typed taxonomy.
+func TestRunawayEndToEnd(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	cfg.MaxCycles = 2000
+	data := []byte(strings.Repeat("a", 64))
+	prog := MustCompile(`(a|aa)+b`)
+
+	t.Run("Engine.FindAll", func(t *testing.T) {
+		e, err := NewEngine(prog, core.WithArchConfig(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ferr := e.FindAll(data)
+		var se *ScanError
+		if !errors.As(ferr, &se) || !errors.Is(ferr, ErrRunaway) {
+			t.Fatalf("err = %v, want *ScanError wrapping ErrRunaway", ferr)
+		}
+		if se.Offset != 0 {
+			t.Fatalf("ScanError.Offset = %d, want 0 (first attempt runs away)", se.Offset)
+		}
+		if e.Stats().Runaways == 0 {
+			t.Fatal("Stats.Runaways = 0 after a runaway")
+		}
+	})
+
+	t.Run("Engine.ScanReader", func(t *testing.T) {
+		defer leakCheck(t)()
+		e, err := NewEngine(prog, core.WithArchConfig(cfg), WithChunkSize(256), WithOverlap(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, serr := e.ScanReader(bytes.NewReader(data), func(Match, []byte) bool { return true })
+		if !errors.Is(serr, ErrRunaway) {
+			t.Fatalf("err = %v, want ErrRunaway", serr)
+		}
+		var se *ScanError
+		if !errors.As(serr, &se) {
+			t.Fatalf("err = %v (%T), want *ScanError", serr, serr)
+		}
+	})
+
+	t.Run("RuleSet.Scan", func(t *testing.T) {
+		defer leakCheck(t)()
+		rs, err := NewRuleSet([]string{`(a|aa)+b`, `aaa`}, CompilerOptions{}, core.WithArchConfig(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, serr := rs.Scan(data)
+		var se *ScanError
+		if !errors.As(serr, &se) || !errors.Is(serr, ErrRunaway) {
+			t.Fatalf("err = %v, want *ScanError wrapping ErrRunaway", serr)
+		}
+		if se.Rule != 0 {
+			t.Fatalf("ScanError.Rule = %d, want 0", se.Rule)
+		}
+	})
+}
+
+// TestDegradeByteIdentical runs an adversarial corpus under the
+// Degrade policy and asserts the output is byte-identical to a
+// one-shot scan on the safe reference engine, with Fallbacks counted.
+func TestDegradeByteIdentical(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	cfg.MaxCycles = 2000
+	// Matches early, then an adversarial run that trips the budget (the
+	// 'x' denies the pending speculation a suffix, forcing exhaustive
+	// rollback), then late matches only the fallback engine will reach.
+	corpus := strings.Repeat("aab", 10) + strings.Repeat("a", 64) + "x" + strings.Repeat("aab", 5)
+	data := []byte(corpus)
+	pattern := `(a|aa)+b`
+
+	p, err := pikevm.Compile(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Match
+	for _, m := range p.FindAll(data, 0) {
+		want = append(want, Match{Start: m.Start, End: m.End})
+	}
+	if len(want) == 0 {
+		t.Fatal("reference engine found nothing; corpus is wrong")
+	}
+
+	t.Run("FindAll", func(t *testing.T) {
+		e, err := NewEngine(MustCompile(pattern), core.WithArchConfig(cfg), WithPolicy(Degrade))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gerr := e.FindAll(data)
+		if gerr != nil {
+			t.Fatalf("err = %v, want nil under Degrade", gerr)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("Degrade output diverges from the safe reference:\n got %v\nwant %v", got, want)
+		}
+		if e.Stats().Fallbacks == 0 {
+			t.Fatal("Stats.Fallbacks = 0; the safe engine never engaged")
+		}
+		if e.Stats().Runaways == 0 {
+			t.Fatal("Stats.Runaways = 0; the corpus never tripped the budget")
+		}
+	})
+
+	t.Run("ScanReader", func(t *testing.T) {
+		defer leakCheck(t)()
+		e, err := NewEngine(MustCompile(pattern), core.WithArchConfig(cfg), WithPolicy(Degrade),
+			WithChunkSize(4096), WithOverlap(512))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gerr := e.FindReader(bytes.NewReader(data))
+		if gerr != nil {
+			t.Fatalf("err = %v, want nil under Degrade", gerr)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("streaming Degrade output diverges:\n got %v\nwant %v", got, want)
+		}
+		if e.Stats().Fallbacks == 0 {
+			t.Fatal("Stats.Fallbacks = 0; the safe engine never engaged")
+		}
+	})
+}
+
+// TestSkipPolicyPartialResults asserts Skip drops the poisoned region
+// but keeps scanning: the early matches before the adversarial run
+// still come out, and the scan reports no error.
+func TestSkipPolicyPartialResults(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	cfg.MaxCycles = 2000
+	data := []byte(strings.Repeat("aab", 10) + strings.Repeat("a", 64))
+	e, err := NewEngine(MustCompile(`(a|aa)+b`), core.WithArchConfig(cfg), WithPolicy(Skip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gerr := e.FindAll(data)
+	if gerr != nil {
+		t.Fatalf("err = %v, want nil under Skip", gerr)
+	}
+	if len(got) == 0 {
+		t.Fatal("Skip dropped every match; the pre-fault prefix should survive")
+	}
+	for _, m := range got {
+		if m.Start >= 30 {
+			t.Fatalf("match %+v starts inside the poisoned region", m)
+		}
+	}
+}
+
+// TestForcedRunawayHook exercises the deterministic fault hook: a
+// benign pattern and corpus, with the microarchitecture forced to trip
+// at a chosen cycle.
+func TestForcedRunawayHook(t *testing.T) {
+	data := matrixCorpus()
+	cfg := faultinject.RunawayConfig(arch.DefaultConfig(), 500)
+
+	e, err := NewEngine(MustCompile(`ab+c`), core.WithArchConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ferr := e.FindAll(data)
+	if !errors.Is(ferr, ErrRunaway) {
+		t.Fatalf("err = %v, want forced ErrRunaway", ferr)
+	}
+
+	ref, err := NewEngine(MustCompile(`ab+c`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := NewEngine(MustCompile(`ab+c`), core.WithArchConfig(cfg), WithPolicy(Degrade))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gerr := ed.FindAll(data)
+	if gerr != nil {
+		t.Fatalf("Degrade err = %v, want nil", gerr)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Degrade output under forced fault diverges: got %d matches, want %d", len(got), len(want))
+	}
+	if ed.Stats().Fallbacks == 0 {
+		t.Fatal("Stats.Fallbacks = 0 after a forced runaway under Degrade")
+	}
+}
+
+// TestRuleSetFaultIsolation: one adversarial rule and one healthy rule
+// share a scan; the healthy rule's results must be untouched by its
+// neighbour's fault under Skip and Degrade.
+func TestRuleSetFaultIsolation(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	cfg.MaxCycles = 2000
+	data := []byte(strings.Repeat("a", 64))
+	patterns := []string{`(a|aa)+b`, `aaa`}
+
+	t.Run("Skip", func(t *testing.T) {
+		defer leakCheck(t)()
+		rs, err := NewRuleSet(patterns, CompilerOptions{}, core.WithArchConfig(cfg), WithPolicy(Skip))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, serr := rs.Scan(data)
+		if serr != nil {
+			t.Fatalf("scan err = %v, want nil under Skip", serr)
+		}
+		byRule := map[int]RuleMatches{}
+		for _, rm := range out {
+			byRule[rm.Rule] = rm
+		}
+		if rm := byRule[1]; len(rm.Matches) != 21 || rm.Err != nil {
+			t.Fatalf("healthy rule: %d matches, err %v; want 21, nil", len(rm.Matches), rm.Err)
+		}
+	})
+
+	t.Run("Degrade", func(t *testing.T) {
+		defer leakCheck(t)()
+		rs, err := NewRuleSet(patterns, CompilerOptions{}, core.WithArchConfig(cfg), WithPolicy(Degrade))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, serr := rs.Scan(data)
+		if serr != nil {
+			t.Fatalf("scan err = %v, want nil under Degrade", serr)
+		}
+		for _, rm := range out {
+			if rm.Err != nil {
+				t.Fatalf("rule %d carries err %v under Degrade", rm.Rule, rm.Err)
+			}
+			if rm.Rule == 0 {
+				t.Fatalf("rule 0 cannot match (no b in corpus), got %v", rm.Matches)
+			}
+		}
+		if rs.Stats().Fallbacks == 0 {
+			t.Fatal("Stats.Fallbacks = 0; the adversarial rule never degraded")
+		}
+	})
+
+	t.Run("StreamSkipRetiresRule", func(t *testing.T) {
+		defer leakCheck(t)()
+		rs, err := NewRuleSet(patterns, CompilerOptions{}, core.WithArchConfig(cfg), WithPolicy(Skip),
+			WithChunkSize(256), WithOverlap(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		healthy := 0
+		_, serr := rs.ScanReaderCtx(context.Background(), bytes.NewReader(data), func(rule int, m Match, _ []byte) bool {
+			if rule == 1 {
+				healthy++
+			}
+			return true
+		})
+		if healthy != 21 {
+			t.Fatalf("healthy rule emitted %d matches, want 21", healthy)
+		}
+		// The retired rule's fault is reported after the stream drains.
+		var se *ScanError
+		if serr != nil && (!errors.As(serr, &se) || se.Rule != 0) {
+			t.Fatalf("drain error = %v, want nil or rule 0's *ScanError", serr)
+		}
+	})
+}
+
+// TestCancelMidScan covers cancellation and deadline paths: typed
+// errors, the CancelledScans counter, and clean worker drain.
+func TestCancelMidScan(t *testing.T) {
+	t.Run("PreCancelled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		e := matrixEngine(t)
+		_, err := e.FindAllCtx(ctx, matrixCorpus())
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		var se *ScanError
+		if !errors.As(err, &se) {
+			t.Fatalf("err = %v (%T), want *ScanError", err, err)
+		}
+		if e.Stats().CancelledScans == 0 {
+			t.Fatal("Stats.CancelledScans = 0 after a cancelled scan")
+		}
+	})
+
+	t.Run("DeadlineMidStream", func(t *testing.T) {
+		defer leakCheck(t)()
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		e := matrixEngine(t)
+		slow := faultinject.Slow(bytes.NewReader(matrixCorpus()), 10*time.Millisecond)
+		n, err := e.ScanReaderCtx(ctx, slow, func(Match, []byte) bool { return true })
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+		}
+		if n >= int64(len(matrixCorpus())) {
+			t.Fatalf("consumed %d bytes, want a partial stream", n)
+		}
+		if e.Stats().CancelledScans == 0 {
+			t.Fatal("Stats.CancelledScans = 0 after a deadline abort")
+		}
+	})
+
+	t.Run("RuleSetCancel", func(t *testing.T) {
+		defer leakCheck(t)()
+		rs, err := NewRuleSet([]string{`ab+c`, `xx`}, CompilerOptions{}, WithChunkSize(256), WithOverlap(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, serr := rs.ScanCtx(ctx, matrixCorpus())
+		if !errors.Is(serr, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", serr)
+		}
+		if rs.Stats().CancelledScans == 0 {
+			t.Fatal("Stats.CancelledScans = 0 after a cancelled rule-set scan")
+		}
+	})
+}
+
+// TestRuleSetEarlyStopDrains is the satellite audit: stopping a
+// rule-set stream scan from emit (and cancelling right after the first
+// match) must leave no worker goroutine blocked on a send.
+func TestRuleSetEarlyStopDrains(t *testing.T) {
+	defer leakCheck(t)()
+	rs, err := NewRuleSet([]string{`ab+c`, `xx`}, CompilerOptions{}, WithChunkSize(256), WithOverlap(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	n, serr := rs.ScanReaderCtx(ctx, bytes.NewReader(matrixCorpus()), func(rule int, m Match, _ []byte) bool {
+		seen++
+		cancel() // cancel mid-stream AND stop emitting
+		return false
+	})
+	if serr != nil {
+		t.Fatalf("err = %v, want nil (emit stopped the scan first)", serr)
+	}
+	if seen != 1 {
+		t.Fatalf("emit ran %d times after returning false", seen)
+	}
+	if n <= 0 {
+		t.Fatalf("consumed %d bytes", n)
+	}
+}

@@ -1,0 +1,98 @@
+package alveare
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"alveare/internal/faultinject"
+)
+
+// FuzzFaultInjection fuzzes (pattern, input, chunkSize, failAt) and
+// drives the chunked reader scan through a reader that fails hard at
+// byte failAt. Whatever the geometry, the guardrail contract must
+// hold: a fault inside the stream surfaces as a *ScanError whose
+// Offset is exactly the first undeliverable byte, wrapping the
+// injected cause; every match emitted before the fault is a prefix of
+// the one-shot result; a fault positioned past the end never fires.
+func FuzzFaultInjection(f *testing.F) {
+	f.Add("a+b", "aabab aab", 7, 4)
+	f.Add("[a-f]{2,4}", "xxfadexxbeadxx", 3, 0)
+	f.Add("(cat|dog)+", "catdogcat catcat", 64, 9)
+	f.Add("[^ ]+", "split into many words here", 5, 26)
+	f.Add("x{2,}y", "xxxxy xy xxy", 2, 100)
+	f.Fuzz(func(t *testing.T, pat, input string, chunkSize, failAt int) {
+		if len(pat) > 40 || len(input) > 1<<12 {
+			t.Skip()
+		}
+		prog, err := Compile(pat)
+		if err != nil {
+			t.Skip() // outside the supported subset
+		}
+		oneShot, err := NewEngine(prog)
+		if err != nil {
+			t.Skip()
+		}
+		data := []byte(input)
+		want, err := oneShot.FindAll(data)
+		if err != nil {
+			t.Skip() // pathological execution (stack/cycle budget)
+		}
+		maxLen := 1
+		for _, m := range want {
+			if l := m.End - m.Start; l > maxLen {
+				maxLen = l
+			}
+		}
+		chunk := chunkSize
+		if chunk < 1 {
+			chunk = 1 - chunk
+		}
+		chunk = 1 + chunk%4096
+		if failAt < 0 {
+			failAt = -failAt
+		}
+		failAt %= len(data) + 16
+
+		eng, err := NewEngine(prog, WithChunkSize(chunk), WithOverlap(maxLen))
+		if err != nil {
+			t.Fatalf("engine for %q: %v", pat, err)
+		}
+		r := faultinject.ErrAt(bytes.NewReader(data), int64(failAt), nil)
+		var got []Match
+		_, serr := eng.ScanReader(r, func(m Match, _ []byte) bool {
+			got = append(got, m)
+			return true
+		})
+
+		if failAt > len(data) {
+			// The stream ends before the fault position: clean EOF, full
+			// result set.
+			if serr != nil {
+				t.Fatalf("%q failAt=%d past EOF: err = %v, want nil", pat, failAt, serr)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%q failAt=%d past EOF: %d matches, want %d", pat, failAt, len(got), len(want))
+			}
+		} else {
+			var se *ScanError
+			if !errors.As(serr, &se) {
+				t.Fatalf("%q chunk=%d failAt=%d: err = %v (%T), want *ScanError", pat, chunk, failAt, serr, serr)
+			}
+			if se.Offset != int64(failAt) {
+				t.Fatalf("%q chunk=%d failAt=%d: ScanError.Offset = %d", pat, chunk, failAt, se.Offset)
+			}
+			if !errors.Is(serr, faultinject.ErrInjected) {
+				t.Fatalf("%q: cause lost: %v", pat, serr)
+			}
+		}
+		if len(got) > len(want) {
+			t.Fatalf("%q chunk=%d failAt=%d: emitted %d matches, one-shot has %d", pat, chunk, failAt, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%q chunk=%d failAt=%d: match %d = %v, one-shot %v", pat, chunk, failAt, i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -29,6 +29,7 @@
 package arch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -51,8 +52,15 @@ type Config struct {
 	// DefaultConfig depth.
 	StackDepth int
 	// MaxCycles aborts pathological executions (runaway backtracking on
-	// adversarial inputs); zero means the DefaultConfig budget.
+	// adversarial inputs); zero means the DefaultConfig budget. The
+	// budget is granted per execution — each Find/FindAll call may spend
+	// up to MaxCycles beyond the counter value it started from.
 	MaxCycles int64
+	// ForceRunawayAt is a fault-injection hook: when positive, the core
+	// trips ErrRunaway as soon as its accumulated cycle counter reaches
+	// this value, regardless of MaxCycles. Zero disables the hook (the
+	// normal configuration). See internal/faultinject.
+	ForceRunawayAt int64
 	// EnablePrefilter lets the engine use the compiler's
 	// necessary-factor hint (isa.Program.Hint) to narrow candidate
 	// start offsets when the program opens with a complex operator.
@@ -111,6 +119,15 @@ type Stats struct {
 	BaseOps  int64
 	OpenOps  int64
 	CloseOps int64
+
+	// Guardrail counters. Runaways counts cycle-budget trips and is
+	// maintained at the trip site in this package; Fallbacks (windows
+	// retried on the safe linear-time engine) and CancelledScans (scans
+	// that ended on context cancellation or deadline expiry) are
+	// maintained by the engine layer in internal/core.
+	Runaways       int64
+	Fallbacks      int64
+	CancelledScans int64
 }
 
 // Add merges s2 into s: counters sum, stack high-water marks take the
@@ -127,6 +144,9 @@ func (s *Stats) Add(s2 Stats) {
 	s.BaseOps += s2.BaseOps
 	s.OpenOps += s2.OpenOps
 	s.CloseOps += s2.CloseOps
+	s.Runaways += s2.Runaways
+	s.Fallbacks += s2.Fallbacks
+	s.CancelledScans += s2.CancelledScans
 	if s2.MaxStackDepth > s.MaxStackDepth {
 		s.MaxStackDepth = s2.MaxStackDepth
 	}
@@ -145,6 +165,30 @@ var (
 	ErrIntegrity     = errors.New("arch: program/controller integrity violation")
 )
 
+// CancelCheckCycles is the cooperative cancellation granularity: a
+// context-carrying execution polls ctx.Err() at every attempt boundary
+// and every CancelCheckCycles simulated cycles inside an attempt.
+const CancelCheckCycles = 4096
+
+// ExecError locates an execution failure in the data stream: Offset is
+// the start offset of the failing match attempt, relative to the data
+// slice the core was given (the stream and multicore layers rebase it
+// to an absolute stream offset before it crosses their API), and Cycle
+// is the accumulated cycle count at the trip. Err is the underlying
+// cause — ErrRunaway, ErrStackOverflow, ErrIntegrity, or a context
+// error — reachable through errors.Is/As.
+type ExecError struct {
+	Offset int
+	Cycle  int64
+	Err    error
+}
+
+func (e *ExecError) Error() string {
+	return fmt.Sprintf("%v (offset %d, cycle %d)", e.Err, e.Offset, e.Cycle)
+}
+
+func (e *ExecError) Unwrap() error { return e.Err }
+
 // Core is one ALVEARE execution core with its private instruction
 // memory (the loaded program) and statistics. A core is not safe for
 // concurrent use: it owns the speculation-stack memory that successive
@@ -156,6 +200,9 @@ type Core struct {
 	prog   *isa.Program
 	stats  Stats
 	tracer Tracer
+	// fault is the injected runaway trip point (Config.ForceRunawayAt,
+	// overridable per core with InjectRunawayAt); 0 disables it.
+	fault int64
 	// scratch is the reusable per-search state: the speculation stack
 	// arenas survive across searches so a recycled core pays no
 	// reallocation on its next input (see Reset).
@@ -167,8 +214,14 @@ func NewCore(p *isa.Program, cfg Config) (*Core, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Core{cfg: cfg.withDefaults(), code: p.Code, prog: p}, nil
+	return &Core{cfg: cfg.withDefaults(), code: p.Code, prog: p, fault: cfg.ForceRunawayAt}, nil
 }
+
+// InjectRunawayAt forces the core to trip ErrRunaway once its
+// accumulated cycle counter reaches k; 0 disables the hook. It is the
+// fault-injection entry point used by internal/faultinject to exercise
+// the runaway-containment paths deterministically.
+func (c *Core) InjectRunawayAt(k int64) { c.fault = k }
 
 // Program returns the loaded program.
 func (c *Core) Program() *isa.Program { return c.prog }
@@ -245,6 +298,11 @@ type machine struct {
 	// data-memory model: high-water mark of the small RAM.
 	buffered int
 	budget   int64
+	// ctx carries the caller's cancellation signal; nil when the search
+	// is not cancellable. ctxCheck is the cycle count of the next
+	// cooperative poll (every CancelCheckCycles cycles).
+	ctx      context.Context
+	ctxCheck int64
 	// prefilter occurrence cache (per data stream).
 	occ      []int
 	occValid bool
@@ -257,7 +315,14 @@ func (c *Core) machine(data []byte) *machine {
 	m.core = c
 	m.data = data
 	m.st = &c.stats
-	m.budget = c.cfg.MaxCycles
+	// The cycle budget is granted per binding (one public search call),
+	// so a scan that recovers from a runaway and resumes gets a fresh
+	// allowance — mirroring hardware re-arming a job after a fault.
+	m.budget = m.st.Cycles + c.cfg.MaxCycles
+	if c.fault > 0 && c.fault < m.budget {
+		m.budget = c.fault
+	}
+	m.ctx = nil
 	m.buffered = 0
 	m.frames = m.frames[:0]
 	m.recycleChoices()
@@ -277,9 +342,28 @@ func (m *machine) recycleChoices() {
 	m.choices = m.choices[:0]
 }
 
+// machineCtx rebinds the scratch machine like machine and additionally
+// arms cooperative cancellation when ctx carries a cancel signal (a nil
+// or never-cancelled context adds no per-cycle work).
+func (c *Core) machineCtx(ctx context.Context, data []byte) *machine {
+	m := c.machine(data)
+	if ctx != nil && ctx.Done() != nil {
+		m.ctx = ctx
+		m.ctxCheck = m.st.Cycles // poll on the first executed cycle
+	}
+	return m
+}
+
 // Find reports the leftmost match in data.
 func (c *Core) Find(data []byte) (Match, bool, error) {
 	return c.FindFrom(data, 0)
+}
+
+// FindCtx is Find with cooperative cancellation: the search honours
+// ctx's cancellation and deadline, polling at attempt boundaries and
+// every CancelCheckCycles simulated cycles.
+func (c *Core) FindCtx(ctx context.Context, data []byte) (Match, bool, error) {
+	return c.FindFromCtx(ctx, data, 0)
 }
 
 // FindFrom reports the leftmost match starting at or after from.
@@ -287,12 +371,32 @@ func (c *Core) FindFrom(data []byte, from int) (Match, bool, error) {
 	return c.machine(data).search(from)
 }
 
+// FindFromCtx is FindFrom with cooperative cancellation.
+func (c *Core) FindFromCtx(ctx context.Context, data []byte, from int) (Match, bool, error) {
+	return c.machineCtx(ctx, data).search(from)
+}
+
 // FindAll returns all non-overlapping matches (leftmost-first). A
 // non-positive limit means no limit.
 func (c *Core) FindAll(data []byte, limit int) ([]Match, error) {
+	return c.FindAllFromCtx(nil, data, 0, limit)
+}
+
+// FindAllCtx is FindAll with cooperative cancellation.
+func (c *Core) FindAllCtx(ctx context.Context, data []byte, limit int) ([]Match, error) {
+	return c.FindAllFromCtx(ctx, data, 0, limit)
+}
+
+// FindAllFromCtx returns all non-overlapping matches starting at or
+// after from. On error the matches found so far are returned alongside
+// it; the error is an *ExecError whose Offset names the attempt the
+// execution died in, so a caller may resume past it.
+func (c *Core) FindAllFromCtx(ctx context.Context, data []byte, from, limit int) ([]Match, error) {
 	var out []Match
-	m := c.machine(data)
-	from := 0
+	m := c.machineCtx(ctx, data)
+	if from < 0 {
+		from = 0
+	}
 	for from <= len(data) {
 		match, ok, err := m.search(from)
 		if err != nil {
@@ -326,20 +430,33 @@ func (c *Core) Count(data []byte) (int, error) {
 func (m *machine) search(from int) (Match, bool, error) {
 	code := m.core.code
 	cus := m.core.cfg.ComputeUnits
+	start := from
+	if start < 0 {
+		start = 0
+	}
+	if m.ctx != nil {
+		if cerr := m.ctx.Err(); cerr != nil {
+			return Match{}, false, m.execErr(start, cerr)
+		}
+	}
 	scanFirst := code[0].HasBase()
 	if !scanFirst {
 		if h := m.core.prefilterHint(); h != nil {
 			return m.searchPrefiltered(from, h)
 		}
 	}
-	start := from
-	if start < 0 {
-		start = 0
-	}
 	for start <= len(m.data) {
 		if scanFirst {
 			cand := start
 			for cand < len(m.data) {
+				if m.ctx != nil && cand&0xFFFF == 0xFFFF {
+					// The candidate scan can cover a whole window between
+					// attempts; poll every 64 KiB so cancellation stays
+					// responsive on huge match-free stretches.
+					if cerr := m.ctx.Err(); cerr != nil {
+						return Match{}, false, m.execErr(cand, cerr)
+					}
+				}
 				if _, ok := code[0].MatchBase(m.data[cand:]); ok {
 					break
 				}
@@ -364,7 +481,7 @@ func (m *machine) search(from int) (Match, bool, error) {
 		}
 		end, ok, err := m.attempt(start)
 		if err != nil {
-			return Match{}, false, err
+			return Match{}, false, m.execErr(start, err)
 		}
 		if ok {
 			return Match{Start: start, End: end}, true, nil
@@ -372,6 +489,16 @@ func (m *machine) search(from int) (Match, bool, error) {
 		start++
 	}
 	return Match{}, false, nil
+}
+
+// execErr locates err at the given attempt offset; errors already
+// located pass through unchanged.
+func (m *machine) execErr(offset int, err error) error {
+	var ee *ExecError
+	if errors.As(err, &ee) {
+		return err
+	}
+	return &ExecError{Offset: offset, Cycle: m.st.Cycles, Err: err}
 }
 
 // attempt executes the program once with the match anchored at start,
@@ -386,7 +513,14 @@ func (m *machine) attempt(start int) (end int, ok bool, err error) {
 
 	for {
 		if m.st.Cycles >= m.budget {
-			return 0, false, fmt.Errorf("%w: %d cycles", ErrRunaway, m.st.Cycles)
+			m.st.Runaways++
+			return 0, false, ErrRunaway
+		}
+		if m.ctx != nil && m.st.Cycles >= m.ctxCheck {
+			if cerr := m.ctx.Err(); cerr != nil {
+				return 0, false, cerr
+			}
+			m.ctxCheck = m.st.Cycles + CancelCheckCycles
 		}
 		if pc < 0 || pc >= len(code) {
 			return 0, false, fmt.Errorf("%w: pc %d outside program", ErrIntegrity, pc)

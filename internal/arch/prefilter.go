@@ -73,7 +73,7 @@ func (m *machine) searchPrefiltered(from int, h *isa.PrefilterHint) (Match, bool
 		for p := lo; p <= hi; p++ {
 			end, ok, err := m.attempt(p)
 			if err != nil {
-				return Match{}, false, err
+				return Match{}, false, m.execErr(p, err)
 			}
 			if ok {
 				return Match{Start: p, End: end}, true, nil

@@ -330,6 +330,49 @@ func (p *Prog) Find(data []byte) (Result, bool) {
 	return best, matched
 }
 
+// FindFrom returns the leftmost-first match starting at or after from.
+// The supported operator set has no look-behind, so searching the
+// suffix is exact.
+func (p *Prog) FindFrom(data []byte, from int) (Result, bool) {
+	if from < 0 {
+		from = 0
+	}
+	if from > len(data) {
+		return Result{}, false
+	}
+	m, ok := p.Find(data[from:])
+	if !ok {
+		return Result{}, false
+	}
+	return Result{Start: m.Start + from, End: m.End + from}, true
+}
+
+// FindAll returns every non-overlapping leftmost-first match starting
+// at or after from, with the same advance discipline as the ALVEARE
+// core's FindAll (an empty match advances one byte) — the contract that
+// lets the engine layer substitute this VM for a core mid-stream and
+// keep the match list byte-identical.
+func (p *Prog) FindAll(data []byte, from int) []Result {
+	var out []Result
+	pos := from
+	if pos < 0 {
+		pos = 0
+	}
+	for pos <= len(data) {
+		m, ok := p.FindFrom(data, pos)
+		if !ok {
+			break
+		}
+		out = append(out, m)
+		if m.End > m.Start {
+			pos = m.End
+		} else {
+			pos = m.End + 1
+		}
+	}
+	return out
+}
+
 // Match reports whether the pattern occurs in data.
 func (p *Prog) Match(data []byte) bool {
 	_, ok := p.Find(data)

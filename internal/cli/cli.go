@@ -1,0 +1,87 @@
+// Package cli holds the guardrail plumbing shared by the command-line
+// tools: a signal-aware root context with an optional deadline, the
+// exit-code convention for interrupted and timed-out runs, and a
+// watchdog for work that cannot poll a context.
+//
+// Exit codes follow the coreutils timeout(1) convention: 0 success,
+// 1 no-match/failure, 2 usage, 124 deadline expired, 130 interrupted
+// (128 + SIGINT).
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Exit codes shared by every tool.
+const (
+	ExitOK        = 0
+	ExitError     = 1 // failure, or no match anywhere
+	ExitUsage     = 2
+	ExitDeadline  = 124 // -timeout expired (timeout(1) convention)
+	ExitInterrupt = 130 // 128 + SIGINT
+)
+
+// Context returns the tool's root context: cancelled by SIGINT or
+// SIGTERM, and by the deadline when timeout is positive. The returned
+// stop must be deferred; it releases the signal handler so a second
+// Ctrl-C kills the process the hard way.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() { cancel(); stop() }
+}
+
+// ExitCode maps a scan error to the tool's exit status. A nil error is
+// success; deadline expiry and interrupts get their conventional codes
+// so scripts can tell a timed-out scan from a failed one.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, context.DeadlineExceeded):
+		return ExitDeadline
+	case errors.Is(err, context.Canceled):
+		return ExitInterrupt
+	}
+	return ExitError
+}
+
+// Exit prints err (when the exit is not clean) and terminates with
+// ExitCode(err). name prefixes the message, tool-style.
+func Exit(name string, err error) {
+	code := ExitCode(err)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	}
+	os.Exit(code)
+}
+
+// Watch guards a stretch of work that cannot poll ctx (the compiler,
+// the workload generator, the benchmark harness): if ctx ends before
+// the returned finish func runs, the process exits with the
+// conventional code for the cause. Call finish (idempotent) as soon as
+// the guarded work completes; defer it AFTER deferring the context's
+// cancel func, so normal completion marks done before cancellation
+// fires.
+func Watch(ctx context.Context, name string) (finish func()) {
+	var done atomic.Bool
+	go func() {
+		<-ctx.Done()
+		if done.Load() {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, ctx.Err())
+		os.Exit(ExitCode(ctx.Err()))
+	}()
+	return func() { done.Store(true) }
+}

@@ -10,8 +10,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sort"
 
 	"alveare/internal/arch"
 	"alveare/internal/backend"
@@ -49,6 +51,7 @@ type settings struct {
 	overlap int
 	chunk   int
 	workers int
+	policy  Policy
 	cfg     arch.Config
 }
 
@@ -84,6 +87,28 @@ func WithWorkers(n int) Option {
 	return func(s *settings) { s.workers = n }
 }
 
+// WithBudget caps the speculative core's cycle budget per scan attempt
+// (default arch.DefaultConfig's effectively-unbounded 2^40). A tight
+// budget turns pathological backtracking into ErrRunaway quickly,
+// which is what makes Degrade and Skip bite; n <= 0 leaves the default.
+func WithBudget(n int64) Option {
+	return func(s *settings) {
+		if n > 0 {
+			s.cfg.MaxCycles = n
+		}
+	}
+}
+
+// WithPolicy selects the failure policy for recoverable execution
+// faults — a core tripping its cycle budget (ErrRunaway) or
+// speculation-stack capacity (ErrStackOverflow): FailFast (the
+// default) aborts the scan with a *ScanError, Degrade retries the
+// faulting window on the safe linear-time engine, Skip drops the
+// poisoned region and continues. See Policy.
+func WithPolicy(p Policy) Option {
+	return func(s *settings) { s.policy = p }
+}
+
 // WithPrefilter enables the compiler's necessary-factor hint: when the
 // program opens with a complex operator, candidate start offsets are
 // narrowed to the neighbourhoods of a required literal's occurrences.
@@ -99,6 +124,12 @@ type Engine struct {
 	single *arch.Core
 	multi  *multicore.Engine
 	stream stream.Config
+	policy Policy
+	safe   *safeVM
+	// guard accumulates the engine-layer guardrail counters (Fallbacks,
+	// CancelledScans); Stats() merges them with the core's counters. It
+	// follows the engine's single-goroutine discipline.
+	guard Stats
 }
 
 // NewEngine loads a compiled program.
@@ -110,7 +141,12 @@ func NewEngine(p *Program, opts ...Option) (*Engine, error) {
 	if s.cores < 1 {
 		return nil, fmt.Errorf("core: %d cores", s.cores)
 	}
-	e := &Engine{prog: p, stream: stream.Config{ChunkSize: s.chunk, Overlap: s.overlap}}
+	e := &Engine{
+		prog:   p,
+		stream: stream.Config{ChunkSize: s.chunk, Overlap: s.overlap},
+		policy: s.policy,
+		safe:   newSafeVM(p.Source),
+	}
 	single, err := arch.NewCore(p, s.cfg)
 	if err != nil {
 		return nil, err
@@ -137,30 +173,82 @@ func (e *Engine) Cores() int {
 	return 1
 }
 
+// guarded builds a policy-applying finder over the engine's single
+// core, crediting fallbacks to the engine's guard counters. Each call
+// returns a fresh finder so sticky degradation is scoped to one scan.
+func (e *Engine) guarded() *guarded {
+	return &guarded{
+		core:       e.single,
+		vm:         e.safe,
+		policy:     e.policy,
+		onFallback: func() { e.guard.Fallbacks++ },
+	}
+}
+
+// fail folds err into the ScanError taxonomy (rule -1: single-pattern
+// engine) and maintains the cancellation counter. nil passes through.
+func (e *Engine) fail(err error) error {
+	if err == nil {
+		return nil
+	}
+	if isCancel(err) {
+		e.guard.CancelledScans++
+	}
+	return scanErrFor(-1, err)
+}
+
 // Find returns the leftmost match.
 func (e *Engine) Find(data []byte) (Match, bool, error) {
-	return e.single.Find(data)
+	return e.FindCtx(context.Background(), data)
+}
+
+// FindCtx is Find with cooperative cancellation: the core polls ctx
+// between match attempts and every few thousand simulated cycles.
+func (e *Engine) FindCtx(ctx context.Context, data []byte) (Match, bool, error) {
+	m, ok, err := e.guarded().FindFromCtx(ctx, data, 0)
+	return m, ok, e.fail(err)
 }
 
 // Match reports whether the pattern occurs in data.
 func (e *Engine) Match(data []byte) (bool, error) {
-	_, ok, err := e.single.Find(data)
+	_, ok, err := e.Find(data)
+	return ok, err
+}
+
+// MatchCtx is Match with cooperative cancellation.
+func (e *Engine) MatchCtx(ctx context.Context, data []byte) (bool, error) {
+	_, ok, err := e.FindCtx(ctx, data)
 	return ok, err
 }
 
 // FindAll returns all non-overlapping matches. On a multi-core engine
 // the stream is divided among the cores.
 func (e *Engine) FindAll(data []byte) ([]Match, error) {
+	return e.FindAllCtx(context.Background(), data)
+}
+
+// FindAllCtx is FindAll with cooperative cancellation and the failure
+// policy applied: with Degrade, faulting regions are re-scanned on the
+// safe linear-time engine; with Skip, they are dropped; with FailFast
+// (the default) the first fault aborts the scan, returning the matches
+// completed before it together with a *ScanError.
+func (e *Engine) FindAllCtx(ctx context.Context, data []byte) ([]Match, error) {
 	if e.multi != nil {
-		res, err := e.multi.Run(data)
+		res, err := e.runMultiCtx(ctx, data)
 		return res.Matches, err
 	}
-	return e.single.FindAll(data, 0)
+	ms, err := resilientFindAll(ctx, e.single, e.safe, e.policy, data, func() { e.guard.Fallbacks++ })
+	return ms, e.fail(err)
 }
 
 // Count returns the number of non-overlapping matches.
 func (e *Engine) Count(data []byte) (int, error) {
-	ms, err := e.FindAll(data)
+	return e.CountCtx(context.Background(), data)
+}
+
+// CountCtx is Count with cooperative cancellation.
+func (e *Engine) CountCtx(ctx context.Context, data []byte) (int, error) {
+	ms, err := e.FindAllCtx(ctx, data)
 	return len(ms), err
 }
 
@@ -176,15 +264,29 @@ func (e *Engine) Count(data []byte) (int, error) {
 // run on the engine's single core regardless of WithCores: divide and
 // conquer needs random access, a stream is consumed once.
 func (e *Engine) ScanReader(r io.Reader, emit func(m Match, text []byte) bool) (int64, error) {
-	sc := stream.ForCore(e.single, e.stream)
-	return sc.Scan(r, stream.EmitFunc(emit))
+	return e.ScanReaderCtx(context.Background(), r, emit)
+}
+
+// ScanReaderCtx is ScanReader with cooperative cancellation (checked at
+// every window boundary and inside each window's search) and the
+// failure policy applied per window. A cancelled scan returns the bytes
+// consumed so far together with a *ScanError wrapping ctx.Err().
+func (e *Engine) ScanReaderCtx(ctx context.Context, r io.Reader, emit func(m Match, text []byte) bool) (int64, error) {
+	sc := stream.ForFinder(e.guarded(), e.stream)
+	n, err := sc.ScanCtx(ctx, r, stream.EmitFunc(emit))
+	return n, e.fail(err)
 }
 
 // FindReader returns every match in the stream, reading r to EOF one
 // window at a time (only the match list is buffered).
 func (e *Engine) FindReader(r io.Reader) ([]Match, error) {
+	return e.FindReaderCtx(context.Background(), r)
+}
+
+// FindReaderCtx is FindReader with cooperative cancellation.
+func (e *Engine) FindReaderCtx(ctx context.Context, r io.Reader) ([]Match, error) {
 	var out []Match
-	_, err := e.ScanReader(r, func(m Match, _ []byte) bool {
+	_, err := e.ScanReaderCtx(ctx, r, func(m Match, _ []byte) bool {
 		out = append(out, m)
 		return true
 	})
@@ -193,36 +295,95 @@ func (e *Engine) FindReader(r io.Reader) ([]Match, error) {
 
 // CountReader returns the number of matches in the stream.
 func (e *Engine) CountReader(r io.Reader) (int, error) {
+	return e.CountReaderCtx(context.Background(), r)
+}
+
+// CountReaderCtx is CountReader with cooperative cancellation.
+func (e *Engine) CountReaderCtx(ctx context.Context, r io.Reader) (int, error) {
 	n := 0
-	_, err := e.ScanReader(r, func(Match, []byte) bool { n++; return true })
+	_, err := e.ScanReaderCtx(ctx, r, func(Match, []byte) bool { n++; return true })
 	return n, err
+}
+
+// runMultiCtx executes the multi-core pass and contains chunk faults
+// per the failure policy: recoverable faults (runaway, stack overflow)
+// are re-scanned on the safe engine (Degrade) or reduced to the chunk's
+// partial matches (Skip); cancellation and integrity faults propagate.
+// Contained chunks stay listed in Result.Failed for observability even
+// when the returned error is nil.
+func (e *Engine) runMultiCtx(ctx context.Context, data []byte) (multicore.Result, error) {
+	res, err := e.multi.RunCtx(ctx, data)
+	if err == nil {
+		return res, nil
+	}
+	if e.policy == FailFast {
+		return res, e.fail(err)
+	}
+	for _, f := range res.Failed {
+		if !recoverable(f.Err) {
+			return res, e.fail(fmt.Errorf("core %d: %w", f.Core, f.Err))
+		}
+	}
+	for _, f := range res.Failed {
+		if e.policy == Degrade && e.safe.available() {
+			e.guard.Fallbacks++
+			// Re-scan the whole extended window on the safe engine; the
+			// ownership filter keeps the result set disjoint from the
+			// neighbouring chunks exactly as it does for healthy cores.
+			ms, ferr := e.safe.findAll(ctx, data[f.Chunk.Lo:f.Chunk.Ext], 0)
+			res.Matches = append(res.Matches, stream.OwnMatches(ms, f.Chunk.Lo, f.Chunk.Hi)...)
+			if ferr != nil {
+				return res, e.fail(ferr)
+			}
+		} else {
+			// Skip (or Degrade without a safe engine): keep what the core
+			// completed before its fault.
+			res.Matches = append(res.Matches, f.Partial...)
+		}
+	}
+	sort.Slice(res.Matches, func(a, b int) bool { return res.Matches[a].Start < res.Matches[b].Start })
+	return res, nil
 }
 
 // Run executes a full multi-core pass and returns the detailed result
 // (wall cycles, per-core counters). On a single-core engine it wraps
 // the core's counters in the same shape.
 func (e *Engine) Run(data []byte) (multicore.Result, error) {
+	return e.RunCtx(context.Background(), data)
+}
+
+// RunCtx is Run with cooperative cancellation and the failure policy
+// applied (see FindAllCtx).
+func (e *Engine) RunCtx(ctx context.Context, data []byte) (multicore.Result, error) {
 	if e.multi != nil {
-		return e.multi.Run(data)
+		return e.runMultiCtx(ctx, data)
 	}
 	e.single.ResetStats()
-	ms, err := e.single.FindAll(data, 0)
-	if err != nil {
-		return multicore.Result{}, err
-	}
+	ms, err := resilientFindAll(ctx, e.single, e.safe, e.policy, data, func() { e.guard.Fallbacks++ })
 	st := e.single.Stats()
-	return multicore.Result{
+	res := multicore.Result{
 		Matches:     ms,
 		WallCycles:  st.Cycles,
 		TotalCycles: st.Cycles,
 		PerCore:     []arch.Stats{st},
-	}, nil
+	}
+	return res, e.fail(err)
 }
 
-// Stats returns the single-core counters (aggregate counters for
-// multi-core runs come from Run's result).
-func (e *Engine) Stats() Stats { return e.single.Stats() }
+// Stats returns the single-core counters merged with the engine-layer
+// guardrail counters (Fallbacks, CancelledScans); aggregate counters
+// for multi-core runs come from Run's result.
+func (e *Engine) Stats() Stats {
+	st := e.single.Stats()
+	st.Fallbacks += e.guard.Fallbacks
+	st.CancelledScans += e.guard.CancelledScans
+	return st
+}
 
-// ResetStats clears the single-core counters and releases the core's
-// references to the previous input (multi-core cores reset per Run).
-func (e *Engine) ResetStats() { e.single.Reset() }
+// ResetStats clears the single-core counters, the engine-layer guard
+// counters, and releases the core's references to the previous input
+// (multi-core cores reset per Run).
+func (e *Engine) ResetStats() {
+	e.single.Reset()
+	e.guard = Stats{}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"alveare/internal/arch"
+	"alveare/internal/stream"
+)
+
+// Execution sentinels re-exported from the microarchitecture, so
+// library users can classify a ScanError's cause without importing
+// internal packages.
+var (
+	// ErrRunaway is the speculative core's cycle-budget trip
+	// (arch.Config.MaxCycles) — the simulator's analogue of the paper's
+	// §6 bound on runaway speculation.
+	ErrRunaway = arch.ErrRunaway
+	// ErrStackOverflow is the speculation-stack capacity fault.
+	ErrStackOverflow = arch.ErrStackOverflow
+)
+
+// ScanError is the structured failure every public scan path reports:
+// which rule died, at which absolute byte offset of the input, and why.
+// It is errors.Is/As-friendly — Unwrap exposes the cause, so
+// errors.Is(err, ErrRunaway), errors.Is(err, context.Canceled) and
+// errors.As(err, &*arch.ExecError) all work through it.
+type ScanError struct {
+	// Rule is the failing rule's index in its RuleSet; -1 for
+	// single-pattern Engine scans.
+	Rule int
+	// Offset is the absolute byte offset of the failure in the scanned
+	// stream: the start of the match attempt that faulted, or the first
+	// byte a stream refill could not deliver. -1 when unknown.
+	Offset int64
+	// Cause is the underlying failure.
+	Cause error
+}
+
+func (e *ScanError) Error() string {
+	if e.Rule >= 0 {
+		return fmt.Sprintf("scan: rule %d at offset %d: %v", e.Rule, e.Offset, e.Cause)
+	}
+	return fmt.Sprintf("scan: offset %d: %v", e.Offset, e.Cause)
+}
+
+func (e *ScanError) Unwrap() error { return e.Cause }
+
+// scanErrFor wraps err into the ScanError taxonomy, lifting the failure
+// offset out of the positional error types the lower layers produce
+// (arch.ExecError offsets are absolute by the time they cross the
+// stream/multicore APIs). An err that is already a ScanError passes
+// through, gaining the rule index if it had none.
+func scanErrFor(rule int, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *ScanError
+	if errors.As(err, &se) {
+		if se.Rule < 0 && rule >= 0 {
+			return &ScanError{Rule: rule, Offset: se.Offset, Cause: se.Cause}
+		}
+		return err
+	}
+	off := int64(-1)
+	var ee *arch.ExecError
+	var re *stream.ReadError
+	switch {
+	case errors.As(err, &ee):
+		off = int64(ee.Offset)
+	case errors.As(err, &re):
+		off = re.Offset
+	}
+	return &ScanError{Rule: rule, Offset: off, Cause: err}
+}
+
+// Policy selects how an Engine or RuleSet contains recoverable
+// execution faults — a core tripping its cycle budget (ErrRunaway) or
+// speculation-stack capacity (ErrStackOverflow) on adversarial input.
+// Context cancellation, deadline expiry, stream read failures and
+// integrity faults always surface regardless of policy.
+type Policy int
+
+const (
+	// FailFast aborts the scan on the first fault (the default): the
+	// error, as a *ScanError, names the rule and offset.
+	FailFast Policy = iota
+	// Degrade retries the faulting window on the safe linear-time
+	// engine (internal/baseline/pikevm) — no speculation, guaranteed
+	// O(n) — so the match output stays complete while Stats.Fallbacks
+	// counts the degradations. When no pattern source is available for
+	// the safe engine (hand-assembled programs), Degrade behaves like
+	// Skip.
+	Degrade
+	// Skip drops the poisoned region — the failing attempt's start
+	// offset for a window, the failing rule for a rule-set scan — and
+	// continues. Matches may be missed where the fault hit; everything
+	// else is reported.
+	Skip
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FailFast:
+		return "failfast"
+	case Degrade:
+		return "degrade"
+	case Skip:
+		return "skip"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy maps the command-line spelling to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "failfast", "fail-fast", "":
+		return FailFast, nil
+	case "degrade":
+		return Degrade, nil
+	case "skip":
+		return Skip, nil
+	}
+	return FailFast, fmt.Errorf("core: unknown policy %q (want failfast, degrade or skip)", s)
+}
+
+// recoverable reports whether a fault is in the class the Degrade and
+// Skip policies may contain.
+func recoverable(err error) bool {
+	return errors.Is(err, arch.ErrRunaway) || errors.Is(err, arch.ErrStackOverflow)
+}
+
+// isCancel reports whether err stems from context cancellation or
+// deadline expiry.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// failOffset extracts the positional error's offset, defaulting to def.
+func failOffset(err error, def int) int {
+	var ee *arch.ExecError
+	if errors.As(err, &ee) {
+		return ee.Offset
+	}
+	return def
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -26,9 +28,16 @@ type RuleSet struct {
 	cfg      arch.Config
 	workers  int
 	stream   stream.Config
+	policy   Policy
+
+	// safes hold one lazily-compiled safe-engine fallback per rule,
+	// engaged by the Degrade policy; safeVM serialises itself, so the
+	// slice is shared across concurrent scans.
+	safes []*safeVM
 
 	// pools hold per-rule scanning cores; Get yields a Reset core whose
-	// speculation-stack arenas survive recycling (arch.Core.Reset).
+	// speculation-stack arenas survive recycling (arch.Core.Reset). A
+	// core whose scan panicked is abandoned, never pooled again.
 	pools []sync.Pool
 
 	mu  sync.Mutex // guards agg
@@ -47,6 +56,10 @@ func NewRuleSet(patterns []string, copt backend.Options, opts ...Option) (*RuleS
 		cfg:      s.cfg,
 		workers:  s.workers,
 		stream:   stream.Config{ChunkSize: s.chunk, Overlap: s.overlap},
+		policy:   s.policy,
+	}
+	for _, re := range rs.patterns {
+		rs.safes = append(rs.safes, newSafeVM(re))
 	}
 	for i, re := range patterns {
 		p, err := CompileWith(re, copt)
@@ -116,12 +129,52 @@ func (rs *RuleSet) getCore(i int) (*arch.Core, error) {
 type RuleMatches struct {
 	Rule    int
 	Matches []Match
+	// Err is the rule's own isolated failure (a *ScanError), set when
+	// the Skip or Degrade policy contained a fault in this rule without
+	// aborting the scan. Matches holds whatever the rule completed
+	// before it died. Nil on a clean rule.
+	Err error
+}
+
+// scanRule runs one rule over data with the failure policy applied,
+// recovering a panicking core into a *ScanError so one faulty rule (or
+// a corrupted pooled core) cannot take down the whole scan. The core
+// is returned to the rule's pool only on a normal return — a panicked
+// core is abandoned.
+func (rs *RuleSet) scanRule(ctx context.Context, i int, data []byte) (ms []Match, st arch.Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ms = nil
+			err = &ScanError{Rule: i, Offset: -1, Cause: fmt.Errorf("rule fault: %v", r)}
+		}
+	}()
+	core, cerr := rs.getCore(i)
+	if cerr != nil {
+		return nil, st, scanErrFor(i, cerr)
+	}
+	var fallbacks int64
+	ms, ferr := resilientFindAll(ctx, core, rs.safes[i], rs.policy, data, func() { fallbacks++ })
+	st = core.Stats()
+	st.Fallbacks += fallbacks
+	rs.pools[i].Put(core)
+	return ms, st, scanErrFor(i, ferr)
 }
 
 // Scan runs every rule over data on the worker pool and returns the
 // hits of the rules that matched, in rule order. Per-rule counters are
 // merged race-free into the aggregate reported by Stats.
 func (rs *RuleSet) Scan(data []byte) ([]RuleMatches, error) {
+	return rs.ScanCtx(context.Background(), data)
+}
+
+// ScanCtx is Scan with cooperative cancellation and per-rule fault
+// isolation: a rule whose core faults (or panics) is recovered into a
+// *ScanError without disturbing the other rules. Under FailFast the
+// first rule failure is returned as the scan's error; under Degrade and
+// Skip contained failures ride along in the result's per-rule Err slots
+// and the returned error stays nil. Cancellation always aborts with the
+// partial results collected so far.
+func (rs *RuleSet) ScanCtx(ctx context.Context, data []byte) ([]RuleMatches, error) {
 	n := rs.Len()
 	if n == 0 {
 		return nil, nil
@@ -137,14 +190,8 @@ func (rs *RuleSet) Scan(data []byte) ([]RuleMatches, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				core, err := rs.getCore(i)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				matches[i], errs[i] = core.FindAll(data, 0)
-				st := core.Stats()
-				rs.pools[i].Put(core)
+				ms, st, err := rs.scanRule(ctx, i, data)
+				matches[i], errs[i] = ms, err
 				aggMu.Lock()
 				agg.Add(st)
 				aggMu.Unlock()
@@ -157,21 +204,35 @@ func (rs *RuleSet) Scan(data []byte) ([]RuleMatches, error) {
 	close(jobs)
 	wg.Wait()
 
+	var scanErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if isCancel(err) {
+			agg.CancelledScans++
+			scanErr = err
+			break
+		}
+		if rs.policy == FailFast && scanErr == nil {
+			scanErr = err
+		}
+	}
 	rs.mu.Lock()
 	rs.agg.Add(agg)
 	rs.mu.Unlock()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: rule %d %q: %w", i, rs.patterns[i], err)
-		}
-	}
+
 	var out []RuleMatches
 	for i, ms := range matches {
-		if len(ms) > 0 {
-			out = append(out, RuleMatches{Rule: i, Matches: ms})
+		ruleErr := errs[i]
+		if isCancel(ruleErr) {
+			ruleErr = nil // reported as the scan error, not a rule fault
+		}
+		if len(ms) > 0 || ruleErr != nil {
+			out = append(out, RuleMatches{Rule: i, Matches: ms, Err: ruleErr})
 		}
 	}
-	return out, nil
+	return out, scanErr
 }
 
 // ScanReader scans an unbounded stream against every rule: the input
@@ -187,6 +248,54 @@ func (rs *RuleSet) Scan(data []byte) ([]RuleMatches, error) {
 // Matches longer than the overlap are the chunking scheme's documented
 // blind spot, exactly as for Engine.ScanReader.
 func (rs *RuleSet) ScanReader(r io.Reader, emit func(rule int, m Match, text []byte) bool) (int64, error) {
+	return rs.ScanReaderCtx(context.Background(), r, emit)
+}
+
+// scanRuleWindow runs one rule's window scan with the failure policy
+// applied, recovering panics as scanRule does. sticky carries the
+// rule's degraded state between windows so a rule that fell back to the
+// safe engine stays on it for the rest of the stream.
+func (rs *RuleSet) scanRuleWindow(ctx context.Context, i int, buf []byte, base int, final bool, overlap, from int, sticky bool) (ms []Match, st arch.Stats, npos int, nowSticky bool, err error) {
+	npos, nowSticky = from, sticky
+	defer func() {
+		if r := recover(); r != nil {
+			ms = nil
+			err = &ScanError{Rule: i, Offset: int64(from), Cause: fmt.Errorf("rule fault: %v", r)}
+		}
+	}()
+	core, cerr := rs.getCore(i)
+	if cerr != nil {
+		return nil, st, from, sticky, scanErrFor(i, cerr)
+	}
+	var fallbacks int64
+	g := &guarded{
+		core:       core,
+		vm:         rs.safes[i],
+		policy:     rs.policy,
+		degraded:   sticky,
+		onFallback: func() { fallbacks++ },
+	}
+	npos, _, werr := stream.ScanWindowCtx(ctx, g, buf, base, final, overlap, from,
+		func(m Match, _ []byte) bool {
+			ms = append(ms, m)
+			return true
+		})
+	st = core.Stats()
+	st.Fallbacks += fallbacks
+	rs.pools[i].Put(core)
+	return ms, st, npos, g.degraded, scanErrFor(i, werr)
+}
+
+// ScanReaderCtx is ScanReader with cooperative cancellation (checked
+// every window) and per-rule fault isolation: a rule whose core faults
+// past what its policy can contain is retired from the scan — the
+// remaining rules keep scanning the stream — and its *ScanError is
+// joined into the error returned after the stream drains. Under
+// FailFast the first rule failure aborts the whole scan immediately;
+// cancellation always aborts, reporting the bytes consumed so far. A
+// rule degraded to the safe engine (Degrade policy) stays on it for the
+// remainder of the stream.
+func (rs *RuleSet) ScanReaderCtx(ctx context.Context, r io.Reader, emit func(rule int, m Match, text []byte) bool) (int64, error) {
 	n := rs.Len()
 	cfg := rs.stream
 	if cfg.ChunkSize <= 0 {
@@ -196,10 +305,18 @@ func (rs *RuleSet) ScanReader(r io.Reader, emit func(rule int, m Match, text []b
 		cfg.Overlap = stream.DefaultOverlap
 	}
 	buf := make([]byte, 0, cfg.ChunkSize+cfg.Overlap)
-	pos := make([]int, n) // per-rule resume offsets
+	pos := make([]int, n)      // per-rule resume offsets
+	sticky := make([]bool, n)  // per-rule degraded state
+	dead := make([]error, n)   // per-rule retirement record
 	base := 0
 	final := false
 	for !final {
+		if cerr := ctx.Err(); cerr != nil {
+			rs.mu.Lock()
+			rs.agg.CancelledScans++
+			rs.mu.Unlock()
+			return int64(base + len(buf)), scanErrFor(-1, &stream.ReadError{Offset: int64(base + len(buf)), Err: cerr})
+		}
 		have := len(buf)
 		buf = buf[:have+cfg.ChunkSize]
 		nr, err := io.ReadFull(r, buf[have:])
@@ -209,7 +326,8 @@ func (rs *RuleSet) ScanReader(r io.Reader, emit func(rule int, m Match, text []b
 		case io.EOF, io.ErrUnexpectedEOF:
 			final = true
 		default:
-			return int64(base + len(buf)), fmt.Errorf("core: ruleset read at offset %d: %w", base+have, err)
+			// Offset is the first byte the refill could not deliver.
+			return int64(base + len(buf)), scanErrFor(-1, &stream.ReadError{Offset: int64(base + len(buf)), Err: err})
 		}
 		limit := base + len(buf)
 
@@ -226,19 +344,9 @@ func (rs *RuleSet) ScanReader(r io.Reader, emit func(rule int, m Match, text []b
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					core, err := rs.getCore(i)
-					if err != nil {
-						errs[i] = err
-						continue
-					}
-					npos, _, err := stream.ScanWindow(core, buf, base, final, cfg.Overlap, pos[i],
-						func(m Match, _ []byte) bool {
-							wins[i] = append(wins[i], m)
-							return true
-						})
-					pos[i], errs[i] = npos, err
-					st := core.Stats()
-					rs.pools[i].Put(core)
+					ms, st, npos, deg, err := rs.scanRuleWindow(ctx, i, buf, base, final, cfg.Overlap, pos[i], sticky[i])
+					wins[i], errs[i] = ms, err
+					pos[i], sticky[i] = npos, deg
 					aggMu.Lock()
 					agg.Add(st)
 					aggMu.Unlock()
@@ -246,7 +354,9 @@ func (rs *RuleSet) ScanReader(r io.Reader, emit func(rule int, m Match, text []b
 			}()
 		}
 		for i := 0; i < n; i++ {
-			jobs <- i
+			if dead[i] == nil {
+				jobs <- i
+			}
 		}
 		close(jobs)
 		wg.Wait()
@@ -255,9 +365,22 @@ func (rs *RuleSet) ScanReader(r io.Reader, emit func(rule int, m Match, text []b
 		rs.agg.Add(agg)
 		rs.mu.Unlock()
 		for i, err := range errs {
-			if err != nil {
-				return int64(limit), fmt.Errorf("core: rule %d %q: %w", i, rs.patterns[i], err)
+			if err == nil {
+				continue
 			}
+			if isCancel(err) || rs.policy == FailFast {
+				if isCancel(err) {
+					rs.mu.Lock()
+					rs.agg.CancelledScans++
+					rs.mu.Unlock()
+				}
+				return int64(limit), err
+			}
+			// Retire the rule; the stream scan outlives it. Park its
+			// resume offset past the stream so a stale offset can never
+			// fault the carry-over arithmetic.
+			dead[i] = err
+			pos[i] = limit
 		}
 		for i, ms := range wins {
 			for _, m := range ms {
@@ -279,21 +402,35 @@ func (rs *RuleSet) ScanReader(r io.Reader, emit func(rule int, m Match, text []b
 		buf = buf[:limit-carry]
 		base = carry
 	}
-	return int64(base + len(buf)), nil
+	return int64(base + len(buf)), errors.Join(dead...)
 }
 
 // FirstMatch returns the lowest-numbered rule that occurs in data.
 func (rs *RuleSet) FirstMatch(data []byte) (rule int, ok bool, err error) {
+	return rs.FirstMatchCtx(context.Background(), data)
+}
+
+// FirstMatchCtx is FirstMatch with cooperative cancellation. Rules are
+// probed in order; under Degrade and Skip a faulting rule is passed
+// over (its error is returned, joined, only when no later rule
+// matches), under FailFast the first fault aborts the probe.
+func (rs *RuleSet) FirstMatchCtx(ctx context.Context, data []byte) (rule int, ok bool, err error) {
+	var deferred []error
 	for i, eng := range rs.engines {
-		hit, err := eng.Match(data)
-		if err != nil {
-			return 0, false, fmt.Errorf("core: rule %d %q: %w", i, rs.patterns[i], err)
+		hit, merr := eng.MatchCtx(ctx, data)
+		if merr != nil {
+			merr = scanErrFor(i, merr)
+			if isCancel(merr) || rs.policy == FailFast {
+				return 0, false, merr
+			}
+			deferred = append(deferred, merr)
+			continue
 		}
 		if hit {
 			return i, true, nil
 		}
 	}
-	return 0, false, nil
+	return 0, false, errors.Join(deferred...)
 }
 
 // Stats returns the aggregate counters merged from every pooled core

@@ -1,0 +1,113 @@
+// Package faultinject is the guardrail layer's test harness: reader
+// wrappers that inject the stream failure modes a deployed scanner
+// meets (short reads, torn reads, hard I/O errors at a chosen byte,
+// slow producers) and hooks into the simulated microarchitecture that
+// force a runaway at a chosen cycle. The fault matrix in the repo root
+// drives every public scan path through every one of these faults and
+// asserts the error taxonomy, partial-result and goroutine-hygiene
+// contracts.
+//
+// The wrappers are deliberately allocation-light and deterministic so
+// they compose with fuzzing: the same (input, fault position) pair
+// always fails at the same absolute offset.
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"alveare/internal/arch"
+)
+
+// ErrInjected is the default fault surfaced by ErrAt when the caller
+// does not supply one. Tests assert errors.Is against it.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrAt returns a reader that delivers the first k bytes of r intact
+// and fails with err on the read that would cross byte k (err defaults
+// to ErrInjected). If r ends before byte k the underlying io.EOF
+// propagates — the fault never fires.
+func ErrAt(r io.Reader, k int64, err error) io.Reader {
+	if err == nil {
+		err = ErrInjected
+	}
+	return &errAtReader{r: r, remain: k, err: err}
+}
+
+type errAtReader struct {
+	r      io.Reader
+	remain int64
+	err    error
+}
+
+func (e *errAtReader) Read(p []byte) (int, error) {
+	if e.remain <= 0 {
+		return 0, e.err
+	}
+	if int64(len(p)) > e.remain {
+		p = p[:e.remain]
+	}
+	n, err := e.r.Read(p)
+	e.remain -= int64(n)
+	if err == nil && e.remain <= 0 {
+		// Deliver the boundary bytes cleanly; the next call faults.
+		return n, nil
+	}
+	return n, err
+}
+
+// Short returns a reader that never delivers more than max bytes per
+// Read call, exercising every io.ReadFull retry path in the scanners.
+func Short(r io.Reader, max int) io.Reader {
+	if max < 1 {
+		max = 1
+	}
+	return &shortReader{r: r, max: max}
+}
+
+type shortReader struct {
+	r   io.Reader
+	max int
+}
+
+func (s *shortReader) Read(p []byte) (int, error) {
+	if len(p) > s.max {
+		p = p[:s.max]
+	}
+	return s.r.Read(p)
+}
+
+// Torn returns a reader that delivers exactly one byte per Read — the
+// worst-case short read, tearing every multi-byte token across calls.
+func Torn(r io.Reader) io.Reader { return Short(r, 1) }
+
+// Slow returns a reader that sleeps d before every Read, modelling a
+// slow producer so deadline and cancellation paths engage mid-stream.
+func Slow(r io.Reader, d time.Duration) io.Reader {
+	return &slowReader{r: r, d: d}
+}
+
+type slowReader struct {
+	r io.Reader
+	d time.Duration
+}
+
+func (s *slowReader) Read(p []byte) (int, error) {
+	time.Sleep(s.d)
+	return s.r.Read(p)
+}
+
+// RunawayConfig returns cfg with the microarchitecture's fault hook
+// armed: execution trips arch.ErrRunaway once the core has accumulated
+// k simulated cycles, regardless of the real cycle budget. Engines
+// built from the returned config fault deterministically, which is how
+// the matrix drives the runaway-containment policies without crafting
+// adversarial patterns.
+func RunawayConfig(cfg arch.Config, k int64) arch.Config {
+	cfg.ForceRunawayAt = k
+	return cfg
+}
+
+// InjectRunaway arms the same fault hook on an already-built core.
+func InjectRunaway(c *arch.Core, k int64) { c.InjectRunawayAt(k) }

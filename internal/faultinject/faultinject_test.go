@@ -1,0 +1,83 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestErrAtDeliversPrefixThenFails(t *testing.T) {
+	src := strings.Repeat("abc", 100)
+	r := ErrAt(strings.NewReader(src), 100, nil)
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if string(got) != src[:100] {
+		t.Fatalf("delivered %d bytes %q, want the first 100", len(got), got)
+	}
+}
+
+func TestErrAtCustomError(t *testing.T) {
+	boom := errors.New("boom")
+	r := ErrAt(strings.NewReader("xyz"), 1, boom)
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if string(got) != "x" {
+		t.Fatalf("delivered %q, want \"x\"", got)
+	}
+}
+
+func TestErrAtPastEOFNeverFires(t *testing.T) {
+	r := ErrAt(strings.NewReader("short"), 1000, nil)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("err = %v, want nil (EOF before fault)", err)
+	}
+	if string(got) != "short" {
+		t.Fatalf("delivered %q", got)
+	}
+}
+
+func TestShortBoundsEveryRead(t *testing.T) {
+	r := Short(bytes.NewReader(make([]byte, 64)), 7)
+	buf := make([]byte, 32)
+	for {
+		n, err := r.Read(buf)
+		if n > 7 {
+			t.Fatalf("read delivered %d bytes, max 7", n)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTornDeliversOneByte(t *testing.T) {
+	r := Torn(strings.NewReader("hello"))
+	buf := make([]byte, 16)
+	n, err := r.Read(buf)
+	if err != nil || n != 1 {
+		t.Fatalf("Read = (%d, %v), want (1, nil)", n, err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil || string(buf[:1])+string(got) != "hello" {
+		t.Fatalf("reassembled %q (err %v)", string(buf[:1])+string(got), err)
+	}
+}
+
+func TestSlowPassesDataThrough(t *testing.T) {
+	r := Slow(strings.NewReader("data"), time.Millisecond)
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "data" {
+		t.Fatalf("ReadAll = (%q, %v)", got, err)
+	}
+}

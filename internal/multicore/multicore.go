@@ -11,6 +11,8 @@
 package multicore
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -63,24 +65,51 @@ func New(p *isa.Program, n int, cfg arch.Config, overlap int) (*Engine, error) {
 // Cores returns the core count.
 func (e *Engine) Cores() int { return len(e.cores) }
 
+// ChunkFailure records one core's fault during a run: the failing
+// chunk, the positional error (offsets rebased to the whole stream),
+// and the matches the core had already completed and owned before the
+// fault — the raw material of the engine layer's Skip and Degrade
+// containment policies.
+type ChunkFailure struct {
+	Core    int
+	Chunk   stream.Chunk
+	Err     error
+	Partial []arch.Match
+}
+
 // Result aggregates one multi-core run.
 type Result struct {
 	// Matches are the non-overlapping matches found, in stream order,
-	// each owned by the core whose chunk contains its start.
+	// each owned by the core whose chunk contains its start. Chunks
+	// listed in Failed contribute no matches here.
 	Matches []arch.Match
 	// WallCycles is the parallel execution time in cycles: the slowest
 	// core bounds the run (cores operate independently).
 	WallCycles int64
 	// TotalCycles sums all cores' cycles (the energy-relevant count).
 	TotalCycles int64
-	// PerCore reports each core's counters for this run.
+	// PerCore reports each core's counters for this run, including the
+	// cycles failing cores burned before their fault.
 	PerCore []arch.Stats
+	// Failed lists the chunks whose core faulted; empty on a clean run.
+	// Run still returns a non-nil error when any chunk failed, so
+	// callers that ignore Failed keep fail-stop semantics.
+	Failed []ChunkFailure
 }
 
 // Run searches the whole stream with all cores in parallel and merges
 // the results. Each core owns the matches starting inside its chunk and
 // may read up to overlap bytes past it to complete them.
 func (e *Engine) Run(data []byte) (Result, error) {
+	return e.RunCtx(context.Background(), data)
+}
+
+// RunCtx is Run with cooperative cancellation: every core polls ctx
+// while it executes, so a cancel or deadline stops all chunks. On any
+// chunk fault the partial Result (healthy chunks' matches, per-chunk
+// failure records) is returned together with the first failure, wrapped
+// with its core index.
+func (e *Engine) RunCtx(ctx context.Context, data []byte) (Result, error) {
 	chunks := stream.Plan(len(data), len(e.cores), e.overlap)
 	type coreOut struct {
 		matches []arch.Match
@@ -95,32 +124,43 @@ func (e *Engine) Run(data []byte) (Result, error) {
 			defer wg.Done()
 			core := e.cores[i]
 			core.Reset()
-			ms, err := core.FindAll(data[c.Lo:c.Ext], 0)
+			ms, err := core.FindAllCtx(ctx, data[c.Lo:c.Ext], 0)
+			outs[i].stats = core.Stats()
 			if err != nil {
+				// Rebase the window-relative fault offset to the stream.
+				var ee *arch.ExecError
+				if errors.As(err, &ee) {
+					err = &arch.ExecError{Offset: c.Lo + ee.Offset, Cycle: ee.Cycle, Err: ee.Err}
+				}
 				outs[i].err = err
-				return
 			}
 			outs[i].matches = stream.OwnMatches(ms, c.Lo, c.Hi)
-			outs[i].stats = core.Stats()
 		}(i, c)
 	}
 	wg.Wait()
 
 	var res Result
+	var firstErr error
 	for i := range outs {
-		if outs[i].err != nil {
-			return Result{}, fmt.Errorf("core %d: %w", i, outs[i].err)
-		}
-		res.Matches = append(res.Matches, outs[i].matches...)
 		res.PerCore = append(res.PerCore, outs[i].stats)
 		cycles := outs[i].stats.Cycles + StartupCycles
 		res.TotalCycles += cycles
 		if cycles > res.WallCycles {
 			res.WallCycles = cycles
 		}
+		if outs[i].err != nil {
+			res.Failed = append(res.Failed, ChunkFailure{
+				Core: i, Chunk: chunks[i], Err: outs[i].err, Partial: outs[i].matches,
+			})
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core %d: %w", i, outs[i].err)
+			}
+			continue
+		}
+		res.Matches = append(res.Matches, outs[i].matches...)
 	}
 	sort.Slice(res.Matches, func(a, b int) bool { return res.Matches[a].Start < res.Matches[b].Start })
-	return res, nil
+	return res, firstErr
 }
 
 // Count runs the engine and returns only the match count and timing.

@@ -20,6 +20,8 @@
 package stream
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -29,6 +31,29 @@ import (
 
 // DefaultChunkSize is the refill granularity in bytes.
 const DefaultChunkSize = 64 * 1024
+
+// ReadError reports a stream-level failure at an absolute byte offset:
+// a refill whose underlying reader failed, or a cancellation observed
+// between windows. Offset is the stream position of the first byte that
+// could not be processed, the exact point a caller can resume from.
+type ReadError struct {
+	Offset int64
+	Err    error
+}
+
+func (e *ReadError) Error() string {
+	return fmt.Sprintf("stream: read at offset %d: %v", e.Offset, e.Err)
+}
+
+func (e *ReadError) Unwrap() error { return e.Err }
+
+// Finder is the execution interface the scanner drives: one leftmost
+// search from a resume offset, honouring ctx. *arch.Core implements it;
+// internal/core wraps cores with policy-applying finders (safe-engine
+// fallback, skip containment) that slot in transparently.
+type Finder interface {
+	FindFromCtx(ctx context.Context, data []byte, from int) (arch.Match, bool, error)
+}
 
 // Config parameterises a Scanner. The zero value selects the defaults.
 type Config struct {
@@ -57,10 +82,10 @@ func (c Config) withDefaults() Config {
 // call; copy it to retain it. Returning false stops the scan.
 type EmitFunc func(m arch.Match, text []byte) bool
 
-// Scanner scans unbounded streams with one execution core.
+// Scanner scans unbounded streams with one execution finder.
 type Scanner struct {
-	core *arch.Core
-	cfg  Config
+	f   Finder
+	cfg Config
 }
 
 // New builds a scanner with a private core for the compiled program.
@@ -76,22 +101,45 @@ func New(p *isa.Program, hw arch.Config, cfg Config) (*Scanner, error) {
 // core's lifecycle). The scanner inherits the core's single-goroutine
 // discipline.
 func ForCore(core *arch.Core, cfg Config) *Scanner {
-	return &Scanner{core: core, cfg: cfg.withDefaults()}
+	return &Scanner{f: core, cfg: cfg.withDefaults()}
 }
 
-// Core returns the scanner's execution core (counters live there).
-func (s *Scanner) Core() *arch.Core { return s.core }
+// ForFinder wraps an arbitrary finder — the hook the engine layer uses
+// to scan through a policy-applying wrapper instead of a bare core.
+func ForFinder(f Finder, cfg Config) *Scanner {
+	return &Scanner{f: f, cfg: cfg.withDefaults()}
+}
+
+// Core returns the scanner's execution core, or nil when the scanner
+// drives a wrapped finder (counters then live behind the wrapper).
+func (s *Scanner) Core() *arch.Core {
+	c, _ := s.f.(*arch.Core)
+	return c
+}
 
 // Scan consumes r to EOF, emitting every match in stream order.
 // It returns the number of bytes consumed from r. The scan stops early
 // without error when emit returns false.
 func (s *Scanner) Scan(r io.Reader, emit EmitFunc) (int64, error) {
+	return s.ScanCtx(context.Background(), r, emit)
+}
+
+// ScanCtx is Scan with cooperative cancellation: ctx is checked at
+// every window boundary and, through the finder, every
+// arch.CancelCheckCycles simulated cycles inside a window. Errors are
+// positional — a *ReadError for refill failures and between-window
+// cancellation, an *arch.ExecError (rebased to absolute stream offsets)
+// for execution faults.
+func (s *Scanner) ScanCtx(ctx context.Context, r io.Reader, emit EmitFunc) (int64, error) {
 	chunk, overlap := s.cfg.ChunkSize, s.cfg.Overlap
 	buf := make([]byte, 0, chunk+overlap)
 	base := 0 // stream offset of buf[0]
 	pos := 0  // resume offset of the one-shot FindAll discipline
 	final := false
 	for !final {
+		if cerr := ctx.Err(); cerr != nil {
+			return int64(base + len(buf)), &ReadError{Offset: int64(base + len(buf)), Err: cerr}
+		}
 		have := len(buf)
 		buf = buf[:have+chunk]
 		n, err := io.ReadFull(r, buf[have:])
@@ -101,9 +149,11 @@ func (s *Scanner) Scan(r io.Reader, emit EmitFunc) (int64, error) {
 		case io.EOF, io.ErrUnexpectedEOF:
 			final = true
 		default:
-			return int64(base + len(buf)), fmt.Errorf("stream: read at offset %d: %w", base+have, err)
+			// base+len(buf) is the offset of the first byte the refill
+			// could not deliver — the exact resume point.
+			return int64(base + len(buf)), &ReadError{Offset: int64(base + len(buf)), Err: err}
 		}
-		npos, cont, werr := ScanWindow(s.core, buf, base, final, overlap, pos, emit)
+		npos, cont, werr := ScanWindowCtx(ctx, s.f, buf, base, final, overlap, pos, emit)
 		pos = npos
 		if werr != nil || !cont {
 			return int64(base + len(buf)), werr
@@ -137,6 +187,14 @@ func (s *Scanner) Scan(r io.Reader, emit EmitFunc) (int64, error) {
 // The helper is shared by Scanner and by the rule-set streaming scan,
 // which runs one resume position per rule over a common window buffer.
 func ScanWindow(core *arch.Core, buf []byte, base int, final bool, overlap, pos int, emit EmitFunc) (npos int, cont bool, err error) {
+	return ScanWindowCtx(context.Background(), core, buf, base, final, overlap, pos, emit)
+}
+
+// ScanWindowCtx is ScanWindow over any finder, with cooperative
+// cancellation. Execution errors carrying a window-relative offset
+// (*arch.ExecError) are rebased to absolute stream offsets before they
+// are returned.
+func ScanWindowCtx(ctx context.Context, f Finder, buf []byte, base int, final bool, overlap, pos int, emit EmitFunc) (npos int, cont bool, err error) {
 	limit := base + len(buf)
 	ownEnd := limit
 	if !final {
@@ -149,8 +207,12 @@ func ScanWindow(core *arch.Core, buf []byte, base int, final bool, overlap, pos 
 		if !final && pos >= ownEnd {
 			break
 		}
-		m, ok, ferr := core.FindFrom(buf, pos-base)
+		m, ok, ferr := f.FindFromCtx(ctx, buf, pos-base)
 		if ferr != nil {
+			var ee *arch.ExecError
+			if errors.As(ferr, &ee) && ee.Offset <= len(buf) {
+				ferr = &arch.ExecError{Offset: base + ee.Offset, Cycle: ee.Cycle, Err: ee.Err}
+			}
 			return pos, false, ferr
 		}
 		if !ok {
