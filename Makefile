@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check fuzz fuzzsmoke leakcheck
+.PHONY: build test vet race check fuzz fuzzsmoke leakcheck benchguard benchbaseline bench
 
 build:
 	$(GO) build ./...
@@ -36,3 +36,21 @@ fuzzsmoke:
 ## stuck worker or an undrained pool fails loudly.
 leakcheck:
 	$(GO) test -race -run 'TestFaultMatrix|TestCancelMidScan|TestRuleSetEarlyStopDrains|TestRuleSetFaultIsolation' .
+
+## bench: the enabled-vs-disabled observability benchmarks (plus the
+## rest of the benchmark suite lives under `go test -bench=.`).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkMetricsOverhead -benchmem .
+
+## benchguard: fail if the metrics-DISABLED hot path regresses more
+## than 3% against the committed wall-clock baseline
+## (testdata/bench_guard_baseline.txt). Machine-specific by nature —
+## regenerate the baseline with `make benchbaseline` on a new machine
+## or after an intentional hot-path change.
+benchguard:
+	ALVEARE_BENCHGUARD=1 $(GO) test -run TestBenchGuard -v .
+
+## benchbaseline: re-measure the disabled hot path and rewrite the
+## committed baseline benchguard compares against.
+benchbaseline:
+	ALVEARE_BENCHGUARD=update $(GO) test -run TestBenchGuard -v .

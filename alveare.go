@@ -25,9 +25,13 @@
 package alveare
 
 import (
+	"io"
+
+	"alveare/internal/arch"
 	"alveare/internal/backend"
 	"alveare/internal/core"
 	"alveare/internal/ir"
+	"alveare/internal/metrics"
 )
 
 // Program is a compiled, loadable ALVEARE executable.
@@ -93,6 +97,46 @@ const (
 
 // WithPolicy selects the failure policy (default FailFast).
 func WithPolicy(p Policy) Option { return core.WithPolicy(p) }
+
+// WithMetrics enables the detailed observability counters — per-stage
+// cycle attribution (fetch/decode/execute/aggregate), speculation
+// pop/flush accounting, L1 hit/miss classification and per-compute-unit
+// utilization. Off by default; the hot execution loop then pays only a
+// nil check per sample site. Snapshots come from
+// Engine.MetricsSnapshot / RuleSet.MetricsSnapshot.
+func WithMetrics() Option { return core.WithMetrics() }
+
+// Tracer observes execution trace events (instruction dispatch,
+// speculation pushes, rollbacks, flushes, matches); see internal/arch
+// for the event schema and arch.RingTracer for the ring-buffer capture
+// behind the tools' Chrome-trace export.
+type Tracer = arch.Tracer
+
+// WithTracer installs a tracer on every core of the engine or rule set.
+// Scale-out and pooled cores run concurrently, so the tracer must be
+// safe for concurrent use (RingTracer over a shared Ring is).
+func WithTracer(t Tracer) Option { return core.WithTracer(t) }
+
+// Snapshot is a point-in-time copy of an observability registry,
+// sorted by metric name and stamped with its schema version; WriteJSON
+// and WriteText render it byte-deterministically.
+type Snapshot = metrics.Snapshot
+
+// Ring is a fixed-capacity wraparound event buffer, safe for
+// concurrent appends — one instance can be shared by every core of a
+// scale-out engine or rule-set pool.
+type Ring = metrics.Ring
+
+// NewRing returns a Ring holding the most recent n events.
+func NewRing(n int) *Ring { return metrics.NewRing(n) }
+
+// RingTracer adapts a Ring into a Tracer, capturing the execution
+// timeline for WriteChromeTrace.
+func RingTracer(r *Ring) Tracer { return arch.RingTracer(r) }
+
+// WriteChromeTrace renders a captured ring as a Chrome trace-event
+// JSON document, viewable at chrome://tracing or in Perfetto.
+func WriteChromeTrace(w io.Writer, r *Ring) error { return arch.WriteChromeTrace(w, r) }
 
 // WithBudget caps the speculative core's cycle budget per scan attempt
 // (default 2^40, effectively unbounded). A tight budget makes

@@ -340,6 +340,50 @@ func BenchmarkEngineFindClassQuant(b *testing.B) {
 	}
 }
 
+// BenchmarkMetricsOverhead measures the execution core with the
+// detailed observability counters off (the default; the hot loop pays
+// one nil check per sample site) and on. The disabled timing is the
+// one `make benchguard` holds to the committed baseline within 3%.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"disabled", false}, {"enabled", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			benchMetricsWorkload(b, mode.enabled)
+		})
+	}
+}
+
+// benchMetricsWorkload is the shared hot-path workload: a class/
+// quantifier pattern with real speculation traffic over 64 KiB, on one
+// reused core. benchguard_test.go measures the same function.
+func benchMetricsWorkload(b *testing.B, enabled bool) {
+	b.Helper()
+	p, err := backend.Compile(`[a-z0-9]{8,16}@[a-z]+`, backend.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := arch.DefaultConfig()
+	cfg.Metrics = enabled
+	c, err := arch.NewCore(p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := []byte("x")
+	for len(data) < 64<<10 {
+		data = append(data, " lorem ipsum dolor sit amet user12345@example"...)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Reset()
+		if _, err := c.FindAll(data, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func compileSuite(b *testing.B, suite *anmlzoo.Suite) []*alveare.Program {
 	b.Helper()
 	var progs []*alveare.Program

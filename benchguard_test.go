@@ -1,0 +1,88 @@
+package alveare_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The benchmark guard holds the metrics-DISABLED hot path — the default
+// configuration every user runs — to the committed baseline: adding
+// observability must stay free when it is switched off. The measurement
+// is wall-clock and therefore machine-specific, so the guard only runs
+// when asked for explicitly:
+//
+//	make benchguard        # compare against testdata/bench_guard_baseline.txt
+//	make benchbaseline     # re-measure and rewrite the baseline
+//
+// (equivalently ALVEARE_BENCHGUARD=1 / ALVEARE_BENCHGUARD=update with
+// `go test -run TestBenchGuard`). Regenerate the baseline on a new
+// machine or after an intentional hot-path change.
+
+const (
+	benchGuardBaselineFile = "testdata/bench_guard_baseline.txt"
+	// benchGuardTolerance is the allowed regression of the disabled
+	// path: 3% over the committed ns/op.
+	benchGuardTolerance = 1.03
+	// benchGuardRounds measurements are taken and the fastest kept, to
+	// damp scheduler noise.
+	benchGuardRounds = 5
+)
+
+// benchGuardMeasure returns the best-of-N ns/op of the shared hot-path
+// workload (benchMetricsWorkload in bench_test.go).
+func benchGuardMeasure(enabled bool) float64 {
+	best := 0.0
+	for i := 0; i < benchGuardRounds; i++ {
+		r := testing.Benchmark(func(b *testing.B) { benchMetricsWorkload(b, enabled) })
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+func TestBenchGuard(t *testing.T) {
+	mode := os.Getenv("ALVEARE_BENCHGUARD")
+	if mode == "" {
+		t.Skip("wall-clock guard; run via `make benchguard` (ALVEARE_BENCHGUARD=1)")
+	}
+	disabled := benchGuardMeasure(false)
+
+	if mode == "update" {
+		line := fmt.Sprintf("disabled_ns_per_op %.0f\n", disabled)
+		if err := os.WriteFile(benchGuardBaselineFile, []byte(line), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("baseline rewritten: %s", strings.TrimSpace(line))
+		return
+	}
+
+	raw, err := os.ReadFile(benchGuardBaselineFile)
+	if err != nil {
+		t.Fatalf("%v (run `make benchbaseline` to create it)", err)
+	}
+	fields := strings.Fields(string(raw))
+	if len(fields) != 2 || fields[0] != "disabled_ns_per_op" {
+		t.Fatalf("malformed baseline %q", string(raw))
+	}
+	baseline, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil || baseline <= 0 {
+		t.Fatalf("malformed baseline value %q: %v", fields[1], err)
+	}
+
+	limit := baseline * benchGuardTolerance
+	t.Logf("disabled path: %.0f ns/op (baseline %.0f, limit %.0f)", disabled, baseline, limit)
+	if disabled > limit {
+		t.Errorf("metrics-disabled hot path regressed: %.0f ns/op > %.0f ns/op (baseline %.0f +3%%)",
+			disabled, limit, baseline)
+	}
+
+	// Informational: what turning the counters on costs. Not a gate —
+	// enabled runs opt into the cost — but large jumps are worth seeing.
+	enabled := benchGuardMeasure(true)
+	t.Logf("enabled path: %.0f ns/op (%.1f%% over disabled)", enabled, (enabled/disabled-1)*100)
+}

@@ -1,0 +1,162 @@
+package alveare_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The -metrics snapshots are a versioned, deterministic output contract:
+// stable key order, pinned schema number, byte-identical across replays
+// of the same input. These golden tests pin that contract for every
+// tool. Regenerate with:
+//
+//	go test -run TestCLIMetricsGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden -metrics snapshots")
+
+// metricsRun invokes one tool with -metrics FILE plus args and returns
+// the snapshot bytes, running the tool twice to assert replay
+// determinism at the process level.
+func metricsRun(t *testing.T, name, stdin string, args ...string) []byte {
+	t.Helper()
+	capture := func() []byte {
+		out := filepath.Join(t.TempDir(), "metrics.json")
+		full := append([]string{"-metrics", out}, args...)
+		if stdout, code := run(t, name, stdin, full...); code > 1 {
+			t.Fatalf("%s %v: exit %d\n%s", name, full, code, stdout)
+		}
+		b, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	first := capture()
+	if second := capture(); !bytes.Equal(first, second) {
+		t.Fatalf("%s -metrics not replay-deterministic:\n%s\nvs\n%s", name, first, second)
+	}
+	return first
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	// Every snapshot carries the schema version; a bump forces a
+	// deliberate golden regeneration.
+	if !bytes.Contains(got, []byte(`"schema":1`)) {
+		t.Fatalf("snapshot missing schema pin:\n%s", got)
+	}
+	var doc struct {
+		Schema  int `json:"schema"`
+		Metrics []struct {
+			Name string `json:"name"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v\n%s", err, got)
+	}
+	for i := 1; i < len(doc.Metrics); i++ {
+		if doc.Metrics[i-1].Name > doc.Metrics[i].Name {
+			t.Fatalf("snapshot keys not sorted: %q > %q", doc.Metrics[i-1].Name, doc.Metrics[i].Name)
+		}
+	}
+	golden := filepath.Join("testdata", "metrics_"+name+".json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestCLIMetricsGolden -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s snapshot drifted from golden:\n got: %s\nwant: %s", name, got, want)
+	}
+}
+
+func TestCLIMetricsGolden(t *testing.T) {
+	t.Run("alvearec", func(t *testing.T) {
+		checkGolden(t, "alvearec", metricsRun(t, "alvearec", "", "([a-z0-9]+)@acme"))
+	})
+	t.Run("alvearerun", func(t *testing.T) {
+		stdin := strings.Repeat("log in bob@acme out 404 eve@acme done\n", 20)
+		checkGolden(t, "alvearerun", metricsRun(t, "alvearerun", stdin,
+			"-all", "-q", "[a-z]+@acme", "-"))
+	})
+	t.Run("alvearescan", func(t *testing.T) {
+		dir := t.TempDir()
+		rules := filepath.Join(dir, "rules.txt")
+		if err := os.WriteFile(rules, []byte("[a-z]+@acme\n[0-9]{3}\nneedle\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		stdin := strings.Repeat("log in bob@acme out 404 needle done\n", 20)
+		// -workers 1 keeps the per-worker occupancy breakdown
+		// deterministic; totals replay regardless of the pool width.
+		checkGolden(t, "alvearescan", metricsRun(t, "alvearescan", stdin,
+			"-rules", rules, "-workers", "1", "-q", "-"))
+	})
+	t.Run("alvearegen", func(t *testing.T) {
+		checkGolden(t, "alvearegen", metricsRun(t, "alvearegen", "",
+			"-suite", "snort", "-patterns", "5", "-size", "4096", "-seed", "2024", "-o", t.TempDir()))
+	})
+	t.Run("alvearebench", func(t *testing.T) {
+		checkGolden(t, "alvearebench", metricsRun(t, "alvearebench", "", "-exp", "table2", "-v=false"))
+	})
+}
+
+// TestCLIScanChromeTrace smoke-parses the -trace output: a valid
+// Chrome trace-event document with the speculation timeline in it.
+func TestCLIScanChromeTrace(t *testing.T) {
+	dir := t.TempDir()
+	rules := filepath.Join(dir, "rules.txt")
+	if err := os.WriteFile(rules, []byte("(a|ab)+c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	traceFile := filepath.Join(dir, "trace.json")
+	out, code := run(t, "alvearescan", "xx ababc yy abc zz",
+		"-rules", rules, "-q", "-trace", traceFile, "-")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   int64  `json:"ts"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	kinds := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event phase %q, want X", ev.Ph)
+		}
+		kinds[ev.Name] = true
+	}
+	for _, want := range []string{"exec", "attempt", "spec-push"} {
+		if !kinds[want] {
+			t.Errorf("trace missing %q events (have %v)", want, kinds)
+		}
+	}
+	if doc.OtherData["clock"] == nil {
+		t.Error("trace missing otherData.clock")
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"alveare/internal/bench"
 	"alveare/internal/cli"
+	"alveare/internal/metrics"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "also write a machine-readable report to this file")
 		csvOut   = flag.String("csv", "", "also write the Figure 4/5 series as CSV to this file")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (exit status 124)")
+		metricsF = flag.String("metrics", "", cli.MetricsUsage)
 	)
 	flag.Parse()
 	// The harness drives long experiments that do not poll a context;
@@ -49,6 +51,7 @@ func main() {
 		}
 	}
 
+	experiments := int64(0)
 	run := func(name string, f func() error) {
 		start := time.Now()
 		fmt.Printf("==> %s\n", name)
@@ -56,6 +59,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "alvearebench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		experiments++
 		fmt.Printf("    (%s)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 
@@ -149,5 +153,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("series written to", *csvOut)
+	}
+	if *metricsF != "" {
+		r := metrics.New()
+		r.Counter("bench.experiments").Store(experiments)
+		r.Counter("bench.table2.rows").Store(int64(len(report.Table2)))
+		r.Counter("bench.figures.suites").Store(int64(len(report.Figures)))
+		r.Counter("bench.scaling.rows").Store(int64(len(report.Scaling)))
+		r.Counter("bench.ablation.rows").Store(int64(len(report.Ablation)))
+		if err := cli.WriteMetrics(*metricsF, r.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "alvearebench:", err)
+			os.Exit(1)
+		}
 	}
 }

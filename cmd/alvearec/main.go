@@ -20,6 +20,7 @@ import (
 	"alveare/internal/backend"
 	"alveare/internal/cli"
 	"alveare/internal/isa"
+	"alveare/internal/metrics"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 		optable  = flag.Bool("optable", false, "print the ISA operation classes (paper Table 1) and exit")
 		count    = flag.Bool("count", false, "print minimal vs advanced instruction counts and exit")
 		timeout  = flag.Duration("timeout", 0, "abort after this duration (exit status 124)")
+		metricsF = flag.String("metrics", "", cli.MetricsUsage)
 	)
 	flag.Parse()
 	// The compiler cannot poll a context mid-pass; the watchdog aborts
@@ -80,6 +82,13 @@ func main() {
 		fatalIf(err)
 		fmt.Printf("minimal: %d ops, advanced: %d ops, reduction: %.2fx (EoR excluded)\n",
 			min.OpCount(), adv.OpCount(), float64(min.OpCount())/float64(adv.OpCount()))
+		writeMetrics(*metricsF, func(r *metrics.Registry) {
+			r.Counter("compiler.patterns").Store(1)
+			r.Counter("compiler.instructions").Store(int64(adv.Len()))
+			r.Counter("compiler.instructions.ops").Store(int64(adv.OpCount()))
+			r.Counter("compiler.instructions.minimal").Store(int64(min.Len()))
+			r.Counter("compiler.instructions.minimal.ops").Store(int64(min.OpCount()))
+		})
 		return
 	}
 
@@ -102,6 +111,22 @@ func main() {
 		fatalIf(os.WriteFile(*out, bin, 0o644))
 		fmt.Printf("; wrote %d bytes to %s\n", len(bin), *out)
 	}
+	writeMetrics(*metricsF, func(r *metrics.Registry) {
+		r.Counter("compiler.patterns").Store(1)
+		r.Counter("compiler.instructions").Store(int64(p.Len()))
+		r.Counter("compiler.instructions.ops").Store(int64(p.OpCount()))
+	})
+}
+
+// writeMetrics publishes the compiler's counters into a fresh registry
+// and serialises the snapshot per the -metrics flag (no-op when unset).
+func writeMetrics(mode string, fill func(*metrics.Registry)) {
+	if mode == "" {
+		return
+	}
+	r := metrics.New()
+	fill(r)
+	fatalIf(cli.WriteMetrics(mode, r.Snapshot()))
 }
 
 func argRE() string {

@@ -18,6 +18,7 @@ import (
 
 	"alveare/internal/anmlzoo"
 	"alveare/internal/cli"
+	"alveare/internal/metrics"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		size     = flag.Int("size", 0, "dataset bytes (0 = paper's 1 MiB)")
 		seed     = flag.Int64("seed", 2024, "generator seed")
 		timeout  = flag.Duration("timeout", 0, "abort after this duration (exit status 124)")
+		metricsF = flag.String("metrics", "", cli.MetricsUsage)
 	)
 	flag.Parse()
 	// Generation cannot poll a context; the watchdog aborts the process
@@ -49,6 +51,7 @@ func main() {
 		}
 		suites = []*anmlzoo.Suite{s}
 	}
+	var nRules, nBytes int64
 	for _, s := range suites {
 		base := filepath.Join(*out, strings.ToLower(s.Name))
 		rules := strings.Join(s.Patterns, "\n") + "\n"
@@ -58,8 +61,19 @@ func main() {
 		if err := os.WriteFile(base+".data", s.Dataset, 0o644); err != nil {
 			fatal(err)
 		}
+		nRules += int64(len(s.Patterns))
+		nBytes += int64(len(s.Dataset))
 		fmt.Printf("%s: %d rules -> %s.rules, %d bytes -> %s.data\n",
 			s.Name, len(s.Patterns), base, len(s.Dataset), base)
+	}
+	if *metricsF != "" {
+		r := metrics.New()
+		r.Counter("gen.suites").Store(int64(len(suites)))
+		r.Counter("gen.rules").Store(nRules)
+		r.Counter("gen.bytes").Store(nBytes)
+		if err := cli.WriteMetrics(*metricsF, r.Snapshot()); err != nil {
+			fatal(err)
+		}
 	}
 }
 

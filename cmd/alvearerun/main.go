@@ -6,7 +6,7 @@
 //
 //	alvearerun [-cores N] [-all] [-stats] [-chunk N] [-overlap N]
 //	           [-policy failfast|degrade|skip] [-budget N] [-timeout D]
-//	           'regex' [file...]
+//	           [-metrics MODE] 'regex' [file...]
 //
 // With no files, data is read from standard input. Single-core runs
 // without -trace/-vcd stream the input through a chunked window
@@ -53,6 +53,7 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "abort the run after this duration (exit status 124)")
 		policyF = flag.String("policy", "failfast", "runaway containment: failfast, degrade or skip")
 		budget  = flag.Int64("budget", 0, "cycle budget per scan attempt; pathological backtracking past it trips the -policy containment (0 = effectively unbounded)")
+		metricsF = flag.String("metrics", "", cli.MetricsUsage)
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -69,9 +70,13 @@ func main() {
 	defer stop()
 	prog, err := alveare.Compile(flag.Arg(0))
 	fatalIf(err)
-	eng, err := alveare.NewEngine(prog, alveare.WithCores(*cores),
+	opts := []alveare.Option{alveare.WithCores(*cores),
 		alveare.WithChunkSize(*chunk), alveare.WithOverlap(*olap),
-		alveare.WithPolicy(policy), alveare.WithBudget(*budget))
+		alveare.WithPolicy(policy), alveare.WithBudget(*budget)}
+	if *metricsF != "" {
+		opts = append(opts, alveare.WithMetrics())
+	}
+	eng, err := alveare.NewEngine(prog, opts...)
 	fatalIf(err)
 
 	// Tracing runs on a dedicated single core so the trace and the
@@ -113,7 +118,7 @@ func main() {
 		// The common case — one core, no tracing — streams the input
 		// through a bounded window instead of slurping it.
 		if traceCore == nil && *cores == 1 {
-			if scanStream(eng, name, label, *all, *stats, *quiet) {
+			if scanStream(eng, name, label, *all, *stats, *quiet, *metricsF != "") {
 				found = true
 			}
 			continue
@@ -159,6 +164,7 @@ func main() {
 			fmt.Printf("  modelled time @300MHz: %.3g s\n", perf.AlveareTime(st.Cycles))
 		}
 	}
+	fatalIf(cli.WriteMetrics(*metricsF, eng.MetricsSnapshot()))
 	if !found {
 		os.Exit(1)
 	}
@@ -167,11 +173,15 @@ func main() {
 // scanStream runs one input through the chunked reader scan and prints
 // results in the same format as the in-memory paths. It reports
 // whether anything matched.
-func scanStream(eng *alveare.Engine, name, label string, all, stats, quiet bool) bool {
+func scanStream(eng *alveare.Engine, name, label string, all, stats, quiet, keepStats bool) bool {
 	in, closeIn, err := openInput(name)
 	fatalIf(err)
 	defer closeIn()
-	eng.ResetStats()
+	// -metrics reports one snapshot for the whole run; counters then
+	// accumulate across inputs instead of resetting per file.
+	if !keepStats {
+		eng.ResetStats()
+	}
 	matched := false
 	n := 0
 	_, err = eng.ScanReaderCtx(ctx, in, func(m alveare.Match, text []byte) bool {

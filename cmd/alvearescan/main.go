@@ -8,7 +8,8 @@
 //
 //	alvearescan -rules rules.txt [-workers N] [-chunk N] [-overlap N]
 //	            [-policy failfast|degrade|skip] [-budget N] [-timeout D]
-//	            [-stats] [-q] [file...]
+//	            [-stats] [-q] [-metrics MODE] [-trace FILE] [-pprof ADDR]
+//	            [file...]
 //
 // The rules file holds one regular expression per line; blank lines
 // and lines starting with '#' are skipped. With no files, data is read
@@ -19,18 +20,31 @@
 // retry on the safe linear-time engine (degrade), or retire the rule
 // and keep scanning (skip). -budget sets that per-attempt cycle cap
 // (the default 2^40 effectively never trips).
+//
+// Observability: -metrics writes a deterministic snapshot of the
+// detailed counters after the scan ('text' or 'json' to stdout, any
+// other value names a JSON file); -trace FILE captures the speculation
+// timeline (pushes, rollbacks, flushes) into a Chrome trace-event file
+// viewable in chrome://tracing or Perfetto; -pprof ADDR serves
+// net/http/pprof and expvar (the live metrics snapshot is published as
+// the "alveare" var) on the given address for the duration of the run.
 package main
 
 import (
 	"bufio"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
 	"alveare"
+	"alveare/internal/arch"
 	"alveare/internal/cli"
+	"alveare/internal/metrics"
 	"alveare/internal/perf"
 )
 
@@ -45,6 +59,9 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort the scan after this duration (exit status 124)")
 		policyF   = flag.String("policy", "failfast", "runaway containment: failfast, degrade or skip")
 		budget    = flag.Int64("budget", 0, "cycle budget per rule scan attempt; pathological backtracking past it trips the -policy containment (0 = effectively unbounded)")
+		metricsF  = flag.String("metrics", "", cli.MetricsUsage)
+		traceOut  = flag.String("trace", "", "write the speculation timeline as a Chrome trace-event file (chrome://tracing)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address for the run's duration")
 	)
 	flag.Parse()
 	if *rulesPath == "" {
@@ -63,10 +80,30 @@ func main() {
 	if len(rules) == 0 {
 		fatalIf(fmt.Errorf("%s: no rules", *rulesPath))
 	}
-	rs, err := alveare.NewRuleSet(rules, alveare.CompilerOptions{},
+	opts := []alveare.Option{
 		alveare.WithWorkers(*workers), alveare.WithChunkSize(*chunk), alveare.WithOverlap(*olap),
-		alveare.WithPolicy(policy), alveare.WithBudget(*budget))
+		alveare.WithPolicy(policy), alveare.WithBudget(*budget),
+	}
+	if *metricsF != "" {
+		opts = append(opts, alveare.WithMetrics())
+	}
+	var ring *metrics.Ring
+	if *traceOut != "" {
+		ring = metrics.NewRing(metrics.DefaultRingCapacity)
+		opts = append(opts, alveare.WithTracer(arch.RingTracer(ring)))
+	}
+	rs, err := alveare.NewRuleSet(rules, alveare.CompilerOptions{}, opts...)
 	fatalIf(err)
+	if *pprofAddr != "" {
+		// The live snapshot rides along on /debug/vars next to the pprof
+		// endpoints; the server dies with the process.
+		expvar.Publish("alveare", expvar.Func(func() any { return rs.MetricsSnapshot() }))
+		go func() {
+			if serr := http.ListenAndServe(*pprofAddr, nil); serr != nil {
+				fmt.Fprintln(os.Stderr, "alvearescan: pprof:", serr)
+			}
+		}()
+	}
 
 	files := flag.Args()
 	if len(files) == 0 {
@@ -80,7 +117,12 @@ func main() {
 		}
 		in, closeIn, err := openInput(name)
 		fatalIf(err)
-		rs.ResetStats()
+		// -metrics reports one snapshot for the whole run, so the roll-ups
+		// accumulate across inputs in that mode; otherwise -stats prints
+		// per-input counters.
+		if *metricsF == "" {
+			rs.ResetStats()
+		}
 		hits := 0
 		consumed, err := rs.ScanReaderCtx(ctx, in, func(rule int, m alveare.Match, text []byte) bool {
 			found = true
@@ -106,6 +148,19 @@ func main() {
 				st.Cycles, st.Instructions, st.Speculations, st.Rollbacks, perf.AlveareTime(st.Cycles))
 		}
 	}
+	if ring != nil {
+		f, err := os.Create(*traceOut)
+		fatalIf(err)
+		err = arch.WriteChromeTrace(f, ring)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		fatalIf(err)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "alvearescan: %d trace events -> %s (chrome://tracing)\n", ring.Len(), *traceOut)
+		}
+	}
+	fatalIf(cli.WriteMetrics(*metricsF, rs.MetricsSnapshot()))
 	if !found {
 		os.Exit(1)
 	}

@@ -67,6 +67,12 @@ type Config struct {
 	// Off by default: the paper's baseline design scans with the first
 	// instruction only.
 	EnablePrefilter bool
+	// Metrics enables the detailed observability counters (per-stage
+	// cycle attribution, speculation push/pop/flush accounting,
+	// data-memory hit/miss classification, per-CU utilization). Off by
+	// default: the hot loop then pays one nil check per sample site and
+	// the detailed Stats fields stay zero.
+	Metrics bool
 }
 
 // DefaultConfig returns the paper's design point: four compute units,
@@ -128,6 +134,49 @@ type Stats struct {
 	Runaways       int64
 	Fallbacks      int64
 	CancelledScans int64
+
+	// RetriedCycles attributes the cycles burned by match attempts that
+	// ended in a recoverable fault (ErrRunaway, ErrStackOverflow) — the
+	// poisoned region a Degrade or Skip retry re-pays. Cycles always
+	// includes them; Cycles - RetriedCycles is the productive count, so
+	// roll-ups across policy retries no longer double-count the
+	// poisoned work. Unlike the detailed counters below this one is
+	// always maintained: it is a correctness fix, and costs one
+	// subtraction per faulting attempt.
+	RetriedCycles int64
+
+	// Detailed observability counters, maintained only when
+	// Config.Metrics is set (the hot loop pays a nil check otherwise).
+	//
+	// Per-stage cycle attribution. Every simulated cycle lands in
+	// exactly one stage: Fetch (multi-CU candidate scanning and
+	// small-RAM refills — the memory-facing work), Decode (entering
+	// operators and EoR, the decode/control units), Execute (vector-unit
+	// base operations, including fused closes), Aggregate (standalone
+	// closes, alternation chain steps and speculation rollbacks — the
+	// aggregator/controller). When metrics are enabled from the first
+	// cycle, CyclesFetch+CyclesDecode+CyclesExecute+CyclesAggregate ==
+	// Cycles.
+	CyclesFetch     int64
+	CyclesDecode    int64
+	CyclesExecute   int64
+	CyclesAggregate int64
+
+	// Speculation-stack event accounting. Speculations (above) counts
+	// pushes; SpecPops counts snapshots consumed by rollbacks; SpecFlushes
+	// counts snapshots discarded unconsumed when an attempt completes.
+	// Invariants: SpecPops + SpecFlushes <= Speculations, and
+	// SpecFlushes <= Speculations.
+	SpecPops    int64
+	SpecFlushes int64
+
+	// Data-memory hierarchy classification: every stream access is one
+	// DMemAccesses; it is an L1Hit when the small RAM already buffers
+	// the address and an L1Miss (refill from the local buffer) when it
+	// does not. L1Hits + L1Misses == DMemAccesses.
+	DMemAccesses int64
+	L1Hits       int64
+	L1Misses     int64
 }
 
 // Add merges s2 into s: counters sum, stack high-water marks take the
@@ -147,6 +196,16 @@ func (s *Stats) Add(s2 Stats) {
 	s.Runaways += s2.Runaways
 	s.Fallbacks += s2.Fallbacks
 	s.CancelledScans += s2.CancelledScans
+	s.RetriedCycles += s2.RetriedCycles
+	s.CyclesFetch += s2.CyclesFetch
+	s.CyclesDecode += s2.CyclesDecode
+	s.CyclesExecute += s2.CyclesExecute
+	s.CyclesAggregate += s2.CyclesAggregate
+	s.SpecPops += s2.SpecPops
+	s.SpecFlushes += s2.SpecFlushes
+	s.DMemAccesses += s2.DMemAccesses
+	s.L1Hits += s2.L1Hits
+	s.L1Misses += s2.L1Misses
 	if s2.MaxStackDepth > s.MaxStackDepth {
 		s.MaxStackDepth = s2.MaxStackDepth
 	}
@@ -200,6 +259,10 @@ type Core struct {
 	prog   *isa.Program
 	stats  Stats
 	tracer Tracer
+	// cuBusy counts, per compute unit, the characters it processed
+	// (scan-mode offsets tested plus attempt-mode base executions on
+	// CU 0); maintained only when Config.Metrics is set.
+	cuBusy []int64
 	// fault is the injected runaway trip point (Config.ForceRunawayAt,
 	// overridable per core with InjectRunawayAt); 0 disables it.
 	fault int64
@@ -214,7 +277,9 @@ func NewCore(p *isa.Program, cfg Config) (*Core, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Core{cfg: cfg.withDefaults(), code: p.Code, prog: p, fault: cfg.ForceRunawayAt}, nil
+	c := &Core{cfg: cfg.withDefaults(), code: p.Code, prog: p, fault: cfg.ForceRunawayAt}
+	c.cuBusy = make([]int64, c.cfg.ComputeUnits)
+	return c, nil
 }
 
 // InjectRunawayAt forces the core to trip ErrRunaway once its
@@ -230,7 +295,20 @@ func (c *Core) Program() *isa.Program { return c.prog }
 func (c *Core) Stats() Stats { return c.stats }
 
 // ResetStats clears the performance counters.
-func (c *Core) ResetStats() { c.stats = Stats{} }
+func (c *Core) ResetStats() {
+	c.stats = Stats{}
+	for i := range c.cuBusy {
+		c.cuBusy[i] = 0
+	}
+}
+
+// CUUtilization returns a copy of the per-compute-unit busy counters:
+// cuBusy[i] is the number of characters CU i processed (scan-mode
+// offsets tested; attempt-mode base executions run on CU 0). All zeros
+// unless Config.Metrics is enabled.
+func (c *Core) CUUtilization() []int64 {
+	return append([]int64(nil), c.cuBusy...)
+}
 
 // Reset prepares the core for a fresh input stream: it clears the
 // performance counters and drops every reference to the previous data
@@ -240,14 +318,18 @@ func (c *Core) ResetStats() { c.stats = Stats{} }
 // reused core re-runs without reallocating the stack memory its
 // earlier inputs forced it to grow.
 func (c *Core) Reset() {
-	c.stats = Stats{}
 	m := &c.scratch
+	// Drop the metrics binding first so recycling the previous input's
+	// leftover speculation state is not counted as flush events of the
+	// fresh stats.
+	m.det = nil
 	m.data = nil
 	m.frames = m.frames[:0]
 	m.recycleChoices()
 	m.occ = m.occ[:0]
 	m.occValid = false
 	m.buffered = 0
+	c.ResetStats()
 }
 
 // frameKind distinguishes the two speculation-stack frame flavours.
@@ -295,6 +377,10 @@ type machine struct {
 	// rollbacks, reused by the next speculation instead of allocating.
 	spare [][]frame
 	st    *Stats
+	// det is the detailed-metrics binding: it aliases st when
+	// Config.Metrics is enabled and is nil otherwise, so every detailed
+	// sample site is one pointer check on the disabled hot path.
+	det *Stats
 	// data-memory model: high-water mark of the small RAM.
 	buffered int
 	budget   int64
@@ -315,6 +401,10 @@ func (c *Core) machine(data []byte) *machine {
 	m.core = c
 	m.data = data
 	m.st = &c.stats
+	m.det = nil
+	if c.cfg.Metrics {
+		m.det = &c.stats
+	}
 	// The cycle budget is granted per binding (one public search call),
 	// so a scan that recovers from a runaway and resumes gets a fresh
 	// allowance — mirroring hardware re-arming a job after a fault.
@@ -332,8 +422,18 @@ func (c *Core) machine(data []byte) *machine {
 }
 
 // recycleChoices moves every pending choice's snapshot onto the free
-// list and empties the choice stack.
+// list and empties the choice stack. Discarded snapshots are the
+// speculation flushes: paths pushed but never consumed, abandoned when
+// their attempt resolved.
 func (m *machine) recycleChoices() {
+	if n := len(m.choices); n > 0 {
+		if m.det != nil {
+			m.det.SpecFlushes += int64(n)
+		}
+		if m.core != nil && m.core.tracer != nil && m.st != nil {
+			m.emit(EvSpecFlush, 0, n, isa.Instr{})
+		}
+	}
 	for i := range m.choices {
 		if s := m.choices[i].frames; s != nil {
 			m.spare = append(m.spare, s[:0])
@@ -467,6 +567,10 @@ func (m *machine) search(from int) (Match, bool, error) {
 				sc := int64((skipped + cus - 1) / cus)
 				m.st.Cycles += sc
 				m.st.ScanCycles += sc
+				if m.det != nil {
+					m.det.CyclesFetch += sc
+					m.chargeCUs(skipped, cus)
+				}
 				m.emit(EvScan, 0, cand, isa.Instr{})
 			}
 			// Scanning consumes the stream from the data memory too.
@@ -479,8 +583,10 @@ func (m *machine) search(from int) (Match, bool, error) {
 			}
 			start = cand
 		}
+		aStart := m.st.Cycles
 		end, ok, err := m.attempt(start)
 		if err != nil {
+			m.chargeRetry(aStart, err)
 			return Match{}, false, m.execErr(start, err)
 		}
 		if ok {
@@ -489,6 +595,17 @@ func (m *machine) search(from int) (Match, bool, error) {
 		start++
 	}
 	return Match{}, false, nil
+}
+
+// chargeRetry attributes a faulted attempt's cycles to RetriedCycles
+// when the fault is in the recoverable class: the policy layer retries
+// exactly that region (Degrade re-scans it on the safe engine, Skip
+// re-enters past it), so without the attribution the poisoned cycles
+// would double-count against the productive total.
+func (m *machine) chargeRetry(attemptStart int64, err error) {
+	if errors.Is(err, ErrRunaway) || errors.Is(err, ErrStackOverflow) {
+		m.st.RetriedCycles += m.st.Cycles - attemptStart
+	}
 }
 
 // execErr locates err at the given attempt offset; errors already
@@ -528,6 +645,19 @@ func (m *machine) attempt(start int) (end int, ok bool, err error) {
 		in := code[pc]
 		m.st.Cycles++
 		m.st.Instructions++
+		if m.det != nil {
+			// Stage attribution mirrors the dispatch switch below: every
+			// cycle lands in exactly one pipeline stage.
+			switch {
+			case in.IsEoR(), in.Open:
+				m.det.CyclesDecode++
+			case in.HasBase():
+				m.det.CyclesExecute++
+				m.core.cuBusy[0]++
+			default:
+				m.det.CyclesAggregate++
+			}
+		}
 		m.emit(EvExec, pc, dp, in)
 
 		switch {
@@ -730,6 +860,9 @@ func (m *machine) mismatch(in isa.Instr, pc int) (npc, ndp int, alive bool) {
 			if in.Close == isa.CloseAlt {
 				m.st.Cycles++
 				m.st.Rollbacks++
+				if m.det != nil {
+					m.det.CyclesAggregate++
+				}
 				return pc + 1, f.enterDP, true
 			}
 			if in.Close == isa.CloseNone && pc+1 < len(m.core.code) {
@@ -737,6 +870,9 @@ func (m *machine) mismatch(in isa.Instr, pc int) (npc, ndp int, alive bool) {
 				if !next.HasBase() && !next.Open && next.Close == isa.CloseAlt {
 					m.st.Cycles++
 					m.st.Rollbacks++
+					if m.det != nil {
+						m.det.CyclesAggregate++
+					}
 					return pc + 2, f.enterDP, true
 				}
 			}
@@ -758,6 +894,10 @@ func (m *machine) rollback() (npc, ndp int, alive bool) {
 	}
 	m.st.Cycles++
 	m.st.Rollbacks++
+	if m.det != nil {
+		m.det.CyclesAggregate++
+		m.det.SpecPops++
+	}
 	m.emit(EvRollback, ch.pc, ch.dp, isa.Instr{})
 	return ch.pc, ch.dp, true
 }
@@ -774,6 +914,7 @@ func (m *machine) speculateSnap(pc, dp int, snap []frame) error {
 	}
 	m.choices = append(m.choices, choice{pc: pc, dp: dp, frames: snap})
 	m.st.Speculations++
+	m.emit(EvSpecPush, pc, dp, isa.Instr{})
 	if d := len(m.choices) + len(m.frames); d > m.st.MaxStackDepth {
 		m.st.MaxStackDepth = d
 	}
@@ -811,10 +952,39 @@ func (m *machine) pop() {
 
 // touch models the two-level data memory: advancing the stream pointer
 // past the buffered window refills the small RAM from the local buffer.
+// Each call is one data-memory access: an L1 hit when the small RAM
+// already buffers the address, an L1 miss (refill charged to the fetch
+// stage) when it does not.
 func (m *machine) touch(dp int) {
+	if m.det != nil {
+		m.det.DMemAccesses++
+		if dp > m.buffered {
+			m.det.L1Misses++
+		} else {
+			m.det.L1Hits++
+		}
+	}
 	for dp > m.buffered {
 		m.buffered += m.core.cfg.SmallRAMSize
 		m.st.Cycles += int64(m.core.cfg.RefillCycles)
 		m.st.RefillCycles += int64(m.core.cfg.RefillCycles)
+		if m.det != nil {
+			m.det.CyclesFetch += int64(m.core.cfg.RefillCycles)
+		}
+	}
+}
+
+// chargeCUs distributes skipped scan-mode characters over the compute
+// units: every full scan cycle keeps all cus units busy, the remainder
+// cycle occupies the first skipped%cus units.
+func (m *machine) chargeCUs(skipped, cus int) {
+	full := int64(skipped / cus)
+	rem := skipped % cus
+	busy := m.core.cuBusy
+	for i := 0; i < cus && i < len(busy); i++ {
+		busy[i] += full
+		if i < rem {
+			busy[i]++
+		}
 	}
 }

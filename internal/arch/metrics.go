@@ -1,0 +1,87 @@
+package arch
+
+import (
+	"io"
+
+	"alveare/internal/metrics"
+)
+
+// Canonical metric names for the core's counters, the naming contract
+// every layer publishes under (the tools' -metrics snapshots and the
+// golden tests pin these).
+//
+// Publish writes one core-level Stats roll-up into the registry under
+// prefix (e.g. "core" → "core.cycles"). Snapshot publication is the
+// only registry interaction of the execution stack: the hot loop keeps
+// plain counters and this copies them out at scan boundaries.
+func Publish(r *metrics.Registry, prefix string, st Stats) {
+	p := prefix + "."
+	set := func(name string, v int64) { r.Counter(p + name).Store(v) }
+	set("cycles", st.Cycles)
+	set("cycles.fetch", st.CyclesFetch)
+	set("cycles.decode", st.CyclesDecode)
+	set("cycles.execute", st.CyclesExecute)
+	set("cycles.aggregate", st.CyclesAggregate)
+	set("cycles.scan", st.ScanCycles)
+	set("cycles.refill", st.RefillCycles)
+	set("cycles.retried", st.RetriedCycles)
+	set("instructions", st.Instructions)
+	set("instructions.base", st.BaseOps)
+	set("instructions.open", st.OpenOps)
+	set("instructions.close", st.CloseOps)
+	set("attempts", st.Attempts)
+	set("spec.pushes", st.Speculations)
+	set("spec.pops", st.SpecPops)
+	set("spec.flushes", st.SpecFlushes)
+	set("spec.rollbacks", st.Rollbacks)
+	set("dmem.accesses", st.DMemAccesses)
+	set("dmem.l1.hits", st.L1Hits)
+	set("dmem.l1.misses", st.L1Misses)
+	set("guard.runaways", st.Runaways)
+	set("guard.fallbacks", st.Fallbacks)
+	set("guard.cancelled", st.CancelledScans)
+	r.Gauge(p + "stack.maxdepth").Max(int64(st.MaxStackDepth))
+}
+
+// PublishCU writes a core's per-compute-unit utilization counters into
+// the registry as "<prefix>.cu<i>.busy".
+func PublishCU(r *metrics.Registry, prefix string, busy []int64) {
+	for i, b := range busy {
+		r.Counter(prefixCU(prefix, i)).Store(b)
+	}
+}
+
+func prefixCU(prefix string, i int) string {
+	// CU counts are single digits in every realistic configuration;
+	// avoid strconv for the common case.
+	if i < 10 {
+		return prefix + ".cu" + string(rune('0'+i)) + ".busy"
+	}
+	return prefix + ".cu" + string(rune('0'+i/10)) + string(rune('0'+i%10)) + ".busy"
+}
+
+// RingTracer returns a Tracer that appends every trace event to ring,
+// the speculation-timeline capture behind the tools' Chrome-trace
+// export. The ring serialises appends, so one RingTracer may be shared
+// by a pool of cores.
+func RingTracer(ring *metrics.Ring) Tracer {
+	return func(ev TraceEvent) {
+		ring.Append(metrics.Event{
+			Kind: uint8(ev.Kind),
+			TS:   ev.Cycle,
+			A:    int64(ev.PC),
+			B:    int64(ev.DP),
+			C:    int64(ev.StackDepth),
+		})
+	}
+}
+
+// WriteChromeTrace renders ring's captured events as a Chrome
+// trace-event JSON document (chrome://tracing, Perfetto), naming each
+// event with its architectural mnemonic (exec, attempt, spec-push,
+// rollback, spec-flush, scan, match).
+func WriteChromeTrace(w io.Writer, ring *metrics.Ring) error {
+	return metrics.WriteChromeTrace(w, ring.Events(), func(k uint8) string {
+		return EventKind(k).String()
+	})
+}

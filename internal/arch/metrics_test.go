@@ -1,0 +1,293 @@
+package arch
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"alveare/internal/backend"
+	"alveare/internal/metrics"
+)
+
+func metricsCore(t *testing.T, re string) *Core {
+	t.Helper()
+	p, err := backend.Compile(re, backend.Options{})
+	if err != nil {
+		t.Fatalf("compile %q: %v", re, err)
+	}
+	cfg := DefaultConfig()
+	cfg.Metrics = true
+	c, err := NewCore(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestMetricsInvariants ties the detailed counters to ground truth on a
+// table of workloads: per-stage cycles partition the total, the L1
+// classification partitions the data-memory accesses, speculation pops
+// and flushes never exceed pushes, and execute cycles bound the input
+// length from below on workloads that must test every byte.
+func TestMetricsInvariants(t *testing.T) {
+	cases := []struct {
+		name, re, data string
+		execLowerBound bool // CyclesExecute >= len(data) must hold
+	}{
+		{"literal-dense", "a", strings.Repeat("a", 512), true},
+		{"class-plus", "[ab]+", strings.Repeat("ab", 256), true},
+		{"alternation", "(a|ab)c", strings.Repeat("ab", 100) + "abc", false},
+		{"counter-greedy", "[a-z]{3,9}x", strings.Repeat("qwerty ", 64) + "abcx", false},
+		{"counter-lazy", "a.{0,4}?z", strings.Repeat("a..z ", 50), false},
+		{"backtracky", "(a|aa)+b", strings.Repeat("a", 40) + "b", false},
+		{"no-match", "zzz9", strings.Repeat("the quick brown fox ", 20), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := metricsCore(t, tc.re)
+			if _, err := c.FindAll([]byte(tc.data), 0); err != nil {
+				t.Fatalf("FindAll: %v", err)
+			}
+			st := c.Stats()
+
+			if sum := st.CyclesFetch + st.CyclesDecode + st.CyclesExecute + st.CyclesAggregate; sum != st.Cycles {
+				t.Errorf("stage cycles %d (f=%d d=%d e=%d a=%d) != total %d",
+					sum, st.CyclesFetch, st.CyclesDecode, st.CyclesExecute, st.CyclesAggregate, st.Cycles)
+			}
+			if st.L1Hits+st.L1Misses != st.DMemAccesses {
+				t.Errorf("L1 hits %d + misses %d != accesses %d", st.L1Hits, st.L1Misses, st.DMemAccesses)
+			}
+			if st.SpecFlushes > st.Speculations {
+				t.Errorf("SpecFlushes %d > SpecPushes %d", st.SpecFlushes, st.Speculations)
+			}
+			if st.SpecPops+st.SpecFlushes > st.Speculations {
+				t.Errorf("pops %d + flushes %d > pushes %d", st.SpecPops, st.SpecFlushes, st.Speculations)
+			}
+			if st.SpecPops > st.Rollbacks {
+				t.Errorf("SpecPops %d > Rollbacks %d (chain steps count as rollbacks, not pops)", st.SpecPops, st.Rollbacks)
+			}
+			if tc.execLowerBound && st.CyclesExecute < int64(len(tc.data)) {
+				t.Errorf("CyclesExecute %d < len(input) %d", st.CyclesExecute, len(tc.data))
+			}
+			if st.CyclesExecute != st.BaseOps {
+				t.Errorf("CyclesExecute %d != BaseOps %d (one vector-unit cycle per base op)", st.CyclesExecute, st.BaseOps)
+			}
+
+			// CU utilization: scan-mode work spreads over the units in
+			// non-increasing order; attempt-mode base ops land on CU 0.
+			busy := c.CUUtilization()
+			var total int64
+			for i, b := range busy {
+				total += b
+				if i > 0 && b > busy[i-1] {
+					t.Errorf("cuBusy[%d]=%d > cuBusy[%d]=%d", i, b, i-1, busy[i-1])
+				}
+			}
+			if total < st.BaseOps {
+				t.Errorf("sum(cuBusy)=%d < BaseOps=%d", total, st.BaseOps)
+			}
+		})
+	}
+}
+
+// TestMetricsDisabledInvisible asserts the enable flag changes no
+// architectural outcome: matches and the classic counters are
+// byte-identical with metrics on and off, and the detailed counters
+// stay zero when disabled.
+func TestMetricsDisabledInvisible(t *testing.T) {
+	data := []byte(strings.Repeat("user12@mail ", 300))
+	build := func(enabled bool) (*Core, Stats, []Match) {
+		p, err := backend.Compile(`[a-z0-9]{3,12}@[a-z]+`, backend.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Metrics = enabled
+		c, err := NewCore(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := c.FindAll(data, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, c.Stats(), ms
+	}
+	_, off, msOff := build(false)
+	_, on, msOn := build(true)
+
+	if len(msOff) != len(msOn) {
+		t.Fatalf("match counts differ: %d vs %d", len(msOff), len(msOn))
+	}
+	if off.Cycles != on.Cycles || off.Instructions != on.Instructions ||
+		off.Speculations != on.Speculations || off.Rollbacks != on.Rollbacks {
+		t.Errorf("classic counters differ: off=%+v on=%+v", off, on)
+	}
+	if off.CyclesFetch != 0 || off.CyclesExecute != 0 || off.DMemAccesses != 0 ||
+		off.SpecPops != 0 || off.SpecFlushes != 0 || off.L1Hits != 0 {
+		t.Errorf("detailed counters nonzero with metrics disabled: %+v", off)
+	}
+	if on.DMemAccesses == 0 || on.CyclesExecute == 0 {
+		t.Errorf("detailed counters zero with metrics enabled: %+v", on)
+	}
+}
+
+// TestRetriedCyclesAttribution is the regression test for the Degrade/
+// Skip double-counting fix: the cycles a faulting attempt burned are
+// attributed to RetriedCycles, deterministically, and stay zero on
+// clean runs.
+func TestRetriedCyclesAttribution(t *testing.T) {
+	p, err := backend.Compile(`(a|aa)+b`, backend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte(strings.Repeat("a", 28) + "x") // exponential failure, no match
+
+	run := func() Stats {
+		cfg := DefaultConfig()
+		cfg.MaxCycles = 20000 // trips mid-attempt
+		c, err := NewCore(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ferr := c.FindAll(data, 0)
+		if !errors.Is(ferr, ErrRunaway) {
+			t.Fatalf("want ErrRunaway, got %v", ferr)
+		}
+		return c.Stats()
+	}
+	st := run()
+	if st.RetriedCycles <= 0 {
+		t.Fatalf("RetriedCycles = %d, want > 0 after a runaway", st.RetriedCycles)
+	}
+	if st.RetriedCycles > st.Cycles {
+		t.Fatalf("RetriedCycles %d > Cycles %d", st.RetriedCycles, st.Cycles)
+	}
+	// The poisoned attempt burned nearly the whole budget: the
+	// productive remainder is the candidate scanning and the attempts
+	// that failed cleanly before the trip.
+	if productive := st.Cycles - st.RetriedCycles; productive >= st.Cycles/2 {
+		t.Errorf("productive cycles %d suspiciously high vs total %d: poisoned attempt not attributed", productive, st.Cycles)
+	}
+	if st2 := run(); st2 != st {
+		t.Errorf("retried-cycle accounting nondeterministic:\n%+v\n%+v", st, st2)
+	}
+
+	// Clean run: no recoverable fault, no retried cycles.
+	c := mustCore(t, `(a|aa)+b`, backend.Options{})
+	if _, err := c.FindAll([]byte("aaab aab"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().RetriedCycles; got != 0 {
+		t.Errorf("RetriedCycles = %d on a clean run, want 0", got)
+	}
+}
+
+// TestRetriedCyclesResume pins the roll-up decomposition across a
+// Skip-style resume: re-running FindAllFromCtx past the poisoned
+// offset accumulates fresh productive cycles while RetriedCycles keeps
+// only the faulted attempts' burn.
+func TestRetriedCyclesResume(t *testing.T) {
+	p, err := backend.Compile(`(a|aa)+b`, backend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 20000
+	c, err := NewCore(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte(strings.Repeat("a", 28) + "x" + strings.Repeat("ab ", 10))
+	var resumes int
+	from := 0
+	for {
+		_, ferr := c.FindAllFromCtx(nil, data, from, 0)
+		if ferr == nil {
+			break
+		}
+		var ee *ExecError
+		if !errors.As(ferr, &ee) || !errors.Is(ferr, ErrRunaway) {
+			t.Fatalf("unexpected error: %v", ferr)
+		}
+		from = ee.Offset + 1
+		resumes++
+		if resumes > len(data) {
+			t.Fatal("resume loop did not terminate")
+		}
+	}
+	st := c.Stats()
+	if resumes == 0 {
+		t.Fatal("expected at least one runaway resume")
+	}
+	if st.RetriedCycles <= 0 || st.RetriedCycles > st.Cycles {
+		t.Errorf("RetriedCycles %d out of range (Cycles %d)", st.RetriedCycles, st.Cycles)
+	}
+	if int64(resumes) != st.Runaways {
+		t.Errorf("resumes %d != Runaways %d", resumes, st.Runaways)
+	}
+}
+
+// TestRingTracerSpecTimeline captures a speculation-heavy run into a
+// ring and checks the push/rollback/flush events land there and render
+// as valid Chrome trace JSON.
+func TestRingTracerSpecTimeline(t *testing.T) {
+	c := metricsCore(t, `(a|ab)+c`)
+	ring := metrics.NewRing(1 << 12)
+	c.SetTracer(RingTracer(ring))
+	if _, err := c.FindAll([]byte(strings.Repeat("ab", 50)+"abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[uint8]int{}
+	for _, ev := range ring.Events() {
+		kinds[ev.Kind]++
+	}
+	for _, want := range []EventKind{EvExec, EvAttempt, EvSpecPush} {
+		if kinds[uint8(want)] == 0 {
+			t.Errorf("no %v events captured", want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, ring); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace invalid: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Error("chrome trace missing traceEvents")
+	}
+}
+
+// TestPublishNames pins the registry naming contract for the core
+// counters (the -metrics golden files build on these names).
+func TestPublishNames(t *testing.T) {
+	c := metricsCore(t, "[ab]+c")
+	if _, err := c.FindAll([]byte(strings.Repeat("abc", 40)), 0); err != nil {
+		t.Fatal(err)
+	}
+	r := metrics.New()
+	Publish(r, "core", c.Stats())
+	PublishCU(r, "core", c.CUUtilization())
+	s := r.Snapshot()
+	st := c.Stats()
+	for name, want := range map[string]int64{
+		"core.cycles":         st.Cycles,
+		"core.cycles.execute": st.CyclesExecute,
+		"core.spec.pushes":    st.Speculations,
+		"core.spec.flushes":   st.SpecFlushes,
+		"core.dmem.accesses":  st.DMemAccesses,
+		"core.dmem.l1.hits":   st.L1Hits,
+		"core.cycles.retried": st.RetriedCycles,
+	} {
+		if got := s.Get(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if s.Get("core.cu0.busy") == 0 {
+		t.Error("core.cu0.busy not published")
+	}
+}

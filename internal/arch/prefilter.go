@@ -50,6 +50,10 @@ func (m *machine) searchPrefiltered(from int, h *isa.PrefilterHint) (Match, bool
 			sc := int64((to - start + cus - 1) / cus)
 			m.st.Cycles += sc
 			m.st.ScanCycles += sc
+			if m.det != nil {
+				m.det.CyclesFetch += sc
+				m.chargeCUs(to-start, cus)
+			}
 			m.touch(to)
 		}
 	}
@@ -71,8 +75,10 @@ func (m *machine) searchPrefiltered(from int, h *isa.PrefilterHint) (Match, bool
 		hi := o - h.PreMin
 		chargeSkip(lo)
 		for p := lo; p <= hi; p++ {
+			aStart := m.st.Cycles
 			end, ok, err := m.attempt(p)
 			if err != nil {
+				m.chargeRetry(aStart, err)
 				return Match{}, false, m.execErr(p, err)
 			}
 			if ok {

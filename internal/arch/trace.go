@@ -22,6 +22,12 @@ const (
 	EvScan
 	// EvAttempt: a new match attempt was anchored at dp.
 	EvAttempt
+	// EvSpecPush: a speculation snapshot was pushed; pc/dp are the
+	// recorded alternative path.
+	EvSpecPush
+	// EvSpecFlush: pending speculation snapshots were discarded
+	// unconsumed (the attempt resolved); dp carries the flushed count.
+	EvSpecFlush
 )
 
 // String returns the event mnemonic.
@@ -37,6 +43,10 @@ func (k EventKind) String() string {
 		return "scan"
 	case EvAttempt:
 		return "attempt"
+	case EvSpecPush:
+		return "spec-push"
+	case EvSpecFlush:
+		return "spec-flush"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }

@@ -1,0 +1,36 @@
+package cli
+
+import (
+	"os"
+
+	"alveare/internal/metrics"
+)
+
+// MetricsUsage is the shared help text of the tools' -metrics flag.
+const MetricsUsage = "write a metrics snapshot after the run: 'text' or 'json' to stdout, anything else names a file (JSON)"
+
+// WriteMetrics serialises snap per the -metrics flag value: "" does
+// nothing, "text" and "json" write to stdout, any other value names a
+// file that receives the JSON form. The snapshot's schema is versioned
+// (metrics.SchemaVersion) and its key order deterministic, so the
+// output is byte-stable across runs over identical inputs — the
+// property the golden-snapshot tests and the replay harness pin.
+func WriteMetrics(mode string, snap *metrics.Snapshot) error {
+	switch mode {
+	case "":
+		return nil
+	case "text":
+		return snap.WriteText(os.Stdout)
+	case "json":
+		return snap.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(mode)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -53,6 +53,7 @@ type settings struct {
 	workers int
 	policy  Policy
 	cfg     arch.Config
+	tracer  arch.Tracer
 }
 
 // WithCores selects the scale-out width (default 1, the single core).
@@ -109,6 +110,24 @@ func WithPolicy(p Policy) Option {
 	return func(s *settings) { s.policy = p }
 }
 
+// WithMetrics enables the detailed observability counters (per-stage
+// cycle attribution, speculation pop/flush accounting, L1 hit/miss
+// classification, per-compute-unit utilization). Off by default: the
+// hot execution loop then pays only one nil check per sample site.
+// Snapshots are published with PublishMetrics / MetricsSnapshot.
+func WithMetrics() Option {
+	return func(s *settings) { s.cfg.Metrics = true }
+}
+
+// WithTracer installs an execution tracer on every core of the engine
+// (the single core and, with WithCores, each scale-out core — which run
+// concurrently, so the tracer must be safe for concurrent use;
+// arch.RingTracer over a shared ring is). For a RuleSet the tracer is
+// also installed on every pooled scanning core.
+func WithTracer(t arch.Tracer) Option {
+	return func(s *settings) { s.tracer = t }
+}
+
 // WithPrefilter enables the compiler's necessary-factor hint: when the
 // program opens with a complex operator, candidate start offsets are
 // narrowed to the neighbourhoods of a required literal's occurrences.
@@ -130,6 +149,9 @@ type Engine struct {
 	// CancelledScans); Stats() merges them with the core's counters. It
 	// follows the engine's single-goroutine discipline.
 	guard Stats
+	// streamCtr accumulates reader-scan throughput (windows searched,
+	// bytes consumed, matches emitted) across ScanReader calls.
+	streamCtr stream.Counters
 }
 
 // NewEngine loads a compiled program.
@@ -152,10 +174,16 @@ func NewEngine(p *Program, opts ...Option) (*Engine, error) {
 		return nil, err
 	}
 	e.single = single
+	if s.tracer != nil {
+		single.SetTracer(s.tracer)
+	}
 	if s.cores > 1 {
 		multi, err := multicore.New(p, s.cores, s.cfg, s.overlap)
 		if err != nil {
 			return nil, err
+		}
+		if s.tracer != nil {
+			multi.SetTracer(s.tracer)
 		}
 		e.multi = multi
 	}
@@ -273,6 +301,7 @@ func (e *Engine) ScanReader(r io.Reader, emit func(m Match, text []byte) bool) (
 // consumed so far together with a *ScanError wrapping ctx.Err().
 func (e *Engine) ScanReaderCtx(ctx context.Context, r io.Reader, emit func(m Match, text []byte) bool) (int64, error) {
 	sc := stream.ForFinder(e.guarded(), e.stream)
+	sc.SetCounters(&e.streamCtr)
 	n, err := sc.ScanCtx(ctx, r, stream.EmitFunc(emit))
 	return n, e.fail(err)
 }
@@ -366,6 +395,7 @@ func (e *Engine) RunCtx(ctx context.Context, data []byte) (multicore.Result, err
 		WallCycles:  st.Cycles,
 		TotalCycles: st.Cycles,
 		PerCore:     []arch.Stats{st},
+		Chunks:      1,
 	}
 	return res, e.fail(err)
 }
@@ -380,10 +410,15 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
+// StreamCounters reports the reader-scan throughput accumulated across
+// ScanReader / FindReader / CountReader calls.
+func (e *Engine) StreamCounters() stream.Counters { return e.streamCtr }
+
 // ResetStats clears the single-core counters, the engine-layer guard
-// counters, and releases the core's references to the previous input
-// (multi-core cores reset per Run).
+// counters, the stream throughput accumulators, and releases the core's
+// references to the previous input (multi-core cores reset per Run).
 func (e *Engine) ResetStats() {
 	e.single.Reset()
 	e.guard = Stats{}
+	e.streamCtr = stream.Counters{}
 }

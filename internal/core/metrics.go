@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"alveare/internal/arch"
+	"alveare/internal/metrics"
+)
+
+// PublishMetrics writes the engine's roll-up into r under the "engine"
+// prefix: the merged architectural counters (arch.Publish's naming
+// contract), per-compute-unit utilization, and the reader-scan
+// throughput accumulators. Detailed counters are populated only when
+// the engine was built WithMetrics; the classic counters (cycles,
+// instructions, speculation pushes) publish regardless.
+func (e *Engine) PublishMetrics(r *metrics.Registry) {
+	arch.Publish(r, "engine", e.Stats())
+	arch.PublishCU(r, "engine", e.single.CUUtilization())
+	if e.multi != nil {
+		arch.PublishCU(r, "engine.multi", e.multi.CUUtilization())
+	}
+	r.Counter("engine.stream.windows").Store(e.streamCtr.Windows)
+	r.Counter("engine.stream.bytes").Store(e.streamCtr.Bytes)
+	r.Counter("engine.stream.matches").Store(e.streamCtr.Matches)
+}
+
+// MetricsSnapshot publishes into a fresh registry and returns the
+// deterministic snapshot (sorted names, versioned schema) — what the
+// tools' -metrics flag serialises.
+func (e *Engine) MetricsSnapshot() *metrics.Snapshot {
+	r := metrics.New()
+	e.PublishMetrics(r)
+	return r.Snapshot()
+}
+
+// PublishMetrics writes the rule set's roll-up into r under the
+// "ruleset" prefix: the aggregate architectural counters, a per-rule
+// cycle/instruction/speculation/fallback breakdown ("ruleset.rule<i>.*"),
+// worker-pool occupancy ("ruleset.worker<i>.jobs", which sums to
+// "ruleset.jobs.dispatched"), and the reader-scan window throughput.
+func (rs *RuleSet) PublishMetrics(r *metrics.Registry) {
+	rs.mu.Lock()
+	agg := rs.agg
+	per := append([]arch.Stats(nil), rs.perRule...)
+	occ := append([]int64(nil), rs.occ...)
+	dispatched := rs.dispatched
+	ctr := rs.streamCtr
+	rs.mu.Unlock()
+
+	arch.Publish(r, "ruleset", agg)
+	for i := range per {
+		p := fmt.Sprintf("ruleset.rule%03d.", i)
+		r.Counter(p + "cycles").Store(per[i].Cycles)
+		r.Counter(p + "instructions").Store(per[i].Instructions)
+		r.Counter(p + "spec.pushes").Store(per[i].Speculations)
+		r.Counter(p + "fallbacks").Store(per[i].Fallbacks)
+	}
+	for w, c := range occ {
+		r.Counter(fmt.Sprintf("ruleset.worker%02d.jobs", w)).Store(c)
+	}
+	r.Counter("ruleset.jobs.dispatched").Store(dispatched)
+	r.Counter("ruleset.stream.windows").Store(ctr.Windows)
+	r.Counter("ruleset.stream.bytes").Store(ctr.Bytes)
+	r.Counter("ruleset.stream.matches").Store(ctr.Matches)
+}
+
+// MetricsSnapshot publishes into a fresh registry and returns the
+// deterministic snapshot.
+func (rs *RuleSet) MetricsSnapshot() *metrics.Snapshot {
+	r := metrics.New()
+	rs.PublishMetrics(r)
+	return r.Snapshot()
+}

@@ -40,8 +40,17 @@ type RuleSet struct {
 	// core whose scan panicked is abandoned, never pooled again.
 	pools []sync.Pool
 
-	mu  sync.Mutex // guards agg
-	agg arch.Stats
+	// tracer, when set (WithTracer), is installed on every core borrowed
+	// for a scan; pooled cores run concurrently, so it must be safe for
+	// concurrent use.
+	tracer arch.Tracer
+
+	mu         sync.Mutex   // guards the roll-ups below
+	agg        arch.Stats   // aggregate across all rules and scans
+	perRule    []arch.Stats // per-rule roll-up (index = rule)
+	occ        []int64      // jobs completed per worker slot
+	dispatched int64        // rule-scan jobs handed to the pool
+	streamCtr  stream.Counters
 }
 
 // NewRuleSet compiles every pattern with the given compiler options and
@@ -57,6 +66,8 @@ func NewRuleSet(patterns []string, copt backend.Options, opts ...Option) (*RuleS
 		workers:  s.workers,
 		stream:   stream.Config{ChunkSize: s.chunk, Overlap: s.overlap},
 		policy:   s.policy,
+		tracer:   s.tracer,
+		perRule:  make([]arch.Stats, len(patterns)),
 	}
 	for _, re := range rs.patterns {
 		rs.safes = append(rs.safes, newSafeVM(re))
@@ -116,13 +127,44 @@ func (rs *RuleSet) workerCount(jobs int) int {
 	return n
 }
 
-// getCore borrows the i-th rule's scanning core, reset for a new input.
+// getCore borrows the i-th rule's scanning core, reset for a new input,
+// with the rule set's tracer (if any) installed.
 func (rs *RuleSet) getCore(i int) (*arch.Core, error) {
 	if c, ok := rs.pools[i].Get().(*arch.Core); ok && c != nil {
 		c.Reset()
+		c.SetTracer(rs.tracer)
 		return c, nil
 	}
-	return arch.NewCore(rs.progs[i], rs.cfg)
+	c, err := arch.NewCore(rs.progs[i], rs.cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.SetTracer(rs.tracer)
+	return c, nil
+}
+
+// merge folds one fan-out's telemetry into the roll-ups: per[i] is each
+// scanned rule's counters for this batch, occ[w] each worker slot's
+// completed-job count, and sent the number of jobs dispatched. Window
+// throughput (when the batch was one stream window of nr bytes) rides
+// along so every early return inside the scan loops leaves the
+// roll-ups consistent.
+func (rs *RuleSet) merge(per []arch.Stats, occ []int64, sent int64, windows, nr int64) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for i := range per {
+		rs.agg.Add(per[i])
+		rs.perRule[i].Add(per[i])
+	}
+	for len(rs.occ) < len(occ) {
+		rs.occ = append(rs.occ, 0)
+	}
+	for w, c := range occ {
+		rs.occ[w] += c
+	}
+	rs.dispatched += sent
+	rs.streamCtr.Windows += windows
+	rs.streamCtr.Bytes += nr
 }
 
 // RuleMatches reports one rule's hits in a scanned stream.
@@ -181,22 +223,21 @@ func (rs *RuleSet) ScanCtx(ctx context.Context, data []byte) ([]RuleMatches, err
 	}
 	matches := make([][]Match, n)
 	errs := make([]error, n)
-	var agg arch.Stats
-	var aggMu sync.Mutex
+	per := make([]arch.Stats, n)
+	occ := make([]int64, rs.workerCount(n))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < rs.workerCount(n); w++ {
+	for w := range occ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
 				ms, st, err := rs.scanRule(ctx, i, data)
 				matches[i], errs[i] = ms, err
-				aggMu.Lock()
-				agg.Add(st)
-				aggMu.Unlock()
+				per[i] = st
+				occ[w]++
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		jobs <- i
@@ -205,12 +246,13 @@ func (rs *RuleSet) ScanCtx(ctx context.Context, data []byte) ([]RuleMatches, err
 	wg.Wait()
 
 	var scanErr error
+	cancelled := false
 	for _, err := range errs {
 		if err == nil {
 			continue
 		}
 		if isCancel(err) {
-			agg.CancelledScans++
+			cancelled = true
 			scanErr = err
 			break
 		}
@@ -218,9 +260,12 @@ func (rs *RuleSet) ScanCtx(ctx context.Context, data []byte) ([]RuleMatches, err
 			scanErr = err
 		}
 	}
-	rs.mu.Lock()
-	rs.agg.Add(agg)
-	rs.mu.Unlock()
+	rs.merge(per, occ, int64(n), 0, 0)
+	if cancelled {
+		rs.mu.Lock()
+		rs.agg.CancelledScans++
+		rs.mu.Unlock()
+	}
 
 	var out []RuleMatches
 	for i, ms := range matches {
@@ -335,35 +380,34 @@ func (rs *RuleSet) ScanReaderCtx(ctx context.Context, r io.Reader, emit func(rul
 		// emission below is deterministic.
 		wins := make([][]Match, n)
 		errs := make([]error, n)
-		var agg arch.Stats
-		var aggMu sync.Mutex
+		per := make([]arch.Stats, n)
+		occ := make([]int64, rs.workerCount(n))
+		var sent int64
 		jobs := make(chan int)
 		var wg sync.WaitGroup
-		for w := 0; w < rs.workerCount(n); w++ {
+		for w := range occ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
 				for i := range jobs {
 					ms, st, npos, deg, err := rs.scanRuleWindow(ctx, i, buf, base, final, cfg.Overlap, pos[i], sticky[i])
 					wins[i], errs[i] = ms, err
 					pos[i], sticky[i] = npos, deg
-					aggMu.Lock()
-					agg.Add(st)
-					aggMu.Unlock()
+					per[i] = st
+					occ[w]++
 				}
-			}()
+			}(w)
 		}
 		for i := 0; i < n; i++ {
 			if dead[i] == nil {
 				jobs <- i
+				sent++
 			}
 		}
 		close(jobs)
 		wg.Wait()
 
-		rs.mu.Lock()
-		rs.agg.Add(agg)
-		rs.mu.Unlock()
+		rs.merge(per, occ, sent, 1, int64(nr))
 		for i, err := range errs {
 			if err == nil {
 				continue
@@ -382,13 +426,22 @@ func (rs *RuleSet) ScanReaderCtx(ctx context.Context, r io.Reader, emit func(rul
 			dead[i] = err
 			pos[i] = limit
 		}
+		var emitted int64
+		flushEmitted := func() {
+			rs.mu.Lock()
+			rs.streamCtr.Matches += emitted
+			rs.mu.Unlock()
+		}
 		for i, ms := range wins {
 			for _, m := range ms {
+				emitted++
 				if !emit(i, m, buf[m.Start-base:m.End-base]) {
+					flushEmitted()
 					return int64(limit), nil
 				}
 			}
 		}
+		flushEmitted()
 		if final {
 			break
 		}
@@ -441,11 +494,48 @@ func (rs *RuleSet) Stats() Stats {
 	return rs.agg
 }
 
-// ResetStats clears the aggregate scan counters.
+// RuleStats returns rule i's accumulated counters across all scans.
+func (rs *RuleSet) RuleStats(i int) Stats {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.perRule[i]
+}
+
+// WorkerOccupancy returns the number of rule-scan jobs each worker slot
+// completed; the values sum to Dispatched. The slice is sized to the
+// widest pool any scan used.
+func (rs *RuleSet) WorkerOccupancy() []int64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return append([]int64(nil), rs.occ...)
+}
+
+// Dispatched returns the total number of rule-scan jobs handed to the
+// worker pool (one per live rule per Scan call or stream window).
+func (rs *RuleSet) Dispatched() int64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.dispatched
+}
+
+// StreamCounters reports the reader-scan throughput (windows, bytes,
+// matches emitted) accumulated across ScanReader calls.
+func (rs *RuleSet) StreamCounters() stream.Counters {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.streamCtr
+}
+
+// ResetStats clears the aggregate scan counters, the per-rule and
+// worker-occupancy roll-ups, and the stream throughput accumulators.
 func (rs *RuleSet) ResetStats() {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	rs.agg = arch.Stats{}
+	rs.perRule = make([]arch.Stats, len(rs.patterns))
+	rs.occ = nil
+	rs.dispatched = 0
+	rs.streamCtr = stream.Counters{}
 }
 
 // TotalCycles sums the scan-pool aggregate and the per-rule engines'

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one record of the Chrome trace-event format
+// (the JSON consumed by chrome://tracing and Perfetto's legacy
+// importer). We emit complete events ("ph":"X") of one-cycle duration
+// so every architectural event shows as a block on the timeline.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace serialises events as a Chrome trace-event JSON
+// document. name maps an event kind to its display name; the timeline
+// unit is one simulated cycle rendered as one microsecond (the format
+// has no cycle unit). A/B/C ride along as pc/dp/stack args so the
+// trace viewer's selection panel shows where each event happened.
+func WriteChromeTrace(w io.Writer, events []Event, name func(uint8) string) error {
+	tr := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(events)),
+		DisplayTimeUnit: "ms",
+		Metadata:        map[string]any{"clock": "simulated-cycles", "schema": SchemaVersion},
+	}
+	for _, ev := range events {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: name(ev.Kind),
+			Ph:   "X",
+			TS:   ev.TS,
+			Dur:  1,
+			PID:  0,
+			TID:  0,
+			Args: map[string]any{"pc": ev.A, "dp": ev.B, "stack": ev.C},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(&tr)
+}

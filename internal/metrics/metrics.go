@@ -1,0 +1,272 @@
+// Package metrics is the observability substrate of the simulator: a
+// small registry of named counters, gauges and power-of-two-bucket
+// histograms, plus a fixed-capacity event ring buffer and a Chrome
+// trace-event exporter.
+//
+// The package is designed around the execution stack's hot-loop
+// constraint: nothing here is consulted on the hot path. Producers
+// (internal/arch, internal/core, internal/stream, internal/multicore)
+// keep their own plain counters behind a nil/bool enable check and
+// publish into a Registry only at snapshot points — scan boundaries,
+// tool exit — so a disabled run pays a single predictable branch and an
+// enabled run pays no allocation per sample. Registry metrics
+// themselves are atomics, safe for concurrent publication from worker
+// pools and safe to snapshot while a scan is running.
+//
+// Snapshots serialise with a versioned schema field and byte-stable
+// ordering (names sorted, struct field order fixed), which is what lets
+// the deterministic-replay harness (metricstest) compare two runs for
+// byte identity.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// SchemaVersion identifies the snapshot wire format. Bump it when a
+// field is added, renamed or re-typed; golden tests pin it.
+const SchemaVersion = 1
+
+// Counter is a monotonically increasing int64. The zero value is ready
+// to use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored: counters only move forward).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Store overwrites the value. It exists for snapshot publication —
+// copying an already-aggregated roll-up (arch.Stats) into the registry
+// — not for hot-path accumulation.
+func (c *Counter) Store(n int64) { c.v.Store(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a last-value-wins int64.
+type Gauge struct{ v atomic.Int64 }
+
+// Set overwrites the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Max raises the gauge to n when n exceeds it (high-water marks).
+func (g *Gauge) Max(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// histBuckets is the bucket count of a power-of-two histogram: bucket i
+// holds observations v with bits.Len64(v) == i, i.e. v in
+// [2^(i-1), 2^i); bucket 0 holds v == 0.
+const histBuckets = 65
+
+// Histogram accumulates int64 observations into power-of-two buckets.
+// Observation is one atomic add — no allocation, no locking.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// BucketBound returns the inclusive upper bound of bucket i.
+func BucketBound(i int) uint64 {
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Registry is a namespace of metrics. Get-or-create accessors take a
+// lock; the returned handles are lock-free, so producers resolve names
+// once and then update atomics.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Metric is one serialised metric of a snapshot.
+type Metric struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"` // "counter", "gauge" or "histogram"
+	Value int64  `json:"value,omitempty"`
+	Count int64  `json:"count,omitempty"`
+	Sum   int64  `json:"sum,omitempty"`
+	// Buckets lists the non-empty power-of-two buckets; Le is the
+	// inclusive upper bound of the bucket's value range.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty histogram bucket.
+type Bucket struct {
+	Le    uint64 `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a registry, ordered by kind-free
+// metric name so its serialisations are byte-stable.
+type Snapshot struct {
+	Schema  int      `json:"schema"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Snapshot copies the registry's current values, sorted by name.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{Schema: SchemaVersion}
+	for name, c := range r.counters {
+		s.Metrics = append(s.Metrics, Metric{Name: name, Kind: "counter", Value: c.Load()})
+	}
+	for name, g := range r.gauges {
+		s.Metrics = append(s.Metrics, Metric{Name: name, Kind: "gauge", Value: g.Load()})
+	}
+	for name, h := range r.hists {
+		m := Metric{Name: name, Kind: "histogram", Count: h.Count(), Sum: h.Sum()}
+		for i := 0; i < histBuckets; i++ {
+			if n := h.buckets[i].Load(); n > 0 {
+				m.Buckets = append(m.Buckets, Bucket{Le: BucketBound(i), Count: n})
+			}
+		}
+		s.Metrics = append(s.Metrics, m)
+	}
+	sort.Slice(s.Metrics, func(a, b int) bool {
+		if s.Metrics[a].Name != s.Metrics[b].Name {
+			return s.Metrics[a].Name < s.Metrics[b].Name
+		}
+		return s.Metrics[a].Kind < s.Metrics[b].Kind
+	})
+	return s
+}
+
+// Get returns the value of the named counter or gauge in the snapshot,
+// or 0 when absent — a convenience for tests and invariant checks.
+func (s *Snapshot) Get(name string) int64 {
+	for i := range s.Metrics {
+		if s.Metrics[i].Name == name {
+			return s.Metrics[i].Value
+		}
+	}
+	return 0
+}
+
+// WriteJSON serialises the snapshot as one JSON document with a
+// trailing newline. The byte stream is deterministic: schema first,
+// metrics sorted by name, struct field order fixed.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(s)
+}
+
+// WriteText serialises the snapshot as aligned "name value" lines, the
+// human side of the -metrics flag. Histograms render their count, sum
+// and non-empty buckets on one line.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "schema %d\n", s.Schema); err != nil {
+		return err
+	}
+	for _, m := range s.Metrics {
+		var err error
+		switch m.Kind {
+		case "histogram":
+			var b strings.Builder
+			for i, bk := range m.Buckets {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "le%d:%d", bk.Le, bk.Count)
+			}
+			_, err = fmt.Fprintf(w, "%s count=%d sum=%d %s\n", m.Name, m.Count, m.Sum, b.String())
+		default:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.Name, m.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Load(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Error("Counter did not return the same handle")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Max(3)
+	if got := g.Load(); got != 7 {
+		t.Errorf("gauge after Max(3) = %d, want 7", got)
+	}
+	g.Max(10)
+	if got := g.Load(); got != 10 {
+		t.Errorf("gauge after Max(10) = %d, want 10", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// Bucket index is bits.Len64: 0→0, 1→1, [2,3]→2, [4,7]→3, ...
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1 << 40, -9} {
+		h.Observe(v)
+	}
+	if h.Count() != 9 {
+		t.Fatalf("count = %d, want 9", h.Count())
+	}
+	wantSum := int64(0 + 1 + 2 + 3 + 4 + 7 + 8 + (1 << 40) + 0)
+	if h.Sum() != wantSum {
+		t.Fatalf("sum = %d, want %d", h.Sum(), wantSum)
+	}
+	want := map[int]int64{0: 2, 1: 1, 2: 2, 3: 2, 4: 1, 41: 1}
+	for i, n := range want {
+		if got := h.buckets[i].Load(); got != n {
+			t.Errorf("bucket %d = %d, want %d", i, got, n)
+		}
+	}
+	if BucketBound(0) != 0 || BucketBound(3) != 7 || BucketBound(64) != math.MaxUint64 {
+		t.Error("BucketBound bounds wrong")
+	}
+}
+
+func TestSnapshotStableAndVersioned(t *testing.T) {
+	r := New()
+	r.Counter("z.last").Add(1)
+	r.Counter("a.first").Add(2)
+	r.Gauge("m.middle").Set(3)
+	r.Histogram("h.hist").Observe(5)
+
+	s := r.Snapshot()
+	if s.Schema != SchemaVersion {
+		t.Fatalf("schema = %d, want %d", s.Schema, SchemaVersion)
+	}
+	var names []string
+	for _, m := range s.Metrics {
+		names = append(names, m.Name)
+	}
+	want := []string{"a.first", "h.hist", "m.middle", "z.last"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("order = %v, want %v", names, want)
+	}
+
+	// Serialisation is byte-stable across repeated snapshots.
+	var b1, b2 bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Errorf("snapshots differ:\n%s\n%s", b1.String(), b2.String())
+	}
+	if !json.Valid(b1.Bytes()) {
+		t.Error("snapshot JSON invalid")
+	}
+	if s.Get("a.first") != 2 || s.Get("absent") != 0 {
+		t.Error("Snapshot.Get wrong")
+	}
+
+	var text bytes.Buffer
+	if err := s.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"schema 1\n", "a.first 2\n", "h.hist count=1 sum=5 le7:1\n"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, text.String())
+		}
+	}
+}
+
+// TestRegistryConcurrent exercises concurrent registration, update and
+// snapshotting; run under -race it is the registry's thread-safety
+// gate (make race / make check).
+func TestRegistryConcurrent(t *testing.T) {
+	r := New()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("shared").Inc()
+				r.Gauge("depth").Max(int64(i))
+				r.Histogram("lat").Observe(int64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != workers*per {
+		t.Errorf("shared = %d, want %d", got, workers*per)
+	}
+	if got := r.Histogram("lat").Count(); got != workers*per {
+		t.Errorf("lat count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Append(Event{Kind: 1, TS: int64(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.TS != want {
+			t.Errorf("event %d TS = %d, want %d (oldest-first)", i, ev.TS, want)
+		}
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Append(Event{Kind: uint8(w), TS: int64(i)})
+				if i%50 == 0 {
+					_ = r.Events()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 64 {
+		t.Errorf("len = %d, want 64", r.Len())
+	}
+	if got := r.Dropped(); got != 4*500-64 {
+		t.Errorf("dropped = %d, want %d", got, 4*500-64)
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	events := []Event{
+		{Kind: 0, TS: 1, A: 2, B: 3, C: 0},
+		{Kind: 1, TS: 5, A: 0, B: 9, C: 2},
+	}
+	names := func(k uint8) string { return []string{"exec", "push"}[k] }
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events, names); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   int64  `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 || doc.TraceEvents[0].Name != "exec" || doc.TraceEvents[1].TS != 5 {
+		t.Errorf("unexpected trace: %+v", doc.TraceEvents)
+	}
+}

@@ -1,0 +1,66 @@
+// Package metricstest is the deterministic-replay harness for the
+// metrics layer: it runs the same workload twice and asserts the
+// counter snapshots agree, which pins down nondeterminism the moment
+// it leaks into the single-core execution paths (map iteration,
+// time-dependent sampling, pointer hashing).
+//
+// Two strictness levels match the two execution disciplines:
+//
+//   - Replay asserts byte identity of the serialised snapshots — the
+//     contract for single-core paths, whose cycle-level model is fully
+//     deterministic.
+//   - ReplayTotals asserts equality of selected counter totals — the
+//     contract for concurrent paths (rule-set worker pools, multi-core
+//     divide and conquer), where scheduling may reorder work but every
+//     roll-up total must still land on the same value.
+package metricstest
+
+import (
+	"bytes"
+	"testing"
+
+	"alveare/internal/metrics"
+)
+
+// Replay runs the workload twice and fails the test unless the two
+// snapshots serialise to byte-identical JSON. run must build its world
+// from scratch (or reset it) so both executions start equal.
+func Replay(t *testing.T, run func() *metrics.Snapshot) {
+	t.Helper()
+	a := encode(t, run())
+	b := encode(t, run())
+	if !bytes.Equal(a, b) {
+		t.Errorf("replay diverged:\nfirst:  %s\nsecond: %s", a, b)
+	}
+}
+
+// ReplayTotals runs the workload twice and fails the test unless every
+// named total matches across the runs. Use it for concurrent paths
+// where per-worker ordering is free but the roll-ups are not.
+func ReplayTotals(t *testing.T, run func() map[string]int64) {
+	t.Helper()
+	a := run()
+	b := run()
+	for name, va := range a {
+		if vb, ok := b[name]; !ok || va != vb {
+			t.Errorf("replay total %q diverged: first %d, second %d (present %v)", name, va, vb, ok)
+		}
+	}
+	for name := range b {
+		if _, ok := a[name]; !ok {
+			t.Errorf("replay total %q appeared only in the second run", name)
+		}
+	}
+}
+
+func encode(t *testing.T, s *metrics.Snapshot) []byte {
+	t.Helper()
+	if s == nil {
+		t.Fatal("metricstest: nil snapshot")
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatalf("metricstest: encode: %v", err)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,80 @@
+package metrics
+
+import "sync"
+
+// Event is one record of the execution-event ring: a small, fixed-size
+// struct so the ring is one flat allocation. Kind is
+// producer-defined (internal/arch maps its trace-event kinds onto it),
+// TS is the producer's timeline (simulated cycles), and A/B/C carry
+// kind-specific payload (for arch events: pc, dp, stack depth).
+type Event struct {
+	Kind    uint8
+	TS      int64
+	A, B, C int64
+}
+
+// DefaultRingCapacity bounds the speculation-timeline ring when the
+// caller does not choose: 1 Mi events ≈ 40 MB, enough for a window of
+// a few million simulated cycles.
+const DefaultRingCapacity = 1 << 20
+
+// Ring is a fixed-capacity event buffer: appends past the capacity
+// overwrite the oldest events, so a trace always holds the most recent
+// window of the execution. Appends are mutex-guarded — the ring serves
+// the tracing path, where throughput is secondary to being shareable
+// across a worker pool's cores.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	total uint64 // events ever appended
+}
+
+// NewRing returns a ring holding up to capacity events; non-positive
+// selects DefaultRingCapacity.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Append records one event, evicting the oldest when full.
+func (r *Ring) Append(ev Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.total%uint64(cap(r.buf))] = ev
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Dropped returns how many events were evicted by wraparound.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - uint64(len(r.buf))
+}
+
+// Events returns a copy of the buffered events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		copy(out, r.buf)
+		return out
+	}
+	head := int(r.total % uint64(cap(r.buf)))
+	n := copy(out, r.buf[head:])
+	copy(out[n:], r.buf[:head])
+	return out
+}

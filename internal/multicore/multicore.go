@@ -65,6 +65,30 @@ func New(p *isa.Program, n int, cfg arch.Config, overlap int) (*Engine, error) {
 // Cores returns the core count.
 func (e *Engine) Cores() int { return len(e.cores) }
 
+// SetTracer installs t (or, with nil, removes the tracer) on every
+// core. The cores execute concurrently during RunCtx, so t must be safe
+// for concurrent use — arch.RingTracer over a shared ring is.
+func (e *Engine) SetTracer(t arch.Tracer) {
+	for _, c := range e.cores {
+		c.SetTracer(t)
+	}
+}
+
+// CUUtilization sums the cores' per-compute-unit busy counters from the
+// last run (populated only when Config.Metrics is enabled).
+func (e *Engine) CUUtilization() []int64 {
+	var out []int64
+	for _, c := range e.cores {
+		for i, b := range c.CUUtilization() {
+			if i == len(out) {
+				out = append(out, 0)
+			}
+			out[i] += b
+		}
+	}
+	return out
+}
+
 // ChunkFailure records one core's fault during a run: the failing
 // chunk, the positional error (offsets rebased to the whole stream),
 // and the matches the core had already completed and owned before the
@@ -91,6 +115,9 @@ type Result struct {
 	// PerCore reports each core's counters for this run, including the
 	// cycles failing cores burned before their fault.
 	PerCore []arch.Stats
+	// Chunks is the number of chunks the stream was divided into (one
+	// per core when the stream is long enough; fewer on short inputs).
+	Chunks int
 	// Failed lists the chunks whose core faulted; empty on a clean run.
 	// Run still returns a non-nil error when any chunk failed, so
 	// callers that ignore Failed keep fail-stop semantics.
@@ -139,7 +166,7 @@ func (e *Engine) RunCtx(ctx context.Context, data []byte) (Result, error) {
 	}
 	wg.Wait()
 
-	var res Result
+	res := Result{Chunks: len(chunks)}
 	var firstErr error
 	for i := range outs {
 		res.PerCore = append(res.PerCore, outs[i].stats)

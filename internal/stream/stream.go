@@ -82,11 +82,27 @@ func (c Config) withDefaults() Config {
 // call; copy it to retain it. Returning false stops the scan.
 type EmitFunc func(m arch.Match, text []byte) bool
 
+// Counters accumulates stream-throughput telemetry: how many windows
+// the scan searched, how many bytes it consumed from the reader, and
+// how many matches it emitted. An attached accumulator survives across
+// Scan calls, so an engine can roll up a whole session. Counters follow
+// the scanner's single-goroutine discipline.
+type Counters struct {
+	Windows int64
+	Bytes   int64
+	Matches int64
+}
+
 // Scanner scans unbounded streams with one execution finder.
 type Scanner struct {
 	f   Finder
 	cfg Config
+	ctr *Counters
 }
+
+// SetCounters attaches (or, with nil, detaches) a throughput
+// accumulator updated by every subsequent Scan.
+func (s *Scanner) SetCounters(c *Counters) { s.ctr = c }
 
 // New builds a scanner with a private core for the compiled program.
 func New(p *isa.Program, hw arch.Config, cfg Config) (*Scanner, error) {
@@ -131,6 +147,13 @@ func (s *Scanner) Scan(r io.Reader, emit EmitFunc) (int64, error) {
 // cancellation, an *arch.ExecError (rebased to absolute stream offsets)
 // for execution faults.
 func (s *Scanner) ScanCtx(ctx context.Context, r io.Reader, emit EmitFunc) (int64, error) {
+	if s.ctr != nil {
+		inner := emit
+		emit = func(m arch.Match, text []byte) bool {
+			s.ctr.Matches++
+			return inner(m, text)
+		}
+	}
 	chunk, overlap := s.cfg.ChunkSize, s.cfg.Overlap
 	buf := make([]byte, 0, chunk+overlap)
 	base := 0 // stream offset of buf[0]
@@ -144,6 +167,9 @@ func (s *Scanner) ScanCtx(ctx context.Context, r io.Reader, emit EmitFunc) (int6
 		buf = buf[:have+chunk]
 		n, err := io.ReadFull(r, buf[have:])
 		buf = buf[:have+n]
+		if s.ctr != nil {
+			s.ctr.Bytes += int64(n)
+		}
 		switch err {
 		case nil:
 		case io.EOF, io.ErrUnexpectedEOF:
@@ -152,6 +178,9 @@ func (s *Scanner) ScanCtx(ctx context.Context, r io.Reader, emit EmitFunc) (int6
 			// base+len(buf) is the offset of the first byte the refill
 			// could not deliver — the exact resume point.
 			return int64(base + len(buf)), &ReadError{Offset: int64(base + len(buf)), Err: err}
+		}
+		if s.ctr != nil {
+			s.ctr.Windows++
 		}
 		npos, cont, werr := ScanWindowCtx(ctx, s.f, buf, base, final, overlap, pos, emit)
 		pos = npos
