@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check fuzz fuzzsmoke leakcheck benchguard benchbaseline bench
+.PHONY: build test vet race check fuzz fuzzsmoke leakcheck benchguard benchbaseline bench serve loadtest
 
 build:
 	$(GO) build ./...
@@ -32,10 +32,26 @@ fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz FuzzFaultInjection -fuzztime 30s .
 
 ## leakcheck: the guardrail tests carry goroutine-leak assertions
-## (leakCheck in faultmatrix_test.go); run just those under -race so a
-## stuck worker or an undrained pool fails loudly.
+## (leakCheck in faultmatrix_test.go and the scan-service drain tests);
+## run just those under -race so a stuck worker, an undrained pool or a
+## leaked server goroutine fails loudly.
 leakcheck:
 	$(GO) test -race -run 'TestFaultMatrix|TestCancelMidScan|TestRuleSetEarlyStopDrains|TestRuleSetFaultIsolation' .
+	$(GO) test -race -run 'TestServer' ./internal/server/...
+
+## serve: run the scan service on the Snort-style example rules
+## (RULES/ADDR overridable: make serve RULES=my.rules ADDR=:9000).
+RULES ?= examples/server.rules
+ADDR ?= :7171
+serve:
+	$(GO) run ./cmd/alvearesrv -rules $(RULES) -addr $(ADDR)
+
+## loadtest: drive a running scan service with the closed-loop load
+## generator (LOAD_ADDR/LOAD_FLAGS overridable).
+LOAD_ADDR ?= 127.0.0.1:7171
+LOAD_FLAGS ?= -conns 4 -inflight 4 -duration 10s
+loadtest:
+	$(GO) run ./cmd/alveareload -addr $(LOAD_ADDR) $(LOAD_FLAGS)
 
 ## bench: the enabled-vs-disabled observability benchmarks (plus the
 ## rest of the benchmark suite lives under `go test -bench=.`).

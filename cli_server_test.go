@@ -1,0 +1,76 @@
+package alveare_test
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestCLIServeAndLoad drives the scan service end to end at the
+// process level: alvearesrv comes up on an ephemeral port, alveareload
+// hammers it and must report throughput plus both latency views, and
+// SIGTERM drains the server to a clean exit.
+func TestCLIServeAndLoad(t *testing.T) {
+	rules := filepath.Join(t.TempDir(), "r.rules")
+	if err := os.WriteFile(rules, []byte("# demo\n[a-z]{4}\nneedle\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := exec.Command(tool(t, "alvearesrv"), "-rules", rules, "-addr", "127.0.0.1:0", "-workers", "2")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	// The startup line carries the resolved ephemeral address.
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr = strings.Fields(line[i+len("listening on "):])[0]
+			break
+		}
+	}
+	if addr == "" {
+		srv.Process.Kill()
+		t.Fatalf("no listening line from alvearesrv (scan err %v)", sc.Err())
+	}
+
+	out, code := run(t, "alveareload", "",
+		"-addr", addr, "-conns", "2", "-inflight", "2", "-duration", "300ms", "-size", "512")
+	if code != 0 {
+		t.Fatalf("alveareload exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"requests=", "throughput", "client latency", "server latency", "histogram"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("load report missing %q:\n%s", want, out)
+		}
+	}
+
+	// SIGTERM must drain to a clean exit, not a kill.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("alvearesrv after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		srv.Process.Kill()
+		t.Fatal("alvearesrv did not drain after SIGTERM")
+	}
+}

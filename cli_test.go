@@ -16,7 +16,7 @@ var buildTools = sync.OnceValues(func() (map[string]string, error) {
 		return nil, err
 	}
 	tools := map[string]string{}
-	for _, name := range []string{"alvearec", "alvearerun", "alvearebench", "alvearegen", "alvearescan"} {
+	for _, name := range []string{"alvearec", "alvearerun", "alvearebench", "alvearegen", "alvearescan", "alvearesrv", "alveareload"} {
 		bin := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
 		if out, err := cmd.CombinedOutput(); err != nil {

@@ -33,14 +33,13 @@ func main() {
 		verbose  = flag.Bool("v", true, "print progress lines to stderr")
 		jsonOut  = flag.String("json", "", "also write a machine-readable report to this file")
 		csvOut   = flag.String("csv", "", "also write the Figure 4/5 series as CSV to this file")
-		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (exit status 124)")
-		metricsF = flag.String("metrics", "", cli.MetricsUsage)
+		cf       = cli.RegisterCommon(flag.CommandLine)
 	)
 	flag.Parse()
 	// The harness drives long experiments that do not poll a context;
 	// the watchdog aborts the process on Ctrl-C or -timeout with the
 	// conventional exit code (130 / 124).
-	ctx, stop := cli.Context(*timeout)
+	ctx, stop := cli.Context(cf.Timeout)
 	defer stop()
 	defer cli.Watch(ctx, "alvearebench")()
 
@@ -154,14 +153,14 @@ func main() {
 		}
 		fmt.Println("series written to", *csvOut)
 	}
-	if *metricsF != "" {
+	if cf.Metrics != "" {
 		r := metrics.New()
 		r.Counter("bench.experiments").Store(experiments)
 		r.Counter("bench.table2.rows").Store(int64(len(report.Table2)))
 		r.Counter("bench.figures.suites").Store(int64(len(report.Figures)))
 		r.Counter("bench.scaling.rows").Store(int64(len(report.Scaling)))
 		r.Counter("bench.ablation.rows").Store(int64(len(report.Ablation)))
-		if err := cli.WriteMetrics(*metricsF, r.Snapshot()); err != nil {
+		if err := cli.WriteMetrics(cf.Metrics, r.Snapshot()); err != nil {
 			fmt.Fprintln(os.Stderr, "alvearebench:", err)
 			os.Exit(1)
 		}

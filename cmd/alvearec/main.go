@@ -33,13 +33,12 @@ func main() {
 		dot      = flag.Bool("dot", false, "emit the compiled program's control-flow graph in DOT form")
 		optable  = flag.Bool("optable", false, "print the ISA operation classes (paper Table 1) and exit")
 		count    = flag.Bool("count", false, "print minimal vs advanced instruction counts and exit")
-		timeout  = flag.Duration("timeout", 0, "abort after this duration (exit status 124)")
-		metricsF = flag.String("metrics", "", cli.MetricsUsage)
+		cf       = cli.RegisterCommon(flag.CommandLine)
 	)
 	flag.Parse()
 	// The compiler cannot poll a context mid-pass; the watchdog aborts
 	// the process with the conventional code on Ctrl-C or -timeout.
-	ctx, stop := cli.Context(*timeout)
+	ctx, stop := cli.Context(cf.Timeout)
 	defer stop()
 	defer cli.Watch(ctx, "alvearec")()
 
@@ -82,7 +81,7 @@ func main() {
 		fatalIf(err)
 		fmt.Printf("minimal: %d ops, advanced: %d ops, reduction: %.2fx (EoR excluded)\n",
 			min.OpCount(), adv.OpCount(), float64(min.OpCount())/float64(adv.OpCount()))
-		writeMetrics(*metricsF, func(r *metrics.Registry) {
+		writeMetrics(cf.Metrics, func(r *metrics.Registry) {
 			r.Counter("compiler.patterns").Store(1)
 			r.Counter("compiler.instructions").Store(int64(adv.Len()))
 			r.Counter("compiler.instructions.ops").Store(int64(adv.OpCount()))
@@ -111,7 +110,7 @@ func main() {
 		fatalIf(os.WriteFile(*out, bin, 0o644))
 		fmt.Printf("; wrote %d bytes to %s\n", len(bin), *out)
 	}
-	writeMetrics(*metricsF, func(r *metrics.Registry) {
+	writeMetrics(cf.Metrics, func(r *metrics.Registry) {
 		r.Counter("compiler.patterns").Store(1)
 		r.Counter("compiler.instructions").Store(int64(p.Len()))
 		r.Counter("compiler.instructions.ops").Store(int64(p.OpCount()))

@@ -28,13 +28,12 @@ func main() {
 		patterns = flag.Int("patterns", 0, "rules per suite (0 = paper's 200)")
 		size     = flag.Int("size", 0, "dataset bytes (0 = paper's 1 MiB)")
 		seed     = flag.Int64("seed", 2024, "generator seed")
-		timeout  = flag.Duration("timeout", 0, "abort after this duration (exit status 124)")
-		metricsF = flag.String("metrics", "", cli.MetricsUsage)
+		cf       = cli.RegisterCommon(flag.CommandLine)
 	)
 	flag.Parse()
 	// Generation cannot poll a context; the watchdog aborts the process
 	// with the conventional code on Ctrl-C or -timeout.
-	ctx, stop := cli.Context(*timeout)
+	ctx, stop := cli.Context(cf.Timeout)
 	defer stop()
 	defer cli.Watch(ctx, "alvearegen")()
 
@@ -66,12 +65,12 @@ func main() {
 		fmt.Printf("%s: %d rules -> %s.rules, %d bytes -> %s.data\n",
 			s.Name, len(s.Patterns), base, len(s.Dataset), base)
 	}
-	if *metricsF != "" {
+	if cf.Metrics != "" {
 		r := metrics.New()
 		r.Counter("gen.suites").Store(int64(len(suites)))
 		r.Counter("gen.rules").Store(nRules)
 		r.Counter("gen.bytes").Store(nBytes)
-		if err := cli.WriteMetrics(*metricsF, r.Snapshot()); err != nil {
+		if err := cli.WriteMetrics(cf.Metrics, r.Snapshot()); err != nil {
 			fatal(err)
 		}
 	}

@@ -50,32 +50,21 @@ func main() {
 		vcd     = flag.String("vcd", "", "write a VCD waveform of the execution to this file (single core)")
 		chunk   = flag.Int("chunk", 0, "streaming window size in bytes (0 = default 64 KiB)")
 		olap    = flag.Int("overlap", 0, "chunk-boundary overlap in bytes (0 = default 256)")
-		timeout = flag.Duration("timeout", 0, "abort the run after this duration (exit status 124)")
-		policyF = flag.String("policy", "failfast", "runaway containment: failfast, degrade or skip")
-		budget  = flag.Int64("budget", 0, "cycle budget per scan attempt; pathological backtracking past it trips the -policy containment (0 = effectively unbounded)")
-		metricsF = flag.String("metrics", "", cli.MetricsUsage)
+		cf      = cli.RegisterScan(flag.CommandLine)
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: alvearerun [flags] 'regex' [file...]")
 		os.Exit(cli.ExitUsage)
 	}
-	policy, err := alveare.ParsePolicy(*policyF)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "alvearerun:", err)
-		os.Exit(cli.ExitUsage)
-	}
 	var stop context.CancelFunc
-	ctx, stop = cli.Context(*timeout)
+	ctx, stop = cli.Context(cf.Timeout)
 	defer stop()
 	prog, err := alveare.Compile(flag.Arg(0))
 	fatalIf(err)
-	opts := []alveare.Option{alveare.WithCores(*cores),
-		alveare.WithChunkSize(*chunk), alveare.WithOverlap(*olap),
-		alveare.WithPolicy(policy), alveare.WithBudget(*budget)}
-	if *metricsF != "" {
-		opts = append(opts, alveare.WithMetrics())
-	}
+	opts := append([]alveare.Option{alveare.WithCores(*cores),
+		alveare.WithChunkSize(*chunk), alveare.WithOverlap(*olap)},
+		cf.EngineOptions("alvearerun")...)
 	eng, err := alveare.NewEngine(prog, opts...)
 	fatalIf(err)
 
@@ -118,7 +107,7 @@ func main() {
 		// The common case — one core, no tracing — streams the input
 		// through a bounded window instead of slurping it.
 		if traceCore == nil && *cores == 1 {
-			if scanStream(eng, name, label, *all, *stats, *quiet, *metricsF != "") {
+			if scanStream(eng, name, label, *all, *stats, *quiet, cf.Metrics != "") {
 				found = true
 			}
 			continue
@@ -164,7 +153,7 @@ func main() {
 			fmt.Printf("  modelled time @300MHz: %.3g s\n", perf.AlveareTime(st.Cycles))
 		}
 	}
-	fatalIf(cli.WriteMetrics(*metricsF, eng.MetricsSnapshot()))
+	fatalIf(cli.WriteMetrics(cf.Metrics, eng.MetricsSnapshot()))
 	if !found {
 		os.Exit(1)
 	}

@@ -56,37 +56,25 @@ func main() {
 		olap      = flag.Int("overlap", 0, "chunk-boundary overlap in bytes (0 = default 256)")
 		stats     = flag.Bool("stats", false, "print aggregate microarchitecture counters per input")
 		quiet     = flag.Bool("q", false, "suppress per-match output (exit status only)")
-		timeout   = flag.Duration("timeout", 0, "abort the scan after this duration (exit status 124)")
-		policyF   = flag.String("policy", "failfast", "runaway containment: failfast, degrade or skip")
-		budget    = flag.Int64("budget", 0, "cycle budget per rule scan attempt; pathological backtracking past it trips the -policy containment (0 = effectively unbounded)")
-		metricsF  = flag.String("metrics", "", cli.MetricsUsage)
 		traceOut  = flag.String("trace", "", "write the speculation timeline as a Chrome trace-event file (chrome://tracing)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address for the run's duration")
+		cf        = cli.RegisterScan(flag.CommandLine)
 	)
 	flag.Parse()
 	if *rulesPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: alvearescan -rules FILE [flags] [file...]")
 		os.Exit(cli.ExitUsage)
 	}
-	policy, err := alveare.ParsePolicy(*policyF)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "alvearescan:", err)
-		os.Exit(cli.ExitUsage)
-	}
-	ctx, stop := cli.Context(*timeout)
+	ctx, stop := cli.Context(cf.Timeout)
 	defer stop()
 	rules, err := loadRules(*rulesPath)
 	fatalIf(err)
 	if len(rules) == 0 {
 		fatalIf(fmt.Errorf("%s: no rules", *rulesPath))
 	}
-	opts := []alveare.Option{
+	opts := append([]alveare.Option{
 		alveare.WithWorkers(*workers), alveare.WithChunkSize(*chunk), alveare.WithOverlap(*olap),
-		alveare.WithPolicy(policy), alveare.WithBudget(*budget),
-	}
-	if *metricsF != "" {
-		opts = append(opts, alveare.WithMetrics())
-	}
+	}, cf.EngineOptions("alvearescan")...)
 	var ring *metrics.Ring
 	if *traceOut != "" {
 		ring = metrics.NewRing(metrics.DefaultRingCapacity)
@@ -120,7 +108,7 @@ func main() {
 		// -metrics reports one snapshot for the whole run, so the roll-ups
 		// accumulate across inputs in that mode; otherwise -stats prints
 		// per-input counters.
-		if *metricsF == "" {
+		if cf.Metrics == "" {
 			rs.ResetStats()
 		}
 		hits := 0
@@ -160,7 +148,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "alvearescan: %d trace events -> %s (chrome://tracing)\n", ring.Len(), *traceOut)
 		}
 	}
-	fatalIf(cli.WriteMetrics(*metricsF, rs.MetricsSnapshot()))
+	fatalIf(cli.WriteMetrics(cf.Metrics, rs.MetricsSnapshot()))
 	if !found {
 		os.Exit(1)
 	}

@@ -1,0 +1,66 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"alveare/internal/core"
+)
+
+// CommonFlags holds the values of the guardrail and observability
+// flags every tool shares: -timeout and -metrics, plus -policy and
+// -budget for the tools that scan. Register them with RegisterCommon
+// or RegisterScan instead of copy-pasting the flag.* calls — the
+// flag names, defaults and help strings stay identical across tools.
+type CommonFlags struct {
+	// Timeout aborts the run after this duration (exit status 124;
+	// 0 = no deadline). Feed it to Context.
+	Timeout time.Duration
+	// Metrics is the -metrics snapshot mode; see MetricsUsage.
+	Metrics string
+	// Policy is the -policy spelling; parse it with MustPolicy.
+	Policy string
+	// Budget is the -budget per-attempt cycle cap (0 = unbounded).
+	Budget int64
+}
+
+// RegisterCommon registers the -timeout and -metrics flags on fs.
+func RegisterCommon(fs *flag.FlagSet) *CommonFlags {
+	c := &CommonFlags{}
+	fs.DurationVar(&c.Timeout, "timeout", 0, "abort after this duration (exit status 124)")
+	fs.StringVar(&c.Metrics, "metrics", "", MetricsUsage)
+	return c
+}
+
+// RegisterScan registers the full scanning-tool set: -timeout,
+// -metrics, -policy and -budget.
+func RegisterScan(fs *flag.FlagSet) *CommonFlags {
+	c := RegisterCommon(fs)
+	fs.StringVar(&c.Policy, "policy", "failfast", "runaway containment: failfast, degrade or skip")
+	fs.Int64Var(&c.Budget, "budget", 0, "cycle budget per scan attempt; pathological backtracking past it trips the -policy containment (0 = effectively unbounded)")
+	return c
+}
+
+// MustPolicy parses the -policy value, exiting with the usage code on
+// an unknown spelling (tool prefixes the message, tool-style).
+func (c *CommonFlags) MustPolicy(tool string) core.Policy {
+	p, err := core.ParsePolicy(c.Policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(ExitUsage)
+	}
+	return p
+}
+
+// EngineOptions translates the scan flags into engine/rule-set
+// options: the parsed policy, the cycle budget, and the detailed
+// metrics tier when -metrics requested a snapshot.
+func (c *CommonFlags) EngineOptions(tool string) []core.Option {
+	opts := []core.Option{core.WithPolicy(c.MustPolicy(tool)), core.WithBudget(c.Budget)}
+	if c.Metrics != "" {
+		opts = append(opts, core.WithMetrics())
+	}
+	return opts
+}

@@ -278,3 +278,54 @@ func TestEngineReaderMatchesFindAll(t *testing.T) {
 		t.Errorf("CountReader = %d, want %d (err %v)", n, len(want), err)
 	}
 }
+
+// TestRuleSetPoolClearsPrefilterCache is a regression pin for the
+// prefilter occurrence cache on pooled cores. With WithPrefilter, a
+// hinted rule ("(foo|bar)needle" carries the mandatory literal
+// "needle") caches the literal's occurrence offsets for the input it
+// scanned (occ/occValid in the machine scratch). RuleSet recycles
+// cores through a sync.Pool between Scan calls, so a Reset that failed
+// to invalidate that cache would scan the SECOND input with the FIRST
+// input's candidate offsets — missing matches or fabricating them.
+// Scan two inputs with the literal at disjoint offsets through one
+// RuleSet and demand each result equals a fresh RuleSet's.
+func TestRuleSetPoolClearsPrefilterCache(t *testing.T) {
+	rules := []string{`(foo|bar)needle`}
+	// Input A: occurrences early. Input B: padding shifts every
+	// occurrence far from A's offsets (and drops one).
+	inA := []byte("fooneedle....barneedle" + strings.Repeat(".", 400))
+	inB := []byte(strings.Repeat(".", 300) + "fooneedle" + strings.Repeat(".", 100))
+
+	scanFresh := func(data []byte) []RuleMatches {
+		rs, err := NewRuleSet(rules, backend.Options{}, WithPrefilter())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := rs.Scan(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	rs, err := NewRuleSet(rules, backend.Options{}, WithPrefilter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for _, in := range [][]byte{inA, inB} {
+			got, err := rs.Scan(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sameRuleMatches(got, scanFresh(in)); err != nil {
+				t.Fatalf("round %d: pooled cores diverge from fresh rule set: %v", round, err)
+			}
+		}
+	}
+	// Sanity: the inputs really exercise the hinted path differently.
+	if a, b := scanFresh(inA), scanFresh(inB); len(a) == 0 || len(b) == 0 ||
+		len(a[0].Matches) != 2 || len(b[0].Matches) != 1 {
+		t.Fatalf("fixture drifted: A=%v B=%v", a, b)
+	}
+}

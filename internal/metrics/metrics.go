@@ -233,6 +233,41 @@ func (s *Snapshot) Get(name string) int64 {
 	return 0
 }
 
+// Find returns the named metric of the snapshot, preferring an exact
+// name match regardless of kind.
+func (s *Snapshot) Find(name string) (Metric, bool) {
+	for i := range s.Metrics {
+		if s.Metrics[i].Name == name {
+			return s.Metrics[i], true
+		}
+	}
+	return Metric{}, false
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) of a
+// histogram metric: the inclusive upper bound of the power-of-two
+// bucket holding the ceil(q·Count)-th observation. The bound is exact
+// to within the bucket's factor-of-two resolution — good enough for
+// the latency reporting the load generator does. Zero when the metric
+// is not a histogram or holds no observations.
+func (m Metric) Quantile(q float64) uint64 {
+	if m.Count <= 0 || len(m.Buckets) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(m.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range m.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return b.Le
+		}
+	}
+	return m.Buckets[len(m.Buckets)-1].Le
+}
+
 // WriteJSON serialises the snapshot as one JSON document with a
 // trailing newline. The byte stream is deterministic: schema first,
 // metrics sorted by name, struct field order fixed.

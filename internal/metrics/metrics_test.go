@@ -203,3 +203,41 @@ func TestChromeTrace(t *testing.T) {
 		t.Errorf("unexpected trace: %+v", doc.TraceEvents)
 	}
 }
+
+// TestSnapshotFindAndQuantile pins the histogram quantile helper the
+// load generator's p50/p95/p99 reporting uses: the bound is the upper
+// edge of the power-of-two bucket holding the rank-th observation.
+func TestSnapshotFindAndQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	// 90 observations in [1,1] (bucket le=1), 10 in [64,127] (le=127).
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	snap := r.Snapshot()
+	m, ok := snap.Find("lat")
+	if !ok || m.Kind != "histogram" {
+		t.Fatalf("Find = %+v, %v", m, ok)
+	}
+	if _, ok := snap.Find("absent"); ok {
+		t.Fatal("Find matched an absent metric")
+	}
+	if q := m.Quantile(0.50); q != 1 {
+		t.Errorf("p50 = %d, want 1", q)
+	}
+	if q := m.Quantile(0.90); q != 1 {
+		t.Errorf("p90 = %d, want 1 (rank 90 is the last le=1 observation)", q)
+	}
+	if q := m.Quantile(0.95); q != 127 {
+		t.Errorf("p95 = %d, want 127", q)
+	}
+	if q := m.Quantile(1.0); q != 127 {
+		t.Errorf("p100 = %d, want 127", q)
+	}
+	if q := (Metric{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty metric quantile = %d, want 0", q)
+	}
+}

@@ -1,0 +1,278 @@
+// Package client is the Go client of the alveare scan service: one
+// TCP connection speaking the framed protocol of internal/server,
+// reused across requests and safe for concurrent callers — requests
+// from multiple goroutines pipeline on the single connection and
+// responses are matched back by request id, so a slow scan never
+// blocks an unrelated caller's PING. The load generator (cmd/
+// alveareload) and the end-to-end tests drive the service through this
+// package.
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"alveare/internal/metrics"
+	"alveare/internal/server"
+)
+
+// ErrShed reports that the server's admission queue was full and the
+// request was rejected without being scanned; the caller should back
+// off and retry.
+var ErrShed = errors.New("client: request shed by server admission control")
+
+// ServerError is a structured failure the server reported for one
+// request (compile error, scan fault, draining).
+type ServerError struct {
+	Code byte
+	Msg  string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("client: server error %d: %s", e.Code, e.Msg)
+}
+
+// Option configures Dial.
+type Option func(*Client)
+
+// WithMaxFrame bounds response frames (default server.DefaultMaxFrame).
+func WithMaxFrame(n int) Option {
+	return func(c *Client) { c.maxFrame = n }
+}
+
+// WithDialTimeout bounds the TCP connect (default 10s).
+func WithDialTimeout(d time.Duration) Option {
+	return func(c *Client) { c.dialTimeout = d }
+}
+
+// Client is one connection to the scan service.
+type Client struct {
+	maxFrame    int
+	dialTimeout time.Duration
+
+	nc  net.Conn
+	wmu sync.Mutex // serialises frame writes
+
+	mu      sync.Mutex
+	waiters map[uint32]chan server.Frame
+	nextID  uint32
+	readErr error // terminal; set once the reader exits
+
+	readerDone chan struct{}
+}
+
+// Dial connects to a scan service.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	c := &Client{
+		maxFrame:    server.DefaultMaxFrame,
+		dialTimeout: 10 * time.Second,
+		waiters:     map[uint32]chan server.Frame{},
+		readerDone:  make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	nc, err := net.DialTimeout("tcp", addr, c.dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c.nc = nc
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop is the demultiplexer: every response frame is routed to the
+// request that carries its id. A read failure is terminal — every
+// in-flight and future request fails with the cause.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	for {
+		f, err := server.ReadFrame(c.nc, c.maxFrame)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = fmt.Errorf("client: connection lost: %w", err)
+			for id, ch := range c.waiters {
+				close(ch)
+				delete(c.waiters, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.waiters[f.ID]
+		if ok {
+			delete(c.waiters, f.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+	}
+}
+
+// Close tears the connection down; in-flight requests fail.
+func (c *Client) Close() error {
+	err := c.nc.Close()
+	<-c.readerDone
+	return err
+}
+
+// do issues one request and waits for its response, translating the
+// protocol-level failures (SHED, ERROR) into Go errors.
+func (c *Client) do(op byte, body []byte) (server.Frame, error) {
+	ch := make(chan server.Frame, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return server.Frame{}, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.waiters[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := server.WriteFrame(c.nc, server.Frame{Op: op, ID: id, Body: body})
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.waiters, id)
+		c.mu.Unlock()
+		return server.Frame{}, fmt.Errorf("client: write: %w", err)
+	}
+
+	f, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		return server.Frame{}, err
+	}
+	switch f.Op {
+	case server.OpShed:
+		return server.Frame{}, ErrShed
+	case server.OpError:
+		code, msg, derr := server.DecodeError(f.Body)
+		if derr != nil {
+			return server.Frame{}, derr
+		}
+		return server.Frame{}, &ServerError{Code: code, Msg: msg}
+	}
+	return f, nil
+}
+
+// expect asserts the response opcode.
+func expect(f server.Frame, op byte) error {
+	if f.Op != op {
+		return fmt.Errorf("client: unexpected %s response (want %s)", server.OpName(f.Op), server.OpName(op))
+	}
+	return nil
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	f, err := c.do(server.OpPing, nil)
+	if err != nil {
+		return err
+	}
+	return expect(f, server.OpPong)
+}
+
+// Scan runs the server's loaded rule set over payload and returns the
+// matches in rule order.
+func (c *Client) Scan(payload []byte) ([]server.RuleMatch, error) {
+	f, err := c.do(server.OpScan, payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := expect(f, server.OpMatches); err != nil {
+		return nil, err
+	}
+	return server.DecodeMatches(f.Body)
+}
+
+// Count returns the total number of rule matches in payload.
+func (c *Client) Count(payload []byte) (uint64, error) {
+	f, err := c.do(server.OpCount, payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := expect(f, server.OpCountResp); err != nil {
+		return 0, err
+	}
+	return server.DecodeCount(f.Body)
+}
+
+// ScanPattern runs one ad-hoc pattern (compiled server-side through
+// the LRU program cache) over payload.
+func (c *Client) ScanPattern(pattern string, payload []byte) ([]server.RuleMatch, error) {
+	body, err := server.EncodeScanPattern(pattern, payload)
+	if err != nil {
+		return nil, err
+	}
+	f, err := c.do(server.OpScanPattern, body)
+	if err != nil {
+		return nil, err
+	}
+	if err := expect(f, server.OpMatches); err != nil {
+		return nil, err
+	}
+	return server.DecodeMatches(f.Body)
+}
+
+// RulesInfo describes the serving rule snapshot.
+func (c *Client) RulesInfo() (server.Info, error) {
+	f, err := c.do(server.OpRulesInfo, nil)
+	if err != nil {
+		return server.Info{}, err
+	}
+	if err := expect(f, server.OpInfo); err != nil {
+		return server.Info{}, err
+	}
+	return server.DecodeInfo(f.Body)
+}
+
+// Reload hot-swaps the server's rule set with the given rules document
+// (one RE per line, '#' comments); it returns the new generation and
+// rule count. A compile failure leaves the serving rules untouched.
+func (c *Client) Reload(rulesText string) (generation, rules uint32, err error) {
+	f, err := c.do(server.OpReload, []byte(rulesText))
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := expect(f, server.OpReloadOK); err != nil {
+		return 0, 0, err
+	}
+	return server.DecodeReloadOK(f.Body)
+}
+
+// StatsJSON fetches the server's metrics snapshot as its JSON wire
+// form (schema-versioned, byte-deterministic).
+func (c *Client) StatsJSON() ([]byte, error) {
+	f, err := c.do(server.OpStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := expect(f, server.OpStatsResp); err != nil {
+		return nil, err
+	}
+	return f.Body, nil
+}
+
+// Stats fetches and decodes the server's metrics snapshot.
+func (c *Client) Stats() (*metrics.Snapshot, error) {
+	raw, err := c.StatsJSON()
+	if err != nil {
+		return nil, err
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("client: stats snapshot: %w", err)
+	}
+	return &snap, nil
+}

@@ -1,0 +1,364 @@
+// Package server turns the scanning library into a long-running
+// network service: a TCP listener speaking a small length-prefixed
+// binary protocol, a worker pool with bounded admission feeding the
+// concurrent RuleSet scanner, and a rule database that hot-reloads by
+// atomic snapshot swap — the library-to-appliance step the paper's
+// deep-packet-inspection deployment model implies (Snort rule sets
+// over network traffic, the BlueField-2 DPU baseline's niche).
+//
+// This file is the wire format. Every message is one frame:
+//
+//	offset  size  field
+//	0       4     length  — uint32 big-endian, bytes after this field
+//	4       1     opcode
+//	5       4     id      — request id, echoed verbatim in the response
+//	9       ...   body    — length-5 bytes, opcode-specific
+//
+// The length field covers the opcode, id and body, so the smallest
+// legal frame has length 5 (empty body). Frames above the receiver's
+// limit (DefaultMaxFrame unless configured) are rejected without
+// buffering the body. docs/PROTOCOL.md documents the byte-level layout
+// of every body; the golden tests in protocol_test.go pin it.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Request opcodes (client → server).
+const (
+	OpPing        byte = 0x01 // liveness probe, empty body
+	OpScan        byte = 0x02 // body = payload; scan against the loaded rule set
+	OpCount       byte = 0x03 // body = payload; respond with the total match count
+	OpScanPattern byte = 0x04 // body = u16 pattern-len, pattern, payload; ad-hoc single pattern
+	OpRulesInfo   byte = 0x05 // empty body; describe the loaded rule snapshot
+	OpReload      byte = 0x06 // body = rules text (one RE per line); hot-swap the rule set
+	OpStats       byte = 0x07 // empty body; respond with the server metrics snapshot
+)
+
+// Response opcodes (server → client; high bit set).
+const (
+	OpPong      byte = 0x81 // answers OpPing, empty body
+	OpMatches   byte = 0x82 // answers OpScan/OpScanPattern; body = match list
+	OpCountResp byte = 0x83 // answers OpCount; body = u64 count
+	OpInfo      byte = 0x85 // answers OpRulesInfo; body = generation + patterns
+	OpReloadOK  byte = 0x86 // answers OpReload; body = u32 generation, u32 rule count
+	OpStatsResp byte = 0x87 // answers OpStats; body = metrics snapshot JSON
+	OpError     byte = 0xE0 // any request; body = 1-byte code + utf-8 message
+	OpShed      byte = 0xEE // admission control rejected the request; empty body
+)
+
+// OpError body codes.
+const (
+	ErrCodeBadFrame byte = 1 // malformed or unparseable request body
+	ErrCodeCompile  byte = 2 // rule or ad-hoc pattern failed to compile
+	ErrCodeScan     byte = 3 // the scan itself failed (fault, timeout)
+	ErrCodeDraining byte = 4 // server is shutting down, not accepting work
+)
+
+// DefaultMaxFrame bounds one frame (opcode + id + body) unless the
+// server or client is configured otherwise: 1 MiB, comfortably above
+// the DPI deployment's packet-sized payloads.
+const DefaultMaxFrame = 1 << 20
+
+// frameHeader is the fixed prefix: u32 length, u8 opcode, u32 id.
+const frameHeader = 9
+
+// minFrameLen is the smallest legal value of the length field
+// (opcode + id, empty body).
+const minFrameLen = 5
+
+// Wire-format errors.
+var (
+	// ErrFrameTooLarge reports a frame whose length field exceeds the
+	// receiver's limit; the body is never read.
+	ErrFrameTooLarge = errors.New("server: frame exceeds size limit")
+	// ErrMalformedFrame reports a structurally invalid frame: a length
+	// below the opcode+id minimum, or a body that does not parse as its
+	// opcode demands.
+	ErrMalformedFrame = errors.New("server: malformed frame")
+)
+
+// Frame is one protocol message, either direction.
+type Frame struct {
+	Op   byte
+	ID   uint32
+	Body []byte
+}
+
+// WriteFrame serialises f to w as one length-prefixed frame.
+func WriteFrame(w io.Writer, f Frame) error {
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(minFrameLen+len(f.Body)))
+	hdr[4] = f.Op
+	binary.BigEndian.PutUint32(hdr[5:9], f.ID)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.Body) == 0 {
+		return nil
+	}
+	_, err := w.Write(f.Body)
+	return err
+}
+
+// ReadFrame reads one frame from r, rejecting frames whose length field
+// exceeds max (non-positive max selects DefaultMaxFrame) before any
+// body byte is buffered. A clean EOF at a frame boundary returns
+// io.EOF; EOF inside a frame returns io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, max int) (Frame, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n < minFrameLen {
+		return Frame{}, fmt.Errorf("%w: length %d below minimum %d", ErrMalformedFrame, n, minFrameLen)
+	}
+	if int64(n) > int64(max) {
+		return Frame{}, fmt.Errorf("%w: length %d > limit %d", ErrFrameTooLarge, n, max)
+	}
+	if _, err := io.ReadFull(r, hdr[4:]); err != nil {
+		return Frame{}, unexpectedEOF(err)
+	}
+	f := Frame{Op: hdr[4], ID: binary.BigEndian.Uint32(hdr[5:9])}
+	if body := int(n) - minFrameLen; body > 0 {
+		f.Body = make([]byte, body)
+		if _, err := io.ReadFull(r, f.Body); err != nil {
+			return Frame{}, unexpectedEOF(err)
+		}
+	}
+	return f, nil
+}
+
+// unexpectedEOF maps a mid-frame EOF to io.ErrUnexpectedEOF so callers
+// can tell a torn frame from a clean close.
+func unexpectedEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// RuleMatch is one match in an OpMatches body: the matching rule's
+// index in the loaded snapshot (always 0 for OpScanPattern) and the
+// half-open byte interval in the scanned payload.
+type RuleMatch struct {
+	Rule       uint32
+	Start, End uint64
+}
+
+// matchRecord is one RuleMatch on the wire: u32 rule, u64 start, u64 end.
+const matchRecord = 4 + 8 + 8
+
+// EncodeMatches serialises an OpMatches body: u32 count, then count
+// records of (u32 rule, u64 start, u64 end).
+func EncodeMatches(ms []RuleMatch) []byte {
+	body := make([]byte, 4+matchRecord*len(ms))
+	binary.BigEndian.PutUint32(body, uint32(len(ms)))
+	off := 4
+	for _, m := range ms {
+		binary.BigEndian.PutUint32(body[off:], m.Rule)
+		binary.BigEndian.PutUint64(body[off+4:], m.Start)
+		binary.BigEndian.PutUint64(body[off+12:], m.End)
+		off += matchRecord
+	}
+	return body
+}
+
+// DecodeMatches parses an OpMatches body.
+func DecodeMatches(body []byte) ([]RuleMatch, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: matches body %d bytes", ErrMalformedFrame, len(body))
+	}
+	n := binary.BigEndian.Uint32(body)
+	if uint64(len(body)-4) != uint64(n)*matchRecord {
+		return nil, fmt.Errorf("%w: matches body %d bytes for count %d", ErrMalformedFrame, len(body), n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	ms := make([]RuleMatch, n)
+	off := 4
+	for i := range ms {
+		ms[i] = RuleMatch{
+			Rule:  binary.BigEndian.Uint32(body[off:]),
+			Start: binary.BigEndian.Uint64(body[off+4:]),
+			End:   binary.BigEndian.Uint64(body[off+12:]),
+		}
+		off += matchRecord
+	}
+	return ms, nil
+}
+
+// EncodeCount serialises an OpCountResp body: u64 total.
+func EncodeCount(n uint64) []byte {
+	body := make([]byte, 8)
+	binary.BigEndian.PutUint64(body, n)
+	return body
+}
+
+// DecodeCount parses an OpCountResp body.
+func DecodeCount(body []byte) (uint64, error) {
+	if len(body) != 8 {
+		return 0, fmt.Errorf("%w: count body %d bytes", ErrMalformedFrame, len(body))
+	}
+	return binary.BigEndian.Uint64(body), nil
+}
+
+// EncodeScanPattern serialises an OpScanPattern body: u16 pattern
+// length, the pattern, then the payload.
+func EncodeScanPattern(pattern string, payload []byte) ([]byte, error) {
+	if len(pattern) > 0xFFFF {
+		return nil, fmt.Errorf("%w: pattern %d bytes exceeds u16", ErrMalformedFrame, len(pattern))
+	}
+	body := make([]byte, 2+len(pattern)+len(payload))
+	binary.BigEndian.PutUint16(body, uint16(len(pattern)))
+	copy(body[2:], pattern)
+	copy(body[2+len(pattern):], payload)
+	return body, nil
+}
+
+// DecodeScanPattern parses an OpScanPattern body. payload aliases body.
+func DecodeScanPattern(body []byte) (pattern string, payload []byte, err error) {
+	if len(body) < 2 {
+		return "", nil, fmt.Errorf("%w: scan-pattern body %d bytes", ErrMalformedFrame, len(body))
+	}
+	plen := int(binary.BigEndian.Uint16(body))
+	if len(body)-2 < plen {
+		return "", nil, fmt.Errorf("%w: scan-pattern length %d exceeds body", ErrMalformedFrame, plen)
+	}
+	return string(body[2 : 2+plen]), body[2+plen:], nil
+}
+
+// Info describes the loaded rule snapshot: the hot-reload generation
+// (0 for the rules the server started with, +1 per accepted OpReload)
+// and the patterns in rule order.
+type Info struct {
+	Generation uint32
+	Patterns   []string
+}
+
+// EncodeInfo serialises an OpInfo body: u32 generation, u32 rule
+// count, then per rule u16 length + pattern bytes.
+func EncodeInfo(info Info) ([]byte, error) {
+	size := 8
+	for _, p := range info.Patterns {
+		if len(p) > 0xFFFF {
+			return nil, fmt.Errorf("%w: pattern %d bytes exceeds u16", ErrMalformedFrame, len(p))
+		}
+		size += 2 + len(p)
+	}
+	body := make([]byte, size)
+	binary.BigEndian.PutUint32(body, info.Generation)
+	binary.BigEndian.PutUint32(body[4:], uint32(len(info.Patterns)))
+	off := 8
+	for _, p := range info.Patterns {
+		binary.BigEndian.PutUint16(body[off:], uint16(len(p)))
+		copy(body[off+2:], p)
+		off += 2 + len(p)
+	}
+	return body, nil
+}
+
+// DecodeInfo parses an OpInfo body.
+func DecodeInfo(body []byte) (Info, error) {
+	if len(body) < 8 {
+		return Info{}, fmt.Errorf("%w: info body %d bytes", ErrMalformedFrame, len(body))
+	}
+	info := Info{Generation: binary.BigEndian.Uint32(body)}
+	n := binary.BigEndian.Uint32(body[4:])
+	off := 8
+	for i := uint32(0); i < n; i++ {
+		if len(body)-off < 2 {
+			return Info{}, fmt.Errorf("%w: info truncated at pattern %d", ErrMalformedFrame, i)
+		}
+		plen := int(binary.BigEndian.Uint16(body[off:]))
+		off += 2
+		if len(body)-off < plen {
+			return Info{}, fmt.Errorf("%w: info pattern %d length %d exceeds body", ErrMalformedFrame, i, plen)
+		}
+		info.Patterns = append(info.Patterns, string(body[off:off+plen]))
+		off += plen
+	}
+	if off != len(body) {
+		return Info{}, fmt.Errorf("%w: info body has %d trailing bytes", ErrMalformedFrame, len(body)-off)
+	}
+	return info, nil
+}
+
+// EncodeReloadOK serialises an OpReloadOK body: u32 generation, u32
+// rule count.
+func EncodeReloadOK(generation, rules uint32) []byte {
+	body := make([]byte, 8)
+	binary.BigEndian.PutUint32(body, generation)
+	binary.BigEndian.PutUint32(body[4:], rules)
+	return body
+}
+
+// DecodeReloadOK parses an OpReloadOK body.
+func DecodeReloadOK(body []byte) (generation, rules uint32, err error) {
+	if len(body) != 8 {
+		return 0, 0, fmt.Errorf("%w: reload-ok body %d bytes", ErrMalformedFrame, len(body))
+	}
+	return binary.BigEndian.Uint32(body), binary.BigEndian.Uint32(body[4:]), nil
+}
+
+// EncodeError serialises an OpError body: 1-byte code + utf-8 message.
+func EncodeError(code byte, msg string) []byte {
+	body := make([]byte, 1+len(msg))
+	body[0] = code
+	copy(body[1:], msg)
+	return body
+}
+
+// DecodeError parses an OpError body.
+func DecodeError(body []byte) (code byte, msg string, err error) {
+	if len(body) < 1 {
+		return 0, "", fmt.Errorf("%w: empty error body", ErrMalformedFrame)
+	}
+	return body[0], string(body[1:]), nil
+}
+
+// OpName returns the opcode's protocol name, for diagnostics.
+func OpName(op byte) string {
+	switch op {
+	case OpPing:
+		return "PING"
+	case OpScan:
+		return "SCAN"
+	case OpCount:
+		return "COUNT"
+	case OpScanPattern:
+		return "SCAN-PATTERN"
+	case OpRulesInfo:
+		return "RULES-INFO"
+	case OpReload:
+		return "RELOAD"
+	case OpStats:
+		return "STATS"
+	case OpPong:
+		return "PONG"
+	case OpMatches:
+		return "MATCHES"
+	case OpCountResp:
+		return "COUNT-RESP"
+	case OpInfo:
+		return "INFO"
+	case OpReloadOK:
+		return "RELOAD-OK"
+	case OpStatsResp:
+		return "STATS-RESP"
+	case OpError:
+		return "ERROR"
+	case OpShed:
+		return "SHED"
+	}
+	return fmt.Sprintf("OP-0x%02X", op)
+}

@@ -1,0 +1,684 @@
+// The scan service: a TCP listener speaking the framed protocol, a
+// bounded admission queue feeding a worker pool, rule hot-reload by
+// atomic snapshot swap, and graceful drain.
+//
+// Admission control and backpressure: every connection reader parses
+// frames under a read deadline and a frame-size cap, answers the cheap
+// control requests (PING, RULES-INFO, STATS) inline, and hands scan
+// work to a bounded queue. A full queue yields an immediate SHED
+// response — the client learns it must back off; the server never
+// buffers unbounded work or blocks its readers. Workers execute scans
+// under the configured guardrail policy and per-request timeout, so
+// one adversarial payload cannot wedge a worker (the runaway trips the
+// cycle budget, the policy contains it, the worker moves on).
+//
+// Drain: Shutdown stops the accept loop, wakes every connection
+// reader, lets each connection's in-flight responses complete, then
+// retires the workers. No request that was admitted is dropped; no
+// goroutine outlives the drain (the leak-check tests pin this).
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alveare/internal/arch"
+	"alveare/internal/core"
+	"alveare/internal/metrics"
+)
+
+// faultDrainTimeout bounds how long a reader spends discarding the
+// peer's leftover bytes after a framing fault before closing.
+const faultDrainTimeout = 500 * time.Millisecond
+
+// Config parameterises a Server. Zero values select the defaults.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (e.g. ":7171").
+	Addr string
+	// Rules is the initial rule database (generation 0); required.
+	Rules []string
+
+	// Workers is the service worker-pool width (default GOMAXPROCS).
+	// Each worker executes one admitted request at a time; the RuleSet
+	// underneath fans one request's rules out over its own bounded pool
+	// of recycled cores.
+	Workers int
+	// QueueDepth bounds the admission queue (default 128). A request
+	// arriving while the queue is full is answered with SHED.
+	QueueDepth int
+	// MaxFrame bounds one request frame (default DefaultMaxFrame);
+	// larger frames are rejected before their body is buffered.
+	MaxFrame int
+	// ReadTimeout is the per-frame read deadline (default 30s): an idle
+	// connection is closed after this long without a complete frame.
+	ReadTimeout time.Duration
+	// RequestTimeout bounds one scan's execution, queue wait excluded
+	// (default 0: unbounded). An expired request is answered with an
+	// ERROR frame carrying the deadline cause.
+	RequestTimeout time.Duration
+
+	// Policy is the guardrail containment for runaway scans (default
+	// FailFast); Budget caps the speculative cycle budget per attempt
+	// (0 = effectively unbounded), exactly as the tools' -policy and
+	// -budget flags.
+	Policy core.Policy
+	Budget int64
+	// RuleWorkers bounds each request's rule-level fan-out inside the
+	// RuleSet (default GOMAXPROCS).
+	RuleWorkers int
+
+	// PatternCache is the LRU capacity for ad-hoc SCAN-PATTERN engines
+	// (default 64; negative disables caching).
+	PatternCache int
+
+	// Registry receives the server's metrics; nil allocates a private
+	// one (exposed by MetricsSnapshot and the STATS endpoint).
+	Registry *metrics.Registry
+
+	// ScanHook, when set, runs at the start of every admitted request's
+	// execution — a test seam for making workers observably slow.
+	ScanHook func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.PatternCache == 0 {
+		c.PatternCache = 64
+	}
+	return c
+}
+
+// Server is one scan service instance.
+type Server struct {
+	cfg  Config
+	opts []core.Option
+
+	snap   atomic.Pointer[snapshot]
+	cache  *programCache
+	reg    *metrics.Registry
+	met    serverMetrics
+	reload sync.Mutex // serialises Reload's compile-and-swap
+
+	queue  chan *job
+	qdepth atomic.Int64
+
+	baseCtx context.Context
+	abort   context.CancelFunc // hard stop: cancels in-flight scans
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+	closed   bool
+
+	stopOnce  sync.Once
+	stopped   chan struct{} // closed once the drain completes
+	wgConns   sync.WaitGroup
+	wgWorkers sync.WaitGroup
+}
+
+// job is one admitted request awaiting a worker.
+type job struct {
+	c        *conn
+	f        Frame
+	admitted time.Time
+}
+
+// conn is one accepted connection: frames are read by its reader
+// goroutine and responses written by workers under the write mutex, so
+// pipelined requests from one client interleave safely.
+type conn struct {
+	nc      net.Conn
+	wmu     sync.Mutex
+	pending sync.WaitGroup // admitted jobs not yet answered
+	broken  atomic.Bool    // a response write failed; drop the rest
+}
+
+// endpointMetrics is one request type's counter block.
+type endpointMetrics struct {
+	requests *metrics.Counter
+	bytes    *metrics.Counter
+	latency  *metrics.Histogram
+}
+
+// serverMetrics resolves every metric handle once, at construction, so
+// the request path touches only atomics.
+type serverMetrics struct {
+	scan, count, pattern, ping, info, reload, stats endpointMetrics
+
+	matches    *metrics.Counter
+	shed       *metrics.Counter
+	errs       *metrics.Counter
+	bytesIn    *metrics.Counter
+	bytesOut   *metrics.Counter
+	connsOpen  *metrics.Gauge
+	connsTotal *metrics.Counter
+	queueDepth *metrics.Gauge
+	queueHigh  *metrics.Gauge
+	reloads    *metrics.Counter
+	generation *metrics.Gauge
+}
+
+func newEndpoint(r *metrics.Registry, name string) endpointMetrics {
+	return endpointMetrics{
+		requests: r.Counter("server." + name + ".requests"),
+		bytes:    r.Counter("server." + name + ".bytes"),
+		latency:  r.Histogram("server." + name + ".latency_us"),
+	}
+}
+
+func resolveMetrics(r *metrics.Registry) serverMetrics {
+	return serverMetrics{
+		scan:       newEndpoint(r, "scan"),
+		count:      newEndpoint(r, "count"),
+		pattern:    newEndpoint(r, "pattern"),
+		ping:       newEndpoint(r, "ping"),
+		info:       newEndpoint(r, "info"),
+		reload:     newEndpoint(r, "reload"),
+		stats:      newEndpoint(r, "stats"),
+		matches:    r.Counter("server.matches"),
+		shed:       r.Counter("server.shed"),
+		errs:       r.Counter("server.errors"),
+		bytesIn:    r.Counter("server.bytes.in"),
+		bytesOut:   r.Counter("server.bytes.out"),
+		connsOpen:  r.Gauge("server.conns.open"),
+		connsTotal: r.Counter("server.conns.total"),
+		queueDepth: r.Gauge("server.queue.depth"),
+		queueHigh:  r.Gauge("server.queue.highwater"),
+		reloads:    r.Counter("server.reloads"),
+		generation: r.Gauge("server.generation"),
+	}
+}
+
+// New compiles the initial rule snapshot and builds the service. The
+// server does not listen until Serve or ListenAndServe.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	opts := []core.Option{
+		core.WithPolicy(cfg.Policy),
+		core.WithBudget(cfg.Budget),
+		core.WithWorkers(cfg.RuleWorkers),
+	}
+	snap, err := compileSnapshot(cfg.Rules, 0, opts)
+	if err != nil {
+		return nil, err
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.New()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		opts:    opts,
+		cache:   newProgramCache(cfg.PatternCache),
+		reg:     reg,
+		met:     resolveMetrics(reg),
+		queue:   make(chan *job, cfg.QueueDepth),
+		baseCtx: ctx,
+		abort:   cancel,
+		conns:   map[*conn]struct{}{},
+		stopped: make(chan struct{}),
+	}
+	s.snap.Store(snap)
+	s.met.generation.Set(0)
+	return s, nil
+}
+
+// ListenAndServe listens on cfg.Addr and serves until Shutdown/Close.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener's address (the resolved port for ":0"
+// listeners), or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve runs the accept loop on ln until Shutdown or Close; it owns
+// the listener. The error is nil after a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wgWorkers.Add(1)
+		go s.worker()
+	}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			stopping := s.draining || s.closed
+			s.mu.Unlock()
+			if stopping {
+				return nil
+			}
+			return err
+		}
+		c := &conn{nc: nc}
+		s.mu.Lock()
+		if s.draining || s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.met.connsTotal.Inc()
+		s.met.connsOpen.Set(int64(s.openConns()))
+		s.wgConns.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *Server) openConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Reload compiles patterns into a fresh snapshot and swaps it live.
+// In-flight requests finish on the snapshot they started with; the
+// swap is atomic, so no request ever observes a partial rule set. The
+// new generation number is returned; a compile failure leaves the
+// serving snapshot untouched.
+func (s *Server) Reload(patterns []string) (uint32, error) {
+	s.reload.Lock()
+	defer s.reload.Unlock()
+	gen := s.snap.Load().generation + 1
+	snap, err := compileSnapshot(patterns, gen, s.opts)
+	if err != nil {
+		return 0, err
+	}
+	s.snap.Store(snap)
+	s.met.reloads.Inc()
+	s.met.generation.Set(int64(gen))
+	return gen, nil
+}
+
+// Info describes the currently serving snapshot.
+func (s *Server) Info() Info {
+	snap := s.snap.Load()
+	return Info{Generation: snap.generation, Patterns: append([]string(nil), snap.patterns...)}
+}
+
+// MetricsSnapshot publishes the serving rule set's scan roll-up and
+// the pattern-cache counters into the server registry and returns the
+// deterministic snapshot — the body of the STATS response and what
+// alvearesrv's -metrics flag flushes on exit.
+func (s *Server) MetricsSnapshot() *metrics.Snapshot {
+	snap := s.snap.Load()
+	snap.rules.PublishMetrics(s.reg)
+	hits, misses := s.cache.stats()
+	s.reg.Counter("server.cache.hits").Store(hits)
+	s.reg.Counter("server.cache.misses").Store(misses)
+	return s.reg.Snapshot()
+}
+
+// Shutdown drains the service: the listener closes, connection readers
+// wake and stop parsing new requests, every admitted request's
+// response is written, then workers retire. It returns nil on a clean
+// drain, or ctx's error after escalating to a hard Close when ctx
+// expires first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	for _, c := range s.beginStop() {
+		// Wake every blocked reader; each drains its own pending
+		// responses before closing its socket.
+		c.nc.SetReadDeadline(time.Now())
+	}
+	s.ensureDrainLoop()
+	select {
+	case <-s.stopped:
+		return nil
+	case <-ctx.Done():
+		s.Close()
+		return ctx.Err()
+	}
+}
+
+// Close stops the service immediately: in-flight scans are cancelled,
+// connections closed. Prefer Shutdown.
+func (s *Server) Close() error {
+	conns := s.beginStop()
+	s.abort() // cancel in-flight scans
+	for _, c := range conns {
+		c.broken.Store(true)
+		c.nc.Close()
+	}
+	s.ensureDrainLoop()
+	<-s.stopped
+	return nil
+}
+
+// beginStop flips the server into draining, closes the listener, and
+// returns the open connections (idempotent; later calls return the
+// still-open set).
+func (s *Server) beginStop() []*conn {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	return conns
+}
+
+// ensureDrainLoop runs the terminal drain exactly once: wait for the
+// readers (the queue's only producers), close the queue, wait for the
+// workers, then mark the server stopped.
+func (s *Server) ensureDrainLoop() {
+	s.stopOnce.Do(func() {
+		go func() {
+			s.wgConns.Wait()
+			close(s.queue)
+			s.wgWorkers.Wait()
+			s.mu.Lock()
+			s.closed = true
+			s.mu.Unlock()
+			s.abort()
+			close(s.stopped)
+		}()
+	})
+}
+
+// isDraining reports whether Shutdown or Close has begun.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// serveConn is one connection's reader loop: parse a frame, answer
+// control requests inline, admit scan work to the queue. On exit it
+// waits for the connection's admitted jobs to be answered, then closes
+// the socket.
+func (s *Server) serveConn(c *conn) {
+	defer s.wgConns.Done()
+	defer func() {
+		c.pending.Wait()
+		c.nc.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.met.connsOpen.Set(int64(s.openConns()))
+	}()
+
+	for {
+		if s.isDraining() {
+			return
+		}
+		c.nc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		f, err := ReadFrame(c.nc, s.cfg.MaxFrame)
+		if err != nil {
+			switch {
+			case errors.Is(err, io.EOF):
+				return // clean close
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				return // drain wake-up or idle timeout
+			case errors.Is(err, ErrFrameTooLarge), errors.Is(err, ErrMalformedFrame):
+				// The stream cannot be resynchronised after a framing
+				// fault; report and close. Closing with bytes of the bad
+				// frame still unread would turn into a TCP RST that can
+				// destroy the queued ERROR before the client reads it, so
+				// half-close and briefly drain the peer first (the same
+				// dance net/http does when rejecting a request early).
+				s.met.errs.Inc()
+				s.writeFrame(c, Frame{Op: OpError, Body: EncodeError(ErrCodeBadFrame, err.Error())})
+				if tc, ok := c.nc.(*net.TCPConn); ok {
+					tc.CloseWrite()
+				}
+				c.nc.SetReadDeadline(time.Now().Add(faultDrainTimeout))
+				io.Copy(io.Discard, io.LimitReader(c.nc, int64(s.cfg.MaxFrame)))
+				return
+			default:
+				return
+			}
+		}
+		s.met.bytesIn.Add(int64(frameHeader + len(f.Body)))
+		s.dispatch(c, f)
+	}
+}
+
+// dispatch routes one parsed request: control requests answer inline
+// on the reader goroutine (they never block on scan work); scan
+// requests pass admission control into the bounded queue.
+func (s *Server) dispatch(c *conn, f Frame) {
+	start := time.Now()
+	switch f.Op {
+	case OpPing:
+		s.met.ping.requests.Inc()
+		s.writeFrame(c, Frame{Op: OpPong, ID: f.ID})
+		s.met.ping.latency.Observe(time.Since(start).Microseconds())
+	case OpRulesInfo:
+		s.met.info.requests.Inc()
+		body, err := EncodeInfo(s.Info())
+		if err != nil {
+			s.replyErr(c, f.ID, ErrCodeBadFrame, err)
+			return
+		}
+		s.writeFrame(c, Frame{Op: OpInfo, ID: f.ID, Body: body})
+		s.met.info.latency.Observe(time.Since(start).Microseconds())
+	case OpStats:
+		s.met.stats.requests.Inc()
+		var buf bytes.Buffer
+		if err := s.MetricsSnapshot().WriteJSON(&buf); err != nil {
+			s.replyErr(c, f.ID, ErrCodeScan, err)
+			return
+		}
+		s.writeFrame(c, Frame{Op: OpStatsResp, ID: f.ID, Body: buf.Bytes()})
+		s.met.stats.latency.Observe(time.Since(start).Microseconds())
+	case OpScan, OpCount, OpScanPattern, OpReload:
+		if s.isDraining() {
+			s.replyErr(c, f.ID, ErrCodeDraining, errors.New("server draining"))
+			return
+		}
+		j := &job{c: c, f: f, admitted: start}
+		c.pending.Add(1)
+		select {
+		case s.queue <- j:
+			d := s.qdepth.Add(1)
+			s.met.queueDepth.Set(d)
+			s.met.queueHigh.Max(d)
+		default:
+			// Queue full: shed immediately, never block the reader.
+			c.pending.Done()
+			s.met.shed.Inc()
+			s.writeFrame(c, Frame{Op: OpShed, ID: f.ID})
+		}
+	default:
+		s.met.errs.Inc()
+		s.writeFrame(c, Frame{Op: OpError, ID: f.ID,
+			Body: EncodeError(ErrCodeBadFrame, "unknown opcode "+OpName(f.Op))})
+	}
+}
+
+// worker executes admitted requests until the queue closes.
+func (s *Server) worker() {
+	defer s.wgWorkers.Done()
+	for j := range s.queue {
+		s.met.queueDepth.Set(s.qdepth.Add(-1))
+		s.execute(j)
+		j.c.pending.Done()
+	}
+}
+
+// execute runs one admitted request under the per-request timeout and
+// writes its response.
+func (s *Server) execute(j *job) {
+	if s.cfg.ScanHook != nil {
+		s.cfg.ScanHook()
+	}
+	ctx := s.baseCtx
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	switch j.f.Op {
+	case OpScan:
+		s.met.scan.requests.Inc()
+		s.met.scan.bytes.Add(int64(len(j.f.Body)))
+		ms, err := s.scanSnapshot(ctx, j.f.Body)
+		if err != nil {
+			s.replyErr(j.c, j.f.ID, ErrCodeScan, err)
+			break
+		}
+		s.met.matches.Add(int64(len(ms)))
+		s.writeFrame(j.c, Frame{Op: OpMatches, ID: j.f.ID, Body: EncodeMatches(ms)})
+		s.met.scan.latency.Observe(time.Since(j.admitted).Microseconds())
+	case OpCount:
+		s.met.count.requests.Inc()
+		s.met.count.bytes.Add(int64(len(j.f.Body)))
+		ms, err := s.scanSnapshot(ctx, j.f.Body)
+		if err != nil {
+			s.replyErr(j.c, j.f.ID, ErrCodeScan, err)
+			break
+		}
+		s.met.matches.Add(int64(len(ms)))
+		s.writeFrame(j.c, Frame{Op: OpCountResp, ID: j.f.ID, Body: EncodeCount(uint64(len(ms)))})
+		s.met.count.latency.Observe(time.Since(j.admitted).Microseconds())
+	case OpScanPattern:
+		s.met.pattern.requests.Inc()
+		pattern, payload, err := DecodeScanPattern(j.f.Body)
+		if err != nil {
+			s.replyErr(j.c, j.f.ID, ErrCodeBadFrame, err)
+			break
+		}
+		s.met.pattern.bytes.Add(int64(len(payload)))
+		ms, err := s.scanPattern(ctx, pattern, payload)
+		if err != nil {
+			code := ErrCodeScan
+			if !isScanFailure(err) {
+				code = ErrCodeCompile
+			}
+			s.replyErr(j.c, j.f.ID, code, err)
+			break
+		}
+		s.met.matches.Add(int64(len(ms)))
+		s.writeFrame(j.c, Frame{Op: OpMatches, ID: j.f.ID, Body: EncodeMatches(ms)})
+		s.met.pattern.latency.Observe(time.Since(j.admitted).Microseconds())
+	case OpReload:
+		s.met.reload.requests.Inc()
+		rules := ParseRules(string(j.f.Body))
+		gen, err := s.Reload(rules)
+		if err != nil {
+			s.replyErr(j.c, j.f.ID, ErrCodeCompile, err)
+			break
+		}
+		s.writeFrame(j.c, Frame{Op: OpReloadOK, ID: j.f.ID, Body: EncodeReloadOK(gen, uint32(len(rules)))})
+		s.met.reload.latency.Observe(time.Since(j.admitted).Microseconds())
+	}
+}
+
+// scanSnapshot runs the serving rule set over payload. The snapshot is
+// captured once, so a concurrent Reload never splits one request
+// across two rule-set generations.
+func (s *Server) scanSnapshot(ctx context.Context, payload []byte) ([]RuleMatch, error) {
+	snap := s.snap.Load()
+	out, err := snap.rules.ScanCtx(ctx, payload)
+	if err != nil {
+		return nil, err
+	}
+	var ms []RuleMatch
+	for _, rm := range out {
+		for _, m := range rm.Matches {
+			ms = append(ms, RuleMatch{Rule: uint32(rm.Rule), Start: uint64(m.Start), End: uint64(m.End)})
+		}
+	}
+	return ms, nil
+}
+
+// scanPattern runs one ad-hoc pattern over payload through the LRU
+// compiled-engine cache.
+func (s *Server) scanPattern(ctx context.Context, pattern string, payload []byte) ([]RuleMatch, error) {
+	eng, cached, err := s.cache.get(pattern, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	found, err := eng.FindAllCtx(ctx, payload)
+	s.cache.put(pattern, eng, cached)
+	if err != nil {
+		return nil, err
+	}
+	var ms []RuleMatch
+	for _, m := range found {
+		ms = append(ms, RuleMatch{Rule: 0, Start: uint64(m.Start), End: uint64(m.End)})
+	}
+	return ms, nil
+}
+
+// isScanFailure reports whether err arose from scan execution (as
+// opposed to pattern compilation).
+func isScanFailure(err error) bool {
+	var se *core.ScanError
+	var ee *arch.ExecError
+	return errors.As(err, &se) || errors.As(err, &ee) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// replyErr writes an ERROR response and counts it.
+func (s *Server) replyErr(c *conn, id uint32, code byte, err error) {
+	s.met.errs.Inc()
+	s.writeFrame(c, Frame{Op: OpError, ID: id, Body: EncodeError(code, err.Error())})
+}
+
+// writeFrame serialises one response under the connection's write
+// mutex. A connection whose write failed is marked broken and closed;
+// later responses for it are dropped (their requests were answered as
+// far as the dead peer is concerned).
+func (s *Server) writeFrame(c *conn, f Frame) {
+	if c.broken.Load() {
+		return
+	}
+	c.wmu.Lock()
+	err := WriteFrame(c.nc, f)
+	c.wmu.Unlock()
+	if err != nil {
+		if c.broken.CompareAndSwap(false, true) {
+			c.nc.Close()
+		}
+		return
+	}
+	s.met.bytesOut.Add(int64(frameHeader + len(f.Body)))
+}

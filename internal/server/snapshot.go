@@ -1,0 +1,166 @@
+// Rule snapshots and the ad-hoc pattern cache.
+//
+// The server's rule database is immutable once compiled: a snapshot
+// bundles the pattern sources with the RuleSet built from them, and
+// the live snapshot is swapped atomically (atomic.Pointer) by Reload.
+// In-flight requests keep scanning the snapshot they dispatched
+// against — a reload never stalls the data path behind a lock, and a
+// half-reloaded state is unrepresentable. The RuleSet itself is safe
+// for concurrent scans (bounded worker pool over pooled cores), so one
+// snapshot serves every server worker at once.
+package server
+
+import (
+	"bufio"
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+
+	"alveare/internal/backend"
+	"alveare/internal/core"
+)
+
+// snapshot is one immutable compiled rule-set generation.
+type snapshot struct {
+	generation uint32
+	patterns   []string
+	rules      *core.RuleSet
+}
+
+// compileSnapshot builds a snapshot from pattern sources with the
+// server's scan options applied.
+func compileSnapshot(patterns []string, generation uint32, opts []core.Option) (*snapshot, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("server: empty rule set")
+	}
+	rs, err := core.NewRuleSet(patterns, backend.Options{}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &snapshot{
+		generation: generation,
+		patterns:   append([]string(nil), patterns...),
+		rules:      rs,
+	}, nil
+}
+
+// ParseRules extracts the rule list from a rules document: one regular
+// expression per line, blank lines and '#' comments skipped — the same
+// format alvearescan's -rules flag and the OpReload body use.
+func ParseRules(text string) []string {
+	var rules []string
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rules = append(rules, line)
+	}
+	return rules
+}
+
+// programCache is an LRU of compiled ad-hoc engines keyed by pattern
+// source, so repeated OpScanPattern requests for the same expression
+// pay compilation once. Engines are not safe for concurrent scans, so
+// the cache hands out exclusive leases: a Get while the entry's engine
+// is leased compiles a throwaway engine rather than blocking the
+// worker (the cache is an optimisation, never a serialisation point).
+type programCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	pattern string
+	eng     *core.Engine
+	leased  bool
+}
+
+// newProgramCache returns an LRU holding up to capacity compiled
+// engines; capacity <= 0 disables caching (every Get compiles).
+func newProgramCache(capacity int) *programCache {
+	return &programCache{
+		cap:     capacity,
+		entries: map[string]*list.Element{},
+		order:   list.New(),
+	}
+}
+
+// get returns an engine for pattern, compiling on miss, and reports
+// whether the engine came from the cache. The caller owns the engine
+// until it calls put.
+func (c *programCache) get(pattern string, opts []core.Option) (*core.Engine, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[pattern]; ok {
+		e := el.Value.(*cacheEntry)
+		if !e.leased {
+			e.leased = true
+			c.order.MoveToFront(el)
+			c.hits++
+			c.mu.Unlock()
+			e.eng.ResetStats()
+			return e.eng, true, nil
+		}
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	prog, err := core.Compile(pattern)
+	if err != nil {
+		return nil, false, err
+	}
+	eng, err := core.NewEngine(prog, opts...)
+	if err != nil {
+		return nil, false, err
+	}
+	return eng, false, nil
+}
+
+// put returns an engine leased or compiled by get. Cached engines are
+// released; fresh ones are admitted (evicting the least recently used
+// unleased entry when full) unless their pattern is already cached.
+func (c *programCache) put(pattern string, eng *core.Engine, cached bool) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cached {
+		if el, ok := c.entries[pattern]; ok {
+			el.Value.(*cacheEntry).leased = false
+		}
+		return
+	}
+	if _, ok := c.entries[pattern]; ok {
+		return // a concurrent request already cached this pattern
+	}
+	for c.order.Len() >= c.cap {
+		evicted := false
+		for el := c.order.Back(); el != nil; el = el.Prev() {
+			if e := el.Value.(*cacheEntry); !e.leased {
+				c.order.Remove(el)
+				delete(c.entries, e.pattern)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // every entry leased; drop the newcomer instead
+		}
+	}
+	c.entries[pattern] = c.order.PushFront(&cacheEntry{pattern: pattern, eng: eng, leased: false})
+}
+
+// stats returns the hit/miss counters.
+func (c *programCache) stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
