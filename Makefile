@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check fuzz fuzzsmoke leakcheck benchguard benchbaseline bench serve loadtest
+.PHONY: build test vet race check chaostest fuzz fuzzsmoke leakcheck benchguard benchbaseline bench serve loadtest
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,19 @@ race:
 
 ## check: the full local CI gate — vet, everything under the race
 ## detector (including the goroutine-leak assertions in the fault
-## matrix), then a short fuzz pass over both differential fuzzers.
-check: vet race leakcheck fuzzsmoke
+## matrix), the seeded chaos suite, then a short fuzz pass over both
+## differential fuzzers.
+check: vet race leakcheck chaostest fuzzsmoke
+
+## chaostest: the resilience gate — the seeded chaos e2e (real servers
+## behind deterministic netchaos proxies, a failover Pool completing
+## 100% of idempotent traffic through resets/truncation/a dead
+## backend, breaker open-and-recover) plus the client, pool and
+## netchaos unit suites, all under -race. Every random decision is
+## seeded; failing runs print the seed to replay.
+chaostest:
+	$(GO) test -race -count=1 ./internal/faultinject/netchaos/ ./internal/server/client/
+	$(GO) test -race -count=1 -run 'TestChaos|TestServerDrainWithMidFrameResets|TestWriteTimeout' ./internal/server/
 
 ## fuzz: cross-check the chunked reader scan against one-shot FindAll.
 fuzz:

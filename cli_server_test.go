@@ -74,3 +74,71 @@ func TestCLIServeAndLoad(t *testing.T) {
 		t.Fatal("alvearesrv did not drain after SIGTERM")
 	}
 }
+
+// startSrvProc launches an alvearesrv on an ephemeral port and returns
+// its resolved address; cleanup SIGTERMs it and waits for the drain.
+func startSrvProc(t *testing.T, rules string) string {
+	t.Helper()
+	srv := exec.Command(tool(t, "alvearesrv"), "-rules", rules, "-addr", "127.0.0.1:0", "-workers", "2")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { srv.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(15 * time.Second):
+			srv.Process.Kill()
+			t.Error("alvearesrv did not drain after SIGTERM")
+		}
+	})
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			return strings.Fields(line[i+len("listening on "):])[0]
+		}
+	}
+	t.Fatalf("no listening line from alvearesrv (scan err %v)", sc.Err())
+	return ""
+}
+
+// TestCLILoadPoolChaos drives the resilience path at the process
+// level: two servers, a failover pool with a retry budget, and an
+// in-process chaos proxy adding seeded latency in front of both. The
+// run must complete cleanly and the report must carry the full
+// outcome split.
+func TestCLILoadPoolChaos(t *testing.T) {
+	rules := filepath.Join(t.TempDir(), "r.rules")
+	if err := os.WriteFile(rules, []byte("[a-z]{4}\nneedle\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addrA := startSrvProc(t, rules)
+	addrB := startSrvProc(t, rules)
+
+	out, code := run(t, "alveareload", "",
+		"-addrs", addrA+","+addrB,
+		"-retries", "4", "-backoff", "1ms", "-backoff-max", "10ms",
+		"-conns", "2", "-inflight", "2", "-duration", "300ms", "-size", "512",
+		"-chaos", "latency=200us,jitter=300us;clean", "-chaos-seed", "7")
+	if code != 0 {
+		t.Fatalf("alveareload exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"chaos scenarios", "seed=7",
+		"requests=", "retry_exhausted=", "transport=", "server_errors=",
+		"resilience retries=", "failovers=",
+		"throughput", "client latency", "server latency", "histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pool/chaos load report missing %q:\n%s", want, out)
+		}
+	}
+}

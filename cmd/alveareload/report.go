@@ -1,0 +1,135 @@
+// Report: the load run's accounting and its rendering, separated from
+// the request loop so the output format is deterministic and pinned by
+// a golden test. The error classification here is the user-facing
+// contract for "what went wrong": admission pressure (shed), a retry
+// budget that ran dry on transport faults (retry_exhausted), raw
+// connection failures (transport), and authoritative per-request
+// server errors — four different remedies, so four different buckets.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"alveare/internal/metrics"
+	"alveare/internal/server/client"
+)
+
+// outcome buckets one request's result.
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	// outcomeShed: the server's admission control rejected the request
+	// (possibly on every attempt of an exhausted budget — it is still
+	// pressure, not failure; back off or add capacity).
+	outcomeShed
+	// outcomeRetryExhausted: transport faults outlived the retry
+	// budget; the request was never answered.
+	outcomeRetryExhausted
+	// outcomeTransport: a connection-level failure with no budget left
+	// to hide it (dial refused, reset, desync, deadline).
+	outcomeTransport
+	// outcomeServerErr: the server answered with an error for this
+	// specific request (bad pattern, scan fault) — retrying the same
+	// request cannot help.
+	outcomeServerErr
+)
+
+// classify buckets one request error. Shed wins over retry-exhausted:
+// a budget that died shedding is admission pressure, not a transport
+// problem, and the operator's remedy differs.
+func classify(err error) outcome {
+	if err == nil {
+		return outcomeOK
+	}
+	if errors.Is(err, client.ErrShed) {
+		return outcomeShed
+	}
+	var re *client.RetryError
+	if errors.As(err, &re) {
+		return outcomeRetryExhausted
+	}
+	var se *client.ServerError
+	if errors.As(err, &se) {
+		return outcomeServerErr
+	}
+	return outcomeTransport
+}
+
+// tally is the run's final accounting.
+type tally struct {
+	Requests       int64
+	OK             int64
+	Shed           int64
+	RetryExhausted int64
+	Transport      int64
+	ServerErrs     int64
+	Matches        int64
+
+	// Resilience-layer counters, from the client metrics registry.
+	Retries    int64
+	Reconnects int64
+	Failovers  int64
+}
+
+// failures is what the exit code reports on: outcomes where work was
+// lost. Shed is excluded — it is explicit, accounted back-pressure.
+func (tl tally) failures() int64 { return tl.RetryExhausted + tl.Transport + tl.ServerErrs }
+
+// summary is everything the report prints, precomputed.
+type summary struct {
+	Op       string
+	Target   string
+	Conns    int
+	Inflight int
+	Elapsed  time.Duration
+	Payload  int
+	Chaos    string // scenario spec + seed note, empty when no chaos
+	Tally    tally
+
+	ClientLat   metrics.Metric
+	HasLat      bool
+	ServerStats *metrics.Snapshot // nil if STATS failed
+}
+
+// writeReport renders the run summary. Byte-deterministic for fixed
+// inputs — the golden test pins this format.
+func writeReport(w io.Writer, s summary) {
+	fmt.Fprintf(w, "alveareload: %s for %s against %s (%d conns × %d in flight)\n",
+		s.Op, s.Elapsed.Round(time.Millisecond), s.Target, s.Conns, s.Inflight)
+	if s.Chaos != "" {
+		fmt.Fprintf(w, "  chaos %s\n", s.Chaos)
+	}
+	tl := s.Tally
+	fmt.Fprintf(w, "  requests=%d ok=%d shed=%d retry_exhausted=%d transport=%d server_errors=%d matches=%d\n",
+		tl.Requests, tl.OK, tl.Shed, tl.RetryExhausted, tl.Transport, tl.ServerErrs, tl.Matches)
+	fmt.Fprintf(w, "  resilience retries=%d reconnects=%d failovers=%d\n",
+		tl.Retries, tl.Reconnects, tl.Failovers)
+	rate := float64(tl.Requests) / s.Elapsed.Seconds()
+	fmt.Fprintf(w, "  throughput %.0f req/s, %.2f MB/s payload\n",
+		rate, rate*float64(s.Payload)/1e6)
+	if s.HasLat {
+		m := s.ClientLat
+		fmt.Fprintf(w, "  client latency  p50<=%dus p95<=%dus p99<=%dus (n=%d)\n",
+			m.Quantile(0.50), m.Quantile(0.95), m.Quantile(0.99), m.Count)
+	}
+	if s.ServerStats != nil {
+		name := "server." + s.Op + ".latency_us"
+		if m, found := s.ServerStats.Find(name); found && m.Count > 0 {
+			fmt.Fprintf(w, "  server latency  p50<=%dus p95<=%dus p99<=%dus (n=%d)\n",
+				m.Quantile(0.50), m.Quantile(0.95), m.Quantile(0.99), m.Count)
+			fmt.Fprintf(w, "  server %s histogram (us):", s.Op)
+			for _, b := range m.Buckets {
+				fmt.Fprintf(w, " le%d:%d", b.Le, b.Count)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "  server queue highwater=%d shed=%d conns=%d\n",
+			s.ServerStats.Get("server.queue.highwater"),
+			s.ServerStats.Get("server.shed"),
+			s.ServerStats.Get("server.conns.total"))
+	}
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"alveare/internal/metrics"
+	"alveare/internal/server"
+	"alveare/internal/server/client"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestClassify pins the outcome buckets: shed vs retry-exhausted vs
+// transport vs server error have different remedies and must never
+// bleed into each other.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want outcome
+	}{
+		{"nil", nil, outcomeOK},
+		{"shed", client.ErrShed, outcomeShed},
+		{"shed after exhausted budget", &client.RetryError{Attempts: 3, Err: client.ErrShed}, outcomeShed},
+		{"retry exhausted on transport", &client.RetryError{Attempts: 4, Err: errors.New("dial refused")}, outcomeRetryExhausted},
+		{"server error", &client.ServerError{Code: server.ErrCodeCompile, Msg: "bad paren"}, outcomeServerErr},
+		{"plain transport", errors.New("connection reset"), outcomeTransport},
+		{"deadline", context.DeadlineExceeded, outcomeTransport},
+	}
+	for _, c := range cases {
+		if got := classify(c.err); got != c.want {
+			t.Errorf("%s: classify(%v) = %d, want %d", c.name, c.err, got, c.want)
+		}
+	}
+}
+
+// TestReportGolden pins the full report rendering byte for byte,
+// including the outcome split, resilience counters, chaos note, and
+// both latency views. Regenerate with -update.
+func TestReportGolden(t *testing.T) {
+	creg := metrics.New()
+	for _, v := range []int64{90, 120, 120, 400, 900, 2100} {
+		creg.Histogram("client.latency_us").Observe(v)
+	}
+	clientLat, ok := creg.Snapshot().Find("client.latency_us")
+	if !ok {
+		t.Fatal("client latency histogram missing")
+	}
+
+	sreg := metrics.New()
+	for _, v := range []int64{70, 80, 300, 700, 1800} {
+		sreg.Histogram("server.scan.latency_us").Observe(v)
+	}
+	sreg.Gauge("server.queue.highwater").Set(7)
+	sreg.Counter("server.shed").Store(4)
+	sreg.Counter("server.conns.total").Store(6)
+
+	s := summary{
+		Op:       "scan",
+		Target:   "127.0.0.1:7171,127.0.0.1:7172",
+		Conns:    2,
+		Inflight: 4,
+		Elapsed:  2500 * time.Millisecond,
+		Payload:  4096,
+		Chaos:    `scenarios [latency=2ms;reset=4096;clean] seed=42`,
+		Tally: tally{
+			Requests:       120,
+			OK:             100,
+			Shed:           8,
+			RetryExhausted: 5,
+			Transport:      4,
+			ServerErrs:     3,
+			Matches:        991,
+			Retries:        17,
+			Reconnects:     6,
+			Failovers:      9,
+		},
+		ClientLat:   clientLat,
+		HasLat:      true,
+		ServerStats: sreg.Snapshot(),
+	}
+
+	var one, two bytes.Buffer
+	writeReport(&one, s)
+	writeReport(&two, s)
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatal("report rendering is not deterministic for fixed inputs")
+	}
+	checkGolden(t, filepath.Join("testdata", "report.txt"), one.Bytes())
+
+	// Every outcome bucket must be visible in the report — an operator
+	// reading it can tell pressure from loss from rejection.
+	for _, want := range []string{
+		"requests=120", "ok=100", "shed=8", "retry_exhausted=5",
+		"transport=4", "server_errors=3",
+		"retries=17", "reconnects=6", "failovers=9",
+		"chaos scenarios",
+		"client latency", "server latency", "histogram",
+	} {
+		if !bytes.Contains(one.Bytes(), []byte(want)) {
+			t.Errorf("report missing %q:\n%s", want, one.String())
+		}
+	}
+}
+
+// TestReportWithoutServerStats: a failed STATS fetch degrades to the
+// client-side view, it does not blank the report.
+func TestReportWithoutServerStats(t *testing.T) {
+	var buf bytes.Buffer
+	writeReport(&buf, summary{
+		Op: "ping", Target: "x:1", Conns: 1, Inflight: 1,
+		Elapsed: time.Second, Payload: 0,
+		Tally: tally{Requests: 10, OK: 10},
+	})
+	out := buf.String()
+	for _, want := range []string{"requests=10", "throughput"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("degraded report missing %q:\n%s", want, out)
+		}
+	}
+	if bytes.Contains(buf.Bytes(), []byte("server latency")) {
+		t.Errorf("degraded report invented server-side stats:\n%s", out)
+	}
+}
+
+func TestTallyFailures(t *testing.T) {
+	tl := tally{Shed: 100, RetryExhausted: 2, Transport: 3, ServerErrs: 4}
+	if got := tl.failures(); got != 9 {
+		t.Fatalf("failures() = %d, want 9 (shed is pressure, not failure)", got)
+	}
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (run with -update to regenerate)\n got:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}

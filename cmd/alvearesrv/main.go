@@ -6,7 +6,8 @@
 // Usage:
 //
 //	alvearesrv -rules rules.txt [-addr :7171] [-workers N] [-queue N]
-//	           [-maxframe N] [-read-timeout D] [-request-timeout D]
+//	           [-maxframe N] [-read-timeout D] [-write-timeout D]
+//	           [-request-timeout D]
 //	           [-policy failfast|degrade|skip] [-budget N] [-timeout D]
 //	           [-drain D] [-metrics MODE] [-pprof ADDR]
 //
@@ -53,6 +54,7 @@ func main() {
 		queue      = flag.Int("queue", 0, "admission queue depth; full = SHED (0 = default 128)")
 		maxFrame   = flag.Int("maxframe", 0, "largest accepted request frame in bytes (0 = 1 MiB)")
 		readTO     = flag.Duration("read-timeout", 0, "per-frame read deadline; idle connections close after it (0 = 30s)")
+		writeTO    = flag.Duration("write-timeout", 0, "per-frame write deadline; clients that stop reading are disconnected (0 = 30s, negative = none)")
 		requestTO  = flag.Duration("request-timeout", 0, "per-request scan deadline (0 = unbounded)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-drain deadline on shutdown")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
@@ -79,6 +81,7 @@ func main() {
 		QueueDepth:     *queue,
 		MaxFrame:       *maxFrame,
 		ReadTimeout:    *readTO,
+		WriteTimeout:   *writeTO,
 		RequestTimeout: *requestTO,
 		Policy:         policy,
 		Budget:         cf.Budget,

@@ -1,0 +1,162 @@
+// The per-backend circuit breaker: closed → open after a run of
+// consecutive transport failures, open → half-open after a cooldown,
+// half-open admits exactly one probe whose outcome closes or re-opens
+// the breaker. The breaker sees only transport-level outcomes — an
+// authoritative server answer (even an error) proves the backend
+// alive and counts as success; a cancelled caller proves nothing and
+// counts as neither.
+package client
+
+import (
+	"sync"
+	"time"
+
+	"alveare/internal/metrics"
+)
+
+// BreakerState is one backend's circuit-breaker position. The numeric
+// values are the breaker-state gauge's encoding in metrics snapshots.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = 0
+	// BreakerHalfOpen: the cooldown elapsed; one probe request is in
+	// flight to decide whether the backend recovered.
+	BreakerHalfOpen BreakerState = 1
+	// BreakerOpen: the backend is presumed dead; requests skip it
+	// until the cooldown elapses.
+	BreakerOpen BreakerState = 2
+)
+
+// String spells the state for reports and errors.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// breaker is one backend's circuit breaker.
+type breaker struct {
+	threshold int           // consecutive failures that open the breaker
+	cooldown  time.Duration // open → half-open after this long
+	now       func() time.Time
+
+	transitions *metrics.Counter // shared across the pool
+	stateGauge  *metrics.Gauge   // this backend's state, by BreakerState value
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration, transitions *metrics.Counter, gauge *metrics.Gauge) *breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &breaker{
+		threshold:   threshold,
+		cooldown:    cooldown,
+		now:         time.Now,
+		transitions: transitions,
+		stateGauge:  gauge,
+	}
+}
+
+// setState transitions and publishes; callers hold b.mu.
+func (b *breaker) setState(s BreakerState) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	if b.transitions != nil {
+		b.transitions.Inc()
+	}
+	if b.stateGauge != nil {
+		b.stateGauge.Set(int64(s))
+	}
+}
+
+// allow reports whether a request may be sent to this backend right
+// now. An open breaker past its cooldown flips to half-open and
+// admits the calling request as the probe; a half-open breaker admits
+// nothing while its probe is outstanding.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.setState(BreakerHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// onSuccess records an authoritative answer: the breaker closes and
+// the failure run resets.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.fails = 0
+	b.setState(BreakerClosed)
+}
+
+// onFailure records a transport failure: a closed breaker opens after
+// threshold consecutive failures; a half-open probe failure re-opens
+// immediately and re-arms the cooldown.
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.openedAt = b.now()
+			b.setState(BreakerOpen)
+		}
+	case BreakerHalfOpen:
+		b.openedAt = b.now()
+		b.setState(BreakerOpen)
+	default: // already open: re-arm the cooldown
+		b.openedAt = b.now()
+	}
+}
+
+// onCancel releases a probe slot without judging the backend: the
+// caller went away before the outcome was known.
+func (b *breaker) onCancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// current returns the state for reports.
+func (b *breaker) current() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,17 +1,29 @@
-// Package client is the Go client of the alveare scan service: one
-// TCP connection speaking the framed protocol of internal/server,
-// reused across requests and safe for concurrent callers — requests
-// from multiple goroutines pipeline on the single connection and
-// responses are matched back by request id, so a slow scan never
-// blocks an unrelated caller's PING. The load generator (cmd/
-// alveareload) and the end-to-end tests drive the service through this
-// package.
+// Package client is the Go client of the alveare scan service,
+// speaking the framed protocol of internal/server and built for the
+// networks a deployed scanner actually meets: connections drop
+// mid-frame, servers restart, backends blackhole. A Client owns one
+// logical connection that it re-establishes transparently
+// (exponential backoff, full jitter) and multiplexes across
+// concurrent callers — requests pipeline and responses are matched
+// back by request id, so a slow scan never blocks an unrelated
+// caller's PING. Every request takes a context.Context; idempotent
+// requests (everything but RELOAD) can be retried under a configured
+// budget. Pool layers failover across several backends with
+// round-robin selection, health probes and a per-backend circuit
+// breaker.
+//
+// Request ids are allocated from one counter that survives
+// reconnects, and the response demultiplexer is per-connection, so a
+// straggling response from a torn connection can never be delivered
+// to a request issued after the reconnect.
 package client
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -22,11 +34,18 @@ import (
 
 // ErrShed reports that the server's admission queue was full and the
 // request was rejected without being scanned; the caller should back
-// off and retry.
+// off and retry (WithRetries does both automatically).
 var ErrShed = errors.New("client: request shed by server admission control")
 
+// ErrClosed reports a request issued against a Client or Pool after
+// Close.
+var ErrClosed = errors.New("client: closed")
+
 // ServerError is a structured failure the server reported for one
-// request (compile error, scan fault, draining).
+// request (compile error, scan fault, draining). It is authoritative
+// — the backend was reachable and answered — so it is never retried,
+// except for the draining code, which Pool treats as an invitation to
+// fail over to another backend.
 type ServerError struct {
 	Code byte
 	Msg  string
@@ -36,7 +55,40 @@ func (e *ServerError) Error() string {
 	return fmt.Sprintf("client: server error %d: %s", e.Code, e.Msg)
 }
 
-// Option configures Dial.
+// RetryError reports an idempotent request that failed every attempt
+// its retry budget allowed. Err is the final attempt's failure;
+// errors.Is/As look through it, so errors.Is(err, ErrShed) still
+// identifies a request that was shed on its last attempt.
+type RetryError struct {
+	Attempts int
+	Err      error
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("client: retry budget exhausted after %d attempts: %v", e.Attempts, e.Err)
+}
+
+func (e *RetryError) Unwrap() error { return e.Err }
+
+// retryable reports whether err is a transport-level failure worth
+// another attempt, possibly on another backend: connection loss, dial
+// failure, protocol desync, attempt timeout, SHED. Authoritative
+// server answers and a closed client are not.
+func retryable(err error) bool {
+	if err == nil || errors.Is(err, ErrClosed) {
+		return false
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		// A draining backend answered, but will not take the work;
+		// the request is still safe to send elsewhere.
+		return se.Code == server.ErrCodeDraining
+	}
+	return true
+}
+
+// Option configures a Client (and, through PoolClientOptions, the
+// Clients inside a Pool).
 type Option func(*Client)
 
 // WithMaxFrame bounds response frames (default server.DefaultMaxFrame).
@@ -44,229 +96,568 @@ func WithMaxFrame(n int) Option {
 	return func(c *Client) { c.maxFrame = n }
 }
 
-// WithDialTimeout bounds the TCP connect (default 10s).
+// WithDialTimeout bounds one TCP connect attempt (default 10s).
 func WithDialTimeout(d time.Duration) Option {
 	return func(c *Client) { c.dialTimeout = d }
 }
 
-// Client is one connection to the scan service.
-type Client struct {
-	maxFrame    int
-	dialTimeout time.Duration
+// WithRetries sets the retry budget for idempotent requests (PING,
+// SCAN, COUNT, SCAN-PATTERN, RULES-INFO, STATS): up to n additional
+// attempts after the first, each preceded by an exponential-backoff
+// sleep with full jitter. RELOAD is never retried — see
+// docs/PROTOCOL.md. Default 0: fail fast on the first error.
+func WithRetries(n int) Option {
+	return func(c *Client) { c.retries = n }
+}
 
+// WithBackoff sets the retry backoff window: attempt k sleeps a
+// uniformly random duration in (0, min(base<<(k-1), max)). Defaults:
+// base 20ms, max 2s.
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) { c.boBase, c.boMax = base, max }
+}
+
+// WithAttemptTimeout bounds each individual attempt (dial + write +
+// response), independently of the request context's deadline. A
+// stalled backend then costs one attempt, not the whole request —
+// the next attempt may find a healthier connection or backend.
+// Default 0: only the request context bounds an attempt.
+func WithAttemptTimeout(d time.Duration) Option {
+	return func(c *Client) { c.attemptTO = d }
+}
+
+// WithSeed seeds the backoff jitter, making retry schedules
+// reproducible (chaos tests print the seed they used).
+func WithSeed(seed int64) Option {
+	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithMetrics publishes the client's resilience counters (attempts,
+// retries, reconnects, per-attempt latency) into reg instead of a
+// private registry.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(c *Client) { c.reg = reg }
+}
+
+// WithSleep replaces the backoff sleep (a test seam for fake clocks;
+// the default honours ctx cancellation).
+func WithSleep(sleep func(context.Context, time.Duration) error) Option {
+	return func(c *Client) { c.sleep = sleep }
+}
+
+// clientMetrics resolves the resilience metric handles once.
+type clientMetrics struct {
+	attempts   *metrics.Counter
+	retries    *metrics.Counter
+	reconnects *metrics.Counter
+	attemptLat *metrics.Histogram
+}
+
+func resolveClientMetrics(reg *metrics.Registry) clientMetrics {
+	return clientMetrics{
+		attempts:   reg.Counter("client.attempts"),
+		retries:    reg.Counter("client.retries"),
+		reconnects: reg.Counter("client.reconnects"),
+		attemptLat: reg.Histogram("client.attempt_latency_us"),
+	}
+}
+
+// connState is one live TCP connection: its writer lock, its waiter
+// table, and its reader goroutine's lifecycle. Reconnecting replaces
+// the whole connState, so waiters can never leak across connections.
+type connState struct {
 	nc  net.Conn
 	wmu sync.Mutex // serialises frame writes
 
 	mu      sync.Mutex
 	waiters map[uint32]chan server.Frame
-	nextID  uint32
 	readErr error // terminal; set once the reader exits
 
 	readerDone chan struct{}
 }
 
-// Dial connects to a scan service.
-func Dial(addr string, opts ...Option) (*Client, error) {
+func (cs *connState) dead() bool {
+	select {
+	case <-cs.readerDone:
+		return true
+	default:
+		return false
+	}
+}
+
+// Client is one logical connection to a scan service, re-established
+// on demand after connection loss. Safe for concurrent use.
+type Client struct {
+	addr        string
+	maxFrame    int
+	dialTimeout time.Duration
+	attemptTO   time.Duration
+	retries     int
+	boBase      time.Duration
+	boMax       time.Duration
+	sleep       func(context.Context, time.Duration) error
+
+	reg *metrics.Registry
+	met clientMetrics
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	dialMu sync.Mutex // serialises reconnect attempts
+
+	mu        sync.Mutex
+	cs        *connState // nil until dialed; replaced on reconnect
+	nextID    uint32     // monotonic across reconnects: ids are never reused
+	connected bool       // a connection has been established at least once
+	closed    bool
+}
+
+// New builds a Client without connecting; the first request dials.
+// Use Dial to connect eagerly and surface unreachable backends at
+// construction.
+func New(addr string, opts ...Option) *Client {
 	c := &Client{
+		addr:        addr,
 		maxFrame:    server.DefaultMaxFrame,
 		dialTimeout: 10 * time.Second,
-		waiters:     map[uint32]chan server.Frame{},
-		readerDone:  make(chan struct{}),
+		boBase:      20 * time.Millisecond,
+		boMax:       2 * time.Second,
+		sleep:       sleepCtx,
 	}
 	for _, o := range opts {
 		o(c)
 	}
-	nc, err := net.DialTimeout("tcp", addr, c.dialTimeout)
-	if err != nil {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	if c.reg == nil {
+		c.reg = metrics.New()
+	}
+	c.met = resolveClientMetrics(c.reg)
+	return c
+}
+
+// Dial connects to a scan service, failing if the backend is
+// unreachable right now.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	c := New(addr, opts...)
+	if _, err := c.conn(context.Background()); err != nil {
 		return nil, err
 	}
-	c.nc = nc
-	go c.readLoop()
 	return c, nil
 }
 
-// readLoop is the demultiplexer: every response frame is routed to the
-// request that carries its id. A read failure is terminal — every
-// in-flight and future request fails with the cause.
-func (c *Client) readLoop() {
-	defer close(c.readerDone)
-	for {
-		f, err := server.ReadFrame(c.nc, c.maxFrame)
-		if err != nil {
-			c.mu.Lock()
-			c.readErr = fmt.Errorf("client: connection lost: %w", err)
-			for id, ch := range c.waiters {
-				close(ch)
-				delete(c.waiters, id)
-			}
-			c.mu.Unlock()
-			return
-		}
-		c.mu.Lock()
-		ch, ok := c.waiters[f.ID]
-		if ok {
-			delete(c.waiters, f.ID)
-		}
-		c.mu.Unlock()
-		if ok {
-			ch <- f
-		}
-	}
-}
+// Addr returns the backend address the client targets.
+func (c *Client) Addr() string { return c.addr }
 
-// Close tears the connection down; in-flight requests fail.
-func (c *Client) Close() error {
-	err := c.nc.Close()
-	<-c.readerDone
-	return err
-}
-
-// do issues one request and waits for its response, translating the
-// protocol-level failures (SHED, ERROR) into Go errors.
-func (c *Client) do(op byte, body []byte) (server.Frame, error) {
-	ch := make(chan server.Frame, 1)
+// Pending returns the number of requests waiting for a response on
+// the current connection — zero once every request has completed or
+// failed (the regression tests pin that a deadline leaves no waiter
+// entry behind).
+func (c *Client) Pending() int {
 	c.mu.Lock()
-	if c.readErr != nil {
-		err := c.readErr
-		c.mu.Unlock()
-		return server.Frame{}, err
+	cs := c.cs
+	c.mu.Unlock()
+	if cs == nil {
+		return 0
 	}
-	c.nextID++
-	id := c.nextID
-	c.waiters[id] = ch
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return len(cs.waiters)
+}
+
+// conn returns the live connection, dialing (or re-dialing) if
+// necessary. Dials are serialised so a burst of concurrent requests
+// after a connection loss produces one reconnect, not a stampede.
+func (c *Client) conn(ctx context.Context) (*connState, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if cs := c.cs; cs != nil && !cs.dead() {
+		c.mu.Unlock()
+		return cs, nil
+	}
 	c.mu.Unlock()
 
-	c.wmu.Lock()
-	err := server.WriteFrame(c.nc, server.Frame{Op: op, ID: id, Body: body})
-	c.wmu.Unlock()
-	if err != nil {
-		c.mu.Lock()
-		delete(c.waiters, id)
+	c.dialMu.Lock()
+	defer c.dialMu.Unlock()
+	// Another caller may have reconnected while we waited.
+	c.mu.Lock()
+	if c.closed {
 		c.mu.Unlock()
-		return server.Frame{}, fmt.Errorf("client: write: %w", err)
+		return nil, ErrClosed
 	}
+	if cs := c.cs; cs != nil && !cs.dead() {
+		c.mu.Unlock()
+		return cs, nil
+	}
+	c.mu.Unlock()
 
-	f, ok := <-ch
-	if !ok {
-		c.mu.Lock()
-		err := c.readErr
+	d := net.Dialer{Timeout: c.dialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
+	}
+	cs := &connState{
+		nc:         nc,
+		waiters:    map[uint32]chan server.Frame{},
+		readerDone: make(chan struct{}),
+	}
+	c.mu.Lock()
+	if c.closed {
 		c.mu.Unlock()
-		return server.Frame{}, err
+		nc.Close()
+		return nil, ErrClosed
 	}
-	switch f.Op {
-	case server.OpShed:
-		return server.Frame{}, ErrShed
-	case server.OpError:
-		code, msg, derr := server.DecodeError(f.Body)
-		if derr != nil {
-			return server.Frame{}, derr
-		}
-		return server.Frame{}, &ServerError{Code: code, Msg: msg}
+	if c.connected {
+		c.met.reconnects.Inc()
 	}
-	return f, nil
+	c.connected = true
+	c.cs = cs
+	c.mu.Unlock()
+	go c.readLoop(cs)
+	return cs, nil
 }
 
-// expect asserts the response opcode.
-func expect(f server.Frame, op byte) error {
-	if f.Op != op {
-		return fmt.Errorf("client: unexpected %s response (want %s)", server.OpName(f.Op), server.OpName(op))
+// invalidate retires a connection the caller observed failing; the
+// next request reconnects. Only the current connState is cleared, so
+// a stale failure can never tear down a fresh connection.
+func (c *Client) invalidate(cs *connState) {
+	c.mu.Lock()
+	if c.cs == cs {
+		c.cs = nil
+	}
+	c.mu.Unlock()
+	cs.nc.Close()
+}
+
+// readLoop is one connection's demultiplexer: every response frame is
+// routed to the request carrying its id. A read failure is terminal
+// for the connection — every in-flight request on it fails with the
+// cause — but not for the Client, which reconnects on the next
+// request.
+func (c *Client) readLoop(cs *connState) {
+	defer close(cs.readerDone)
+	for {
+		f, err := server.ReadFrame(cs.nc, c.maxFrame)
+		if err != nil {
+			cs.mu.Lock()
+			cs.readErr = fmt.Errorf("client: connection lost: %w", err)
+			for id, ch := range cs.waiters {
+				close(ch)
+				delete(cs.waiters, id)
+			}
+			cs.mu.Unlock()
+			return
+		}
+		cs.mu.Lock()
+		ch, ok := cs.waiters[f.ID]
+		if ok {
+			delete(cs.waiters, f.ID)
+		}
+		cs.mu.Unlock()
+		if ok {
+			ch <- f // buffered: never blocks, even if the waiter left
+		}
+	}
+}
+
+// Close tears the connection down; in-flight requests fail. It is
+// idempotent and safe to race with concurrent requests — later calls
+// return nil, later requests fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	cs := c.cs
+	c.cs = nil
+	c.mu.Unlock()
+	if cs != nil {
+		cs.nc.Close()
+		<-cs.readerDone
 	}
 	return nil
 }
 
-// Ping round-trips a liveness probe.
-func (c *Client) Ping() error {
-	f, err := c.do(server.OpPing, nil)
-	if err != nil {
-		return err
+// sleepCtx is the default backoff sleep: d, or until ctx cancels.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
 	}
-	return expect(f, server.OpPong)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
-// Scan runs the server's loaded rule set over payload and returns the
-// matches in rule order.
-func (c *Client) Scan(payload []byte) ([]server.RuleMatch, error) {
-	f, err := c.do(server.OpScan, payload)
-	if err != nil {
-		return nil, err
+// backoffFor sizes the sleep before retry attempt k (1-based):
+// exponential window base<<(k-1) capped at max, full jitter (uniform
+// over the window) with a small floor so a shed request is never
+// hot-looped.
+func (c *Client) backoffFor(attempt int) time.Duration {
+	window := c.boBase
+	for i := 1; i < attempt && window < c.boMax; i++ {
+		window <<= 1
 	}
-	if err := expect(f, server.OpMatches); err != nil {
+	if window > c.boMax {
+		window = c.boMax
+	}
+	if window <= 0 {
+		return 0
+	}
+	c.rngMu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(window)))
+	c.rngMu.Unlock()
+	if floor := window / 16; d < floor {
+		d = floor
+	}
+	if d < 100*time.Microsecond {
+		d = 100 * time.Microsecond
+	}
+	return d
+}
+
+// attemptCtx derives the per-attempt context.
+func (c *Client) attemptCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.attemptTO <= 0 {
+		return ctx, nil
+	}
+	return context.WithTimeout(ctx, c.attemptTO)
+}
+
+// attempt issues one request on the current (or a fresh) connection
+// and waits for its response, translating protocol-level failures
+// (SHED, ERROR, desync) into Go errors. On ctx expiry the waiter
+// entry is removed before returning, so an abandoned request leaks
+// nothing.
+func (c *Client) attempt(ctx context.Context, op, wantOp byte, body []byte) (server.Frame, error) {
+	start := time.Now()
+	cs, err := c.conn(ctx)
+	if err != nil {
+		return server.Frame{}, err
+	}
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.mu.Unlock()
+
+	ch := make(chan server.Frame, 1)
+	cs.mu.Lock()
+	if cs.readErr != nil {
+		err := cs.readErr
+		cs.mu.Unlock()
+		return server.Frame{}, err
+	}
+	cs.waiters[id] = ch
+	cs.mu.Unlock()
+
+	cs.wmu.Lock()
+	werr := server.WriteFrame(cs.nc, server.Frame{Op: op, ID: id, Body: body})
+	cs.wmu.Unlock()
+	c.met.attempts.Inc()
+	if werr != nil {
+		cs.mu.Lock()
+		delete(cs.waiters, id)
+		cs.mu.Unlock()
+		c.invalidate(cs)
+		return server.Frame{}, fmt.Errorf("client: write: %w", werr)
+	}
+
+	select {
+	case f, ok := <-ch:
+		c.met.attemptLat.Observe(time.Since(start).Microseconds())
+		if !ok {
+			cs.mu.Lock()
+			err := cs.readErr
+			cs.mu.Unlock()
+			if err == nil {
+				err = errors.New("client: connection lost")
+			}
+			return server.Frame{}, err
+		}
+		switch f.Op {
+		case server.OpShed:
+			return server.Frame{}, ErrShed
+		case server.OpError:
+			code, msg, derr := server.DecodeError(f.Body)
+			if derr != nil {
+				c.invalidate(cs)
+				return server.Frame{}, fmt.Errorf("client: protocol desync: %w", derr)
+			}
+			return server.Frame{}, &ServerError{Code: code, Msg: msg}
+		}
+		if f.Op != wantOp {
+			// The stream answered with an opcode this request cannot
+			// have produced: framing has desynchronised (e.g. a
+			// corrupted length field realigned on garbage). The
+			// connection cannot be trusted; drop it and let the retry
+			// layer re-issue on a fresh one.
+			c.invalidate(cs)
+			return server.Frame{}, fmt.Errorf("client: protocol desync: unexpected %s response (want %s)",
+				server.OpName(f.Op), server.OpName(wantOp))
+		}
+		return f, nil
+	case <-ctx.Done():
+		cs.mu.Lock()
+		delete(cs.waiters, id)
+		cs.mu.Unlock()
+		c.met.attemptLat.Observe(time.Since(start).Microseconds())
+		return server.Frame{}, ctx.Err()
+	}
+}
+
+// do runs one request under the retry budget. Only idempotent
+// requests retry; each retry sleeps the jittered backoff first and
+// reconnects if the connection was lost.
+func (c *Client) do(ctx context.Context, op, wantOp byte, body []byte, idempotent bool) (server.Frame, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	attempts := 0
+	for {
+		actx, cancel := c.attemptCtx(ctx)
+		f, err := c.attempt(actx, op, wantOp, body)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return f, nil
+		}
+		attempts++
+		if !idempotent || c.retries <= 0 || !retryable(err) {
+			return server.Frame{}, err
+		}
+		if ctx.Err() != nil {
+			// The request's own deadline expired; the attempt error is
+			// the more useful cause.
+			return server.Frame{}, err
+		}
+		if attempts > c.retries {
+			return server.Frame{}, &RetryError{Attempts: attempts, Err: err}
+		}
+		c.met.retries.Inc()
+		if serr := c.sleep(ctx, c.backoffFor(attempts)); serr != nil {
+			return server.Frame{}, &RetryError{Attempts: attempts, Err: err}
+		}
+	}
+}
+
+// PingCtx round-trips a liveness probe.
+func (c *Client) PingCtx(ctx context.Context) error {
+	_, err := c.do(ctx, server.OpPing, server.OpPong, nil, true)
+	return err
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error { return c.PingCtx(context.Background()) }
+
+// ScanCtx runs the server's loaded rule set over payload and returns
+// the matches in rule order.
+func (c *Client) ScanCtx(ctx context.Context, payload []byte) ([]server.RuleMatch, error) {
+	f, err := c.do(ctx, server.OpScan, server.OpMatches, payload, true)
+	if err != nil {
 		return nil, err
 	}
 	return server.DecodeMatches(f.Body)
 }
 
-// Count returns the total number of rule matches in payload.
-func (c *Client) Count(payload []byte) (uint64, error) {
-	f, err := c.do(server.OpCount, payload)
+// Scan runs the server's loaded rule set over payload.
+func (c *Client) Scan(payload []byte) ([]server.RuleMatch, error) {
+	return c.ScanCtx(context.Background(), payload)
+}
+
+// CountCtx returns the total number of rule matches in payload.
+func (c *Client) CountCtx(ctx context.Context, payload []byte) (uint64, error) {
+	f, err := c.do(ctx, server.OpCount, server.OpCountResp, payload, true)
 	if err != nil {
-		return 0, err
-	}
-	if err := expect(f, server.OpCountResp); err != nil {
 		return 0, err
 	}
 	return server.DecodeCount(f.Body)
 }
 
-// ScanPattern runs one ad-hoc pattern (compiled server-side through
-// the LRU program cache) over payload.
-func (c *Client) ScanPattern(pattern string, payload []byte) ([]server.RuleMatch, error) {
+// Count returns the total number of rule matches in payload.
+func (c *Client) Count(payload []byte) (uint64, error) {
+	return c.CountCtx(context.Background(), payload)
+}
+
+// ScanPatternCtx runs one ad-hoc pattern (compiled server-side
+// through the LRU program cache) over payload.
+func (c *Client) ScanPatternCtx(ctx context.Context, pattern string, payload []byte) ([]server.RuleMatch, error) {
 	body, err := server.EncodeScanPattern(pattern, payload)
 	if err != nil {
 		return nil, err
 	}
-	f, err := c.do(server.OpScanPattern, body)
+	f, err := c.do(ctx, server.OpScanPattern, server.OpMatches, body, true)
 	if err != nil {
-		return nil, err
-	}
-	if err := expect(f, server.OpMatches); err != nil {
 		return nil, err
 	}
 	return server.DecodeMatches(f.Body)
 }
 
-// RulesInfo describes the serving rule snapshot.
-func (c *Client) RulesInfo() (server.Info, error) {
-	f, err := c.do(server.OpRulesInfo, nil)
+// ScanPattern runs one ad-hoc pattern over payload.
+func (c *Client) ScanPattern(pattern string, payload []byte) ([]server.RuleMatch, error) {
+	return c.ScanPatternCtx(context.Background(), pattern, payload)
+}
+
+// RulesInfoCtx describes the serving rule snapshot.
+func (c *Client) RulesInfoCtx(ctx context.Context) (server.Info, error) {
+	f, err := c.do(ctx, server.OpRulesInfo, server.OpInfo, nil, true)
 	if err != nil {
-		return server.Info{}, err
-	}
-	if err := expect(f, server.OpInfo); err != nil {
 		return server.Info{}, err
 	}
 	return server.DecodeInfo(f.Body)
 }
 
-// Reload hot-swaps the server's rule set with the given rules document
-// (one RE per line, '#' comments); it returns the new generation and
-// rule count. A compile failure leaves the serving rules untouched.
-func (c *Client) Reload(rulesText string) (generation, rules uint32, err error) {
-	f, err := c.do(server.OpReload, []byte(rulesText))
+// RulesInfo describes the serving rule snapshot.
+func (c *Client) RulesInfo() (server.Info, error) {
+	return c.RulesInfoCtx(context.Background())
+}
+
+// ReloadCtx hot-swaps the server's rule set with the given rules
+// document (one RE per line, '#' comments); it returns the new
+// generation and rule count. A compile failure leaves the serving
+// rules untouched. RELOAD is NOT idempotent — a retried reload that
+// had already been applied would bump the generation twice — so it is
+// never retried regardless of the retry budget; on a connection loss
+// mid-reload the caller must inspect RULES-INFO before re-issuing.
+func (c *Client) ReloadCtx(ctx context.Context, rulesText string) (generation, rules uint32, err error) {
+	f, err := c.do(ctx, server.OpReload, server.OpReloadOK, []byte(rulesText), false)
 	if err != nil {
-		return 0, 0, err
-	}
-	if err := expect(f, server.OpReloadOK); err != nil {
 		return 0, 0, err
 	}
 	return server.DecodeReloadOK(f.Body)
 }
 
-// StatsJSON fetches the server's metrics snapshot as its JSON wire
+// Reload hot-swaps the server's rule set.
+func (c *Client) Reload(rulesText string) (generation, rules uint32, err error) {
+	return c.ReloadCtx(context.Background(), rulesText)
+}
+
+// StatsJSONCtx fetches the server's metrics snapshot as its JSON wire
 // form (schema-versioned, byte-deterministic).
-func (c *Client) StatsJSON() ([]byte, error) {
-	f, err := c.do(server.OpStats, nil)
+func (c *Client) StatsJSONCtx(ctx context.Context) ([]byte, error) {
+	f, err := c.do(ctx, server.OpStats, server.OpStatsResp, nil, true)
 	if err != nil {
-		return nil, err
-	}
-	if err := expect(f, server.OpStatsResp); err != nil {
 		return nil, err
 	}
 	return f.Body, nil
 }
 
-// Stats fetches and decodes the server's metrics snapshot.
-func (c *Client) Stats() (*metrics.Snapshot, error) {
-	raw, err := c.StatsJSON()
+// StatsJSON fetches the server's metrics snapshot as JSON bytes.
+func (c *Client) StatsJSON() ([]byte, error) { return c.StatsJSONCtx(context.Background()) }
+
+// StatsCtx fetches and decodes the server's metrics snapshot.
+func (c *Client) StatsCtx(ctx context.Context) (*metrics.Snapshot, error) {
+	raw, err := c.StatsJSONCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -276,3 +667,6 @@ func (c *Client) Stats() (*metrics.Snapshot, error) {
 	}
 	return &snap, nil
 }
+
+// Stats fetches and decodes the server's metrics snapshot.
+func (c *Client) Stats() (*metrics.Snapshot, error) { return c.StatsCtx(context.Background()) }

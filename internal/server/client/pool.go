@@ -1,0 +1,498 @@
+// Pool: failover across several scan-service backends. Requests pick
+// backends round-robin, skipping any whose circuit breaker is open;
+// transport failures count against the backend's breaker and the
+// request fails over to the next backend under the pool's retry
+// budget (with the same jittered backoff as a single Client, so a
+// flapping fleet is never hammered in a hot loop). An optional health
+// prober pings tripped backends in the background so breakers recover
+// without waiting for live traffic to probe them.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"alveare/internal/metrics"
+	"alveare/internal/server"
+)
+
+// ErrNoBackend reports that every backend's circuit breaker was open
+// when a request tried to pick one. It is retryable: a later attempt
+// (after backoff) may find a breaker past its cooldown and willing to
+// probe.
+var ErrNoBackend = errors.New("client: no backend available (all circuit breakers open)")
+
+// PoolOption configures NewPool.
+type PoolOption func(*Pool)
+
+// PoolRetries sets the pool's retry budget for idempotent requests:
+// up to n additional attempts after the first, each on the next
+// healthy backend, each preceded by a jittered backoff sleep.
+// Default 2.
+func PoolRetries(n int) PoolOption {
+	return func(p *Pool) { p.retries = n }
+}
+
+// PoolBackoff sets the failover backoff window (see WithBackoff).
+func PoolBackoff(base, max time.Duration) PoolOption {
+	return func(p *Pool) { p.boBase, p.boMax = base, max }
+}
+
+// PoolSeed seeds the pool's backoff jitter and the per-backend client
+// jitter, for reproducible chaos runs.
+func PoolSeed(seed int64) PoolOption {
+	return func(p *Pool) { p.seed, p.seeded = seed, true }
+}
+
+// PoolMetrics publishes the pool's resilience metrics (retries,
+// failovers, breaker transitions, per-backend breaker-state gauges —
+// backends are indexed, not named, so snapshots stay byte-stable)
+// into reg.
+func PoolMetrics(reg *metrics.Registry) PoolOption {
+	return func(p *Pool) { p.reg = reg }
+}
+
+// PoolBreaker parameterises the per-backend circuit breakers:
+// `failures` consecutive transport failures open a breaker, which
+// half-opens for a single probe after `cooldown`. Defaults: 3
+// failures, 1s cooldown.
+func PoolBreaker(failures int, cooldown time.Duration) PoolOption {
+	return func(p *Pool) { p.brkThreshold, p.brkCooldown = failures, cooldown }
+}
+
+// PoolProbe starts a background health prober: every interval, each
+// backend whose breaker is not closed is pinged (respecting the
+// breaker's half-open single-probe discipline), so dead backends are
+// rediscovered without taxing live traffic. 0 (the default) disables
+// probing; breakers then recover only via request-path probes.
+func PoolProbe(interval time.Duration) PoolOption {
+	return func(p *Pool) { p.probeEvery = interval }
+}
+
+// PoolAttemptTimeout bounds each individual attempt, so one stalled
+// backend costs one attempt rather than the whole request.
+func PoolAttemptTimeout(d time.Duration) PoolOption {
+	return func(p *Pool) { p.attemptTO = d }
+}
+
+// PoolClientOptions appends extra options to every backend Client
+// (frame limits, dial timeouts, ...).
+func PoolClientOptions(opts ...Option) PoolOption {
+	return func(p *Pool) { p.clientOpts = append(p.clientOpts, opts...) }
+}
+
+// PoolSleep replaces the backoff sleep (test seam).
+func PoolSleep(sleep func(context.Context, time.Duration) error) PoolOption {
+	return func(p *Pool) { p.sleep = sleep }
+}
+
+// backend is one pool member.
+type backend struct {
+	addr string
+	c    *Client
+	brk  *breaker
+}
+
+// settle feeds one attempt's outcome to the backend's breaker. An
+// authoritative server answer — success, ServerError, or SHED —
+// proves the backend alive; a caller-side cancellation proves
+// nothing; everything else is a transport failure.
+func (b *backend) settle(parent context.Context, err error) {
+	switch {
+	case err == nil, errors.Is(err, ErrShed):
+		b.brk.onSuccess()
+	case isServerError(err):
+		b.brk.onSuccess()
+	case parent.Err() != nil:
+		b.brk.onCancel()
+	default:
+		b.brk.onFailure()
+	}
+}
+
+func isServerError(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se)
+}
+
+// poolMetrics resolves the pool-level handles once.
+type poolMetrics struct {
+	retries     *metrics.Counter
+	failovers   *metrics.Counter
+	transitions *metrics.Counter
+}
+
+// Pool is a multi-backend scan-service client. Safe for concurrent
+// use.
+type Pool struct {
+	backends   []*backend
+	retries    int
+	boBase     time.Duration
+	boMax      time.Duration
+	attemptTO  time.Duration
+	probeEvery time.Duration
+	sleep      func(context.Context, time.Duration) error
+
+	brkThreshold int
+	brkCooldown  time.Duration
+
+	seed   int64
+	seeded bool
+
+	reg        *metrics.Registry
+	met        poolMetrics
+	clientOpts []Option
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu     sync.Mutex
+	next   int // round-robin cursor
+	closed bool
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+	closeOnce sync.Once
+}
+
+// NewPool builds a failover pool over addrs. No backend is dialed
+// until the first request touches it, so a pool can be built while
+// some of its fleet is down.
+func NewPool(addrs []string, opts ...PoolOption) (*Pool, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("client: pool needs at least one backend address")
+	}
+	p := &Pool{
+		retries: 2,
+		boBase:  20 * time.Millisecond,
+		boMax:   2 * time.Second,
+		sleep:   sleepCtx,
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.reg == nil {
+		p.reg = metrics.New()
+	}
+	p.met = poolMetrics{
+		retries:     p.reg.Counter("client.retries"),
+		failovers:   p.reg.Counter("client.failovers"),
+		transitions: p.reg.Counter("client.breaker.transitions"),
+	}
+	seed := p.seed
+	if !p.seeded {
+		seed = time.Now().UnixNano()
+	}
+	p.rng = rand.New(rand.NewSource(seed))
+	for i, addr := range addrs {
+		copts := []Option{
+			WithMetrics(p.reg),       // shared: attempts/reconnects aggregate
+			WithRetries(0),           // the pool owns the retry budget
+			WithSeed(seed + int64(i) + 1),
+		}
+		if p.attemptTO > 0 {
+			copts = append(copts, WithAttemptTimeout(p.attemptTO))
+		}
+		copts = append(copts, p.clientOpts...)
+		gauge := p.reg.Gauge(fmt.Sprintf("client.backend.%d.breaker_state", i))
+		gauge.Set(int64(BreakerClosed))
+		p.backends = append(p.backends, &backend{
+			addr: addr,
+			c:    New(addr, copts...),
+			brk:  newBreaker(p.brkThreshold, p.brkCooldown, p.met.transitions, gauge),
+		})
+	}
+	if p.probeEvery > 0 {
+		p.probeStop = make(chan struct{})
+		p.probeDone = make(chan struct{})
+		go p.probeLoop()
+	}
+	return p, nil
+}
+
+// Addrs returns the backend addresses in pool order.
+func (p *Pool) Addrs() []string {
+	out := make([]string, len(p.backends))
+	for i, b := range p.backends {
+		out[i] = b.addr
+	}
+	return out
+}
+
+// States returns each backend's breaker state, in pool order.
+func (p *Pool) States() []BreakerState {
+	out := make([]BreakerState, len(p.backends))
+	for i, b := range p.backends {
+		out[i] = b.brk.current()
+	}
+	return out
+}
+
+// MetricsSnapshot returns the pool's resilience metrics snapshot.
+func (p *Pool) MetricsSnapshot() *metrics.Snapshot { return p.reg.Snapshot() }
+
+// pick returns the next backend whose breaker admits a request,
+// round-robin from the cursor; ErrNoBackend when every breaker is
+// open and still cooling down.
+func (p *Pool) pick() (*backend, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	start := p.next
+	p.next = (p.next + 1) % len(p.backends)
+	p.mu.Unlock()
+	for i := 0; i < len(p.backends); i++ {
+		b := p.backends[(start+i)%len(p.backends)]
+		if b.brk.allow() {
+			return b, nil
+		}
+	}
+	return nil, ErrNoBackend
+}
+
+// backoffFor mirrors Client.backoffFor for the pool's own loop.
+func (p *Pool) backoffFor(attempt int) time.Duration {
+	window := p.boBase
+	for i := 1; i < attempt && window < p.boMax; i++ {
+		window <<= 1
+	}
+	if window > p.boMax {
+		window = p.boMax
+	}
+	if window <= 0 {
+		return 0
+	}
+	p.rngMu.Lock()
+	d := time.Duration(p.rng.Int63n(int64(window)))
+	p.rngMu.Unlock()
+	if floor := window / 16; d < floor {
+		d = floor
+	}
+	if d < 100*time.Microsecond {
+		d = 100 * time.Microsecond
+	}
+	return d
+}
+
+// do runs one request with failover: each attempt goes to the next
+// healthy backend; transport failures feed that backend's breaker.
+// Non-idempotent requests (RELOAD) get exactly one attempt.
+func (p *Pool) do(ctx context.Context, op, wantOp byte, body []byte, idempotent bool) (server.Frame, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	attempts := 0
+	var prev *backend
+	for {
+		b, err := p.pick()
+		var f server.Frame
+		if err == nil {
+			if prev != nil && b != prev {
+				p.met.failovers.Inc()
+			}
+			prev = b
+			f, err = b.c.do(ctx, op, wantOp, body, false)
+			b.settle(ctx, err)
+			if err == nil {
+				return f, nil
+			}
+			if !retryable(err) {
+				return server.Frame{}, err
+			}
+		} else if errors.Is(err, ErrClosed) {
+			return server.Frame{}, err
+		}
+		attempts++
+		if !idempotent {
+			return server.Frame{}, err
+		}
+		if ctx.Err() != nil {
+			return server.Frame{}, err
+		}
+		if attempts > p.retries {
+			if p.retries > 0 {
+				return server.Frame{}, &RetryError{Attempts: attempts, Err: err}
+			}
+			return server.Frame{}, err
+		}
+		p.met.retries.Inc()
+		if serr := p.sleep(ctx, p.backoffFor(attempts)); serr != nil {
+			return server.Frame{}, &RetryError{Attempts: attempts, Err: err}
+		}
+	}
+}
+
+// probeLoop is the background health prober: tripped backends are
+// pinged each tick, respecting the breaker's single-probe discipline.
+func (p *Pool) probeLoop() {
+	defer close(p.probeDone)
+	t := time.NewTicker(p.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.probeStop:
+			return
+		case <-t.C:
+			for _, b := range p.backends {
+				if b.brk.current() == BreakerClosed {
+					continue
+				}
+				if !b.brk.allow() {
+					continue
+				}
+				pctx, cancel := context.WithTimeout(context.Background(), p.probeEvery)
+				_, err := b.c.do(pctx, server.OpPing, server.OpPong, nil, false)
+				cancel()
+				b.settle(context.Background(), err)
+			}
+		}
+	}
+}
+
+// Close stops the prober and closes every backend connection.
+// Idempotent; in-flight requests fail.
+func (p *Pool) Close() error {
+	p.closeOnce.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		p.mu.Unlock()
+		if p.probeStop != nil {
+			close(p.probeStop)
+			<-p.probeDone
+		}
+		for _, b := range p.backends {
+			b.c.Close()
+		}
+	})
+	return nil
+}
+
+// PingCtx probes one healthy backend.
+func (p *Pool) PingCtx(ctx context.Context) error {
+	_, err := p.do(ctx, server.OpPing, server.OpPong, nil, true)
+	return err
+}
+
+// Ping probes one healthy backend.
+func (p *Pool) Ping() error { return p.PingCtx(context.Background()) }
+
+// ScanCtx scans payload against the loaded rule set on one healthy
+// backend, failing over under the retry budget.
+func (p *Pool) ScanCtx(ctx context.Context, payload []byte) ([]server.RuleMatch, error) {
+	f, err := p.do(ctx, server.OpScan, server.OpMatches, payload, true)
+	if err != nil {
+		return nil, err
+	}
+	return server.DecodeMatches(f.Body)
+}
+
+// Scan scans payload against the loaded rule set.
+func (p *Pool) Scan(payload []byte) ([]server.RuleMatch, error) {
+	return p.ScanCtx(context.Background(), payload)
+}
+
+// CountCtx counts rule matches in payload.
+func (p *Pool) CountCtx(ctx context.Context, payload []byte) (uint64, error) {
+	f, err := p.do(ctx, server.OpCount, server.OpCountResp, payload, true)
+	if err != nil {
+		return 0, err
+	}
+	return server.DecodeCount(f.Body)
+}
+
+// Count counts rule matches in payload.
+func (p *Pool) Count(payload []byte) (uint64, error) {
+	return p.CountCtx(context.Background(), payload)
+}
+
+// ScanPatternCtx runs one ad-hoc pattern over payload.
+func (p *Pool) ScanPatternCtx(ctx context.Context, pattern string, payload []byte) ([]server.RuleMatch, error) {
+	body, err := server.EncodeScanPattern(pattern, payload)
+	if err != nil {
+		return nil, err
+	}
+	f, err := p.do(ctx, server.OpScanPattern, server.OpMatches, body, true)
+	if err != nil {
+		return nil, err
+	}
+	return server.DecodeMatches(f.Body)
+}
+
+// ScanPattern runs one ad-hoc pattern over payload.
+func (p *Pool) ScanPattern(pattern string, payload []byte) ([]server.RuleMatch, error) {
+	return p.ScanPatternCtx(context.Background(), pattern, payload)
+}
+
+// RulesInfoCtx describes one healthy backend's serving snapshot.
+func (p *Pool) RulesInfoCtx(ctx context.Context) (server.Info, error) {
+	f, err := p.do(ctx, server.OpRulesInfo, server.OpInfo, nil, true)
+	if err != nil {
+		return server.Info{}, err
+	}
+	return server.DecodeInfo(f.Body)
+}
+
+// RulesInfo describes one healthy backend's serving snapshot.
+func (p *Pool) RulesInfo() (server.Info, error) {
+	return p.RulesInfoCtx(context.Background())
+}
+
+// ReloadCtx hot-swaps the rule set on EVERY backend — a pool's
+// replicas are only useful if they serve the same rules. RELOAD is
+// not idempotent, so no backend's reload is retried; the aggregated
+// error reports every backend that failed (the others did reload —
+// check RulesInfo per backend before re-issuing).
+func (p *Pool) ReloadCtx(ctx context.Context, rulesText string) (generation, rules uint32, err error) {
+	var errs []error
+	for _, b := range p.backends {
+		f, rerr := b.c.do(ctx, server.OpReload, server.OpReloadOK, []byte(rulesText), false)
+		b.settle(ctx, rerr)
+		if rerr != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", b.addr, rerr))
+			continue
+		}
+		generation, rules, rerr = server.DecodeReloadOK(f.Body)
+		if rerr != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", b.addr, rerr))
+		}
+	}
+	return generation, rules, errors.Join(errs...)
+}
+
+// Reload hot-swaps the rule set on every backend.
+func (p *Pool) Reload(rulesText string) (generation, rules uint32, err error) {
+	return p.ReloadCtx(context.Background(), rulesText)
+}
+
+// StatsJSONCtx fetches one healthy backend's metrics snapshot (JSON).
+func (p *Pool) StatsJSONCtx(ctx context.Context) ([]byte, error) {
+	f, err := p.do(ctx, server.OpStats, server.OpStatsResp, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	return f.Body, nil
+}
+
+// StatsCtx fetches and decodes one healthy backend's metrics
+// snapshot.
+func (p *Pool) StatsCtx(ctx context.Context) (*metrics.Snapshot, error) {
+	raw, err := p.StatsJSONCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("client: stats snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// Stats fetches and decodes one healthy backend's metrics snapshot.
+func (p *Pool) Stats() (*metrics.Snapshot, error) { return p.StatsCtx(context.Background()) }

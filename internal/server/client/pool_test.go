@@ -1,0 +1,361 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"net"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"alveare/internal/faultinject/netchaos"
+	"alveare/internal/metrics"
+	"alveare/internal/server"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestPoolRoundRobin(t *testing.T) {
+	var na, nb atomic.Int64
+	fsA := newFakeSrv(t, func(c net.Conn, f server.Frame) bool { na.Add(1); return pongHandler(c, f) })
+	fsB := newFakeSrv(t, func(c net.Conn, f server.Frame) bool { nb.Add(1); return pongHandler(c, f) })
+	p, err := NewPool([]string{fsA.addr(), fsB.addr()}, PoolSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 4; i++ {
+		if err := p.Ping(); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+	if na.Load() != 2 || nb.Load() != 2 {
+		t.Fatalf("round-robin split = %d/%d, want 2/2", na.Load(), nb.Load())
+	}
+}
+
+// TestPoolFailoverOpensBreaker: with one dead backend in the pool,
+// every request still succeeds via failover, and the dead backend's
+// breaker opens after the configured run of failures.
+func TestPoolFailoverOpensBreaker(t *testing.T) {
+	fs := newFakeSrv(t, pongHandler)
+	reg := metrics.New()
+	rec := &sleepRecorder{}
+	p, err := NewPool([]string{deadAddr(t), fs.addr()},
+		PoolSeed(2), PoolRetries(3), PoolSleep(rec.sleep), PoolMetrics(reg),
+		PoolBreaker(2, time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	for i := 0; i < 6; i++ {
+		if err := p.Ping(); err != nil {
+			t.Fatalf("ping %d: %v (failover should mask the dead backend)", i, err)
+		}
+	}
+	if st := p.States(); st[0] != BreakerOpen || st[1] != BreakerClosed {
+		t.Fatalf("breaker states = %v, want [open closed]", st)
+	}
+	if got := reg.Counter("client.failovers").Load(); got < 2 {
+		t.Fatalf("client.failovers = %d, want >= 2", got)
+	}
+	if got := reg.Counter("client.breaker.transitions").Load(); got < 1 {
+		t.Fatalf("client.breaker.transitions = %d, want >= 1", got)
+	}
+	if snap := p.MetricsSnapshot(); snap.Get("client.backend.0.breaker_state") != int64(BreakerOpen) {
+		t.Fatalf("backend 0 breaker gauge = %d, want %d (open)",
+			snap.Get("client.backend.0.breaker_state"), BreakerOpen)
+	}
+}
+
+// TestPoolAllBreakersOpen: once every backend's breaker is open and
+// cooling down, requests fail fast with ErrNoBackend instead of
+// hammering dead hosts.
+func TestPoolAllBreakersOpen(t *testing.T) {
+	p, err := NewPool([]string{deadAddr(t)},
+		PoolSeed(3), PoolBreaker(1, time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	rec := &sleepRecorder{}
+	p.sleep = rec.sleep
+	if err := p.Ping(); err == nil {
+		t.Fatal("ping against a dead backend succeeded")
+	}
+	if st := p.States(); st[0] != BreakerOpen {
+		t.Fatalf("breaker state = %v after threshold failures, want open", st[0])
+	}
+	if err := p.Ping(); !errors.Is(err, ErrNoBackend) {
+		t.Fatalf("got %v, want ErrNoBackend while every breaker is open", err)
+	}
+}
+
+// TestPoolRecoversThroughProbe kills a backend behind a chaos proxy,
+// watches its breaker open, revives it, and waits for the background
+// prober to close the breaker again — the full
+// closed → open → half-open → closed cycle with no live traffic.
+func TestPoolRecoversThroughProbe(t *testing.T) {
+	fs := newFakeSrv(t, pongHandler)
+	proxy, err := netchaos.New(fs.addr(), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	p, err := NewPool([]string{proxy.Addr()},
+		PoolSeed(4), PoolBreaker(1, 20*time.Millisecond), PoolProbe(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	proxy.SetDown(true)
+	if err := p.Ping(); err == nil {
+		t.Fatal("ping through a downed proxy succeeded")
+	}
+	if st := p.States(); st[0] != BreakerOpen {
+		t.Fatalf("breaker = %v after backend death, want open", st[0])
+	}
+
+	proxy.SetDown(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for p.States()[0] != BreakerClosed {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker stuck %v: prober never recovered the revived backend", p.States()[0])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := p.Ping(); err != nil {
+		t.Fatalf("ping after recovery: %v", err)
+	}
+}
+
+// TestPoolReloadFansOut: RELOAD goes to every backend (replicas must
+// serve the same rules), exactly once each.
+func TestPoolReloadFansOut(t *testing.T) {
+	var ra, rb atomic.Int64
+	reload := func(n *atomic.Int64) func(net.Conn, server.Frame) bool {
+		return func(c net.Conn, f server.Frame) bool {
+			if f.Op == server.OpReload {
+				n.Add(1)
+				return server.WriteFrame(c, server.Frame{
+					Op: server.OpReloadOK, ID: f.ID, Body: server.EncodeReloadOK(2, 5),
+				}) == nil
+			}
+			return pongHandler(c, f)
+		}
+	}
+	fsA := newFakeSrv(t, reload(&ra))
+	fsB := newFakeSrv(t, reload(&rb))
+	p, err := NewPool([]string{fsA.addr(), fsB.addr()}, PoolSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	gen, rules, err := p.Reload("abc\nxyz\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 || rules != 5 {
+		t.Fatalf("reload returned gen=%d rules=%d, want 2/5", gen, rules)
+	}
+	if ra.Load() != 1 || rb.Load() != 1 {
+		t.Fatalf("reload fan-out = %d/%d, want exactly 1/1", ra.Load(), rb.Load())
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	fs := newFakeSrv(t, pongHandler)
+	p, err := NewPool([]string{fs.addr()}, PoolSeed(6), PoolProbe(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("second Close: %v (must be idempotent)", err)
+	}
+	if err := p.Ping(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ping after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestResilienceMetricsGolden pins the schema-v1 snapshot rendering of
+// the resilience metrics — breaker-state gauges, retry/reconnect/
+// failover counters, attempt-latency histogram — byte for byte, in
+// both wire forms. Regenerate with -update.
+func TestResilienceMetricsGolden(t *testing.T) {
+	reg := metrics.New()
+	p, err := NewPool([]string{"127.0.0.1:1", "127.0.0.1:2"},
+		PoolSeed(7), PoolMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Deterministic values in place of live traffic.
+	reg.Counter("client.attempts").Store(12)
+	reg.Counter("client.retries").Store(3)
+	reg.Counter("client.reconnects").Store(2)
+	reg.Counter("client.failovers").Store(1)
+	reg.Counter("client.breaker.transitions").Store(4)
+	reg.Gauge("client.backend.0.breaker_state").Set(int64(BreakerOpen))
+	reg.Gauge("client.backend.1.breaker_state").Set(int64(BreakerClosed))
+	for _, v := range []int64{100, 200, 400, 400, 1600} {
+		reg.Histogram("client.attempt_latency_us").Observe(v)
+	}
+
+	var json1, json2, text bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&json1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot().WriteJSON(&json2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(json1.Bytes(), json2.Bytes()) {
+		t.Fatal("snapshot JSON is not byte-deterministic across renders")
+	}
+	if err := reg.Snapshot().WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "resilience_metrics.json"), json1.Bytes())
+	checkGolden(t, filepath.Join("testdata", "resilience_metrics.txt"), text.Bytes())
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (run with -update to regenerate)\n got: %s\nwant: %s",
+			path, got, want)
+	}
+}
+
+// TestBreakerLifecycle drives the state machine with a fake clock:
+// closed → open at the failure threshold, open → half-open after the
+// cooldown admitting exactly one probe, probe outcome deciding the
+// next state, and cancellation releasing the probe slot neutrally.
+func TestBreakerLifecycle(t *testing.T) {
+	reg := metrics.New()
+	trans := reg.Counter("t")
+	gauge := reg.Gauge("g")
+	now := time.Unix(0, 0)
+	b := newBreaker(2, time.Second, trans, gauge)
+	b.now = func() time.Time { return now }
+
+	if !b.allow() {
+		t.Fatal("fresh breaker must allow")
+	}
+	b.onFailure()
+	if b.current() != BreakerClosed {
+		t.Fatal("one failure under threshold 2 must not open")
+	}
+	b.onFailure()
+	if b.current() != BreakerOpen {
+		t.Fatal("second consecutive failure must open")
+	}
+	if gauge.Load() != int64(BreakerOpen) {
+		t.Fatalf("gauge = %d, want %d", gauge.Load(), BreakerOpen)
+	}
+	if b.allow() {
+		t.Fatal("open breaker inside cooldown must refuse")
+	}
+
+	now = now.Add(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("open breaker past cooldown must admit a probe")
+	}
+	if b.current() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.current())
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker must admit exactly one probe")
+	}
+	b.onCancel() // probe's caller went away: slot freed, no judgment
+	if b.current() != BreakerHalfOpen {
+		t.Fatal("cancellation must not change state")
+	}
+	if !b.allow() {
+		t.Fatal("cancelled probe slot must be reusable")
+	}
+	b.onFailure()
+	if b.current() != BreakerOpen {
+		t.Fatal("failed probe must re-open")
+	}
+
+	now = now.Add(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("re-opened breaker past cooldown must admit a probe")
+	}
+	b.onSuccess()
+	if b.current() != BreakerClosed {
+		t.Fatal("successful probe must close")
+	}
+	b.onFailure()
+	if b.current() != BreakerClosed {
+		t.Fatal("failure run must restart after a close")
+	}
+	if trans.Load() != 5 {
+		// closed→open, open→half, half→open, open→half, half→closed
+		t.Fatalf("transitions = %d, want 5", trans.Load())
+	}
+}
+
+// TestSettleClassification pins which outcomes count against a
+// backend's breaker.
+func TestSettleClassification(t *testing.T) {
+	mk := func() *backend {
+		return &backend{brk: newBreaker(1, time.Minute, nil, nil)}
+	}
+	bg := context.Background()
+
+	b := mk()
+	b.settle(bg, nil)
+	if b.brk.current() != BreakerClosed {
+		t.Fatal("success must not trip the breaker")
+	}
+	b.settle(bg, ErrShed)
+	if b.brk.current() != BreakerClosed {
+		t.Fatal("SHED is an authoritative answer: backend alive, breaker closed")
+	}
+	b.settle(bg, &ServerError{Code: server.ErrCodeScan, Msg: "x"})
+	if b.brk.current() != BreakerClosed {
+		t.Fatal("a server error is an authoritative answer: breaker closed")
+	}
+	b.settle(bg, errors.New("dial tcp: connection refused"))
+	if b.brk.current() != BreakerOpen {
+		t.Fatal("a transport failure past threshold must open the breaker")
+	}
+
+	b2 := mk()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b2.settle(ctx, ctx.Err())
+	if b2.brk.current() != BreakerClosed {
+		t.Fatal("caller cancellation proves nothing: breaker untouched")
+	}
+}

@@ -61,6 +61,12 @@ type Config struct {
 	// ReadTimeout is the per-frame read deadline (default 30s): an idle
 	// connection is closed after this long without a complete frame.
 	ReadTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline (default 30s): a
+	// client that stops reading (a blackholed peer, a dead NAT entry)
+	// fails its connection instead of wedging a reader or worker in a
+	// blocked write — which would otherwise stall a graceful drain
+	// forever. Negative disables the deadline.
+	WriteTimeout time.Duration
 	// RequestTimeout bounds one scan's execution, queue wait excluded
 	// (default 0: unbounded). An expired request is answered with an
 	// ERROR frame carrying the deadline cause.
@@ -101,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReadTimeout <= 0 {
 		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
 	}
 	if c.PatternCache == 0 {
 		c.PatternCache = 64
@@ -672,6 +681,9 @@ func (s *Server) writeFrame(c *conn, f Frame) {
 		return
 	}
 	c.wmu.Lock()
+	if s.cfg.WriteTimeout > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
 	err := WriteFrame(c.nc, f)
 	c.wmu.Unlock()
 	if err != nil {
