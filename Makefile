@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check chaostest fuzz fuzzsmoke leakcheck benchguard benchbaseline bench serve loadtest
+.PHONY: build test vet race check chaostest difftest fuzz fuzzsmoke leakcheck benchguard benchbaseline bench serve loadtest
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,17 @@ race:
 
 ## check: the full local CI gate — vet, everything under the race
 ## detector (including the goroutine-leak assertions in the fault
-## matrix), the seeded chaos suite, then a short fuzz pass over both
-## differential fuzzers.
-check: vet race leakcheck chaostest fuzzsmoke
+## matrix), the differential battery, the seeded chaos suite, then a
+## short fuzz pass over the differential fuzzers.
+check: vet race difftest leakcheck chaostest fuzzsmoke
+
+## difftest: the three-way differential battery under -race — the
+## lazy-DFA fast path, the exact slow path and Go's regexp (plus the
+## byte-level Pike-VM/backtracker oracles) must agree span-for-span on
+## the seeded corpora, including the adversarial cache-thrash /
+## chunk-straddle / prefix-literal families.
+difftest:
+	$(GO) test -race -count=1 -run 'Differential' .
 
 ## chaostest: the resilience gate — the seeded chaos e2e (real servers
 ## behind deterministic netchaos proxies, a failover Pool completing
@@ -30,24 +38,26 @@ check: vet race leakcheck chaostest fuzzsmoke
 ## seeded; failing runs print the seed to replay.
 chaostest:
 	$(GO) test -race -count=1 ./internal/faultinject/netchaos/ ./internal/server/client/
-	$(GO) test -race -count=1 -run 'TestChaos|TestServerDrainWithMidFrameResets|TestWriteTimeout' ./internal/server/
+	$(GO) test -race -count=1 -run 'TestChaos|TestServerFastPathChaos|TestServerReloadSwapsPrefilter|TestServerDrainWithMidFrameResets|TestWriteTimeout' ./internal/server/
 
 ## fuzz: cross-check the chunked reader scan against one-shot FindAll.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzStreamChunking -fuzztime 30s .
 
 ## fuzzsmoke: 30-second smoke of each fuzzer — the chunking
-## differential and the fault-injection offset/prefix invariants.
+## differential, the fault-injection offset/prefix invariants and the
+## lazy-DFA fast-vs-slow cross-check.
 fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz FuzzStreamChunking -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzFaultInjection -fuzztime 30s .
+	$(GO) test -run '^$$' -fuzz FuzzLazyDFA -fuzztime 30s .
 
 ## leakcheck: the guardrail tests carry goroutine-leak assertions
 ## (leakCheck in faultmatrix_test.go and the scan-service drain tests);
 ## run just those under -race so a stuck worker, an undrained pool or a
 ## leaked server goroutine fails loudly.
 leakcheck:
-	$(GO) test -race -run 'TestFaultMatrix|TestCancelMidScan|TestRuleSetEarlyStopDrains|TestRuleSetFaultIsolation' .
+	$(GO) test -race -run 'TestFaultMatrix|TestFastPathFaultSeam|TestCancelMidScan|TestRuleSetEarlyStopDrains|TestRuleSetFaultIsolation' .
 	$(GO) test -race -run 'TestServer' ./internal/server/...
 
 ## serve: run the scan service on the Snort-style example rules

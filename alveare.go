@@ -59,6 +59,29 @@ func WithCores(n int) Option { return core.WithCores(n) }
 // results are identical, candidate scanning gets cheaper.
 func WithPrefilter() Option { return core.WithPrefilter() }
 
+// WithDFA enables the hybrid fast path: a lazy (on-the-fly
+// determinised, RE2-style) DFA proves match absence in one linear pass
+// before the precise speculative engine runs, and a RuleSet adds one
+// cross-rule Aho–Corasick literal prefilter that dispatches only
+// candidate rules per window. Match offsets are byte-identical to the
+// slow path — the DFA only answers existence; on cache blowup the scan
+// falls back to the exact engine. Off by default in the library; the
+// CLI tools and scan server turn it on unless -no-dfa is given.
+func WithDFA() Option { return core.WithDFA() }
+
+// WithoutDFA disables the hybrid fast path, undoing an earlier
+// WithDFA in the option list.
+func WithoutDFA() Option { return core.WithoutDFA() }
+
+// WithDFACache bounds the lazy DFA's evictable state cache (default
+// 4096 states). Tiny caches force clear-on-full flushes and, when the
+// live working set still does not fit, a fallback to the exact engine.
+func WithDFACache(n int) Option { return core.WithDFACache(n) }
+
+// FastStats are the hybrid fast path's counters: probe-gate outcomes,
+// DFA cache behaviour, and rule-dispatch prefilter pass/skip counts.
+type FastStats = core.FastStats
+
 // WithOverlap sets the chunk-boundary overlap in bytes for the
 // multi-core divide and conquer and the streaming reader scan. The
 // overlap bounds the longest match the chunked disciplines report

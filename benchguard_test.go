@@ -31,12 +31,11 @@ const (
 	benchGuardRounds = 5
 )
 
-// benchGuardMeasure returns the best-of-N ns/op of the shared hot-path
-// workload (benchMetricsWorkload in bench_test.go).
-func benchGuardMeasure(enabled bool) float64 {
+// benchGuardMeasure returns the best-of-N ns/op of a guarded workload.
+func benchGuardMeasure(workload func(b *testing.B)) float64 {
 	best := 0.0
 	for i := 0; i < benchGuardRounds; i++ {
-		r := testing.Benchmark(func(b *testing.B) { benchMetricsWorkload(b, enabled) })
+		r := testing.Benchmark(workload)
 		ns := float64(r.T.Nanoseconds()) / float64(r.N)
 		if best == 0 || ns < best {
 			best = ns
@@ -45,19 +44,37 @@ func benchGuardMeasure(enabled bool) float64 {
 	return best
 }
 
+// benchGuardWorkloads are the gated hot paths, one baseline line each:
+// the metrics-disabled execution core (benchMetricsWorkload) and the
+// hybrid fast path over low-match traffic (benchFastPathWorkload) —
+// the default configuration of the scanning tools and the service.
+var benchGuardWorkloads = []struct {
+	key      string
+	workload func(b *testing.B)
+}{
+	{"disabled_ns_per_op", func(b *testing.B) { benchMetricsWorkload(b, false) }},
+	{"fastpath_ns_per_op", benchFastPathWorkload},
+}
+
 func TestBenchGuard(t *testing.T) {
 	mode := os.Getenv("ALVEARE_BENCHGUARD")
 	if mode == "" {
 		t.Skip("wall-clock guard; run via `make benchguard` (ALVEARE_BENCHGUARD=1)")
 	}
-	disabled := benchGuardMeasure(false)
+	measured := map[string]float64{}
+	for _, w := range benchGuardWorkloads {
+		measured[w.key] = benchGuardMeasure(w.workload)
+	}
 
 	if mode == "update" {
-		line := fmt.Sprintf("disabled_ns_per_op %.0f\n", disabled)
-		if err := os.WriteFile(benchGuardBaselineFile, []byte(line), 0o644); err != nil {
+		var sb strings.Builder
+		for _, w := range benchGuardWorkloads {
+			fmt.Fprintf(&sb, "%s %.0f\n", w.key, measured[w.key])
+		}
+		if err := os.WriteFile(benchGuardBaselineFile, []byte(sb.String()), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("baseline rewritten: %s", strings.TrimSpace(line))
+		t.Logf("baseline rewritten:\n%s", strings.TrimSpace(sb.String()))
 		return
 	}
 
@@ -66,23 +83,35 @@ func TestBenchGuard(t *testing.T) {
 		t.Fatalf("%v (run `make benchbaseline` to create it)", err)
 	}
 	fields := strings.Fields(string(raw))
-	if len(fields) != 2 || fields[0] != "disabled_ns_per_op" {
+	if len(fields) == 0 || len(fields)%2 != 0 {
 		t.Fatalf("malformed baseline %q", string(raw))
 	}
-	baseline, err := strconv.ParseFloat(fields[1], 64)
-	if err != nil || baseline <= 0 {
-		t.Fatalf("malformed baseline value %q: %v", fields[1], err)
+	baselines := map[string]float64{}
+	for i := 0; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i+1], 64)
+		if err != nil || v <= 0 {
+			t.Fatalf("malformed baseline value %q for %q: %v", fields[i+1], fields[i], err)
+		}
+		baselines[fields[i]] = v
 	}
 
-	limit := baseline * benchGuardTolerance
-	t.Logf("disabled path: %.0f ns/op (baseline %.0f, limit %.0f)", disabled, baseline, limit)
-	if disabled > limit {
-		t.Errorf("metrics-disabled hot path regressed: %.0f ns/op > %.0f ns/op (baseline %.0f +3%%)",
-			disabled, limit, baseline)
+	for _, w := range benchGuardWorkloads {
+		baseline, ok := baselines[w.key]
+		if !ok {
+			t.Errorf("baseline missing %q (run `make benchbaseline` to add it)", w.key)
+			continue
+		}
+		limit := baseline * benchGuardTolerance
+		t.Logf("%s: %.0f ns/op (baseline %.0f, limit %.0f)", w.key, measured[w.key], baseline, limit)
+		if measured[w.key] > limit {
+			t.Errorf("%s regressed: %.0f ns/op > %.0f ns/op (baseline %.0f +3%%)",
+				w.key, measured[w.key], limit, baseline)
+		}
 	}
 
 	// Informational: what turning the counters on costs. Not a gate —
 	// enabled runs opt into the cost — but large jumps are worth seeing.
-	enabled := benchGuardMeasure(true)
-	t.Logf("enabled path: %.0f ns/op (%.1f%% over disabled)", enabled, (enabled/disabled-1)*100)
+	enabled := benchGuardMeasure(func(b *testing.B) { benchMetricsWorkload(b, true) })
+	t.Logf("metrics-enabled path: %.0f ns/op (%.1f%% over disabled)",
+		enabled, (enabled/measured["disabled_ns_per_op"]-1)*100)
 }

@@ -86,6 +86,7 @@ func main() {
 		Policy:         policy,
 		Budget:         cf.Budget,
 		PatternCache:   *cacheSize,
+		NoDFA:          cf.NoDFA,
 	})
 	fatalIf(err)
 

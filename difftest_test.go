@@ -132,10 +132,12 @@ func assertSameSpans(t *testing.T, label, pat string, data []byte, got, want [][
 	}
 }
 
-// TestFindAllDifferential is the FindAll-level differential harness:
-// for every supported-subset pattern, the full ALVEARE pipeline — in
-// both compilation modes — must report exactly Go regexp's
-// FindAllIndex spans over the seeded corpora.
+// TestFindAllDifferential is the FindAll-level three-way differential
+// harness: for every supported-subset pattern, the full ALVEARE
+// pipeline — both compilation modes, the slow reference path, the
+// lazy-DFA fast path, and the fast path squeezed through a tiny DFA
+// cache — must report exactly Go regexp's FindAllIndex spans over the
+// seeded corpora.
 func TestFindAllDifferential(t *testing.T) {
 	r := rand.New(rand.NewSource(4242))
 	for _, tc := range difftestTable {
@@ -152,18 +154,33 @@ func TestFindAllDifferential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		engFast, err := NewEngine(MustCompile(tc.pattern), WithDFA())
+		if err != nil {
+			t.Fatalf("fast %q: %v", tc.pattern, err)
+		}
+		engTiny, err := NewEngine(MustCompile(tc.pattern), WithDFA(), WithDFACache(4))
+		if err != nil {
+			t.Fatalf("fast-tiny %q: %v", tc.pattern, err)
+		}
 		if m := std.FindString(tc.witness); m == "" {
 			t.Fatalf("witness %q does not match %q", tc.witness, tc.pattern)
 		}
+		engines := map[string]*Engine{
+			"advanced": engAdv, "minimal": engMin,
+			"lazydfa": engFast, "lazydfa-tiny": engTiny,
+		}
 		for _, data := range difftestCorpus(r, tc.witness) {
 			want := std.FindAllIndex(data, -1)
-			for label, eng := range map[string]*Engine{"advanced": engAdv, "minimal": engMin} {
+			for label, eng := range engines {
 				ms, err := eng.FindAll(data)
 				if err != nil {
 					t.Fatalf("%s %q on %q: %v", label, tc.pattern, data, err)
 				}
 				assertSameSpans(t, label, tc.pattern, data, goFindAllSemantics(ms), want)
 			}
+		}
+		if fs := engFast.FastStats(); fs.Probes == 0 {
+			t.Fatalf("%q: lazy-DFA gate never ran: %+v", tc.pattern, fs)
 		}
 	}
 }
@@ -186,16 +203,138 @@ func TestStreamingDifferential(t *testing.T) {
 				}
 			}
 			for _, chunk := range []int{7, 64} {
-				eng, err := NewEngine(prog, WithChunkSize(chunk), WithOverlap(maxLen+8))
-				if err != nil {
-					t.Fatal(err)
+				for label, opts := range map[string][]Option{
+					"stream":      {WithChunkSize(chunk), WithOverlap(maxLen + 8)},
+					"stream-fast": {WithChunkSize(chunk), WithOverlap(maxLen + 8), WithDFA()},
+				} {
+					eng, err := NewEngine(prog, opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ms, err := eng.FindReader(bytes.NewReader(data))
+					if err != nil {
+						t.Fatalf("%s %q chunk=%d on %q: %v", label, tc.pattern, chunk, data, err)
+					}
+					assertSameSpans(t, label, tc.pattern, data, goFindAllSemantics(ms), want)
 				}
-				ms, err := eng.FindReader(bytes.NewReader(data))
-				if err != nil {
-					t.Fatalf("%q chunk=%d on %q: %v", tc.pattern, chunk, data, err)
-				}
-				assertSameSpans(t, "stream", tc.pattern, data, goFindAllSemantics(ms), want)
 			}
 		}
 	}
+}
+
+// adversarialDifftests are corpora built to stress the hybrid fast
+// path where it is weakest: live DFA state sets larger than the cache
+// (clear-on-full, then the bail fallback), matches straddling chunk
+// boundaries of the streaming scan, and rule literals that are
+// prefixes of each other (the Aho–Corasick output-merge seam).
+func TestAdversarialDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(31337))
+
+	t.Run("cache-thrash", func(t *testing.T) {
+		// a[ab]{n} keeps ~2^n subsets live on an a/b stream; with a
+		// 16-state cache the lazy DFA must flush, re-flush, detect
+		// thrash and bail to the exact engine — with identical spans.
+		for _, pat := range []string{`a[ab]{12}`, `a[ab]{14}x?`, `(a|b)*abb[ab]{8}`} {
+			std := regexp.MustCompile(pat)
+			data := make([]byte, 1<<15)
+			for i := range data {
+				data[i] = "ab"[r.Intn(2)]
+			}
+			for i := 13; i < len(data); i += 17 {
+				data[i] = 'x'
+			}
+			eng, err := NewEngine(MustCompile(pat), WithDFA(), WithDFACache(16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms, err := eng.FindAll(data)
+			if err != nil {
+				t.Fatalf("%q: %v", pat, err)
+			}
+			assertSameSpans(t, "thrash", pat, data[:64], goFindAllSemantics(ms), std.FindAllIndex(data, -1))
+			fs := eng.FastStats()
+			if fs.CacheFlushes == 0 {
+				t.Errorf("%q: cache never flushed: %+v", pat, fs)
+			}
+			if fs.Bails == 0 {
+				t.Errorf("%q: thrash never bailed to the slow path: %+v", pat, fs)
+			}
+		}
+	})
+
+	t.Run("chunk-straddle", func(t *testing.T) {
+		// Matches planted exactly across every chunk boundary of a
+		// small-chunk streaming scan, on the fast path.
+		pat, witness := `ab[cd]{3}e`, "abcdde"
+		std := regexp.MustCompile(pat)
+		const chunk = 32
+		data := bytes.Repeat([]byte("."), 8*chunk)
+		for b := chunk; b < len(data)-len(witness); b += chunk {
+			copy(data[b-len(witness)/2:], witness) // straddles offset b
+		}
+		want := std.FindAllIndex(data, -1)
+		if len(want) < 5 {
+			t.Fatalf("corpus bug: only %d planted matches", len(want))
+		}
+		for _, opts := range [][]Option{
+			{WithChunkSize(chunk), WithOverlap(len(witness) + 2), WithDFA()},
+			{WithChunkSize(chunk), WithOverlap(len(witness) + 2), WithDFA(), WithDFACache(4)},
+		} {
+			eng, err := NewEngine(MustCompile(pat), opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms, err := eng.FindReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameSpans(t, "straddle", pat, data[:64], goFindAllSemantics(ms), want)
+		}
+	})
+
+	t.Run("prefix-literals", func(t *testing.T) {
+		// Rules whose necessary literals are prefixes of each other
+		// share Aho–Corasick paths; every rule must still dispatch on
+		// its own hits, and results must match a prefilter-free scan.
+		rules := []string{`foo[0-9]?`, `foobar`, `foobarbaz`, `barb[a-z]+`, `zzz`}
+		corpus := [][]byte{
+			[]byte("foobarbaz foobar foo9 barbell"),
+			[]byte("xx foobarba foob zz foobarbazq"),
+			[]byte("barbaz"), {},
+		}
+		buf := make([]byte, 4096)
+		for i := range buf {
+			buf[i] = "foobarz ."[r.Intn(9)]
+		}
+		corpus = append(corpus, buf)
+		slow, err := NewRuleSet(rules, CompilerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := NewRuleSet(rules, CompilerOptions{}, WithDFA())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, data := range corpus {
+			want, err1 := slow.Scan(data)
+			got, err2 := fast.Scan(data)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("errs %v / %v", err1, err2)
+			}
+			if len(want) != len(got) {
+				t.Fatalf("on %q: %d vs %d rules hit", data, len(want), len(got))
+			}
+			for i := range want {
+				if want[i].Rule != got[i].Rule || len(want[i].Matches) != len(got[i].Matches) {
+					t.Fatalf("on %q: rule-hit %d diverged: %+v vs %+v", data, i, want[i], got[i])
+				}
+				for j := range want[i].Matches {
+					if want[i].Matches[j] != got[i].Matches[j] {
+						t.Fatalf("on %q rule %d: span %d = %v vs %v",
+							data, want[i].Rule, j, got[i].Matches[j], want[i].Matches[j])
+					}
+				}
+			}
+		}
+	})
 }

@@ -499,3 +499,200 @@ func TestRuleSetEarlyStopDrains(t *testing.T) {
 		t.Fatalf("consumed %d bytes", n)
 	}
 }
+
+// TestFastPathFaultSeam audits the hybrid fast path's fallback seam:
+// stream faults, a mid-scan DFA cache blowup, cancellation inside the
+// gate, and every containment policy must behave exactly as on the
+// slow path — same matches, same error chains — and never leak a
+// worker goroutine. The failure policy lives in the guarded finder on
+// both paths, so any divergence here is a bug in the gate wiring.
+func TestFastPathFaultSeam(t *testing.T) {
+	data := matrixCorpus()
+	ref, err := matrixEngine(t).FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("ReaderFaultMatrix", func(t *testing.T) {
+		const failAt = 700
+		faults := []struct {
+			name  string
+			wrap  func(io.Reader) io.Reader
+			fails bool
+		}{
+			{"clean", func(r io.Reader) io.Reader { return r }, false},
+			{"torn", faultinject.Torn, false},
+			{"errAt", func(r io.Reader) io.Reader { return faultinject.ErrAt(r, failAt, nil) }, true},
+		}
+		for _, f := range faults {
+			t.Run(f.name, func(t *testing.T) {
+				defer leakCheck(t)()
+				e := matrixEngine(t, WithDFA())
+				if !e.FastEnabled() {
+					t.Fatal("fast path not enabled")
+				}
+				got, gerr := e.FindReader(f.wrap(bytes.NewReader(data)))
+				if !f.fails {
+					if gerr != nil {
+						t.Fatalf("err = %v, want nil", gerr)
+					}
+					if fmt.Sprint(got) != fmt.Sprint(ref) {
+						t.Fatalf("fast stream diverged: %d vs %d matches", len(got), len(ref))
+					}
+					if fs := e.FastStats(); fs.Probes == 0 {
+						t.Fatalf("gate never ran: %+v", fs)
+					}
+					return
+				}
+				var se *ScanError
+				if !errors.As(gerr, &se) || se.Offset != failAt || !errors.Is(gerr, faultinject.ErrInjected) {
+					t.Fatalf("err = %v, want *ScanError at %d wrapping ErrInjected", gerr, failAt)
+				}
+				for i := range got { // clean prefix, as on the slow path
+					if got[i] != ref[i] {
+						t.Fatalf("partial match %d = %+v, want %+v", i, got[i], ref[i])
+					}
+				}
+			})
+		}
+	})
+
+	t.Run("MidScanCacheBlowup", func(t *testing.T) {
+		defer leakCheck(t)()
+		// A thrash pattern through a 16-state cache: the gate must bail
+		// mid-stream and hand the rest of the scan to the exact engine,
+		// with byte-identical output.
+		pat := `a[ab]{14}`
+		buf := make([]byte, 1<<15)
+		lcg := uint32(12345)
+		for i := range buf {
+			lcg = lcg*1664525 + 1013904223
+			buf[i] = "ab"[lcg>>16&1]
+		}
+		// An 'x' every 11 bytes keeps the stream accept-free (every
+		// 15-byte window holds one), so the gate's probes run long
+		// enough for the thrash detector to trip.
+		for i := 10; i < len(buf); i += 11 {
+			buf[i] = 'x'
+		}
+		slow, err := NewEngine(MustCompile(pat), WithChunkSize(1024), WithOverlap(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := NewEngine(MustCompile(pat), WithChunkSize(1024), WithOverlap(64),
+			WithDFA(), WithDFACache(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err1 := slow.FindReader(bytes.NewReader(buf))
+		got, err2 := fast.FindReader(bytes.NewReader(buf))
+		if err1 != nil || err2 != nil {
+			t.Fatalf("errs %v / %v", err1, err2)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("blowup stream diverged: %d vs %d matches", len(got), len(want))
+		}
+		fs := fast.FastStats()
+		if fs.Bails == 0 || fs.FallbackProbes == 0 {
+			t.Fatalf("cache blowup never bailed to the slow path: %+v", fs)
+		}
+	})
+
+	t.Run("CancelInsideFastPath", func(t *testing.T) {
+		defer leakCheck(t)()
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		e := matrixEngine(t, WithDFA())
+		slow := faultinject.Slow(bytes.NewReader(data), 10*time.Millisecond)
+		n, serr := e.ScanReaderCtx(ctx, slow, func(Match, []byte) bool { return true })
+		if !errors.Is(serr, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want context.DeadlineExceeded", serr)
+		}
+		var se *ScanError
+		if !errors.As(serr, &se) {
+			t.Fatalf("err = %v (%T), want *ScanError", serr, serr)
+		}
+		if n >= int64(len(data)) {
+			t.Fatalf("consumed %d bytes, want a partial stream", n)
+		}
+		if e.Stats().CancelledScans == 0 {
+			t.Fatal("Stats.CancelledScans = 0 after a deadline abort on the fast path")
+		}
+	})
+
+	t.Run("PolicyParity", func(t *testing.T) {
+		// The degrade corpus: early matches, an adversarial a-run that
+		// trips the budget, then late matches. Matches exist ahead of
+		// every probe, so the gate always confirms and the guarded
+		// finder underneath sees exactly the slow path's faults.
+		cfg := arch.DefaultConfig()
+		cfg.MaxCycles = 2000
+		corpus := []byte(strings.Repeat("aab", 10) + strings.Repeat("a", 64) + "x" + strings.Repeat("aab", 5))
+		pattern := `(a|aa)+b`
+		for _, pol := range []Policy{FailFast, Degrade, Skip} {
+			slow, err := NewEngine(MustCompile(pattern), core.WithArchConfig(cfg), WithPolicy(pol))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := NewEngine(MustCompile(pattern), core.WithArchConfig(cfg), WithPolicy(pol), WithDFA())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, errSlow := slow.FindAll(corpus)
+			got, errFast := fast.FindAll(corpus)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("policy %v: fast output diverged:\n got %v\nwant %v", pol, got, want)
+			}
+			if (errSlow == nil) != (errFast == nil) {
+				t.Fatalf("policy %v: error outcome diverged: slow %v fast %v", pol, errSlow, errFast)
+			}
+			if pol == FailFast {
+				var seS, seF *ScanError
+				if !errors.As(errSlow, &seS) || !errors.As(errFast, &seF) {
+					t.Fatalf("FailFast: want *ScanError on both paths, got %v / %v", errSlow, errFast)
+				}
+				if !errors.Is(errFast, ErrRunaway) || seF.Offset != seS.Offset {
+					t.Fatalf("FailFast chains diverged: slow %+v fast %+v", seS, seF)
+				}
+			}
+			if pol == Degrade {
+				if errFast != nil {
+					t.Fatalf("Degrade: err = %v, want nil", errFast)
+				}
+				if fast.Stats().Fallbacks == 0 {
+					t.Fatal("Degrade: fast path never engaged the safe engine")
+				}
+			}
+		}
+	})
+
+	t.Run("RuleSetGateAvoidsFault", func(t *testing.T) {
+		// On a corpus where the adversarial rule cannot match (no 'b'),
+		// the gate proves absence up front and the speculative core never
+		// runs — the healthy neighbour's results are identical to the
+		// slow path's fault-isolation outcome, without paying the fault.
+		defer leakCheck(t)()
+		cfg := arch.DefaultConfig()
+		cfg.MaxCycles = 2000
+		data := []byte(strings.Repeat("a", 64))
+		rs, err := NewRuleSet([]string{`(a|aa)+b`, `aaa`}, CompilerOptions{},
+			core.WithArchConfig(cfg), WithPolicy(Skip), WithDFA())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, serr := rs.Scan(data)
+		if serr != nil {
+			t.Fatalf("scan err = %v, want nil", serr)
+		}
+		byRule := map[int]RuleMatches{}
+		for _, rm := range out {
+			byRule[rm.Rule] = rm
+		}
+		if rm := byRule[1]; len(rm.Matches) != 21 || rm.Err != nil {
+			t.Fatalf("healthy rule: %d matches, err %v; want 21, nil", len(rm.Matches), rm.Err)
+		}
+		if fs := rs.FastStats(); fs.Negatives == 0 {
+			t.Fatalf("gate never proved absence for the adversarial rule: %+v", fs)
+		}
+	})
+}

@@ -67,6 +67,68 @@ func All(nPatterns, size int, seed int64) []*Suite {
 	}
 }
 
+// LowMatch regenerates the named suite with a witness-free dataset:
+// the same rules over pure filler traffic, the DPI steady state in
+// which almost nothing fires. Some rules still match organically
+// (Snort's header patterns match the HTTP-shaped filler), so the
+// stream is low-match, not zero-match. This is the traffic profile
+// the hybrid fast path is sized against.
+func LowMatch(name string, nPatterns, size int, seed int64) (*Suite, error) {
+	s, err := ByName(name, nPatterns, size, seed)
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	s.Dataset = fillDatasetN(r, len(s.Dataset), nil, fillerFor(s.Name), 0)
+	s.Name = s.Name + "-lowmatch"
+	return s, nil
+}
+
+// fillerFor returns the suite's background-traffic generator, shared
+// between the witness-planting and witness-free dataset builders.
+func fillerFor(name string) func(*rand.Rand, *strings.Builder) {
+	keywords := []string{
+		"session", "token", "flow", "proto", "hdr", "chan", "frame",
+		"crc", "seq", "ack", "mpls", "vlan", "ipsec", "tln",
+	}
+	methods := []string{"GET", "POST", "HEAD", "PUT", "DELETE", "OPTIONS"}
+	headers := []string{"Host: ", "User-Agent: ", "Cookie: ", "Content-Type: ", "Referer: "}
+	switch strings.ToLower(strings.TrimSuffix(name, "-lowmatch")) {
+	case "poweren":
+		return func(r *rand.Rand, w *strings.Builder) {
+			w.WriteString(pick(r, keywords))
+			w.WriteString("=")
+			for i := 0; i < 4+r.Intn(8); i++ {
+				w.WriteByte("0123456789abcdefxyz_"[r.Intn(20)])
+			}
+			w.WriteString(" ")
+		}
+	case "protomata":
+		return func(r *rand.Rand, w *strings.Builder) {
+			for i := 0; i < 40; i++ {
+				w.WriteByte(protAlphabet[r.Intn(20)])
+			}
+		}
+	default: // snort
+		return func(r *rand.Rand, w *strings.Builder) {
+			switch r.Intn(3) {
+			case 0:
+				fmt.Fprintf(w, "%s /index%d.html HTTP/1.1\r\n", pick(r, methods), r.Intn(100))
+			case 1:
+				w.WriteString(pick(r, headers))
+				for i := 0; i < 8+r.Intn(20); i++ {
+					w.WriteByte(byte(0x21 + r.Intn(94)))
+				}
+				w.WriteString("\r\n")
+			case 2:
+				for i := 0; i < 16+r.Intn(32); i++ {
+					w.WriteByte(byte(r.Intn(256)))
+				}
+			}
+		}
+	}
+}
+
 // PowerEN generates synthetic network-SoC patterns: keyword fragments
 // combined with hex-class counters and small alternations, the profile
 // of IBM's PowerEN regression rules.
@@ -229,7 +291,13 @@ func pick(r *rand.Rand, ss []string) string { return ss[r.Intn(len(ss))] }
 // (quadratic density): real corpora are not uniform, and the skew gives
 // the multi-core divide-and-conquer realistic load imbalance.
 func fillDataset(r *rand.Rand, size int, pats []string, filler func(*rand.Rand, *strings.Builder)) []byte {
-	nPlants := witnessRepeat * len(pats)
+	return fillDatasetN(r, size, pats, filler, witnessRepeat)
+}
+
+// fillDatasetN is fillDataset with an explicit witness count per
+// pattern; 0 produces pure filler traffic (see LowMatch).
+func fillDatasetN(r *rand.Rand, size int, pats []string, filler func(*rand.Rand, *strings.Builder), repeat int) []byte {
+	nPlants := repeat * len(pats)
 	positions := make([]int, nPlants)
 	for i := range positions {
 		u := r.Float64()

@@ -1,0 +1,204 @@
+package automata
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// eagerFirstAccept computes the reference answer with the eager
+// subset-construction DFA: both constructions share the unanchored
+// form, so their accept behaviour must be identical.
+func eagerFirstAccept(t *testing.T, re string, data []byte, from int) (int, bool) {
+	t.Helper()
+	n, err := Compile(re)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", re, err)
+	}
+	d, err := Determinize(n, 1<<18)
+	if err != nil {
+		t.Fatalf("Determinize(%q): %v", re, err)
+	}
+	s := int32(0)
+	if d.Accept[0] {
+		return from, true
+	}
+	for i := from; i < len(data); i++ {
+		s = d.Next(s, data[i])
+		if d.Accept[s] {
+			return i + 1, true
+		}
+	}
+	return 0, false
+}
+
+func lazyInputs(r *rand.Rand) [][]byte {
+	inputs := [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("a"),
+		[]byte("abc"),
+		[]byte("the quick brown fox jumps over the lazy dog"),
+		[]byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaab"),
+	}
+	for i := 0; i < 6; i++ {
+		n := 1 + r.Intn(200)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = "ab01 xyz"[r.Intn(8)]
+		}
+		inputs = append(inputs, b)
+	}
+	return inputs
+}
+
+func TestLazyFirstAcceptMatchesEager(t *testing.T) {
+	patterns := []string{
+		`abc`, `a+b`, `(a|b)*abb`, `[a-z]+[0-9]`, `x(yz)?`, `a*`,
+		`fox|dog`, `.{3}k`, `(qu|br)[a-z]+`, `a{2,5}b`,
+	}
+	r := rand.New(rand.NewSource(61))
+	inputs := lazyInputs(r)
+	for _, re := range patterns {
+		lp, err := CompileLazy(re)
+		if err != nil {
+			t.Fatalf("CompileLazy(%q): %v", re, err)
+		}
+		d := lp.NewDFA(0)
+		for _, data := range inputs {
+			for from := 0; from <= len(data); from += 1 + len(data)/7 {
+				wantEnd, wantOK := eagerFirstAccept(t, re, data, from)
+				end, ok, err := d.FirstAccept(data, from)
+				if err != nil {
+					t.Fatalf("%q FirstAccept(%q, %d): %v", re, data, from, err)
+				}
+				if ok != wantOK || (ok && end != wantEnd) {
+					t.Fatalf("%q FirstAccept(%q, %d) = (%d,%v), want (%d,%v)",
+						re, data, from, end, ok, wantEnd, wantOK)
+				}
+			}
+		}
+		if st := d.Stats(); st.Hits() < 0 {
+			t.Fatalf("%q: negative cache hits: %+v", re, st)
+		}
+	}
+}
+
+// A tiny cache on a plain pattern flushes but stays exact: every
+// answer must still agree with the eager construction.
+func TestLazyTinyCacheStaysExact(t *testing.T) {
+	re := `(a|b)*abb|fox|[0-9]{2}`
+	lp, err := CompileLazy(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := lp.NewDFA(4)
+	r := rand.New(rand.NewSource(7))
+	for _, data := range lazyInputs(r) {
+		wantEnd, wantOK := eagerFirstAccept(t, re, data, 0)
+		end, ok, err := d.FirstAccept(data, 0)
+		if errors.Is(err, ErrDFABail) {
+			continue // bail is a legal answer for a 4-state cache
+		}
+		if err != nil {
+			t.Fatalf("FirstAccept(%q): %v", data, err)
+		}
+		if ok != wantOK || (ok && end != wantEnd) {
+			t.Fatalf("FirstAccept(%q) = (%d,%v), want (%d,%v)", data, end, ok, wantEnd, wantOK)
+		}
+	}
+	if st := d.Stats(); st.Flushes == 0 && st.Bails == 0 {
+		t.Fatalf("tiny cache neither flushed nor bailed: %+v", st)
+	}
+}
+
+// A pattern whose live DFA working set exceeds the cache must bail
+// (clear-on-full would otherwise thrash forever) and leave the
+// instance reusable.
+func TestLazyCacheBlowupBails(t *testing.T) {
+	lp, err := CompileLazy(`a[ab]{14}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := lp.NewDFA(16)
+	r := rand.New(rand.NewSource(3))
+	data := make([]byte, 1<<16)
+	for i := range data {
+		data[i] = "ab"[r.Intn(2)]
+	}
+	// Make the input accept-free so the scan runs long enough to thrash:
+	// break every candidate window with a non-[ab] byte.
+	for i := 10; i < len(data); i += 11 {
+		data[i] = 'x'
+	}
+	_, _, err = d.FirstAccept(data, 0)
+	if !errors.Is(err, ErrDFABail) {
+		t.Fatalf("FirstAccept = %v, want ErrDFABail", err)
+	}
+	if st := d.Stats(); st.Bails != 1 || st.Evicted == 0 {
+		t.Fatalf("stats after bail: %+v", st)
+	}
+	// The instance survives a bail: a benign input still answers.
+	if _, ok, err := d.FirstAccept([]byte("xxxxx"), 0); err != nil || ok {
+		t.Fatalf("post-bail FirstAccept = (%v, %v)", ok, err)
+	}
+}
+
+func TestLazyCancellation(t *testing.T) {
+	lp, err := CompileLazy(`needle`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := lp.NewDFA(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	data := make([]byte, 64*1024)
+	_, _, err = d.FirstAcceptCtx(ctx, data, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("FirstAcceptCtx = %v, want context.Canceled", err)
+	}
+}
+
+func TestLazyEmptyMatchAndBounds(t *testing.T) {
+	lp, err := CompileLazy(`a*`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := lp.NewDFA(0)
+	for from := 0; from <= 3; from++ {
+		end, ok, err := d.FirstAccept([]byte("xyz"), from)
+		if err != nil || !ok || end != from {
+			t.Fatalf("a* FirstAccept(from=%d) = (%d,%v,%v), want (from,true,nil)", from, end, ok, err)
+		}
+	}
+	if _, ok, _ := d.FirstAccept([]byte("xyz"), 99); ok {
+		t.Fatal("out-of-range origin must not match")
+	}
+}
+
+func TestLazyUnsupportedTooLarge(t *testing.T) {
+	if _, err := CompileLazy(`a{2000}b{2001}c{2002}`); !errors.Is(err, ErrLazyUnsupported) {
+		t.Fatalf("CompileLazy = %v, want ErrLazyUnsupported", err)
+	}
+}
+
+func TestLazySharedProgIndependentInstances(t *testing.T) {
+	lp, err := CompileLazy(`ab+c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := lp.NewDFA(0), lp.NewDFA(0)
+	data := []byte("zzabbbczz")
+	e1, ok1, _ := d1.FirstAccept(data, 0)
+	e2, ok2, _ := d2.FirstAccept(data, 0)
+	if e1 != e2 || ok1 != ok2 || !ok1 || e1 != 7 {
+		t.Fatalf("instances disagree: (%d,%v) vs (%d,%v)", e1, ok1, e2, ok2)
+	}
+	if d1.TakeStats().Bytes == 0 {
+		t.Fatal("TakeStats returned empty counters")
+	}
+	if d1.Stats().Bytes != 0 {
+		t.Fatal("TakeStats did not zero the counters")
+	}
+}

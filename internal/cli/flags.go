@@ -24,6 +24,11 @@ type CommonFlags struct {
 	Policy string
 	// Budget is the -budget per-attempt cycle cap (0 = unbounded).
 	Budget int64
+	// NoDFA disables the hybrid fast path (lazy-DFA probe gate plus
+	// the rule-set literal prefilter), which the scanning tools enable
+	// by default. The slow path is the exact reference engine; results
+	// are byte-identical either way.
+	NoDFA bool
 }
 
 // RegisterCommon registers the -timeout and -metrics flags on fs.
@@ -40,6 +45,7 @@ func RegisterScan(fs *flag.FlagSet) *CommonFlags {
 	c := RegisterCommon(fs)
 	fs.StringVar(&c.Policy, "policy", "failfast", "runaway containment: failfast, degrade or skip")
 	fs.Int64Var(&c.Budget, "budget", 0, "cycle budget per scan attempt; pathological backtracking past it trips the -policy containment (0 = effectively unbounded)")
+	fs.BoolVar(&c.NoDFA, "no-dfa", false, "disable the lazy-DFA fast path and literal prefilter (scan on the exact engine only; results are identical)")
 	return c
 }
 
@@ -55,12 +61,17 @@ func (c *CommonFlags) MustPolicy(tool string) core.Policy {
 }
 
 // EngineOptions translates the scan flags into engine/rule-set
-// options: the parsed policy, the cycle budget, and the detailed
-// metrics tier when -metrics requested a snapshot.
+// options: the parsed policy, the cycle budget, the detailed metrics
+// tier when -metrics requested a snapshot, and the hybrid fast path
+// (lazy DFA + literal prefilter), which is on by default and disabled
+// by -no-dfa.
 func (c *CommonFlags) EngineOptions(tool string) []core.Option {
 	opts := []core.Option{core.WithPolicy(c.MustPolicy(tool)), core.WithBudget(c.Budget)}
 	if c.Metrics != "" {
 		opts = append(opts, core.WithMetrics())
+	}
+	if !c.NoDFA {
+		opts = append(opts, core.WithDFA())
 	}
 	return opts
 }

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"alveare/internal/arch"
+	"alveare/internal/automata"
 	"alveare/internal/backend"
 	"alveare/internal/isa"
 	"alveare/internal/multicore"
@@ -47,13 +48,15 @@ func CompileWith(re string, opt backend.Options) (*Program, error) {
 type Option func(*settings)
 
 type settings struct {
-	cores   int
-	overlap int
-	chunk   int
-	workers int
-	policy  Policy
-	cfg     arch.Config
-	tracer  arch.Tracer
+	cores    int
+	overlap  int
+	chunk    int
+	workers  int
+	policy   Policy
+	cfg      arch.Config
+	tracer   arch.Tracer
+	dfa      bool
+	dfaCache int
 }
 
 // WithCores selects the scale-out width (default 1, the single core).
@@ -136,6 +139,38 @@ func WithPrefilter() Option {
 	return func(s *settings) { s.cfg.EnablePrefilter = true }
 }
 
+// WithDFA enables the hybrid fast path: a lazy (on-the-fly
+// determinised) DFA gates every probe — proving absence in one linear
+// pass — before the precise speculative engine runs, and a RuleSet
+// additionally builds one cross-rule Aho–Corasick literal prefilter
+// that dispatches only candidate rules per input window. Match offsets
+// are byte-identical to the slow path: the DFA only ever answers
+// existence, the precise engine still produces every offset, and on
+// cache blowup the scan falls back to the exact path (FastStats counts
+// gate outcomes, cache behaviour and fallbacks). Patterns whose NFA
+// exceeds the lazy-DFA bound silently run without the gate.
+//
+// Off by default at the library level; the CLI tools and the scan
+// server enable it unless their -no-dfa flag is set.
+func WithDFA() Option {
+	return func(s *settings) { s.dfa = true }
+}
+
+// WithoutDFA disables the hybrid fast path (the library default),
+// undoing an earlier WithDFA in the option list.
+func WithoutDFA() Option {
+	return func(s *settings) { s.dfa = false }
+}
+
+// WithDFACache bounds the lazy DFA's state cache (default
+// automata.DefaultLazyCacheStates). Tiny caches force clear-on-full
+// flushes and, when the live working set still does not fit, bail to
+// the exact engine — the knob fault-injection tests use to exercise
+// the fallback seam deterministically.
+func WithDFACache(n int) Option {
+	return func(s *settings) { s.dfaCache = n }
+}
+
 // Engine executes one compiled RE over data streams, on a single core
 // or on the scale-out configuration.
 type Engine struct {
@@ -152,6 +187,13 @@ type Engine struct {
 	// streamCtr accumulates reader-scan throughput (windows searched,
 	// bytes consumed, matches emitted) across ScanReader calls.
 	streamCtr stream.Counters
+
+	// lazy/dfa are the hybrid fast path (WithDFA): the shareable
+	// determinisation program and this engine's private gate instance.
+	// Nil when the fast path is off or the pattern is unsupported.
+	lazy    *automata.LazyProg
+	dfa     *automata.LazyDFA
+	fastCtr FastStats
 }
 
 // NewEngine loads a compiled program.
@@ -187,7 +229,37 @@ func NewEngine(p *Program, opts ...Option) (*Engine, error) {
 		}
 		e.multi = multi
 	}
+	if s.dfa && p.Source != "" {
+		// Unsupported (oversized) patterns run without the gate: the
+		// fast path is an optimisation, never a capability change.
+		if lp, lerr := automata.CompileLazy(p.Source); lerr == nil {
+			e.lazy = lp
+			e.dfa = lp.NewDFA(s.dfaCache)
+			if e.multi != nil {
+				e.multi.EnableFastGate(lp, s.dfaCache)
+			}
+		}
+	}
 	return e, nil
+}
+
+// FastEnabled reports whether the hybrid fast path (WithDFA) is active
+// on this engine — false when it was not requested or the pattern is
+// unsupported by the lazy DFA.
+func (e *Engine) FastEnabled() bool { return e.dfa != nil }
+
+// FastStats reports the hybrid fast path's accumulated counters: gate
+// outcomes, DFA cache behaviour, and (on multi-core engines) the
+// per-chunk gates' cache counters. Zero when the fast path is off.
+func (e *Engine) FastStats() FastStats {
+	st := e.fastCtr
+	if e.dfa != nil {
+		st.addLazy(e.dfa.Stats())
+	}
+	if e.multi != nil {
+		st.addLazy(e.multi.FastGateStats())
+	}
+	return st
 }
 
 // Program returns the loaded executable.
@@ -213,6 +285,18 @@ func (e *Engine) guarded() *guarded {
 	}
 }
 
+// finder builds the per-scan finder: the policy-applying guarded
+// engine, wrapped by the lazy-DFA gate when the fast path is enabled.
+// Gate stickiness (a cache bail disabling the gate) is scoped to one
+// scan, like the guarded finder's sticky degradation.
+func (e *Engine) finder() stream.Finder {
+	g := e.guarded()
+	if e.dfa == nil {
+		return g
+	}
+	return &fastFinder{dfa: e.dfa, slow: g, st: &e.fastCtr}
+}
+
 // fail folds err into the ScanError taxonomy (rule -1: single-pattern
 // engine) and maintains the cancellation counter. nil passes through.
 func (e *Engine) fail(err error) error {
@@ -233,7 +317,7 @@ func (e *Engine) Find(data []byte) (Match, bool, error) {
 // FindCtx is Find with cooperative cancellation: the core polls ctx
 // between match attempts and every few thousand simulated cycles.
 func (e *Engine) FindCtx(ctx context.Context, data []byte) (Match, bool, error) {
-	m, ok, err := e.guarded().FindFromCtx(ctx, data, 0)
+	m, ok, err := e.finder().FindFromCtx(ctx, data, 0)
 	return m, ok, e.fail(err)
 }
 
@@ -265,8 +349,20 @@ func (e *Engine) FindAllCtx(ctx context.Context, data []byte) ([]Match, error) {
 		res, err := e.runMultiCtx(ctx, data)
 		return res.Matches, err
 	}
-	ms, err := resilientFindAll(ctx, e.single, e.safe, e.policy, data, func() { e.guard.Fallbacks++ })
+	ms, err := e.findAllSingle(ctx, data)
 	return ms, e.fail(err)
+}
+
+// findAllSingle runs the one-shot FindAll discipline on the single
+// core: through the DFA gate when the fast path is on, straight
+// through the resilient policy loop otherwise. Both paths apply the
+// same failure policy (it lives in the guarded finder) and return
+// byte-identical matches.
+func (e *Engine) findAllSingle(ctx context.Context, data []byte) ([]Match, error) {
+	if e.dfa != nil {
+		return findAllWith(ctx, e.finder(), data)
+	}
+	return resilientFindAll(ctx, e.single, e.safe, e.policy, data, func() { e.guard.Fallbacks++ })
 }
 
 // Count returns the number of non-overlapping matches.
@@ -300,7 +396,7 @@ func (e *Engine) ScanReader(r io.Reader, emit func(m Match, text []byte) bool) (
 // failure policy applied per window. A cancelled scan returns the bytes
 // consumed so far together with a *ScanError wrapping ctx.Err().
 func (e *Engine) ScanReaderCtx(ctx context.Context, r io.Reader, emit func(m Match, text []byte) bool) (int64, error) {
-	sc := stream.ForFinder(e.guarded(), e.stream)
+	sc := stream.ForFinder(e.finder(), e.stream)
 	sc.SetCounters(&e.streamCtr)
 	n, err := sc.ScanCtx(ctx, r, stream.EmitFunc(emit))
 	return n, e.fail(err)
@@ -388,7 +484,7 @@ func (e *Engine) RunCtx(ctx context.Context, data []byte) (multicore.Result, err
 		return e.runMultiCtx(ctx, data)
 	}
 	e.single.ResetStats()
-	ms, err := resilientFindAll(ctx, e.single, e.safe, e.policy, data, func() { e.guard.Fallbacks++ })
+	ms, err := e.findAllSingle(ctx, data)
 	st := e.single.Stats()
 	res := multicore.Result{
 		Matches:     ms,
@@ -421,4 +517,11 @@ func (e *Engine) ResetStats() {
 	e.single.Reset()
 	e.guard = Stats{}
 	e.streamCtr = stream.Counters{}
+	e.fastCtr = FastStats{}
+	if e.dfa != nil {
+		e.dfa.TakeStats()
+	}
+	if e.multi != nil {
+		e.multi.TakeFastGateStats()
+	}
 }

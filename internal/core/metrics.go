@@ -22,6 +22,31 @@ func (e *Engine) PublishMetrics(r *metrics.Registry) {
 	r.Counter("engine.stream.windows").Store(e.streamCtr.Windows)
 	r.Counter("engine.stream.bytes").Store(e.streamCtr.Bytes)
 	r.Counter("engine.stream.matches").Store(e.streamCtr.Matches)
+	if e.FastEnabled() {
+		publishFast(r, "engine", e.FastStats(), false)
+	}
+}
+
+// publishFast writes one FastStats roll-up under prefix: the gate
+// outcome counters ("<prefix>.fast.*"), the DFA cache counters
+// ("<prefix>.dfa.cache.*", "<prefix>.dfa.bails") and, for rule sets,
+// the cross-rule prefilter dispatch counters ("<prefix>.prefilter.*").
+// Published only when the fast path is enabled, so default-path
+// snapshots are unchanged.
+func publishFast(r *metrics.Registry, prefix string, fs FastStats, prefilter bool) {
+	r.Counter(prefix + ".fast.probes").Store(fs.Probes)
+	r.Counter(prefix + ".fast.negatives").Store(fs.Negatives)
+	r.Counter(prefix + ".fast.confirms").Store(fs.Confirms)
+	r.Counter(prefix + ".fast.fallback.probes").Store(fs.FallbackProbes)
+	r.Counter(prefix + ".dfa.cache.hits").Store(fs.CacheHits)
+	r.Counter(prefix + ".dfa.cache.misses").Store(fs.CacheMisses)
+	r.Counter(prefix + ".dfa.cache.flushes").Store(fs.CacheFlushes)
+	r.Counter(prefix + ".dfa.cache.evicted").Store(fs.CacheEvicted)
+	r.Counter(prefix + ".dfa.bails").Store(fs.Bails)
+	if prefilter {
+		r.Counter(prefix + ".prefilter.passes").Store(fs.PrefilterPasses)
+		r.Counter(prefix + ".prefilter.skips").Store(fs.PrefilterSkips)
+	}
 }
 
 // MetricsSnapshot publishes into a fresh registry and returns the
@@ -62,6 +87,10 @@ func (rs *RuleSet) PublishMetrics(r *metrics.Registry) {
 	r.Counter("ruleset.stream.windows").Store(ctr.Windows)
 	r.Counter("ruleset.stream.bytes").Store(ctr.Bytes)
 	r.Counter("ruleset.stream.matches").Store(ctr.Matches)
+	if rs.FastEnabled() {
+		publishFast(r, "ruleset", rs.FastStats(), true)
+		r.Counter("ruleset.prefilter.rules.filtered").Store(int64(rs.PrefilteredRules()))
+	}
 }
 
 // MetricsSnapshot publishes into a fresh registry and returns the

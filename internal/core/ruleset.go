@@ -9,8 +9,10 @@ import (
 	"sync"
 
 	"alveare/internal/arch"
+	"alveare/internal/automata"
 	"alveare/internal/backend"
 	"alveare/internal/isa"
+	"alveare/internal/prefilter"
 	"alveare/internal/stream"
 )
 
@@ -45,12 +47,25 @@ type RuleSet struct {
 	// concurrent use.
 	tracer arch.Tracer
 
+	// Hybrid fast path (WithDFA): one shareable lazy-DFA program per
+	// supported rule with pooled gate instances, plus the cross-rule
+	// Aho–Corasick literal dispatcher built from the compiled programs'
+	// prefilter hints. pf is nil when the fast path is off or the
+	// literal trie was too large — every rule then dispatches.
+	useDFA   bool
+	dfaCache int
+	lazy     []*automata.LazyProg
+	dfaPools []sync.Pool
+	pf       *prefilter.Set
+	bitsPool sync.Pool
+
 	mu         sync.Mutex   // guards the roll-ups below
 	agg        arch.Stats   // aggregate across all rules and scans
 	perRule    []arch.Stats // per-rule roll-up (index = rule)
 	occ        []int64      // jobs completed per worker slot
 	dispatched int64        // rule-scan jobs handed to the pool
 	streamCtr  stream.Counters
+	fast       FastStats // fast-path roll-up across all rules and scans
 }
 
 // NewRuleSet compiles every pattern with the given compiler options and
@@ -97,7 +112,98 @@ func NewRuleSet(patterns []string, copt backend.Options, opts ...Option) (*RuleS
 			return c
 		}
 	}
+	if s.dfa {
+		rs.useDFA = true
+		rs.dfaCache = s.dfaCache
+		rs.lazy = make([]*automata.LazyProg, len(rs.patterns))
+		rs.dfaPools = make([]sync.Pool, len(rs.patterns))
+		for i, re := range rs.patterns {
+			// A rule the lazy DFA cannot gate (oversized NFA) scans the
+			// slow exact path; the fast path never changes capability.
+			if lp, lerr := automata.CompileLazy(re); lerr == nil {
+				rs.lazy[i] = lp
+			}
+		}
+		var lits []prefilter.Literal
+		for i, p := range rs.progs {
+			if p.Hint != nil && len(p.Hint.Literal) >= 2 {
+				lits = append(lits, prefilter.Literal{Rule: i, Bytes: p.Hint.Literal})
+			}
+		}
+		// A trie past the node bound just disables cross-rule dispatch
+		// (pf == nil dispatches everything); the DFA gates still apply.
+		if pf, perr := prefilter.NewSet(len(rs.patterns), lits); perr == nil {
+			rs.pf = pf
+		}
+		rs.bitsPool.New = func() any { return prefilter.NewBits(len(rs.patterns)) }
+	}
 	return rs, nil
+}
+
+// FastEnabled reports whether the hybrid fast path (WithDFA) is active
+// on this rule set.
+func (rs *RuleSet) FastEnabled() bool { return rs.useDFA }
+
+// PrefilterEnabled reports whether the cross-rule Aho–Corasick literal
+// dispatcher is active (it requires the fast path and a literal trie
+// within bounds).
+func (rs *RuleSet) PrefilterEnabled() bool { return rs.pf != nil }
+
+// PrefilteredRules returns how many rules are gated by a necessary
+// literal (the rest always dispatch).
+func (rs *RuleSet) PrefilteredRules() int {
+	if rs.pf == nil {
+		return 0
+	}
+	return rs.pf.Filtered()
+}
+
+// FastStats reports the fast-path roll-up across all rules and scans:
+// gate outcomes, DFA cache behaviour and prefilter dispatch counters.
+func (rs *RuleSet) FastStats() FastStats {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.fast
+}
+
+// getDFA borrows rule i's pooled lazy-DFA gate, or nil when the rule
+// has no gate (fast path off or unsupported pattern).
+func (rs *RuleSet) getDFA(i int) *automata.LazyDFA {
+	if !rs.useDFA || rs.lazy[i] == nil {
+		return nil
+	}
+	if d, ok := rs.dfaPools[i].Get().(*automata.LazyDFA); ok && d != nil {
+		return d
+	}
+	return rs.lazy[i].NewDFA(rs.dfaCache)
+}
+
+// putDFA returns a borrowed gate, folding its cache counters and the
+// scan's gate-outcome counters into the roll-up.
+func (rs *RuleSet) putDFA(i int, d *automata.LazyDFA, fst *FastStats) {
+	fst.addLazy(d.TakeStats())
+	rs.mu.Lock()
+	rs.fast.Add(*fst)
+	rs.mu.Unlock()
+	rs.dfaPools[i].Put(d)
+}
+
+// candidates runs the cross-rule prefilter over one input window,
+// returning the candidate mask (recycle with putBits) or nil when
+// every rule must dispatch.
+func (rs *RuleSet) candidates(data []byte) prefilter.Bits {
+	if rs.pf == nil {
+		return nil
+	}
+	bits := rs.bitsPool.Get().(prefilter.Bits)
+	rs.pf.Candidates(data, bits)
+	return bits
+}
+
+func (rs *RuleSet) putBits(bits prefilter.Bits) {
+	if bits != nil {
+		rs.bitsPool.Put(bits)
+	}
 }
 
 // Len returns the number of rules.
@@ -195,7 +301,20 @@ func (rs *RuleSet) scanRule(ctx context.Context, i int, data []byte) (ms []Match
 		return nil, st, scanErrFor(i, cerr)
 	}
 	var fallbacks int64
-	ms, ferr := resilientFindAll(ctx, core, rs.safes[i], rs.policy, data, func() { fallbacks++ })
+	var ferr error
+	if dfa := rs.getDFA(i); dfa != nil {
+		g := &guarded{
+			core:       core,
+			vm:         rs.safes[i],
+			policy:     rs.policy,
+			onFallback: func() { fallbacks++ },
+		}
+		var fst FastStats
+		ms, ferr = findAllWith(ctx, &fastFinder{dfa: dfa, slow: g, st: &fst}, data)
+		rs.putDFA(i, dfa, &fst)
+	} else {
+		ms, ferr = resilientFindAll(ctx, core, rs.safes[i], rs.policy, data, func() { fallbacks++ })
+	}
 	st = core.Stats()
 	st.Fallbacks += fallbacks
 	rs.pools[i].Put(core)
@@ -221,6 +340,11 @@ func (rs *RuleSet) ScanCtx(ctx context.Context, data []byte) ([]RuleMatches, err
 	if n == 0 {
 		return nil, nil
 	}
+	// One prefilter pass over the input picks the candidate rules; a
+	// rule whose necessary literal is absent cannot match and is never
+	// dispatched (its result is exactly the empty result it would
+	// produce).
+	cand := rs.candidates(data)
 	matches := make([][]Match, n)
 	errs := make([]error, n)
 	per := make([]arch.Stats, n)
@@ -239,11 +363,24 @@ func (rs *RuleSet) ScanCtx(ctx context.Context, data []byte) ([]RuleMatches, err
 			}
 		}(w)
 	}
+	var sent, skipped int64
 	for i := 0; i < n; i++ {
+		if cand != nil && !cand.Has(i) {
+			skipped++
+			continue
+		}
 		jobs <- i
+		sent++
 	}
 	close(jobs)
 	wg.Wait()
+	rs.putBits(cand)
+	if rs.useDFA {
+		rs.mu.Lock()
+		rs.fast.PrefilterPasses += sent
+		rs.fast.PrefilterSkips += skipped
+		rs.mu.Unlock()
+	}
 
 	var scanErr error
 	cancelled := false
@@ -260,7 +397,7 @@ func (rs *RuleSet) ScanCtx(ctx context.Context, data []byte) ([]RuleMatches, err
 			scanErr = err
 		}
 	}
-	rs.merge(per, occ, int64(n), 0, 0)
+	rs.merge(per, occ, sent, 0, 0)
 	if cancelled {
 		rs.mu.Lock()
 		rs.agg.CancelledScans++
@@ -320,11 +457,22 @@ func (rs *RuleSet) scanRuleWindow(ctx context.Context, i int, buf []byte, base i
 		degraded:   sticky,
 		onFallback: func() { fallbacks++ },
 	}
-	npos, _, werr := stream.ScanWindowCtx(ctx, g, buf, base, final, overlap, from,
+	var f stream.Finder = g
+	dfa := rs.getDFA(i)
+	var fst FastStats
+	if dfa != nil {
+		// Gate stickiness (a cache bail) is scoped to this window; the
+		// next window retries the gate on a flushed cache.
+		f = &fastFinder{dfa: dfa, slow: g, st: &fst}
+	}
+	npos, _, werr := stream.ScanWindowCtx(ctx, f, buf, base, final, overlap, from,
 		func(m Match, _ []byte) bool {
 			ms = append(ms, m)
 			return true
 		})
+	if dfa != nil {
+		rs.putDFA(i, dfa, &fst)
+	}
 	st = core.Stats()
 	st.Fallbacks += fallbacks
 	rs.pools[i].Put(core)
@@ -375,6 +523,20 @@ func (rs *RuleSet) ScanReaderCtx(ctx context.Context, r io.Reader, emit func(rul
 			return int64(base + len(buf)), scanErrFor(-1, &stream.ReadError{Offset: int64(base + len(buf)), Err: err})
 		}
 		limit := base + len(buf)
+		ownEnd := limit
+		if !final {
+			ownEnd = limit - cfg.Overlap
+			if ownEnd < base {
+				ownEnd = base
+			}
+		}
+
+		// One prefilter pass over the window buffer picks the candidate
+		// rules. A skipped rule's resume offset advances exactly as a
+		// no-match window scan would (stream.ScanWindowCtx's contract):
+		// the literal's absence from the buffer proves no match lies in
+		// the window, so the two are byte-identical.
+		cand := rs.candidates(buf)
 
 		// Fan the window out to the workers; collect per rule so the
 		// emission below is deterministic.
@@ -382,7 +544,7 @@ func (rs *RuleSet) ScanReaderCtx(ctx context.Context, r io.Reader, emit func(rul
 		errs := make([]error, n)
 		per := make([]arch.Stats, n)
 		occ := make([]int64, rs.workerCount(n))
-		var sent int64
+		var sent, skipped int64
 		jobs := make(chan int)
 		var wg sync.WaitGroup
 		for w := range occ {
@@ -399,13 +561,30 @@ func (rs *RuleSet) ScanReaderCtx(ctx context.Context, r io.Reader, emit func(rul
 			}(w)
 		}
 		for i := 0; i < n; i++ {
-			if dead[i] == nil {
-				jobs <- i
-				sent++
+			if dead[i] != nil {
+				continue
 			}
+			if cand != nil && !cand.Has(i) {
+				if final {
+					pos[i] = limit + 1
+				} else if pos[i] < ownEnd {
+					pos[i] = ownEnd
+				}
+				skipped++
+				continue
+			}
+			jobs <- i
+			sent++
 		}
 		close(jobs)
 		wg.Wait()
+		rs.putBits(cand)
+		if rs.useDFA {
+			rs.mu.Lock()
+			rs.fast.PrefilterPasses += sent
+			rs.fast.PrefilterSkips += skipped
+			rs.mu.Unlock()
+		}
 
 		rs.merge(per, occ, sent, 1, int64(nr))
 		for i, err := range errs {
@@ -536,6 +715,7 @@ func (rs *RuleSet) ResetStats() {
 	rs.occ = nil
 	rs.dispatched = 0
 	rs.streamCtr = stream.Counters{}
+	rs.fast = FastStats{}
 }
 
 // TotalCycles sums the scan-pool aggregate and the per-rule engines'

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"alveare/internal/arch"
+	"alveare/internal/automata"
 	"alveare/internal/isa"
 	"alveare/internal/stream"
 )
@@ -40,6 +41,40 @@ type Engine struct {
 	cfg     arch.Config
 	cores   []*arch.Core
 	overlap int
+
+	// fast, when enabled (EnableFastGate), holds one private lazy-DFA
+	// gate per core: a chunk whose gate proves match-free is never
+	// simulated at all — the divide-and-conquer counterpart of the
+	// engine layer's probe gate.
+	fast []*automata.LazyDFA
+}
+
+// EnableFastGate installs one lazy-DFA chunk gate per core (each core
+// runs concurrently, so each needs a private instance). cacheStates
+// bounds every gate's state cache; non-positive selects the default.
+func (e *Engine) EnableFastGate(p *automata.LazyProg, cacheStates int) {
+	e.fast = make([]*automata.LazyDFA, len(e.cores))
+	for i := range e.fast {
+		e.fast[i] = p.NewDFA(cacheStates)
+	}
+}
+
+// FastGateStats sums the chunk gates' cache counters.
+func (e *Engine) FastGateStats() automata.LazyStats {
+	var st automata.LazyStats
+	for _, d := range e.fast {
+		st.Add(d.Stats())
+	}
+	return st
+}
+
+// TakeFastGateStats sums and zeroes the chunk gates' cache counters.
+func (e *Engine) TakeFastGateStats() automata.LazyStats {
+	var st automata.LazyStats
+	for _, d := range e.fast {
+		st.Add(d.TakeStats())
+	}
+	return st
 }
 
 // New builds an n-core engine. A non-positive overlap selects
@@ -122,6 +157,9 @@ type Result struct {
 	// Run still returns a non-nil error when any chunk failed, so
 	// callers that ignore Failed keep fail-stop semantics.
 	Failed []ChunkFailure
+	// FastSkips counts the chunks the lazy-DFA gate proved match-free,
+	// skipping core simulation entirely (EnableFastGate only).
+	FastSkips int
 }
 
 // Run searches the whole stream with all cores in parallel and merges
@@ -142,6 +180,7 @@ func (e *Engine) RunCtx(ctx context.Context, data []byte) (Result, error) {
 		matches []arch.Match
 		stats   arch.Stats
 		err     error
+		skipped bool
 	}
 	outs := make([]coreOut, len(chunks))
 	var wg sync.WaitGroup
@@ -151,6 +190,16 @@ func (e *Engine) RunCtx(ctx context.Context, data []byte) (Result, error) {
 			defer wg.Done()
 			core := e.cores[i]
 			core.Reset()
+			if e.fast != nil {
+				// Gate the whole chunk: a match-free answer skips the
+				// simulation. A gate bail or cancellation just falls
+				// through — the core applies its own ctx/fault handling,
+				// so error chains are identical to the ungated path.
+				if _, found, gerr := e.fast[i].FirstAcceptCtx(ctx, data[c.Lo:c.Ext], 0); gerr == nil && !found {
+					outs[i].skipped = true
+					return
+				}
+			}
 			ms, err := core.FindAllCtx(ctx, data[c.Lo:c.Ext], 0)
 			outs[i].stats = core.Stats()
 			if err != nil {
@@ -169,6 +218,9 @@ func (e *Engine) RunCtx(ctx context.Context, data []byte) (Result, error) {
 	res := Result{Chunks: len(chunks)}
 	var firstErr error
 	for i := range outs {
+		if outs[i].skipped {
+			res.FastSkips++
+		}
 		res.PerCore = append(res.PerCore, outs[i].stats)
 		cycles := outs[i].stats.Cycles + StartupCycles
 		res.TotalCycles += cycles

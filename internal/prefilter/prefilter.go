@@ -1,0 +1,233 @@
+// Package prefilter implements the cross-rule dispatch filter of the
+// hybrid fast path: one multi-pattern Aho–Corasick automaton built
+// over the necessary literal factors of a whole rule set (the
+// per-rule hints internal/ir.FindPrefilter extracts and the backend
+// attaches as isa.PrefilterHint). A single pass over an input window
+// marks every rule whose required literal occurs; rules whose literal
+// is absent provably cannot match inside the window and are never
+// dispatched to a scanning core.
+//
+// The filter is exact under the same contract as the streaming overlap
+// discipline: a match that lies within the window contains its
+// rule's necessary literal within the window, so a literal miss is a
+// proof of absence — never a heuristic. Rules without a usable literal
+// hint are always dispatched.
+package prefilter
+
+import (
+	"errors"
+	"fmt"
+)
+
+// maxNodes bounds the dense automaton (1 KiB of transition table per
+// node). Rule sets beyond it fall back to dispatch-everything.
+const maxNodes = 1 << 15
+
+// ErrTooLarge reports a literal set whose trie exceeds maxNodes.
+var ErrTooLarge = errors.New("prefilter: literal set exceeds the node bound")
+
+// Literal is one rule's necessary factor: every match of rule Rule
+// contains Bytes.
+type Literal struct {
+	Rule  int
+	Bytes []byte
+}
+
+// Bits is a fixed-width bitset over rule ids — the candidate mask one
+// Candidates pass fills. Instances are reusable across windows.
+type Bits []uint64
+
+// NewBits returns a mask sized for n rules.
+func NewBits(n int) Bits { return make(Bits, (n+63)/64) }
+
+// Set marks rule i.
+func (b Bits) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Has reports whether rule i is marked.
+func (b Bits) Has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Reset clears the mask.
+func (b Bits) Reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// matcher is a dense (goto-and-fail precomputed into one table)
+// Aho–Corasick automaton: next holds numNodes rows of 256 next-node
+// entries, out the merged rule outputs per node.
+type matcher struct {
+	next []int32
+	out  [][]int32
+}
+
+// Set is the rule-set dispatcher: the automaton over the filtered
+// rules' literals plus the list of rules that must always scan.
+type Set struct {
+	m        *matcher
+	always   []int32
+	nRules   int
+	filtered int
+}
+
+// NewSet builds the dispatcher for a rule set of n rules from the
+// rules' literal hints. Rules absent from lits (no usable hint, or an
+// empty literal) are always dispatched. When the combined literal trie
+// would exceed the node bound, ErrTooLarge is returned and callers
+// should dispatch every rule.
+func NewSet(n int, lits []Literal) (*Set, error) {
+	s := &Set{nRules: n}
+	hasLit := make([]bool, n)
+	var usable []Literal
+	for _, l := range lits {
+		if l.Rule < 0 || l.Rule >= n {
+			return nil, fmt.Errorf("prefilter: literal rule %d out of range [0,%d)", l.Rule, n)
+		}
+		if len(l.Bytes) == 0 {
+			continue
+		}
+		hasLit[l.Rule] = true
+		usable = append(usable, l)
+	}
+	for i := 0; i < n; i++ {
+		if !hasLit[i] {
+			s.always = append(s.always, int32(i))
+		}
+	}
+	s.filtered = n - len(s.always)
+	if s.filtered > 0 {
+		m, err := compile(usable)
+		if err != nil {
+			return nil, err
+		}
+		s.m = m
+	}
+	return s, nil
+}
+
+// Rules returns the rule-set width the dispatcher was built for.
+func (s *Set) Rules() int { return s.nRules }
+
+// Filtered returns the number of rules gated by a literal (the rest
+// are always dispatched).
+func (s *Set) Filtered() int { return s.filtered }
+
+// compile builds the dense automaton: trie insertion, breadth-first
+// failure links, and goto/fail collapsed into one next table (the
+// classic construction, materialised because the scan loop must be one
+// load per input byte).
+func compile(lits []Literal) (*matcher, error) {
+	type node struct {
+		child [256]int32 // 0 = none (root is never a child)
+		out   []int32
+		fail  int32
+	}
+	nodes := []*node{{}}
+	for _, l := range lits {
+		cur := int32(0)
+		for _, c := range l.Bytes {
+			nxt := nodes[cur].child[c]
+			if nxt == 0 {
+				if len(nodes) >= maxNodes {
+					return nil, fmt.Errorf("%w: %d nodes", ErrTooLarge, len(nodes))
+				}
+				nxt = int32(len(nodes))
+				nodes = append(nodes, &node{})
+				nodes[cur].child[c] = nxt
+			}
+			cur = nxt
+		}
+		nodes[cur].out = append(nodes[cur].out, int32(l.Rule))
+	}
+	// BFS: fill failure links and merge suffix outputs.
+	queue := make([]int32, 0, len(nodes))
+	for c := 0; c < 256; c++ {
+		if v := nodes[0].child[c]; v != 0 {
+			queue = append(queue, v)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for c := 0; c < 256; c++ {
+			v := nodes[u].child[c]
+			if v == 0 {
+				continue
+			}
+			f := nodes[u].fail
+			for f != 0 && nodes[f].child[c] == 0 {
+				f = nodes[f].fail
+			}
+			if w := nodes[f].child[c]; w != 0 && w != v {
+				f = w
+			} else {
+				f = 0
+			}
+			nodes[v].fail = f
+			nodes[v].out = append(nodes[v].out, nodes[f].out...)
+			queue = append(queue, v)
+		}
+	}
+	// Collapse goto+fail into the dense next table, in BFS order so a
+	// parent's (and fail target's) row is complete before its children.
+	m := &matcher{next: make([]int32, len(nodes)*256), out: make([][]int32, len(nodes))}
+	for c := 0; c < 256; c++ {
+		m.next[c] = nodes[0].child[c]
+	}
+	m.out[0] = nodes[0].out
+	for _, u := range queue {
+		m.out[u] = nodes[u].out
+		row := int(u) * 256
+		frow := int(nodes[u].fail) * 256
+		for c := 0; c < 256; c++ {
+			if v := nodes[u].child[c]; v != 0 {
+				m.next[row+c] = v
+			} else {
+				m.next[row+c] = m.next[frow+c]
+			}
+		}
+	}
+	return m, nil
+}
+
+// Candidates fills bits (which must be NewBits(Rules()) wide) with the
+// rules that may match inside data: every always-dispatched rule plus
+// every filtered rule whose literal occurs. It returns the number of
+// candidate rules. The pass early-exits once every filtered rule has
+// been seen.
+func (s *Set) Candidates(data []byte, bits Bits) int {
+	bits.Reset()
+	for _, r := range s.always {
+		bits.Set(int(r))
+	}
+	n := len(s.always)
+	if s.m == nil || s.filtered == 0 {
+		return n
+	}
+	remaining := s.filtered
+	cur := int32(0)
+	nxt := s.m.next
+	for _, c := range data {
+		cur = nxt[int(cur)*256+int(c)]
+		if out := s.m.out[cur]; len(out) != 0 {
+			for _, r := range out {
+				if !bits.Has(int(r)) {
+					bits.Set(int(r))
+					n++
+					remaining--
+				}
+			}
+			if remaining == 0 {
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Contains reports whether any of rule r's literal occurrences appear
+// in data — a convenience for single-rule queries and tests.
+func (s *Set) Contains(data []byte, rule int) bool {
+	bits := NewBits(s.nRules)
+	s.Candidates(data, bits)
+	return bits.Has(rule)
+}

@@ -1,0 +1,143 @@
+package prefilter
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The dispatcher's one invariant: a filtered rule is a candidate iff
+// its literal occurs. Checked against bytes.Contains over random
+// inputs, with literal sets that are prefixes/suffixes of each other —
+// the shapes that exercise the failure links.
+func TestCandidatesMatchesBytesContains(t *testing.T) {
+	litSets := [][]string{
+		{"foobar", "foo", "foobaz", "oba", "ba"},
+		{"abc", "bc", "c", "cab", "abcabc"},
+		{"he", "she", "his", "hers"},
+		{"xx", "xxx", "xxxx"},
+		{"needle"},
+	}
+	r := rand.New(rand.NewSource(17))
+	for _, set := range litSets {
+		var lits []Literal
+		for i, l := range set {
+			lits = append(lits, Literal{Rule: i, Bytes: []byte(l)})
+		}
+		s, err := NewSet(len(set), lits)
+		if err != nil {
+			t.Fatalf("NewSet(%v): %v", set, err)
+		}
+		if s.Filtered() != len(set) {
+			t.Fatalf("Filtered() = %d, want %d", s.Filtered(), len(set))
+		}
+		bits := NewBits(len(set))
+		inputs := []string{"", "a", "foobarbaz", "shers", "xxxxx", "abcabcab", "needle in a haystack"}
+		for i := 0; i < 40; i++ {
+			n := r.Intn(60)
+			var b strings.Builder
+			for j := 0; j < n; j++ {
+				b.WriteByte("abcfoxhersne"[r.Intn(12)])
+			}
+			inputs = append(inputs, b.String())
+		}
+		for _, in := range inputs {
+			got := s.Candidates([]byte(in), bits)
+			count := 0
+			for i, l := range set {
+				want := bytes.Contains([]byte(in), []byte(l))
+				if bits.Has(i) != want {
+					t.Fatalf("set %v input %q rule %d (%q): candidate=%v want %v",
+						set, in, i, l, bits.Has(i), want)
+				}
+				if want {
+					count++
+				}
+			}
+			if got != count {
+				t.Fatalf("set %v input %q: Candidates returned %d, want %d", set, in, got, count)
+			}
+		}
+	}
+}
+
+// Rules without a literal are always candidates; rules with one are
+// gated. Mixed sets are the common case (not every pattern has a
+// mandatory factor).
+func TestAlwaysDispatchedRules(t *testing.T) {
+	s, err := NewSet(4, []Literal{
+		{Rule: 1, Bytes: []byte("alpha")},
+		{Rule: 3, Bytes: []byte("omega")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Filtered() != 2 {
+		t.Fatalf("Filtered() = %d, want 2", s.Filtered())
+	}
+	bits := NewBits(4)
+	n := s.Candidates([]byte("nothing relevant"), bits)
+	if n != 2 || !bits.Has(0) || bits.Has(1) || !bits.Has(2) || bits.Has(3) {
+		t.Fatalf("candidates on miss: n=%d bits=%v", n, bits)
+	}
+	n = s.Candidates([]byte("the alpha case"), bits)
+	if n != 3 || !bits.Has(1) || bits.Has(3) {
+		t.Fatalf("candidates on alpha: n=%d bits=%v", n, bits)
+	}
+}
+
+// Duplicate literals across rules must mark every owning rule.
+func TestSharedLiteral(t *testing.T) {
+	s, err := NewSet(3, []Literal{
+		{Rule: 0, Bytes: []byte("dup")},
+		{Rule: 1, Bytes: []byte("dup")},
+		{Rule: 2, Bytes: []byte("other")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := NewBits(3)
+	if n := s.Candidates([]byte("a dup here"), bits); n != 2 || !bits.Has(0) || !bits.Has(1) || bits.Has(2) {
+		t.Fatalf("shared literal: n=%d bits=%v", n, bits)
+	}
+}
+
+func TestEmptySetAndBounds(t *testing.T) {
+	s, err := NewSet(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := NewBits(2)
+	if n := s.Candidates([]byte("anything"), bits); n != 2 || !bits.Has(0) || !bits.Has(1) {
+		t.Fatalf("no-literal set must dispatch everything: n=%d", n)
+	}
+	if _, err := NewSet(1, []Literal{{Rule: 5, Bytes: []byte("x")}}); err == nil {
+		t.Fatal("out-of-range rule id must error")
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	var lits []Literal
+	b := make([]byte, 256)
+	for i := 0; i < 200; i++ {
+		for j := range b {
+			b[j] = byte(rand.New(rand.NewSource(int64(i))).Intn(256))
+		}
+		lits = append(lits, Literal{Rule: i, Bytes: append([]byte(nil), b...)})
+	}
+	if _, err := NewSet(200, lits); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("NewSet on %d distinct 256-byte literals = %v, want ErrTooLarge", len(lits), err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	s, err := NewSet(1, []Literal{{Rule: 0, Bytes: []byte("ab")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains([]byte("slab"), 0) || s.Contains([]byte("ba"), 0) {
+		t.Fatal("Contains disagrees with substring search")
+	}
+}

@@ -1,0 +1,231 @@
+// Fast-path e2e: the scan service runs the hybrid engine (lazy-DFA
+// gates plus the cross-rule literal prefilter) by default, and the
+// acceptance bar is unchanged — every response that survives network
+// chaos must be byte-identical to a direct scan on the exact slow
+// path, and RELOAD must swap the prefilter atomically with the rule
+// generation (no window where the old generation's literal automaton
+// dispatches — or suppresses — the new generation's rules).
+package server_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"alveare/internal/backend"
+	"alveare/internal/core"
+	"alveare/internal/faultinject/netchaos"
+	"alveare/internal/server"
+	"alveare/internal/server/client"
+)
+
+// TestServerFastPathChaosByteIdentical soaks a default (fast-path)
+// server through a mid-frame-reset chaos proxy and holds every
+// completed response to the slow path's ground truth.
+func TestServerFastPathChaosByteIdentical(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	rules := []string{"ab+c", "needle", "x.z"}
+	payload := bytes.Repeat([]byte("..abc..needle..xyz..abbbbc.."), 50)
+
+	// Ground truth from the exact engine: no WithDFA, no prefilter.
+	slow, err := core.NewRuleSet(rules, backend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.FastEnabled() {
+		t.Fatal("ground-truth rule set unexpectedly runs the fast path")
+	}
+	var want []server.RuleMatch
+	for _, rm := range mustScan(t, slow, payload) {
+		want = append(want, rm)
+	}
+	sortMatches(want)
+	wantBytes := server.EncodeMatches(want)
+
+	srv, addr := startServer(t, server.Config{Rules: rules, Workers: 2})
+
+	reset := netchaos.NewScenario("reset-midframe")
+	reset.ResetAfter = 900
+	proxy, err := netchaos.New(addr, chaosSeed+10, []netchaos.Scenario{reset, netchaos.NewScenario("clean")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	pool, err := client.NewPool([]string{proxy.Addr()},
+		client.PoolSeed(chaosSeed+10),
+		client.PoolRetries(10),
+		client.PoolBackoff(time.Millisecond, 40*time.Millisecond),
+		client.PoolAttemptTimeout(2*time.Second),
+		client.PoolBreaker(8, 30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const goroutines, perG = 4, 12
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				got, err := pool.Scan(payload)
+				if err != nil {
+					errCh <- fmt.Errorf("scan (g%d,i%d): %w", g, i, err)
+					continue
+				}
+				sortMatches(got)
+				if !bytes.Equal(server.EncodeMatches(got), wantBytes) {
+					errCh <- fmt.Errorf("scan (g%d,i%d): fast-path response not byte-identical to the slow path", g, i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// The service really served from the fast path: the gate counters
+	// in its own snapshot moved.
+	snap := srv.MetricsSnapshot()
+	if snap.Get("ruleset.fast.probes") == 0 {
+		t.Fatal("server snapshot shows no fast-path probes; the hybrid engine never engaged")
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mustScan collects a rule set's streaming matches in wire shape.
+func mustScan(t *testing.T, rs *core.RuleSet, payload []byte) []server.RuleMatch {
+	t.Helper()
+	var out []server.RuleMatch
+	if _, err := rs.ScanReader(bytes.NewReader(payload),
+		func(rule int, m core.Match, _ []byte) bool {
+			out = append(out, server.RuleMatch{Rule: uint32(rule), Start: uint64(m.Start), End: uint64(m.End)})
+			return true
+		}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestServerReloadSwapsPrefilterAtomically hot-swaps a rule set whose
+// necessary literal changes completely (alpha → omega) under live
+// traffic. Every in-flight response must be exactly one generation's
+// result — a stale Aho–Corasick prefilter would either suppress the
+// new rule (empty responses) or blend generations — and every scan
+// issued after the RELOAD ack must dispatch on the new literal.
+func TestServerReloadSwapsPrefilterAtomically(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	payload := []byte(strings.Repeat("alpha7 omega7 ", 30))
+	const period = 14 // "alpha7 omega7 " — alpha matches at 14k, omega at 14k+7
+
+	_, addr := startServer(t, server.Config{Rules: []string{`alpha[0-9]`}, Workers: 4})
+
+	classify := func(ms []server.RuleMatch) string {
+		if len(ms) != 30 {
+			return fmt.Sprintf("bad-count-%d", len(ms))
+		}
+		mod := ms[0].Start % period
+		for _, m := range ms {
+			if m.Rule != 0 || m.Start%period != mod {
+				return "blend"
+			}
+		}
+		switch mod {
+		case 0:
+			return "alpha"
+		case 7:
+			return "omega"
+		}
+		return "blend"
+	}
+
+	var alphaGen, omegaGen atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ms, err := c.Scan(payload)
+				if err != nil {
+					t.Errorf("scan during reload: %v", err)
+					return
+				}
+				sortMatches(ms)
+				switch classify(ms) {
+				case "alpha":
+					alphaGen.Add(1)
+				case "omega":
+					omegaGen.Add(1)
+				default:
+					t.Errorf("response is not one generation's result: %s (%d matches)", classify(ms), len(ms))
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	rc := dial(t, addr)
+	gen, n, err := rc.Reload("omega[0-9]\n")
+	if err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	if gen != 1 || n != 1 {
+		t.Fatalf("Reload = gen %d, %d rules; want 1, 1", gen, n)
+	}
+	// No stale-dispatch window: from the ack on, the new generation's
+	// literal automaton must be serving. A leftover alpha prefilter
+	// would skip every window of this omega-only payload.
+	omegaOnly := []byte(strings.Repeat("omega7 ......... ", 20))
+	for i := 0; i < 20; i++ {
+		ms, err := rc.Scan(omegaOnly)
+		if err != nil {
+			t.Fatalf("post-reload scan %d: %v", i, err)
+		}
+		if len(ms) != 20 {
+			t.Fatalf("post-reload scan %d: %d matches, want 20 (stale prefilter suppressed the new rule?)", i, len(ms))
+		}
+	}
+	// And the old literal must no longer dispatch anything.
+	if ms, err := rc.Scan([]byte(strings.Repeat("alpha7 ", 20))); err != nil || len(ms) != 0 {
+		t.Fatalf("old generation still matching after reload: %d matches, err %v", len(ms), err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if alphaGen.Load() == 0 || omegaGen.Load() == 0 {
+		t.Logf("generation mix: %d alpha, %d omega (timing-dependent)", alphaGen.Load(), omegaGen.Load())
+	}
+	info, err := rc.RulesInfo()
+	if err != nil {
+		t.Fatalf("RulesInfo: %v", err)
+	}
+	if info.Generation != 1 || len(info.Patterns) != 1 || info.Patterns[0] != "omega[0-9]" {
+		t.Fatalf("RulesInfo = %+v", info)
+	}
+}

@@ -82,6 +82,14 @@ type Config struct {
 	// RuleSet (default GOMAXPROCS).
 	RuleWorkers int
 
+	// NoDFA disables the hybrid fast path (lazy-DFA probe gates plus
+	// the cross-rule literal prefilter), which the server enables by
+	// default — the tools' -no-dfa escape hatch. Results are
+	// byte-identical either way; only the cost model changes. The
+	// prefilter lives inside the compiled snapshot, so RELOAD swaps it
+	// atomically with the rules.
+	NoDFA bool
+
 	// PatternCache is the LRU capacity for ad-hoc SCAN-PATTERN engines
 	// (default 64; negative disables caching).
 	PatternCache int
@@ -227,6 +235,9 @@ func New(cfg Config) (*Server, error) {
 		core.WithPolicy(cfg.Policy),
 		core.WithBudget(cfg.Budget),
 		core.WithWorkers(cfg.RuleWorkers),
+	}
+	if !cfg.NoDFA {
+		opts = append(opts, core.WithDFA())
 	}
 	snap, err := compileSnapshot(cfg.Rules, 0, opts)
 	if err != nil {
