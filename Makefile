@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check chaostest difftest fuzz fuzzsmoke leakcheck benchguard benchbaseline bench serve loadtest
+.PHONY: build test vet race check chaostest gwchaostest difftest fuzz fuzzsmoke leakcheck benchguard benchbaseline bench serve loadtest
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ race:
 ## detector (including the goroutine-leak assertions in the fault
 ## matrix), the differential battery, the seeded chaos suite, then a
 ## short fuzz pass over the differential fuzzers.
-check: vet race difftest leakcheck chaostest fuzzsmoke
+check: vet race difftest leakcheck chaostest gwchaostest fuzzsmoke
 
 ## difftest: the three-way differential battery under -race — the
 ## lazy-DFA fast path, the exact slow path and Go's regexp (plus the
@@ -39,6 +39,19 @@ difftest:
 chaostest:
 	$(GO) test -race -count=1 ./internal/faultinject/netchaos/ ./internal/server/client/
 	$(GO) test -race -count=1 -run 'TestChaos|TestServerFastPathChaos|TestServerReloadSwapsPrefilter|TestServerDrainWithMidFrameResets|TestWriteTimeout' ./internal/server/
+
+## gwchaostest: the fleet resilience gate — the gateway unit suites
+## (consistent-hash ring, per-tenant quotas, weighted fair queue,
+## scatter-gather, TENANT protocol goldens) plus the kill-a-shard
+## chaos e2e (3 shards behind deterministic netchaos proxies, one
+## severed mid-traffic: every admitted request completes byte-identical
+## or SHEDs, the ring routes around the open breaker, revival closes it
+## again, no goroutine leaks), and the breaker half-open probe-slot
+## race battery — all under -race.
+gwchaostest:
+	$(GO) test -race -count=1 ./internal/gateway/
+	$(GO) test -race -count=1 -run 'TestGoldenTenantFrames|TestTenant|TestDecodeTenant|TestEncodeTenant|TestMatchesPartial|TestDecodeMatchesPartial|TestShedReason' ./internal/server/
+	$(GO) test -race -count=1 -run 'TestBreaker|TestBackends' ./internal/server/client/
 
 ## fuzz: cross-check the chunked reader scan against one-shot FindAll.
 fuzz:

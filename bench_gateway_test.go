@@ -1,0 +1,293 @@
+// Fleet benchmarks for the alvearegw gateway: aggregate throughput
+// routed across 1 vs 3 shards, and the degradation envelope with one
+// of three shards killed. The committed snapshot BENCH_007.json
+// records the numbers (see TestBenchGatewaySnapshot).
+//
+// Each shard carries a fixed 2ms service-time floor (server.ScanHook),
+// modelling per-shard service capacity: in production every shard is
+// its own machine, and what this benchmark measures is the GATEWAY —
+// whether consistent-hash routing multiplies fleet capacity and how
+// gracefully it degrades when a shard dies — not the regex engine,
+// whose own numbers are BENCH_006.json. The floor makes the result
+// meaningful on a single-core CI box, where three in-process
+// CPU-bound shards could never show real scaling.
+package alveare_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"alveare/internal/anmlzoo"
+	"alveare/internal/faultinject/netchaos"
+	"alveare/internal/gateway"
+	"alveare/internal/server"
+	"alveare/internal/server/client"
+)
+
+// benchGatewayFile is the committed fleet-throughput snapshot,
+// regenerated with ALVEARE_BENCH_SNAPSHOT=update and shape-checked
+// with ALVEARE_BENCH_SNAPSHOT=1 (wall-clock, machine-specific, same
+// caveat as BENCH_006.json).
+const benchGatewayFile = "BENCH_007.json"
+
+type benchFleetResult struct {
+	Mode        string  `json:"mode"`
+	Shards      int     `json:"shards"`
+	LiveShards  int     `json:"live_shards"`
+	Tenants     int     `json:"tenants"`
+	Scans       int64   `json:"scans"`
+	Shed        int64   `json:"shed"`
+	Seconds     float64 `json:"seconds"`
+	ScansPerSec float64 `json:"scans_per_sec"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	P50us       int64   `json:"p50_us"`
+	P99us       int64   `json:"p99_us"`
+}
+
+type benchGatewaySnapshot struct {
+	Schema   int                `json:"schema"`
+	Workload string             `json:"workload"`
+	Fleet    []benchFleetResult `json:"fleet"`
+	// Speedup3v1 is the headline claim: aggregate fleet throughput at
+	// 3 shards over 1 shard, same offered load.
+	Speedup3v1 float64 `json:"speedup_3_shards_vs_1"`
+	// KilledThroughput / KilledP99 bound the degradation envelope with
+	// one of three shards dead: throughput as a fraction of the healthy
+	// 3-shard fleet, p99 as a multiple of it.
+	KilledThroughput float64 `json:"killed_vs_3_shards_throughput"`
+	KilledP99        float64 `json:"killed_vs_3_shards_p99"`
+}
+
+const (
+	benchFleetTenants = 12
+	benchFleetFloor   = 2 * time.Millisecond
+	benchFleetWorkers = 2 // per shard; capacity = workers / floor
+)
+
+// measureFleet runs one fleet configuration: `shards` replicas behind
+// a gateway, every tenant driving 2 closed-loop connections, and (when
+// kill is set) one shard severed before the measured window so the
+// numbers show the rerouted steady state, not the detection transient.
+func measureFleet(t *testing.T, mode string, shards int, kill bool) benchFleetResult {
+	t.Helper()
+	suite, err := anmlzoo.LowMatch("PowerEN", 10, 8<<10, 2024)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var addrs []string
+	var killProxy *netchaos.Proxy
+	for i := 0; i < shards; i++ {
+		srv, err := server.New(server.Config{
+			Rules:    suite.Patterns,
+			Workers:  benchFleetWorkers,
+			ScanHook: func() { time.Sleep(benchFleetFloor) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close() })
+		addr := ln.Addr().String()
+		if kill && i == 1 {
+			p, err := netchaos.New(addr, 2024, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { p.Close() })
+			killProxy, addr = p, p.Addr()
+		}
+		addrs = append(addrs, addr)
+	}
+
+	var tenants []gateway.Tenant
+	for i := 0; i < benchFleetTenants; i++ {
+		tenants = append(tenants, gateway.Tenant{Name: fmt.Sprintf("t%d", i), Weight: 1, QueueDepth: 64})
+	}
+	gw, err := gateway.New(gateway.Config{
+		Backends:        addrs,
+		Tenants:         tenants,
+		DefaultTenant:   "t0",
+		Workers:         4 * benchFleetTenants, // jobs block on shard RTTs, not CPU
+		BreakerFailures: 2,
+		BreakerCooldown: 300 * time.Millisecond,
+		ShardTimeout:    5 * time.Second,
+		Seed:            2024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go gw.Serve(gln)
+	t.Cleanup(func() { gw.Close() })
+	gaddr := gln.Addr().String()
+
+	// Kill before warmup: the breakers open during it, so the measured
+	// window sees the rerouted fleet.
+	if kill {
+		killProxy.SetDown(true)
+	}
+
+	const connsPerTenant = 2
+	type slot struct {
+		c    *client.Client
+		lats []time.Duration
+		ok   int64
+		shed int64
+	}
+	var slots []*slot
+	for _, tn := range tenants {
+		for k := 0; k < connsPerTenant; k++ {
+			c := client.New(gaddr, client.WithTenant(tn.Name, "default"))
+			t.Cleanup(func() { c.Close() })
+			slots = append(slots, &slot{c: c})
+		}
+	}
+
+	run := func(d time.Duration, record bool) {
+		var wg sync.WaitGroup
+		deadline := time.Now().Add(d)
+		errCh := make(chan error, len(slots))
+		for _, s := range slots {
+			wg.Add(1)
+			go func(s *slot) {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					t0 := time.Now()
+					_, err := s.c.Scan(suite.Dataset)
+					switch {
+					case err == nil:
+						if record {
+							s.lats = append(s.lats, time.Since(t0))
+							s.ok++
+						}
+					case errors.Is(err, client.ErrShed):
+						if record {
+							s.shed++
+						}
+					default:
+						errCh <- fmt.Errorf("%s: scan: %w", mode, err)
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatal(err)
+		}
+	}
+	run(400*time.Millisecond, false) // warmup: connections up, breakers settled
+	start := time.Now()
+	run(1200*time.Millisecond, true)
+	elapsed := time.Since(start).Seconds()
+
+	res := benchFleetResult{
+		Mode: mode, Shards: shards, LiveShards: shards,
+		Tenants: benchFleetTenants, Seconds: elapsed,
+	}
+	if kill {
+		res.LiveShards--
+	}
+	var all []time.Duration
+	for _, s := range slots {
+		res.Scans += s.ok
+		res.Shed += s.shed
+		all = append(all, s.lats...)
+	}
+	if res.Scans == 0 {
+		t.Fatalf("%s: no scans completed", mode)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	quantile := func(q float64) int64 {
+		return all[int(q*float64(len(all)-1))].Microseconds()
+	}
+	res.P50us, res.P99us = quantile(0.50), quantile(0.99)
+	res.ScansPerSec = float64(res.Scans) / elapsed
+	res.MBPerSec = res.ScansPerSec * float64(len(suite.Dataset)) / (1 << 20)
+	return res
+}
+
+// TestBenchGatewaySnapshot regenerates (ALVEARE_BENCH_SNAPSHOT=update)
+// or checks (ALVEARE_BENCH_SNAPSHOT=1) the committed BENCH_007.json.
+// The check asserts the snapshot's claims, not this machine's clock:
+// >= 2x aggregate throughput at 3 shards vs 1, and with one of three
+// shards killed, >= 40% of the healthy fleet's throughput at a p99 no
+// worse than 10x the healthy fleet's.
+func TestBenchGatewaySnapshot(t *testing.T) {
+	mode := os.Getenv("ALVEARE_BENCH_SNAPSHOT")
+	if mode == "" {
+		t.Skip("wall-clock snapshot; run with ALVEARE_BENCH_SNAPSHOT=1 (check) or =update (regenerate)")
+	}
+
+	if mode == "update" {
+		snap := benchGatewaySnapshot{
+			Schema: 1,
+			Workload: fmt.Sprintf(
+				"anmlzoo.LowMatch(PowerEN, 10 rules, 8 KiB, seed 2024); %d tenants x 2 closed-loop conns; %v service floor x %d workers per shard",
+				benchFleetTenants, benchFleetFloor, benchFleetWorkers),
+		}
+		snap.Fleet = append(snap.Fleet, measureFleet(t, "1-shard", 1, false))
+		snap.Fleet = append(snap.Fleet, measureFleet(t, "3-shards", 3, false))
+		snap.Fleet = append(snap.Fleet, measureFleet(t, "3-shards-1-killed", 3, true))
+		one, three, killed := snap.Fleet[0], snap.Fleet[1], snap.Fleet[2]
+		snap.Speedup3v1 = three.ScansPerSec / one.ScansPerSec
+		snap.KilledThroughput = killed.ScansPerSec / three.ScansPerSec
+		snap.KilledP99 = float64(killed.P99us) / float64(three.P99us)
+		raw, err := json.MarshalIndent(&snap, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(benchGatewayFile, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, fr := range snap.Fleet {
+			t.Logf("%s: %.0f scans/s (%.2f MB/s), p50 %dus p99 %dus, %d shed",
+				fr.Mode, fr.ScansPerSec, fr.MBPerSec, fr.P50us, fr.P99us, fr.Shed)
+		}
+		t.Logf("3v1 speedup %.2fx; killed: %.0f%% throughput, %.2fx p99",
+			snap.Speedup3v1, 100*snap.KilledThroughput, snap.KilledP99)
+		return
+	}
+
+	raw, err := os.ReadFile(benchGatewayFile)
+	if err != nil {
+		t.Fatalf("%v (regenerate with ALVEARE_BENCH_SNAPSHOT=update)", err)
+	}
+	var snap benchGatewaySnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Fleet) != 3 {
+		t.Fatalf("snapshot shape: %d fleet rows, want 3", len(snap.Fleet))
+	}
+	for _, fr := range snap.Fleet {
+		if fr.Scans == 0 || fr.ScansPerSec <= 0 {
+			t.Errorf("%s: empty measurement recorded", fr.Mode)
+		}
+	}
+	if snap.Speedup3v1 < 2 {
+		t.Errorf("recorded 3-shard speedup %.2fx, want >= 2x", snap.Speedup3v1)
+	}
+	if snap.KilledThroughput < 0.4 {
+		t.Errorf("killed fleet kept %.0f%% of healthy throughput, want >= 40%%", 100*snap.KilledThroughput)
+	}
+	if snap.KilledP99 > 10 {
+		t.Errorf("killed fleet p99 degraded %.1fx over healthy, want <= 10x", snap.KilledP99)
+	}
+}

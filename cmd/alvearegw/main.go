@@ -1,0 +1,168 @@
+// Command alvearegw is the ALVEARE fleet gateway: a front-end that
+// speaks the framed scan protocol (plus the TENANT envelope, see
+// docs/PROTOCOL.md) and routes requests across a fleet of alvearesrv
+// shards by consistent hashing over (tenant, rule-namespace).
+//
+// Usage:
+//
+//	alvearegw -backends host:port,host:port,... [-addr :7170]
+//	          [-tenants name[:weight[:rps[:burst]]],...]
+//	          [-default-tenant NAME] [-workers N]
+//	          [-shard-timeout D] [-retries N]
+//	          [-breaker-failures N] [-breaker-cooldown D] [-probe D]
+//	          [-drain D] [-timeout D] [-metrics MODE] [-seed N]
+//
+// Every backend is a replica of the same rule database; the ring
+// spreads tenants across the fleet for cache locality, and a shard
+// whose circuit breaker opens is routed around automatically until
+// the health prober sees it answer again. Per-tenant token-bucket
+// quotas and the weighted fair queue turn a noisy tenant into SHED
+// responses instead of fleet-wide starvation.
+//
+// On SIGINT/SIGTERM the gateway drains: admitted requests finish and
+// are answered, then the process exits. -metrics flushes the gateway
+// snapshot (including fleet.* aggregates) on exit; STATS serves the
+// same snapshot live.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"alveare/internal/cli"
+	"alveare/internal/gateway"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":7170", "listen address")
+		backends      = flag.String("backends", "", "comma-separated shard addresses (required)")
+		tenants       = flag.String("tenants", "default", "tenant table: name[:weight[:rps[:burst]]],...")
+		defaultTenant = flag.String("default-tenant", "default", "tenant assumed for requests without a TENANT header (empty = reject them)")
+		workers       = flag.Int("workers", 0, "routing worker pool width (0 = GOMAXPROCS)")
+		shardTO       = flag.Duration("shard-timeout", 0, "per-shard attempt deadline (0 = 2s)")
+		retries       = flag.Int("retries", 0, "shard-attempt budget per request (0 = 2x fleet size)")
+		brkFailures   = flag.Int("breaker-failures", 0, "consecutive failures opening a shard's breaker (0 = 3)")
+		brkCooldown   = flag.Duration("breaker-cooldown", 0, "breaker open -> half-open delay (0 = 1s)")
+		probe         = flag.Duration("probe", 0, "health-probe interval, full-jittered (0 = 500ms, negative = off)")
+		drain         = flag.Duration("drain", 30*time.Second, "graceful-drain deadline on shutdown")
+		timeout       = flag.Duration("timeout", 0, "gateway lifetime (0 = run until a signal)")
+		metricsMode   = flag.String("metrics", "", "flush the metrics snapshot on exit: json, text or a file path")
+		seed          = flag.Int64("seed", 0, "deterministic jitter seed (0 = time-based)")
+	)
+	flag.Parse()
+	if *backends == "" {
+		fmt.Fprintln(os.Stderr, "usage: alvearegw -backends host:port,... [flags]")
+		os.Exit(cli.ExitUsage)
+	}
+	table, err := parseTenants(*tenants)
+	fatalIf(err)
+
+	gw, err := gateway.New(gateway.Config{
+		Addr:            *addr,
+		Backends:        splitList(*backends),
+		Tenants:         table,
+		DefaultTenant:   *defaultTenant,
+		Workers:         *workers,
+		ShardTimeout:    *shardTO,
+		Retries:         *retries,
+		BreakerFailures: *brkFailures,
+		BreakerCooldown: *brkCooldown,
+		ProbeInterval:   *probe,
+		Seed:            *seed,
+	})
+	fatalIf(err)
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- gw.ListenAndServe() }()
+
+	for gw.Addr() == nil {
+		select {
+		case serveErr := <-errCh:
+			fatalIf(serveErr)
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+	fmt.Printf("alvearegw: listening on %s (%d shards, %d tenants)\n",
+		gw.Addr(), len(splitList(*backends)), len(table))
+
+	select {
+	case serveErr := <-errCh:
+		fatalIf(serveErr)
+	case <-ctx.Done():
+		fmt.Fprintf(os.Stderr, "alvearegw: %v; draining (max %s)\n", ctx.Err(), *drain)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if derr := gw.Shutdown(drainCtx); derr != nil {
+			fmt.Fprintln(os.Stderr, "alvearegw: drain expired, connections aborted:", derr)
+		}
+		<-errCh
+	}
+	fatalIf(cli.WriteMetrics(*metricsMode, gw.MetricsSnapshot()))
+}
+
+// splitList splits a comma-separated flag, dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseTenants parses the -tenants table: name[:weight[:rps[:burst]]]
+// per comma-separated entry, e.g. "free:1:100:20,paid:4,batch:2:50".
+func parseTenants(s string) ([]gateway.Tenant, error) {
+	var out []gateway.Tenant
+	for _, entry := range splitList(s) {
+		parts := strings.Split(entry, ":")
+		if len(parts) > 4 || parts[0] == "" {
+			return nil, fmt.Errorf("alvearegw: bad tenant spec %q (want name[:weight[:rps[:burst]]])", entry)
+		}
+		t := gateway.Tenant{Name: parts[0]}
+		if len(parts) > 1 {
+			w, err := strconv.Atoi(parts[1])
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("alvearegw: bad weight in tenant spec %q", entry)
+			}
+			t.Weight = w
+		}
+		if len(parts) > 2 {
+			r, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil || r < 0 {
+				return nil, fmt.Errorf("alvearegw: bad rps in tenant spec %q", entry)
+			}
+			t.RateRPS = r
+		}
+		if len(parts) > 3 {
+			b, err := strconv.Atoi(parts[3])
+			if err != nil || b < 1 {
+				return nil, fmt.Errorf("alvearegw: bad burst in tenant spec %q", entry)
+			}
+			t.Burst = b
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("alvearegw: empty tenant table")
+	}
+	return out, nil
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alvearegw:", err)
+		os.Exit(cli.ExitError)
+	}
+}

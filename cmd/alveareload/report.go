@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"alveare/internal/metrics"
@@ -79,6 +80,32 @@ type tally struct {
 // lost. Shed is excluded — it is explicit, accounted back-pressure.
 func (tl tally) failures() int64 { return tl.RetryExhausted + tl.Transport + tl.ServerErrs }
 
+// tenantCounters accumulates one tenant's outcomes during the run
+// (indexed by outcome, like the global array).
+type tenantCounters struct {
+	name   string
+	counts [5]atomic.Int64
+}
+
+func (tc *tenantCounters) row() tenantRow {
+	r := tenantRow{
+		Name:           tc.name,
+		OK:             tc.counts[outcomeOK].Load(),
+		Shed:           tc.counts[outcomeShed].Load(),
+		RetryExhausted: tc.counts[outcomeRetryExhausted].Load(),
+		Transport:      tc.counts[outcomeTransport].Load(),
+		ServerErrs:     tc.counts[outcomeServerErr].Load(),
+	}
+	r.Requests = r.OK + r.Shed + r.RetryExhausted + r.Transport + r.ServerErrs
+	return r
+}
+
+// tenantRow is one tenant's outcome split in the report.
+type tenantRow struct {
+	Name                                                      string
+	Requests, OK, Shed, RetryExhausted, Transport, ServerErrs int64
+}
+
 // summary is everything the report prints, precomputed.
 type summary struct {
 	Op       string
@@ -89,6 +116,7 @@ type summary struct {
 	Payload  int
 	Chaos    string // scenario spec + seed note, empty when no chaos
 	Tally    tally
+	Tenants  []tenantRow // per-tenant outcome split (tenant mode only)
 
 	ClientLat   metrics.Metric
 	HasLat      bool
@@ -106,6 +134,10 @@ func writeReport(w io.Writer, s summary) {
 	tl := s.Tally
 	fmt.Fprintf(w, "  requests=%d ok=%d shed=%d retry_exhausted=%d transport=%d server_errors=%d matches=%d\n",
 		tl.Requests, tl.OK, tl.Shed, tl.RetryExhausted, tl.Transport, tl.ServerErrs, tl.Matches)
+	for _, tr := range s.Tenants {
+		fmt.Fprintf(w, "  tenant %s: requests=%d ok=%d shed=%d retry_exhausted=%d transport=%d server_errors=%d\n",
+			tr.Name, tr.Requests, tr.OK, tr.Shed, tr.RetryExhausted, tr.Transport, tr.ServerErrs)
+	}
 	fmt.Fprintf(w, "  resilience retries=%d reconnects=%d failovers=%d\n",
 		tl.Retries, tl.Reconnects, tl.Failovers)
 	rate := float64(tl.Requests) / s.Elapsed.Seconds()

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"testing"
@@ -82,6 +83,10 @@ func TestReportGolden(t *testing.T) {
 			Reconnects:     6,
 			Failovers:      9,
 		},
+		Tenants: []tenantRow{
+			{Name: "gold", Requests: 70, OK: 62, Shed: 1, RetryExhausted: 3, Transport: 2, ServerErrs: 2},
+			{Name: "free", Requests: 50, OK: 38, Shed: 7, RetryExhausted: 2, Transport: 2, ServerErrs: 1},
+		},
 		ClientLat:   clientLat,
 		HasLat:      true,
 		ServerStats: sreg.Snapshot(),
@@ -102,6 +107,8 @@ func TestReportGolden(t *testing.T) {
 		"transport=4", "server_errors=3",
 		"retries=17", "reconnects=6", "failovers=9",
 		"chaos scenarios",
+		"tenant gold: requests=70 ok=62 shed=1",
+		"tenant free: requests=50 ok=38 shed=7",
 		"client latency", "server latency", "histogram",
 	} {
 		if !bytes.Contains(one.Bytes(), []byte(want)) {
@@ -127,6 +134,73 @@ func TestReportWithoutServerStats(t *testing.T) {
 	}
 	if bytes.Contains(buf.Bytes(), []byte("server latency")) {
 		t.Errorf("degraded report invented server-side stats:\n%s", out)
+	}
+}
+
+// TestTenantCountersRow: the per-tenant row derives its request total
+// from the outcome buckets, so the rows always sum consistently.
+func TestTenantCountersRow(t *testing.T) {
+	tc := &tenantCounters{name: "acme"}
+	tc.counts[outcomeOK].Store(10)
+	tc.counts[outcomeShed].Store(4)
+	tc.counts[outcomeRetryExhausted].Store(3)
+	tc.counts[outcomeTransport].Store(2)
+	tc.counts[outcomeServerErr].Store(1)
+	got := tc.row()
+	want := tenantRow{Name: "acme", Requests: 20, OK: 10, Shed: 4,
+		RetryExhausted: 3, Transport: 2, ServerErrs: 1}
+	if got != want {
+		t.Fatalf("row() = %+v, want %+v", got, want)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mt, err := parseMix("scan:8, count:2,ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mixTable{{"scan", 8}, {"count", 2}, {"ping", 1}}
+	if len(mt) != 3 || mt[0] != want[0] || mt[1] != want[1] || mt[2] != want[2] {
+		t.Fatalf("parseMix = %+v, want %+v", mt, want)
+	}
+	if mt, err := parseMix(""); err != nil || mt != nil {
+		t.Fatalf("empty -mix: %v %v (want disabled)", mt, err)
+	}
+	for _, bad := range []string{"scan:0", "scan:-1", "scan:x", "reload:1", ",,", "scan:1:2"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted garbage", bad)
+		}
+	}
+	// The draw is deterministic for a fixed seed and respects weights.
+	rng := rand.New(rand.NewSource(7))
+	seen := map[string]int{}
+	for i := 0; i < 1100; i++ {
+		seen[mt.pick(rng)]++
+	}
+	if seen["scan"] < seen["count"] || seen["count"] < seen["ping"] {
+		t.Errorf("weighted draw out of order: %v", seen)
+	}
+	if seen["scan"]+seen["count"]+seen["ping"] != 1100 {
+		t.Errorf("draws escaped the table: %v", seen)
+	}
+}
+
+func TestParseTenantNames(t *testing.T) {
+	names, err := parseTenantNames("3")
+	if err != nil || len(names) != 3 || names[0] != "tenant-0" || names[2] != "tenant-2" {
+		t.Fatalf("parseTenantNames(3) = %v, %v", names, err)
+	}
+	names, err = parseTenantNames("gold, free")
+	if err != nil || len(names) != 2 || names[0] != "gold" || names[1] != "free" {
+		t.Fatalf("parseTenantNames(list) = %v, %v", names, err)
+	}
+	if names, err := parseTenantNames(""); err != nil || names != nil {
+		t.Fatalf("empty -tenants: %v %v (want disabled)", names, err)
+	}
+	for _, bad := range []string{"0", "-2", "1025", "a,a", ",,"} {
+		if _, err := parseTenantNames(bad); err == nil {
+			t.Errorf("parseTenantNames(%q) accepted garbage", bad)
+		}
 	}
 }
 

@@ -1,0 +1,292 @@
+// Fleet chaos e2e: three real shards behind deterministic netchaos
+// proxies, the gateway in front, one shard killed mid-traffic. The
+// acceptance invariants of the fleet tier:
+//
+//   - zero wrong-tenant results — every completed scan is
+//     byte-identical to that tenant's direct ground truth;
+//   - 100% of admitted requests complete or SHED within the gateway's
+//     budget — never an unexplained error, never a hang;
+//   - the dead shard's breaker opens (the ring routes around it) and
+//     closes again after revival without operator intervention;
+//   - no goroutine outlives the drain.
+//
+// The same seeded scenario runs twice (run-a/run-b) under -race; the
+// invariants must hold on both runs.
+package gateway_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"alveare/internal/backend"
+	"alveare/internal/core"
+	"alveare/internal/faultinject/netchaos"
+	"alveare/internal/gateway"
+	"alveare/internal/metrics"
+	"alveare/internal/server"
+	"alveare/internal/server/client"
+)
+
+const gwChaosSeed int64 = 20260808
+
+var chaosRules = []string{
+	`tenant-a-[0-9]+`,
+	`tenant-b-[0-9]+`,
+	`tenant-c-[0-9]+`,
+	`common-x+yz`,
+}
+
+// chaosTenant is one tenant's identity in the chaos run: its name and
+// a payload only it sends, so a response delivered to the wrong
+// tenant cannot match that tenant's ground truth.
+type chaosTenant struct {
+	name      string
+	payload   []byte
+	want      []server.RuleMatch
+	wantBytes []byte
+}
+
+func chaosTenants(t *testing.T) []*chaosTenant {
+	t.Helper()
+	rs, err := core.NewRuleSet(chaosRules, backend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*chaosTenant
+	for _, name := range []string{"tenant-a", "tenant-b", "tenant-c"} {
+		payload := bytes.Repeat([]byte(fmt.Sprintf("..%s-7..common-xxyz..%s-42..", name, name)), 40)
+		var want []server.RuleMatch
+		if _, err := rs.ScanReaderCtx(context.Background(), bytes.NewReader(payload),
+			func(rule int, m core.Match, _ []byte) bool {
+				want = append(want, server.RuleMatch{Rule: uint32(rule), Start: uint64(m.Start), End: uint64(m.End)})
+				return true
+			}); err != nil {
+			t.Fatal(err)
+		}
+		sortMatches(want)
+		if len(want) == 0 {
+			t.Fatalf("tenant %s ground truth is empty; the test would prove nothing", name)
+		}
+		out = append(out, &chaosTenant{
+			name:      name,
+			payload:   payload,
+			want:      want,
+			wantBytes: server.EncodeMatches(want),
+		})
+	}
+	return out
+}
+
+// TestGatewayChaosKillShard runs the same seeded kill-a-shard
+// scenario twice; the invariants must hold on both runs.
+func TestGatewayChaosKillShard(t *testing.T) {
+	for _, run := range []string{"run-a", "run-b"} {
+		t.Run(run, func(t *testing.T) { gatewayChaosRun(t) })
+	}
+}
+
+func gatewayChaosRun(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	t.Logf("gateway chaos seed %d (edit gwChaosSeed to replay a variant)", gwChaosSeed)
+	tenants := chaosTenants(t)
+
+	// Three real shards, each a replica of the same rules, behind
+	// chaos proxies. Shard 0 suffers latency jitter on every
+	// connection; shard 1 is the one we kill mid-traffic; shard 2 is
+	// clean.
+	var proxies []*netchaos.Proxy
+	var addrs []string
+	lat := netchaos.NewScenario("latency")
+	lat.Latency = 200 * time.Microsecond
+	lat.Jitter = 300 * time.Microsecond
+	scenarios := [][]netchaos.Scenario{{lat}, nil, nil}
+	for i := 0; i < 3; i++ {
+		_, saddr := startShard(t, server.Config{Rules: chaosRules, Workers: 2})
+		p, err := netchaos.New(saddr, gwChaosSeed+int64(i), scenarios[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		proxies = append(proxies, p)
+		addrs = append(addrs, p.Addr())
+	}
+
+	reg := metrics.New()
+	gw, gaddr := startGateway(t, gateway.Config{
+		Backends: addrs,
+		Tenants: []gateway.Tenant{
+			{Name: "tenant-a", Weight: 2, QueueDepth: 64},
+			{Name: "tenant-b", Weight: 1, QueueDepth: 64},
+			{Name: "tenant-c", Weight: 1, QueueDepth: 64},
+		},
+		// The cooldown must sit well inside the kill window so the
+		// breaker demonstrably opens, and the probe interval must be
+		// tight so revival is rediscovered quickly.
+		BreakerFailures: 3,
+		BreakerCooldown: 30 * time.Millisecond,
+		ProbeInterval:   25 * time.Millisecond,
+		ShardTimeout:    2 * time.Second,
+		Seed:            gwChaosSeed,
+		Registry:        reg,
+	})
+
+	clients := make(map[string]*client.Client)
+	for _, tn := range tenants {
+		c := client.New(gaddr, client.WithTenant(tn.name, "default"))
+		t.Cleanup(func() { c.Close() })
+		clients[tn.name] = c
+	}
+
+	// Phase 1 — fleet healthy: every tenant's scans and pattern scans
+	// must complete byte-identical.
+	for _, tn := range tenants {
+		got, err := clients[tn.name].Scan(tn.payload)
+		if err != nil {
+			t.Fatalf("seed %d: phase1 %s scan: %v", gwChaosSeed, tn.name, err)
+		}
+		sortMatches(got)
+		if !bytes.Equal(server.EncodeMatches(got), tn.wantBytes) {
+			t.Fatalf("seed %d: phase1 %s scan not byte-identical to direct", gwChaosSeed, tn.name)
+		}
+	}
+
+	// Phase 2 — concurrent multi-tenant traffic with shard 1 killed a
+	// few milliseconds in. Every request must complete (byte-identical)
+	// or SHED; any other outcome fails.
+	const goroutinesPerTenant, perG = 3, 25
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(tenants)*goroutinesPerTenant*perG)
+	var shed, completed int64
+	var cmu sync.Mutex
+	for _, tn := range tenants {
+		for g := 0; g < goroutinesPerTenant; g++ {
+			wg.Add(1)
+			go func(tn *chaosTenant, g int) {
+				defer wg.Done()
+				// Each goroutine gets its own connection so one torn
+				// stream cannot poison its siblings.
+				c := client.New(gaddr, client.WithTenant(tn.name, "default"))
+				defer c.Close()
+				for i := 0; i < perG; i++ {
+					time.Sleep(time.Millisecond)
+					if (g+i)%4 == 3 {
+						n, err := c.Count(tn.payload)
+						switch {
+						case err == nil && n == uint64(len(tn.want)):
+							cmu.Lock()
+							completed++
+							cmu.Unlock()
+						case err == nil:
+							errCh <- fmt.Errorf("%s count = %d, want %d (wrong-tenant or lossy result)", tn.name, n, len(tn.want))
+						case isShed(err):
+							cmu.Lock()
+							shed++
+							cmu.Unlock()
+						default:
+							errCh <- fmt.Errorf("%s count (g%d,i%d): %w", tn.name, g, i, err)
+						}
+						continue
+					}
+					got, err := c.Scan(tn.payload)
+					switch {
+					case err == nil:
+						sortMatches(got)
+						if !bytes.Equal(server.EncodeMatches(got), tn.wantBytes) {
+							errCh <- fmt.Errorf("%s scan (g%d,i%d): not byte-identical (wrong-tenant or lossy result)", tn.name, g, i)
+						} else {
+							cmu.Lock()
+							completed++
+							cmu.Unlock()
+						}
+					case isShed(err):
+						cmu.Lock()
+						shed++
+						cmu.Unlock()
+					default:
+						errCh <- fmt.Errorf("%s scan (g%d,i%d): %w", tn.name, g, i, err)
+					}
+				}
+			}(tn, g)
+		}
+	}
+	// Kill shard 1 mid-traffic.
+	time.Sleep(5 * time.Millisecond)
+	proxies[1].SetDown(true)
+	wg.Wait()
+	close(errCh)
+	failed := 0
+	for err := range errCh {
+		failed++
+		t.Error(err)
+	}
+	if failed > 0 {
+		t.Fatalf("seed %d: %d requests neither completed nor shed; the complete-or-SHED contract broke", gwChaosSeed, failed)
+	}
+	if completed == 0 {
+		t.Fatalf("seed %d: nothing completed during the kill window", gwChaosSeed)
+	}
+	t.Logf("seed %d: kill window: %d completed, %d shed", gwChaosSeed, completed, shed)
+
+	// The dead shard's breaker must be routed around: open (or probing
+	// half-open), never closed, while the proxy is down.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Gauge("gateway.backend.1.breaker_state").Load() == int64(client.BreakerClosed) {
+		if time.Now().After(deadline) {
+			t.Fatalf("seed %d: dead shard's breaker never left closed", gwChaosSeed)
+		}
+		clients["tenant-b"].Scan(tenants[1].payload)
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Phase 3 — revive. The jittered prober must walk the breaker
+	// half-open → closed without any client traffic.
+	proxies[1].SetDown(false)
+	deadline = time.Now().Add(10 * time.Second)
+	for reg.Gauge("gateway.backend.1.breaker_state").Load() != int64(client.BreakerClosed) {
+		if time.Now().After(deadline) {
+			t.Fatalf("seed %d: breaker never closed after revival (state %d)",
+				gwChaosSeed, reg.Gauge("gateway.backend.1.breaker_state").Load())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Phase 4 — the ring includes the revived shard again: traffic
+	// completes for every tenant, the fleet reports all shards
+	// reachable, and the kill window demonstrably rerouted requests.
+	for _, tn := range tenants {
+		for i := 0; i < 4; i++ {
+			got, err := clients[tn.name].Scan(tn.payload)
+			if err != nil {
+				t.Fatalf("seed %d: post-revival %s scan: %v", gwChaosSeed, tn.name, err)
+			}
+			sortMatches(got)
+			if !bytes.Equal(server.EncodeMatches(got), tn.wantBytes) {
+				t.Fatalf("seed %d: post-revival %s scan not byte-identical", gwChaosSeed, tn.name)
+			}
+		}
+	}
+	snap := gw.MetricsSnapshot()
+	if got := snap.Get("fleet.shards.reachable"); got != 3 {
+		t.Errorf("seed %d: fleet.shards.reachable = %d after revival, want 3", gwChaosSeed, got)
+	}
+	if snap.Get("client.breaker.transitions") == 0 {
+		t.Errorf("seed %d: no breaker transitions under a killed shard", gwChaosSeed)
+	}
+	for _, tn := range tenants {
+		if snap.Get("gateway.tenant."+tn.name+".ok") == 0 {
+			t.Errorf("seed %d: tenant %s completed nothing", gwChaosSeed, tn.name)
+		}
+	}
+	// leakCheck (cleanup) verifies the gateway, shards and proxies
+	// left no goroutines behind.
+}
+
+// isShed reports whether err is a SHED outcome (reasoned or not).
+func isShed(err error) bool {
+	return errors.Is(err, client.ErrShed)
+}

@@ -1,0 +1,935 @@
+// Package gateway is the fleet tier: a front-end speaking the framed
+// protocol (extended with the TENANT envelope) that routes requests
+// across a fleet of scan-service shards by consistent hashing over
+// (tenant, rule-namespace).
+//
+// Robustness model. Every shard is a replica of the same rule set; the
+// ring partitions load, not data, so any shard can answer any request
+// and failover never changes results. Admission is three gates deep —
+// token-bucket quota (SHED quota), weighted fair queue (SHED
+// fair-queue), then the worker pool — so a noisy tenant degrades to
+// SHED instead of starving the fleet. Routing walks the key's ring
+// order through the per-backend circuit breakers from PR 5: an open
+// breaker refuses Acquire and the walk skips to the next shard, which
+// is exactly "the ring excludes open-breaker backends"; the shared
+// health prober flips a revived shard's breaker closed and the walk
+// naturally re-includes it. Retries are idempotent-only (SCAN, COUNT,
+// SCAN-PATTERN; RELOAD is fanned out once, never retried) and spend a
+// bounded budget of shard attempts before degrading to a SHED with
+// reason "capacity" — an admitted request always terminates with an
+// answer within its budget.
+//
+// SCAN-PATTERN scatter-gathers across every shard the breakers admit,
+// each leg under its own deadline, and merges the replies. A fan-out
+// that missed any shard is reported as MATCHES-PARTIAL with explicit
+// answered/missed shard counts — a shard is never silently dropped.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alveare/internal/metrics"
+	"alveare/internal/server"
+	"alveare/internal/server/client"
+)
+
+// faultDrainTimeout bounds draining a peer's leftover bytes after a
+// framing fault, as in the scan server.
+const faultDrainTimeout = 500 * time.Millisecond
+
+// Tenant is one row of the gateway's static tenant table.
+type Tenant struct {
+	// Name keys the TENANT envelope; required, at most
+	// server.MaxTenantName bytes.
+	Name string
+	// Weight is the tenant's fair-queue share (default 1). A tenant
+	// with weight 3 gets three worker visits per round to a
+	// weight-1 tenant's one.
+	Weight int
+	// RateRPS sustains this many requests per second through the
+	// tenant's token bucket (0: unlimited); Burst is the bucket depth
+	// (default 1 when rate-limited).
+	RateRPS float64
+	Burst   int
+	// QueueDepth bounds the tenant's fair-queue FIFO (default 32).
+	// A full FIFO SHEDs with reason fair-queue.
+	QueueDepth int
+}
+
+// Config parameterises a Gateway. Zero values select the defaults.
+type Config struct {
+	// Addr is the listen address for ListenAndServe.
+	Addr string
+	// Backends lists the shard addresses; required.
+	Backends []string
+	// Tenants is the static tenant table; required.
+	Tenants []Tenant
+	// DefaultTenant, when set, is assumed for queue-class requests
+	// that arrive without a TENANT envelope (it must name a table
+	// row). When empty such requests are rejected as unknown-tenant.
+	DefaultTenant string
+
+	// Workers is the routing worker-pool width (default GOMAXPROCS).
+	Workers int
+	// MaxFrame bounds one request frame (default server.DefaultMaxFrame).
+	MaxFrame int
+	// ReadTimeout / WriteTimeout are the per-frame deadlines on client
+	// connections (default 30s each).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// ShardTimeout bounds each attempt against one shard (default 2s).
+	ShardTimeout time.Duration
+	// Retries is the shard-attempt budget per routed request (default
+	// 2×len(Backends)): when it runs out the request SHEDs with
+	// reason capacity.
+	Retries int
+
+	// BreakerFailures / BreakerCooldown / ProbeInterval parameterise
+	// the per-shard circuit breakers and the shared full-jittered
+	// health prober (defaults 3, 1s, 500ms).
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	ProbeInterval   time.Duration
+
+	// RingReplicas is the virtual-node count per shard (default 64).
+	RingReplicas int
+	// Seed makes the probe jitter and retry backoff deterministic in
+	// tests (0: time-based).
+	Seed int64
+	// Registry receives the gateway's metrics; nil allocates a
+	// private one (served by STATS, flushed by alvearegw -metrics).
+	Registry *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = server.DefaultMaxFrame
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 2 * time.Second
+	}
+	if c.Retries <= 0 {
+		c.Retries = 2 * len(c.Backends)
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	return c
+}
+
+// tenantState is one tenant's runtime: its quota bucket and its
+// pre-resolved metric handles.
+type tenantState struct {
+	name     string
+	quota    *tokenBucket
+	requests *metrics.Counter // queue-class arrivals
+	ok       *metrics.Counter // answered with a success response
+	shed     *metrics.Counter // SHED for any reason
+	errs     *metrics.Counter // answered with ERROR
+	qdepth   *metrics.Gauge   // fair-queue FIFO depth
+}
+
+// gwMetrics is the gateway's pre-resolved metric handles.
+type gwMetrics struct {
+	requests     *metrics.Counter
+	ok           *metrics.Counter
+	errs         *metrics.Counter
+	shed         *metrics.Counter
+	shedQuota    *metrics.Counter
+	shedFairq    *metrics.Counter
+	shedCapacity *metrics.Counter
+	rerouted     *metrics.Counter // answered by a shard other than the ring owner
+	partial      *metrics.Counter // scatter-gathers that missed a shard
+	bytesIn      *metrics.Counter
+	bytesOut     *metrics.Counter
+	connsOpen    *metrics.Gauge
+	connsTotal   *metrics.Counter
+	reachable    *metrics.Gauge // fleet.shards.reachable
+}
+
+func resolveMetrics(r *metrics.Registry) gwMetrics {
+	return gwMetrics{
+		requests:     r.Counter("gateway.requests"),
+		ok:           r.Counter("gateway.ok"),
+		errs:         r.Counter("gateway.errors"),
+		shed:         r.Counter("gateway.shed"),
+		shedQuota:    r.Counter("gateway.shed.quota"),
+		shedFairq:    r.Counter("gateway.shed.fairqueue"),
+		shedCapacity: r.Counter("gateway.shed.capacity"),
+		rerouted:     r.Counter("gateway.rerouted"),
+		partial:      r.Counter("gateway.partial"),
+		bytesIn:      r.Counter("gateway.bytes.in"),
+		bytesOut:     r.Counter("gateway.bytes.out"),
+		connsOpen:    r.Gauge("gateway.conns.open"),
+		connsTotal:   r.Counter("gateway.conns.total"),
+		reachable:    r.Gauge("fleet.shards.reachable"),
+	}
+}
+
+// Gateway is one fleet front-end instance.
+type Gateway struct {
+	cfg     Config
+	bs      *client.Backends
+	ring    *ring
+	fq      *fairQueue
+	tenants map[string]*tenantState
+	reg     *metrics.Registry
+	met     gwMetrics
+
+	baseCtx context.Context
+	abort   context.CancelFunc
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+	closed   bool
+
+	stopOnce  sync.Once
+	stopped   chan struct{}
+	wgConns   sync.WaitGroup
+	wgWorkers sync.WaitGroup
+}
+
+// conn mirrors the scan server's connection bookkeeping: one reader
+// goroutine, responses written under the write mutex, admitted jobs
+// tracked so drain can finish them.
+type conn struct {
+	nc      net.Conn
+	wmu     sync.Mutex
+	pending sync.WaitGroup
+	broken  atomic.Bool
+}
+
+// New builds the gateway. No shard is dialed until traffic (or the
+// prober) touches it; the gateway does not listen until Serve.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("gateway: at least one backend required")
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, errors.New("gateway: at least one tenant required")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.New()
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	bs, err := client.NewBackends(cfg.Backends, client.BackendsConfig{
+		Seed:            seed,
+		Registry:        reg,
+		GaugePrefix:     "gateway.backend.",
+		BreakerFailures: cfg.BreakerFailures,
+		BreakerCooldown: cfg.BreakerCooldown,
+		ProbeInterval:   cfg.ProbeInterval,
+		AttemptTimeout:  cfg.ShardTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	g := &Gateway{
+		cfg:     cfg,
+		bs:      bs,
+		ring:    newRing(len(cfg.Backends), cfg.RingReplicas),
+		fq:      newFairQueue(),
+		tenants: make(map[string]*tenantState, len(cfg.Tenants)),
+		reg:     reg,
+		met:     resolveMetrics(reg),
+		baseCtx: ctx,
+		abort:   cancel,
+		rng:     rand.New(rand.NewSource(seed ^ 0x5deece66d)),
+		conns:   map[*conn]struct{}{},
+		stopped: make(chan struct{}),
+	}
+	for _, t := range cfg.Tenants {
+		if t.Name == "" || len(t.Name) > server.MaxTenantName {
+			bs.Close()
+			cancel()
+			return nil, fmt.Errorf("gateway: invalid tenant name %q", t.Name)
+		}
+		if _, dup := g.tenants[t.Name]; dup {
+			bs.Close()
+			cancel()
+			return nil, fmt.Errorf("gateway: duplicate tenant %q", t.Name)
+		}
+		depth := t.QueueDepth
+		if depth <= 0 {
+			depth = 32
+		}
+		g.fq.addTenant(t.Name, t.Weight, depth)
+		g.tenants[t.Name] = &tenantState{
+			name:     t.Name,
+			quota:    newTokenBucket(t.RateRPS, t.Burst),
+			requests: reg.Counter("gateway.tenant." + t.Name + ".requests"),
+			ok:       reg.Counter("gateway.tenant." + t.Name + ".ok"),
+			shed:     reg.Counter("gateway.tenant." + t.Name + ".shed"),
+			errs:     reg.Counter("gateway.tenant." + t.Name + ".errors"),
+			qdepth:   reg.Gauge("gateway.tenant." + t.Name + ".queue.depth"),
+		}
+	}
+	if cfg.DefaultTenant != "" && g.tenants[cfg.DefaultTenant] == nil {
+		bs.Close()
+		cancel()
+		return nil, fmt.Errorf("gateway: default tenant %q not in tenant table", cfg.DefaultTenant)
+	}
+	return g, nil
+}
+
+// ListenAndServe listens on cfg.Addr and serves until Shutdown/Close.
+func (g *Gateway) ListenAndServe() error {
+	ln, err := net.Listen("tcp", g.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return g.Serve(ln)
+}
+
+// Addr returns the listener's address, or nil before Serve.
+func (g *Gateway) Addr() net.Addr {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.ln == nil {
+		return nil
+	}
+	return g.ln.Addr()
+}
+
+// Serve runs the accept loop on ln until Shutdown or Close; it owns
+// the listener. The error is nil after a clean shutdown.
+func (g *Gateway) Serve(ln net.Listener) error {
+	g.mu.Lock()
+	if g.closed || g.draining {
+		g.mu.Unlock()
+		ln.Close()
+		return errors.New("gateway: already shut down")
+	}
+	g.ln = ln
+	g.mu.Unlock()
+
+	for i := 0; i < g.cfg.Workers; i++ {
+		g.wgWorkers.Add(1)
+		go g.worker()
+	}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			g.mu.Lock()
+			stopping := g.draining || g.closed
+			g.mu.Unlock()
+			if stopping {
+				return nil
+			}
+			return err
+		}
+		c := &conn{nc: nc}
+		g.mu.Lock()
+		if g.draining || g.closed {
+			g.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		g.conns[c] = struct{}{}
+		open := len(g.conns)
+		g.mu.Unlock()
+		g.met.connsTotal.Inc()
+		g.met.connsOpen.Set(int64(open))
+		g.wgConns.Add(1)
+		go g.serveConn(c)
+	}
+}
+
+// Shutdown drains the gateway: listener closed, readers woken, every
+// admitted request answered, workers retired, shard connections
+// closed. Returns nil on a clean drain, or ctx's error after
+// escalating to Close.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	for _, c := range g.beginStop() {
+		c.nc.SetReadDeadline(time.Now())
+	}
+	g.ensureDrainLoop()
+	select {
+	case <-g.stopped:
+		return nil
+	case <-ctx.Done():
+		g.Close()
+		return ctx.Err()
+	}
+}
+
+// Close stops the gateway immediately: in-flight routing is cancelled
+// and client connections closed. Prefer Shutdown.
+func (g *Gateway) Close() error {
+	conns := g.beginStop()
+	g.abort()
+	for _, c := range conns {
+		c.broken.Store(true)
+		c.nc.Close()
+	}
+	g.ensureDrainLoop()
+	<-g.stopped
+	return nil
+}
+
+func (g *Gateway) beginStop() []*conn {
+	g.mu.Lock()
+	g.draining = true
+	ln := g.ln
+	conns := make([]*conn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	g.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	return conns
+}
+
+// ensureDrainLoop runs the terminal drain exactly once: readers (the
+// fair queue's only producers) exit, the queue closes and its backlog
+// is served, workers retire, shard connections close.
+func (g *Gateway) ensureDrainLoop() {
+	g.stopOnce.Do(func() {
+		go func() {
+			g.wgConns.Wait()
+			g.fq.close()
+			g.wgWorkers.Wait()
+			g.bs.Close()
+			g.mu.Lock()
+			g.closed = true
+			g.mu.Unlock()
+			g.abort()
+			close(g.stopped)
+		}()
+	})
+}
+
+func (g *Gateway) isDraining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// MetricsSnapshot refreshes the fleet gauges and returns the gateway
+// registry's deterministic snapshot — the STATS response body.
+func (g *Gateway) MetricsSnapshot() *metrics.Snapshot {
+	g.pollFleet()
+	g.mu.Lock()
+	open := len(g.conns)
+	g.mu.Unlock()
+	g.met.connsOpen.Set(int64(open))
+	for name, ts := range g.tenants {
+		ts.qdepth.Set(int64(g.fq.depthOf(name)))
+	}
+	return g.reg.Snapshot()
+}
+
+// fleetSums lists the shard counters the gateway aggregates into
+// fleet.* (summed across reachable shards at each STATS).
+var fleetSums = []string{
+	"server.scan.requests",
+	"server.count.requests",
+	"server.pattern.requests",
+	"server.matches",
+	"server.shed",
+	"server.errors",
+}
+
+// pollFleet asks every shard whose breaker is not open for its STATS
+// snapshot (in parallel, each under the shard timeout), sums the
+// fleet counters, and sets fleet.shards.reachable. Open-breaker
+// shards are counted unreachable without being dialed, so STATS stays
+// fast while a shard is dead.
+func (g *Gateway) pollFleet() {
+	n := g.bs.Len()
+	snaps := make([]*metrics.Snapshot, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if g.bs.State(i) == client.BreakerOpen {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(g.baseCtx, g.cfg.ShardTimeout)
+			defer cancel()
+			snap, err := g.bs.Client(i).StatsCtx(ctx)
+			if err == nil {
+				snaps[i] = snap
+			}
+		}(i)
+	}
+	wg.Wait()
+	reachable := 0
+	sums := make([]int64, len(fleetSums))
+	for _, snap := range snaps {
+		if snap == nil {
+			continue
+		}
+		reachable++
+		for j, name := range fleetSums {
+			sums[j] += snap.Get(name)
+		}
+	}
+	g.met.reachable.Set(int64(reachable))
+	for j, name := range fleetSums {
+		g.reg.Counter("fleet." + name).Store(sums[j])
+	}
+}
+
+// serveConn is one client connection's reader loop, mirroring the scan
+// server's: parse a frame, answer control requests inline, pass
+// queue-class requests through admission.
+func (g *Gateway) serveConn(c *conn) {
+	defer g.wgConns.Done()
+	defer func() {
+		c.pending.Wait()
+		c.nc.Close()
+		g.mu.Lock()
+		delete(g.conns, c)
+		open := len(g.conns)
+		g.mu.Unlock()
+		g.met.connsOpen.Set(int64(open))
+	}()
+
+	for {
+		if g.isDraining() {
+			return
+		}
+		c.nc.SetReadDeadline(time.Now().Add(g.cfg.ReadTimeout))
+		f, err := server.ReadFrame(c.nc, g.cfg.MaxFrame)
+		if err != nil {
+			switch {
+			case errors.Is(err, io.EOF):
+				return
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				return
+			case errors.Is(err, server.ErrFrameTooLarge), errors.Is(err, server.ErrMalformedFrame):
+				g.met.errs.Inc()
+				g.writeFrame(c, server.Frame{Op: server.OpError, Body: server.EncodeError(server.ErrCodeBadFrame, err.Error())})
+				if tc, ok := c.nc.(*net.TCPConn); ok {
+					tc.CloseWrite()
+				}
+				c.nc.SetReadDeadline(time.Now().Add(faultDrainTimeout))
+				io.Copy(io.Discard, io.LimitReader(c.nc, int64(g.cfg.MaxFrame)))
+				return
+			default:
+				return
+			}
+		}
+		g.met.bytesIn.Add(int64(9 + len(f.Body)))
+		g.dispatch(c, f)
+	}
+}
+
+// dispatch routes one parsed request. PING answers locally; RULES-INFO
+// forwards to the first admitting shard; STATS aggregates the fleet —
+// all inline on the reader. Queue-class requests resolve their tenant
+// and run the admission gates.
+func (g *Gateway) dispatch(c *conn, f server.Frame) {
+	switch f.Op {
+	case server.OpPing:
+		g.writeFrame(c, server.Frame{Op: server.OpPong, ID: f.ID})
+		return
+	case server.OpRulesInfo:
+		g.forwardControl(c, f.ID, server.OpRulesInfo, server.OpInfo, nil)
+		return
+	case server.OpStats:
+		var buf bytes.Buffer
+		if err := g.MetricsSnapshot().WriteJSON(&buf); err != nil {
+			g.replyErr(c, f.ID, nil, server.ErrCodeScan, err)
+			return
+		}
+		g.writeFrame(c, server.Frame{Op: server.OpStatsResp, ID: f.ID, Body: buf.Bytes()})
+		return
+	}
+
+	// Queue-class work, bare or TENANT-wrapped.
+	var (
+		hdr   server.TenantHeader
+		op    byte
+		body  []byte
+		named bool
+	)
+	switch {
+	case f.Op == server.OpTenant:
+		var err error
+		hdr, op, body, err = server.DecodeTenant(f.Body)
+		if err != nil {
+			g.met.errs.Inc()
+			g.replyErr(c, f.ID, nil, server.ErrCodeBadFrame, err)
+			return
+		}
+		named = true
+	case server.QueueClass(f.Op):
+		op, body = f.Op, f.Body
+		hdr = server.TenantHeader{Tenant: g.cfg.DefaultTenant}
+	default:
+		g.met.errs.Inc()
+		g.writeFrame(c, server.Frame{Op: server.OpError, ID: f.ID,
+			Body: server.EncodeError(server.ErrCodeBadFrame, "unknown opcode "+server.OpName(f.Op))})
+		return
+	}
+
+	g.met.requests.Inc()
+	ts := g.tenants[hdr.Tenant]
+	if ts == nil {
+		g.met.errs.Inc()
+		what := hdr.Tenant
+		if !named && what == "" {
+			what = "(no TENANT header)"
+		}
+		g.writeFrame(c, server.Frame{Op: server.OpError, ID: f.ID,
+			Body: server.EncodeError(server.ErrCodeUnknownTenant, "unknown tenant "+what)})
+		return
+	}
+	ts.requests.Inc()
+	if g.isDraining() {
+		g.replyErr(c, f.ID, ts, server.ErrCodeDraining, errors.New("gateway draining"))
+		return
+	}
+	if !ts.quota.take() {
+		g.shedReply(c, f.ID, ts, server.ShedReasonQuota)
+		return
+	}
+	id, key := f.ID, hdr.Key()
+	c.pending.Add(1)
+	j := &job{run: func() {
+		defer c.pending.Done()
+		g.execute(c, ts, key, op, body, id)
+	}}
+	if !g.fq.push(hdr.Tenant, j) {
+		c.pending.Done()
+		g.shedReply(c, f.ID, ts, server.ShedReasonFairQ)
+		return
+	}
+	ts.qdepth.Max(int64(g.fq.depthOf(hdr.Tenant)))
+}
+
+// worker serves the fair queue until it closes and drains.
+func (g *Gateway) worker() {
+	defer g.wgWorkers.Done()
+	for {
+		j, ok := g.fq.pop()
+		if !ok {
+			return
+		}
+		j.run()
+	}
+}
+
+// execute routes one admitted queue-class request.
+func (g *Gateway) execute(c *conn, ts *tenantState, key string, op byte, body []byte, id uint32) {
+	switch op {
+	case server.OpScan:
+		g.routeSingle(c, ts, key, op, server.OpMatches, body, id)
+	case server.OpCount:
+		g.routeSingle(c, ts, key, op, server.OpCountResp, body, id)
+	case server.OpScanPattern:
+		g.scatterGather(c, ts, body, id)
+	case server.OpReload:
+		g.reloadAll(c, ts, body, id)
+	}
+}
+
+// routeSingle walks the key's ring order, skipping shards whose
+// breaker refuses admission, until a shard answers or the attempt
+// budget runs out. Shard SHEDs and transport failures move to the
+// next shard (these ops are idempotent); an authoritative ERROR is
+// forwarded as-is. Budget exhaustion degrades to SHED capacity — the
+// client learns "the fleet is saturated or dark", not a hang.
+func (g *Gateway) routeSingle(c *conn, ts *tenantState, key string, op, wantOp byte, body []byte, id uint32) {
+	order := g.ring.Order(key)
+	for attempt := 0; attempt < g.cfg.Retries; attempt++ {
+		idx := order[attempt%len(order)]
+		if attempt > 0 && attempt%len(order) == 0 {
+			// A full pass over the fleet failed; back off briefly
+			// (full jitter) before the next pass instead of spinning.
+			g.sleepJitter(time.Duration(1<<uint(attempt/len(order))) * time.Millisecond)
+		}
+		if !g.bs.Acquire(idx) {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(g.baseCtx, g.cfg.ShardTimeout)
+		f, err := g.bs.Do(ctx, idx, op, wantOp, body)
+		cancel()
+		if err == nil {
+			if idx != order[0] {
+				g.met.rerouted.Inc()
+			}
+			ts.ok.Inc()
+			g.met.ok.Inc()
+			g.writeFrame(c, server.Frame{Op: f.Op, ID: id, Body: f.Body})
+			return
+		}
+		var se *client.ServerError
+		if errors.As(err, &se) && se.Code != server.ErrCodeDraining {
+			// The shard answered authoritatively; retrying elsewhere
+			// would repeat the same verdict (replicas).
+			g.replyErr(c, id, ts, se.Code, errors.New(se.Msg))
+			return
+		}
+		// Shard SHED, shard draining, or transport failure: spend the
+		// attempt, walk on.
+	}
+	g.shedReply(c, id, ts, server.ShedReasonCapacity)
+}
+
+// scatterGather fans one SCAN-PATTERN out to every shard the breakers
+// admit, each leg under its own deadline, merges the replies
+// (deduplicated — shards are replicas, so agreement is the common
+// case), and accounts every shard explicitly: full coverage answers
+// MATCHES, anything less answers MATCHES-PARTIAL with answered/missed
+// counts, and zero coverage SHEDs with reason capacity.
+func (g *Gateway) scatterGather(c *conn, ts *tenantState, body []byte, id uint32) {
+	n := g.bs.Len()
+	legs := make([][]server.RuleMatch, n)
+	failed := make([]bool, n)
+	var authErr atomic.Pointer[client.ServerError]
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if !g.bs.Acquire(i) {
+			failed[i] = true
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(g.baseCtx, g.cfg.ShardTimeout)
+			defer cancel()
+			f, err := g.bs.Do(ctx, i, server.OpScanPattern, server.OpMatches, body)
+			if err != nil {
+				var se *client.ServerError
+				if errors.As(err, &se) {
+					authErr.Store(se)
+				}
+				failed[i] = true
+				return
+			}
+			ms, err := server.DecodeMatches(f.Body)
+			if err != nil {
+				failed[i] = true
+				return
+			}
+			legs[i] = ms
+		}(i)
+	}
+	wg.Wait()
+	if se := authErr.Load(); se != nil {
+		// At least one replica rejected the pattern itself (compile
+		// error, bad frame): that verdict holds fleet-wide.
+		g.replyErr(c, id, ts, se.Code, errors.New(se.Msg))
+		return
+	}
+	var shardsOK, shardsFailed uint16
+	merged := make(map[server.RuleMatch]struct{})
+	for i := 0; i < n; i++ {
+		if failed[i] || legs[i] == nil {
+			shardsFailed++
+			continue
+		}
+		shardsOK++
+		for _, m := range legs[i] {
+			merged[m] = struct{}{}
+		}
+	}
+	if shardsOK == 0 {
+		g.shedReply(c, id, ts, server.ShedReasonCapacity)
+		return
+	}
+	ms := make([]server.RuleMatch, 0, len(merged))
+	for m := range merged {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(a, b int) bool {
+		if ms[a].Rule != ms[b].Rule {
+			return ms[a].Rule < ms[b].Rule
+		}
+		if ms[a].Start != ms[b].Start {
+			return ms[a].Start < ms[b].Start
+		}
+		return ms[a].End < ms[b].End
+	})
+	ts.ok.Inc()
+	g.met.ok.Inc()
+	if shardsFailed == 0 {
+		g.writeFrame(c, server.Frame{Op: server.OpMatches, ID: id, Body: server.EncodeMatches(ms)})
+		return
+	}
+	g.met.partial.Inc()
+	g.writeFrame(c, server.Frame{Op: server.OpMatchesPartial, ID: id,
+		Body: server.EncodeMatchesPartial(true, shardsOK, shardsFailed, ms)})
+}
+
+// reloadAll fans a RELOAD out to every shard — replicas must stay
+// identical — with a single attempt each (RELOAD is not idempotent
+// across retries of a partially-applied fleet). All shards succeeding
+// answers RELOAD-OK with the highest generation; any failure answers
+// an ERROR naming every shard that missed the reload, so the operator
+// knows the fleet has diverged and must retry.
+func (g *Gateway) reloadAll(c *conn, ts *tenantState, body []byte, id uint32) {
+	n := g.bs.Len()
+	type result struct {
+		gen, rules uint32
+		err        error
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(g.baseCtx, g.cfg.ShardTimeout)
+			defer cancel()
+			gen, rules, err := g.bs.Client(i).ReloadCtx(ctx, string(body))
+			results[i] = result{gen: gen, rules: rules, err: err}
+		}(i)
+	}
+	wg.Wait()
+	var fails []string
+	var gen, rules uint32
+	for i, r := range results {
+		if r.err != nil {
+			fails = append(fails, fmt.Sprintf("shard %d (%s): %v", i, g.bs.Addr(i), r.err))
+			continue
+		}
+		if r.gen > gen {
+			gen = r.gen
+		}
+		rules = r.rules
+	}
+	if len(fails) > 0 {
+		g.replyErr(c, id, ts, server.ErrCodeScan,
+			fmt.Errorf("reload incomplete, fleet diverged: %s", strings.Join(fails, "; ")))
+		return
+	}
+	ts.ok.Inc()
+	g.met.ok.Inc()
+	g.writeFrame(c, server.Frame{Op: server.OpReloadOK, ID: id, Body: server.EncodeReloadOK(gen, rules)})
+}
+
+// forwardControl forwards one control request to the first shard the
+// breakers admit, inline on the reader (control requests are cheap and
+// never queue).
+func (g *Gateway) forwardControl(c *conn, id uint32, op, wantOp byte, body []byte) {
+	for i := 0; i < g.bs.Len(); i++ {
+		if !g.bs.Acquire(i) {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(g.baseCtx, g.cfg.ShardTimeout)
+		f, err := g.bs.Do(ctx, i, op, wantOp, body)
+		cancel()
+		if err == nil {
+			g.writeFrame(c, server.Frame{Op: f.Op, ID: id, Body: f.Body})
+			return
+		}
+		var se *client.ServerError
+		if errors.As(err, &se) {
+			g.replyErr(c, id, nil, se.Code, errors.New(se.Msg))
+			return
+		}
+	}
+	g.met.errs.Inc()
+	g.writeFrame(c, server.Frame{Op: server.OpError, ID: id,
+		Body: server.EncodeError(server.ErrCodeScan, "no shard reachable")})
+}
+
+// shedReply answers one request with a reasoned SHED and counts it.
+func (g *Gateway) shedReply(c *conn, id uint32, ts *tenantState, reason byte) {
+	g.met.shed.Inc()
+	switch reason {
+	case server.ShedReasonQuota:
+		g.met.shedQuota.Inc()
+	case server.ShedReasonFairQ:
+		g.met.shedFairq.Inc()
+	case server.ShedReasonCapacity:
+		g.met.shedCapacity.Inc()
+	}
+	if ts != nil {
+		ts.shed.Inc()
+	}
+	g.writeFrame(c, server.Frame{Op: server.OpShed, ID: id, Body: []byte{reason}})
+}
+
+// replyErr writes an ERROR response and counts it.
+func (g *Gateway) replyErr(c *conn, id uint32, ts *tenantState, code byte, err error) {
+	g.met.errs.Inc()
+	if ts != nil {
+		ts.errs.Inc()
+	}
+	g.writeFrame(c, server.Frame{Op: server.OpError, ID: id, Body: server.EncodeError(code, err.Error())})
+}
+
+// writeFrame serialises one response under the connection's write
+// mutex, exactly as the scan server does.
+func (g *Gateway) writeFrame(c *conn, f server.Frame) {
+	if c.broken.Load() {
+		return
+	}
+	c.wmu.Lock()
+	if g.cfg.WriteTimeout > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout))
+	}
+	err := server.WriteFrame(c.nc, f)
+	c.wmu.Unlock()
+	if err != nil {
+		if c.broken.CompareAndSwap(false, true) {
+			c.nc.Close()
+		}
+		return
+	}
+	g.met.bytesOut.Add(int64(9 + len(f.Body)))
+}
+
+// sleepJitter sleeps a full-jittered draw from (0, d], bounded by the
+// gateway lifecycle (Close aborts the sleep).
+func (g *Gateway) sleepJitter(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	g.rngMu.Lock()
+	d = time.Duration(g.rng.Int63n(int64(d))) + 1
+	g.rngMu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-g.baseCtx.Done():
+	}
+}

@@ -1,0 +1,60 @@
+// Per-tenant rate quota: a classic token bucket, refilled lazily at
+// take() time so idle tenants cost nothing. The quota is the first
+// admission gate — cheaper than a fair-queue slot — so a tenant
+// hammering past its contract is SHED (ShedReasonQuota) before its
+// requests consume queue memory.
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket admits up to burst requests instantly and rate requests
+// per second sustained. rate <= 0 means unlimited (take always
+// succeeds). Safe for concurrent use.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens added per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time // test seam
+}
+
+// newTokenBucket starts full (a tenant's first burst is free). A
+// non-positive burst is raised to 1 so a limited tenant can always
+// make at least single requests.
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	tb := &tokenBucket{rate: rate, burst: b, tokens: b, now: time.Now}
+	return tb
+}
+
+// take consumes one token, refilling first from elapsed wall time.
+// Returns false when the bucket is empty — the caller SHEDs.
+func (tb *tokenBucket) take() bool {
+	if tb.rate <= 0 {
+		return true
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := tb.now()
+	if !tb.last.IsZero() {
+		if dt := now.Sub(tb.last).Seconds(); dt > 0 {
+			tb.tokens += dt * tb.rate
+			if tb.tokens > tb.burst {
+				tb.tokens = tb.burst
+			}
+		}
+	}
+	tb.last = now
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}

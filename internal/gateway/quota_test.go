@@ -1,0 +1,69 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock steps a token bucket's time by hand.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func TestQuotaBurstThenRefill(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tb := newTokenBucket(10, 3) // 10 rps, burst 3
+	tb.now = clk.now
+
+	for i := 0; i < 3; i++ {
+		if !tb.take() {
+			t.Fatalf("take %d within burst refused", i)
+		}
+	}
+	if tb.take() {
+		t.Fatal("take past burst admitted")
+	}
+	// 100ms at 10 rps refills exactly one token.
+	clk.advance(100 * time.Millisecond)
+	if !tb.take() {
+		t.Fatal("take after refill refused")
+	}
+	if tb.take() {
+		t.Fatal("second take after single-token refill admitted")
+	}
+}
+
+func TestQuotaRefillCapsAtBurst(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tb := newTokenBucket(100, 2)
+	tb.now = clk.now
+	tb.take()
+	tb.take()
+	clk.advance(time.Hour) // refills far past the cap
+	admitted := 0
+	for tb.take() {
+		admitted++
+	}
+	if admitted != 2 {
+		t.Fatalf("admitted %d after long idle, want burst 2", admitted)
+	}
+}
+
+func TestQuotaUnlimited(t *testing.T) {
+	tb := newTokenBucket(0, 1)
+	for i := 0; i < 10000; i++ {
+		if !tb.take() {
+			t.Fatal("unlimited bucket refused")
+		}
+	}
+}
+
+func TestQuotaMinimumBurst(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tb := newTokenBucket(1, 0) // burst raised to 1
+	tb.now = clk.now
+	if !tb.take() {
+		t.Fatal("rate-limited tenant cannot make even one request")
+	}
+}

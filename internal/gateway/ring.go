@@ -1,0 +1,104 @@
+// Consistent-hash ring over backend shard indices. The gateway keys
+// routing on "tenant/namespace", so one tenant's scans land on one
+// shard (cache locality for its rule working set) while the fleet as a
+// whole spreads tenants evenly. Virtual nodes smooth the distribution;
+// Order walks the ring past the owner so the router can fail over to
+// the next distinct shard when a breaker has the owner excluded — the
+// rebalance after a shard death is just "everyone's walk skips it".
+package gateway
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ringReplicas is the default virtual-node count per backend: high
+// enough that 3 backends split keys within a few percent of even.
+const ringReplicas = 64
+
+// ring is an immutable consistent-hash ring over backend indices
+// [0, n). Safe for concurrent use once built.
+type ring struct {
+	points []ringPoint // sorted by hash
+	n      int
+}
+
+type ringPoint struct {
+	hash  uint64
+	owner int
+}
+
+// newRing hashes replicas virtual nodes per backend (replicas <= 0
+// selects ringReplicas). Vnode labels depend only on (index, replica),
+// so the layout is deterministic across processes — every gateway in a
+// fleet agrees on key placement.
+func newRing(n, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = ringReplicas
+	}
+	r := &ring{n: n, points: make([]ringPoint, 0, n*replicas)}
+	for i := 0; i < n; i++ {
+		for v := 0; v < replicas; v++ {
+			h := fnv1a(fmt.Sprintf("shard-%d-vnode-%d", i, v))
+			r.points = append(r.points, ringPoint{hash: h, owner: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		p, q := r.points[a], r.points[b]
+		if p.hash != q.hash {
+			return p.hash < q.hash
+		}
+		return p.owner < q.owner
+	})
+	return r
+}
+
+// Owner returns the backend index owning key: the first vnode at or
+// clockwise of the key's hash.
+func (r *ring) Owner(key string) int {
+	return r.points[r.at(key)].owner
+}
+
+// Order returns all n backend indices in ring-walk order from key: the
+// owner first, then each further distinct backend as the walk meets
+// it. The router tries them in this order, so failover is sticky (the
+// same key always spills to the same second choice) and total (every
+// backend is eventually tried).
+func (r *ring) Order(key string) []int {
+	out := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	for i, start := 0, r.at(key); i < len(r.points) && len(out) < r.n; i++ {
+		o := r.points[(start+i)%len(r.points)].owner
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// at returns the index in points of the first vnode at or clockwise of
+// key's hash.
+func (r *ring) at(key string) int {
+	h := fnv1a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// fnv1a is the 64-bit FNV-1a hash — stable across runs and platforms,
+// unlike hash/maphash.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

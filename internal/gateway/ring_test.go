@@ -1,0 +1,75 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The ring must be deterministic across constructions — every gateway
+// in a fleet agrees on key placement.
+func TestRingDeterministic(t *testing.T) {
+	a, b := newRing(5, 0), newRing(5, 0)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("tenant-%d/ns-%d", i%7, i%3)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owners diverge (%d vs %d)", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// Vnodes must spread keys roughly evenly: with 64 vnodes per backend
+// no backend should own more than ~2x its fair share of keys.
+func TestRingBalance(t *testing.T) {
+	const n, keys = 3, 3000
+	r := newRing(n, 0)
+	counts := make([]int, n)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("tenant-%d/default", i))]++
+	}
+	fair := keys / n
+	for i, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("backend %d owns %d of %d keys (fair %d): imbalanced", i, c, keys, fair)
+		}
+	}
+}
+
+// Order must list every backend exactly once, owner first, and stay
+// stable per key (sticky failover).
+func TestRingOrder(t *testing.T) {
+	r := newRing(4, 0)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("t-%d/ns", i)
+		order := r.Order(key)
+		if len(order) != 4 {
+			t.Fatalf("key %q: order %v misses backends", key, order)
+		}
+		if order[0] != r.Owner(key) {
+			t.Fatalf("key %q: order %v does not start at owner %d", key, order, r.Owner(key))
+		}
+		seen := map[int]bool{}
+		for _, o := range order {
+			if seen[o] {
+				t.Fatalf("key %q: order %v repeats backend %d", key, order, o)
+			}
+			seen[o] = true
+		}
+		again := r.Order(key)
+		for j := range order {
+			if order[j] != again[j] {
+				t.Fatalf("key %q: order not stable (%v vs %v)", key, order, again)
+			}
+		}
+	}
+}
+
+// A single-backend ring routes everything to backend 0.
+func TestRingSingle(t *testing.T) {
+	r := newRing(1, 0)
+	if got := r.Owner("anything"); got != 0 {
+		t.Fatalf("Owner = %d, want 0", got)
+	}
+	if got := r.Order("anything"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Order = %v, want [0]", got)
+	}
+}

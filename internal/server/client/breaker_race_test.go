@@ -1,0 +1,250 @@
+// Race coverage for the breaker's half-open single-probe slot: many
+// concurrent callers fight for the probe while success, failure and
+// backend revival race each other. Run with -race; the invariants are
+// checked on every interleaving.
+package client
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"alveare/internal/faultinject/netchaos"
+	"alveare/internal/metrics"
+	"alveare/internal/server"
+)
+
+// fakeNow is a hand-stepped clock for breaker tests.
+type fakeNow struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeNow) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeNow) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func openBreaker(clk *fakeNow) *breaker {
+	b := newBreaker(1, 50*time.Millisecond, nil, nil)
+	b.now = clk.now
+	b.onFailure() // threshold 1: one failure opens it
+	return b
+}
+
+// Exactly one of N concurrent allow() callers may win the half-open
+// probe slot; the rest are refused until the probe settles.
+func TestBreakerHalfOpenSingleProbeSlot(t *testing.T) {
+	clk := &fakeNow{t: time.Unix(0, 0)}
+	b := openBreaker(clk)
+	clk.advance(60 * time.Millisecond) // past cooldown: next allow flips half-open
+
+	const callers = 64
+	var admitted atomic.Int32
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < callers; i++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			start.Wait()
+			if b.allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("%d callers admitted into half-open, want exactly 1 probe slot", got)
+	}
+	if st := b.current(); st != BreakerHalfOpen {
+		t.Fatalf("state %v after probe admission, want half-open", st)
+	}
+
+	// Probe success closes; now everyone flows.
+	b.onSuccess()
+	if st := b.current(); st != BreakerClosed {
+		t.Fatalf("state %v after probe success, want closed", st)
+	}
+	for i := 0; i < 4; i++ {
+		if !b.allow() {
+			t.Fatal("closed breaker refused a request")
+		}
+	}
+}
+
+// A failed probe re-opens and re-arms the cooldown: no caller gets in
+// until it elapses again, then exactly one does.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := &fakeNow{t: time.Unix(0, 0)}
+	b := openBreaker(clk)
+	clk.advance(60 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but probe slot refused")
+	}
+	b.onFailure()
+	if st := b.current(); st != BreakerOpen {
+		t.Fatalf("state %v after probe failure, want open", st)
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted before the re-armed cooldown")
+	}
+	clk.advance(60 * time.Millisecond)
+	var admitted int
+	for i := 0; i < 8; i++ {
+		if b.allow() {
+			admitted++
+		}
+	}
+	if admitted != 1 {
+		t.Fatalf("%d admitted after re-armed cooldown, want 1", admitted)
+	}
+}
+
+// A cancelled probe releases the slot without judging the backend:
+// the breaker stays half-open and the next caller becomes the probe.
+func TestBreakerProbeCancelReleasesSlot(t *testing.T) {
+	clk := &fakeNow{t: time.Unix(0, 0)}
+	b := openBreaker(clk)
+	clk.advance(60 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("probe slot refused")
+	}
+	if b.allow() {
+		t.Fatal("second caller admitted while probe outstanding")
+	}
+	b.onCancel()
+	if st := b.current(); st != BreakerHalfOpen {
+		t.Fatalf("state %v after cancel, want half-open (no verdict)", st)
+	}
+	if !b.allow() {
+		t.Fatal("slot not released after cancel")
+	}
+}
+
+// Hammer the breaker from many goroutines with racing success,
+// failure and cancel verdicts while the clock advances. The pinned
+// invariant: every admitted caller holds the slot exclusively until
+// it settles — the admitted-minus-settled count never exceeds one
+// while not closed — and the breaker never deadlocks into a state
+// where nobody can be admitted.
+func TestBreakerConcurrentVerdictRace(t *testing.T) {
+	clk := &fakeNow{t: time.Unix(0, 0)}
+	reg := metrics.New()
+	b := newBreaker(3, 10*time.Millisecond, reg.Counter("transitions"), reg.Gauge("state"))
+	b.now = clk.now
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	var admitted atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if !b.allow() {
+					clk.advance(time.Millisecond)
+					continue
+				}
+				admitted.Add(1)
+				switch (g + i) % 3 {
+				case 0:
+					b.onSuccess()
+				case 1:
+					b.onFailure()
+				default:
+					b.onCancel()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if admitted.Load() == 0 {
+		t.Fatal("no caller ever admitted")
+	}
+	// Terminal liveness: after a final success the breaker serves.
+	b.onSuccess()
+	if !b.allow() {
+		t.Fatal("breaker wedged after concurrent verdict race")
+	}
+}
+
+// End-to-end: concurrent callers through Backends race a shard's
+// death and revival (netchaos SetDown). The breaker must open while
+// the shard is down, the half-open discipline must hold under
+// concurrent Acquire, and revival must close it again — with -race
+// watching every interleaving.
+func TestBackendsBreakerSetDownRevivalRace(t *testing.T) {
+	srv := newFakeSrv(t, pongHandler)
+	p, err := netchaos.New(srv.addr(), 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	bs, err := NewBackends([]string{p.Addr()}, BackendsConfig{
+		Seed:            42,
+		BreakerFailures: 3,
+		BreakerCooldown: 5 * time.Millisecond,
+		AttemptTimeout:  500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bs.Close()
+
+	errSlot := errors.New("breaker refused the slot")
+	ping := func() error {
+		if !bs.Acquire(0) {
+			return errSlot
+		}
+		_, err := bs.Do(nil, 0, server.OpPing, server.OpPong, nil)
+		return err
+	}
+
+	// Healthy: ping flows.
+	if err := ping(); err != nil {
+		t.Fatalf("ping while healthy: %v", err)
+	}
+
+	// Kill the shard under concurrent traffic; the breaker must open.
+	p.SetDown(true)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				ping()
+			}
+		}()
+	}
+	wg.Wait()
+	if st := bs.State(0); st == BreakerClosed {
+		t.Fatalf("breaker closed after 160 failures against a dead shard")
+	}
+
+	// Revive mid-probing; concurrent callers must walk it closed.
+	p.SetDown(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for bs.State(0) != BreakerClosed {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never closed after revival (state %v)", bs.State(0))
+		}
+		ping()
+		time.Sleep(time.Millisecond)
+	}
+	if err := ping(); err != nil {
+		t.Fatalf("ping after revival: %v", err)
+	}
+}

@@ -41,6 +41,18 @@ var ErrShed = errors.New("client: request shed by server admission control")
 // Close.
 var ErrClosed = errors.New("client: closed")
 
+// ShedError is a SHED that carried a gateway reason byte (quota,
+// fair-queue, capacity, ...). It matches errors.Is(err, ErrShed), so
+// callers that only care about back-pressure need not distinguish.
+type ShedError struct{ Reason byte }
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("client: request shed (%s)", server.ShedReasonName(e.Reason))
+}
+
+// Is makes every reasoned shed an ErrShed.
+func (e *ShedError) Is(target error) bool { return target == ErrShed }
+
 // ServerError is a structured failure the server reported for one
 // request (compile error, scan fault, draining). It is authoritative
 // — the backend was reachable and answered — so it is never retried,
@@ -53,6 +65,24 @@ type ServerError struct {
 
 func (e *ServerError) Error() string {
 	return fmt.Sprintf("client: server error %d: %s", e.Code, e.Msg)
+}
+
+// PartialError reports a gateway scatter-gather answer that covered
+// only part of the fleet (MATCHES-PARTIAL with the partial flag set).
+// The matches that WERE gathered are carried here — the caller
+// decides whether a partial view is usable — and the shard accounting
+// says exactly how much is missing; nothing is silently dropped. It
+// is authoritative (the gateway answered after exhausting its own
+// per-shard budgets) and therefore never retried.
+type PartialError struct {
+	Matches      []server.RuleMatch
+	ShardsOK     int
+	ShardsFailed int
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("client: partial result: %d/%d shards answered (%d matches gathered)",
+		e.ShardsOK, e.ShardsOK+e.ShardsFailed, len(e.Matches))
 }
 
 // RetryError reports an idempotent request that failed every attempt
@@ -83,6 +113,12 @@ func retryable(err error) bool {
 		// A draining backend answered, but will not take the work;
 		// the request is still safe to send elsewhere.
 		return se.Code == server.ErrCodeDraining
+	}
+	var pe *PartialError
+	if errors.As(err, &pe) {
+		// The gateway already exhausted its per-shard budgets to
+		// produce this; re-asking immediately reproduces it.
+		return false
 	}
 	return true
 }
@@ -145,6 +181,18 @@ func WithSleep(sleep func(context.Context, time.Duration) error) Option {
 	return func(c *Client) { c.sleep = sleep }
 }
 
+// WithTenant stamps every queue-class request (SCAN, COUNT,
+// SCAN-PATTERN, RELOAD) with a TENANT envelope naming the tenant and
+// rule namespace — how a client addresses a multi-tenant gateway.
+// Control requests (PING, RULES-INFO, STATS) stay bare; a plain
+// alvearesrv answers enveloped requests with ERROR (unknown opcode),
+// so only point a tenant-configured client at a gateway.
+func WithTenant(tenant, namespace string) Option {
+	return func(c *Client) {
+		c.tenant = server.TenantHeader{Tenant: tenant, Namespace: namespace}
+	}
+}
+
 // clientMetrics resolves the resilience metric handles once.
 type clientMetrics struct {
 	attempts   *metrics.Counter
@@ -196,6 +244,7 @@ type Client struct {
 	boBase      time.Duration
 	boMax       time.Duration
 	sleep       func(context.Context, time.Duration) error
+	tenant      server.TenantHeader // zero: no envelope
 
 	reg *metrics.Registry
 	met clientMetrics
@@ -441,6 +490,14 @@ func (c *Client) attemptCtx(ctx context.Context) (context.Context, context.Cance
 // nothing.
 func (c *Client) attempt(ctx context.Context, op, wantOp byte, body []byte) (server.Frame, error) {
 	start := time.Now()
+	wireOp, wireBody := op, body
+	if c.tenant.Tenant != "" && server.QueueClass(op) {
+		wrapped, werr := server.EncodeTenant(c.tenant, op, body)
+		if werr != nil {
+			return server.Frame{}, fmt.Errorf("client: tenant envelope: %w", werr)
+		}
+		wireOp, wireBody = server.OpTenant, wrapped
+	}
 	cs, err := c.conn(ctx)
 	if err != nil {
 		return server.Frame{}, err
@@ -461,7 +518,7 @@ func (c *Client) attempt(ctx context.Context, op, wantOp byte, body []byte) (ser
 	cs.mu.Unlock()
 
 	cs.wmu.Lock()
-	werr := server.WriteFrame(cs.nc, server.Frame{Op: op, ID: id, Body: body})
+	werr := server.WriteFrame(cs.nc, server.Frame{Op: wireOp, ID: id, Body: wireBody})
 	cs.wmu.Unlock()
 	c.met.attempts.Inc()
 	if werr != nil {
@@ -486,6 +543,9 @@ func (c *Client) attempt(ctx context.Context, op, wantOp byte, body []byte) (ser
 		}
 		switch f.Op {
 		case server.OpShed:
+			if len(f.Body) >= 1 && f.Body[0] != 0 {
+				return server.Frame{}, &ShedError{Reason: f.Body[0]}
+			}
 			return server.Frame{}, ErrShed
 		case server.OpError:
 			code, msg, derr := server.DecodeError(f.Body)
@@ -494,6 +554,20 @@ func (c *Client) attempt(ctx context.Context, op, wantOp byte, body []byte) (ser
 				return server.Frame{}, fmt.Errorf("client: protocol desync: %w", derr)
 			}
 			return server.Frame{}, &ServerError{Code: code, Msg: msg}
+		}
+		if f.Op == server.OpMatchesPartial && wantOp == server.OpMatches {
+			// A gateway's scatter-gather answer. Complete coverage
+			// translates to a plain MATCHES; partial coverage is an
+			// explicit, non-retryable error carrying what was gathered.
+			partial, okSh, failSh, ms, derr := server.DecodeMatchesPartial(f.Body)
+			if derr != nil {
+				c.invalidate(cs)
+				return server.Frame{}, fmt.Errorf("client: protocol desync: %w", derr)
+			}
+			if partial {
+				return server.Frame{}, &PartialError{Matches: ms, ShardsOK: int(okSh), ShardsFailed: int(failSh)}
+			}
+			return server.Frame{Op: server.OpMatches, ID: f.ID, Body: server.EncodeMatches(ms)}, nil
 		}
 		if f.Op != wantOp {
 			// The stream answered with an opcode this request cannot

@@ -65,10 +65,13 @@ func PoolBreaker(failures int, cooldown time.Duration) PoolOption {
 	return func(p *Pool) { p.brkThreshold, p.brkCooldown = failures, cooldown }
 }
 
-// PoolProbe starts a background health prober: every interval, each
-// backend whose breaker is not closed is pinged (respecting the
+// PoolProbe starts a background health prober: each cycle sleeps a
+// FULL-JITTERED draw from (0, interval] — not a fixed ticker — then
+// pings every backend whose breaker is not closed (respecting the
 // breaker's half-open single-probe discipline), so dead backends are
-// rediscovered without taxing live traffic. 0 (the default) disables
+// rediscovered without taxing live traffic and a fleet of pools
+// sharing one configured interval cannot synchronise into a probe
+// storm against a recovering backend. 0 (the default) disables
 // probing; breakers then recover only via request-path probes.
 func PoolProbe(interval time.Duration) PoolOption {
 	return func(p *Pool) { p.probeEvery = interval }
@@ -99,9 +102,10 @@ type backend struct {
 }
 
 // settle feeds one attempt's outcome to the backend's breaker. An
-// authoritative server answer — success, ServerError, or SHED —
-// proves the backend alive; a caller-side cancellation proves
-// nothing; everything else is a transport failure.
+// authoritative server answer — success, ServerError, SHED, or a
+// gateway's explicit partial result — proves the backend alive; a
+// caller-side cancellation proves nothing; everything else is a
+// transport failure.
 func (b *backend) settle(parent context.Context, err error) {
 	switch {
 	case err == nil, errors.Is(err, ErrShed):
@@ -117,7 +121,8 @@ func (b *backend) settle(parent context.Context, err error) {
 
 func isServerError(err error) bool {
 	var se *ServerError
-	return errors.As(err, &se)
+	var pe *PartialError
+	return errors.As(err, &se) || errors.As(err, &pe)
 }
 
 // poolMetrics resolves the pool-level handles once.
@@ -128,9 +133,11 @@ type poolMetrics struct {
 }
 
 // Pool is a multi-backend scan-service client. Safe for concurrent
-// use.
+// use. The fleet substrate — per-backend clients, breakers, gauges
+// and the jittered health prober — lives in Backends; the Pool adds
+// round-robin selection and the failover retry loop.
 type Pool struct {
-	backends   []*backend
+	bs         *Backends
 	retries    int
 	boBase     time.Duration
 	boMax      time.Duration
@@ -155,8 +162,6 @@ type Pool struct {
 	next   int // round-robin cursor
 	closed bool
 
-	probeStop chan struct{}
-	probeDone chan struct{}
 	closeOnce sync.Once
 }
 
@@ -189,49 +194,27 @@ func NewPool(addrs []string, opts ...PoolOption) (*Pool, error) {
 		seed = time.Now().UnixNano()
 	}
 	p.rng = rand.New(rand.NewSource(seed))
-	for i, addr := range addrs {
-		copts := []Option{
-			WithMetrics(p.reg),       // shared: attempts/reconnects aggregate
-			WithRetries(0),           // the pool owns the retry budget
-			WithSeed(seed + int64(i) + 1),
-		}
-		if p.attemptTO > 0 {
-			copts = append(copts, WithAttemptTimeout(p.attemptTO))
-		}
-		copts = append(copts, p.clientOpts...)
-		gauge := p.reg.Gauge(fmt.Sprintf("client.backend.%d.breaker_state", i))
-		gauge.Set(int64(BreakerClosed))
-		p.backends = append(p.backends, &backend{
-			addr: addr,
-			c:    New(addr, copts...),
-			brk:  newBreaker(p.brkThreshold, p.brkCooldown, p.met.transitions, gauge),
-		})
+	bs, err := NewBackends(addrs, BackendsConfig{
+		Seed:            seed,
+		Registry:        p.reg,
+		BreakerFailures: p.brkThreshold,
+		BreakerCooldown: p.brkCooldown,
+		ProbeInterval:   p.probeEvery,
+		AttemptTimeout:  p.attemptTO,
+		ClientOptions:   p.clientOpts,
+	})
+	if err != nil {
+		return nil, err
 	}
-	if p.probeEvery > 0 {
-		p.probeStop = make(chan struct{})
-		p.probeDone = make(chan struct{})
-		go p.probeLoop()
-	}
+	p.bs = bs
 	return p, nil
 }
 
 // Addrs returns the backend addresses in pool order.
-func (p *Pool) Addrs() []string {
-	out := make([]string, len(p.backends))
-	for i, b := range p.backends {
-		out[i] = b.addr
-	}
-	return out
-}
+func (p *Pool) Addrs() []string { return p.bs.Addrs() }
 
 // States returns each backend's breaker state, in pool order.
-func (p *Pool) States() []BreakerState {
-	out := make([]BreakerState, len(p.backends))
-	for i, b := range p.backends {
-		out[i] = b.brk.current()
-	}
-	return out
-}
+func (p *Pool) States() []BreakerState { return p.bs.States() }
 
 // MetricsSnapshot returns the pool's resilience metrics snapshot.
 func (p *Pool) MetricsSnapshot() *metrics.Snapshot { return p.reg.Snapshot() }
@@ -246,10 +229,10 @@ func (p *Pool) pick() (*backend, error) {
 		return nil, ErrClosed
 	}
 	start := p.next
-	p.next = (p.next + 1) % len(p.backends)
+	p.next = (p.next + 1) % p.bs.Len()
 	p.mu.Unlock()
-	for i := 0; i < len(p.backends); i++ {
-		b := p.backends[(start+i)%len(p.backends)]
+	for i := 0; i < p.bs.Len(); i++ {
+		b := p.bs.members[(start+i)%p.bs.Len()]
 		if b.brk.allow() {
 			return b, nil
 		}
@@ -329,33 +312,6 @@ func (p *Pool) do(ctx context.Context, op, wantOp byte, body []byte, idempotent 
 	}
 }
 
-// probeLoop is the background health prober: tripped backends are
-// pinged each tick, respecting the breaker's single-probe discipline.
-func (p *Pool) probeLoop() {
-	defer close(p.probeDone)
-	t := time.NewTicker(p.probeEvery)
-	defer t.Stop()
-	for {
-		select {
-		case <-p.probeStop:
-			return
-		case <-t.C:
-			for _, b := range p.backends {
-				if b.brk.current() == BreakerClosed {
-					continue
-				}
-				if !b.brk.allow() {
-					continue
-				}
-				pctx, cancel := context.WithTimeout(context.Background(), p.probeEvery)
-				_, err := b.c.do(pctx, server.OpPing, server.OpPong, nil, false)
-				cancel()
-				b.settle(context.Background(), err)
-			}
-		}
-	}
-}
-
 // Close stops the prober and closes every backend connection.
 // Idempotent; in-flight requests fail.
 func (p *Pool) Close() error {
@@ -363,13 +319,7 @@ func (p *Pool) Close() error {
 		p.mu.Lock()
 		p.closed = true
 		p.mu.Unlock()
-		if p.probeStop != nil {
-			close(p.probeStop)
-			<-p.probeDone
-		}
-		for _, b := range p.backends {
-			b.c.Close()
-		}
+		p.bs.Close()
 	})
 	return nil
 }
@@ -451,7 +401,7 @@ func (p *Pool) RulesInfo() (server.Info, error) {
 // check RulesInfo per backend before re-issuing).
 func (p *Pool) ReloadCtx(ctx context.Context, rulesText string) (generation, rules uint32, err error) {
 	var errs []error
-	for _, b := range p.backends {
+	for _, b := range p.bs.members {
 		f, rerr := b.c.do(ctx, server.OpReload, server.OpReloadOK, []byte(rulesText), false)
 		b.settle(ctx, rerr)
 		if rerr != nil {

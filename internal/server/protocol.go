@@ -37,6 +37,7 @@ const (
 	OpRulesInfo   byte = 0x05 // empty body; describe the loaded rule snapshot
 	OpReload      byte = 0x06 // body = rules text (one RE per line); hot-swap the rule set
 	OpStats       byte = 0x07 // empty body; respond with the server metrics snapshot
+	OpTenant      byte = 0x08 // gateway envelope: tenant header + inner queue-class request
 )
 
 // Response opcodes (server → client; high bit set).
@@ -47,17 +48,53 @@ const (
 	OpInfo      byte = 0x85 // answers OpRulesInfo; body = generation + patterns
 	OpReloadOK  byte = 0x86 // answers OpReload; body = u32 generation, u32 rule count
 	OpStatsResp byte = 0x87 // answers OpStats; body = metrics snapshot JSON
-	OpError     byte = 0xE0 // any request; body = 1-byte code + utf-8 message
-	OpShed      byte = 0xEE // admission control rejected the request; empty body
+	// OpMatchesPartial answers a gateway scatter-gather OpScanPattern
+	// whose fan-out did not cover every shard: u8 flags, u16 shards
+	// answered, u16 shards missed, then a standard MATCHES body. A
+	// shard that failed or was excluded is always accounted here —
+	// never silently dropped.
+	OpMatchesPartial byte = 0x8A
+	OpError          byte = 0xE0 // any request; body = 1-byte code + utf-8 message
+	// OpShed: admission control rejected the request. The body is
+	// empty from a plain server; a gateway appends one optional reason
+	// byte (see ShedReason*). Either form is a SHED.
+	OpShed byte = 0xEE
 )
 
 // OpError body codes.
 const (
-	ErrCodeBadFrame byte = 1 // malformed or unparseable request body
-	ErrCodeCompile  byte = 2 // rule or ad-hoc pattern failed to compile
-	ErrCodeScan     byte = 3 // the scan itself failed (fault, timeout)
-	ErrCodeDraining byte = 4 // server is shutting down, not accepting work
+	ErrCodeBadFrame      byte = 1 // malformed or unparseable request body
+	ErrCodeCompile       byte = 2 // rule or ad-hoc pattern failed to compile
+	ErrCodeScan          byte = 3 // the scan itself failed (fault, timeout)
+	ErrCodeDraining      byte = 4 // server is shutting down, not accepting work
+	ErrCodeUnknownTenant byte = 5 // gateway: TENANT names a tenant it does not serve
 )
+
+// SHED reason codes, the optional single body byte of a gateway SHED.
+const (
+	ShedReasonQueue    byte = 1 // a backend's admission queue was full
+	ShedReasonQuota    byte = 2 // the tenant's rate quota was exhausted
+	ShedReasonFairQ    byte = 3 // the tenant's fair-queue slot was full (noisy tenant)
+	ShedReasonCapacity byte = 4 // no healthy shard accepted the work within the retry budget
+)
+
+// ShedReasonName spells a SHED reason for diagnostics; 0 is the plain
+// server's reasonless SHED.
+func ShedReasonName(r byte) string {
+	switch r {
+	case 0:
+		return "unspecified"
+	case ShedReasonQueue:
+		return "queue-full"
+	case ShedReasonQuota:
+		return "quota"
+	case ShedReasonFairQ:
+		return "fair-queue"
+	case ShedReasonCapacity:
+		return "capacity"
+	}
+	return fmt.Sprintf("reason-0x%02X", r)
+}
 
 // DefaultMaxFrame bounds one frame (opcode + id + body) unless the
 // server or client is configured otherwise: 1 MiB, comfortably above
@@ -326,6 +363,127 @@ func DecodeError(body []byte) (code byte, msg string, err error) {
 	return body[0], string(body[1:]), nil
 }
 
+// MaxTenantName bounds the tenant and namespace fields of a TENANT
+// envelope. The wire format could carry 255 bytes (u8 lengths); the
+// protocol caps both at 64 so a hostile header cannot bloat every
+// routing key, metric name and log line downstream.
+const MaxTenantName = 64
+
+// TenantHeader is the routing header of a TENANT envelope: which
+// tenant the inner request belongs to and which of its rule
+// namespaces it targets. Namespace may be empty (the tenant's default
+// namespace); Tenant may not.
+type TenantHeader struct {
+	Tenant    string
+	Namespace string
+}
+
+// Key returns the consistent-hashing routing key.
+func (h TenantHeader) Key() string { return h.Tenant + "/" + h.Namespace }
+
+// EncodeTenant serialises a TENANT envelope body: u8 tenant length,
+// tenant, u8 namespace length, namespace, u8 inner opcode, inner
+// body. Only queue-class opcodes (SCAN, COUNT, SCAN-PATTERN, RELOAD)
+// may be wrapped.
+func EncodeTenant(h TenantHeader, innerOp byte, innerBody []byte) ([]byte, error) {
+	if h.Tenant == "" {
+		return nil, fmt.Errorf("%w: empty tenant", ErrMalformedFrame)
+	}
+	if len(h.Tenant) > MaxTenantName || len(h.Namespace) > MaxTenantName {
+		return nil, fmt.Errorf("%w: tenant header field exceeds %d bytes", ErrMalformedFrame, MaxTenantName)
+	}
+	if !queueClassOp(innerOp) {
+		return nil, fmt.Errorf("%w: %s cannot carry a tenant header", ErrMalformedFrame, OpName(innerOp))
+	}
+	body := make([]byte, 0, 3+len(h.Tenant)+len(h.Namespace)+len(innerBody))
+	body = append(body, byte(len(h.Tenant)))
+	body = append(body, h.Tenant...)
+	body = append(body, byte(len(h.Namespace)))
+	body = append(body, h.Namespace...)
+	body = append(body, innerOp)
+	body = append(body, innerBody...)
+	return body, nil
+}
+
+// DecodeTenant parses a TENANT envelope body; innerBody aliases body.
+func DecodeTenant(body []byte) (h TenantHeader, innerOp byte, innerBody []byte, err error) {
+	if len(body) < 1 {
+		return h, 0, nil, fmt.Errorf("%w: empty tenant envelope", ErrMalformedFrame)
+	}
+	tlen := int(body[0])
+	if tlen == 0 {
+		return h, 0, nil, fmt.Errorf("%w: empty tenant", ErrMalformedFrame)
+	}
+	if tlen > MaxTenantName {
+		return h, 0, nil, fmt.Errorf("%w: tenant %d bytes exceeds %d", ErrMalformedFrame, tlen, MaxTenantName)
+	}
+	if len(body) < 1+tlen+1 {
+		return h, 0, nil, fmt.Errorf("%w: tenant envelope truncated in tenant", ErrMalformedFrame)
+	}
+	h.Tenant = string(body[1 : 1+tlen])
+	rest := body[1+tlen:]
+	nlen := int(rest[0])
+	if nlen > MaxTenantName {
+		return TenantHeader{}, 0, nil, fmt.Errorf("%w: namespace %d bytes exceeds %d", ErrMalformedFrame, nlen, MaxTenantName)
+	}
+	if len(rest) < 1+nlen+1 {
+		return TenantHeader{}, 0, nil, fmt.Errorf("%w: tenant envelope truncated in namespace", ErrMalformedFrame)
+	}
+	h.Namespace = string(rest[1 : 1+nlen])
+	innerOp = rest[1+nlen]
+	if !queueClassOp(innerOp) {
+		return TenantHeader{}, 0, nil, fmt.Errorf("%w: tenant envelope wraps %s", ErrMalformedFrame, OpName(innerOp))
+	}
+	return h, innerOp, rest[1+nlen+1:], nil
+}
+
+// QueueClass reports whether op passes admission control into the
+// worker queue — the class a TENANT envelope may wrap. PING,
+// RULES-INFO and STATS answer inline and carry no tenant header.
+func QueueClass(op byte) bool {
+	switch op {
+	case OpScan, OpCount, OpScanPattern, OpReload:
+		return true
+	}
+	return false
+}
+
+func queueClassOp(op byte) bool { return QueueClass(op) }
+
+// PartialFlag bits of a MATCHES-PARTIAL body.
+const partialFlagPartial byte = 1 << 0
+
+// EncodeMatchesPartial serialises an OpMatchesPartial body: u8 flags
+// (bit 0: at least one shard is missing from the result), u16 shards
+// answered, u16 shards missed, then the standard MATCHES body.
+func EncodeMatchesPartial(partial bool, shardsOK, shardsFailed uint16, ms []RuleMatch) []byte {
+	inner := EncodeMatches(ms)
+	body := make([]byte, 5+len(inner))
+	if partial {
+		body[0] |= partialFlagPartial
+	}
+	binary.BigEndian.PutUint16(body[1:3], shardsOK)
+	binary.BigEndian.PutUint16(body[3:5], shardsFailed)
+	copy(body[5:], inner)
+	return body
+}
+
+// DecodeMatchesPartial parses an OpMatchesPartial body.
+func DecodeMatchesPartial(body []byte) (partial bool, shardsOK, shardsFailed uint16, ms []RuleMatch, err error) {
+	if len(body) < 5 {
+		return false, 0, 0, nil, fmt.Errorf("%w: matches-partial body %d bytes", ErrMalformedFrame, len(body))
+	}
+	if body[0]&^partialFlagPartial != 0 {
+		return false, 0, 0, nil, fmt.Errorf("%w: matches-partial unknown flags 0x%02X", ErrMalformedFrame, body[0])
+	}
+	ms, err = DecodeMatches(body[5:])
+	if err != nil {
+		return false, 0, 0, nil, err
+	}
+	return body[0]&partialFlagPartial != 0,
+		binary.BigEndian.Uint16(body[1:3]), binary.BigEndian.Uint16(body[3:5]), ms, nil
+}
+
 // OpName returns the opcode's protocol name, for diagnostics.
 func OpName(op byte) string {
 	switch op {
@@ -343,6 +501,8 @@ func OpName(op byte) string {
 		return "RELOAD"
 	case OpStats:
 		return "STATS"
+	case OpTenant:
+		return "TENANT"
 	case OpPong:
 		return "PONG"
 	case OpMatches:
@@ -355,6 +515,8 @@ func OpName(op byte) string {
 		return "RELOAD-OK"
 	case OpStatsResp:
 		return "STATS-RESP"
+	case OpMatchesPartial:
+		return "MATCHES-PARTIAL"
 	case OpError:
 		return "ERROR"
 	case OpShed:
