@@ -636,6 +636,9 @@ func (g *Gateway) dispatch(c *conn, f server.Frame) {
 	}}
 	if !g.fq.push(hdr.Tenant, j) {
 		c.pending.Done()
+		// Refund the quota token: a fair-queue shed must not also
+		// burn the tenant's contracted rate.
+		ts.quota.give()
 		g.shedReply(c, f.ID, ts, server.ShedReasonFairQ)
 		return
 	}
@@ -681,7 +684,14 @@ func (g *Gateway) routeSingle(c *conn, ts *tenantState, key string, op, wantOp b
 		if attempt > 0 && attempt%len(order) == 0 {
 			// A full pass over the fleet failed; back off briefly
 			// (full jitter) before the next pass instead of spinning.
-			g.sleepJitter(time.Duration(1<<uint(attempt/len(order))) * time.Millisecond)
+			// The exponent is capped so a large retry budget over a
+			// small fleet cannot overflow the shift into a negative or
+			// multi-year sleep.
+			exp := attempt / len(order)
+			if exp > 10 {
+				exp = 10 // 2^10 ms ≈ 1s ceiling per inter-pass backoff
+			}
+			g.sleepJitter(time.Duration(1<<uint(exp)) * time.Millisecond)
 		}
 		if !g.bs.Acquire(idx) {
 			continue
@@ -720,6 +730,10 @@ func (g *Gateway) routeSingle(c *conn, ts *tenantState, key string, op, wantOp b
 func (g *Gateway) scatterGather(c *conn, ts *tenantState, body []byte, id uint32) {
 	n := g.bs.Len()
 	legs := make([][]server.RuleMatch, n)
+	// ok and failed are tracked separately from legs: a healthy shard
+	// can legitimately answer an empty MATCHES body (legs[i] == nil),
+	// which must count as coverage, not as a failed leg.
+	ok := make([]bool, n)
 	failed := make([]bool, n)
 	var authErr atomic.Pointer[client.ServerError]
 	var wg sync.WaitGroup
@@ -736,7 +750,10 @@ func (g *Gateway) scatterGather(c *conn, ts *tenantState, body []byte, id uint32
 			f, err := g.bs.Do(ctx, i, server.OpScanPattern, server.OpMatches, body)
 			if err != nil {
 				var se *client.ServerError
-				if errors.As(err, &se) {
+				if errors.As(err, &se) && se.Code != server.ErrCodeDraining {
+					// Authoritative rejection (compile error, bad
+					// frame). A draining shard is transient — it counts
+					// as a failed leg, not a fleet-wide verdict.
 					authErr.Store(se)
 				}
 				failed[i] = true
@@ -748,6 +765,7 @@ func (g *Gateway) scatterGather(c *conn, ts *tenantState, body []byte, id uint32
 				return
 			}
 			legs[i] = ms
+			ok[i] = true
 		}(i)
 	}
 	wg.Wait()
@@ -760,7 +778,7 @@ func (g *Gateway) scatterGather(c *conn, ts *tenantState, body []byte, id uint32
 	var shardsOK, shardsFailed uint16
 	merged := make(map[server.RuleMatch]struct{})
 	for i := 0; i < n; i++ {
-		if failed[i] || legs[i] == nil {
+		if failed[i] || !ok[i] {
 			shardsFailed++
 			continue
 		}
@@ -824,15 +842,19 @@ func (g *Gateway) reloadAll(c *conn, ts *tenantState, body []byte, id uint32) {
 	wg.Wait()
 	var fails []string
 	var gen, rules uint32
+	seen := false
 	for i, r := range results {
 		if r.err != nil {
 			fails = append(fails, fmt.Sprintf("shard %d (%s): %v", i, g.bs.Addr(i), r.err))
 			continue
 		}
-		if r.gen > gen {
-			gen = r.gen
+		// Report the (generation, rules) pair from the shard with the
+		// highest generation so the two values stay consistent even if
+		// shards were at different generations before the reload.
+		if !seen || r.gen > gen {
+			gen, rules = r.gen, r.rules
+			seen = true
 		}
-		rules = r.rules
 	}
 	if len(fails) > 0 {
 		g.replyErr(c, id, ts, server.ErrCodeScan,

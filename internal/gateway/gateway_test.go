@@ -378,6 +378,47 @@ func TestGatewayScatterGather(t *testing.T) {
 	}
 }
 
+// A valid pattern that matches nothing must answer plain MATCHES with
+// zero matches from a healthy fleet — an empty reply is coverage, not
+// a failed leg, so it must never degrade to SHED or partial.
+func TestGatewayScatterGatherNoMatches(t *testing.T) {
+	_, s0 := startShard(t, server.Config{})
+	_, s1 := startShard(t, server.Config{})
+	dead, s2 := startShard(t, server.Config{})
+	_, gaddr := startGateway(t, gateway.Config{
+		Backends:     []string{s0, s1, s2},
+		ShardTimeout: time.Second,
+	})
+
+	c := client.New(gaddr, client.WithTenant("t0", "ns"))
+	defer c.Close()
+	payload := []byte("nothing here matches")
+	got, err := c.ScanPattern(`zzz-never-present`, payload)
+	if err != nil {
+		t.Fatalf("gateway ScanPattern with zero matches: %v (want empty MATCHES)", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("zero-match pattern returned %d matches: %v", len(got), got)
+	}
+
+	// With one shard dark the same pattern is partial with explicit
+	// accounting — still not a SHED.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	dead.Shutdown(ctx)
+	cancel()
+	_, err = c.ScanPattern(`zzz-never-present`, payload)
+	var pe *client.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("zero-match with dead shard: got %v, want PartialError", err)
+	}
+	if pe.ShardsOK != 2 || pe.ShardsFailed != 1 {
+		t.Errorf("partial accounting %d ok / %d failed, want 2/1", pe.ShardsOK, pe.ShardsFailed)
+	}
+	if len(pe.Matches) != 0 {
+		t.Errorf("zero-match partial carried %d matches", len(pe.Matches))
+	}
+}
+
 // RELOAD fans out to every replica; a fleet with a dead shard reports
 // divergence instead of claiming success.
 func TestGatewayReloadFanout(t *testing.T) {

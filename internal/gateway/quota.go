@@ -58,3 +58,19 @@ func (tb *tokenBucket) take() bool {
 	tb.tokens--
 	return true
 }
+
+// give returns one token taken by take(), for callers whose request
+// was rejected by a later admission stage (e.g. the fair queue) — a
+// shed request should not also burn rate quota. Capped at burst so a
+// spurious give cannot mint capacity.
+func (tb *tokenBucket) give() {
+	if tb.rate <= 0 {
+		return
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.tokens++
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+}

@@ -59,6 +59,46 @@ func TestQuotaUnlimited(t *testing.T) {
 	}
 }
 
+func TestQuotaGiveRefunds(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tb := newTokenBucket(10, 2)
+	tb.now = clk.now
+
+	// Drain the burst, refund one: exactly one more take is admitted.
+	tb.take()
+	tb.take()
+	if tb.take() {
+		t.Fatal("take past burst admitted")
+	}
+	tb.give()
+	if !tb.take() {
+		t.Fatal("take after give refused")
+	}
+	if tb.take() {
+		t.Fatal("second take after single give admitted")
+	}
+
+	// give never mints past the burst cap.
+	tb.give()
+	tb.give()
+	tb.give()
+	tb.give()
+	admitted := 0
+	for tb.take() {
+		admitted++
+	}
+	if admitted != 2 {
+		t.Fatalf("admitted %d after over-giving, want burst cap 2", admitted)
+	}
+
+	// give on an unlimited bucket is a no-op, not a panic.
+	unl := newTokenBucket(0, 1)
+	unl.give()
+	if !unl.take() {
+		t.Fatal("unlimited bucket refused after give")
+	}
+}
+
 func TestQuotaMinimumBurst(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}
 	tb := newTokenBucket(1, 0) // burst raised to 1
