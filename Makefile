@@ -58,12 +58,16 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzStreamChunking -fuzztime 30s .
 
 ## fuzzsmoke: 30-second smoke of each fuzzer — the chunking
-## differential, the fault-injection offset/prefix invariants and the
-## lazy-DFA fast-vs-slow cross-check.
+## differential, the fault-injection offset/prefix invariants, the
+## lazy-DFA fast-vs-slow cross-check, and the service protocol
+## (SCAN-BATCH item isolation, session framing vs one-shot scans plus
+## garbage-frame robustness).
 fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz FuzzStreamChunking -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzFaultInjection -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzLazyDFA -fuzztime 30s .
+	$(GO) test -run '^$$' -fuzz FuzzScanBatch -fuzztime 30s .
+	$(GO) test -run '^$$' -fuzz FuzzSessionFraming -fuzztime 30s .
 
 ## leakcheck: the guardrail tests carry goroutine-leak assertions
 ## (leakCheck in faultmatrix_test.go and the scan-service drain tests);

@@ -1,0 +1,391 @@
+// Service-protocol benchmarks for PR 8's batched and streaming paths:
+// the batch amortisation win (SCAN-BATCH vs one SCAN per record on
+// 64-256 byte payloads) and streaming-session throughput. The
+// committed snapshot BENCH_008.json records the numbers, continuing
+// the BENCH_006 (engine) / BENCH_007 (fleet) trajectory.
+//
+// Unlike the fleet benchmark there is NO artificial service-time
+// floor here: the whole point is the protocol overhead that batching
+// amortises — framing, admission, queue dispatch, syscalls — measured
+// against the real engine's scan cost. Both sides of the comparison
+// run the same records through the same server with the same
+// connection count and pipelining depth; only the framing differs.
+package alveare_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"alveare/internal/server"
+	"alveare/internal/server/client"
+)
+
+// benchSessionFile is the committed protocol-throughput snapshot,
+// regenerated with ALVEARE_BENCH_SNAPSHOT=update and shape-checked
+// with ALVEARE_BENCH_SNAPSHOT=1 (wall-clock, machine-specific, same
+// caveat as BENCH_006/007).
+const benchSessionFile = "BENCH_008.json"
+
+const (
+	benchSessConns    = 4
+	benchSessInflight = 8
+	benchSessRecords  = 20000
+)
+
+// benchSessRules is a small request-log rule set; cheap enough that
+// the protocol overhead is visible (the quantity batching amortises),
+// real enough that the scan side is not a no-op. On the single-core
+// CI box every scan competes with the protocol path for the same CPU,
+// so a heavy rule set would measure the engine, not the framing.
+var benchSessRules = []string{
+	"ERROR|FATAL",
+	"status=[45][0-9][0-9]",
+}
+
+type benchSessionResult struct {
+	Mode       string  `json:"mode"`
+	Records    int64   `json:"records"`
+	Frames     int64   `json:"frames"`
+	Seconds    float64 `json:"seconds"`
+	RecsPerSec float64 `json:"records_per_sec"`
+	MBPerSec   float64 `json:"mb_per_sec"`
+	P50us      int64   `json:"p50_us"`
+	P99us      int64   `json:"p99_us"`
+}
+
+type benchSessionSnapshot struct {
+	Schema   int                  `json:"schema"`
+	Workload string               `json:"workload"`
+	Modes    []benchSessionResult `json:"modes"`
+	// BatchSpeedup is the headline claim: record throughput of
+	// 64-record SCAN-BATCH frames over one-SCAN-per-record, same
+	// records, connections and pipelining.
+	BatchSpeedup float64 `json:"batch_speedup_vs_scan"`
+	// StreamMBPerSec is the sustained SESSION-DATA throughput.
+	StreamMBPerSec float64 `json:"stream_mb_per_sec"`
+}
+
+// benchSessCorpus builds seeded log-like records in the 64-256 byte
+// band the batch path targets.
+func benchSessCorpus(n int, seed int64) ([][]byte, int64) {
+	rng := rand.New(rand.NewSource(seed))
+	methods := []string{"GET", "POST", "PUT", "DELETE"}
+	paths := []string{"/api/v1/scan", "/index/html", "/a/b/c", "/health"}
+	var corpus [][]byte
+	var total int64
+	for i := 0; i < n; i++ {
+		line := fmt.Sprintf("%s %s?q=%d status=%d agent=\"probe/%d\" rt=%dus",
+			methods[rng.Intn(len(methods))], paths[rng.Intn(len(paths))],
+			rng.Intn(100000), 200+rng.Intn(400), rng.Intn(10), rng.Intn(500000))
+		for len(line) < 64+rng.Intn(193) {
+			line += " pad" + fmt.Sprint(rng.Intn(1000))
+		}
+		corpus = append(corpus, []byte(line))
+		total += int64(len(line))
+	}
+	return corpus, total
+}
+
+// benchSessServer boots the shared server and dials the slot clients.
+func benchSessServer(t *testing.T) []*client.Client {
+	t.Helper()
+	srv, err := server.New(server.Config{Rules: benchSessRules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	var clients []*client.Client
+	for i := 0; i < benchSessConns; i++ {
+		c, err := client.Dial(ln.Addr().String(), client.WithRetries(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		clients = append(clients, c)
+	}
+	return clients
+}
+
+// measureFrames drives a closed loop of frames for the duration:
+// every slot keeps issuing the next frame (a batch slice or a single
+// record) as soon as the previous answer lands. issue returns the
+// record count the frame carried.
+func measureFrames(t *testing.T, clients []*client.Client, mode string,
+	corpus [][]byte, recBytes int64, batch int) benchSessionResult {
+	t.Helper()
+	var frames [][][]byte
+	for off := 0; off < len(corpus); off += batch {
+		end := off + batch
+		if end > len(corpus) {
+			end = len(corpus)
+		}
+		frames = append(frames, corpus[off:end])
+	}
+	issue := func(c *client.Client, items [][]byte) (int64, error) {
+		if batch == 1 {
+			_, err := c.Scan(items[0])
+			return 1, err
+		}
+		res, err := c.ScanBatch(items)
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range res {
+			if r.Err != nil {
+				return 0, r.Err
+			}
+		}
+		return int64(len(items)), nil
+	}
+
+	type slot struct {
+		c     *client.Client
+		lats  []time.Duration
+		recs  int64
+		sent  int64
+		bytes int64
+	}
+	var slots []*slot
+	for _, c := range clients {
+		for k := 0; k < benchSessInflight; k++ {
+			slots = append(slots, &slot{c: c})
+		}
+	}
+	run := func(d time.Duration, record bool) {
+		deadline := time.Now().Add(d)
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		errCh := make(chan error, len(slots))
+		for _, s := range slots {
+			wg.Add(1)
+			go func(s *slot) {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					fi := int(cursor.Add(1)-1) % len(frames)
+					items := frames[fi]
+					t0 := time.Now()
+					n, err := issue(s.c, items)
+					if err != nil {
+						if errors.Is(err, client.ErrShed) {
+							continue
+						}
+						errCh <- fmt.Errorf("%s: %w", mode, err)
+						return
+					}
+					if record {
+						s.lats = append(s.lats, time.Since(t0))
+						s.recs += n
+						s.sent++
+						for _, it := range items {
+							s.bytes += int64(len(it))
+						}
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatal(err)
+		}
+	}
+	run(300*time.Millisecond, false) // warmup
+	start := time.Now()
+	run(1200*time.Millisecond, true)
+	elapsed := time.Since(start).Seconds()
+
+	res := benchSessionResult{Mode: mode, Seconds: elapsed}
+	var all []time.Duration
+	var bytes int64
+	for _, s := range slots {
+		res.Records += s.recs
+		res.Frames += s.sent
+		bytes += s.bytes
+		all = append(all, s.lats...)
+	}
+	if res.Records == 0 {
+		t.Fatalf("%s: no records completed", mode)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	quantile := func(q float64) int64 {
+		return all[int(q*float64(len(all)-1))].Microseconds()
+	}
+	res.P50us, res.P99us = quantile(0.50), quantile(0.99)
+	res.RecsPerSec = float64(res.Records) / elapsed
+	res.MBPerSec = float64(bytes) / elapsed / (1 << 20)
+	return res
+}
+
+// measureStream drives one streaming session per connection, pushing
+// 64 KiB SESSION-DATA frames of the flattened corpus for the
+// duration, and reports sustained MB/s.
+func measureStream(t *testing.T, clients []*client.Client, corpus [][]byte) benchSessionResult {
+	t.Helper()
+	var flat []byte
+	for _, rec := range corpus {
+		flat = append(flat, rec...)
+	}
+	const chunk = 64 << 10
+
+	type slot struct {
+		c     *client.Client
+		lats  []time.Duration
+		bytes int64
+		sent  int64
+	}
+	var slots []*slot
+	for _, c := range clients {
+		slots = append(slots, &slot{c: c})
+	}
+	run := func(d time.Duration, record bool) {
+		deadline := time.Now().Add(d)
+		var wg sync.WaitGroup
+		errCh := make(chan error, len(slots))
+		for _, s := range slots {
+			wg.Add(1)
+			go func(s *slot) {
+				defer wg.Done()
+				sess, err := s.c.OpenSession(0)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				off := 0
+				for time.Now().Before(deadline) {
+					end := off + chunk
+					if end > len(flat) {
+						end = len(flat)
+					}
+					t0 := time.Now()
+					_, _, err := sess.Write(flat[off:end])
+					if err != nil {
+						if errors.Is(err, client.ErrShed) {
+							continue
+						}
+						errCh <- fmt.Errorf("stream: %w", err)
+						return
+					}
+					if record {
+						s.lats = append(s.lats, time.Since(t0))
+						s.bytes += int64(end - off)
+						s.sent++
+					}
+					off = end
+					if off >= len(flat) {
+						off = 0
+					}
+				}
+				if _, _, err := sess.Close(); err != nil {
+					errCh <- fmt.Errorf("stream close: %w", err)
+				}
+			}(s)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatal(err)
+		}
+	}
+	run(300*time.Millisecond, false)
+	start := time.Now()
+	run(1200*time.Millisecond, true)
+	elapsed := time.Since(start).Seconds()
+
+	res := benchSessionResult{Mode: "stream-64KiB", Seconds: elapsed}
+	var all []time.Duration
+	var bytes int64
+	for _, s := range slots {
+		bytes += s.bytes
+		res.Frames += s.sent
+		all = append(all, s.lats...)
+	}
+	if bytes == 0 {
+		t.Fatal("stream: no bytes pushed")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	quantile := func(q float64) int64 {
+		return all[int(q*float64(len(all)-1))].Microseconds()
+	}
+	res.P50us, res.P99us = quantile(0.50), quantile(0.99)
+	res.MBPerSec = float64(bytes) / elapsed / (1 << 20)
+	return res
+}
+
+// TestBenchSessionSnapshot regenerates (ALVEARE_BENCH_SNAPSHOT=update)
+// or checks (ALVEARE_BENCH_SNAPSHOT=1) the committed BENCH_008.json.
+// The check asserts the snapshot's claims, not this machine's clock:
+// >= 3x record throughput for 64-record batches over per-record SCAN,
+// and a non-trivial sustained streaming rate.
+func TestBenchSessionSnapshot(t *testing.T) {
+	mode := os.Getenv("ALVEARE_BENCH_SNAPSHOT")
+	if mode == "" {
+		t.Skip("wall-clock snapshot; run with ALVEARE_BENCH_SNAPSHOT=1 (check) or =update (regenerate)")
+	}
+
+	if mode == "update" {
+		corpus, total := benchSessCorpus(benchSessRecords, 2026)
+		clients := benchSessServer(t)
+		snap := benchSessionSnapshot{
+			Schema: 1,
+			Workload: fmt.Sprintf(
+				"%d seeded log records, %d bytes total (64-256 B band), %d rules, %d conns x %d in flight, no service-time floor",
+				benchSessRecords, total, len(benchSessRules), benchSessConns, benchSessInflight),
+		}
+		scan := measureFrames(t, clients, "scan-per-record", corpus, total, 1)
+		batch := measureFrames(t, clients, "batch-64", corpus, total, 64)
+		stream := measureStream(t, clients, corpus)
+		snap.Modes = []benchSessionResult{scan, batch, stream}
+		snap.BatchSpeedup = batch.RecsPerSec / scan.RecsPerSec
+		snap.StreamMBPerSec = stream.MBPerSec
+		raw, err := json.MarshalIndent(&snap, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(benchSessionFile, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range snap.Modes {
+			t.Logf("%s: %.0f records/s (%.2f MB/s), p50 %dus p99 %dus over %d frames",
+				m.Mode, m.RecsPerSec, m.MBPerSec, m.P50us, m.P99us, m.Frames)
+		}
+		t.Logf("batch speedup %.2fx; stream %.2f MB/s", snap.BatchSpeedup, snap.StreamMBPerSec)
+		return
+	}
+
+	raw, err := os.ReadFile(benchSessionFile)
+	if err != nil {
+		t.Fatalf("%v (regenerate with ALVEARE_BENCH_SNAPSHOT=update)", err)
+	}
+	var snap benchSessionSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Modes) != 3 {
+		t.Fatalf("snapshot shape: %d mode rows, want 3", len(snap.Modes))
+	}
+	for _, m := range snap.Modes {
+		if m.Frames == 0 || m.MBPerSec <= 0 {
+			t.Errorf("%s: empty measurement recorded", m.Mode)
+		}
+	}
+	if snap.BatchSpeedup < 3 {
+		t.Errorf("recorded batch speedup %.2fx, want >= 3x", snap.BatchSpeedup)
+	}
+	if snap.StreamMBPerSec <= 1 {
+		t.Errorf("recorded stream throughput %.2f MB/s, want > 1", snap.StreamMBPerSec)
+	}
+}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"alveare/internal/metrics"
+	"alveare/internal/server"
+	"alveare/internal/server/client"
+)
+
+// TestGenCorpusDeterministic: the replay corpus is a pure function of
+// (style, records, seed) — two builds replay byte-identical traffic —
+// and its records sit in the documented size bands.
+func TestGenCorpusDeterministic(t *testing.T) {
+	for _, style := range []string{"log", "pcap"} {
+		a, abytes, err := genCorpus(style, 200, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", style, err)
+		}
+		b, bbytes, err := genCorpus(style, 200, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", style, err)
+		}
+		if len(a) != 200 || len(b) != 200 || abytes != bbytes {
+			t.Fatalf("%s: %d/%d records, %d/%d bytes", style, len(a), len(b), abytes, bbytes)
+		}
+		lo, hi := 64, 256
+		if style == "pcap" {
+			hi = 1400
+		}
+		for i := range a {
+			if !bytes.Equal(a[i], b[i]) {
+				t.Fatalf("%s: record %d differs between same-seed runs", style, i)
+			}
+			if len(a[i]) < lo || len(a[i]) > hi {
+				t.Fatalf("%s: record %d is %d bytes, want [%d,%d]", style, i, len(a[i]), lo, hi)
+			}
+		}
+		c, _, err := genCorpus(style, 200, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for i := range a {
+			if !bytes.Equal(a[i], c[i]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced an identical corpus", style)
+		}
+	}
+	if _, _, err := genCorpus("har", 10, 1); err == nil {
+		t.Fatal("unknown style accepted")
+	}
+	if _, _, err := genCorpus("log", 0, 1); err == nil {
+		t.Fatal("zero records accepted")
+	}
+}
+
+// TestReportReplayGolden pins the replay report rendering byte for
+// byte. Regenerate with -update.
+func TestReportReplayGolden(t *testing.T) {
+	spec := replaySpec{style: "log", batch: 64, corpus: make([][]byte, 10000),
+		bytes: 1600000, seed: 2024}
+	s := summary{
+		Op:       spec.opLabel(),
+		Target:   "127.0.0.1:7171",
+		Conns:    4,
+		Inflight: 4,
+		Elapsed:  1200 * time.Millisecond,
+		Payload:  10190, // avg bytes per answered frame
+		Replay:   spec.note(),
+		Tally: tally{
+			Requests: 157,
+			OK:       155,
+			Shed:     2,
+			Matches:  31007,
+			Retries:  2,
+		},
+	}
+	var buf bytes.Buffer
+	writeReport(&buf, s)
+	checkGolden(t, filepath.Join("testdata", "report_replay.txt"), buf.Bytes())
+	for _, want := range []string{
+		"replay-batch", "replay log corpus records=10000 bytes=1600000 batch=64 seed=2024",
+		"requests=157", "shed=2", "matches=31007",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("replay report missing %q:\n%s", want, buf.String())
+		}
+	}
+	stream := replaySpec{style: "pcap", batch: 64, chunk: 4096}
+	if stream.opLabel() != "replay-stream" {
+		t.Fatalf("stream opLabel = %q", stream.opLabel())
+	}
+	scan := replaySpec{style: "log", batch: 1}
+	if scan.opLabel() != "replay-scan" {
+		t.Fatalf("scan opLabel = %q", scan.opLabel())
+	}
+}
+
+// TestReplayEndToEnd replays one seeded log corpus against a real
+// server in all three modes. Batch and per-record scan must account
+// every record with zero loss and agree on the total match count (the
+// amortisation must not change results); stream mode must drain
+// cleanly and leave no session behind.
+func TestReplayEndToEnd(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Rules: []string{"(GET|POST|PUT|DELETE) /[a-z0-9/]+", "ERROR", "status=[0-9]+"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	corpus, total, err := genCorpus("log", 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(t *testing.T, spec replaySpec) tally {
+		t.Helper()
+		var slots []replaySlot
+		for i := 0; i < 2; i++ {
+			c, err := client.Dial(ln.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { c.Close() })
+			slots = append(slots, replaySlot{c: c}, replaySlot{c: c})
+		}
+		lat := metrics.New().Histogram("client.latency_us")
+		var counts [5]atomic.Int64
+		var requests, matches int64
+		replayRun(context.Background(), slots, spec, 2,
+			time.Millisecond, 10*time.Millisecond, lat, &counts, &requests, &matches)
+		tl := tally{
+			Requests:       requests,
+			OK:             counts[outcomeOK].Load(),
+			Shed:           counts[outcomeShed].Load(),
+			RetryExhausted: counts[outcomeRetryExhausted].Load(),
+			Transport:      counts[outcomeTransport].Load(),
+			ServerErrs:     counts[outcomeServerErr].Load(),
+			Matches:        matches,
+		}
+		if tl.failures() != 0 {
+			t.Fatalf("replay lost work: %+v", tl)
+		}
+		return tl
+	}
+
+	spec := replaySpec{style: "log", corpus: corpus, bytes: total, seed: 11}
+
+	spec.batch = 32
+	batch := run(t, spec)
+	wantFrames := int64((len(corpus) + 31) / 32)
+	if batch.OK != wantFrames {
+		t.Fatalf("batch mode answered %d frames, want %d", batch.OK, wantFrames)
+	}
+
+	spec.batch = 1
+	scan := run(t, spec)
+	if scan.OK != int64(len(corpus)) {
+		t.Fatalf("scan mode answered %d records, want %d", scan.OK, len(corpus))
+	}
+	if batch.Matches != scan.Matches {
+		t.Fatalf("amortisation changed results: batch saw %d matches, per-record scan %d",
+			batch.Matches, scan.Matches)
+	}
+	if batch.Matches == 0 {
+		t.Fatal("corpus produced no matches; the comparison is vacuous")
+	}
+
+	spec.batch = 32
+	spec.chunk = 512
+	stream := run(t, spec)
+	if stream.OK == 0 || stream.Matches == 0 {
+		t.Fatalf("stream mode did no work: %+v", stream)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.SessionCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream replay left %d sessions open", srv.SessionCount())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

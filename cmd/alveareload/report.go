@@ -115,6 +115,7 @@ type summary struct {
 	Elapsed  time.Duration
 	Payload  int
 	Chaos    string // scenario spec + seed note, empty when no chaos
+	Replay   string // replay corpus note, empty in closed-loop mode
 	Tally    tally
 	Tenants  []tenantRow // per-tenant outcome split (tenant mode only)
 
@@ -130,6 +131,9 @@ func writeReport(w io.Writer, s summary) {
 		s.Op, s.Elapsed.Round(time.Millisecond), s.Target, s.Conns, s.Inflight)
 	if s.Chaos != "" {
 		fmt.Fprintf(w, "  chaos %s\n", s.Chaos)
+	}
+	if s.Replay != "" {
+		fmt.Fprintf(w, "  replay %s\n", s.Replay)
 	}
 	tl := s.Tally
 	fmt.Fprintf(w, "  requests=%d ok=%d shed=%d retry_exhausted=%d transport=%d server_errors=%d matches=%d\n",

@@ -1,0 +1,172 @@
+// Fuzzers for the batched and streaming service protocol, both run as
+// 30-second smokes by `make fuzzsmoke`:
+//
+//   - FuzzScanBatch: arbitrary payloads split into arbitrary item
+//     sizes; every SCAN-BATCH item's matches must equal a local
+//     one-shot scan of that item.
+//   - FuzzSessionFraming: arbitrary payloads pushed through a session
+//     in arbitrary frame splits must reproduce the one-shot scan
+//     (the overlap is opened wider than the payload, so no blind
+//     spot applies); and raw garbage bodies on SESSION-DATA /
+//     SESSION-CLOSE frames must come back as clean typed errors
+//     without desyncing or killing the connection.
+//
+// Both share one real TCP server per fuzz target, torn down with it;
+// iterations are sequential, so one client and one raw connection
+// serve the whole run.
+package alveare_test
+
+import (
+	"net"
+	"testing"
+
+	"alveare/internal/core"
+	"alveare/internal/server"
+	"alveare/internal/server/client"
+)
+
+// fuzzSessionOverlap is opened wider than any accepted fuzz payload,
+// so the one-shot scan is a valid oracle for every chunking.
+const fuzzSessionOverlap = 4096
+
+// fuzzMaxData caps fuzz payloads below the session overlap.
+const fuzzMaxData = 2048
+
+// startFuzzService boots the shared server plus a client, a raw
+// connection and the local oracle rule set for one fuzz target.
+func startFuzzService(f *testing.F) (*client.Client, net.Conn, *core.RuleSet) {
+	f.Helper()
+	srv, err := server.New(server.Config{Rules: diffSessRules})
+	if err != nil {
+		f.Fatalf("server.New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		f.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	f.Cleanup(func() { srv.Close() })
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		f.Fatalf("dial: %v", err)
+	}
+	f.Cleanup(func() { c.Close() })
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		f.Fatalf("raw dial: %v", err)
+	}
+	f.Cleanup(func() { raw.Close() })
+	return c, raw, diffLocalRuleSet(f, 0)
+}
+
+// FuzzScanBatch cross-checks SCAN-BATCH against per-item one-shot
+// scans for arbitrary payloads and arbitrary item splits.
+func FuzzScanBatch(f *testing.F) {
+	c, _, rs := startFuzzService(f)
+	f.Add([]byte("abcneedlex12y GET /a/b aabbaaab"), uint16(5))
+	f.Add([]byte("abbbbbbbbbbbbbbbbc"), uint16(1))
+	f.Add([]byte(""), uint16(40))
+	f.Fuzz(func(t *testing.T, data []byte, split uint16) {
+		if len(data) > 2*fuzzMaxData {
+			t.Skip("oversized")
+		}
+		size := 1 + int(split)%127
+		var items [][]byte
+		for off := 0; off < len(data); off += size {
+			end := off + size
+			if end > len(data) {
+				end = len(data)
+			}
+			items = append(items, data[off:end])
+		}
+		items = append(items, nil) // always one empty item
+		res, err := c.ScanBatch(items)
+		if err != nil {
+			t.Fatalf("ScanBatch(%d items): %v", len(items), err)
+		}
+		if len(res) != len(items) {
+			t.Fatalf("batch answered %d items for %d payloads", len(res), len(items))
+		}
+		for i, r := range res {
+			if r.Err != nil {
+				t.Fatalf("item %d (%d bytes) failed: %v", i, len(items[i]), r.Err)
+			}
+			want := diffLocalOneShot(t, rs, items[i])
+			got := append([]server.RuleMatch(nil), r.Matches...)
+			sortRuleMatches(got)
+			if !diffMatchesEqual(got, want) {
+				t.Fatalf("item %d (%d bytes): batch got %d matches, one-shot wants %d",
+					i, len(items[i]), len(got), len(want))
+			}
+		}
+	})
+}
+
+// FuzzSessionFraming cross-checks a session's matches against the
+// one-shot scan for arbitrary frame splits, and throws garbage bodies
+// at the session opcodes expecting clean errors.
+func FuzzSessionFraming(f *testing.F) {
+	c, raw, rs := startFuzzService(f)
+	f.Add([]byte("abbbcneedle GET /a/b"), uint16(3), []byte{})
+	f.Add([]byte("aaabx12y"), uint16(96), []byte{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte(""), uint16(0), []byte{0xff})
+	f.Fuzz(func(t *testing.T, data []byte, chunkSeed uint16, garbage []byte) {
+		if len(data) > fuzzMaxData || len(garbage) > 64 {
+			t.Skip("oversized")
+		}
+
+		// Garbage session frames: too-short bodies and made-up ids must
+		// answer ERROR on the same frame id and leave the connection
+		// usable. The raw connection owns no sessions, so even a body
+		// that parses as a valid id is unknown to it.
+		for _, op := range []byte{server.OpSessionData, server.OpSessionClose} {
+			if err := server.WriteFrame(raw, server.Frame{Op: op, ID: 77, Body: garbage}); err != nil {
+				t.Fatalf("write garbage %s: %v", server.OpName(op), err)
+			}
+			rf, err := server.ReadFrame(raw, server.DefaultMaxFrame)
+			if err != nil {
+				t.Fatalf("read reply to garbage %s: %v", server.OpName(op), err)
+			}
+			if rf.Op != server.OpError || rf.ID != 77 {
+				t.Fatalf("garbage %s answered op=0x%02x id=%d, want ERROR id=77",
+					server.OpName(op), rf.Op, rf.ID)
+			}
+			if _, _, err := server.DecodeError(rf.Body); err != nil {
+				t.Fatalf("garbage %s: malformed ERROR body: %v", server.OpName(op), err)
+			}
+		}
+
+		// Framing differential: any chunking must equal the one-shot
+		// scan, because the overlap exceeds the payload.
+		want := diffLocalOneShot(t, rs, data)
+		sess, err := c.OpenSession(fuzzSessionOverlap)
+		if err != nil {
+			t.Fatalf("OpenSession: %v", err)
+		}
+		chunk := 1 + int(chunkSeed)%97
+		var got []server.RuleMatch
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			ms, _, err := sess.Write(data[off:end])
+			if err != nil {
+				t.Fatalf("Write(off=%d): %v", off, err)
+			}
+			got = append(got, ms...)
+		}
+		ms, consumed, err := sess.Close()
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		got = append(got, ms...)
+		if consumed != uint64(len(data)) {
+			t.Fatalf("consumed %d bytes, pushed %d", consumed, len(data))
+		}
+		sortRuleMatches(got)
+		if !diffMatchesEqual(got, want) {
+			t.Fatalf("chunk=%d: session got %d matches, one-shot wants %d", chunk, len(got), len(want))
+		}
+	})
+}

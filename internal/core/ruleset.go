@@ -488,153 +488,40 @@ func (rs *RuleSet) scanRuleWindow(ctx context.Context, i int, buf []byte, base i
 // cancellation always aborts, reporting the bytes consumed so far. A
 // rule degraded to the safe engine (Degrade policy) stays on it for the
 // remainder of the stream.
+// The loop is the pull-mode driver over the same Stream state machine
+// push-mode callers (the scan service's streaming sessions) use, so
+// the two paths cannot diverge: each refill is one Stream window.
 func (rs *RuleSet) ScanReaderCtx(ctx context.Context, r io.Reader, emit func(rule int, m Match, text []byte) bool) (int64, error) {
-	n := rs.Len()
 	cfg := rs.stream
 	if cfg.ChunkSize <= 0 {
 		cfg.ChunkSize = stream.DefaultChunkSize
 	}
-	if cfg.Overlap <= 0 {
-		cfg.Overlap = stream.DefaultOverlap
-	}
-	buf := make([]byte, 0, cfg.ChunkSize+cfg.Overlap)
-	pos := make([]int, n)      // per-rule resume offsets
-	sticky := make([]bool, n)  // per-rule degraded state
-	dead := make([]error, n)   // per-rule retirement record
-	base := 0
+	st := rs.NewStream(cfg.Overlap)
 	final := false
 	for !final {
 		if cerr := ctx.Err(); cerr != nil {
 			rs.mu.Lock()
 			rs.agg.CancelledScans++
 			rs.mu.Unlock()
-			return int64(base + len(buf)), scanErrFor(-1, &stream.ReadError{Offset: int64(base + len(buf)), Err: cerr})
+			return st.Consumed(), scanErrFor(-1, &stream.ReadError{Offset: st.Consumed(), Err: cerr})
 		}
-		have := len(buf)
-		buf = buf[:have+cfg.ChunkSize]
-		nr, err := io.ReadFull(r, buf[have:])
-		buf = buf[:have+nr]
+		have := st.Buffered()
+		nr, err := io.ReadFull(r, st.grow(cfg.ChunkSize))
+		st.commit(have, nr)
 		switch err {
 		case nil:
 		case io.EOF, io.ErrUnexpectedEOF:
 			final = true
 		default:
-			// Offset is the first byte the refill could not deliver.
-			return int64(base + len(buf)), scanErrFor(-1, &stream.ReadError{Offset: int64(base + len(buf)), Err: err})
+			// Consumed is the first byte the refill could not deliver.
+			return st.Consumed(), scanErrFor(-1, &stream.ReadError{Offset: st.Consumed(), Err: err})
 		}
-		limit := base + len(buf)
-		ownEnd := limit
-		if !final {
-			ownEnd = limit - cfg.Overlap
-			if ownEnd < base {
-				ownEnd = base
-			}
+		cont, werr := st.window(ctx, nr, final, emit)
+		if werr != nil || !cont {
+			return st.Consumed(), werr
 		}
-
-		// One prefilter pass over the window buffer picks the candidate
-		// rules. A skipped rule's resume offset advances exactly as a
-		// no-match window scan would (stream.ScanWindowCtx's contract):
-		// the literal's absence from the buffer proves no match lies in
-		// the window, so the two are byte-identical.
-		cand := rs.candidates(buf)
-
-		// Fan the window out to the workers; collect per rule so the
-		// emission below is deterministic.
-		wins := make([][]Match, n)
-		errs := make([]error, n)
-		per := make([]arch.Stats, n)
-		occ := make([]int64, rs.workerCount(n))
-		var sent, skipped int64
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		for w := range occ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for i := range jobs {
-					ms, st, npos, deg, err := rs.scanRuleWindow(ctx, i, buf, base, final, cfg.Overlap, pos[i], sticky[i])
-					wins[i], errs[i] = ms, err
-					pos[i], sticky[i] = npos, deg
-					per[i] = st
-					occ[w]++
-				}
-			}(w)
-		}
-		for i := 0; i < n; i++ {
-			if dead[i] != nil {
-				continue
-			}
-			if cand != nil && !cand.Has(i) {
-				if final {
-					pos[i] = limit + 1
-				} else if pos[i] < ownEnd {
-					pos[i] = ownEnd
-				}
-				skipped++
-				continue
-			}
-			jobs <- i
-			sent++
-		}
-		close(jobs)
-		wg.Wait()
-		rs.putBits(cand)
-		if rs.useDFA {
-			rs.mu.Lock()
-			rs.fast.PrefilterPasses += sent
-			rs.fast.PrefilterSkips += skipped
-			rs.mu.Unlock()
-		}
-
-		rs.merge(per, occ, sent, 1, int64(nr))
-		for i, err := range errs {
-			if err == nil {
-				continue
-			}
-			if isCancel(err) || rs.policy == FailFast {
-				if isCancel(err) {
-					rs.mu.Lock()
-					rs.agg.CancelledScans++
-					rs.mu.Unlock()
-				}
-				return int64(limit), err
-			}
-			// Retire the rule; the stream scan outlives it. Park its
-			// resume offset past the stream so a stale offset can never
-			// fault the carry-over arithmetic.
-			dead[i] = err
-			pos[i] = limit
-		}
-		var emitted int64
-		flushEmitted := func() {
-			rs.mu.Lock()
-			rs.streamCtr.Matches += emitted
-			rs.mu.Unlock()
-		}
-		for i, ms := range wins {
-			for _, m := range ms {
-				emitted++
-				if !emit(i, m, buf[m.Start-base:m.End-base]) {
-					flushEmitted()
-					return int64(limit), nil
-				}
-			}
-		}
-		flushEmitted()
-		if final {
-			break
-		}
-		// Carry the shared overlap tail; every rule's resume offset is
-		// at or past it (ScanWindow guarantees pos >= limit-overlap).
-		carry := limit - cfg.Overlap
-		if carry < base {
-			carry = base
-		}
-		copy(buf, buf[carry-base:])
-		buf = buf[:limit-carry]
-		base = carry
 	}
-	return int64(base + len(buf)), errors.Join(dead...)
+	return st.Consumed(), errors.Join(st.dead...)
 }
 
 // FirstMatch returns the lowest-numbered rule that occurs in data.

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"alveare/internal/arch"
+	"alveare/internal/stream"
+)
+
+// Stream is a resumable push-mode scan of one unbounded flow against
+// every rule — the rule-set counterpart of stream.Session, and the
+// state a scan-service streaming session carries across frames. Each
+// pushed chunk is scanned as one window of the overlap discipline with
+// one resume position per rule, the cross-rule literal prefilter run
+// per window, fast-path gating intact and per-rule degraded/retired
+// state carried between pushes; the emitted matches are byte-identical
+// to RuleSet.ScanReader over the concatenated flow (matches longer
+// than the overlap are the scheme's documented blind spot, exactly as
+// there).
+//
+// ScanReaderCtx is the pull-mode loop over this same state machine, so
+// the two paths cannot diverge. A Stream is single-caller: pushes must
+// be serialised (the scan service's session registry enforces this);
+// the RuleSet underneath stays safe for concurrent use by other scans.
+type Stream struct {
+	rs      *RuleSet
+	overlap int
+	buf     []byte
+	base    int   // stream offset of buf[0]
+	pos     []int // per-rule resume offsets
+	sticky  []bool
+	dead    []error
+	done    bool
+}
+
+// NewStream opens push-mode carry-over state for the rule set.
+// Non-positive overlap selects the rule set's configured overlap
+// (WithOverlap, default stream.DefaultOverlap).
+func (rs *RuleSet) NewStream(overlap int) *Stream {
+	if overlap <= 0 {
+		overlap = rs.stream.Overlap
+	}
+	if overlap <= 0 {
+		overlap = stream.DefaultOverlap
+	}
+	n := rs.Len()
+	return &Stream{
+		rs:      rs,
+		overlap: overlap,
+		pos:     make([]int, n),
+		sticky:  make([]bool, n),
+		dead:    make([]error, n),
+	}
+}
+
+// Overlap returns the boundary carry in bytes — the longest match the
+// stream is guaranteed to report identically to a one-shot scan.
+func (st *Stream) Overlap() int { return st.overlap }
+
+// Consumed returns the total stream bytes absorbed so far.
+func (st *Stream) Consumed() int64 { return int64(st.base + len(st.buf)) }
+
+// Buffered returns the resident carry-over tail in bytes (at most
+// Overlap after each completed push).
+func (st *Stream) Buffered() int { return len(st.buf) }
+
+// Finished reports whether the stream has been finalised (FinishCtx
+// ran, a fault aborted it, or emit stopped it).
+func (st *Stream) Finished() bool { return st.done }
+
+// grow extends the window by n bytes and returns the scratch region
+// for the caller to fill — the zero-copy refill path ScanReaderCtx
+// uses. commit trims the region to the bytes actually delivered.
+func (st *Stream) grow(n int) []byte {
+	have := len(st.buf)
+	if cap(st.buf) < have+n {
+		nb := make([]byte, have, have+n+st.overlap)
+		copy(nb, st.buf)
+		st.buf = nb
+	}
+	st.buf = st.buf[:have+n]
+	return st.buf[have:]
+}
+
+func (st *Stream) commit(have, n int) { st.buf = st.buf[:have+n] }
+
+// PushCtx scans chunk as the flow's next window. emit is called
+// sequentially, rules in rule order, with absolute stream offsets;
+// text aliases the window buffer and is valid only during the call.
+// cont is false when emit stopped the scan (the stream is then
+// finished). Under FailFast a rule fault aborts and finishes the
+// stream; under Degrade/Skip the faulting rule is retired and its
+// error surfaces from FinishCtx. An empty chunk is a no-op window.
+func (st *Stream) PushCtx(ctx context.Context, chunk []byte, emit func(rule int, m Match, text []byte) bool) (cont bool, err error) {
+	if st.done {
+		return false, stream.ErrSessionFinished
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		rs := st.rs
+		rs.mu.Lock()
+		rs.agg.CancelledScans++
+		rs.mu.Unlock()
+		st.done = true
+		return false, scanErrFor(-1, &stream.ReadError{Offset: st.Consumed(), Err: cerr})
+	}
+	copy(st.grow(len(chunk)), chunk)
+	return st.window(ctx, len(chunk), false, emit)
+}
+
+// FinishCtx scans the carry-over tail as the flow's final window and
+// returns the joined retirement errors of rules the policy contained
+// mid-stream. The stream cannot be pushed to afterwards.
+func (st *Stream) FinishCtx(ctx context.Context, emit func(rule int, m Match, text []byte) bool) (cont bool, err error) {
+	if st.done {
+		return false, stream.ErrSessionFinished
+	}
+	cont, werr := st.window(ctx, 0, true, emit)
+	st.done = true
+	if werr != nil {
+		return false, werr
+	}
+	return cont, errors.Join(st.dead...)
+}
+
+// window runs one window pass over the buffered bytes: prefilter, rule
+// fan-out to the worker pool, telemetry merge, deterministic emission,
+// and (on a non-final continuing window) the overlap carry. nr is the
+// byte count this window added, for the throughput roll-up.
+func (st *Stream) window(ctx context.Context, nr int, final bool, emit func(rule int, m Match, text []byte) bool) (bool, error) {
+	rs := st.rs
+	n := rs.Len()
+	buf, base := st.buf, st.base
+	limit := base + len(buf)
+	ownEnd := limit
+	if !final {
+		ownEnd = limit - st.overlap
+		if ownEnd < base {
+			ownEnd = base
+		}
+	}
+
+	// One prefilter pass over the window buffer picks the candidate
+	// rules. A skipped rule's resume offset advances exactly as a
+	// no-match window scan would (stream.ScanWindowCtx's contract):
+	// the literal's absence from the buffer proves no match lies in
+	// the window, so the two are byte-identical.
+	cand := rs.candidates(buf)
+
+	// Fan the window out to the workers; collect per rule so the
+	// emission below is deterministic.
+	wins := make([][]Match, n)
+	errs := make([]error, n)
+	per := make([]arch.Stats, n)
+	occ := make([]int64, rs.workerCount(n))
+	var sent, skipped int64
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := range occ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range jobs {
+				ms, stats, npos, deg, err := rs.scanRuleWindow(ctx, i, buf, base, final, st.overlap, st.pos[i], st.sticky[i])
+				wins[i], errs[i] = ms, err
+				st.pos[i], st.sticky[i] = npos, deg
+				per[i] = stats
+				occ[w]++
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		if st.dead[i] != nil {
+			continue
+		}
+		if cand != nil && !cand.Has(i) {
+			if final {
+				st.pos[i] = limit + 1
+			} else if st.pos[i] < ownEnd {
+				st.pos[i] = ownEnd
+			}
+			skipped++
+			continue
+		}
+		jobs <- i
+		sent++
+	}
+	close(jobs)
+	wg.Wait()
+	rs.putBits(cand)
+	if rs.useDFA {
+		rs.mu.Lock()
+		rs.fast.PrefilterPasses += sent
+		rs.fast.PrefilterSkips += skipped
+		rs.mu.Unlock()
+	}
+
+	rs.merge(per, occ, sent, 1, int64(nr))
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if isCancel(err) || rs.policy == FailFast {
+			if isCancel(err) {
+				rs.mu.Lock()
+				rs.agg.CancelledScans++
+				rs.mu.Unlock()
+			}
+			st.done = true
+			return false, err
+		}
+		// Retire the rule; the stream scan outlives it. Park its
+		// resume offset past the stream so a stale offset can never
+		// fault the carry-over arithmetic.
+		st.dead[i] = err
+		st.pos[i] = limit
+	}
+	var emitted int64
+	flushEmitted := func() {
+		rs.mu.Lock()
+		rs.streamCtr.Matches += emitted
+		rs.mu.Unlock()
+	}
+	for i, ms := range wins {
+		for _, m := range ms {
+			emitted++
+			if !emit(i, m, buf[m.Start-base:m.End-base]) {
+				flushEmitted()
+				st.done = true
+				return false, nil
+			}
+		}
+	}
+	flushEmitted()
+	if final {
+		st.done = true
+		return true, nil
+	}
+	// Carry the shared overlap tail; every rule's resume offset is
+	// at or past it (ScanWindow guarantees pos >= limit-overlap).
+	carry := limit - st.overlap
+	if carry < base {
+		carry = base
+	}
+	copy(st.buf, st.buf[carry-base:])
+	st.buf = st.buf[:limit-carry]
+	st.base = carry
+	return true, nil
+}

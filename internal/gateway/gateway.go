@@ -106,6 +106,18 @@ type Config struct {
 
 	// RingReplicas is the virtual-node count per shard (default 64).
 	RingReplicas int
+
+	// MaxSessions bounds the open sticky streaming sessions across all
+	// tenants (default 1024); an OPEN past it sheds with reason
+	// capacity.
+	MaxSessions int
+	// SessionIdleTimeout drops session mappings with no traffic for
+	// this long (default 60s); a dropped id answers unknown-session.
+	SessionIdleTimeout time.Duration
+	// SessionPending bounds one session's admitted-but-unforwarded
+	// frames (default 8); past it the frame sheds without being
+	// forwarded, so the client may resend it.
+	SessionPending int
 	// Seed makes the probe jitter and retry backoff deterministic in
 	// tests (0: time-based).
 	Seed int64
@@ -142,6 +154,15 @@ func (c Config) withDefaults() Config {
 	if c.ProbeInterval == 0 {
 		c.ProbeInterval = 500 * time.Millisecond
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.SessionIdleTimeout <= 0 {
+		c.SessionIdleTimeout = 60 * time.Second
+	}
+	if c.SessionPending <= 0 {
+		c.SessionPending = 8
+	}
 	return c
 }
 
@@ -168,6 +189,10 @@ type gwMetrics struct {
 	shedCapacity *metrics.Counter
 	rerouted     *metrics.Counter // answered by a shard other than the ring owner
 	partial      *metrics.Counter // scatter-gathers that missed a shard
+	sessOpens    *metrics.Counter
+	sessCloses   *metrics.Counter
+	sessReaped   *metrics.Counter
+	sessActive   *metrics.Gauge
 	bytesIn      *metrics.Counter
 	bytesOut     *metrics.Counter
 	connsOpen    *metrics.Gauge
@@ -186,6 +211,10 @@ func resolveMetrics(r *metrics.Registry) gwMetrics {
 		shedCapacity: r.Counter("gateway.shed.capacity"),
 		rerouted:     r.Counter("gateway.rerouted"),
 		partial:      r.Counter("gateway.partial"),
+		sessOpens:    r.Counter("gateway.session.opens"),
+		sessCloses:   r.Counter("gateway.session.closes"),
+		sessReaped:   r.Counter("gateway.session.reaped"),
+		sessActive:   r.Gauge("gateway.session.active"),
 		bytesIn:      r.Counter("gateway.bytes.in"),
 		bytesOut:     r.Counter("gateway.bytes.out"),
 		connsOpen:    r.Gauge("gateway.conns.open"),
@@ -209,6 +238,11 @@ type Gateway struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	sessMu   sync.Mutex
+	sessions map[uint64]*gwSession
+	sessNext uint64
+	sessStop chan struct{} // closed when the drain begins; stops the reaper
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -273,9 +307,11 @@ func New(cfg Config) (*Gateway, error) {
 		met:     resolveMetrics(reg),
 		baseCtx: ctx,
 		abort:   cancel,
-		rng:     rand.New(rand.NewSource(seed ^ 0x5deece66d)),
-		conns:   map[*conn]struct{}{},
-		stopped: make(chan struct{}),
+		rng:      rand.New(rand.NewSource(seed ^ 0x5deece66d)),
+		sessions: map[uint64]*gwSession{},
+		sessStop: make(chan struct{}),
+		conns:    map[*conn]struct{}{},
+		stopped:  make(chan struct{}),
 	}
 	for _, t := range cfg.Tenants {
 		if t.Name == "" || len(t.Name) > server.MaxTenantName {
@@ -346,6 +382,8 @@ func (g *Gateway) Serve(ln net.Listener) error {
 		g.wgWorkers.Add(1)
 		go g.worker()
 	}
+	g.wgWorkers.Add(1)
+	go g.sessionReaper()
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
@@ -427,6 +465,7 @@ func (g *Gateway) beginStop() []*conn {
 func (g *Gateway) ensureDrainLoop() {
 	g.stopOnce.Do(func() {
 		go func() {
+			close(g.sessStop)
 			g.wgConns.Wait()
 			g.fq.close()
 			g.wgWorkers.Wait()
@@ -520,6 +559,7 @@ func (g *Gateway) serveConn(c *conn) {
 	defer g.wgConns.Done()
 	defer func() {
 		c.pending.Wait()
+		g.closeConnGwSessions(c)
 		c.nc.Close()
 		g.mu.Lock()
 		delete(g.conns, c)
@@ -628,6 +668,13 @@ func (g *Gateway) dispatch(c *conn, f server.Frame) {
 		g.shedReply(c, f.ID, ts, server.ShedReasonQuota)
 		return
 	}
+	if op == server.OpSessionData || op == server.OpSessionClose {
+		// Session frames must reach their pinned shard in arrival
+		// order: they join the session's FIFO, not the fair queue
+		// directly.
+		g.dispatchSessionFrame(c, ts, hdr.Tenant, op, body, f.ID)
+		return
+	}
 	id, key := f.ID, hdr.Key()
 	c.pending.Add(1)
 	j := &job{run: func() {
@@ -664,6 +711,10 @@ func (g *Gateway) execute(c *conn, ts *tenantState, key string, op byte, body []
 		g.routeSingle(c, ts, key, op, server.OpMatches, body, id)
 	case server.OpCount:
 		g.routeSingle(c, ts, key, op, server.OpCountResp, body, id)
+	case server.OpScanBatch:
+		g.routeSingle(c, ts, key, op, server.OpBatchResp, body, id)
+	case server.OpSessionOpen:
+		g.openGwSession(c, ts, key, body, id)
 	case server.OpScanPattern:
 		g.scatterGather(c, ts, body, id)
 	case server.OpReload:

@@ -1,0 +1,310 @@
+// Sticky streaming sessions through the gateway. A stream's carry
+// state lives on exactly one shard, so unlike the stateless ops a
+// session cannot fail over: SESSION-OPEN walks the tenant's ring order
+// once to place the stream, and every later frame of that session is
+// pinned to the shard that holds it. The gateway speaks its own id
+// space to clients — the SESSION-OK a client sees carries a gateway id,
+// and each forwarded frame is rewritten to the shard's id — so a client
+// never learns (or depends on) fleet topology.
+//
+// Failure contract, end to end: a shard SHED is forwarded as SHED
+// (the chunk was not absorbed; the client may resend it); everything
+// else that interrupts the pinned shard — transport loss, timeout, the
+// shard dying mid-stream — terminally ends the session with a clean
+// ERROR, because the carry state is unrecoverable and silently
+// re-placing the stream on another shard would drop the bytes already
+// absorbed. The client re-opens and replays from its own source.
+// Frames of one session execute in arrival order through the same
+// FIFO-plus-runner scheme the scan server uses, so pipelined frames
+// keep a coherent stream while sharing the worker pool fairly.
+package gateway
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"alveare/internal/server"
+	"alveare/internal/server/client"
+)
+
+// gwSession is one client stream pinned to one shard.
+type gwSession struct {
+	id        uint64 // gateway-assigned, what the client holds
+	backendID uint64 // shard-assigned, what the shard holds
+	backend   int    // pinned shard index
+	owner     *conn
+	ts        *tenantState
+
+	mu      sync.Mutex
+	pending []func() // admitted frames awaiting the runner, FIFO
+	running bool
+	closed  bool
+	last    time.Time
+}
+
+// openGwSession places one new stream: walk the tenant's ring order to
+// the first shard that accepts the SESSION-OPEN, register the mapping,
+// and answer SESSION-OK carrying the gateway's id. A shard that sheds
+// or is unreachable just moves the walk on — no state was created that
+// the client could observe. The gateway's own session cap sheds with
+// reason capacity.
+func (g *Gateway) openGwSession(c *conn, ts *tenantState, key string, body []byte, id uint32) {
+	g.sessMu.Lock()
+	full := len(g.sessions) >= g.cfg.MaxSessions
+	g.sessMu.Unlock()
+	if full {
+		g.shedReply(c, id, ts, server.ShedReasonCapacity)
+		return
+	}
+	order := g.ring.Order(key)
+	for attempt := 0; attempt < g.cfg.Retries; attempt++ {
+		idx := order[attempt%len(order)]
+		if !g.bs.Acquire(idx) {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(g.baseCtx, g.cfg.ShardTimeout)
+		f, err := g.bs.Do(ctx, idx, server.OpSessionOpen, server.OpSessionOK, body)
+		cancel()
+		if err != nil {
+			var se *client.ServerError
+			if errors.As(err, &se) && se.Code != server.ErrCodeDraining {
+				g.replyErr(c, id, ts, se.Code, errors.New(se.Msg))
+				return
+			}
+			// Shed, draining or transport failure: the stream was never
+			// placed as far as the client knows; walk on. A session the
+			// shard DID open before the failure is orphaned there and
+			// falls to its idle reaper.
+			continue
+		}
+		backendID, overlap, derr := server.DecodeSessionOK(f.Body)
+		if derr != nil {
+			g.replyErr(c, id, ts, server.ErrCodeScan, fmt.Errorf("shard session-ok: %w", derr))
+			return
+		}
+		sess := &gwSession{backendID: backendID, backend: idx, owner: c, ts: ts, last: time.Now()}
+		g.sessMu.Lock()
+		g.sessNext++
+		sess.id = g.sessNext
+		g.sessions[sess.id] = sess
+		active := len(g.sessions)
+		g.sessMu.Unlock()
+		g.met.sessOpens.Inc()
+		g.met.sessActive.Set(int64(active))
+		ts.ok.Inc()
+		g.met.ok.Inc()
+		g.writeFrame(c, server.Frame{Op: server.OpSessionOK, ID: id,
+			Body: server.EncodeSessionOK(sess.id, overlap)})
+		return
+	}
+	g.shedReply(c, id, ts, server.ShedReasonCapacity)
+}
+
+// dispatchSessionFrame admits one SESSION-DATA/SESSION-CLOSE on the
+// reader goroutine (quota already taken): resolve the gateway id, join
+// the session's FIFO, schedule a runner into the fair queue if none is
+// active. A full FIFO or fair queue refunds the quota token and sheds
+// — the frame was not forwarded, so the client may resend it.
+func (g *Gateway) dispatchSessionFrame(c *conn, ts *tenantState, tenant string, op byte, body []byte, id uint32) {
+	if len(body) < 8 {
+		ts.quota.give()
+		g.replyErr(c, id, ts, server.ErrCodeBadFrame,
+			fmt.Errorf("%s body %d bytes", server.OpName(op), len(body)))
+		return
+	}
+	gwID := binary.BigEndian.Uint64(body)
+	g.sessMu.Lock()
+	sess := g.sessions[gwID]
+	g.sessMu.Unlock()
+	if sess == nil || sess.owner != c || sess.ts != ts {
+		ts.quota.give()
+		g.replyErr(c, id, ts, server.ErrCodeUnknownSession, fmt.Errorf("unknown session %d", gwID))
+		return
+	}
+	sess.mu.Lock()
+	if sess.closed {
+		sess.mu.Unlock()
+		ts.quota.give()
+		g.replyErr(c, id, ts, server.ErrCodeUnknownSession, fmt.Errorf("unknown session %d", gwID))
+		return
+	}
+	if len(sess.pending) >= g.cfg.SessionPending {
+		sess.mu.Unlock()
+		ts.quota.give()
+		g.shedReply(c, id, ts, server.ShedReasonFairQ)
+		return
+	}
+	c.pending.Add(1)
+	sess.pending = append(sess.pending, func() {
+		defer c.pending.Done()
+		g.forwardSessionFrame(sess, c, op, body, id)
+	})
+	if !sess.running {
+		c.pending.Add(1)
+		runner := &job{run: func() {
+			defer c.pending.Done()
+			g.runGwSession(sess)
+		}}
+		if g.fq.push(tenant, runner) {
+			sess.running = true
+		} else {
+			sess.pending = sess.pending[:len(sess.pending)-1]
+			sess.mu.Unlock()
+			c.pending.Done() // the runner's
+			c.pending.Done() // the item's
+			ts.quota.give()
+			g.shedReply(c, id, ts, server.ShedReasonFairQ)
+			return
+		}
+	}
+	sess.mu.Unlock()
+}
+
+// runGwSession drains one session's FIFO in arrival order, then
+// retires; the next admitted frame schedules a fresh runner.
+func (g *Gateway) runGwSession(sess *gwSession) {
+	for {
+		sess.mu.Lock()
+		if len(sess.pending) == 0 {
+			sess.running = false
+			sess.last = time.Now()
+			sess.mu.Unlock()
+			return
+		}
+		item := sess.pending[0]
+		sess.pending = sess.pending[1:]
+		sess.mu.Unlock()
+		item()
+	}
+}
+
+// forwardSessionFrame relays one session frame to its pinned shard,
+// rewriting the leading id to the shard's own. One attempt, no
+// failover: the stream state lives on that shard alone.
+func (g *Gateway) forwardSessionFrame(sess *gwSession, c *conn, op byte, body []byte, id uint32) {
+	wire := make([]byte, len(body))
+	binary.BigEndian.PutUint64(wire, sess.backendID)
+	copy(wire[8:], body[8:])
+	if !g.bs.Acquire(sess.backend) {
+		// The pinned shard's breaker is open: the stream is gone for
+		// any practical purpose. End it cleanly rather than queue
+		// against a dead shard.
+		g.closeGwSession(sess)
+		g.replyErr(c, id, sess.ts, server.ErrCodeScan,
+			fmt.Errorf("session %d: shard %s unreachable; re-open and replay", sess.id, g.bs.Addr(sess.backend)))
+		return
+	}
+	ctx, cancel := context.WithTimeout(g.baseCtx, g.cfg.ShardTimeout)
+	f, err := g.bs.Do(ctx, sess.backend, op, server.OpSessionMatches, wire)
+	cancel()
+	if err != nil {
+		if errors.Is(err, client.ErrShed) {
+			// The shard refused the frame without absorbing it; the
+			// session is intact and the client may resend the chunk.
+			g.shedReply(c, id, sess.ts, server.ShedReasonCapacity)
+			return
+		}
+		g.closeGwSession(sess)
+		var se *client.ServerError
+		if errors.As(err, &se) {
+			// Authoritative shard verdict (unknown session after a shard
+			// restart, a scan fault that killed the stream): forward it;
+			// either way the session is over.
+			g.replyErr(c, id, sess.ts, se.Code, errors.New(se.Msg))
+			return
+		}
+		g.replyErr(c, id, sess.ts, server.ErrCodeScan,
+			fmt.Errorf("session %d: shard %s lost mid-stream; re-open and replay: %v",
+				sess.id, g.bs.Addr(sess.backend), err))
+		return
+	}
+	if op == server.OpSessionClose {
+		g.closeGwSession(sess)
+		g.met.sessCloses.Inc()
+	}
+	sess.ts.ok.Inc()
+	g.met.ok.Inc()
+	g.writeFrame(c, server.Frame{Op: f.Op, ID: id, Body: f.Body})
+}
+
+// closeGwSession drops the mapping (idempotent). The shard side is not
+// chased: a CLOSE already closed it, and every other path (shard lost,
+// shard restarted) has no shard state left worth a round trip — the
+// shard's own idle reaper covers the remainder.
+func (g *Gateway) closeGwSession(sess *gwSession) {
+	sess.mu.Lock()
+	was := sess.closed
+	sess.closed = true
+	sess.mu.Unlock()
+	if was {
+		return
+	}
+	g.sessMu.Lock()
+	delete(g.sessions, sess.id)
+	active := len(g.sessions)
+	g.sessMu.Unlock()
+	g.met.sessActive.Set(int64(active))
+}
+
+// closeConnGwSessions reaps every session the closing connection owns;
+// it runs after the connection's admitted frames were answered.
+func (g *Gateway) closeConnGwSessions(c *conn) {
+	g.sessMu.Lock()
+	var own []*gwSession
+	for _, sess := range g.sessions {
+		if sess.owner == c {
+			own = append(own, sess)
+		}
+	}
+	g.sessMu.Unlock()
+	for _, sess := range own {
+		g.closeGwSession(sess)
+	}
+}
+
+// sessionReaper drops mappings idle past SessionIdleTimeout, so
+// abandoned streams do not pin gateway memory (the shard reaps its own
+// side independently).
+func (g *Gateway) sessionReaper() {
+	defer g.wgWorkers.Done()
+	sweep := g.cfg.SessionIdleTimeout / 4
+	if sweep <= 0 {
+		sweep = time.Second
+	}
+	t := time.NewTicker(sweep)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.sessStop:
+			return
+		case <-t.C:
+			now := time.Now()
+			g.sessMu.Lock()
+			var idle []*gwSession
+			for _, sess := range g.sessions {
+				sess.mu.Lock()
+				if !sess.running && len(sess.pending) == 0 && !sess.closed &&
+					now.Sub(sess.last) > g.cfg.SessionIdleTimeout {
+					idle = append(idle, sess)
+				}
+				sess.mu.Unlock()
+			}
+			g.sessMu.Unlock()
+			for _, sess := range idle {
+				g.closeGwSession(sess)
+				g.met.sessReaped.Inc()
+			}
+		}
+	}
+}
+
+// SessionCount reports the open mapping count (tests and diagnostics).
+func (g *Gateway) SessionCount() int {
+	g.sessMu.Lock()
+	defer g.sessMu.Unlock()
+	return len(g.sessions)
+}

@@ -1,0 +1,355 @@
+// Sticky streaming sessions and batched scans through the fleet tier:
+// byte-identity against the local streaming engine, the gateway id
+// remap, and the kill-a-shard-mid-session chaos proof. The chaos
+// scenario runs the same seed twice (run-a/run-b) under -race; every
+// session must either complete byte-identical to the local ground
+// truth or fail with a clean, typed error — never a hang, never a
+// silently lossy stream — and a failed session's replacement must
+// re-place onto a surviving shard and replay to the identical result.
+package gateway_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"alveare/internal/backend"
+	"alveare/internal/core"
+	"alveare/internal/faultinject/netchaos"
+	"alveare/internal/gateway"
+	"alveare/internal/server"
+	"alveare/internal/server/client"
+)
+
+var sessRules = []string{"ab+c", "needle", "sess-[a-f]-[0-9]+"}
+
+// sessPayload is one tenant's stream, dense in matches that straddle
+// the chunk sizes the tests push.
+func sessPayload(tenant string, n int) []byte {
+	var b bytes.Buffer
+	for b.Len() < n {
+		fmt.Fprintf(&b, "..abc..%s-7..needle..abbbbbbbbbbbbbbbbc..%s-42..", tenant, tenant)
+	}
+	return b.Bytes()
+}
+
+// localSessionMatches is the ground truth: the local streaming engine
+// over the same stream with the server's default overlap.
+func localSessionMatches(t *testing.T, payload []byte) []server.RuleMatch {
+	t.Helper()
+	rs, err := core.NewRuleSet(sessRules, backend.Options{}, core.WithDFA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []server.RuleMatch
+	if _, err := rs.ScanReaderCtx(context.Background(), bytes.NewReader(payload),
+		func(rule int, m core.Match, _ []byte) bool {
+			want = append(want, server.RuleMatch{Rule: uint32(rule), Start: uint64(m.Start), End: uint64(m.End)})
+			return true
+		}); err != nil {
+		t.Fatal(err)
+	}
+	sortMatches(want)
+	if len(want) == 0 {
+		t.Fatal("ground truth empty; the test would prove nothing")
+	}
+	return want
+}
+
+// streamSession pushes payload through one gateway session in
+// chunk-sized frames and returns all matches, sorted.
+func streamSession(t *testing.T, c *client.Client, payload []byte, chunk int) []server.RuleMatch {
+	t.Helper()
+	sess, err := c.OpenSession(0)
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	var got []server.RuleMatch
+	for off := 0; off < len(payload); off += chunk {
+		end := off + chunk
+		if end > len(payload) {
+			end = len(payload)
+		}
+		ms, _, err := sess.Write(payload[off:end])
+		if err != nil {
+			t.Fatalf("Write at %d: %v", off, err)
+		}
+		got = append(got, ms...)
+	}
+	ms, consumed, err := sess.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if consumed != uint64(len(payload)) {
+		t.Fatalf("consumed = %d, want %d", consumed, len(payload))
+	}
+	got = append(got, ms...)
+	sortMatches(got)
+	return got
+}
+
+// TestGatewaySessionSticky pins the fleet-tier tentpole invariant: a
+// session through the gateway (id-remapped, pinned to one shard)
+// returns byte-identical matches to the local streaming engine,
+// across frame sizes, and the mapping table drains back to zero.
+func TestGatewaySessionSticky(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	_, a0 := startShard(t, server.Config{Rules: sessRules, Workers: 2})
+	_, a1 := startShard(t, server.Config{Rules: sessRules, Workers: 2})
+	gw, gaddr := startGateway(t, gateway.Config{
+		Backends: []string{a0, a1},
+		Tenants:  []gateway.Tenant{{Name: "tenant-a"}, {Name: "tenant-b"}},
+	})
+	for _, tn := range []string{"tenant-a", "tenant-b"} {
+		c := client.New(gaddr, client.WithTenant(tn, "default"))
+		defer c.Close()
+		payload := sessPayload(tn, 32<<10)
+		want := localSessionMatches(t, payload)
+		for _, chunk := range []int{13, 1024, 64 << 10} {
+			got := streamSession(t, c, payload, chunk)
+			if !bytes.Equal(server.EncodeMatches(got), server.EncodeMatches(want)) {
+				t.Fatalf("%s chunk=%d: session through gateway not byte-identical to local", tn, chunk)
+			}
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for gw.SessionCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway session mappings leaked: %d", gw.SessionCount())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestGatewayBatch: SCAN-BATCH routes like SCAN (ring walk, failover)
+// and its per-item results equal individual scans through the gateway.
+func TestGatewayBatch(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	_, a0 := startShard(t, server.Config{Rules: sessRules, Workers: 2})
+	_, a1 := startShard(t, server.Config{Rules: sessRules, Workers: 2})
+	_, gaddr := startGateway(t, gateway.Config{
+		Backends: []string{a0, a1},
+		Tenants:  []gateway.Tenant{{Name: "tenant-a"}},
+	})
+	c := client.New(gaddr, client.WithTenant("tenant-a", "default"))
+	defer c.Close()
+	payloads := [][]byte{
+		[]byte("..abc.."), {}, []byte("needle sess-a-1 needle"), sessPayload("tenant-a", 4096),
+	}
+	got, err := c.ScanBatch(payloads)
+	if err != nil {
+		t.Fatalf("ScanBatch: %v", err)
+	}
+	for i, p := range payloads {
+		want, err := c.Scan(p)
+		if err != nil {
+			t.Fatalf("Scan item %d: %v", i, err)
+		}
+		if got[i].Err != nil {
+			t.Fatalf("batch item %d failed: %v", i, got[i].Err)
+		}
+		sortMatches(got[i].Matches)
+		sortMatches(want)
+		if !bytes.Equal(server.EncodeMatches(got[i].Matches), server.EncodeMatches(want)) {
+			t.Fatalf("batch item %d differs from SCAN through gateway", i)
+		}
+	}
+}
+
+// TestGatewaySessionChaosKillShard is the chaos proof: several tenants
+// stream through sessions pinned across two shards; one shard dies
+// mid-stream. Sessions pinned to the dead shard must fail with a
+// clean, typed error (never a hang, never a wrong result); their
+// replacements must re-place onto the surviving shard and replay to
+// byte-identical results; sessions on the survivor must complete
+// byte-identical without interruption. Same seed, two runs, -race.
+func TestGatewaySessionChaosKillShard(t *testing.T) {
+	for _, run := range []string{"run-a", "run-b"} {
+		t.Run(run, func(t *testing.T) { gatewaySessionChaosRun(t) })
+	}
+}
+
+func gatewaySessionChaosRun(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	t.Logf("gateway session chaos seed %d (edit gwChaosSeed to replay a variant)", gwChaosSeed)
+
+	// Two real shards behind chaos proxies; shard 0 gets latency
+	// jitter, shard 1 is the one killed mid-stream.
+	var proxies []*netchaos.Proxy
+	var addrs []string
+	lat := netchaos.NewScenario("latency")
+	lat.Latency = 200 * time.Microsecond
+	lat.Jitter = 300 * time.Microsecond
+	scenarios := [][]netchaos.Scenario{{lat}, nil}
+	for i := 0; i < 2; i++ {
+		_, saddr := startShard(t, server.Config{Rules: sessRules, Workers: 2})
+		p, err := netchaos.New(saddr, gwChaosSeed+int64(i), scenarios[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		proxies = append(proxies, p)
+		addrs = append(addrs, p.Addr())
+	}
+
+	// Enough tenants that the ring deterministically places sessions on
+	// both shards (the placement depends only on the seeded ring).
+	names := []string{"sess-a", "sess-b", "sess-c", "sess-d", "sess-e", "sess-f"}
+	tenants := make([]gateway.Tenant, len(names))
+	for i, n := range names {
+		tenants[i] = gateway.Tenant{Name: n, QueueDepth: 64}
+	}
+	gw, gaddr := startGateway(t, gateway.Config{
+		Backends:        addrs,
+		Tenants:         tenants,
+		BreakerFailures: 3,
+		BreakerCooldown: 30 * time.Millisecond,
+		ProbeInterval:   25 * time.Millisecond,
+		ShardTimeout:    2 * time.Second,
+		Seed:            gwChaosSeed,
+	})
+
+	const chunk = 512
+	type flow struct {
+		name    string
+		c       *client.Client
+		sess    *client.Session
+		payload []byte
+		want    []server.RuleMatch
+		got     []server.RuleMatch
+		off     int
+		failed  bool
+	}
+	var flows []*flow
+	for _, n := range names {
+		c := client.New(gaddr, client.WithTenant(n, "default"))
+		t.Cleanup(func() { c.Close() })
+		payload := sessPayload(n, 16<<10)
+		fl := &flow{name: n, c: c, payload: payload, want: localSessionMatches(t, payload)}
+		sess, err := c.OpenSessionCtx(context.Background(), 0)
+		if err != nil {
+			t.Fatalf("seed %d: %s open: %v", gwChaosSeed, n, err)
+		}
+		fl.sess = sess
+		flows = append(flows, fl)
+	}
+
+	// Stream the first half of every flow, then kill shard 1.
+	push := func(fl *flow, until int) error {
+		for fl.off < until {
+			end := fl.off + chunk
+			if end > until {
+				end = until
+			}
+			ms, _, err := fl.sess.WriteCtx(context.Background(), fl.payload[fl.off:end])
+			if err != nil {
+				if errors.Is(err, client.ErrShed) {
+					continue // chunk not absorbed; resend
+				}
+				return err
+			}
+			fl.off = end
+			fl.got = append(fl.got, ms...)
+		}
+		return nil
+	}
+	for _, fl := range flows {
+		if err := push(fl, len(fl.payload)/2); err != nil {
+			t.Fatalf("seed %d: %s first half: %v", gwChaosSeed, fl.name, err)
+		}
+	}
+	proxies[1].SetDown(true)
+
+	// Stream the second half. A flow pinned to the dead shard must
+	// fail with a clean, typed error; a flow on the survivor must
+	// complete byte-identical.
+	var killed, survived int
+	for _, fl := range flows {
+		err := push(fl, len(fl.payload))
+		if err == nil {
+			ms, consumed, cerr := fl.sess.CloseCtx(context.Background())
+			if cerr != nil {
+				err = cerr
+			} else {
+				if consumed != uint64(len(fl.payload)) {
+					t.Fatalf("seed %d: %s consumed %d, want %d", gwChaosSeed, fl.name, consumed, len(fl.payload))
+				}
+				fl.got = append(fl.got, ms...)
+			}
+		}
+		if err != nil {
+			var se *client.ServerError
+			if !errors.As(err, &se) && !errors.Is(err, client.ErrShed) {
+				t.Fatalf("seed %d: %s mid-stream failure is not a clean typed error: %v", gwChaosSeed, fl.name, err)
+			}
+			fl.failed = true
+			killed++
+			continue
+		}
+		sortMatches(fl.got)
+		if !bytes.Equal(server.EncodeMatches(fl.got), server.EncodeMatches(fl.want)) {
+			t.Fatalf("seed %d: %s survived the kill but is not byte-identical (lossy stream)", gwChaosSeed, fl.name)
+		}
+		survived++
+	}
+	if killed == 0 {
+		t.Fatalf("seed %d: no session was pinned to the killed shard; the chaos proved nothing (re-seed)", gwChaosSeed)
+	}
+	if survived == 0 {
+		t.Fatalf("seed %d: no session survived on the healthy shard (re-seed)", gwChaosSeed)
+	}
+	t.Logf("seed %d: kill window: %d sessions killed cleanly, %d survived byte-identical", gwChaosSeed, killed, survived)
+
+	// Replacement sessions for every killed flow must re-place onto the
+	// surviving shard (ring walk skips the open breaker) and replay the
+	// whole stream to the identical result.
+	for _, fl := range flows {
+		if !fl.failed {
+			continue
+		}
+		var got []server.RuleMatch
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			sess, err := fl.c.OpenSessionCtx(context.Background(), 0)
+			if err != nil {
+				// The breaker may still be settling; re-try until the
+				// walk lands on the survivor.
+				if time.Now().After(deadline) {
+					t.Fatalf("seed %d: %s re-open never succeeded: %v", gwChaosSeed, fl.name, err)
+				}
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			fl.sess, fl.off, fl.got = sess, 0, nil
+			if err := push(fl, len(fl.payload)); err != nil {
+				t.Fatalf("seed %d: %s replay: %v", gwChaosSeed, fl.name, err)
+			}
+			ms, _, err := fl.sess.CloseCtx(context.Background())
+			if err != nil {
+				t.Fatalf("seed %d: %s replay close: %v", gwChaosSeed, fl.name, err)
+			}
+			got = append(fl.got, ms...)
+			break
+		}
+		sortMatches(got)
+		if !bytes.Equal(server.EncodeMatches(got), server.EncodeMatches(fl.want)) {
+			t.Fatalf("seed %d: %s replayed stream not byte-identical", gwChaosSeed, fl.name)
+		}
+	}
+
+	// No mapping leaks: killed sessions were dropped on failure, closed
+	// ones on CLOSE.
+	deadline := time.Now().Add(5 * time.Second)
+	for gw.SessionCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("seed %d: gateway session mappings leaked: %d", gwChaosSeed, gw.SessionCount())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	proxies[1].SetDown(false)
+	// leakCheck (cleanup) pins that gateway, shards and proxies left no
+	// goroutines behind.
+}

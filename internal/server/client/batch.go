@@ -1,0 +1,57 @@
+package client
+
+import (
+	"context"
+	"fmt"
+
+	"alveare/internal/server"
+)
+
+// BatchResult is one SCAN-BATCH item's outcome: its matches, or the
+// per-item failure the server isolated (a *ServerError — authoritative,
+// not retryable on its own; resend just that payload if it matters).
+type BatchResult struct {
+	Matches []server.RuleMatch
+	Err     error
+}
+
+// ScanBatchCtx scans many payloads in one round trip: one frame in,
+// one frame out, per-item results in order. Framing, admission control
+// and dispatch are paid once for the whole batch, which is what makes
+// small-payload scanning (log records, packet payloads) cheap — see
+// docs/PROTOCOL.md for the measured amortisation. All items scan
+// against one rule snapshot: a concurrent RELOAD never splits a batch
+// across generations. The request is idempotent and retried under the
+// configured budget, like SCAN.
+func (c *Client) ScanBatchCtx(ctx context.Context, payloads [][]byte) ([]BatchResult, error) {
+	body, err := server.EncodeScanBatch(payloads)
+	if err != nil {
+		return nil, err
+	}
+	f, err := c.do(ctx, server.OpScanBatch, server.OpBatchResp, body, true)
+	if err != nil {
+		return nil, err
+	}
+	items, err := server.DecodeBatchResults(f.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: protocol desync: %w", err)
+	}
+	if len(items) != len(payloads) {
+		return nil, fmt.Errorf("client: protocol desync: batch answered %d items for %d payloads",
+			len(items), len(payloads))
+	}
+	out := make([]BatchResult, len(items))
+	for i, it := range items {
+		if it.Failed() {
+			out[i] = BatchResult{Err: &ServerError{Code: it.Code, Msg: it.Msg}}
+		} else {
+			out[i] = BatchResult{Matches: it.Matches}
+		}
+	}
+	return out, nil
+}
+
+// ScanBatch scans many payloads in one round trip.
+func (c *Client) ScanBatch(payloads [][]byte) ([]BatchResult, error) {
+	return c.ScanBatchCtx(context.Background(), payloads)
+}

@@ -1,0 +1,202 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"alveare/internal/server"
+)
+
+// ErrSessionClosed reports a write into a client session after Close
+// or after a terminal failure ended it.
+var ErrSessionClosed = errors.New("client: session closed")
+
+// Session is one server-side streaming scan: chunks pushed with Write
+// are absorbed into the server's carry-over state, and the matches come
+// back with absolute stream offsets, byte-identical to a local
+// Engine.ScanReader over the concatenated stream — including matches
+// that straddle Write boundaries (up to the negotiated overlap).
+//
+// Sessions are stateful and therefore live OUTSIDE the client's retry
+// budget: a retried SESSION-DATA could double-absorb its chunk, so no
+// session request is ever retried automatically. The failure contract
+// is explicit instead — a SHED means the chunk was NOT absorbed (the
+// caller may resend the same chunk after backoff); any other error is
+// terminal for the session (the server dropped the carry state; the
+// caller re-opens and replays from its own source). A session is bound
+// to the TCP connection that opened it, so a client reconnect kills it
+// — the next Write answers unknown-session.
+//
+// A Session is single-goroutine, like the local scanners it mirrors;
+// the Client underneath stays safe for concurrent use by other
+// requests.
+type Session struct {
+	c       *Client
+	id      uint64
+	overlap uint32
+	done    bool
+}
+
+// OpenSessionCtx opens a streaming session against the server's
+// current rule snapshot. overlap is the boundary carry in bytes (the
+// longest match reported identically to a one-shot scan); non-positive
+// selects the server's default. The session is pinned to the snapshot
+// at open — a concurrent RELOAD never splits one stream across two
+// rule-set generations.
+func (c *Client) OpenSessionCtx(ctx context.Context, overlap int) (*Session, error) {
+	if overlap < 0 {
+		overlap = 0
+	}
+	f, err := c.do(ctx, server.OpSessionOpen, server.OpSessionOK, server.EncodeSessionOpen(uint32(overlap)), false)
+	if err != nil {
+		return nil, err
+	}
+	id, neg, err := server.DecodeSessionOK(f.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: protocol desync: %w", err)
+	}
+	return &Session{c: c, id: id, overlap: neg}, nil
+}
+
+// OpenSession opens a streaming session.
+func (c *Client) OpenSession(overlap int) (*Session, error) {
+	return c.OpenSessionCtx(context.Background(), overlap)
+}
+
+// ID returns the server-assigned session id.
+func (s *Session) ID() uint64 { return s.id }
+
+// Overlap returns the negotiated boundary carry in bytes.
+func (s *Session) Overlap() int { return int(s.overlap) }
+
+// WriteCtx pushes one chunk into the stream and returns the matches it
+// finalised (absolute stream offsets) plus the total bytes the server
+// has absorbed. On ErrShed the chunk was not absorbed and may be
+// resent as-is after backoff; any other error ends the session.
+func (s *Session) WriteCtx(ctx context.Context, chunk []byte) (ms []server.RuleMatch, consumed uint64, err error) {
+	if s.done {
+		return nil, 0, ErrSessionClosed
+	}
+	f, err := s.c.do(ctx, server.OpSessionData, server.OpSessionMatches, server.EncodeSessionData(s.id, chunk), false)
+	if err != nil {
+		if !errors.Is(err, ErrShed) {
+			s.done = true
+		}
+		return nil, 0, err
+	}
+	final, consumed, ms, derr := server.DecodeSessionMatches(f.Body)
+	if derr != nil || final {
+		s.done = true
+		if derr != nil {
+			return nil, 0, fmt.Errorf("client: protocol desync: %w", derr)
+		}
+		return nil, 0, errors.New("client: protocol desync: final session answer to a data frame")
+	}
+	return ms, consumed, nil
+}
+
+// Write pushes one chunk into the stream.
+func (s *Session) Write(chunk []byte) (ms []server.RuleMatch, consumed uint64, err error) {
+	return s.WriteCtx(context.Background(), chunk)
+}
+
+// CloseCtx finalises the stream: the server scans the carry-over tail
+// as the final window, returns its last matches, and drops the
+// session. Close is terminal whatever the outcome.
+func (s *Session) CloseCtx(ctx context.Context) (ms []server.RuleMatch, consumed uint64, err error) {
+	if s.done {
+		return nil, 0, ErrSessionClosed
+	}
+	s.done = true
+	f, err := s.c.do(ctx, server.OpSessionClose, server.OpSessionMatches, server.EncodeSessionClose(s.id), false)
+	if err != nil {
+		return nil, 0, err
+	}
+	final, consumed, ms, derr := server.DecodeSessionMatches(f.Body)
+	if derr != nil {
+		return nil, 0, fmt.Errorf("client: protocol desync: %w", derr)
+	}
+	if !final {
+		return nil, 0, errors.New("client: protocol desync: non-final session answer to a close frame")
+	}
+	return ms, consumed, nil
+}
+
+// Close finalises the stream.
+func (s *Session) Close() (ms []server.RuleMatch, consumed uint64, err error) {
+	return s.CloseCtx(context.Background())
+}
+
+// ScanStreamCtx scans r to EOF through a server-side session: open,
+// push chunkSize-sized reads, close, emitting every match in stream
+// order as it arrives. It is the remote counterpart of
+// Engine.ScanReader — byte-identical matches over the same stream —
+// and returns the total bytes scanned. A SHED mid-stream is retried
+// here by resending the unabsorbed chunk after the client's backoff
+// (safe: the server never saw it); any other failure aborts.
+func (c *Client) ScanStreamCtx(ctx context.Context, r io.Reader, chunkSize, overlap int, emit func(m server.RuleMatch) bool) (int64, error) {
+	if chunkSize <= 0 {
+		chunkSize = 64 * 1024
+	}
+	sess, err := c.OpenSessionCtx(ctx, overlap)
+	if err != nil {
+		return 0, err
+	}
+	flush := func(ms []server.RuleMatch) bool {
+		for _, m := range ms {
+			if !emit(m) {
+				return false
+			}
+		}
+		return true
+	}
+	var consumed uint64
+	buf := make([]byte, chunkSize)
+	for {
+		n, rerr := io.ReadFull(r, buf)
+		if n > 0 {
+			ms, cons, werr := pushChunk(ctx, sess, c, buf[:n])
+			if werr != nil {
+				return int64(consumed), werr
+			}
+			consumed = cons
+			if !flush(ms) {
+				sess.CloseCtx(ctx)
+				return int64(consumed), nil
+			}
+		}
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			break
+		}
+		if rerr != nil {
+			sess.CloseCtx(ctx)
+			return int64(consumed), rerr
+		}
+	}
+	ms, cons, err := sess.CloseCtx(ctx)
+	if err != nil {
+		return int64(consumed), err
+	}
+	flush(ms)
+	return int64(cons), nil
+}
+
+// pushChunk pushes one chunk, absorbing SHED by backing off and
+// resending — safe precisely because a shed chunk was never absorbed
+// server-side.
+func pushChunk(ctx context.Context, sess *Session, c *Client, chunk []byte) ([]server.RuleMatch, uint64, error) {
+	for attempt := 1; ; attempt++ {
+		ms, cons, err := sess.WriteCtx(ctx, chunk)
+		if err == nil {
+			return ms, cons, nil
+		}
+		if !errors.Is(err, ErrShed) || attempt > c.retries {
+			return nil, 0, err
+		}
+		if serr := c.sleep(ctx, c.backoffFor(attempt)); serr != nil {
+			return nil, 0, err
+		}
+	}
+}

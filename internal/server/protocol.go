@@ -38,6 +38,12 @@ const (
 	OpReload      byte = 0x06 // body = rules text (one RE per line); hot-swap the rule set
 	OpStats       byte = 0x07 // empty body; respond with the server metrics snapshot
 	OpTenant      byte = 0x08 // gateway envelope: tenant header + inner queue-class request
+	OpScanBatch   byte = 0x09 // body = u32 count, count × (u32 len, payload); per-item results
+	OpSessionOpen byte = 0x0A // body = u32 requested overlap; open a streaming session
+	OpSessionData byte = 0x0B // body = u64 session id, chunk bytes; push one stream chunk
+	// OpSessionClose finalises a streaming session: the overlap tail is
+	// scanned as the stream's final window and the session is released.
+	OpSessionClose byte = 0x0C // body = u64 session id
 )
 
 // Response opcodes (server → client; high bit set).
@@ -54,6 +60,12 @@ const (
 	// shard that failed or was excluded is always accounted here —
 	// never silently dropped.
 	OpMatchesPartial byte = 0x8A
+	OpBatchResp      byte = 0x8B // answers OpScanBatch; body = per-item results
+	OpSessionOK      byte = 0x8C // answers OpSessionOpen; body = u64 id, u32 overlap
+	// OpSessionMatches answers OpSessionData and OpSessionClose: u8
+	// flags (bit 0 final), u64 consumed stream bytes, then a standard
+	// MATCHES body whose offsets are absolute stream positions.
+	OpSessionMatches byte = 0x8D
 	OpError          byte = 0xE0 // any request; body = 1-byte code + utf-8 message
 	// OpShed: admission control rejected the request. The body is
 	// empty from a plain server; a gateway appends one optional reason
@@ -68,6 +80,12 @@ const (
 	ErrCodeScan          byte = 3 // the scan itself failed (fault, timeout)
 	ErrCodeDraining      byte = 4 // server is shutting down, not accepting work
 	ErrCodeUnknownTenant byte = 5 // gateway: TENANT names a tenant it does not serve
+	// ErrCodeUnknownSession: a SESSION-DATA or SESSION-CLOSE named a
+	// session the receiver does not hold — never opened here, already
+	// closed, reaped idle, owned by another connection, or lost with a
+	// dead shard. The stream state is gone; the client must re-open and
+	// replay from its own copy of the flow.
+	ErrCodeUnknownSession byte = 6
 )
 
 // SHED reason codes, the optional single body byte of a gateway SHED.
@@ -440,9 +458,13 @@ func DecodeTenant(body []byte) (h TenantHeader, innerOp byte, innerBody []byte, 
 // QueueClass reports whether op passes admission control into the
 // worker queue — the class a TENANT envelope may wrap. PING,
 // RULES-INFO and STATS answer inline and carry no tenant header.
+// SESSION-DATA and SESSION-CLOSE are queue-class too, but serialise
+// per session: a session's frames execute in arrival order, one at a
+// time, through the same bounded queue.
 func QueueClass(op byte) bool {
 	switch op {
-	case OpScan, OpCount, OpScanPattern, OpReload:
+	case OpScan, OpCount, OpScanPattern, OpReload,
+		OpScanBatch, OpSessionOpen, OpSessionData, OpSessionClose:
 		return true
 	}
 	return false
@@ -503,6 +525,14 @@ func OpName(op byte) string {
 		return "STATS"
 	case OpTenant:
 		return "TENANT"
+	case OpScanBatch:
+		return "SCAN-BATCH"
+	case OpSessionOpen:
+		return "SESSION-OPEN"
+	case OpSessionData:
+		return "SESSION-DATA"
+	case OpSessionClose:
+		return "SESSION-CLOSE"
 	case OpPong:
 		return "PONG"
 	case OpMatches:
@@ -517,6 +547,12 @@ func OpName(op byte) string {
 		return "STATS-RESP"
 	case OpMatchesPartial:
 		return "MATCHES-PARTIAL"
+	case OpBatchResp:
+		return "BATCH-RESP"
+	case OpSessionOK:
+		return "SESSION-OK"
+	case OpSessionMatches:
+		return "SESSION-MATCHES"
 	case OpError:
 		return "ERROR"
 	case OpShed:

@@ -1,0 +1,290 @@
+// Wire format of the batched and streaming-session extensions. One
+// SCAN-BATCH frame carries many small payloads and returns per-item
+// results, amortizing framing, admission and dispatch over the batch —
+// the shape of log-line and message-bus traffic. A streaming session
+// (SESSION-OPEN / SESSION-DATA / SESSION-CLOSE) carries the chunked
+// overlap-window state of internal/stream across frames, so a client
+// can push an unbounded flow (pcap, tail -f) and receive matches with
+// byte-identical semantics to a local Engine.ScanReader — including
+// matches that straddle frame boundaries. docs/PROTOCOL.md documents
+// every layout; protocol_stream_test.go pins the bytes.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MaxBatchItems bounds one SCAN-BATCH frame. The frame size cap already
+// bounds the bytes; this bounds the per-item bookkeeping a hostile
+// count field could otherwise demand before any payload is parsed.
+const MaxBatchItems = 4096
+
+// EncodeScanBatch serialises an OpScanBatch body: u32 item count, then
+// per item u32 length + payload bytes.
+func EncodeScanBatch(items [][]byte) ([]byte, error) {
+	if len(items) > MaxBatchItems {
+		return nil, fmt.Errorf("%w: batch of %d items exceeds %d", ErrMalformedFrame, len(items), MaxBatchItems)
+	}
+	size := 4
+	for _, it := range items {
+		size += 4 + len(it)
+	}
+	body := make([]byte, size)
+	binary.BigEndian.PutUint32(body, uint32(len(items)))
+	off := 4
+	for _, it := range items {
+		binary.BigEndian.PutUint32(body[off:], uint32(len(it)))
+		copy(body[off+4:], it)
+		off += 4 + len(it)
+	}
+	return body, nil
+}
+
+// DecodeScanBatch parses an OpScanBatch body; the items alias body.
+func DecodeScanBatch(body []byte) ([][]byte, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: scan-batch body %d bytes", ErrMalformedFrame, len(body))
+	}
+	n := binary.BigEndian.Uint32(body)
+	if n > MaxBatchItems {
+		return nil, fmt.Errorf("%w: scan-batch count %d exceeds %d", ErrMalformedFrame, n, MaxBatchItems)
+	}
+	items := make([][]byte, 0, n)
+	off := 4
+	for i := uint32(0); i < n; i++ {
+		if len(body)-off < 4 {
+			return nil, fmt.Errorf("%w: scan-batch truncated at item %d", ErrMalformedFrame, i)
+		}
+		ilen := int(binary.BigEndian.Uint32(body[off:]))
+		off += 4
+		if len(body)-off < ilen {
+			return nil, fmt.Errorf("%w: scan-batch item %d length %d exceeds body", ErrMalformedFrame, i, ilen)
+		}
+		items = append(items, body[off:off+ilen])
+		off += ilen
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("%w: scan-batch body has %d trailing bytes", ErrMalformedFrame, len(body)-off)
+	}
+	return items, nil
+}
+
+// BatchItemResult is one payload's outcome inside an OpBatchResp body:
+// either its match list (Code 0) or its isolated failure. One item
+// failing never discards its neighbours' results.
+type BatchItemResult struct {
+	Matches []RuleMatch
+	Code    byte // 0 = ok, otherwise an ERROR code
+	Msg     string
+}
+
+// Failed reports whether the item carries an error instead of matches.
+func (r BatchItemResult) Failed() bool { return r.Code != 0 }
+
+// EncodeBatchResults serialises an OpBatchResp body: u32 item count,
+// then per item u8 status — 0 followed by a standard MATCHES body, or
+// 1 followed by u8 code, u16 message length, message bytes.
+func EncodeBatchResults(results []BatchItemResult) []byte {
+	size := 4
+	for _, r := range results {
+		if r.Failed() {
+			msg := r.Msg
+			if len(msg) > 0xFFFF {
+				msg = msg[:0xFFFF]
+			}
+			size += 1 + 1 + 2 + len(msg)
+		} else {
+			size += 1 + 4 + matchRecord*len(r.Matches)
+		}
+	}
+	body := make([]byte, 0, size)
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(len(results)))
+	body = append(body, u32[:]...)
+	for _, r := range results {
+		if r.Failed() {
+			msg := r.Msg
+			if len(msg) > 0xFFFF {
+				msg = msg[:0xFFFF]
+			}
+			body = append(body, 1, r.Code)
+			var u16 [2]byte
+			binary.BigEndian.PutUint16(u16[:], uint16(len(msg)))
+			body = append(body, u16[:]...)
+			body = append(body, msg...)
+			continue
+		}
+		body = append(body, 0)
+		body = append(body, EncodeMatches(r.Matches)...)
+	}
+	return body
+}
+
+// DecodeBatchResults parses an OpBatchResp body.
+func DecodeBatchResults(body []byte) ([]BatchItemResult, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: batch-resp body %d bytes", ErrMalformedFrame, len(body))
+	}
+	n := binary.BigEndian.Uint32(body)
+	if n > MaxBatchItems {
+		return nil, fmt.Errorf("%w: batch-resp count %d exceeds %d", ErrMalformedFrame, n, MaxBatchItems)
+	}
+	out := make([]BatchItemResult, 0, n)
+	off := 4
+	for i := uint32(0); i < n; i++ {
+		if len(body)-off < 1 {
+			return nil, fmt.Errorf("%w: batch-resp truncated at item %d", ErrMalformedFrame, i)
+		}
+		status := body[off]
+		off++
+		switch status {
+		case 0:
+			if len(body)-off < 4 {
+				return nil, fmt.Errorf("%w: batch-resp item %d match count truncated", ErrMalformedFrame, i)
+			}
+			mn := binary.BigEndian.Uint32(body[off:])
+			mlen := 4 + int(mn)*matchRecord
+			if mn > uint32(len(body)) || len(body)-off < mlen {
+				return nil, fmt.Errorf("%w: batch-resp item %d matches exceed body", ErrMalformedFrame, i)
+			}
+			ms, err := DecodeMatches(body[off : off+mlen])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, BatchItemResult{Matches: ms})
+			off += mlen
+		case 1:
+			if len(body)-off < 3 {
+				return nil, fmt.Errorf("%w: batch-resp item %d error truncated", ErrMalformedFrame, i)
+			}
+			code := body[off]
+			mlen := int(binary.BigEndian.Uint16(body[off+1:]))
+			off += 3
+			if len(body)-off < mlen {
+				return nil, fmt.Errorf("%w: batch-resp item %d message exceeds body", ErrMalformedFrame, i)
+			}
+			out = append(out, BatchItemResult{Code: code, Msg: string(body[off : off+mlen])})
+			off += mlen
+		default:
+			return nil, fmt.Errorf("%w: batch-resp item %d unknown status %d", ErrMalformedFrame, i, status)
+		}
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("%w: batch-resp body has %d trailing bytes", ErrMalformedFrame, len(body)-off)
+	}
+	return out, nil
+}
+
+// MaxSessionOverlap caps the per-session overlap a SESSION-OPEN may
+// request: the overlap is carry-over memory the server holds for the
+// session's whole lifetime, so a hostile open cannot demand more than
+// one frame's worth.
+const MaxSessionOverlap = DefaultMaxFrame
+
+// EncodeSessionOpen serialises an OpSessionOpen body: u32 requested
+// overlap in bytes (0 selects the server's default — the longest match
+// guaranteed to be reported identically to a one-shot scan).
+func EncodeSessionOpen(overlap uint32) []byte {
+	body := make([]byte, 4)
+	binary.BigEndian.PutUint32(body, overlap)
+	return body
+}
+
+// DecodeSessionOpen parses an OpSessionOpen body.
+func DecodeSessionOpen(body []byte) (overlap uint32, err error) {
+	if len(body) != 4 {
+		return 0, fmt.Errorf("%w: session-open body %d bytes", ErrMalformedFrame, len(body))
+	}
+	overlap = binary.BigEndian.Uint32(body)
+	if overlap > MaxSessionOverlap {
+		return 0, fmt.Errorf("%w: session overlap %d exceeds %d", ErrMalformedFrame, overlap, MaxSessionOverlap)
+	}
+	return overlap, nil
+}
+
+// EncodeSessionOK serialises an OpSessionOK body: u64 session id, u32
+// effective overlap.
+func EncodeSessionOK(id uint64, overlap uint32) []byte {
+	body := make([]byte, 12)
+	binary.BigEndian.PutUint64(body, id)
+	binary.BigEndian.PutUint32(body[8:], overlap)
+	return body
+}
+
+// DecodeSessionOK parses an OpSessionOK body.
+func DecodeSessionOK(body []byte) (id uint64, overlap uint32, err error) {
+	if len(body) != 12 {
+		return 0, 0, fmt.Errorf("%w: session-ok body %d bytes", ErrMalformedFrame, len(body))
+	}
+	return binary.BigEndian.Uint64(body), binary.BigEndian.Uint32(body[8:]), nil
+}
+
+// sessionIDLen prefixes every SESSION-DATA and SESSION-CLOSE body.
+const sessionIDLen = 8
+
+// EncodeSessionData serialises an OpSessionData body: u64 session id,
+// then the chunk bytes (may be empty — an empty push is a no-op probe).
+func EncodeSessionData(id uint64, chunk []byte) []byte {
+	body := make([]byte, sessionIDLen+len(chunk))
+	binary.BigEndian.PutUint64(body, id)
+	copy(body[sessionIDLen:], chunk)
+	return body
+}
+
+// DecodeSessionData parses an OpSessionData body; chunk aliases body.
+func DecodeSessionData(body []byte) (id uint64, chunk []byte, err error) {
+	if len(body) < sessionIDLen {
+		return 0, nil, fmt.Errorf("%w: session-data body %d bytes", ErrMalformedFrame, len(body))
+	}
+	return binary.BigEndian.Uint64(body), body[sessionIDLen:], nil
+}
+
+// EncodeSessionClose serialises an OpSessionClose body: u64 session id.
+func EncodeSessionClose(id uint64) []byte {
+	body := make([]byte, sessionIDLen)
+	binary.BigEndian.PutUint64(body, id)
+	return body
+}
+
+// DecodeSessionClose parses an OpSessionClose body.
+func DecodeSessionClose(body []byte) (id uint64, err error) {
+	if len(body) != sessionIDLen {
+		return 0, fmt.Errorf("%w: session-close body %d bytes", ErrMalformedFrame, len(body))
+	}
+	return binary.BigEndian.Uint64(body), nil
+}
+
+// sessionFlagFinal marks the SESSION-MATCHES answering SESSION-CLOSE:
+// the tail window has been scanned and the session is gone.
+const sessionFlagFinal byte = 1 << 0
+
+// EncodeSessionMatches serialises an OpSessionMatches body: u8 flags
+// (bit 0: final — answers SESSION-CLOSE), u64 consumed (total stream
+// bytes the session has absorbed), then a standard MATCHES body whose
+// offsets are absolute stream positions.
+func EncodeSessionMatches(final bool, consumed uint64, ms []RuleMatch) []byte {
+	inner := EncodeMatches(ms)
+	body := make([]byte, 9+len(inner))
+	if final {
+		body[0] |= sessionFlagFinal
+	}
+	binary.BigEndian.PutUint64(body[1:9], consumed)
+	copy(body[9:], inner)
+	return body
+}
+
+// DecodeSessionMatches parses an OpSessionMatches body.
+func DecodeSessionMatches(body []byte) (final bool, consumed uint64, ms []RuleMatch, err error) {
+	if len(body) < 9 {
+		return false, 0, nil, fmt.Errorf("%w: session-matches body %d bytes", ErrMalformedFrame, len(body))
+	}
+	if body[0]&^sessionFlagFinal != 0 {
+		return false, 0, nil, fmt.Errorf("%w: session-matches unknown flags 0x%02X", ErrMalformedFrame, body[0])
+	}
+	ms, err = DecodeMatches(body[9:])
+	if err != nil {
+		return false, 0, nil, err
+	}
+	return body[0]&sessionFlagFinal != 0, binary.BigEndian.Uint64(body[1:9]), ms, nil
+}

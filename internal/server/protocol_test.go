@@ -280,7 +280,9 @@ func TestEncodeDecodeRoundTrips(t *testing.T) {
 
 func TestOpNames(t *testing.T) {
 	ops := []byte{OpPing, OpScan, OpCount, OpScanPattern, OpRulesInfo, OpReload, OpStats,
-		OpPong, OpMatches, OpCountResp, OpInfo, OpReloadOK, OpStatsResp, OpError, OpShed}
+		OpTenant, OpScanBatch, OpSessionOpen, OpSessionData, OpSessionClose,
+		OpPong, OpMatches, OpCountResp, OpInfo, OpReloadOK, OpStatsResp,
+		OpMatchesPartial, OpBatchResp, OpSessionOK, OpSessionMatches, OpError, OpShed}
 	seen := map[string]bool{}
 	for _, op := range ops {
 		name := OpName(op)

@@ -94,6 +94,18 @@ type Config struct {
 	// (default 64; negative disables caching).
 	PatternCache int
 
+	// MaxSessions bounds the open streaming sessions (default 256). A
+	// SESSION-OPEN past the bound is answered with SHED — each session
+	// holds an overlap tail resident, so the bound is a memory cap.
+	MaxSessions int
+	// SessionIdleTimeout reaps sessions with no traffic for this long
+	// (default 60s); a reaped id answers ERROR unknown-session.
+	SessionIdleTimeout time.Duration
+	// SessionPending bounds one session's admitted-but-unexecuted
+	// frames (default 8). A frame past the bound is answered with SHED;
+	// it was not absorbed, so resending the same chunk is safe.
+	SessionPending int
+
 	// Registry receives the server's metrics; nil allocates a private
 	// one (exposed by MetricsSnapshot and the STATS endpoint).
 	Registry *metrics.Registry
@@ -122,6 +134,15 @@ func (c Config) withDefaults() Config {
 	if c.PatternCache == 0 {
 		c.PatternCache = 64
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.SessionIdleTimeout <= 0 {
+		c.SessionIdleTimeout = 60 * time.Second
+	}
+	if c.SessionPending <= 0 {
+		c.SessionPending = 8
+	}
 	return c
 }
 
@@ -139,6 +160,11 @@ type Server struct {
 	queue  chan *job
 	qdepth atomic.Int64
 
+	sessMu   sync.Mutex
+	sessions map[uint64]*session
+	sessNext uint64
+	sessStop chan struct{} // closed when the drain begins; stops the reaper
+
 	baseCtx context.Context
 	abort   context.CancelFunc // hard stop: cancels in-flight scans
 
@@ -154,11 +180,15 @@ type Server struct {
 	wgWorkers sync.WaitGroup
 }
 
-// job is one admitted request awaiting a worker.
+// job is one admitted request awaiting a worker. Session frames carry
+// their session; a runner job (no frame of its own) drains one
+// session's FIFO in arrival order.
 type job struct {
 	c        *conn
 	f        Frame
 	admitted time.Time
+	sess     *session
+	runner   bool
 }
 
 // conn is one accepted connection: frames are read by its reader
@@ -182,6 +212,13 @@ type endpointMetrics struct {
 // the request path touches only atomics.
 type serverMetrics struct {
 	scan, count, pattern, ping, info, reload, stats endpointMetrics
+	batch, sessData                                 endpointMetrics
+
+	batchItems *metrics.Counter
+	sessOpens  *metrics.Counter
+	sessCloses *metrics.Counter
+	sessReaped *metrics.Counter
+	sessActive *metrics.Gauge
 
 	matches    *metrics.Counter
 	shed       *metrics.Counter
@@ -213,6 +250,13 @@ func resolveMetrics(r *metrics.Registry) serverMetrics {
 		info:       newEndpoint(r, "info"),
 		reload:     newEndpoint(r, "reload"),
 		stats:      newEndpoint(r, "stats"),
+		batch:      newEndpoint(r, "batch"),
+		sessData:   newEndpoint(r, "session.data"),
+		batchItems: r.Counter("server.batch.items"),
+		sessOpens:  r.Counter("server.session.opens"),
+		sessCloses: r.Counter("server.session.closes"),
+		sessReaped: r.Counter("server.session.reaped"),
+		sessActive: r.Gauge("server.session.active"),
 		matches:    r.Counter("server.matches"),
 		shed:       r.Counter("server.shed"),
 		errs:       r.Counter("server.errors"),
@@ -257,8 +301,10 @@ func New(cfg Config) (*Server, error) {
 		queue:   make(chan *job, cfg.QueueDepth),
 		baseCtx: ctx,
 		abort:   cancel,
-		conns:   map[*conn]struct{}{},
-		stopped: make(chan struct{}),
+		conns:    map[*conn]struct{}{},
+		sessions: map[uint64]*session{},
+		sessStop: make(chan struct{}),
+		stopped:  make(chan struct{}),
 	}
 	s.snap.Store(snap)
 	s.met.generation.Set(0)
@@ -301,6 +347,8 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.wgWorkers.Add(1)
 		go s.worker()
 	}
+	s.wgWorkers.Add(1)
+	go s.sessionReaper()
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
@@ -431,6 +479,7 @@ func (s *Server) beginStop() []*conn {
 func (s *Server) ensureDrainLoop() {
 	s.stopOnce.Do(func() {
 		go func() {
+			close(s.sessStop)
 			s.wgConns.Wait()
 			close(s.queue)
 			s.wgWorkers.Wait()
@@ -458,6 +507,10 @@ func (s *Server) serveConn(c *conn) {
 	defer s.wgConns.Done()
 	defer func() {
 		c.pending.Wait()
+		// Every admitted frame is answered; now reap the connection's
+		// streaming sessions — their owner is gone, so their ids are
+		// dead (a reconnecting client must re-open and replay).
+		s.closeConnSessions(c)
 		c.nc.Close()
 		s.mu.Lock()
 		delete(s.conns, c)
@@ -529,7 +582,15 @@ func (s *Server) dispatch(c *conn, f Frame) {
 		}
 		s.writeFrame(c, Frame{Op: OpStatsResp, ID: f.ID, Body: buf.Bytes()})
 		s.met.stats.latency.Observe(time.Since(start).Microseconds())
-	case OpScan, OpCount, OpScanPattern, OpReload:
+	case OpSessionData, OpSessionClose:
+		// Session frames must execute in arrival order, one at a time:
+		// they join the session's FIFO, not the queue directly.
+		if s.isDraining() {
+			s.replyErr(c, f.ID, ErrCodeDraining, errors.New("server draining"))
+			return
+		}
+		s.dispatchSession(c, f, start)
+	case OpScan, OpCount, OpScanPattern, OpReload, OpScanBatch, OpSessionOpen:
 		if s.isDraining() {
 			s.replyErr(c, f.ID, ErrCodeDraining, errors.New("server draining"))
 			return
@@ -559,7 +620,11 @@ func (s *Server) worker() {
 	defer s.wgWorkers.Done()
 	for j := range s.queue {
 		s.met.queueDepth.Set(s.qdepth.Add(-1))
-		s.execute(j)
+		if j.runner {
+			s.runSession(j.sess)
+		} else {
+			s.execute(j)
+		}
 		j.c.pending.Done()
 	}
 }
@@ -629,6 +694,10 @@ func (s *Server) execute(j *job) {
 		}
 		s.writeFrame(j.c, Frame{Op: OpReloadOK, ID: j.f.ID, Body: EncodeReloadOK(gen, uint32(len(rules)))})
 		s.met.reload.latency.Observe(time.Since(j.admitted).Microseconds())
+	case OpScanBatch:
+		s.executeBatch(ctx, j)
+	case OpSessionOpen:
+		s.openSession(j)
 	}
 }
 
@@ -636,18 +705,7 @@ func (s *Server) execute(j *job) {
 // captured once, so a concurrent Reload never splits one request
 // across two rule-set generations.
 func (s *Server) scanSnapshot(ctx context.Context, payload []byte) ([]RuleMatch, error) {
-	snap := s.snap.Load()
-	out, err := snap.rules.ScanCtx(ctx, payload)
-	if err != nil {
-		return nil, err
-	}
-	var ms []RuleMatch
-	for _, rm := range out {
-		for _, m := range rm.Matches {
-			ms = append(ms, RuleMatch{Rule: uint32(rm.Rule), Start: uint64(m.Start), End: uint64(m.End)})
-		}
-	}
-	return ms, nil
+	return scanRules(ctx, s.snap.Load(), payload)
 }
 
 // scanPattern runs one ad-hoc pattern over payload through the LRU

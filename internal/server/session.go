@@ -1,0 +1,347 @@
+// Streaming sessions: the server side of SESSION-OPEN / SESSION-DATA /
+// SESSION-CLOSE. A session pins a core.Stream — the push-mode
+// carry-over state of the chunked overlap discipline — so a client can
+// scan an unbounded flow through the service with byte-identical
+// semantics to a local RuleSet.ScanReader, including matches that
+// straddle frame boundaries and fast-path gating across chunks.
+//
+// Ordering and concurrency: a session's frames must execute in arrival
+// order, one at a time (the stream state is sequential), but the
+// server must not dedicate a worker per session or let one session
+// block unrelated work. Each session therefore keeps a small FIFO of
+// its admitted frames and schedules at most one runner job into the
+// shared bounded queue; the runner drains the FIFO and retires. Admission
+// control is preserved end to end — a full queue or a full session
+// FIFO answers SHED, and an admitted frame is always answered (the
+// drain waits on the same per-connection accounting as every other
+// request).
+//
+// Lifecycle: a session is bound to the connection that opened it (no
+// cross-connection hijack; the conn's close reaps it), pinned to the
+// rule snapshot at open (a RELOAD never splits one flow across two
+// generations), bounded in memory (overlap tail + bounded FIFO of
+// frame-capped chunks), and reaped after SessionIdleTimeout without
+// traffic.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"alveare/internal/core"
+)
+
+// session is one open streaming session.
+type session struct {
+	id    uint64
+	owner *conn
+	st    *core.Stream
+
+	mu      sync.Mutex
+	pending []*job // admitted frames awaiting the runner, FIFO
+	running bool   // a runner job is queued or draining the FIFO
+	closed  bool
+	last    time.Time // last activity, for idle reaping
+}
+
+// openSession executes an admitted SESSION-OPEN: allocate the session
+// against the current snapshot and reply SESSION-OK. The session limit
+// sheds (an authoritative refusal before any state was created — safe
+// to retry after backoff).
+func (s *Server) openSession(j *job) {
+	overlap, err := DecodeSessionOpen(j.f.Body)
+	if err != nil {
+		s.replyErr(j.c, j.f.ID, ErrCodeBadFrame, err)
+		return
+	}
+	snap := s.snap.Load()
+	sess := &session{owner: j.c, st: snap.rules.NewStream(int(overlap)), last: time.Now()}
+	s.sessMu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.sessMu.Unlock()
+		s.met.shed.Inc()
+		s.writeFrame(j.c, Frame{Op: OpShed, ID: j.f.ID})
+		return
+	}
+	s.sessNext++
+	sess.id = s.sessNext
+	s.sessions[sess.id] = sess
+	active := len(s.sessions)
+	s.sessMu.Unlock()
+	s.met.sessOpens.Inc()
+	s.met.sessActive.Set(int64(active))
+	s.writeFrame(j.c, Frame{Op: OpSessionOK, ID: j.f.ID,
+		Body: EncodeSessionOK(sess.id, uint32(sess.st.Overlap()))})
+}
+
+// dispatchSession admits one SESSION-DATA/SESSION-CLOSE frame on the
+// reader goroutine: look the session up, append the frame to its FIFO,
+// and schedule a runner into the bounded queue if none is active. A
+// full FIFO or a full queue answers SHED — the frame was not absorbed
+// into the stream, so the client may resend the same chunk after
+// backoff without corrupting the flow.
+func (s *Server) dispatchSession(c *conn, f Frame, start time.Time) {
+	if len(f.Body) < sessionIDLen {
+		s.replyErr(c, f.ID, ErrCodeBadFrame,
+			fmt.Errorf("%w: %s body %d bytes", ErrMalformedFrame, OpName(f.Op), len(f.Body)))
+		return
+	}
+	var id uint64
+	for _, b := range f.Body[:sessionIDLen] {
+		id = id<<8 | uint64(b)
+	}
+	s.sessMu.Lock()
+	sess := s.sessions[id]
+	s.sessMu.Unlock()
+	// The owner check makes a session id useless off its connection: a
+	// stray or hostile frame cannot read another flow's matches or
+	// corrupt its carry state.
+	if sess == nil || sess.owner != c {
+		s.replyErr(c, f.ID, ErrCodeUnknownSession, fmt.Errorf("unknown session %d", id))
+		return
+	}
+	j := &job{c: c, f: f, admitted: start, sess: sess}
+	sess.mu.Lock()
+	if sess.closed {
+		sess.mu.Unlock()
+		s.replyErr(c, f.ID, ErrCodeUnknownSession, fmt.Errorf("unknown session %d", id))
+		return
+	}
+	if len(sess.pending) >= s.cfg.SessionPending {
+		sess.mu.Unlock()
+		s.met.shed.Inc()
+		s.writeFrame(c, Frame{Op: OpShed, ID: f.ID})
+		return
+	}
+	c.pending.Add(1)
+	sess.pending = append(sess.pending, j)
+	if !sess.running {
+		runner := &job{c: c, sess: sess, runner: true}
+		select {
+		case s.queue <- runner:
+			c.pending.Add(1)
+			sess.running = true
+			d := s.qdepth.Add(1)
+			s.met.queueDepth.Set(d)
+			s.met.queueHigh.Max(d)
+		default:
+			sess.pending = sess.pending[:len(sess.pending)-1]
+			sess.mu.Unlock()
+			c.pending.Done()
+			s.met.shed.Inc()
+			s.writeFrame(c, Frame{Op: OpShed, ID: f.ID})
+			return
+		}
+	}
+	sess.mu.Unlock()
+}
+
+// runSession drains one session's FIFO in arrival order. It holds one
+// worker while frames are queued, then retires; the next frame
+// schedules a fresh runner. Frames that raced in behind a CLOSE are
+// answered unknown-session.
+func (s *Server) runSession(sess *session) {
+	for {
+		sess.mu.Lock()
+		if len(sess.pending) == 0 {
+			sess.running = false
+			sess.last = time.Now()
+			sess.mu.Unlock()
+			return
+		}
+		j := sess.pending[0]
+		sess.pending = sess.pending[1:]
+		closed := sess.closed
+		sess.mu.Unlock()
+		if closed {
+			s.replyErr(j.c, j.f.ID, ErrCodeUnknownSession, fmt.Errorf("unknown session %d", sess.id))
+		} else {
+			s.executeSession(sess, j)
+		}
+		j.c.pending.Done()
+	}
+}
+
+// executeSession runs one admitted session frame under the per-request
+// timeout and writes its response. A scan fault (guardrail, timeout,
+// cancellation) is terminal: the carry state past it is unreliable, so
+// the session closes and the client must re-open — it can never
+// silently lose or duplicate matches across the fault.
+func (s *Server) executeSession(sess *session, j *job) {
+	if s.cfg.ScanHook != nil {
+		s.cfg.ScanHook()
+	}
+	ctx := s.baseCtx
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	var ms []RuleMatch
+	emit := func(rule int, m core.Match, _ []byte) bool {
+		ms = append(ms, RuleMatch{Rule: uint32(rule), Start: uint64(m.Start), End: uint64(m.End)})
+		return true
+	}
+	switch j.f.Op {
+	case OpSessionData:
+		chunk := j.f.Body[sessionIDLen:]
+		s.met.sessData.requests.Inc()
+		s.met.sessData.bytes.Add(int64(len(chunk)))
+		if _, err := sess.st.PushCtx(ctx, chunk, emit); err != nil {
+			s.closeSession(sess)
+			s.replyErr(j.c, j.f.ID, ErrCodeScan, err)
+			return
+		}
+		s.met.matches.Add(int64(len(ms)))
+		s.writeFrame(j.c, Frame{Op: OpSessionMatches, ID: j.f.ID,
+			Body: EncodeSessionMatches(false, uint64(sess.st.Consumed()), ms)})
+		s.met.sessData.latency.Observe(time.Since(j.admitted).Microseconds())
+	case OpSessionClose:
+		if len(j.f.Body) != sessionIDLen {
+			s.replyErr(j.c, j.f.ID, ErrCodeBadFrame,
+				fmt.Errorf("%w: session-close body %d bytes", ErrMalformedFrame, len(j.f.Body)))
+			return
+		}
+		_, err := sess.st.FinishCtx(ctx, emit)
+		s.closeSession(sess)
+		s.met.sessCloses.Inc()
+		if err != nil {
+			s.replyErr(j.c, j.f.ID, ErrCodeScan, err)
+			return
+		}
+		s.met.matches.Add(int64(len(ms)))
+		s.writeFrame(j.c, Frame{Op: OpSessionMatches, ID: j.f.ID,
+			Body: EncodeSessionMatches(true, uint64(sess.st.Consumed()), ms)})
+	}
+}
+
+// closeSession marks the session closed and drops it from the
+// registry. Idempotent; pending frames answer unknown-session.
+func (s *Server) closeSession(sess *session) {
+	sess.mu.Lock()
+	was := sess.closed
+	sess.closed = true
+	sess.mu.Unlock()
+	if was {
+		return
+	}
+	s.sessMu.Lock()
+	delete(s.sessions, sess.id)
+	active := len(s.sessions)
+	s.sessMu.Unlock()
+	s.met.sessActive.Set(int64(active))
+}
+
+// closeConnSessions reaps every session the closing connection owns.
+// It runs after the connection's admitted jobs were answered, so no
+// runner can still be draining these sessions.
+func (s *Server) closeConnSessions(c *conn) {
+	s.sessMu.Lock()
+	var own []*session
+	for _, sess := range s.sessions {
+		if sess.owner == c {
+			own = append(own, sess)
+		}
+	}
+	s.sessMu.Unlock()
+	for _, sess := range own {
+		s.closeSession(sess)
+	}
+}
+
+// sessionReaper closes sessions idle past SessionIdleTimeout — an
+// abandoned flow (a client that died without SESSION-CLOSE on a
+// connection that stays up) must not hold registry slots and overlap
+// memory forever.
+func (s *Server) sessionReaper() {
+	defer s.wgWorkers.Done()
+	sweep := s.cfg.SessionIdleTimeout / 4
+	if sweep <= 0 {
+		sweep = time.Second
+	}
+	t := time.NewTicker(sweep)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sessStop:
+			return
+		case <-t.C:
+			s.reapIdleSessions(time.Now())
+		}
+	}
+}
+
+// reapIdleSessions closes sessions whose last activity predates the
+// idle timeout. A session with queued frames or an active runner is
+// never reaped — only truly idle ones.
+func (s *Server) reapIdleSessions(now time.Time) {
+	s.sessMu.Lock()
+	var idle []*session
+	for _, sess := range s.sessions {
+		sess.mu.Lock()
+		if !sess.running && len(sess.pending) == 0 && !sess.closed &&
+			now.Sub(sess.last) > s.cfg.SessionIdleTimeout {
+			idle = append(idle, sess)
+		}
+		sess.mu.Unlock()
+	}
+	s.sessMu.Unlock()
+	for _, sess := range idle {
+		s.closeSession(sess)
+		s.met.sessReaped.Inc()
+	}
+}
+
+// SessionCount reports the open-session count (tests and diagnostics).
+func (s *Server) SessionCount() int {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	return len(s.sessions)
+}
+
+// executeBatch runs one admitted SCAN-BATCH: every item scanned
+// against one snapshot capture (a concurrent RELOAD never splits a
+// batch across generations), per-item fault isolation — one payload
+// hitting a guardrail fault or timeout fails that item alone.
+func (s *Server) executeBatch(ctx context.Context, j *job) {
+	items, err := DecodeScanBatch(j.f.Body)
+	if err != nil {
+		s.replyErr(j.c, j.f.ID, ErrCodeBadFrame, err)
+		return
+	}
+	s.met.batch.requests.Inc()
+	s.met.batchItems.Add(int64(len(items)))
+	snap := s.snap.Load()
+	results := make([]BatchItemResult, len(items))
+	var matched int64
+	for i, payload := range items {
+		s.met.batch.bytes.Add(int64(len(payload)))
+		out, err := scanRules(ctx, snap, payload)
+		if err != nil {
+			results[i] = BatchItemResult{Code: ErrCodeScan, Msg: err.Error()}
+			continue
+		}
+		results[i] = BatchItemResult{Matches: out}
+		matched += int64(len(out))
+	}
+	s.met.matches.Add(matched)
+	s.writeFrame(j.c, Frame{Op: OpBatchResp, ID: j.f.ID, Body: EncodeBatchResults(results)})
+	s.met.batch.latency.Observe(time.Since(j.admitted).Microseconds())
+}
+
+// scanRules runs one payload against a pinned snapshot.
+func scanRules(ctx context.Context, snap *snapshot, payload []byte) ([]RuleMatch, error) {
+	out, err := snap.rules.ScanCtx(ctx, payload)
+	if err != nil {
+		return nil, err
+	}
+	var ms []RuleMatch
+	for _, rm := range out {
+		for _, m := range rm.Matches {
+			ms = append(ms, RuleMatch{Rule: uint32(rm.Rule), Start: uint64(m.Start), End: uint64(m.End)})
+		}
+	}
+	return ms, nil
+}

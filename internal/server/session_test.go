@@ -1,0 +1,498 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"alveare/internal/backend"
+	"alveare/internal/core"
+	"alveare/internal/server"
+	"alveare/internal/server/client"
+)
+
+// streamRules and streamPayload build a corpus dense in matches that
+// straddle arbitrary chunk boundaries: repeated runs whose matches
+// (e.g. "ab+c" over "abbbbbc") span more bytes than the small frame
+// sizes the tests push.
+var streamRules = []string{"ab+c", "needle", "x[0-9]+y", "GET /[a-z/]+"}
+
+func streamPayload(n int) []byte {
+	rng := rand.New(rand.NewSource(42))
+	var b bytes.Buffer
+	pieces := []string{
+		"abc", "abbbbbbbbbbbc", "needle", "x12345y", "GET /index/html",
+		"..", "nee", "ab", "x9", "filler filler",
+	}
+	for b.Len() < n {
+		b.WriteString(pieces[rng.Intn(len(pieces))])
+	}
+	return b.Bytes()
+}
+
+// localStreamMatches is the ground truth: the local engine's streaming
+// scan over the same payload and overlap.
+func localStreamMatches(t *testing.T, rules []string, payload []byte, overlap int) []server.RuleMatch {
+	t.Helper()
+	opts := []core.Option{core.WithDFA()}
+	if overlap > 0 {
+		opts = append(opts, core.WithOverlap(overlap))
+	}
+	rs, err := core.NewRuleSet(rules, backend.Options{}, opts...)
+	if err != nil {
+		t.Fatalf("NewRuleSet: %v", err)
+	}
+	var want []server.RuleMatch
+	if _, err := rs.ScanReaderCtx(context.Background(), bytes.NewReader(payload),
+		func(rule int, m core.Match, _ []byte) bool {
+			want = append(want, server.RuleMatch{Rule: uint32(rule), Start: uint64(m.Start), End: uint64(m.End)})
+			return true
+		}); err != nil {
+		t.Fatalf("ScanReaderCtx: %v", err)
+	}
+	sortMatches(want)
+	return want
+}
+
+// TestServerSessionMatchesLocalStreaming pins the tentpole invariant:
+// a session fed arbitrary-sized frames returns exactly the matches the
+// local streaming engine produces over the concatenated stream —
+// including matches straddling frame boundaries.
+func TestServerSessionMatchesLocalStreaming(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	payload := streamPayload(64 << 10)
+	_, addr := startServer(t, server.Config{Rules: streamRules})
+	c := dial(t, addr)
+
+	for _, chunk := range []int{7, 64, 1024, 100_000 /* single frame > payload */} {
+		t.Run(fmt.Sprintf("chunk=%d", chunk), func(t *testing.T) {
+			sess, err := c.OpenSession(0)
+			if err != nil {
+				t.Fatalf("OpenSession: %v", err)
+			}
+			var got []server.RuleMatch
+			for off := 0; off < len(payload); off += chunk {
+				end := off + chunk
+				if end > len(payload) {
+					end = len(payload)
+				}
+				ms, consumed, err := sess.Write(payload[off:end])
+				if err != nil {
+					t.Fatalf("Write at %d: %v", off, err)
+				}
+				if consumed != uint64(end) {
+					t.Fatalf("consumed = %d, want %d", consumed, end)
+				}
+				got = append(got, ms...)
+			}
+			ms, consumed, err := sess.Close()
+			if err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if consumed != uint64(len(payload)) {
+				t.Fatalf("final consumed = %d, want %d", consumed, len(payload))
+			}
+			got = append(got, ms...)
+			sortMatches(got)
+			want := localStreamMatches(t, streamRules, payload, 0)
+			if len(got) == 0 || len(got) != len(want) {
+				t.Fatalf("match count: session %d, local %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("match %d: session %+v, local %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestServerSessionStraddle pins one match that spans a frame boundary
+// exactly: no frame alone contains it, only the overlap carry finds it.
+func TestServerSessionStraddle(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	_, addr := startServer(t, server.Config{Rules: []string{"needle"}})
+	c := dial(t, addr)
+	sess, err := c.OpenSession(64)
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	if sess.Overlap() != 64 {
+		t.Fatalf("negotiated overlap = %d, want 64", sess.Overlap())
+	}
+	var got []server.RuleMatch
+	for _, frame := range []string{"....nee", "dle...."} {
+		ms, _, err := sess.Write([]byte(frame))
+		if err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		got = append(got, ms...)
+	}
+	ms, _, err := sess.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got = append(got, ms...)
+	if len(got) != 1 || got[0] != (server.RuleMatch{Rule: 0, Start: 4, End: 10}) {
+		t.Fatalf("straddling match = %+v, want [{0 4 10}]", got)
+	}
+}
+
+// TestServerSessionUnknownID: data for a session that never existed is
+// an authoritative unknown-session error, not a hang or a scan.
+func TestServerSessionUnknownID(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	_, addr := startServer(t, server.Config{Rules: streamRules})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	if err := server.WriteFrame(nc, server.Frame{Op: server.OpSessionData, ID: 1,
+		Body: server.EncodeSessionData(12345, []byte("abc"))}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	f, err := server.ReadFrame(nc, server.DefaultMaxFrame)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	code, _, err := server.DecodeError(f.Body)
+	if f.Op != server.OpError || err != nil || code != server.ErrCodeUnknownSession {
+		t.Fatalf("got op %s code %d err %v, want ERROR/unknown-session", server.OpName(f.Op), code, err)
+	}
+}
+
+// TestServerSessionCrossConnRejected: a session id is bound to the
+// connection that opened it — another connection presenting the same
+// id gets unknown-session, never the other flow's state.
+func TestServerSessionCrossConnRejected(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	_, addr := startServer(t, server.Config{Rules: streamRules})
+	c := dial(t, addr)
+	sess, err := c.OpenSession(0)
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	if err := server.WriteFrame(nc, server.Frame{Op: server.OpSessionData, ID: 9,
+		Body: server.EncodeSessionData(sess.ID(), []byte("abc"))}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	f, err := server.ReadFrame(nc, server.DefaultMaxFrame)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	code, _, _ := server.DecodeError(f.Body)
+	if f.Op != server.OpError || code != server.ErrCodeUnknownSession {
+		t.Fatalf("cross-conn data answered %s code %d, want ERROR/unknown-session", server.OpName(f.Op), code)
+	}
+	// The rightful owner is unaffected.
+	if _, _, err := sess.Write([]byte("needle")); err != nil {
+		t.Fatalf("owner Write after hijack attempt: %v", err)
+	}
+	if _, _, err := sess.Close(); err != nil {
+		t.Fatalf("owner Close: %v", err)
+	}
+}
+
+// TestServerSessionLimit: MaxSessions is a hard cap answered with SHED
+// (retryable after backoff), and closing a session frees its slot.
+func TestServerSessionLimit(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	_, addr := startServer(t, server.Config{Rules: streamRules, MaxSessions: 1})
+	c := dial(t, addr)
+	sess, err := c.OpenSession(0)
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	if _, err := c.OpenSession(0); !errors.Is(err, client.ErrShed) {
+		t.Fatalf("second open err = %v, want ErrShed", err)
+	}
+	if _, _, err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	sess2, err := c.OpenSession(0)
+	if err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+	sess2.Close()
+}
+
+// TestServerSessionIdleReap: an abandoned session is reaped after the
+// idle timeout and its id answers unknown-session afterwards.
+func TestServerSessionIdleReap(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	srv, addr := startServer(t, server.Config{Rules: streamRules, SessionIdleTimeout: 50 * time.Millisecond})
+	c := dial(t, addr)
+	sess, err := c.OpenSession(0)
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.SessionCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("session not reaped; count = %d", srv.SessionCount())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, _, err = sess.Write([]byte("abc"))
+	var se *client.ServerError
+	if !errors.As(err, &se) || se.Code != server.ErrCodeUnknownSession {
+		t.Fatalf("write after reap err = %v, want unknown-session", err)
+	}
+}
+
+// TestServerSessionConnCloseReaps: the owner connection going away
+// reaps its sessions — no leak from clients that die mid-stream.
+func TestServerSessionConnCloseReaps(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	srv, addr := startServer(t, server.Config{Rules: streamRules})
+	c := dial(t, addr)
+	if _, err := c.OpenSession(0); err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	if n := srv.SessionCount(); n != 1 {
+		t.Fatalf("SessionCount = %d, want 1", n)
+	}
+	c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.SessionCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("session survived its connection; count = %d", srv.SessionCount())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerSessionPipelinedFIFO pipelines many DATA frames without
+// waiting for responses and asserts the session executed them in
+// arrival order: consumed offsets come back strictly increasing and
+// the union of matches equals the local streaming scan.
+func TestServerSessionPipelinedFIFO(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	payload := streamPayload(8 << 10)
+	const chunk = 512
+	nFrames := (len(payload) + chunk - 1) / chunk
+	_, addr := startServer(t, server.Config{Rules: streamRules, Workers: 4, SessionPending: nFrames + 1})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+
+	if err := server.WriteFrame(nc, server.Frame{Op: server.OpSessionOpen, ID: 1,
+		Body: server.EncodeSessionOpen(0)}); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	f, err := server.ReadFrame(nc, server.DefaultMaxFrame)
+	if err != nil || f.Op != server.OpSessionOK {
+		t.Fatalf("open answer: op %s err %v", server.OpName(f.Op), err)
+	}
+	sid, _, err := server.DecodeSessionOK(f.Body)
+	if err != nil {
+		t.Fatalf("DecodeSessionOK: %v", err)
+	}
+
+	// Blast every frame, then the close, before reading anything.
+	id := uint32(1)
+	for off := 0; off < len(payload); off += chunk {
+		end := off + chunk
+		if end > len(payload) {
+			end = len(payload)
+		}
+		id++
+		if err := server.WriteFrame(nc, server.Frame{Op: server.OpSessionData, ID: id,
+			Body: server.EncodeSessionData(sid, payload[off:end])}); err != nil {
+			t.Fatalf("data write: %v", err)
+		}
+	}
+	id++
+	if err := server.WriteFrame(nc, server.Frame{Op: server.OpSessionClose, ID: id,
+		Body: server.EncodeSessionClose(sid)}); err != nil {
+		t.Fatalf("close write: %v", err)
+	}
+
+	var got []server.RuleMatch
+	var lastConsumed uint64
+	for i := 0; i < nFrames+1; i++ {
+		f, err := server.ReadFrame(nc, server.DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if f.Op != server.OpSessionMatches {
+			t.Fatalf("response %d: op %s body %q", i, server.OpName(f.Op), f.Body)
+		}
+		if f.ID != uint32(i+2) {
+			t.Fatalf("response %d: id %d, want %d (FIFO order violated)", i, f.ID, i+2)
+		}
+		final, consumed, ms, err := server.DecodeSessionMatches(f.Body)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if consumed < lastConsumed {
+			t.Fatalf("consumed went backwards: %d after %d", consumed, lastConsumed)
+		}
+		lastConsumed = consumed
+		if final != (i == nFrames) {
+			t.Fatalf("response %d: final = %v", i, final)
+		}
+		got = append(got, ms...)
+	}
+	sortMatches(got)
+	want := localStreamMatches(t, streamRules, payload, 0)
+	if len(got) != len(want) {
+		t.Fatalf("match count: pipelined session %d, local %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("match %d: session %+v, local %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestServerSessionPendingSheds: a session's FIFO bound answers SHED
+// once the pipelined backlog exceeds SessionPending — per-session
+// memory stays bounded no matter how fast the client pushes.
+func TestServerSessionPendingSheds(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	release := make(chan struct{})
+	var hooked sync.Once
+	started := make(chan struct{})
+	var block atomic.Bool // armed after OPEN so only DATA frames stall
+	_, addr := startServer(t, server.Config{
+		Rules: streamRules, Workers: 1, SessionPending: 2,
+		ScanHook: func() {
+			if !block.Load() {
+				return
+			}
+			hooked.Do(func() { close(started) })
+			<-release
+		},
+	})
+	defer close(release)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	if err := server.WriteFrame(nc, server.Frame{Op: server.OpSessionOpen, ID: 1,
+		Body: server.EncodeSessionOpen(0)}); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	f, _ := server.ReadFrame(nc, server.DefaultMaxFrame)
+	sid, _, err := server.DecodeSessionOK(f.Body)
+	if err != nil {
+		t.Fatalf("DecodeSessionOK: %v", err)
+	}
+	block.Store(true)
+	// First data frame occupies the lone worker (ScanHook blocks).
+	server.WriteFrame(nc, server.Frame{Op: server.OpSessionData, ID: 2,
+		Body: server.EncodeSessionData(sid, []byte("abc"))})
+	<-started
+	// The FIFO now absorbs SessionPending frames; the next must shed.
+	sawShed := false
+	for i := uint32(0); i < 8 && !sawShed; i++ {
+		server.WriteFrame(nc, server.Frame{Op: server.OpSessionData, ID: 3 + i,
+			Body: server.EncodeSessionData(sid, []byte("abc"))})
+		nc.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		f, err := server.ReadFrame(nc, server.DefaultMaxFrame)
+		if err == nil && f.Op == server.OpShed {
+			sawShed = true
+		}
+	}
+	nc.SetReadDeadline(time.Time{})
+	if !sawShed {
+		t.Fatal("pipelined past SessionPending without a SHED")
+	}
+}
+
+// TestServerSessionDraining: session traffic during a drain answers
+// ERROR draining; the open session's already-admitted work completes.
+func TestServerSessionDraining(t *testing.T) {
+	srv, err := server.New(server.Config{Rules: streamRules})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	sess, err := c.OpenSessionCtx(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	if _, _, err := sess.Write([]byte("needle")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if _, _, err := sess.Write([]byte("more")); err == nil {
+		t.Fatal("Write after drain succeeded")
+	}
+}
+
+// TestServerBatchMatchesPerItem pins SCAN-BATCH semantics: per-item
+// results equal individual SCANs in order, empty payloads included.
+func TestServerBatchMatchesPerItem(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	_, addr := startServer(t, server.Config{Rules: streamRules})
+	c := dial(t, addr)
+	payloads := [][]byte{
+		[]byte("..abc.."),
+		{},
+		[]byte("needle x42y needle"),
+		[]byte(strings.Repeat("GET /a/b abbbc ", 100)),
+		[]byte("no hits here"),
+	}
+	got, err := c.ScanBatch(payloads)
+	if err != nil {
+		t.Fatalf("ScanBatch: %v", err)
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("item count = %d, want %d", len(got), len(payloads))
+	}
+	for i, p := range payloads {
+		want, err := c.Scan(p)
+		if err != nil {
+			t.Fatalf("Scan item %d: %v", i, err)
+		}
+		if got[i].Err != nil {
+			t.Fatalf("item %d failed: %v", i, got[i].Err)
+		}
+		sortMatches(got[i].Matches)
+		sortMatches(want)
+		if len(got[i].Matches) != len(want) {
+			t.Fatalf("item %d: batch %d matches, scan %d", i, len(got[i].Matches), len(want))
+		}
+		for j := range want {
+			if got[i].Matches[j] != want[j] {
+				t.Fatalf("item %d match %d: batch %+v, scan %+v", i, j, got[i].Matches[j], want[j])
+			}
+		}
+	}
+}

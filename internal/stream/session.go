@@ -1,0 +1,118 @@
+package stream
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrSessionFinished reports a push into a session whose stream has
+// already been finalised (Finish ran, the scan faulted, or emit
+// stopped it) — the carry-over state is gone and cannot be resumed.
+var ErrSessionFinished = errors.New("stream: session already finished")
+
+// Session is the resumable carry-over state of a chunked scan, exposed
+// push-style: callers feed chunks as they arrive (network frames, pipe
+// reads) instead of handing over an io.Reader. Each pushed chunk is
+// scanned as one window of the overlap discipline, so the emitted
+// matches are byte-identical to a one-shot scan of the concatenated
+// stream — including matches that straddle push boundaries — provided
+// no match exceeds the overlap, exactly as Scanner documents. Between
+// pushes only the unfinalised tail (at most Overlap bytes) stays
+// resident.
+//
+// A Session is single-goroutine, like the Scanner it underpins;
+// Scanner.ScanCtx is the pull-mode loop over this same state machine,
+// so the two cannot diverge.
+type Session struct {
+	f       Finder
+	overlap int
+	buf     []byte
+	base    int // stream offset of buf[0]
+	pos     int // absolute resume offset of the one-shot discipline
+	done    bool
+}
+
+// NewSession opens push-mode carry-over state for one finder. Only
+// cfg.Overlap participates (push sizes replace ChunkSize).
+func NewSession(f Finder, cfg Config) *Session {
+	cfg = cfg.withDefaults()
+	return &Session{f: f, overlap: cfg.Overlap}
+}
+
+// Overlap returns the boundary carry in bytes — the longest match the
+// session is guaranteed to report identically to a one-shot scan.
+func (s *Session) Overlap() int { return s.overlap }
+
+// Consumed returns the total stream bytes absorbed so far.
+func (s *Session) Consumed() int64 { return int64(s.base + len(s.buf)) }
+
+// Buffered returns the resident carry-over tail in bytes (at most
+// Overlap after each completed push).
+func (s *Session) Buffered() int { return len(s.buf) }
+
+// Finished reports whether the session's stream has been finalised.
+func (s *Session) Finished() bool { return s.done }
+
+// grow extends the window by n bytes and returns the scratch region
+// for the caller to fill — the zero-copy refill path the pull-mode
+// Scanner uses. commit trims the region to the bytes actually
+// delivered.
+func (s *Session) grow(n int) []byte {
+	have := len(s.buf)
+	if cap(s.buf) < have+n {
+		nb := make([]byte, have, have+n+s.overlap)
+		copy(nb, s.buf)
+		s.buf = nb
+	}
+	s.buf = s.buf[:have+n]
+	return s.buf[have:]
+}
+
+func (s *Session) commit(have, n int) { s.buf = s.buf[:have+n] }
+
+// Push scans chunk as the stream's next window and carries the overlap
+// tail. Matches are emitted in stream order with absolute offsets;
+// cont is false when emit stopped the scan (the session is then
+// finished). An empty chunk is a harmless no-op window.
+func (s *Session) Push(ctx context.Context, chunk []byte, emit EmitFunc) (cont bool, err error) {
+	if s.done {
+		return false, ErrSessionFinished
+	}
+	copy(s.grow(len(chunk)), chunk)
+	return s.scan(ctx, false, emit)
+}
+
+// Finish scans the carry-over tail as the stream's final window. The
+// session cannot be pushed to afterwards.
+func (s *Session) Finish(ctx context.Context, emit EmitFunc) (cont bool, err error) {
+	if s.done {
+		return false, ErrSessionFinished
+	}
+	return s.scan(ctx, true, emit)
+}
+
+// scan runs one window pass over the buffered bytes and, on a
+// non-final continuing window, carries the unfinalised tail.
+func (s *Session) scan(ctx context.Context, final bool, emit EmitFunc) (bool, error) {
+	npos, cont, werr := ScanWindowCtx(ctx, s.f, s.buf, s.base, final, s.overlap, s.pos, emit)
+	s.pos = npos
+	if werr != nil || !cont {
+		s.done = true
+		return false, werr
+	}
+	if final {
+		s.done = true
+		return true, nil
+	}
+	// Carry the unfinalised tail (at most Overlap bytes) into the next
+	// window; everything before the resume position is done.
+	limit := s.base + len(s.buf)
+	carry := s.pos
+	if carry > limit {
+		carry = limit
+	}
+	copy(s.buf, s.buf[carry-s.base:])
+	s.buf = s.buf[:limit-carry]
+	s.base = carry
+	return true, nil
+}

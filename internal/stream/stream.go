@@ -146,6 +146,10 @@ func (s *Scanner) Scan(r io.Reader, emit EmitFunc) (int64, error) {
 // positional — a *ReadError for refill failures and between-window
 // cancellation, an *arch.ExecError (rebased to absolute stream offsets)
 // for execution faults.
+//
+// The loop is the pull-mode driver over the same Session state machine
+// push-mode callers (the scan service's streaming sessions) use, so
+// the two paths cannot diverge: each refill is one Session window.
 func (s *Scanner) ScanCtx(ctx context.Context, r io.Reader, emit EmitFunc) (int64, error) {
 	if s.ctr != nil {
 		inner := emit
@@ -154,19 +158,16 @@ func (s *Scanner) ScanCtx(ctx context.Context, r io.Reader, emit EmitFunc) (int6
 			return inner(m, text)
 		}
 	}
-	chunk, overlap := s.cfg.ChunkSize, s.cfg.Overlap
-	buf := make([]byte, 0, chunk+overlap)
-	base := 0 // stream offset of buf[0]
-	pos := 0  // resume offset of the one-shot FindAll discipline
+	sess := NewSession(s.f, s.cfg)
+	chunk := s.cfg.ChunkSize
 	final := false
 	for !final {
 		if cerr := ctx.Err(); cerr != nil {
-			return int64(base + len(buf)), &ReadError{Offset: int64(base + len(buf)), Err: cerr}
+			return sess.Consumed(), &ReadError{Offset: sess.Consumed(), Err: cerr}
 		}
-		have := len(buf)
-		buf = buf[:have+chunk]
-		n, err := io.ReadFull(r, buf[have:])
-		buf = buf[:have+n]
+		have := sess.Buffered()
+		n, err := io.ReadFull(r, sess.grow(chunk))
+		sess.commit(have, n)
 		if s.ctr != nil {
 			s.ctr.Bytes += int64(n)
 		}
@@ -175,33 +176,19 @@ func (s *Scanner) ScanCtx(ctx context.Context, r io.Reader, emit EmitFunc) (int6
 		case io.EOF, io.ErrUnexpectedEOF:
 			final = true
 		default:
-			// base+len(buf) is the offset of the first byte the refill
-			// could not deliver — the exact resume point.
-			return int64(base + len(buf)), &ReadError{Offset: int64(base + len(buf)), Err: err}
+			// Consumed is the offset of the first byte the refill could
+			// not deliver — the exact resume point.
+			return sess.Consumed(), &ReadError{Offset: sess.Consumed(), Err: err}
 		}
 		if s.ctr != nil {
 			s.ctr.Windows++
 		}
-		npos, cont, werr := ScanWindowCtx(ctx, s.f, buf, base, final, overlap, pos, emit)
-		pos = npos
+		cont, werr := sess.scan(ctx, final, emit)
 		if werr != nil || !cont {
-			return int64(base + len(buf)), werr
+			return sess.Consumed(), werr
 		}
-		if final {
-			break
-		}
-		// Carry the unfinalised tail (at most Overlap bytes) into the
-		// next window; everything before the resume position is done.
-		limit := base + len(buf)
-		carry := pos
-		if carry > limit {
-			carry = limit
-		}
-		copy(buf, buf[carry-base:])
-		buf = buf[:limit-carry]
-		base = carry
 	}
-	return int64(base + len(buf)), nil
+	return sess.Consumed(), nil
 }
 
 // ScanWindow advances the one-shot FindAll resume discipline over one
