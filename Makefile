@@ -59,15 +59,17 @@ fuzz:
 
 ## fuzzsmoke: 30-second smoke of each fuzzer — the chunking
 ## differential, the fault-injection offset/prefix invariants, the
-## lazy-DFA fast-vs-slow cross-check, and the service protocol
+## lazy-DFA fast-vs-slow cross-check, the service protocol
 ## (SCAN-BATCH item isolation, session framing vs one-shot scans plus
-## garbage-frame robustness).
+## garbage-frame robustness), and the approx admission never-miss
+## property (filter soundness plus screened-vs-unscreened identity).
 fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz FuzzStreamChunking -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzFaultInjection -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzLazyDFA -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzScanBatch -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzSessionFraming -fuzztime 30s .
+	$(GO) test -run '^$$' -fuzz FuzzApproxAdmission -fuzztime 30s .
 
 ## leakcheck: the guardrail tests carry goroutine-leak assertions
 ## (leakCheck in faultmatrix_test.go and the scan-service drain tests);

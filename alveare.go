@@ -82,6 +82,29 @@ func WithDFACache(n int) Option { return core.WithDFACache(n) }
 // DFA cache behaviour, and rule-dispatch prefilter pass/skip counts.
 type FastStats = core.FastStats
 
+// WithApprox enables the over-approximating admission stage: a small
+// deterministic automaton whose language provably contains every
+// rule's screens each input unit (whole buffers, overlap windows,
+// multi-core chunks) and a clean verdict skips all downstream work.
+// The filter only ever proves absence — results are byte-identical
+// with or without it; on state-budget blowup it degrades to admitting
+// everything, still sound. Off by default in the library; the CLI
+// tools and scan server turn it on unless -no-approx is given.
+func WithApprox() Option { return core.WithApprox() }
+
+// WithoutApprox disables the admission stage, undoing an earlier
+// WithApprox in the option list.
+func WithoutApprox() Option { return core.WithoutApprox() }
+
+// WithApproxStates bounds the admission automaton's DFA state budget
+// (default 256, also the maximum). Smaller budgets coarsen the filter
+// — more windows admitted — but never change results.
+func WithApproxStates(n int) Option { return core.WithApproxStates(n) }
+
+// ApproxStats are the admission stage's counters: screening volume,
+// admitted windows and exact-hit windows (their ratio is precision).
+type ApproxStats = core.ApproxStats
+
 // WithOverlap sets the chunk-boundary overlap in bytes for the
 // multi-core divide and conquer and the streaming reader scan. The
 // overlap bounds the longest match the chunked disciplines report

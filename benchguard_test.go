@@ -45,15 +45,20 @@ func benchGuardMeasure(workload func(b *testing.B)) float64 {
 }
 
 // benchGuardWorkloads are the gated hot paths, one baseline line each:
-// the metrics-disabled execution core (benchMetricsWorkload) and the
+// the metrics-disabled execution core (benchMetricsWorkload), the
 // hybrid fast path over low-match traffic (benchFastPathWorkload) —
-// the default configuration of the scanning tools and the service.
+// the default configuration of the scanning tools and the service —
+// and the admission stage's full-window table walk
+// (benchApproxOverheadWorkload) — the overhead screening adds on
+// high-match traffic, where it can skip nothing — so the 3% tolerance
+// is the hard cap on what never-miss screening may cost.
 var benchGuardWorkloads = []struct {
 	key      string
 	workload func(b *testing.B)
 }{
 	{"disabled_ns_per_op", func(b *testing.B) { benchMetricsWorkload(b, false) }},
 	{"fastpath_ns_per_op", benchFastPathWorkload},
+	{"approx_overhead_ns_per_op", benchApproxOverheadWorkload},
 }
 
 func TestBenchGuard(t *testing.T) {

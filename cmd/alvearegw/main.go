@@ -19,6 +19,14 @@
 // quotas and the weighted fair queue turn a noisy tenant into SHED
 // responses instead of fleet-wide starvation.
 //
+// The gateway routes; it never scans. The over-approximating
+// admission stage (DESIGN.md §17) therefore runs on the shards —
+// control it with alvearesrv's -no-approx / -approx-states when
+// launching the fleet — and the gateway's STATS snapshot aggregates
+// the shards' screening counters fleet-wide as
+// fleet.ruleset.approx.* so one request shows what the whole fleet's
+// filters are disposing of.
+//
 // On SIGINT/SIGTERM the gateway drains: admitted requests finish and
 // are answered, then the process exits. -metrics flushes the gateway
 // snapshot (including fleet.* aggregates) on exit; STATS serves the

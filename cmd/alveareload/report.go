@@ -167,5 +167,21 @@ func writeReport(w io.Writer, s summary) {
 			s.ServerStats.Get("server.queue.highwater"),
 			s.ServerStats.Get("server.shed"),
 			s.ServerStats.Get("server.conns.total"))
+		// Admission-stage effectiveness, when the server screens with
+		// the approx filter: how much traffic the filter disposed of
+		// without the exact engine, and how often an admitted window
+		// actually held a match (precision — low values mean the filter
+		// is paying for itself only on screened-out traffic).
+		if screened := s.ServerStats.Get("ruleset.approx.windows.screened"); screened > 0 {
+			admitted := s.ServerStats.Get("ruleset.approx.windows.admitted")
+			exact := s.ServerStats.Get("ruleset.approx.windows.exacthit")
+			precision := 100.0
+			if admitted > 0 {
+				precision = 100 * float64(exact) / float64(admitted)
+			}
+			fmt.Fprintf(w, "  server approx  screened=%d admitted=%d exacthit=%d precision=%.1f%% bytes=%d\n",
+				screened, admitted, exact, precision,
+				s.ServerStats.Get("ruleset.approx.bytes.screened"))
+		}
 	}
 }

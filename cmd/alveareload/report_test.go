@@ -62,6 +62,10 @@ func TestReportGolden(t *testing.T) {
 	sreg.Gauge("server.queue.highwater").Set(7)
 	sreg.Counter("server.shed").Store(4)
 	sreg.Counter("server.conns.total").Store(6)
+	sreg.Counter("ruleset.approx.windows.screened").Store(120)
+	sreg.Counter("ruleset.approx.windows.admitted").Store(30)
+	sreg.Counter("ruleset.approx.windows.exacthit").Store(27)
+	sreg.Counter("ruleset.approx.bytes.screened").Store(491520)
 
 	s := summary{
 		Op:       "scan",
@@ -110,6 +114,7 @@ func TestReportGolden(t *testing.T) {
 		"tenant gold: requests=70 ok=62 shed=1",
 		"tenant free: requests=50 ok=38 shed=7",
 		"client latency", "server latency", "histogram",
+		"server approx  screened=120 admitted=30 exacthit=27 precision=90.0% bytes=491520",
 	} {
 		if !bytes.Contains(one.Bytes(), []byte(want)) {
 			t.Errorf("report missing %q:\n%s", want, one.String())

@@ -87,6 +87,8 @@ func main() {
 		Budget:         cf.Budget,
 		PatternCache:   *cacheSize,
 		NoDFA:          cf.NoDFA,
+		NoApprox:       cf.NoApprox,
+		ApproxStates:   cf.ApproxStates,
 	})
 	fatalIf(err)
 

@@ -1,0 +1,229 @@
+package alveare
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// approxDiffRules is a DPI-flavoured rule set for the admission-stage
+// differentials: long literal heads the filter can discriminate on,
+// counted classes, alternation, and one rule ("x[0-9]+y") whose
+// matches the corpora plant across window boundaries.
+var approxDiffRules = []string{
+	`GET /[a-z/]+`,
+	`x[0-9]+y`,
+	`(cat|dog)+`,
+	`ERROR: [a-z]{3,12}`,
+	`[a-f0-9]{8}-beef`,
+}
+
+// approxDiffCorpus builds seeded corpora spanning the interesting
+// densities: all-clean traffic (every window screened out), dense
+// traffic (every window admitted), and sparse traffic with witnesses
+// planted at random offsets — including offsets chosen to straddle
+// the chunk boundaries of the streaming scans below.
+func approxDiffCorpus(r *rand.Rand, chunk int) [][]byte {
+	witnesses := []string{"GET /idx/a", "x427y", "catdogcat", "ERROR: disk", "deadbeef-beef"}
+	clean := make([]byte, 8192)
+	for i := range clean {
+		clean[i] = "nopqrstuvw ."[r.Intn(12)]
+	}
+	dense := bytes.Repeat([]byte("x1y catdog GET /a "), 400)
+	sparse := make([]byte, 8192)
+	copy(sparse, clean)
+	for k := 0; k < 12; k++ {
+		w := witnesses[r.Intn(len(witnesses))]
+		copy(sparse[r.Intn(len(sparse)-len(w)):], w)
+	}
+	straddle := make([]byte, 8192)
+	copy(straddle, clean)
+	// Plant one witness across every chunk boundary so the screened
+	// streaming scan must find matches that no single refill contains.
+	for b := chunk; b+8 < len(straddle); b += chunk {
+		w := witnesses[r.Intn(len(witnesses))]
+		copy(straddle[b-len(w)/2:], w)
+	}
+	return [][]byte{{}, clean, dense, sparse, straddle}
+}
+
+// TestApproxScanDifferential: one-shot RuleSet.Scan with the admission
+// stage on must be byte-identical to the same scan with it off, across
+// state budgets (including the degenerate minimum) and the -no-dfa
+// axis (admission ahead of the exact engine alone, and stacked under
+// the lazy-DFA fast path + literal prefilter).
+func TestApproxScanDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(9001))
+	corpus := approxDiffCorpus(r, 512)
+	for _, budget := range []int{0, 2, 32, 256} {
+		for _, dfa := range []bool{false, true} {
+			t.Run(fmt.Sprintf("budget=%d/dfa=%v", budget, dfa), func(t *testing.T) {
+				base := []Option{WithWorkers(2)}
+				if dfa {
+					base = append(base, WithDFA())
+				}
+				off, err := NewRuleSet(approxDiffRules, CompilerOptions{}, base...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				on, err := NewRuleSet(approxDiffRules, CompilerOptions{},
+					append([]Option{WithApprox(), WithApproxStates(budget)}, base...)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, data := range corpus {
+					want, err1 := off.Scan(data)
+					got, err2 := on.Scan(data)
+					if err1 != nil || err2 != nil {
+						t.Fatalf("errs %v / %v", err1, err2)
+					}
+					assertSameRuleMatches(t, data, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestApproxStreamingDifferential: the screened streaming paths — the
+// pull-mode reader scan and the push-mode Stream (the scan service's
+// session state machine) — must emit exactly the unscreened matches
+// over a chunk-size × overlap-edge × -no-dfa matrix. The corpora plant
+// matches across every chunk boundary, so a screening bug that
+// mis-advances a resume position or drops a carry tail diverges here.
+func TestApproxStreamingDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(555))
+	for _, chunk := range []int{7, 64, 512} {
+		corpus := approxDiffCorpus(r, chunk)
+		// Overlap edges: barely enough for the longest witness, and a
+		// generous tail deep inside every window.
+		for _, overlap := range []int{16, 96} {
+			for _, dfa := range []bool{false, true} {
+				t.Run(fmt.Sprintf("chunk=%d/overlap=%d/dfa=%v", chunk, overlap, dfa), func(t *testing.T) {
+					base := []Option{WithChunkSize(chunk), WithOverlap(overlap), WithWorkers(2)}
+					if dfa {
+						base = append(base, WithDFA())
+					}
+					off, err := NewRuleSet(approxDiffRules, CompilerOptions{}, base...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					on, err := NewRuleSet(approxDiffRules, CompilerOptions{},
+						append([]Option{WithApprox()}, base...)...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, data := range corpus {
+						want := readerTranscript(t, off, data)
+						got := readerTranscript(t, on, data)
+						if !bytes.Equal(got, want) {
+							t.Fatalf("reader chunk=%d overlap=%d dfa=%v diverged\n got %s\nwant %s",
+								chunk, overlap, dfa, got, want)
+						}
+						wantPush := streamTranscript(t, off, data, chunk, overlap)
+						gotPush := streamTranscript(t, on, data, chunk, overlap)
+						if !bytes.Equal(gotPush, wantPush) {
+							t.Fatalf("push-stream chunk=%d overlap=%d dfa=%v diverged\n got %s\nwant %s",
+								chunk, overlap, dfa, gotPush, wantPush)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestApproxMulticoreDifferential: the per-chunk screening inside the
+// scale-out engine must leave FindAll byte-identical, including
+// matches that straddle the internal chunk boundaries and live only
+// in the overlap extension.
+func TestApproxMulticoreDifferential(t *testing.T) {
+	pat := `ab[cd]{3}e`
+	data := bytes.Repeat([]byte("."), 1<<15)
+	for b := 1024; b+8 < len(data); b += 1024 {
+		copy(data[b-3:], "abcdde") // straddles offset b
+	}
+	prog := MustCompile(pat)
+	for _, cores := range []int{1, 4} {
+		for _, budget := range []int{2, 256} {
+			off, err := NewEngine(prog, WithCores(cores))
+			if err != nil {
+				t.Fatal(err)
+			}
+			on, err := NewEngine(prog, WithCores(cores), WithApprox(), WithApproxStates(budget))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err1 := off.FindAll(data)
+			got, err2 := on.FindAll(data)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("errs %v / %v", err1, err2)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("cores=%d budget=%d: %d matches screened, %d unscreened", cores, budget, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("cores=%d budget=%d: match %d = %v, want %v", cores, budget, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func assertSameRuleMatches(t *testing.T, data []byte, got, want []RuleMatches) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("on %d bytes: %d rules hit screened, %d unscreened", len(data), len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Rule != want[i].Rule || len(got[i].Matches) != len(want[i].Matches) {
+			t.Fatalf("rule-hit %d diverged: %+v vs %+v", i, got[i], want[i])
+		}
+		for j := range want[i].Matches {
+			if got[i].Matches[j] != want[i].Matches[j] {
+				t.Fatalf("rule %d span %d = %v, want %v", got[i].Rule, j, got[i].Matches[j], want[i].Matches[j])
+			}
+		}
+	}
+}
+
+// readerTranscript renders the pull-mode reader scan deterministically.
+func readerTranscript(t *testing.T, rs *RuleSet, data []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	if _, err := rs.ScanReader(bytes.NewReader(data), func(rule int, m Match, _ []byte) bool {
+		fmt.Fprintf(&out, "%d:%d-%d ", rule, m.Start, m.End)
+		return true
+	}); err != nil {
+		t.Fatalf("ScanReader: %v", err)
+	}
+	return out.Bytes()
+}
+
+// streamTranscript pushes the same data through the push-mode Stream in
+// chunk-sized frames — the session path the scan service drives.
+func streamTranscript(t *testing.T, rs *RuleSet, data []byte, chunk, overlap int) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	emit := func(rule int, m Match, _ []byte) bool {
+		fmt.Fprintf(&out, "%d:%d-%d ", rule, m.Start, m.End)
+		return true
+	}
+	st := rs.NewStream(overlap)
+	ctx := context.Background()
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := st.PushCtx(ctx, data[off:end], emit); err != nil {
+			t.Fatalf("PushCtx at %d: %v", off, err)
+		}
+	}
+	if _, err := st.FinishCtx(ctx, emit); err != nil {
+		t.Fatalf("FinishCtx: %v", err)
+	}
+	return out.Bytes()
+}

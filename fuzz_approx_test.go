@@ -1,0 +1,128 @@
+package alveare
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"alveare/internal/approx"
+)
+
+// FuzzApproxAdmission fuzzes (two rules, input, state budget) against
+// the over-approximating admission automaton's one contract: it may
+// admit windows with no match, it must never reject one that has a
+// match. Two checks per case:
+//
+//  1. The filter directly: if the exact rule set finds any match in
+//     the input, Suspect must say so — a false verdict would make the
+//     screened scan paths drop that match.
+//  2. The full pipeline differentially: a rule set built WithApprox
+//     must return byte-identical matches to one built without, both
+//     one-shot and through the chunked reader scan whose per-window
+//     screening is where a filter miss would actually bite.
+//
+// Budget degradation is in scope: the budget is fuzzed across and
+// beyond the legal range, and the seeds include an unanchored
+// long-counted rule under the minimum budget — a combination that
+// blows the subset construction at every truncation depth, so Build
+// must degrade to an admit-all filter (vacuously sound) instead of
+// miscompiling a lossy one.
+func FuzzApproxAdmission(f *testing.F) {
+	f.Add("a+b", "x[0-9]+y", "aabab x42y aab", 256)
+	f.Add("(cat|dog)+", "needle", "catdogcat needle catcat", 16)
+	f.Add("[a-f]{2,4}", "GET /[a-z/]+", "xxfade GET /idx beadxx", 64)
+	f.Add("q(w|e)*?r", "x{2,}y", "qwer xxy qweer qr", 8)
+	// Budget blown at every depth: two wide counted classes under the
+	// minimum budget force the admit-all degradation path.
+	f.Add(".{0,40}[a-z]{8}", "[^ ]{6,30}@[a-z]{4,20}", "zzzzzzzzzzzz wedge@corpnet", 2)
+	f.Add("", "a*", "empty and empty-matching", 32)
+	f.Fuzz(func(t *testing.T, pat1, pat2, input string, budget int) {
+		if len(pat1) > 40 || len(pat2) > 40 || len(input) > 1<<12 {
+			t.Skip()
+		}
+		patterns := []string{pat1, pat2}
+		base, err := NewRuleSet(patterns, CompilerOptions{})
+		if err != nil {
+			t.Skip() // outside the supported subset
+		}
+		data := []byte(input)
+		want, err := base.Scan(data)
+		if err != nil {
+			t.Skip() // pathological execution (stack/cycle budget)
+		}
+
+		// 1. Never-miss on the filter itself. Build clamps any budget,
+		// so the raw fuzzed value is legal by definition.
+		fl := approx.Build(patterns, budget)
+		if fl.AdmitAll() && !fl.Suspect(data) {
+			t.Fatalf("admit-all filter rejected a window (rules %q, %q)", pat1, pat2)
+		}
+		if hasMatch(want) && !fl.Suspect(data) {
+			t.Fatalf("filter (budget %d, states %d, depth %d) rejected input with a match\nrules %q, %q\ninput %q\nmatches %v",
+				budget, fl.States(), fl.Depth(), pat1, pat2, input, want)
+		}
+
+		// 2. Screened pipeline is byte-identical to the unscreened one.
+		screened, err := NewRuleSet(patterns, CompilerOptions{},
+			WithApprox(), WithApproxStates(budget), WithChunkSize(97), WithOverlap(48))
+		if err != nil {
+			t.Fatalf("WithApprox rule set: %v", err)
+		}
+		got, err := screened.Scan(data)
+		if err != nil {
+			t.Fatalf("screened Scan errored where exact did not: %v", err)
+		}
+		compareRuleMatches(t, "Scan", got, want)
+
+		plainReader, err := NewRuleSet(patterns, CompilerOptions{}, WithChunkSize(97), WithOverlap(48))
+		if err != nil {
+			t.Fatalf("plain reader rule set: %v", err)
+		}
+		wantStream := collectReader(t, plainReader, data)
+		gotStream := collectReader(t, screened, data)
+		if !bytes.Equal(gotStream, wantStream) {
+			t.Fatalf("reader scan diverged under screening\nrules %q, %q input %q\n got %s\nwant %s",
+				pat1, pat2, input, gotStream, wantStream)
+		}
+	})
+}
+
+func hasMatch(out []RuleMatches) bool {
+	for _, rm := range out {
+		if len(rm.Matches) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func compareRuleMatches(t *testing.T, path string, got, want []RuleMatches) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rules with matches, want %d\n got %v\nwant %v", path, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i].Rule != want[i].Rule || len(got[i].Matches) != len(want[i].Matches) {
+			t.Fatalf("%s: rule entry %d = %v, want %v", path, i, got[i], want[i])
+		}
+		for j := range want[i].Matches {
+			if got[i].Matches[j] != want[i].Matches[j] {
+				t.Fatalf("%s: rule %d match %d = %v, want %v", path, got[i].Rule, j, got[i].Matches[j], want[i].Matches[j])
+			}
+		}
+	}
+}
+
+// collectReader renders a rule set's chunked reader scan as a
+// deterministic byte transcript for comparison.
+func collectReader(t *testing.T, rs *RuleSet, data []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	if _, err := rs.ScanReader(bytes.NewReader(data), func(rule int, m Match, _ []byte) bool {
+		fmt.Fprintf(&out, "%d:%d-%d ", rule, m.Start, m.End)
+		return true
+	}); err != nil {
+		t.Fatalf("ScanReader: %v", err)
+	}
+	return out.Bytes()
+}

@@ -1,0 +1,263 @@
+// Package approx derives a small over-approximating admission
+// automaton from a rule set: a deterministic filter whose language is
+// a provable superset of the union of all rules, cheap enough to run
+// over every byte ahead of the exact engine. It mirrors the staged
+// discipline of "Deep Packet Inspection in FPGAs via Approximate
+// Nondeterministic Automata": the approximate stage may admit windows
+// that contain no match (imprecision costs only wasted exact-engine
+// work) but provably never rejects a window that does (a miss would be
+// a correctness bug, and the construction makes one impossible).
+//
+// The reduction is depth truncation. Label every state of the union
+// Thompson NFA with its minimum consumed-byte distance from the start;
+// redirect every edge whose target lies at depth >= k to the accept
+// state. Any accepting path of the original NFA either stays within
+// depth < k — and survives intact — or crosses the frontier and is
+// redirected straight to accept after a shorter prefix. Either way the
+// truncated automaton accepts, so its language contains the original:
+// over-approximation is structural, not probabilistic. The truncated
+// NFA is then determinized (unanchored, capped) and minimized. The
+// language shrinks monotonically as k grows (deeper truncation
+// redirects fewer paths), so Build binary-searches for the deepest k
+// whose subset construction fits the state budget; when no depth fits,
+// it degenerates at k=0 to "admit everything" — still sound, just
+// useless, and reported as such.
+//
+// The final artifact is a flat 256-entry-per-state byte table: with at
+// most 256 DFA states, state ids fit in a byte and the scan loop is
+// one load plus one accept-bit test per input byte, no per-byte
+// branching on structure. Build cost is paid once per rule-set
+// snapshot; the filter itself is immutable and safe for concurrent use.
+package approx
+
+import (
+	"alveare/internal/automata"
+)
+
+// DefaultStates is the default DFA state budget. 256 is the largest
+// budget the byte-indexed transition table supports and small enough
+// that the whole table (64 KiB) stays cache-resident.
+const DefaultStates = 256
+
+// maxStates is the hard ceiling imposed by byte-sized state ids.
+const maxStates = 256
+
+// initialDepth caps the first truncation attempt. Depth k admits every
+// string whose first k bytes look like a rule prefix; beyond a few
+// dozen bytes of exact prefix the filter's precision gains flatten
+// while determinization cost grows, so the search starts here and only
+// halves downward.
+const initialDepth = 64
+
+// Filter is an immutable admission automaton for one rule-set
+// snapshot. The zero value is not valid; use Build.
+type Filter struct {
+	admitAll bool
+	states   int
+	depth    int
+	// tab is the flat transition table: tab[s<<8|c] is the successor
+	// of state s on byte c. Full 64 KiB regardless of the state count:
+	// the fixed size lets the compiler prove every index in range
+	// (state ids are uint8), so the walk has no bounds checks.
+	tab *[1 << 16]uint8
+	// accept marks admitting states; indexed by state id.
+	accept [maxStates]bool
+}
+
+// Build derives the admission filter for the given patterns under a
+// DFA state budget (clamped to [2, 256]; non-positive selects
+// DefaultStates). Build never fails: any construction problem — empty
+// rule set, un-unionable pattern, state blowup at every depth —
+// degrades to an admit-all filter, which is sound by vacuity.
+func Build(patterns []string, budget int) *Filter {
+	if budget <= 0 {
+		budget = DefaultStates
+	}
+	if budget > maxStates {
+		budget = maxStates
+	}
+	if budget < 2 {
+		budget = 2
+	}
+	if len(patterns) == 0 {
+		return &Filter{admitAll: true}
+	}
+	nfa, err := automata.Union(patterns...)
+	if err != nil {
+		return &Filter{admitAll: true}
+	}
+	depths := bfsDepths(nfa)
+	maxDepth := 0
+	for _, d := range depths {
+		if d > maxDepth && d != unreachable {
+			maxDepth = d
+		}
+	}
+	kmax := maxDepth + 1
+	if kmax > initialDepth {
+		kmax = initialDepth
+	}
+	// Binary search for the deepest truncation the budget affords.
+	// Feasibility is not strictly monotone in k (minimization can
+	// shrink a deeper automaton below a shallower one), so the search
+	// is a heuristic for build speed — but every k it probes yields a
+	// sound filter, so the worst case is precision left on the table,
+	// never a miss. A depth whose DFA admits from the start state
+	// (some rule matches the empty string, or truncation collapsed to
+	// the frontier) is vacuous; the search treats it as feasible and
+	// keeps probing deeper, where the language only shrinks.
+	var best *automata.DFA
+	bestK := 0
+	for lo, hi := 1, kmax; lo <= hi; {
+		mid := (lo + hi + 1) / 2
+		dfa, err := determinizeTruncated(nfa, depths, mid, budget)
+		if err != nil {
+			hi = mid - 1 // state blowup: only shallower can fit
+			continue
+		}
+		if !dfa.Accept[0] {
+			best, bestK = dfa, mid
+		}
+		lo = mid + 1 // fits: try deeper for a tighter language
+	}
+	if best == nil {
+		return &Filter{admitAll: true, depth: 0}
+	}
+	return expand(best, bestK)
+}
+
+// unreachable marks states with no consuming path from the start.
+const unreachable = int(^uint(0) >> 1)
+
+// bfsDepths labels every NFA state with the minimum number of consumed
+// bytes on any path from the start: epsilon edges cost 0, consuming
+// edges cost 1. Level-order BFS with in-level epsilon closure — each
+// state is visited once, so the labelling is linear in the automaton.
+func bfsDepths(n *automata.NFA) []int {
+	depths := make([]int, len(n.States))
+	for i := range depths {
+		depths[i] = unreachable
+	}
+	var frontier []int
+	visit := func(i, d int) {
+		if depths[i] == unreachable {
+			depths[i] = d
+			frontier = append(frontier, i)
+		}
+	}
+	visit(n.Start, 0)
+	for d := 0; len(frontier) > 0; d++ {
+		// Epsilon-close the level: closure members join the frontier
+		// and are themselves expanded in the same pass.
+		for qi := 0; qi < len(frontier); qi++ {
+			st := &n.States[frontier[qi]]
+			if st.Consume != nil {
+				continue
+			}
+			for _, e := range st.Eps {
+				if e >= 0 {
+					visit(e, d)
+				}
+			}
+		}
+		cur := frontier
+		frontier = nil
+		for _, i := range cur {
+			st := &n.States[i]
+			if st.Consume != nil && st.Next >= 0 {
+				visit(st.Next, d+1)
+			}
+		}
+	}
+	return depths
+}
+
+// determinizeTruncated builds the depth-k truncation of the NFA and
+// runs the capped subset construction on it.
+func determinizeTruncated(n *automata.NFA, depths []int, k, budget int) (*automata.DFA, error) {
+	deep := func(i int) bool { return i != n.Accept && depths[i] >= k }
+	states := make([]automata.State, len(n.States))
+	for i, st := range n.States {
+		if deep(i) {
+			// Unreachable after redirection; neuter it so its consume
+			// set cannot pollute the alphabet classes.
+			states[i] = automata.State{Eps: []int{n.Accept}}
+			continue
+		}
+		if st.Consume != nil {
+			next := st.Next
+			if next >= 0 && deep(next) {
+				next = n.Accept
+			}
+			set := *st.Consume
+			states[i] = automata.State{Consume: &set, Next: next}
+			continue
+		}
+		eps := make([]int, len(st.Eps))
+		for j, e := range st.Eps {
+			if e >= 0 && deep(e) {
+				e = n.Accept
+			}
+			eps[j] = e
+		}
+		states[i] = automata.State{Eps: eps}
+	}
+	trunc := &automata.NFA{States: states, Start: n.Start, Accept: n.Accept}
+	dfa, err := automata.Determinize(trunc, budget)
+	if err != nil {
+		return nil, err
+	}
+	dfa = dfa.Minimize()
+	if dfa.NumStates() > budget {
+		return nil, automata.ErrDFATooLarge
+	}
+	return dfa, nil
+}
+
+// expand flattens the class-compressed DFA into the byte-indexed
+// table the scan loop walks.
+func expand(d *automata.DFA, depth int) *Filter {
+	f := &Filter{states: d.NumStates(), depth: depth, tab: new([1 << 16]uint8)}
+	for s := 0; s < f.states; s++ {
+		f.accept[s] = d.Accept[s]
+		row := f.tab[s<<8 : (s+1)<<8]
+		for c := 0; c < 256; c++ {
+			row[c] = uint8(d.Trans[s*d.NumClasses+int(d.Classes[c])])
+		}
+	}
+	return f
+}
+
+// Suspect reports whether the window could contain a match of any rule:
+// false is a proof that the exact engine would find nothing in data,
+// true means "run the exact engine". The walk is one table load per
+// byte with an early exit at the first admitting state.
+func (f *Filter) Suspect(data []byte) bool {
+	if f.admitAll {
+		return true
+	}
+	if f.accept[0] {
+		return true
+	}
+	tab := f.tab
+	s := uint8(0)
+	for _, c := range data {
+		s = tab[uint32(s)<<8|uint32(c)]
+		if f.accept[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// AdmitAll reports whether the build degraded to the vacuous filter
+// (state budget blown at every depth, or no patterns).
+func (f *Filter) AdmitAll() bool { return f.admitAll }
+
+// States returns the DFA state count (0 for an admit-all filter) — the
+// capacity metric the snapshot publishes per rule set.
+func (f *Filter) States() int { return f.states }
+
+// Depth returns the truncation depth the build settled on: how many
+// leading bytes of rule structure the filter discriminates on.
+func (f *Filter) Depth() int { return f.depth }

@@ -1,0 +1,189 @@
+package approx
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// nfaMatchers compiles patterns with Go's regexp as the oracle.
+func oracles(t *testing.T, patterns []string) []*regexp.Regexp {
+	t.Helper()
+	out := make([]*regexp.Regexp, len(patterns))
+	for i, p := range patterns {
+		re, err := regexp.Compile(p)
+		if err != nil {
+			t.Fatalf("oracle compile %q: %v", p, err)
+		}
+		out[i] = re
+	}
+	return out
+}
+
+// TestNeverMiss is the core soundness property: any input some rule
+// matches must be admitted by the filter, at every state budget and
+// on every suite of patterns.
+func TestNeverMiss(t *testing.T) {
+	suites := [][]string{
+		{"abc", "def[0-9]+", "(GET|POST) /admin"},
+		{"session[0-9a-f]{2,8}", "token=[0-9]{4}", "flow[_:-]crc"},
+		{"a+b", "x.*y", "[^\\r\\n]{8,}z"},
+		{"\\x00\\x01\\x02", "(%[0-9a-fA-F]{2})+"},
+	}
+	inputs := []string{
+		"", "abc", "xxabcxx", "def01234", "GET /admin HTTP/1.1",
+		"session0abc", "token=1234", "flow-crc", "aaab", "x123y",
+		"nothing here at all", "\x00\x01\x02", "%2e%2f",
+		strings.Repeat("q", 100) + "z",
+	}
+	for _, budget := range []int{0, 2, 16, 64, 256} {
+		for si, pats := range suites {
+			f := Build(pats, budget)
+			res := oracles(t, pats)
+			for _, in := range inputs {
+				matched := false
+				for _, re := range res {
+					if re.MatchString(in) {
+						matched = true
+						break
+					}
+				}
+				if matched && !f.Suspect([]byte(in)) {
+					t.Errorf("budget=%d suite=%d: filter rejected matching input %q", budget, si, in)
+				}
+			}
+		}
+	}
+}
+
+// TestNeverMissRandom fuzzes the property with seeded random inputs
+// over a DPI-shaped rule set.
+func TestNeverMissRandom(t *testing.T) {
+	pats := []string{
+		"(GET|POST|HEAD) [^ ]*/admin/",
+		"Host: [^\\r\\n]{4,}",
+		"\\x41\\x42.{0,4}\\x43",
+		"passwd",
+	}
+	f := Build(pats, 256)
+	res := oracles(t, pats)
+	r := rand.New(rand.NewSource(99))
+	alphabet := []byte("GET POST Host: ABC/admin/passwd\r\n\x41\x42\x43qz")
+	for trial := 0; trial < 2000; trial++ {
+		n := r.Intn(80)
+		in := make([]byte, n)
+		for i := range in {
+			in[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		matched := false
+		for _, re := range res {
+			if re.Match(in) {
+				matched = true
+				break
+			}
+		}
+		if matched && !f.Suspect(in) {
+			t.Fatalf("filter rejected matching input %q", in)
+		}
+	}
+}
+
+// TestRejectsCleanTraffic checks the filter is not vacuous on a
+// workload it should discriminate: distinctive literals over unrelated
+// filler must screen out.
+func TestRejectsCleanTraffic(t *testing.T) {
+	pats := []string{"MALWARE_SIG_7f", "exploit\\x90\\x90", "/etc/shadow"}
+	f := Build(pats, 256)
+	if f.AdmitAll() {
+		t.Fatalf("filter degraded to admit-all on 3 literal-ish rules")
+	}
+	if f.States() == 0 || f.States() > 256 {
+		t.Fatalf("implausible state count %d", f.States())
+	}
+	clean := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog 0123456789 ", 50))
+	if f.Suspect(clean) {
+		t.Errorf("clean filler admitted; filter has no discrimination")
+	}
+	if !f.Suspect([]byte("xx/etc/shadowyy")) {
+		t.Errorf("planted witness rejected")
+	}
+}
+
+// TestTinyBudgetDegradesSound shows the budget-blown path: at budget 2
+// almost any rule set collapses, and the collapse must be to admit-all
+// (or an equally sound coarse filter), never to wrong answers.
+func TestTinyBudgetDegradesSound(t *testing.T) {
+	pats := []string{"session[0-9a-f]{2,8}", "(GET|POST) /x", "a.*b.*c"}
+	f := Build(pats, 2)
+	res := oracles(t, pats)
+	inputs := []string{"sessionab", "GET /x", "a_b_c", "zzz"}
+	for _, in := range inputs {
+		matched := false
+		for _, re := range res {
+			if re.MatchString(in) {
+				matched = true
+			}
+		}
+		if matched && !f.Suspect([]byte(in)) {
+			t.Fatalf("tiny budget produced a miss on %q", in)
+		}
+	}
+}
+
+// TestEmptyAndBadPatterns: Build never fails.
+func TestEmptyAndBadPatterns(t *testing.T) {
+	if f := Build(nil, 256); !f.AdmitAll() || !f.Suspect([]byte("x")) {
+		t.Fatalf("empty rule set must admit everything")
+	}
+	if f := Build([]string{"("}, 256); !f.AdmitAll() {
+		t.Fatalf("unparseable pattern must degrade to admit-all")
+	}
+}
+
+// TestEmptyMatchingRuleAdmitsAll: a rule that matches the empty string
+// makes every window suspect; the build must report that as admit-all
+// rather than pretending to discriminate.
+func TestEmptyMatchingRuleAdmitsAll(t *testing.T) {
+	f := Build([]string{"a*"}, 256)
+	if !f.AdmitAll() {
+		t.Fatalf("a* matches everywhere; filter must be admit-all, got %d states", f.States())
+	}
+	if !f.Suspect(nil) || !f.Suspect([]byte("zzz")) {
+		t.Fatalf("admit-all filter rejected input")
+	}
+}
+
+// TestDepthTruncationAdmitsPrefixes: once an input carries k bytes of
+// a rule's prefix the truncated automaton must admit, even if the full
+// rule would need more bytes — that is what over-approximation means.
+func TestDepthTruncationAdmitsPrefixes(t *testing.T) {
+	long := strings.Repeat("ab", 200) // depth ~400, far past initialDepth
+	f := Build([]string{long}, 256)
+	if f.AdmitAll() {
+		t.Skip("construction degraded to admit-all on this machine's budget")
+	}
+	// The full witness is certainly admitted...
+	if !f.Suspect([]byte(long)) {
+		t.Fatalf("full witness rejected")
+	}
+	// ...and so is a prefix longer than the truncation depth.
+	if f.Depth() > 0 && !f.Suspect([]byte(long[:f.Depth()+2])) {
+		t.Fatalf("prefix past truncation depth %d rejected", f.Depth())
+	}
+}
+
+func BenchmarkSuspectClean(b *testing.B) {
+	pats := []string{"MALWARE_SIG_7f", "exploit90", "/etc/shadow", "token=[0-9]{4}"}
+	f := Build(pats, 256)
+	if f.AdmitAll() {
+		b.Skip("admit-all")
+	}
+	data := []byte(strings.Repeat("GET /index.html HTTP/1.1\r\nHost: example\r\n", 400))
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if f.Suspect(data) {
+			b.Fatal("clean data admitted")
+		}
+	}
+}

@@ -29,6 +29,15 @@ type CommonFlags struct {
 	// by default. The slow path is the exact reference engine; results
 	// are byte-identical either way.
 	NoDFA bool
+	// NoApprox disables the over-approximating admission stage
+	// (internal/approx), which the scanning tools enable by default.
+	// The filter only ever proves absence; results are byte-identical
+	// either way.
+	NoApprox bool
+	// ApproxStates bounds the admission automaton's DFA state budget
+	// (0 = the approx.DefaultStates default of 256; smaller budgets
+	// trade precision, never correctness).
+	ApproxStates int
 }
 
 // RegisterCommon registers the -timeout and -metrics flags on fs.
@@ -46,6 +55,8 @@ func RegisterScan(fs *flag.FlagSet) *CommonFlags {
 	fs.StringVar(&c.Policy, "policy", "failfast", "runaway containment: failfast, degrade or skip")
 	fs.Int64Var(&c.Budget, "budget", 0, "cycle budget per scan attempt; pathological backtracking past it trips the -policy containment (0 = effectively unbounded)")
 	fs.BoolVar(&c.NoDFA, "no-dfa", false, "disable the lazy-DFA fast path and literal prefilter (scan on the exact engine only; results are identical)")
+	fs.BoolVar(&c.NoApprox, "no-approx", false, "disable the over-approximating admission filter that screens windows ahead of the exact engine (results are identical)")
+	fs.IntVar(&c.ApproxStates, "approx-states", 0, "admission-filter DFA state budget, max 256 (0 = default 256; smaller budgets trade precision, never correctness)")
 	return c
 }
 
@@ -62,9 +73,10 @@ func (c *CommonFlags) MustPolicy(tool string) core.Policy {
 
 // EngineOptions translates the scan flags into engine/rule-set
 // options: the parsed policy, the cycle budget, the detailed metrics
-// tier when -metrics requested a snapshot, and the hybrid fast path
-// (lazy DFA + literal prefilter), which is on by default and disabled
-// by -no-dfa.
+// tier when -metrics requested a snapshot, the hybrid fast path
+// (lazy DFA + literal prefilter, on by default, disabled by -no-dfa)
+// and the admission stage (on by default, disabled by -no-approx,
+// state budget from -approx-states).
 func (c *CommonFlags) EngineOptions(tool string) []core.Option {
 	opts := []core.Option{core.WithPolicy(c.MustPolicy(tool)), core.WithBudget(c.Budget)}
 	if c.Metrics != "" {
@@ -72,6 +84,12 @@ func (c *CommonFlags) EngineOptions(tool string) []core.Option {
 	}
 	if !c.NoDFA {
 		opts = append(opts, core.WithDFA())
+	}
+	if !c.NoApprox {
+		opts = append(opts, core.WithApprox())
+	}
+	if c.ApproxStates > 0 {
+		opts = append(opts, core.WithApproxStates(c.ApproxStates))
 	}
 	return opts
 }

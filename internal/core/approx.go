@@ -1,0 +1,73 @@
+package core
+
+// The over-approximating admission stage: a small deterministic filter
+// (internal/approx) derived per rule set whose language provably
+// contains the union of all rules. It runs as a first stage ahead of
+// everything else — one branch-free table walk over each window — and
+// a negative answer skips the prefilter, the lazy-DFA gates and the
+// exact engine for that window entirely. The filter only ever answers
+// "certainly clean" or "maybe"; matches always come from the exact
+// engine, so approx-on and approx-off results are byte-identical by
+// construction (the differential battery holds both paths to that).
+
+// ApproxStats counts the admission stage's behaviour. Precision is
+// ExactHitWindows / AdmittedWindows: the fraction of admitted windows
+// in which the exact engine actually found something (1.0 means the
+// filter never wasted exact-engine work; low values mean the rule set
+// over-approximates coarsely at the configured state budget).
+type ApproxStats struct {
+	// ScreenedWindows / ScreenedBytes count the windows (and their
+	// bytes) the admission automaton walked.
+	ScreenedWindows int64
+	ScreenedBytes   int64
+	// AdmittedWindows counts windows the filter flagged suspect — the
+	// exact engine ran. ScreenedWindows - AdmittedWindows windows were
+	// proven clean and skipped outright.
+	AdmittedWindows int64
+	// ExactHitWindows counts admitted windows where the exact engine
+	// reported at least one match.
+	ExactHitWindows int64
+}
+
+// Add folds o into s.
+func (s *ApproxStats) Add(o ApproxStats) {
+	s.ScreenedWindows += o.ScreenedWindows
+	s.ScreenedBytes += o.ScreenedBytes
+	s.AdmittedWindows += o.AdmittedWindows
+	s.ExactHitWindows += o.ExactHitWindows
+}
+
+// screenData runs the engine's admission filter over one whole input,
+// maintaining the engine-layer counters (single-goroutine, like guard).
+// True means "scan it"; callers treat false as a proof of no match.
+func (e *Engine) screenData(data []byte) bool {
+	e.approxCtr.ScreenedWindows++
+	e.approxCtr.ScreenedBytes += int64(len(data))
+	if !e.admit.Suspect(data) {
+		return false
+	}
+	e.approxCtr.AdmittedWindows++
+	return true
+}
+
+// screenWindow screens one whole rule-set window, maintaining the
+// mutex-guarded roll-up. The returned admitted flag lets the caller
+// credit ExactHitWindows once the window's matches are known.
+func (rs *RuleSet) screenWindow(buf []byte) (admitted bool) {
+	suspect := rs.admit.Suspect(buf)
+	rs.mu.Lock()
+	rs.approxCtr.ScreenedWindows++
+	rs.approxCtr.ScreenedBytes += int64(len(buf))
+	if suspect {
+		rs.approxCtr.AdmittedWindows++
+	}
+	rs.mu.Unlock()
+	return suspect
+}
+
+// creditExactHit records that an admitted unit produced exact matches.
+func (rs *RuleSet) creditExactHit() {
+	rs.mu.Lock()
+	rs.approxCtr.ExactHitWindows++
+	rs.mu.Unlock()
+}

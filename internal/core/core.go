@@ -15,6 +15,7 @@ import (
 	"io"
 	"sort"
 
+	"alveare/internal/approx"
 	"alveare/internal/arch"
 	"alveare/internal/automata"
 	"alveare/internal/backend"
@@ -48,15 +49,17 @@ func CompileWith(re string, opt backend.Options) (*Program, error) {
 type Option func(*settings)
 
 type settings struct {
-	cores    int
-	overlap  int
-	chunk    int
-	workers  int
-	policy   Policy
-	cfg      arch.Config
-	tracer   arch.Tracer
-	dfa      bool
-	dfaCache int
+	cores        int
+	overlap      int
+	chunk        int
+	workers      int
+	policy       Policy
+	cfg          arch.Config
+	tracer       arch.Tracer
+	dfa          bool
+	dfaCache     int
+	approx       bool
+	approxStates int
 }
 
 // WithCores selects the scale-out width (default 1, the single core).
@@ -171,6 +174,38 @@ func WithDFACache(n int) Option {
 	return func(s *settings) { s.dfaCache = n }
 }
 
+// WithApprox enables the over-approximating admission stage: a small
+// deterministic automaton (internal/approx) whose language provably
+// contains the pattern's (for a RuleSet, the union of every rule's)
+// screens each input — whole buffers for one-shot scans, each overlap
+// window for streaming scans, each chunk for multi-core runs — and a
+// clean verdict skips all downstream work for that unit. The filter
+// never decides matches, only absence, so results are byte-identical
+// with or without it; when its state budget cannot hold even a
+// truncated approximation it degrades to admitting everything (sound,
+// reported via ApproxStats / the approx.* metrics).
+//
+// Off by default at the library level; the CLI tools and the scan
+// server enable it unless their -no-approx flag is set.
+func WithApprox() Option {
+	return func(s *settings) { s.approx = true }
+}
+
+// WithoutApprox disables the admission stage (the library default),
+// undoing an earlier WithApprox in the option list.
+func WithoutApprox() Option {
+	return func(s *settings) { s.approx = false }
+}
+
+// WithApproxStates bounds the admission automaton's DFA state budget
+// (default approx.DefaultStates = 256, the maximum the byte-indexed
+// table supports). Smaller budgets force deeper truncation — coarser
+// filters that admit more — and at the limit degrade to admit-all;
+// they never affect results, only precision.
+func WithApproxStates(n int) Option {
+	return func(s *settings) { s.approxStates = n }
+}
+
 // Engine executes one compiled RE over data streams, on a single core
 // or on the scale-out configuration.
 type Engine struct {
@@ -194,6 +229,12 @@ type Engine struct {
 	lazy    *automata.LazyProg
 	dfa     *automata.LazyDFA
 	fastCtr FastStats
+
+	// admit is the over-approximating admission stage (WithApprox):
+	// nil when off. approxCtr follows the engine's single-goroutine
+	// discipline, like guard.
+	admit     *approx.Filter
+	approxCtr ApproxStats
 }
 
 // NewEngine loads a compiled program.
@@ -240,8 +281,31 @@ func NewEngine(p *Program, opts ...Option) (*Engine, error) {
 			}
 		}
 	}
+	if s.approx && p.Source != "" {
+		f := approx.Build([]string{p.Source}, s.approxStates)
+		if !f.AdmitAll() {
+			// An admit-all filter screens nothing; leaving it out keeps
+			// the scan loops free of dead per-window walks.
+			e.admit = f
+			if e.multi != nil {
+				e.multi.EnableApproxScreen(f)
+			}
+		}
+	}
 	return e, nil
 }
+
+// ApproxEnabled reports whether the admission stage (WithApprox) is
+// active on this engine — false when it was not requested or the
+// filter degraded to admit-all at build time.
+func (e *Engine) ApproxEnabled() bool { return e.admit != nil }
+
+// ApproxFilter returns the engine's admission filter, nil when off.
+func (e *Engine) ApproxFilter() *approx.Filter { return e.admit }
+
+// ApproxStats reports the admission stage's accumulated counters,
+// including chunk-level screening on multi-core engines.
+func (e *Engine) ApproxStats() ApproxStats { return e.approxCtr }
 
 // FastEnabled reports whether the hybrid fast path (WithDFA) is active
 // on this engine — false when it was not requested or the pattern is
@@ -317,7 +381,13 @@ func (e *Engine) Find(data []byte) (Match, bool, error) {
 // FindCtx is Find with cooperative cancellation: the core polls ctx
 // between match attempts and every few thousand simulated cycles.
 func (e *Engine) FindCtx(ctx context.Context, data []byte) (Match, bool, error) {
+	if e.admit != nil && !e.screenData(data) {
+		return Match{}, false, nil
+	}
 	m, ok, err := e.finder().FindFromCtx(ctx, data, 0)
+	if e.admit != nil && ok {
+		e.approxCtr.ExactHitWindows++
+	}
 	return m, ok, e.fail(err)
 }
 
@@ -346,10 +416,19 @@ func (e *Engine) FindAll(data []byte) ([]Match, error) {
 // completed before it together with a *ScanError.
 func (e *Engine) FindAllCtx(ctx context.Context, data []byte) ([]Match, error) {
 	if e.multi != nil {
+		// Multi-core runs screen chunk by chunk inside the scale-out
+		// engine (EnableApproxScreen); runMultiCtx folds the per-chunk
+		// admission counters back into approxCtr.
 		res, err := e.runMultiCtx(ctx, data)
 		return res.Matches, err
 	}
+	if e.admit != nil && !e.screenData(data) {
+		return nil, nil
+	}
 	ms, err := e.findAllSingle(ctx, data)
+	if e.admit != nil && len(ms) > 0 {
+		e.approxCtr.ExactHitWindows++
+	}
 	return ms, e.fail(err)
 }
 
@@ -396,7 +475,29 @@ func (e *Engine) ScanReader(r io.Reader, emit func(m Match, text []byte) bool) (
 // failure policy applied per window. A cancelled scan returns the bytes
 // consumed so far together with a *ScanError wrapping ctx.Err().
 func (e *Engine) ScanReaderCtx(ctx context.Context, r io.Reader, emit func(m Match, text []byte) bool) (int64, error) {
-	sc := stream.ForFinder(e.finder(), e.stream)
+	cfg := e.stream
+	if e.admit != nil {
+		// Screen each overlap window; windows proven clean never reach
+		// the finder. The settle bookkeeping attributes emitted matches
+		// to the admitted window they arrived in (windows are scanned
+		// strictly in order on this one goroutine).
+		admitted, hits := false, 0
+		settle := func() {
+			if admitted && hits > 0 {
+				e.approxCtr.ExactHitWindows++
+			}
+			admitted, hits = false, 0
+		}
+		cfg.Screen = func(buf []byte) bool {
+			settle()
+			admitted = e.screenData(buf)
+			return admitted
+		}
+		inner := emit
+		emit = func(m Match, text []byte) bool { hits++; return inner(m, text) }
+		defer settle()
+	}
+	sc := stream.ForFinder(e.finder(), cfg)
 	sc.SetCounters(&e.streamCtr)
 	n, err := sc.ScanCtx(ctx, r, stream.EmitFunc(emit))
 	return n, e.fail(err)
@@ -438,6 +539,12 @@ func (e *Engine) CountReaderCtx(ctx context.Context, r io.Reader) (int, error) {
 // when the returned error is nil.
 func (e *Engine) runMultiCtx(ctx context.Context, data []byte) (multicore.Result, error) {
 	res, err := e.multi.RunCtx(ctx, data)
+	if e.admit != nil {
+		e.approxCtr.ScreenedWindows += int64(res.Chunks)
+		e.approxCtr.ScreenedBytes += int64(len(data))
+		e.approxCtr.AdmittedWindows += int64(res.Chunks - res.ApproxSkips)
+		e.approxCtr.ExactHitWindows += int64(res.ApproxHits)
+	}
 	if err == nil {
 		return res, nil
 	}
@@ -484,7 +591,13 @@ func (e *Engine) RunCtx(ctx context.Context, data []byte) (multicore.Result, err
 		return e.runMultiCtx(ctx, data)
 	}
 	e.single.ResetStats()
+	if e.admit != nil && !e.screenData(data) {
+		return multicore.Result{Chunks: 1}, nil
+	}
 	ms, err := e.findAllSingle(ctx, data)
+	if e.admit != nil && len(ms) > 0 {
+		e.approxCtr.ExactHitWindows++
+	}
 	st := e.single.Stats()
 	res := multicore.Result{
 		Matches:     ms,
@@ -518,6 +631,7 @@ func (e *Engine) ResetStats() {
 	e.guard = Stats{}
 	e.streamCtr = stream.Counters{}
 	e.fastCtr = FastStats{}
+	e.approxCtr = ApproxStats{}
 	if e.dfa != nil {
 		e.dfa.TakeStats()
 	}

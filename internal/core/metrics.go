@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"alveare/internal/approx"
 	"alveare/internal/arch"
 	"alveare/internal/metrics"
 )
@@ -25,6 +26,29 @@ func (e *Engine) PublishMetrics(r *metrics.Registry) {
 	if e.FastEnabled() {
 		publishFast(r, "engine", e.FastStats(), false)
 	}
+	if e.admit != nil {
+		publishApprox(r, "engine", e.ApproxStats(), e.admit)
+	}
+}
+
+// publishApprox writes one admission-stage roll-up under prefix
+// ("<prefix>.approx.*"): screening volume, admitted and exact-hit
+// window counts (their ratio is the stage's precision), and the
+// filter's shape (DFA states, truncation depth, admit-all
+// degradation). Published only when the stage is enabled, so
+// default-path snapshots are unchanged.
+func publishApprox(r *metrics.Registry, prefix string, as ApproxStats, f *approx.Filter) {
+	r.Counter(prefix + ".approx.windows.screened").Store(as.ScreenedWindows)
+	r.Counter(prefix + ".approx.bytes.screened").Store(as.ScreenedBytes)
+	r.Counter(prefix + ".approx.windows.admitted").Store(as.AdmittedWindows)
+	r.Counter(prefix + ".approx.windows.exacthit").Store(as.ExactHitWindows)
+	r.Gauge(prefix + ".approx.states").Set(int64(f.States()))
+	r.Gauge(prefix + ".approx.depth").Set(int64(f.Depth()))
+	admitAll := int64(0)
+	if f.AdmitAll() {
+		admitAll = 1
+	}
+	r.Gauge(prefix + ".approx.admitall").Set(admitAll)
 }
 
 // publishFast writes one FastStats roll-up under prefix: the gate
@@ -90,6 +114,9 @@ func (rs *RuleSet) PublishMetrics(r *metrics.Registry) {
 	if rs.FastEnabled() {
 		publishFast(r, "ruleset", rs.FastStats(), true)
 		r.Counter("ruleset.prefilter.rules.filtered").Store(int64(rs.PrefilteredRules()))
+	}
+	if rs.ApproxEnabled() {
+		publishApprox(r, "ruleset", rs.ApproxStats(), rs.admit)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 
+	"alveare/internal/approx"
 	"alveare/internal/arch"
 	"alveare/internal/automata"
 	"alveare/internal/backend"
@@ -59,13 +60,23 @@ type RuleSet struct {
 	pf       *prefilter.Set
 	bitsPool sync.Pool
 
+	// Admission stage (WithApprox): one over-approximating automaton
+	// for the union of every rule, screening whole inputs (ScanCtx)
+	// and whole windows (Stream) before the prefilter and the rule
+	// fan-out. admit is nil when the stage is off; it is kept even
+	// when the build degraded to admit-all so metrics can report the
+	// degradation, but screening is skipped then (admit.AdmitAll()).
+	useApprox bool
+	admit     *approx.Filter
+
 	mu         sync.Mutex   // guards the roll-ups below
 	agg        arch.Stats   // aggregate across all rules and scans
 	perRule    []arch.Stats // per-rule roll-up (index = rule)
 	occ        []int64      // jobs completed per worker slot
 	dispatched int64        // rule-scan jobs handed to the pool
 	streamCtr  stream.Counters
-	fast       FastStats // fast-path roll-up across all rules and scans
+	fast       FastStats   // fast-path roll-up across all rules and scans
+	approxCtr  ApproxStats // admission-stage roll-up
 }
 
 // NewRuleSet compiles every pattern with the given compiler options and
@@ -137,7 +148,36 @@ func NewRuleSet(patterns []string, copt backend.Options, opts ...Option) (*RuleS
 		}
 		rs.bitsPool.New = func() any { return prefilter.NewBits(len(rs.patterns)) }
 	}
+	if s.approx {
+		rs.useApprox = true
+		// One filter for the union of every rule: a clean window skips
+		// the whole fan-out. The filter is kept even when the build
+		// degraded to admit-all so metrics can report the degradation.
+		rs.admit = approx.Build(rs.patterns, s.approxStates)
+	}
 	return rs, nil
+}
+
+// ApproxEnabled reports whether the admission stage (WithApprox) is
+// active on this rule set (true even when the filter degraded to
+// admit-all — see ApproxFilter().AdmitAll()).
+func (rs *RuleSet) ApproxEnabled() bool { return rs.useApprox }
+
+// ApproxFilter returns the rule set's admission filter, nil when off.
+func (rs *RuleSet) ApproxFilter() *approx.Filter { return rs.admit }
+
+// ApproxStats reports the admission stage's roll-up across all scans.
+func (rs *RuleSet) ApproxStats() ApproxStats {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.approxCtr
+}
+
+// screening reports whether window screening actually runs: the stage
+// is on and the filter discriminates (an admit-all filter would walk
+// every byte to admit every window — pure waste).
+func (rs *RuleSet) screening() bool {
+	return rs.admit != nil && !rs.admit.AdmitAll()
 }
 
 // FastEnabled reports whether the hybrid fast path (WithDFA) is active
@@ -340,6 +380,13 @@ func (rs *RuleSet) ScanCtx(ctx context.Context, data []byte) ([]RuleMatches, err
 	if n == 0 {
 		return nil, nil
 	}
+	// Admission first: a clean verdict proves no rule matches anywhere
+	// in the input, so the prefilter and the fan-out are skipped and
+	// the result is exactly the empty result they would produce.
+	screened := rs.screening()
+	if screened && !rs.screenWindow(data) {
+		return nil, nil
+	}
 	// One prefilter pass over the input picks the candidate rules; a
 	// rule whose necessary literal is absent cannot match and is never
 	// dispatched (its result is exactly the empty result it would
@@ -405,14 +452,21 @@ func (rs *RuleSet) ScanCtx(ctx context.Context, data []byte) ([]RuleMatches, err
 	}
 
 	var out []RuleMatches
+	hit := false
 	for i, ms := range matches {
 		ruleErr := errs[i]
 		if isCancel(ruleErr) {
 			ruleErr = nil // reported as the scan error, not a rule fault
 		}
+		if len(ms) > 0 {
+			hit = true
+		}
 		if len(ms) > 0 || ruleErr != nil {
 			out = append(out, RuleMatches{Rule: i, Matches: ms, Err: ruleErr})
 		}
+	}
+	if screened && hit {
+		rs.creditExactHit()
 	}
 	return out, scanErr
 }
@@ -603,6 +657,7 @@ func (rs *RuleSet) ResetStats() {
 	rs.dispatched = 0
 	rs.streamCtr = stream.Counters{}
 	rs.fast = FastStats{}
+	rs.approxCtr = ApproxStats{}
 }
 
 // TotalCycles sums the scan-pool aggregate and the per-rule engines'

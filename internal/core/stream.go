@@ -141,6 +141,34 @@ func (st *Stream) window(ctx context.Context, nr int, final bool, emit func(rule
 		}
 	}
 
+	// Admission first: one filter walk over the whole buffered window
+	// (carry tail plus new bytes) stands in for every rule's window
+	// scan when it proves the window clean. Live rules' resume offsets
+	// then advance exactly as a no-match ScanWindowCtx pass would, so
+	// the skip is byte-identical; a match straddling the window
+	// boundary starts inside the carry tail and reappears whole — and
+	// is screened again — in the next window.
+	screened := rs.screening()
+	if screened && !rs.screenWindow(buf) {
+		for i := 0; i < n; i++ {
+			if st.dead[i] != nil {
+				continue
+			}
+			if final {
+				st.pos[i] = limit + 1
+			} else if st.pos[i] < ownEnd {
+				st.pos[i] = ownEnd
+			}
+		}
+		rs.merge(nil, nil, 0, 1, int64(nr))
+		if final {
+			st.done = true
+			return true, nil
+		}
+		st.carryTail(limit)
+		return true, nil
+	}
+
 	// One prefilter pass over the window buffer picks the candidate
 	// rules. A skipped rule's resume offset advances exactly as a
 	// no-match window scan would (stream.ScanWindowCtx's contract):
@@ -216,6 +244,14 @@ func (st *Stream) window(ctx context.Context, nr int, final bool, emit func(rule
 		st.dead[i] = err
 		st.pos[i] = limit
 	}
+	if screened {
+		for _, ms := range wins {
+			if len(ms) > 0 {
+				rs.creditExactHit()
+				break
+			}
+		}
+	}
 	var emitted int64
 	flushEmitted := func() {
 		rs.mu.Lock()
@@ -237,14 +273,19 @@ func (st *Stream) window(ctx context.Context, nr int, final bool, emit func(rule
 		st.done = true
 		return true, nil
 	}
-	// Carry the shared overlap tail; every rule's resume offset is
-	// at or past it (ScanWindow guarantees pos >= limit-overlap).
+	st.carryTail(limit)
+	return true, nil
+}
+
+// carryTail retains the shared overlap tail for the next window; every
+// rule's resume offset is at or past it (ScanWindow guarantees
+// pos >= limit-overlap).
+func (st *Stream) carryTail(limit int) {
 	carry := limit - st.overlap
-	if carry < base {
-		carry = base
+	if carry < st.base {
+		carry = st.base
 	}
-	copy(st.buf, st.buf[carry-base:])
+	copy(st.buf, st.buf[carry-st.base:])
 	st.buf = st.buf[:limit-carry]
 	st.base = carry
-	return true, nil
 }

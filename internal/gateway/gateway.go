@@ -508,6 +508,10 @@ var fleetSums = []string{
 	"server.matches",
 	"server.shed",
 	"server.errors",
+	"ruleset.approx.windows.screened",
+	"ruleset.approx.bytes.screened",
+	"ruleset.approx.windows.admitted",
+	"ruleset.approx.windows.exacthit",
 }
 
 // pollFleet asks every shard whose breaker is not open for its STATS

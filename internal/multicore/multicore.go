@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 
+	"alveare/internal/approx"
 	"alveare/internal/arch"
 	"alveare/internal/automata"
 	"alveare/internal/isa"
@@ -47,7 +48,18 @@ type Engine struct {
 	// simulated at all — the divide-and-conquer counterpart of the
 	// engine layer's probe gate.
 	fast []*automata.LazyDFA
+
+	// admit, when enabled (EnableApproxScreen), screens every chunk
+	// with the over-approximating admission automaton before the gate
+	// and the core run; a clean verdict skips both. The filter is
+	// immutable and shared across cores.
+	admit *approx.Filter
 }
+
+// EnableApproxScreen installs the admission filter as the chunks'
+// first stage. Sound screens never change results — a rejected chunk
+// is one the exact engine would have found nothing in.
+func (e *Engine) EnableApproxScreen(f *approx.Filter) { e.admit = f }
 
 // EnableFastGate installs one lazy-DFA chunk gate per core (each core
 // runs concurrently, so each needs a private instance). cacheStates
@@ -160,6 +172,12 @@ type Result struct {
 	// FastSkips counts the chunks the lazy-DFA gate proved match-free,
 	// skipping core simulation entirely (EnableFastGate only).
 	FastSkips int
+	// ApproxSkips counts the chunks the admission automaton screened
+	// out before the gate or the core ran; ApproxHits counts admitted
+	// chunks that produced at least one owned match
+	// (EnableApproxScreen only).
+	ApproxSkips int
+	ApproxHits  int
 }
 
 // Run searches the whole stream with all cores in parallel and merges
@@ -177,10 +195,11 @@ func (e *Engine) Run(data []byte) (Result, error) {
 func (e *Engine) RunCtx(ctx context.Context, data []byte) (Result, error) {
 	chunks := stream.Plan(len(data), len(e.cores), e.overlap)
 	type coreOut struct {
-		matches []arch.Match
-		stats   arch.Stats
-		err     error
-		skipped bool
+		matches  []arch.Match
+		stats    arch.Stats
+		err      error
+		skipped  bool
+		screened bool
 	}
 	outs := make([]coreOut, len(chunks))
 	var wg sync.WaitGroup
@@ -190,6 +209,13 @@ func (e *Engine) RunCtx(ctx context.Context, data []byte) (Result, error) {
 			defer wg.Done()
 			core := e.cores[i]
 			core.Reset()
+			if e.admit != nil && !e.admit.Suspect(data[c.Lo:c.Ext]) {
+				// Admission screen proved the chunk (with its overlap
+				// extension) match-free; neither the gate nor the core
+				// runs. The verdict covers every match the chunk owns.
+				outs[i].screened = true
+				return
+			}
 			if e.fast != nil {
 				// Gate the whole chunk: a match-free answer skips the
 				// simulation. A gate bail or cancellation just falls
@@ -220,6 +246,11 @@ func (e *Engine) RunCtx(ctx context.Context, data []byte) (Result, error) {
 	for i := range outs {
 		if outs[i].skipped {
 			res.FastSkips++
+		}
+		if outs[i].screened {
+			res.ApproxSkips++
+		} else if e.admit != nil && len(outs[i].matches) > 0 {
+			res.ApproxHits++
 		}
 		res.PerCore = append(res.PerCore, outs[i].stats)
 		cycles := outs[i].stats.Cycles + StartupCycles

@@ -90,6 +90,19 @@ type Config struct {
 	// atomically with the rules.
 	NoDFA bool
 
+	// NoApprox disables the over-approximating admission stage
+	// (internal/approx), which the server enables by default — the
+	// tools' -no-approx escape hatch. The filter only ever proves match
+	// absence, so results are byte-identical either way; like the
+	// prefilter it lives inside the compiled snapshot, and RELOAD
+	// rebuilds it for the new rules and swaps it atomically.
+	NoApprox bool
+	// ApproxStates bounds the admission automaton's DFA state budget
+	// (0 = the default of 256, also the maximum). Smaller budgets
+	// coarsen the filter — more windows admitted — but never change
+	// results.
+	ApproxStates int
+
 	// PatternCache is the LRU capacity for ad-hoc SCAN-PATTERN engines
 	// (default 64; negative disables caching).
 	PatternCache int
@@ -282,6 +295,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if !cfg.NoDFA {
 		opts = append(opts, core.WithDFA())
+	}
+	if !cfg.NoApprox {
+		opts = append(opts, core.WithApprox())
+	}
+	if cfg.ApproxStates > 0 {
+		opts = append(opts, core.WithApproxStates(cfg.ApproxStates))
 	}
 	snap, err := compileSnapshot(cfg.Rules, 0, opts)
 	if err != nil {

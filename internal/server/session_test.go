@@ -146,6 +146,75 @@ func TestServerSessionStraddle(t *testing.T) {
 	}
 }
 
+// TestServerSessionPinnedAcrossReload: a streaming session is bound to
+// the rule snapshot it opened against — a RELOAD mid-session must not
+// leak the new generation's rules into the flow (nor lose the old
+// ones). Every DATA frame after the reload still scans with the
+// opening generation; only sessions opened afterwards see the new
+// rules.
+func TestServerSessionPinnedAcrossReload(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	srv, addr := startServer(t, server.Config{Rules: []string{"foo"}})
+	c := dial(t, addr)
+
+	sess, err := c.OpenSession(0)
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	chunk := []byte("..foo..bar..")
+	collect := func(ms []server.RuleMatch, err error) []server.RuleMatch {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("session op: %v", err)
+		}
+		return ms
+	}
+	var got []server.RuleMatch
+	ms, _, err := sess.Write(chunk)
+	got = append(got, collect(ms, err)...)
+
+	// Swap the rule set under the open session.
+	if gen, err := srv.Reload([]string{"bar"}); err != nil || gen != 1 {
+		t.Fatalf("Reload: gen %d err %v", gen, err)
+	}
+
+	// Frames after the reload still scan with generation 0: "foo"
+	// matches keep coming, "bar" never appears.
+	for i := 0; i < 3; i++ {
+		ms, _, err := sess.Write(chunk)
+		got = append(got, collect(ms, err)...)
+	}
+	ms, _, err = sess.Close()
+	got = append(got, collect(ms, err)...)
+
+	if len(got) != 4 {
+		t.Fatalf("pinned session matches = %d, want 4 (one foo per frame): %+v", len(got), got)
+	}
+	for i, m := range got {
+		if m.Rule != 0 {
+			t.Fatalf("match %d rule = %d, want 0 (opening generation)", i, m.Rule)
+		}
+		off := uint64(i * len(chunk))
+		if m.Start != off+2 || m.End != off+5 {
+			t.Fatalf("match %d = [%d,%d), want foo at [%d,%d)", i, m.Start, m.End, off+2, off+5)
+		}
+	}
+
+	// A session opened after the reload scans with the new generation.
+	sess2, err := c.OpenSession(0)
+	if err != nil {
+		t.Fatalf("OpenSession after reload: %v", err)
+	}
+	var got2 []server.RuleMatch
+	ms, _, err = sess2.Write(chunk)
+	got2 = append(got2, collect(ms, err)...)
+	ms, _, err = sess2.Close()
+	got2 = append(got2, collect(ms, err)...)
+	if len(got2) != 1 || got2[0] != (server.RuleMatch{Rule: 0, Start: 7, End: 10}) {
+		t.Fatalf("post-reload session matches = %+v, want [{0 7 10}] (bar)", got2)
+	}
+}
+
 // TestServerSessionUnknownID: data for a session that never existed is
 // an authoritative unknown-session error, not a hang or a scan.
 func TestServerSessionUnknownID(t *testing.T) {

@@ -25,6 +25,7 @@ var ErrSessionFinished = errors.New("stream: session already finished")
 // so the two cannot diverge.
 type Session struct {
 	f       Finder
+	screen  func([]byte) bool // optional window admission filter (Config.Screen)
 	overlap int
 	buf     []byte
 	base    int // stream offset of buf[0]
@@ -33,10 +34,11 @@ type Session struct {
 }
 
 // NewSession opens push-mode carry-over state for one finder. Only
-// cfg.Overlap participates (push sizes replace ChunkSize).
+// cfg.Overlap and cfg.Screen participate (push sizes replace
+// ChunkSize).
 func NewSession(f Finder, cfg Config) *Session {
 	cfg = cfg.withDefaults()
-	return &Session{f: f, overlap: cfg.Overlap}
+	return &Session{f: f, screen: cfg.Screen, overlap: cfg.Overlap}
 }
 
 // Overlap returns the boundary carry in bytes — the longest match the
@@ -94,6 +96,30 @@ func (s *Session) Finish(ctx context.Context, emit EmitFunc) (cont bool, err err
 // scan runs one window pass over the buffered bytes and, on a
 // non-final continuing window, carries the unfinalised tail.
 func (s *Session) scan(ctx context.Context, final bool, emit EmitFunc) (bool, error) {
+	if s.screen != nil && !s.screen(s.buf) {
+		// The screen proved the window match-free: advance the resume
+		// position exactly as a no-match ScanWindowCtx pass would (any
+		// match a future window may report starts inside the carry tail
+		// and reappears there whole) and skip the finder entirely.
+		limit := s.base + len(s.buf)
+		ownEnd := limit
+		if !final {
+			ownEnd = limit - s.overlap
+			if ownEnd < s.base {
+				ownEnd = s.base
+			}
+		}
+		if s.pos < ownEnd {
+			s.pos = ownEnd
+		}
+		if final {
+			s.pos = limit + 1
+			s.done = true
+			return true, nil
+		}
+		s.carry()
+		return true, nil
+	}
 	npos, cont, werr := ScanWindowCtx(ctx, s.f, s.buf, s.base, final, s.overlap, s.pos, emit)
 	s.pos = npos
 	if werr != nil || !cont {
@@ -104,15 +130,19 @@ func (s *Session) scan(ctx context.Context, final bool, emit EmitFunc) (bool, er
 		s.done = true
 		return true, nil
 	}
-	// Carry the unfinalised tail (at most Overlap bytes) into the next
-	// window; everything before the resume position is done.
-	limit := s.base + len(s.buf)
-	carry := s.pos
-	if carry > limit {
-		carry = limit
-	}
-	copy(s.buf, s.buf[carry-s.base:])
-	s.buf = s.buf[:limit-carry]
-	s.base = carry
+	s.carry()
 	return true, nil
+}
+
+// carry retains the unfinalised tail (at most Overlap bytes) for the
+// next window; everything before the resume position is done.
+func (s *Session) carry() {
+	limit := s.base + len(s.buf)
+	c := s.pos
+	if c > limit {
+		c = limit
+	}
+	copy(s.buf, s.buf[c-s.base:])
+	s.buf = s.buf[:limit-c]
+	s.base = c
 }

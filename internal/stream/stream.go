@@ -65,6 +65,15 @@ type Config struct {
 	// scanner is guaranteed to report identically to a one-shot scan.
 	// Non-positive selects DefaultOverlap.
 	Overlap int
+	// Screen, when set, is consulted once per window with the full
+	// buffered window (carry tail plus new bytes) before the finder
+	// runs. Returning false asserts the window holds no match: the
+	// window is skipped and resume positions advance exactly as a
+	// no-match scan would, so a sound screen (one that never returns
+	// false on a window containing a match) leaves results
+	// byte-identical. The admission-automaton first stage
+	// (internal/approx) plugs in here.
+	Screen func(window []byte) bool
 }
 
 func (c Config) withDefaults() Config {
