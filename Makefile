@@ -61,14 +61,17 @@ fuzz:
 ## differential, the fault-injection offset/prefix invariants, the
 ## lazy-DFA fast-vs-slow cross-check, the service protocol
 ## (SCAN-BATCH item isolation, session framing vs one-shot scans plus
-## garbage-frame robustness), and the approx admission never-miss
-## property (filter soundness plus screened-vs-unscreened identity).
+## garbage-frame robustness), the checkpoint handoff (SESSION-RESTORE
+## of valid, corrupted and arbitrary checkpoints — no dup/lost match,
+## no desync), and the approx admission never-miss property (filter
+## soundness plus screened-vs-unscreened identity).
 fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz FuzzStreamChunking -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzFaultInjection -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzLazyDFA -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzScanBatch -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzSessionFraming -fuzztime 30s .
+	$(GO) test -run '^$$' -fuzz FuzzSessionRestore -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzApproxAdmission -fuzztime 30s .
 
 ## leakcheck: the guardrail tests carry goroutine-leak assertions

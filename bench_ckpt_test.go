@@ -1,0 +1,266 @@
+// Checkpoint-piggyback overhead on the PR 8 streaming workload: a
+// checkpointed session (SESSION-OPEN flag bit0) makes the server
+// export the stream checkpoint on EVERY SESSION-MATCHES ack so the
+// gateway can fail the session over transparently (DESIGN.md §18).
+// That export must be close to free — the committed snapshot
+// BENCH_010.json records the measured overhead against the plain
+// session on identical traffic, and the benchmark guard holds the
+// export-per-push path to <= 3% over the same scan without exports.
+package alveare_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"alveare/internal/backend"
+	"alveare/internal/core"
+	"alveare/internal/server/client"
+)
+
+// benchCkptFile is the committed piggyback-overhead snapshot,
+// regenerated with ALVEARE_BENCH_SNAPSHOT=update and shape-checked
+// with ALVEARE_BENCH_SNAPSHOT=1 (wall-clock, machine-specific, same
+// caveat as BENCH_006/007/008).
+const benchCkptFile = "BENCH_010.json"
+
+// benchCkptWorkload is the engine-level shape of the piggyback cost:
+// the same 64 KiB pushes a streaming session makes, with and without
+// an Export() per push. The export is what the server adds to every
+// ack of a checkpointed session, so the delta between the two runs IS
+// the piggyback overhead, with no network noise in the measurement.
+func benchCkptWorkload(b *testing.B, export bool) {
+	rs, err := core.NewRuleSet(benchSessRules, backend.Options{},
+		core.WithDFA(), core.WithApprox())
+	if err != nil {
+		b.Fatal(err)
+	}
+	corpus, _ := benchSessCorpus(2000, 2026)
+	var flat []byte
+	for _, rec := range corpus {
+		flat = append(flat, rec...)
+	}
+	const chunk = 64 << 10
+	emit := func(int, core.Match, []byte) bool { return true }
+	ctx := context.Background()
+	b.SetBytes(int64(len(flat)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := rs.NewStream(4096)
+		for off := 0; off < len(flat); off += chunk {
+			end := off + chunk
+			if end > len(flat) {
+				end = len(flat)
+			}
+			if _, err := st.PushCtx(ctx, flat[off:end], emit); err != nil {
+				b.Fatal(err)
+			}
+			if export {
+				if cp := st.Export(); len(cp) == 0 {
+					b.Fatal("empty checkpoint")
+				}
+			}
+		}
+		if _, err := st.FinishCtx(ctx, emit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// measureStreamCkpt is measureStream with the checkpoint flag on the
+// SESSION-OPEN: same flattened corpus, same 64 KiB frames, same
+// closed loop per connection — the only difference on the wire is the
+// negotiated flag and the checkpoint trailer on every ack.
+func measureStreamCkpt(t *testing.T, clients []*client.Client, corpus [][]byte, ckpt bool) benchSessionResult {
+	t.Helper()
+	var flat []byte
+	for _, rec := range corpus {
+		flat = append(flat, rec...)
+	}
+	const chunk = 64 << 10
+	mode := "stream-64KiB-plain"
+	if ckpt {
+		mode = "stream-64KiB-ckpt"
+	}
+
+	type slot struct {
+		c     *client.Client
+		lats  []time.Duration
+		bytes int64
+		sent  int64
+	}
+	var slots []*slot
+	for _, c := range clients {
+		slots = append(slots, &slot{c: c})
+	}
+	run := func(d time.Duration, record bool) {
+		deadline := time.Now().Add(d)
+		var wg sync.WaitGroup
+		errCh := make(chan error, len(slots))
+		for _, s := range slots {
+			wg.Add(1)
+			go func(s *slot) {
+				defer wg.Done()
+				var sess *client.Session
+				var err error
+				if ckpt {
+					sess, err = s.c.OpenSessionCheckpointCtx(context.Background(), 0)
+				} else {
+					sess, err = s.c.OpenSession(0)
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+				off := 0
+				for time.Now().Before(deadline) {
+					end := off + chunk
+					if end > len(flat) {
+						end = len(flat)
+					}
+					t0 := time.Now()
+					_, _, err := sess.Write(flat[off:end])
+					if err != nil {
+						if errors.Is(err, client.ErrShed) {
+							continue
+						}
+						errCh <- fmt.Errorf("%s: %w", mode, err)
+						return
+					}
+					if record {
+						s.lats = append(s.lats, time.Since(t0))
+						s.bytes += int64(end - off)
+						s.sent++
+					}
+					off = end
+					if off >= len(flat) {
+						off = 0
+					}
+				}
+				if ckpt && sess.Checkpoint() == nil {
+					errCh <- fmt.Errorf("%s: no checkpoint piggybacked", mode)
+					return
+				}
+				if _, _, err := sess.Close(); err != nil {
+					errCh <- fmt.Errorf("%s close: %w", mode, err)
+				}
+			}(s)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatal(err)
+		}
+	}
+	run(300*time.Millisecond, false)
+	start := time.Now()
+	run(1200*time.Millisecond, true)
+	elapsed := time.Since(start).Seconds()
+
+	res := benchSessionResult{Mode: mode, Seconds: elapsed}
+	var all []time.Duration
+	var bytes int64
+	for _, s := range slots {
+		bytes += s.bytes
+		res.Frames += s.sent
+		all = append(all, s.lats...)
+	}
+	if bytes == 0 {
+		t.Fatalf("%s: no bytes pushed", mode)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	quantile := func(q float64) int64 {
+		return all[int(q*float64(len(all)-1))].Microseconds()
+	}
+	res.P50us, res.P99us = quantile(0.50), quantile(0.99)
+	res.MBPerSec = float64(bytes) / elapsed / (1 << 20)
+	return res
+}
+
+type benchCkptSnapshot struct {
+	Schema   int                  `json:"schema"`
+	Workload string               `json:"workload"`
+	Modes    []benchSessionResult `json:"modes"`
+	// OverheadPct is the headline number: how much slower the
+	// checkpointed session streams than the plain one, in percent of
+	// sustained MB/s. The benchmark guard caps the engine-level export
+	// cost at 3%; the recorded end-to-end figure must honour the same
+	// bound.
+	OverheadPct float64 `json:"ckpt_overhead_pct"`
+}
+
+// TestBenchCkptSnapshot regenerates (ALVEARE_BENCH_SNAPSHOT=update)
+// or checks (ALVEARE_BENCH_SNAPSHOT=1) the committed BENCH_010.json.
+// The check asserts the snapshot's claim — piggybacking a checkpoint
+// on every streaming ack costs <= 3% of sustained throughput — not
+// this machine's clock.
+func TestBenchCkptSnapshot(t *testing.T) {
+	mode := os.Getenv("ALVEARE_BENCH_SNAPSHOT")
+	if mode == "" {
+		t.Skip("wall-clock snapshot; run with ALVEARE_BENCH_SNAPSHOT=1 (check) or =update (regenerate)")
+	}
+
+	if mode == "update" {
+		corpus, total := benchSessCorpus(benchSessRecords, 2026)
+		clients := benchSessServer(t)
+		// Alternate the modes and keep each one's best round, so a
+		// scheduler hiccup in a single 1.2 s window cannot fake (or
+		// hide) an overhead.
+		var plain, ckpt benchSessionResult
+		for round := 0; round < 3; round++ {
+			if p := measureStreamCkpt(t, clients, corpus, false); p.MBPerSec > plain.MBPerSec {
+				plain = p
+			}
+			if c := measureStreamCkpt(t, clients, corpus, true); c.MBPerSec > ckpt.MBPerSec {
+				ckpt = c
+			}
+		}
+		snap := benchCkptSnapshot{
+			Schema: 1,
+			Workload: fmt.Sprintf(
+				"%d seeded log records, %d bytes total (64-256 B band), %d rules, %d conns x 64 KiB SESSION-DATA frames, plain vs checkpointed session, best of 3 rounds",
+				benchSessRecords, total, len(benchSessRules), benchSessConns),
+			Modes:       []benchSessionResult{plain, ckpt},
+			OverheadPct: (plain.MBPerSec/ckpt.MBPerSec - 1) * 100,
+		}
+		raw, err := json.MarshalIndent(&snap, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(benchCkptFile, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range snap.Modes {
+			t.Logf("%s: %.2f MB/s, p50 %dus p99 %dus over %d frames",
+				m.Mode, m.MBPerSec, m.P50us, m.P99us, m.Frames)
+		}
+		t.Logf("checkpoint piggyback overhead: %.2f%%", snap.OverheadPct)
+		return
+	}
+
+	raw, err := os.ReadFile(benchCkptFile)
+	if err != nil {
+		t.Fatalf("%v (regenerate with ALVEARE_BENCH_SNAPSHOT=update)", err)
+	}
+	var snap benchCkptSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Modes) != 2 {
+		t.Fatalf("snapshot shape: %d mode rows, want 2 (plain, ckpt)", len(snap.Modes))
+	}
+	for _, m := range snap.Modes {
+		if m.Frames == 0 || m.MBPerSec <= 0 {
+			t.Errorf("%s: empty measurement recorded", m.Mode)
+		}
+	}
+	if snap.OverheadPct > 3 {
+		t.Errorf("recorded checkpoint piggyback overhead %.2f%%, want <= 3%%", snap.OverheadPct)
+	}
+}

@@ -167,6 +167,23 @@ func writeReport(w io.Writer, s summary) {
 			s.ServerStats.Get("server.queue.highwater"),
 			s.ServerStats.Get("server.shed"),
 			s.ServerStats.Get("server.conns.total"))
+		// Streaming-session accounting. A gateway STATS answers
+		// fleet-wide aggregates (fleet.server.session.* summed across
+		// reachable shards, plus the fleet.sessions.open gauge); a shard
+		// answers its own counters. Whichever shape arrived, print one
+		// row — but only when sessions actually ran.
+		sessPrefix, sessOpen := "server.session.", s.ServerStats.Get("server.session.active")
+		if _, fleet := s.ServerStats.Find("fleet.sessions.open"); fleet {
+			sessPrefix, sessOpen = "fleet.server.session.", s.ServerStats.Get("fleet.sessions.open")
+		}
+		if opens := s.ServerStats.Get(sessPrefix + "opens"); opens > 0 {
+			fmt.Fprintf(w, "  server sessions opened=%d closed=%d restored=%d reaped=%d open=%d\n",
+				opens,
+				s.ServerStats.Get(sessPrefix+"closes"),
+				s.ServerStats.Get(sessPrefix+"restores"),
+				s.ServerStats.Get(sessPrefix+"reaped"),
+				sessOpen)
+		}
 		// Admission-stage effectiveness, when the server screens with
 		// the approx filter: how much traffic the filter disposed of
 		// without the exact engine, and how often an admitted window

@@ -62,6 +62,11 @@ func TestReportGolden(t *testing.T) {
 	sreg.Gauge("server.queue.highwater").Set(7)
 	sreg.Counter("server.shed").Store(4)
 	sreg.Counter("server.conns.total").Store(6)
+	sreg.Counter("server.session.opens").Store(14)
+	sreg.Counter("server.session.closes").Store(11)
+	sreg.Counter("server.session.restores").Store(2)
+	sreg.Counter("server.session.reaped").Store(1)
+	sreg.Gauge("server.session.active").Set(3)
 	sreg.Counter("ruleset.approx.windows.screened").Store(120)
 	sreg.Counter("ruleset.approx.windows.admitted").Store(30)
 	sreg.Counter("ruleset.approx.windows.exacthit").Store(27)
@@ -114,11 +119,36 @@ func TestReportGolden(t *testing.T) {
 		"tenant gold: requests=70 ok=62 shed=1",
 		"tenant free: requests=50 ok=38 shed=7",
 		"client latency", "server latency", "histogram",
+		"server sessions opened=14 closed=11 restored=2 reaped=1 open=3",
 		"server approx  screened=120 admitted=30 exacthit=27 precision=90.0% bytes=491520",
 	} {
 		if !bytes.Contains(one.Bytes(), []byte(want)) {
 			t.Errorf("report missing %q:\n%s", want, one.String())
 		}
+	}
+}
+
+// TestReportFleetSessions: when the STATS answer came from a gateway,
+// the sessions row must read the fleet-wide aggregates (summed shard
+// counters plus the polled fleet.sessions.open gauge), not the
+// gateway's own — absent — server.session.* names.
+func TestReportFleetSessions(t *testing.T) {
+	sreg := metrics.New()
+	sreg.Counter("fleet.server.session.opens").Store(40)
+	sreg.Counter("fleet.server.session.closes").Store(35)
+	sreg.Counter("fleet.server.session.restores").Store(6)
+	sreg.Counter("fleet.server.session.reaped").Store(2)
+	sreg.Gauge("fleet.sessions.open").Set(5)
+	var buf bytes.Buffer
+	writeReport(&buf, summary{
+		Op: "scan", Target: "gw:1", Conns: 1, Inflight: 1,
+		Elapsed: time.Second, Payload: 64,
+		Tally:       tally{Requests: 40, OK: 40},
+		ServerStats: sreg.Snapshot(),
+	})
+	want := "server sessions opened=40 closed=35 restored=6 reaped=2 open=5"
+	if !bytes.Contains(buf.Bytes(), []byte(want)) {
+		t.Errorf("fleet report missing %q:\n%s", want, buf.String())
 	}
 }
 

@@ -1,0 +1,272 @@
+// Differential battery for checkpointed stream handoff: exporting a
+// stream at a push boundary and restoring it — into a fresh engine
+// stream, or onto a second TCP server via SESSION-RESTORE — must
+// finish the scan byte-identical to the uninterrupted run. The
+// restored and uninterrupted runs share chunk boundaries, so the
+// equivalence is exact for EVERY overlap, the sub-match blind spot
+// included; that is precisely the guarantee the gateway's transparent
+// session failover leans on. These run under `make difftest`.
+package alveare_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"alveare/internal/backend"
+	"alveare/internal/core"
+	"alveare/internal/server"
+	"alveare/internal/server/client"
+)
+
+// diffRestoreModes are the engine-config axes the checkpoint property
+// must hold across: the lazy-DFA fast path and the over-approximating
+// admission stage each keep per-stream state that has to survive the
+// export/restore round trip.
+var diffRestoreModes = []struct {
+	name            string
+	nodfa, noapprox bool
+}{
+	{"default", false, false},
+	{"nodfa", true, false},
+	{"noapprox", false, true},
+}
+
+func diffRestoreRuleSet(t testing.TB, nodfa, noapprox bool) *core.RuleSet {
+	t.Helper()
+	var opts []core.Option
+	if !nodfa {
+		opts = append(opts, core.WithDFA())
+	}
+	if !noapprox {
+		opts = append(opts, core.WithApprox())
+	}
+	rs, err := core.NewRuleSet(diffSessRules, backend.Options{}, opts...)
+	if err != nil {
+		t.Fatalf("NewRuleSet: %v", err)
+	}
+	return rs
+}
+
+// diffPushStream drives a core.Stream over payload in chunk-sized
+// pushes and returns the sorted transcript — the uninterrupted oracle
+// the restored continuations are measured against.
+func diffPushStream(t testing.TB, rs *core.RuleSet, payload []byte, overlap, chunk int) []server.RuleMatch {
+	t.Helper()
+	st := rs.NewStream(overlap)
+	var got []server.RuleMatch
+	emit := func(rule int, m core.Match, _ []byte) bool {
+		got = append(got, server.RuleMatch{Rule: uint32(rule), Start: uint64(m.Start), End: uint64(m.End)})
+		return true
+	}
+	for off := 0; off < len(payload); off += chunk {
+		end := off + chunk
+		if end > len(payload) {
+			end = len(payload)
+		}
+		if _, err := st.PushCtx(context.Background(), payload[off:end], emit); err != nil {
+			t.Fatalf("PushCtx(off=%d): %v", off, err)
+		}
+	}
+	if _, err := st.FinishCtx(context.Background(), emit); err != nil {
+		t.Fatalf("FinishCtx: %v", err)
+	}
+	sortRuleMatches(got)
+	return got
+}
+
+// TestDifferentialStreamRestore is the checkpoint property at the
+// rule-set engine layer: one prefix stream walks the corpus, and at
+// EVERY push boundary its exported checkpoint is restored into a twin
+// stream that finishes the remainder — prefix matches plus twin
+// matches must equal the uninterrupted transcript, across chunk sizes,
+// overlap edges (one byte, below the longest match, beyond the whole
+// corpus) and the -no-dfa / -no-approx engine modes.
+func TestDifferentialStreamRestore(t *testing.T) {
+	payload := diffSessPayload(11, 2<<10)
+	for _, mode := range diffRestoreModes {
+		t.Run(mode.name, func(t *testing.T) {
+			rs := diffRestoreRuleSet(t, mode.nodfa, mode.noapprox)
+			for _, overlap := range []int{0, 1, 4, 64, len(payload) + 64} {
+				for _, chunk := range []int{7, 64, 509} {
+					t.Run(fmt.Sprintf("overlap=%d/chunk=%d", overlap, chunk), func(t *testing.T) {
+						want := diffPushStream(t, rs, payload, overlap, chunk)
+						if overlap >= len(payload) {
+							// Anchor the push-mode oracle itself: with the
+							// overlap beyond the corpus there is no blind
+							// spot, so it must equal the one-shot scan.
+							if one := diffLocalOneShot(t, rs, payload); !diffMatchesEqual(want, one) {
+								t.Fatalf("push-mode oracle diverges from one-shot: %d vs %d matches", len(want), len(one))
+							}
+						}
+						prefix := rs.NewStream(overlap)
+						var before []server.RuleMatch
+						keep := func(rule int, m core.Match, _ []byte) bool {
+							before = append(before, server.RuleMatch{Rule: uint32(rule), Start: uint64(m.Start), End: uint64(m.End)})
+							return true
+						}
+						for off := 0; off < len(payload); off += chunk {
+							end := off + chunk
+							if end > len(payload) {
+								end = len(payload)
+							}
+							if _, err := prefix.PushCtx(context.Background(), payload[off:end], keep); err != nil {
+								t.Fatalf("PushCtx(off=%d): %v", off, err)
+							}
+							cp := prefix.Export()
+							info, perr := core.PeekCheckpoint(cp)
+							if perr != nil {
+								t.Fatalf("boundary %d: PeekCheckpoint: %v", end, perr)
+							}
+							if int64(info.Consumed) != prefix.Consumed() || int(info.Rules) != rs.Len() {
+								t.Fatalf("boundary %d: checkpoint reports consumed=%d rules=%d, want %d/%d",
+									end, info.Consumed, info.Rules, prefix.Consumed(), rs.Len())
+							}
+							twin, rerr := rs.RestoreStream(cp)
+							if rerr != nil {
+								t.Fatalf("boundary %d: RestoreStream: %v", end, rerr)
+							}
+							got := append([]server.RuleMatch(nil), before...)
+							emit := func(rule int, m core.Match, _ []byte) bool {
+								got = append(got, server.RuleMatch{Rule: uint32(rule), Start: uint64(m.Start), End: uint64(m.End)})
+								return true
+							}
+							for r := end; r < len(payload); r += chunk {
+								rend := r + chunk
+								if rend > len(payload) {
+									rend = len(payload)
+								}
+								if _, err := twin.PushCtx(context.Background(), payload[r:rend], emit); err != nil {
+									t.Fatalf("boundary %d: twin PushCtx(off=%d): %v", end, r, err)
+								}
+							}
+							if _, err := twin.FinishCtx(context.Background(), emit); err != nil {
+								t.Fatalf("boundary %d: twin FinishCtx: %v", end, err)
+							}
+							sortRuleMatches(got)
+							if !diffMatchesEqual(got, want) {
+								t.Fatalf("boundary %d: restored continuation diverged from uninterrupted stream:\n got %d matches %v\nwant %d matches %v",
+									end, len(got), head(got), len(want), head(want))
+							}
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// diffRestoreHandoff pushes payload[:cut] through sessA on server A in
+// chunk-sized frames, hands the last acked checkpoint to server B with
+// SESSION-RESTORE, finishes payload[cut:] there, and returns the
+// combined sorted transcript plus the bytes B acknowledged at close.
+func diffRestoreHandoff(t testing.TB, ca, cb *client.Client, payload []byte, chunk, overlap, cut int) ([]server.RuleMatch, uint64) {
+	t.Helper()
+	sessA, err := ca.OpenSessionCheckpointCtx(context.Background(), overlap)
+	if err != nil {
+		t.Fatalf("OpenSessionCheckpointCtx: %v", err)
+	}
+	var got []server.RuleMatch
+	for off := 0; off < cut; off += chunk {
+		end := off + chunk
+		if end > cut {
+			end = cut
+		}
+		ms, _, werr := sessA.WriteCtx(context.Background(), payload[off:end])
+		if werr != nil {
+			t.Fatalf("A.Write(off=%d): %v", off, werr)
+		}
+		got = append(got, ms...)
+	}
+	ckpt := append([]byte(nil), sessA.Checkpoint()...)
+	if len(ckpt) == 0 {
+		t.Fatalf("cut %d: no checkpoint piggybacked after %d frames", cut, (cut+chunk-1)/chunk)
+	}
+	sessB, err := cb.RestoreSessionCtx(context.Background(), ckpt)
+	if err != nil {
+		t.Fatalf("cut %d: RestoreSessionCtx: %v", cut, err)
+	}
+	if sessB.Generation() != sessA.Generation() || sessB.Overlap() != sessA.Overlap() {
+		t.Fatalf("cut %d: restored session gen/overlap %d/%d, exporter %d/%d",
+			cut, sessB.Generation(), sessB.Overlap(), sessA.Generation(), sessA.Overlap())
+	}
+	for off := cut; off < len(payload); off += chunk {
+		end := off + chunk
+		if end > len(payload) {
+			end = len(payload)
+		}
+		ms, _, werr := sessB.WriteCtx(context.Background(), payload[off:end])
+		if werr != nil {
+			t.Fatalf("cut %d: B.Write(off=%d): %v", cut, off, werr)
+		}
+		got = append(got, ms...)
+	}
+	ms, consumed, err := sessB.CloseCtx(context.Background())
+	if err != nil {
+		t.Fatalf("cut %d: B.Close: %v", cut, err)
+	}
+	got = append(got, ms...)
+	// The abandoned half-session on A is reaped by its server; dropping
+	// it without close is exactly what a crashed relay would do.
+	sortRuleMatches(got)
+	return got, consumed
+}
+
+// TestDifferentialSessionRestore is the same property end to end over
+// TCP: a checkpointed session on server A handed to server B at every
+// push boundary must close with a transcript byte-identical to the
+// local streaming scan, under the default engine, -no-dfa and
+// -no-approx server configs. Handoff at the final boundary (B only
+// finalises the carry tail) rides along, as does a small-overlap
+// blind-spot edge where oracle and service share the frame size.
+func TestDifferentialSessionRestore(t *testing.T) {
+	cases := []struct {
+		name           string
+		payloadN       int
+		chunk, overlap int
+	}{
+		{"chunk=64", 4 << 10, 64, 0},
+		{"blindspot/chunk=13/overlap=4", 1 << 10, 13, 4},
+	}
+	for _, mode := range diffRestoreModes {
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := server.Config{NoDFA: mode.nodfa, NoApprox: mode.noapprox}
+			ca := diffStartService(t, cfg)
+			cb := diffStartService(t, cfg)
+			for _, tc := range cases {
+				if mode.name != "default" && tc.overlap > 0 {
+					// The blind-spot edge is an overlap property, not an
+					// engine-mode one; one config keeps the battery fast.
+					continue
+				}
+				t.Run(tc.name, func(t *testing.T) {
+					payload := diffSessPayload(12, tc.payloadN)
+					oracleChunk := 0
+					if tc.overlap > 0 {
+						oracleChunk = tc.chunk
+					}
+					want := diffLocalStream(t, payload, tc.overlap, oracleChunk)
+					if len(want) == 0 {
+						t.Fatal("corpus produced no matches; the differential would be vacuous")
+					}
+					for cut := tc.chunk; ; cut += tc.chunk {
+						if cut > len(payload) {
+							cut = len(payload)
+						}
+						got, consumed := diffRestoreHandoff(t, ca, cb, payload, tc.chunk, tc.overlap, cut)
+						if consumed != uint64(len(payload)) {
+							t.Fatalf("cut %d: consumed %d bytes, pushed %d", cut, consumed, len(payload))
+						}
+						if !diffMatchesEqual(got, want) {
+							t.Fatalf("cut %d: handoff transcript diverges from local streaming:\n got %d matches %v\nwant %d matches %v",
+								cut, len(got), head(got), len(want), head(want))
+						}
+						if cut == len(payload) {
+							break
+						}
+					}
+				})
+			}
+		})
+	}
+}

@@ -17,6 +17,7 @@
 package alveare_test
 
 import (
+	"context"
 	"net"
 	"testing"
 
@@ -167,6 +168,146 @@ func FuzzSessionFraming(f *testing.F) {
 		sortRuleMatches(got)
 		if !diffMatchesEqual(got, want) {
 			t.Fatalf("chunk=%d: session got %d matches, one-shot wants %d", chunk, len(got), len(want))
+		}
+	})
+}
+
+// FuzzSessionRestore fuzzes the checkpoint handoff from both sides.
+// The valid side: push an arbitrary payload into a checkpointed
+// session, cut it at an arbitrary frame boundary, SESSION-RESTORE the
+// piggybacked checkpoint and finish the stream — the combined
+// transcript must equal the one-shot scan (the overlap exceeds the
+// payload), no match duplicated by the handoff, none lost. The garbage
+// side: raw SESSION-RESTORE bodies — arbitrary bytes and single-byte
+// corruptions of a genuine checkpoint — must answer either a clean
+// SESSION-OK (a corruption that still decodes is a sound session,
+// closed and discarded) or a parseable ERROR on the same frame id,
+// never a desync, panic or half-created session.
+func FuzzSessionRestore(f *testing.F) {
+	c, raw, rs := startFuzzService(f)
+	f.Add([]byte("abbbcneedle GET /a/b x12y"), uint16(3), []byte{})
+	f.Add([]byte("aaabaaab"), uint16(213), []byte{1, 0, 0, 0, 16})
+	f.Add([]byte(""), uint16(0), []byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte, seed uint16, garbage []byte) {
+		if len(data) > fuzzMaxData || len(garbage) > 256 {
+			t.Skip("oversized")
+		}
+
+		// Valid handoff at an arbitrary frame boundary.
+		want := diffLocalOneShot(t, rs, data)
+		sessA, err := c.OpenSessionCheckpointCtx(context.Background(), fuzzSessionOverlap)
+		if err != nil {
+			t.Fatalf("OpenSessionCheckpointCtx: %v", err)
+		}
+		chunk := 1 + int(seed)%61
+		nChunks := (len(data) + chunk - 1) / chunk
+		cut := chunk * (int(seed/61) % (nChunks + 1))
+		if cut > len(data) {
+			cut = len(data)
+		}
+		var got []server.RuleMatch
+		for off := 0; off < cut; off += chunk {
+			end := off + chunk
+			if end > cut {
+				end = cut
+			}
+			ms, _, werr := sessA.WriteCtx(context.Background(), data[off:end])
+			if werr != nil {
+				t.Fatalf("A.Write(off=%d): %v", off, werr)
+			}
+			got = append(got, ms...)
+		}
+		if sessA.Checkpoint() == nil {
+			// No frame acked yet (cut == 0): an empty push is a no-op
+			// window whose ack still piggybacks the zero-state checkpoint.
+			if _, _, werr := sessA.WriteCtx(context.Background(), nil); werr != nil {
+				t.Fatalf("A.Write(empty): %v", werr)
+			}
+		}
+		ckpt := append([]byte(nil), sessA.Checkpoint()...)
+		if _, _, err := sessA.CloseCtx(context.Background()); err != nil {
+			t.Fatalf("A.Close: %v", err)
+		}
+		sessB, err := c.RestoreSessionCtx(context.Background(), ckpt)
+		if err != nil {
+			t.Fatalf("RestoreSessionCtx(valid %d-byte ckpt): %v", len(ckpt), err)
+		}
+		for off := cut; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			ms, _, werr := sessB.WriteCtx(context.Background(), data[off:end])
+			if werr != nil {
+				t.Fatalf("B.Write(off=%d): %v", off, werr)
+			}
+			got = append(got, ms...)
+		}
+		ms, consumed, err := sessB.CloseCtx(context.Background())
+		if err != nil {
+			t.Fatalf("B.Close: %v", err)
+		}
+		got = append(got, ms...)
+		if consumed != uint64(len(data)) {
+			t.Fatalf("handoff consumed %d bytes, pushed %d", consumed, len(data))
+		}
+		sortRuleMatches(got)
+		if !diffMatchesEqual(got, want) {
+			t.Fatalf("chunk=%d cut=%d: handoff got %d matches, one-shot wants %d — the restore duplicated or lost matches",
+				chunk, cut, len(got), len(want))
+		}
+
+		// Garbage restores: raw fuzz bytes, and the genuine checkpoint
+		// with one byte flipped at a fuzz-chosen position.
+		mutated := append([]byte{byte(server.SessionOpenFlagCheckpoint)}, ckpt...)
+		if len(ckpt) > 0 {
+			mutated[1+int(seed)%len(ckpt)] ^= 1 + byte(seed>>8)
+		}
+		for _, body := range [][]byte{garbage, mutated} {
+			if err := server.WriteFrame(raw, server.Frame{Op: server.OpSessionRestore, ID: 99, Body: body}); err != nil {
+				t.Fatalf("write restore body (%d bytes): %v", len(body), err)
+			}
+			rf, err := server.ReadFrame(raw, server.DefaultMaxFrame)
+			if err != nil {
+				t.Fatalf("read restore reply: %v", err)
+			}
+			switch rf.Op {
+			case server.OpError:
+				if rf.ID != 99 {
+					t.Fatalf("restore ERROR on id %d, want 99", rf.ID)
+				}
+				if _, _, derr := server.DecodeError(rf.Body); derr != nil {
+					t.Fatalf("malformed ERROR body for %d-byte restore: %v", len(body), derr)
+				}
+			case server.OpSessionOK:
+				// The corruption still decoded — a sound session exists;
+				// close it so the fuzz loop cannot exhaust the cap. The
+				// close may itself answer a typed ERROR (a flipped done
+				// flag restores a finished stream); either way the server
+				// drops the session on CLOSE.
+				id, _, _, derr := server.DecodeSessionOKGen(rf.Body)
+				if derr != nil {
+					t.Fatalf("malformed SESSION-OK for restored session: %v", derr)
+				}
+				if err := server.WriteFrame(raw, server.Frame{Op: server.OpSessionClose, ID: 100, Body: server.EncodeSessionClose(id)}); err != nil {
+					t.Fatalf("close restored session: %v", err)
+				}
+				cf, err := server.ReadFrame(raw, server.DefaultMaxFrame)
+				if err != nil || cf.ID != 100 {
+					t.Fatalf("close restored session: frame op=0x%02x id=%d err=%v, want id=100", cf.Op, cf.ID, err)
+				}
+				switch cf.Op {
+				case server.OpSessionMatches:
+				case server.OpError:
+					if _, _, derr := server.DecodeError(cf.Body); derr != nil {
+						t.Fatalf("close restored session: malformed ERROR body: %v", derr)
+					}
+				default:
+					t.Fatalf("close restored session answered op=0x%02x — protocol desync", cf.Op)
+				}
+			default:
+				t.Fatalf("restore answered op=0x%02x, want SESSION-OK or ERROR — protocol desync", rf.Op)
+			}
 		}
 	})
 }

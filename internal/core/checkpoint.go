@@ -1,0 +1,249 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrBadCheckpoint reports a stream checkpoint that failed structural
+// validation — wrong version, unknown flags, truncation, trailing
+// bytes, a rule count that disagrees with the restoring rule set, or
+// offsets that violate the overlap-carry invariants. A checkpoint that
+// decodes cleanly restores a stream whose future matches are
+// byte-identical to the exporter's.
+var ErrBadCheckpoint = errors.New("core: bad stream checkpoint")
+
+// Stream checkpoint wire layout (version 1, big-endian):
+//
+//	u8  version (1)
+//	u8  flags   (bit0: finished)
+//	u32 overlap
+//	u64 base    (stream offset of the first buffered byte)
+//	u32 buffered length, then that many carry-window bytes
+//	u32 rule count, then per rule:
+//	    u8  rule flags (bit0: sticky/degraded, bit1: retired)
+//	    u64 resume offset
+//	    if retired: u16 error length, then that many error bytes
+//
+// The encoding is strict and self-delimiting: trailing bytes are an
+// error, so a checkpoint embedded in a larger frame must be sliced
+// exactly.
+const (
+	streamCkptVersion  = 1
+	streamCkptFlagDone = 1 << 0
+
+	streamCkptRuleSticky = 1 << 0
+	streamCkptRuleDead   = 1 << 1
+
+	streamCkptHeaderLen = 1 + 1 + 4 + 8 + 4
+	streamCkptMaxOffset = 1 << 62 // u64→int safety fence
+	streamCkptMaxRules  = 1 << 20
+)
+
+// Export serialises the stream's resumable state — consumed offset,
+// carry-window bytes, per-rule resume/degraded/retired state and
+// config — as a small versioned checkpoint. Exported at a push
+// boundary (after PushCtx returned), the checkpoint restored via
+// RuleSet.RestoreStream on an equivalent rule set continues the flow
+// with matches byte-identical to the uninterrupted stream.
+//
+// Retired rules keep their error text but lose its concrete type: a
+// restored stream's FinishCtx reports the same message, not the same
+// errors.Is identity.
+func (st *Stream) Export() []byte {
+	n := len(st.pos)
+	limit := st.base + len(st.buf)
+	size := streamCkptHeaderLen + len(st.buf) + 4 + n*9
+	msgs := make([]string, n)
+	for i := 0; i < n; i++ {
+		if st.dead[i] != nil {
+			msg := st.dead[i].Error()
+			if len(msg) > 0xFFFF {
+				msg = msg[:0xFFFF]
+			}
+			msgs[i] = msg
+			size += 2 + len(msg)
+		}
+	}
+	out := make([]byte, 0, size)
+	out = append(out, streamCkptVersion)
+	var flags byte
+	if st.done {
+		flags |= streamCkptFlagDone
+	}
+	out = append(out, flags)
+	out = binary.BigEndian.AppendUint32(out, uint32(st.overlap))
+	out = binary.BigEndian.AppendUint64(out, uint64(st.base))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(st.buf)))
+	out = append(out, st.buf...)
+	out = binary.BigEndian.AppendUint32(out, uint32(n))
+	for i := 0; i < n; i++ {
+		var rf byte
+		pos := st.pos[i]
+		if st.sticky[i] {
+			rf |= streamCkptRuleSticky
+		}
+		if st.dead[i] != nil {
+			rf |= streamCkptRuleDead
+			// A retired rule's frozen resume offset can sit below the
+			// current base (the carry moved on without it); it is never
+			// consulted again, so normalise it to the window limit where
+			// the restore-side invariants hold.
+			pos = limit
+		}
+		out = append(out, rf)
+		out = binary.BigEndian.AppendUint64(out, uint64(pos))
+		if st.dead[i] != nil {
+			out = binary.BigEndian.AppendUint16(out, uint16(len(msgs[i])))
+			out = append(out, msgs[i]...)
+		}
+	}
+	return out
+}
+
+// RestoreStream rebuilds a push-mode stream from an Export checkpoint.
+// The rule set must be equivalent to the exporter's (same rules in the
+// same order — the rule count is verified, the patterns are the
+// caller's contract, e.g. the gateway's generation fence). Garbage
+// input yields ErrBadCheckpoint, never a panic or a stream that
+// silently diverges.
+func (rs *RuleSet) RestoreStream(cp []byte) (*Stream, error) {
+	if len(cp) < streamCkptHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes, want >= %d", ErrBadCheckpoint, len(cp), streamCkptHeaderLen)
+	}
+	if cp[0] != streamCkptVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadCheckpoint, cp[0])
+	}
+	if cp[1]&^byte(streamCkptFlagDone) != 0 {
+		return nil, fmt.Errorf("%w: unknown flags 0x%02x", ErrBadCheckpoint, cp[1])
+	}
+	done := cp[1]&streamCkptFlagDone != 0
+	overlap := binary.BigEndian.Uint32(cp[2:6])
+	base := binary.BigEndian.Uint64(cp[6:14])
+	blen := binary.BigEndian.Uint32(cp[14:18])
+	if overlap == 0 || overlap > 1<<30 {
+		return nil, fmt.Errorf("%w: overlap %d", ErrBadCheckpoint, overlap)
+	}
+	if base > streamCkptMaxOffset {
+		return nil, fmt.Errorf("%w: offset overflow", ErrBadCheckpoint)
+	}
+	if !done && uint64(blen) > uint64(overlap) {
+		return nil, fmt.Errorf("%w: %d buffered bytes exceed overlap %d", ErrBadCheckpoint, blen, overlap)
+	}
+	off := uint64(streamCkptHeaderLen)
+	if uint64(len(cp)) < off+uint64(blen)+4 {
+		return nil, fmt.Errorf("%w: truncated carry window", ErrBadCheckpoint)
+	}
+	buf := make([]byte, blen)
+	copy(buf, cp[off:off+uint64(blen)])
+	off += uint64(blen)
+	nrules := binary.BigEndian.Uint32(cp[off : off+4])
+	off += 4
+	if nrules > streamCkptMaxRules {
+		return nil, fmt.Errorf("%w: rule count %d", ErrBadCheckpoint, nrules)
+	}
+	if int(nrules) != rs.Len() {
+		return nil, fmt.Errorf("%w: checkpoint has %d rules, rule set has %d", ErrBadCheckpoint, nrules, rs.Len())
+	}
+	limit := base + uint64(blen)
+	posMax := limit
+	if done {
+		posMax = limit + 1
+	}
+	pos := make([]int, nrules)
+	sticky := make([]bool, nrules)
+	dead := make([]error, nrules)
+	for i := uint32(0); i < nrules; i++ {
+		if uint64(len(cp)) < off+9 {
+			return nil, fmt.Errorf("%w: truncated rule %d", ErrBadCheckpoint, i)
+		}
+		rf := cp[off]
+		if rf&^byte(streamCkptRuleSticky|streamCkptRuleDead) != 0 {
+			return nil, fmt.Errorf("%w: rule %d unknown flags 0x%02x", ErrBadCheckpoint, i, rf)
+		}
+		p := binary.BigEndian.Uint64(cp[off+1 : off+9])
+		off += 9
+		if p > streamCkptMaxOffset {
+			return nil, fmt.Errorf("%w: rule %d offset overflow", ErrBadCheckpoint, i)
+		}
+		if p < base || p > limit+1 {
+			return nil, fmt.Errorf("%w: rule %d pos %d outside [%d,%d]", ErrBadCheckpoint, i, p, base, limit+1)
+		}
+		if rf&streamCkptRuleDead == 0 && p > posMax {
+			return nil, fmt.Errorf("%w: rule %d pos %d past limit %d", ErrBadCheckpoint, i, p, posMax)
+		}
+		pos[i] = int(p)
+		sticky[i] = rf&streamCkptRuleSticky != 0
+		if rf&streamCkptRuleDead != 0 {
+			if uint64(len(cp)) < off+2 {
+				return nil, fmt.Errorf("%w: truncated rule %d error", ErrBadCheckpoint, i)
+			}
+			mlen := uint64(binary.BigEndian.Uint16(cp[off : off+2]))
+			off += 2
+			if uint64(len(cp)) < off+mlen {
+				return nil, fmt.Errorf("%w: truncated rule %d error text", ErrBadCheckpoint, i)
+			}
+			dead[i] = errors.New(string(cp[off : off+mlen]))
+			off += mlen
+		}
+	}
+	if off != uint64(len(cp)) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, uint64(len(cp))-off)
+	}
+	return &Stream{
+		rs:      rs,
+		overlap: int(overlap),
+		buf:     buf,
+		base:    int(base),
+		pos:     pos,
+		sticky:  sticky,
+		dead:    dead,
+		done:    done,
+	}, nil
+}
+
+// CheckpointInfo is the header summary of a stream checkpoint, parsed
+// without a rule set — what a relay (the gateway) needs to reason about
+// a checkpoint it cannot restore itself: the consumed offset and the
+// resident carry window, whose difference is the finalised prefix
+// (every match already delivered starts before it).
+type CheckpointInfo struct {
+	Consumed uint64 // total stream bytes absorbed at export time
+	Buffered uint64 // resident carry-window bytes
+	Overlap  uint32
+	Rules    uint32
+	Done     bool
+}
+
+// PeekCheckpoint parses a stream checkpoint's header without restoring
+// it. It validates the same structural invariants as RestoreStream up
+// to (not including) the per-rule records' contents.
+func PeekCheckpoint(cp []byte) (CheckpointInfo, error) {
+	if len(cp) < streamCkptHeaderLen {
+		return CheckpointInfo{}, fmt.Errorf("%w: %d bytes, want >= %d", ErrBadCheckpoint, len(cp), streamCkptHeaderLen)
+	}
+	if cp[0] != streamCkptVersion {
+		return CheckpointInfo{}, fmt.Errorf("%w: version %d", ErrBadCheckpoint, cp[0])
+	}
+	if cp[1]&^byte(streamCkptFlagDone) != 0 {
+		return CheckpointInfo{}, fmt.Errorf("%w: unknown flags 0x%02x", ErrBadCheckpoint, cp[1])
+	}
+	info := CheckpointInfo{
+		Done:    cp[1]&streamCkptFlagDone != 0,
+		Overlap: binary.BigEndian.Uint32(cp[2:6]),
+	}
+	base := binary.BigEndian.Uint64(cp[6:14])
+	blen := binary.BigEndian.Uint32(cp[14:18])
+	if info.Overlap == 0 || base > streamCkptMaxOffset {
+		return CheckpointInfo{}, fmt.Errorf("%w: bad header", ErrBadCheckpoint)
+	}
+	off := uint64(streamCkptHeaderLen) + uint64(blen)
+	if uint64(len(cp)) < off+4 {
+		return CheckpointInfo{}, fmt.Errorf("%w: truncated carry window", ErrBadCheckpoint)
+	}
+	info.Buffered = uint64(blen)
+	info.Consumed = base + uint64(blen)
+	info.Rules = binary.BigEndian.Uint32(cp[off : off+4])
+	return info, nil
+}

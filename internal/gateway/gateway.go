@@ -118,6 +118,14 @@ type Config struct {
 	// frames (default 8); past it the frame sheds without being
 	// forwarded, so the client may resend it.
 	SessionPending int
+	// ReconcileInterval is the period of the rule-generation
+	// anti-entropy reconciler: a background loop that probes each
+	// shard's generation via RULES-INFO and re-drives the last
+	// successful RELOAD onto shards that lag the fleet — the
+	// counterpart of the session failover generation fence, which
+	// refuses to restore a stream onto a lagging replica. Default 5s;
+	// negative disables the loop.
+	ReconcileInterval time.Duration
 	// Seed makes the probe jitter and retry backoff deterministic in
 	// tests (0: time-based).
 	Seed int64
@@ -163,6 +171,9 @@ func (c Config) withDefaults() Config {
 	if c.SessionPending <= 0 {
 		c.SessionPending = 8
 	}
+	if c.ReconcileInterval == 0 {
+		c.ReconcileInterval = 5 * time.Second
+	}
 	return c
 }
 
@@ -180,46 +191,58 @@ type tenantState struct {
 
 // gwMetrics is the gateway's pre-resolved metric handles.
 type gwMetrics struct {
-	requests     *metrics.Counter
-	ok           *metrics.Counter
-	errs         *metrics.Counter
-	shed         *metrics.Counter
-	shedQuota    *metrics.Counter
-	shedFairq    *metrics.Counter
-	shedCapacity *metrics.Counter
-	rerouted     *metrics.Counter // answered by a shard other than the ring owner
-	partial      *metrics.Counter // scatter-gathers that missed a shard
-	sessOpens    *metrics.Counter
-	sessCloses   *metrics.Counter
-	sessReaped   *metrics.Counter
-	sessActive   *metrics.Gauge
-	bytesIn      *metrics.Counter
-	bytesOut     *metrics.Counter
-	connsOpen    *metrics.Gauge
-	connsTotal   *metrics.Counter
-	reachable    *metrics.Gauge // fleet.shards.reachable
+	requests       *metrics.Counter
+	ok             *metrics.Counter
+	errs           *metrics.Counter
+	shed           *metrics.Counter
+	shedQuota      *metrics.Counter
+	shedFairq      *metrics.Counter
+	shedCapacity   *metrics.Counter
+	rerouted       *metrics.Counter // answered by a shard other than the ring owner
+	partial        *metrics.Counter // scatter-gathers that missed a shard
+	sessOpens      *metrics.Counter
+	sessCloses     *metrics.Counter
+	sessReaped     *metrics.Counter
+	sessActive     *metrics.Gauge
+	sessRestores   *metrics.Counter // streams rebuilt on a replica (failover or client restore)
+	sessFailovers  *metrics.Counter // frames that triggered a failover walk
+	sessReplays    *metrics.Counter // in-flight frames replayed on a replacement shard
+	sessDedup      *metrics.Counter // replayed matches suppressed by the finalised-prefix mark
+	sessGenRefused *metrics.Counter // restore candidates refused by the generation fence
+	reconciled     *metrics.Counter // lagging shards converged by the anti-entropy loop
+	bytesIn        *metrics.Counter
+	bytesOut       *metrics.Counter
+	connsOpen      *metrics.Gauge
+	connsTotal     *metrics.Counter
+	reachable      *metrics.Gauge // fleet.shards.reachable
 }
 
 func resolveMetrics(r *metrics.Registry) gwMetrics {
 	return gwMetrics{
-		requests:     r.Counter("gateway.requests"),
-		ok:           r.Counter("gateway.ok"),
-		errs:         r.Counter("gateway.errors"),
-		shed:         r.Counter("gateway.shed"),
-		shedQuota:    r.Counter("gateway.shed.quota"),
-		shedFairq:    r.Counter("gateway.shed.fairqueue"),
-		shedCapacity: r.Counter("gateway.shed.capacity"),
-		rerouted:     r.Counter("gateway.rerouted"),
-		partial:      r.Counter("gateway.partial"),
-		sessOpens:    r.Counter("gateway.session.opens"),
-		sessCloses:   r.Counter("gateway.session.closes"),
-		sessReaped:   r.Counter("gateway.session.reaped"),
-		sessActive:   r.Gauge("gateway.session.active"),
-		bytesIn:      r.Counter("gateway.bytes.in"),
-		bytesOut:     r.Counter("gateway.bytes.out"),
-		connsOpen:    r.Gauge("gateway.conns.open"),
-		connsTotal:   r.Counter("gateway.conns.total"),
-		reachable:    r.Gauge("fleet.shards.reachable"),
+		requests:       r.Counter("gateway.requests"),
+		ok:             r.Counter("gateway.ok"),
+		errs:           r.Counter("gateway.errors"),
+		shed:           r.Counter("gateway.shed"),
+		shedQuota:      r.Counter("gateway.shed.quota"),
+		shedFairq:      r.Counter("gateway.shed.fairqueue"),
+		shedCapacity:   r.Counter("gateway.shed.capacity"),
+		rerouted:       r.Counter("gateway.rerouted"),
+		partial:        r.Counter("gateway.partial"),
+		sessOpens:      r.Counter("gateway.session.opens"),
+		sessCloses:     r.Counter("gateway.session.closes"),
+		sessReaped:     r.Counter("gateway.session.reaped"),
+		sessActive:     r.Gauge("gateway.session.active"),
+		sessRestores:   r.Counter("gateway.sessions.restores"),
+		sessFailovers:  r.Counter("gateway.sessions.failovers"),
+		sessReplays:    r.Counter("gateway.sessions.replays"),
+		sessDedup:      r.Counter("gateway.sessions.dedup"),
+		sessGenRefused: r.Counter("gateway.sessions.genrefused"),
+		reconciled:     r.Counter("gateway.reload.reconciled"),
+		bytesIn:        r.Counter("gateway.bytes.in"),
+		bytesOut:       r.Counter("gateway.bytes.out"),
+		connsOpen:      r.Gauge("gateway.conns.open"),
+		connsTotal:     r.Counter("gateway.conns.total"),
+		reachable:      r.Gauge("fleet.shards.reachable"),
 	}
 }
 
@@ -243,6 +266,13 @@ type Gateway struct {
 	sessions map[uint64]*gwSession
 	sessNext uint64
 	sessStop chan struct{} // closed when the drain begins; stops the reaper
+
+	// Anti-entropy state: the last fleet-visible RELOAD body and the
+	// highest generation any shard reached applying it. The reconciler
+	// re-drives this reload onto shards that lag the target.
+	reconMu    sync.Mutex
+	reconRules []byte
+	reconGen   uint32
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -298,15 +328,15 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	g := &Gateway{
-		cfg:     cfg,
-		bs:      bs,
-		ring:    newRing(len(cfg.Backends), cfg.RingReplicas),
-		fq:      newFairQueue(),
-		tenants: make(map[string]*tenantState, len(cfg.Tenants)),
-		reg:     reg,
-		met:     resolveMetrics(reg),
-		baseCtx: ctx,
-		abort:   cancel,
+		cfg:      cfg,
+		bs:       bs,
+		ring:     newRing(len(cfg.Backends), cfg.RingReplicas),
+		fq:       newFairQueue(),
+		tenants:  make(map[string]*tenantState, len(cfg.Tenants)),
+		reg:      reg,
+		met:      resolveMetrics(reg),
+		baseCtx:  ctx,
+		abort:    cancel,
 		rng:      rand.New(rand.NewSource(seed ^ 0x5deece66d)),
 		sessions: map[uint64]*gwSession{},
 		sessStop: make(chan struct{}),
@@ -384,6 +414,10 @@ func (g *Gateway) Serve(ln net.Listener) error {
 	}
 	g.wgWorkers.Add(1)
 	go g.sessionReaper()
+	if g.cfg.ReconcileInterval > 0 {
+		g.wgWorkers.Add(1)
+		go g.reconciler()
+	}
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
@@ -512,6 +546,10 @@ var fleetSums = []string{
 	"ruleset.approx.bytes.screened",
 	"ruleset.approx.windows.admitted",
 	"ruleset.approx.windows.exacthit",
+	"server.session.opens",
+	"server.session.closes",
+	"server.session.reaped",
+	"server.session.restores",
 }
 
 // pollFleet asks every shard whose breaker is not open for its STATS
@@ -541,6 +579,7 @@ func (g *Gateway) pollFleet() {
 	wg.Wait()
 	reachable := 0
 	sums := make([]int64, len(fleetSums))
+	var sessOpen int64
 	for _, snap := range snaps {
 		if snap == nil {
 			continue
@@ -549,11 +588,15 @@ func (g *Gateway) pollFleet() {
 		for j, name := range fleetSums {
 			sums[j] += snap.Get(name)
 		}
+		sessOpen += snap.Get("server.session.active")
 	}
 	g.met.reachable.Set(int64(reachable))
 	for j, name := range fleetSums {
 		g.reg.Counter("fleet." + name).Store(sums[j])
 	}
+	// Streams resident across reachable shards — a gauge, not a counter,
+	// so it is summed here instead of riding fleetSums.
+	g.reg.Gauge("fleet.sessions.open").Set(sessOpen)
 }
 
 // serveConn is one client connection's reader loop, mirroring the scan
@@ -718,7 +761,9 @@ func (g *Gateway) execute(c *conn, ts *tenantState, key string, op byte, body []
 	case server.OpScanBatch:
 		g.routeSingle(c, ts, key, op, server.OpBatchResp, body, id)
 	case server.OpSessionOpen:
-		g.openGwSession(c, ts, key, body, id)
+		g.openGwSession(c, ts, key, body, id, false)
+	case server.OpSessionRestore:
+		g.openGwSession(c, ts, key, body, id, true)
 	case server.OpScanPattern:
 		g.scatterGather(c, ts, body, id)
 	case server.OpReload:
@@ -910,6 +955,15 @@ func (g *Gateway) reloadAll(c *conn, ts *tenantState, body []byte, id uint32) {
 			gen, rules = r.gen, r.rules
 			seen = true
 		}
+	}
+	if seen {
+		// Remember the rules text and the target generation even when
+		// some shards missed the reload: the anti-entropy reconciler
+		// converges the laggards from exactly this state.
+		g.reconMu.Lock()
+		g.reconRules = append([]byte(nil), body...)
+		g.reconGen = gen
+		g.reconMu.Unlock()
 	}
 	if len(fails) > 0 {
 		g.replyErr(c, id, ts, server.ErrCodeScan,

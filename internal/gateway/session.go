@@ -1,22 +1,29 @@
-// Sticky streaming sessions through the gateway. A stream's carry
-// state lives on exactly one shard, so unlike the stateless ops a
-// session cannot fail over: SESSION-OPEN walks the tenant's ring order
-// once to place the stream, and every later frame of that session is
-// pinned to the shard that holds it. The gateway speaks its own id
-// space to clients — the SESSION-OK a client sees carries a gateway id,
-// and each forwarded frame is rewritten to the shard's id — so a client
-// never learns (or depends on) fleet topology.
+// Streaming sessions through the gateway, with transparent failover. A
+// stream's carry state lives on one shard at a time, but the gateway
+// always negotiates checkpoints with that shard: every SESSION-MATCHES
+// ack piggybacks the post-frame carry state, so the gateway holds
+// everything needed to rebuild the stream elsewhere. The gateway speaks
+// its own id space to clients — the SESSION-OK a client sees carries a
+// gateway id, and each forwarded frame is rewritten to the shard's id —
+// so a client never learns (or depends on) fleet topology.
 //
-// Failure contract, end to end: a shard SHED is forwarded as SHED
-// (the chunk was not absorbed; the client may resend it); everything
-// else that interrupts the pinned shard — transport loss, timeout, the
-// shard dying mid-stream — terminally ends the session with a clean
-// ERROR, because the carry state is unrecoverable and silently
-// re-placing the stream on another shard would drop the bytes already
-// absorbed. The client re-opens and replays from its own source.
-// Frames of one session execute in arrival order through the same
-// FIFO-plus-runner scheme the scan server uses, so pipelined frames
-// keep a coherent stream while sharing the worker pool fairly.
+// Failure contract, end to end: a shard SHED is forwarded as SHED (the
+// chunk was not absorbed; the client may resend it). Transport loss, a
+// breaker-open shard, or an unknown-session verdict after a shard
+// restart triggers FAILOVER instead of a dead session: the gateway
+// walks the ring to the next replica, SESSION-RESTOREs the last acked
+// checkpoint there (fenced to the same rule generation it was exported
+// under), replays only the in-flight unacked frame, and forwards its
+// matches — deduplicated against the finalised-prefix high-water mark,
+// so the client transcript stays byte-identical to an uninterrupted
+// stream. If no replica at the right generation is reachable the frame
+// answers SHED (the chunk was absorbed nowhere — the restore point
+// predates it), and the session stays alive for the client's resend.
+// Only an authoritative shard verdict about the stream itself (a scan
+// fault) terminally ends the session. Frames of one session execute in
+// arrival order through the same FIFO-plus-runner scheme the scan
+// server uses, so pipelined frames keep a coherent stream while
+// sharing the worker pool fairly.
 package gateway
 
 import (
@@ -27,17 +34,30 @@ import (
 	"sync"
 	"time"
 
+	"alveare/internal/core"
 	"alveare/internal/server"
 	"alveare/internal/server/client"
 )
 
-// gwSession is one client stream pinned to one shard.
+// gwSession is one client stream, currently placed on one shard. The
+// placement fields (backend, backendID) and the failover state (ckpt,
+// fin, gen) are only touched by the session's single runner — frames
+// of one session execute strictly in arrival order — so they need no
+// lock of their own; mu guards the FIFO/lifecycle fields the reader
+// and reaper share.
 type gwSession struct {
 	id        uint64 // gateway-assigned, what the client holds
-	backendID uint64 // shard-assigned, what the shard holds
-	backend   int    // pinned shard index
+	backendID uint64 // shard-assigned, what the current shard holds
+	backend   int    // current shard index
 	owner     *conn
 	ts        *tenantState
+
+	key        string // ring placement key, reused for failover walks
+	overlap    uint32 // negotiated carry, reused for fresh-open failover
+	gen        uint32 // rule generation fence for SESSION-RESTORE
+	ckpt       []byte // last acked post-frame checkpoint (nil: none acked)
+	fin        uint64 // finalised-prefix offset: every forwarded match starts before it
+	clientCkpt bool   // the client itself negotiated checkpoint piggybacks
 
 	mu      sync.Mutex
 	pending []func() // admitted frames awaiting the runner, FIFO
@@ -46,13 +66,16 @@ type gwSession struct {
 	last    time.Time
 }
 
-// openGwSession places one new stream: walk the tenant's ring order to
-// the first shard that accepts the SESSION-OPEN, register the mapping,
-// and answer SESSION-OK carrying the gateway's id. A shard that sheds
-// or is unreachable just moves the walk on — no state was created that
+// openGwSession places one new stream — a fresh SESSION-OPEN or a
+// client-carried SESSION-RESTORE: walk the tenant's ring order to the
+// first shard that accepts it, register the mapping, and answer
+// SESSION-OK carrying the gateway's id. The shard-side open ALWAYS
+// negotiates checkpoints, whatever the client asked — the piggybacked
+// carry state is what makes failover possible. A shard that sheds or
+// is unreachable just moves the walk on — no state was created that
 // the client could observe. The gateway's own session cap sheds with
 // reason capacity.
-func (g *Gateway) openGwSession(c *conn, ts *tenantState, key string, body []byte, id uint32) {
+func (g *Gateway) openGwSession(c *conn, ts *tenantState, key string, body []byte, id uint32, restore bool) {
 	g.sessMu.Lock()
 	full := len(g.sessions) >= g.cfg.MaxSessions
 	g.sessMu.Unlock()
@@ -60,6 +83,36 @@ func (g *Gateway) openGwSession(c *conn, ts *tenantState, key string, body []byt
 		g.shedReply(c, id, ts, server.ShedReasonCapacity)
 		return
 	}
+
+	// Parse the client's request and build the shard-side body with the
+	// checkpoint flag forced on.
+	var (
+		op         byte
+		wire       []byte
+		seedCkpt   []byte
+		clientCkpt bool
+	)
+	if restore {
+		cflags, ckpt, err := server.DecodeSessionRestore(body)
+		if err != nil {
+			g.replyErr(c, id, ts, server.ErrCodeBadFrame, err)
+			return
+		}
+		clientCkpt = cflags&server.SessionOpenFlagCheckpoint != 0
+		seedCkpt = append([]byte(nil), ckpt...)
+		op = server.OpSessionRestore
+		wire = server.EncodeSessionRestore(server.SessionOpenFlagCheckpoint, ckpt)
+	} else {
+		overlap, cflags, err := server.DecodeSessionOpenFlags(body)
+		if err != nil {
+			g.replyErr(c, id, ts, server.ErrCodeBadFrame, err)
+			return
+		}
+		clientCkpt = cflags&server.SessionOpenFlagCheckpoint != 0
+		op = server.OpSessionOpen
+		wire = server.EncodeSessionOpenFlags(overlap, server.SessionOpenFlagCheckpoint)
+	}
+
 	order := g.ring.Order(key)
 	for attempt := 0; attempt < g.cfg.Retries; attempt++ {
 		idx := order[attempt%len(order)]
@@ -67,11 +120,14 @@ func (g *Gateway) openGwSession(c *conn, ts *tenantState, key string, body []byt
 			continue
 		}
 		ctx, cancel := context.WithTimeout(g.baseCtx, g.cfg.ShardTimeout)
-		f, err := g.bs.Do(ctx, idx, server.OpSessionOpen, server.OpSessionOK, body)
+		f, err := g.bs.Do(ctx, idx, op, server.OpSessionOK, wire)
 		cancel()
 		if err != nil {
 			var se *client.ServerError
 			if errors.As(err, &se) && se.Code != server.ErrCodeDraining {
+				// Authoritative verdict (for a restore: a garbage
+				// checkpoint, answered as a parseable ERROR); replicas
+				// would repeat it.
 				g.replyErr(c, id, ts, se.Code, errors.New(se.Msg))
 				return
 			}
@@ -81,12 +137,19 @@ func (g *Gateway) openGwSession(c *conn, ts *tenantState, key string, body []byt
 			// falls to its idle reaper.
 			continue
 		}
-		backendID, overlap, derr := server.DecodeSessionOK(f.Body)
+		backendID, overlap, gen, derr := server.DecodeSessionOKGen(f.Body)
 		if derr != nil {
 			g.replyErr(c, id, ts, server.ErrCodeScan, fmt.Errorf("shard session-ok: %w", derr))
 			return
 		}
-		sess := &gwSession{backendID: backendID, backend: idx, owner: c, ts: ts, last: time.Now()}
+		sess := &gwSession{backendID: backendID, backend: idx, owner: c, ts: ts,
+			key: key, overlap: overlap, gen: gen, ckpt: seedCkpt, clientCkpt: clientCkpt,
+			last: time.Now()}
+		if seedCkpt != nil {
+			if info, perr := core.PeekCheckpoint(seedCkpt); perr == nil {
+				sess.fin = info.Consumed - info.Buffered
+			}
+		}
 		g.sessMu.Lock()
 		g.sessNext++
 		sess.id = g.sessNext
@@ -94,11 +157,17 @@ func (g *Gateway) openGwSession(c *conn, ts *tenantState, key string, body []byt
 		active := len(g.sessions)
 		g.sessMu.Unlock()
 		g.met.sessOpens.Inc()
+		if restore {
+			g.met.sessRestores.Inc()
+		}
 		g.met.sessActive.Set(int64(active))
 		ts.ok.Inc()
 		g.met.ok.Inc()
-		g.writeFrame(c, server.Frame{Op: server.OpSessionOK, ID: id,
-			Body: server.EncodeSessionOK(sess.id, overlap)})
+		okBody := server.EncodeSessionOK(sess.id, overlap)
+		if clientCkpt {
+			okBody = server.EncodeSessionOKGen(sess.id, overlap, gen)
+		}
+		g.writeFrame(c, server.Frame{Op: server.OpSessionOK, ID: id, Body: okBody})
 		return
 	}
 	g.shedReply(c, id, ts, server.ShedReasonCapacity)
@@ -182,24 +251,19 @@ func (g *Gateway) runGwSession(sess *gwSession) {
 	}
 }
 
-// forwardSessionFrame relays one session frame to its pinned shard,
-// rewriting the leading id to the shard's own. One attempt, no
-// failover: the stream state lives on that shard alone.
+// forwardSessionFrame relays one session frame to its current shard,
+// rewriting the leading id to the shard's own. Transport loss, an open
+// breaker, or an unknown-session verdict (shard restarted or reaped the
+// stream) does not kill the session: the frame fails over.
 func (g *Gateway) forwardSessionFrame(sess *gwSession, c *conn, op byte, body []byte, id uint32) {
-	wire := make([]byte, len(body))
-	binary.BigEndian.PutUint64(wire, sess.backendID)
-	copy(wire[8:], body[8:])
 	if !g.bs.Acquire(sess.backend) {
-		// The pinned shard's breaker is open: the stream is gone for
-		// any practical purpose. End it cleanly rather than queue
-		// against a dead shard.
-		g.closeGwSession(sess)
-		g.replyErr(c, id, sess.ts, server.ErrCodeScan,
-			fmt.Errorf("session %d: shard %s unreachable; re-open and replay", sess.id, g.bs.Addr(sess.backend)))
+		// The current shard's breaker is open: move the stream instead
+		// of queueing against a dead shard.
+		g.failoverSessionFrame(sess, c, op, body, id)
 		return
 	}
 	ctx, cancel := context.WithTimeout(g.baseCtx, g.cfg.ShardTimeout)
-	f, err := g.bs.Do(ctx, sess.backend, op, server.OpSessionMatches, wire)
+	f, err := g.bs.Do(ctx, sess.backend, op, server.OpSessionMatches, g.rewriteSessionID(sess, body))
 	cancel()
 	if err != nil {
 		if errors.Is(err, client.ErrShed) {
@@ -208,19 +272,168 @@ func (g *Gateway) forwardSessionFrame(sess *gwSession, c *conn, op byte, body []
 			g.shedReply(c, id, sess.ts, server.ShedReasonCapacity)
 			return
 		}
-		g.closeGwSession(sess)
 		var se *client.ServerError
-		if errors.As(err, &se) {
-			// Authoritative shard verdict (unknown session after a shard
-			// restart, a scan fault that killed the stream): forward it;
-			// either way the session is over.
+		if errors.As(err, &se) &&
+			se.Code != server.ErrCodeUnknownSession && se.Code != server.ErrCodeDraining {
+			// Authoritative shard verdict about the stream itself (a
+			// scan fault that killed it): the carry state is gone on
+			// every replica equally; forward it, the session is over.
+			g.closeGwSession(sess)
 			g.replyErr(c, id, sess.ts, se.Code, errors.New(se.Msg))
 			return
 		}
-		g.replyErr(c, id, sess.ts, server.ErrCodeScan,
-			fmt.Errorf("session %d: shard %s lost mid-stream; re-open and replay: %v",
-				sess.id, g.bs.Addr(sess.backend), err))
+		// Transport loss mid-stream, a draining shard, or a shard that
+		// restarted/reaped and no longer knows the stream: fail over.
+		g.failoverSessionFrame(sess, c, op, body, id)
 		return
+	}
+	g.ackSessionReply(sess, c, op, f, id, false)
+}
+
+// rewriteSessionID swaps the client-facing gateway id at the head of a
+// session frame body for the current shard's own id.
+func (g *Gateway) rewriteSessionID(sess *gwSession, body []byte) []byte {
+	wire := make([]byte, len(body))
+	binary.BigEndian.PutUint64(wire, sess.backendID)
+	copy(wire[8:], body[8:])
+	return wire
+}
+
+// failoverSessionFrame moves a stream whose shard was lost mid-frame:
+// walk the ring order for the session's key, SESSION-RESTORE the last
+// acked checkpoint on the next replica (or a fresh checkpointed open
+// when nothing was acked yet — the stream had absorbed nothing), fence
+// the restore to the generation the checkpoint was exported under, and
+// replay the one in-flight frame there. The replayed matches are
+// deduplicated against the finalised-prefix high-water mark before
+// forwarding, so a client transcript can never carry a match twice.
+// When no replica at the right generation is reachable within the
+// attempt budget the frame answers SHED — the chunk was absorbed
+// nowhere (the restore point predates it), the client may resend it,
+// and the session stays alive for the next attempt.
+func (g *Gateway) failoverSessionFrame(sess *gwSession, c *conn, op byte, body []byte, id uint32) {
+	g.met.sessFailovers.Inc()
+	lost := sess.backend
+	order := g.ring.Order(sess.key)
+	for attempt := 0; attempt < g.cfg.Retries; attempt++ {
+		idx := order[attempt%len(order)]
+		if idx == lost && attempt < len(order) {
+			// First pass: prefer any other replica over the shard that
+			// just failed. Later passes re-admit it — a shard that
+			// restarted (answered unknown-session) is reachable and may
+			// be the only replica at the checkpoint's generation.
+			continue
+		}
+		if !g.bs.Acquire(idx) {
+			continue
+		}
+
+		// Rebuild the stream on the candidate replica.
+		var (
+			rop  byte
+			wire []byte
+		)
+		if sess.ckpt != nil {
+			rop = server.OpSessionRestore
+			wire = server.EncodeSessionRestore(server.SessionOpenFlagCheckpoint, sess.ckpt)
+		} else {
+			rop = server.OpSessionOpen
+			wire = server.EncodeSessionOpenFlags(sess.overlap, server.SessionOpenFlagCheckpoint)
+		}
+		ctx, cancel := context.WithTimeout(g.baseCtx, g.cfg.ShardTimeout)
+		f, err := g.bs.Do(ctx, idx, rop, server.OpSessionOK, wire)
+		cancel()
+		if err != nil {
+			// Shed, transport loss, or an ERROR (a replica whose rule
+			// set disagrees with the checkpoint answers one): walk on.
+			continue
+		}
+		backendID, _, gen, derr := server.DecodeSessionOKGen(f.Body)
+		if derr != nil {
+			continue
+		}
+		if gen != sess.gen {
+			// Generation fence: the replica serves a different rule set
+			// than the checkpoint was exported under; restoring there
+			// could change results mid-stream. Refuse it — the orphaned
+			// restore falls to the shard's idle reaper — and let the
+			// anti-entropy reconciler converge the fleet.
+			g.met.sessGenRefused.Inc()
+			continue
+		}
+		sess.backend, sess.backendID = idx, backendID
+		g.met.sessRestores.Inc()
+
+		// Replay the one in-flight frame on the replacement shard.
+		if !g.bs.Acquire(idx) {
+			continue
+		}
+		ctx, cancel = context.WithTimeout(g.baseCtx, g.cfg.ShardTimeout)
+		rf, rerr := g.bs.Do(ctx, idx, op, server.OpSessionMatches, g.rewriteSessionID(sess, body))
+		cancel()
+		if rerr != nil {
+			if errors.Is(rerr, client.ErrShed) {
+				// The replica holds the restored stream but refused the
+				// chunk; the session is intact there.
+				g.shedReply(c, id, sess.ts, server.ShedReasonCapacity)
+				return
+			}
+			var se *client.ServerError
+			if errors.As(rerr, &se) &&
+				se.Code != server.ErrCodeUnknownSession && se.Code != server.ErrCodeDraining {
+				g.closeGwSession(sess)
+				g.replyErr(c, id, sess.ts, se.Code, errors.New(se.Msg))
+				return
+			}
+			// The replacement died too; keep walking — the checkpoint
+			// still restores the same stream on the next replica.
+			continue
+		}
+		g.met.sessReplays.Inc()
+		g.ackSessionReply(sess, c, op, rf, id, true)
+		return
+	}
+	// No replica absorbed the frame: SHED this chunk only. The session
+	// mapping survives — the next frame (a resend, or the next chunk)
+	// re-attempts the failover.
+	g.shedReply(c, id, sess.ts, server.ShedReasonCapacity)
+}
+
+// ackSessionReply forwards one shard SESSION-MATCHES to the client:
+// harvest the checkpoint piggyback (the state the next failover would
+// restore), advance the finalised-prefix high-water mark, dedup
+// replayed matches against it, and re-encode for the client — plain
+// unless the client negotiated checkpoints itself.
+func (g *Gateway) ackSessionReply(sess *gwSession, c *conn, op byte, f server.Frame, id uint32, replayed bool) {
+	final, consumed, ms, ckpt, derr := server.DecodeSessionMatchesCkpt(f.Body)
+	if derr != nil {
+		// The shard broke the protocol; nothing downstream can be
+		// trusted. Terminal.
+		g.closeGwSession(sess)
+		g.replyErr(c, id, sess.ts, server.ErrCodeScan, fmt.Errorf("shard session-matches: %w", derr))
+		return
+	}
+	if replayed && sess.fin > 0 {
+		// Every match already forwarded to the client starts before the
+		// finalised prefix (the checkpoint's window base); every match a
+		// correctly restored replay emits starts at or past it. Matches
+		// below the mark are re-emissions and must not reach the client
+		// twice.
+		kept := ms[:0]
+		for _, m := range ms {
+			if m.Start < sess.fin {
+				g.met.sessDedup.Inc()
+				continue
+			}
+			kept = append(kept, m)
+		}
+		ms = kept
+	}
+	if ckpt != nil {
+		sess.ckpt = append(sess.ckpt[:0], ckpt...)
+		if info, perr := core.PeekCheckpoint(ckpt); perr == nil {
+			sess.fin = info.Consumed - info.Buffered
+		}
 	}
 	if op == server.OpSessionClose {
 		g.closeGwSession(sess)
@@ -228,7 +441,13 @@ func (g *Gateway) forwardSessionFrame(sess *gwSession, c *conn, op byte, body []
 	}
 	sess.ts.ok.Inc()
 	g.met.ok.Inc()
-	g.writeFrame(c, server.Frame{Op: f.Op, ID: id, Body: f.Body})
+	var out []byte
+	if sess.clientCkpt {
+		out = server.EncodeSessionMatchesCkpt(final, consumed, ms, ckpt)
+	} else {
+		out = server.EncodeSessionMatches(final, consumed, ms)
+	}
+	g.writeFrame(c, server.Frame{Op: server.OpSessionMatches, ID: id, Body: out})
 }
 
 // closeGwSession drops the mapping (idempotent). The shard side is not

@@ -2,10 +2,11 @@
 // byte-identity against the local streaming engine, the gateway id
 // remap, and the kill-a-shard-mid-session chaos proof. The chaos
 // scenario runs the same seed twice (run-a/run-b) under -race; every
-// session must either complete byte-identical to the local ground
-// truth or fail with a clean, typed error — never a hang, never a
-// silently lossy stream — and a failed session's replacement must
-// re-place onto a surviving shard and replay to the identical result.
+// session — including those pinned to the shard that dies mid-stream —
+// must complete byte-identical to the local ground truth, without the
+// client re-opening anything: the gateway restores the last acked
+// checkpoint on a surviving replica, replays only the in-flight frame,
+// and the transcript carries no duplicate and no lost match.
 package gateway_test
 
 import (
@@ -161,11 +162,12 @@ func TestGatewayBatch(t *testing.T) {
 
 // TestGatewaySessionChaosKillShard is the chaos proof: several tenants
 // stream through sessions pinned across two shards; one shard dies
-// mid-stream. Sessions pinned to the dead shard must fail with a
-// clean, typed error (never a hang, never a wrong result); their
-// replacements must re-place onto the surviving shard and replay to
-// byte-identical results; sessions on the survivor must complete
-// byte-identical without interruption. Same seed, two runs, -race.
+// mid-stream. EVERY session must complete byte-identical to the local
+// ground truth — the ones pinned to the dead shard transparently, via
+// checkpointed failover onto the survivor, with no client-visible
+// re-open and no duplicate or lost match. The gateway's failover
+// counters must prove the kill actually exercised the handoff. Same
+// seed, two runs, -race.
 func TestGatewaySessionChaosKillShard(t *testing.T) {
 	for _, run := range []string{"run-a", "run-b"} {
 		t.Run(run, func(t *testing.T) { gatewaySessionChaosRun(t) })
@@ -221,7 +223,6 @@ func gatewaySessionChaosRun(t *testing.T) {
 		want    []server.RuleMatch
 		got     []server.RuleMatch
 		off     int
-		failed  bool
 	}
 	var flows []*flow
 	for _, n := range names {
@@ -263,85 +264,45 @@ func gatewaySessionChaosRun(t *testing.T) {
 	}
 	proxies[1].SetDown(true)
 
-	// Stream the second half. A flow pinned to the dead shard must
-	// fail with a clean, typed error; a flow on the survivor must
-	// complete byte-identical.
-	var killed, survived int
+	// Stream the second half. EVERY flow — pinned to the survivor or to
+	// the corpse — must complete byte-identical, with no re-open: the
+	// gateway restores the dead shard's streams from their last acked
+	// checkpoints on the survivor and replays only the in-flight frame.
+	// A SHED mid-failover is allowed (the chunk was absorbed nowhere)
+	// and the resend must eventually land.
 	for _, fl := range flows {
-		err := push(fl, len(fl.payload))
-		if err == nil {
-			ms, consumed, cerr := fl.sess.CloseCtx(context.Background())
-			if cerr != nil {
-				err = cerr
-			} else {
-				if consumed != uint64(len(fl.payload)) {
-					t.Fatalf("seed %d: %s consumed %d, want %d", gwChaosSeed, fl.name, consumed, len(fl.payload))
-				}
-				fl.got = append(fl.got, ms...)
-			}
+		if err := push(fl, len(fl.payload)); err != nil {
+			t.Fatalf("seed %d: %s second half: %v", gwChaosSeed, fl.name, err)
 		}
+		ms, consumed, err := fl.sess.CloseCtx(context.Background())
 		if err != nil {
-			var se *client.ServerError
-			if !errors.As(err, &se) && !errors.Is(err, client.ErrShed) {
-				t.Fatalf("seed %d: %s mid-stream failure is not a clean typed error: %v", gwChaosSeed, fl.name, err)
-			}
-			fl.failed = true
-			killed++
-			continue
+			t.Fatalf("seed %d: %s close: %v", gwChaosSeed, fl.name, err)
 		}
+		if consumed != uint64(len(fl.payload)) {
+			t.Fatalf("seed %d: %s consumed %d, want %d", gwChaosSeed, fl.name, consumed, len(fl.payload))
+		}
+		fl.got = append(fl.got, ms...)
 		sortMatches(fl.got)
 		if !bytes.Equal(server.EncodeMatches(fl.got), server.EncodeMatches(fl.want)) {
-			t.Fatalf("seed %d: %s survived the kill but is not byte-identical (lossy stream)", gwChaosSeed, fl.name)
-		}
-		survived++
-	}
-	if killed == 0 {
-		t.Fatalf("seed %d: no session was pinned to the killed shard; the chaos proved nothing (re-seed)", gwChaosSeed)
-	}
-	if survived == 0 {
-		t.Fatalf("seed %d: no session survived on the healthy shard (re-seed)", gwChaosSeed)
-	}
-	t.Logf("seed %d: kill window: %d sessions killed cleanly, %d survived byte-identical", gwChaosSeed, killed, survived)
-
-	// Replacement sessions for every killed flow must re-place onto the
-	// surviving shard (ring walk skips the open breaker) and replay the
-	// whole stream to the identical result.
-	for _, fl := range flows {
-		if !fl.failed {
-			continue
-		}
-		var got []server.RuleMatch
-		deadline := time.Now().Add(10 * time.Second)
-		for {
-			sess, err := fl.c.OpenSessionCtx(context.Background(), 0)
-			if err != nil {
-				// The breaker may still be settling; re-try until the
-				// walk lands on the survivor.
-				if time.Now().After(deadline) {
-					t.Fatalf("seed %d: %s re-open never succeeded: %v", gwChaosSeed, fl.name, err)
-				}
-				time.Sleep(5 * time.Millisecond)
-				continue
-			}
-			fl.sess, fl.off, fl.got = sess, 0, nil
-			if err := push(fl, len(fl.payload)); err != nil {
-				t.Fatalf("seed %d: %s replay: %v", gwChaosSeed, fl.name, err)
-			}
-			ms, _, err := fl.sess.CloseCtx(context.Background())
-			if err != nil {
-				t.Fatalf("seed %d: %s replay close: %v", gwChaosSeed, fl.name, err)
-			}
-			got = append(fl.got, ms...)
-			break
-		}
-		sortMatches(got)
-		if !bytes.Equal(server.EncodeMatches(got), server.EncodeMatches(fl.want)) {
-			t.Fatalf("seed %d: %s replayed stream not byte-identical", gwChaosSeed, fl.name)
+			t.Fatalf("seed %d: %s not byte-identical across the kill (lossy or duplicated stream)", gwChaosSeed, fl.name)
 		}
 	}
 
-	// No mapping leaks: killed sessions were dropped on failure, closed
-	// ones on CLOSE.
+	// The kill must actually have exercised the handoff, or the chaos
+	// proved nothing: at least one frame hit a dead shard and at least
+	// one stream was rebuilt from its checkpoint on the survivor.
+	snap := gw.MetricsSnapshot()
+	failovers := snap.Get("gateway.sessions.failovers")
+	restores := snap.Get("gateway.sessions.restores")
+	replays := snap.Get("gateway.sessions.replays")
+	if failovers == 0 || restores == 0 {
+		t.Fatalf("seed %d: no session failed over (failovers=%d restores=%d); the chaos proved nothing (re-seed)",
+			gwChaosSeed, failovers, restores)
+	}
+	t.Logf("seed %d: kill window: %d failovers, %d restores, %d replays, all %d sessions byte-identical",
+		gwChaosSeed, failovers, restores, replays, len(flows))
+
+	// No mapping leaks: every session ended through CLOSE.
 	deadline := time.Now().Add(5 * time.Second)
 	for gw.SessionCount() != 0 {
 		if time.Now().After(deadline) {
@@ -352,4 +313,219 @@ func gatewaySessionChaosRun(t *testing.T) {
 	proxies[1].SetDown(false)
 	// leakCheck (cleanup) pins that gateway, shards and proxies left no
 	// goroutines behind.
+}
+
+// sessRulesText is the reload document equivalent to sessRules: same
+// patterns, same order — reloading it bumps a shard's generation
+// without changing results.
+const sessRulesText = "ab+c\nneedle\nsess-[a-f]-[0-9]+\n"
+
+// TestGatewaySessionFailoverGenerationFence: a checkpoint may only be
+// restored onto a replica at the generation it was exported under.
+// With the fleet diverged (the survivor reloaded behind the gateway's
+// back), failover must REFUSE the wrong-generation survivor and answer
+// SHED — never silently continue the stream under different rules —
+// while keeping the session alive. When the right-generation shard
+// rejoins, the resend restores there (the walk re-admits the lost
+// shard after the first pass) and the stream completes byte-identical.
+func TestGatewaySessionFailoverGenerationFence(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	_, a0 := startShard(t, server.Config{Rules: sessRules, Workers: 2})
+	_, a1 := startShard(t, server.Config{Rules: sessRules, Workers: 2})
+	p, err := netchaos.New(a1, gwChaosSeed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+
+	names := []string{"sess-a", "sess-b", "sess-c", "sess-d", "sess-e", "sess-f"}
+	tenants := make([]gateway.Tenant, len(names))
+	for i, n := range names {
+		tenants[i] = gateway.Tenant{Name: n, QueueDepth: 64}
+	}
+	gw, gaddr := startGateway(t, gateway.Config{
+		Backends:          []string{a0, p.Addr()},
+		Tenants:           tenants,
+		BreakerFailures:   3,
+		BreakerCooldown:   30 * time.Millisecond,
+		ProbeInterval:     25 * time.Millisecond,
+		ShardTimeout:      2 * time.Second,
+		Seed:              gwChaosSeed,
+		ReconcileInterval: -1, // keep the fleet diverged; the fence is under test
+	})
+
+	// Diverge the fleet behind the gateway's back: shard 0 moves to
+	// generation 2 (same patterns, so checkpoints stay structurally
+	// compatible — only the fence can tell the difference).
+	d0 := client.New(a0)
+	defer d0.Close()
+	if _, _, err := d0.Reload(sessRulesText); err != nil {
+		t.Fatalf("direct reload shard 0: %v", err)
+	}
+
+	const chunk = 512
+	type flow struct {
+		name    string
+		sess    *client.Session
+		payload []byte
+		want    []server.RuleMatch
+		got     []server.RuleMatch
+		off     int
+	}
+	var flows []*flow
+	for _, n := range names {
+		c := client.New(gaddr, client.WithTenant(n, "default"))
+		t.Cleanup(func() { c.Close() })
+		payload := sessPayload(n, 8<<10)
+		fl := &flow{name: n, payload: payload, want: localSessionMatches(t, payload)}
+		sess, err := c.OpenSessionCtx(context.Background(), 0)
+		if err != nil {
+			t.Fatalf("%s open: %v", n, err)
+		}
+		fl.sess = sess
+		flows = append(flows, fl)
+	}
+	writeOnce := func(fl *flow) error {
+		end := fl.off + chunk
+		if end > len(fl.payload) {
+			end = len(fl.payload)
+		}
+		ms, _, err := fl.sess.WriteCtx(context.Background(), fl.payload[fl.off:end])
+		if err != nil {
+			return err
+		}
+		fl.off = end
+		fl.got = append(fl.got, ms...)
+		return nil
+	}
+	for _, fl := range flows {
+		for fl.off < len(fl.payload)/2 {
+			if err := writeOnce(fl); err != nil {
+				t.Fatalf("%s first half: %v", fl.name, err)
+			}
+		}
+	}
+
+	// Kill shard 1. Its sessions exported checkpoints at generation 1;
+	// the only reachable replica is at generation 2, so failover must
+	// refuse it and SHED.
+	p.SetDown(true)
+	var fenced []*flow
+	for _, fl := range flows {
+		err := writeOnce(fl)
+		switch {
+		case err == nil:
+			// Pinned to the survivor; untouched by the kill.
+		case errors.Is(err, client.ErrShed):
+			fenced = append(fenced, fl)
+		default:
+			t.Fatalf("%s write during fence: %v", fl.name, err)
+		}
+	}
+	if len(fenced) == 0 {
+		t.Fatalf("seed %d: no session was pinned to the killed shard; the fence was never tested (re-seed)", gwChaosSeed)
+	}
+	snap := gw.MetricsSnapshot()
+	if snap.Get("gateway.sessions.genrefused") == 0 {
+		t.Fatalf("generation fence never refused a replica (genrefused = 0)")
+	}
+	if snap.Get("gateway.sessions.restores") != 0 {
+		t.Fatalf("a stream was restored across generations (restores = %d)", snap.Get("gateway.sessions.restores"))
+	}
+	if got := gw.SessionCount(); got != len(flows) {
+		t.Fatalf("fenced SHED killed sessions: %d mappings, want %d", got, len(flows))
+	}
+
+	// Revive shard 1 — the only replica at generation 1. Its original
+	// streams died with their connections, so the resends go
+	// unknown-session → failover → fence refuses shard 0 → second pass
+	// restores onto revived shard 1 itself. Every flow then completes
+	// byte-identical.
+	p.SetDown(false)
+	for _, fl := range flows {
+		deadline := time.Now().Add(10 * time.Second)
+		for fl.off < len(fl.payload) {
+			err := writeOnce(fl)
+			if err == nil {
+				continue
+			}
+			if !errors.Is(err, client.ErrShed) {
+				t.Fatalf("%s post-revival write: %v", fl.name, err)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never recovered after the right-generation shard rejoined", fl.name)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		ms, consumed, err := fl.sess.CloseCtx(context.Background())
+		if err != nil {
+			t.Fatalf("%s close: %v", fl.name, err)
+		}
+		if consumed != uint64(len(fl.payload)) {
+			t.Fatalf("%s consumed %d, want %d", fl.name, consumed, len(fl.payload))
+		}
+		fl.got = append(fl.got, ms...)
+		sortMatches(fl.got)
+		if !bytes.Equal(server.EncodeMatches(fl.got), server.EncodeMatches(fl.want)) {
+			t.Fatalf("%s not byte-identical across the fence round-trip", fl.name)
+		}
+	}
+}
+
+// TestGatewayReloadReconcile: a RELOAD that misses a dark shard leaves
+// the fleet diverged; the anti-entropy reconciler must notice the
+// lagging generation via RULES-INFO once the shard rejoins and re-drive
+// the remembered reload until the fleet converges.
+func TestGatewayReloadReconcile(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	_, a0 := startShard(t, server.Config{Rules: sessRules, Workers: 2})
+	_, a1 := startShard(t, server.Config{Rules: sessRules, Workers: 2})
+	p, err := netchaos.New(a1, gwChaosSeed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	gw, gaddr := startGateway(t, gateway.Config{
+		Backends:          []string{a0, p.Addr()},
+		Tenants:           []gateway.Tenant{{Name: "sess-a"}},
+		BreakerFailures:   3,
+		BreakerCooldown:   30 * time.Millisecond,
+		ProbeInterval:     25 * time.Millisecond,
+		ShardTimeout:      2 * time.Second,
+		Seed:              gwChaosSeed,
+		ReconcileInterval: 20 * time.Millisecond,
+	})
+	c := client.New(gaddr, client.WithTenant("sess-a", "default"))
+	defer c.Close()
+
+	// Reload with shard 1 dark: the gateway reports the divergence...
+	p.SetDown(true)
+	if _, _, err := c.Reload(sessRulesText); err == nil {
+		t.Fatal("reload with a dark shard reported success")
+	}
+	// ...and shard 0 has already moved past the boot generation.
+	d0 := client.New(a0)
+	defer d0.Close()
+	if info, err := d0.RulesInfo(); err != nil || info.Generation != 1 {
+		t.Fatalf("shard 0 after partial reload: gen %d err %v, want gen 1", info.Generation, err)
+	}
+
+	// Revive shard 1 (still at the boot generation). The reconciler
+	// must converge it without any operator action.
+	p.SetDown(false)
+	d1 := client.New(a1)
+	defer d1.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if info, err := d1.RulesInfo(); err == nil && info.Generation >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("shard 1 never converged to the fleet generation")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := gw.MetricsSnapshot().Get("gateway.reload.reconciled"); got == 0 {
+		t.Fatal("reconciler converged nothing (gateway.reload.reconciled = 0)")
+	}
 }

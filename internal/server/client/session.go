@@ -37,6 +37,16 @@ type Session struct {
 	id      uint64
 	overlap uint32
 	done    bool
+
+	// Checkpoint negotiation (OpenSessionCheckpointCtx /
+	// RestoreSessionCtx): gen is the shard rule generation the stream
+	// runs under, ckpt the post-frame carry state the last acked
+	// SESSION-MATCHES piggybacked — together everything a caller needs
+	// to SESSION-RESTORE the stream on a replica after losing this
+	// server.
+	ckptOn bool
+	gen    uint32
+	ckpt   []byte
 }
 
 // OpenSessionCtx opens a streaming session against the server's
@@ -65,11 +75,64 @@ func (c *Client) OpenSession(overlap int) (*Session, error) {
 	return c.OpenSessionCtx(context.Background(), overlap)
 }
 
+// OpenSessionCheckpointCtx opens a streaming session with checkpoint
+// negotiation: the server answers with its rule generation and
+// piggybacks a post-frame checkpoint on every SESSION-MATCHES ack
+// (Checkpoint/Generation expose them). A relay — or the caller itself —
+// can RestoreSessionCtx that checkpoint on a replica running the same
+// rule generation and continue the stream byte-identically.
+func (c *Client) OpenSessionCheckpointCtx(ctx context.Context, overlap int) (*Session, error) {
+	if overlap < 0 {
+		overlap = 0
+	}
+	body := server.EncodeSessionOpenFlags(uint32(overlap), server.SessionOpenFlagCheckpoint)
+	f, err := c.do(ctx, server.OpSessionOpen, server.OpSessionOK, body, false)
+	if err != nil {
+		return nil, err
+	}
+	id, neg, gen, derr := server.DecodeSessionOKGen(f.Body)
+	if derr != nil {
+		return nil, fmt.Errorf("client: protocol desync: %w", derr)
+	}
+	return &Session{c: c, id: id, overlap: neg, ckptOn: true, gen: gen}, nil
+}
+
+// RestoreSessionCtx opens a streaming session seeded from an exported
+// checkpoint (SESSION-RESTORE). The server must hold a rule set
+// equivalent to the checkpoint's exporter — callers enforce that with
+// Generation. The restored session keeps checkpoint negotiation on, so
+// it can itself be checkpointed onward. A garbage checkpoint answers a
+// clean typed error; no session is created.
+func (c *Client) RestoreSessionCtx(ctx context.Context, ckpt []byte) (*Session, error) {
+	body := server.EncodeSessionRestore(server.SessionOpenFlagCheckpoint, ckpt)
+	f, err := c.do(ctx, server.OpSessionRestore, server.OpSessionOK, body, false)
+	if err != nil {
+		return nil, err
+	}
+	id, neg, gen, derr := server.DecodeSessionOKGen(f.Body)
+	if derr != nil {
+		return nil, fmt.Errorf("client: protocol desync: %w", derr)
+	}
+	return &Session{c: c, id: id, overlap: neg, ckptOn: true, gen: gen,
+		ckpt: append([]byte(nil), ckpt...)}, nil
+}
+
 // ID returns the server-assigned session id.
 func (s *Session) ID() uint64 { return s.id }
 
 // Overlap returns the negotiated boundary carry in bytes.
 func (s *Session) Overlap() int { return int(s.overlap) }
+
+// Generation returns the server rule generation the session runs under
+// (0 unless the session negotiated checkpoints). A checkpoint may only
+// be restored onto a server at the same generation.
+func (s *Session) Generation() uint32 { return s.gen }
+
+// Checkpoint returns the post-frame checkpoint the last acked write
+// piggybacked (nil before the first ack, or when the session did not
+// negotiate checkpoints). The bytes are owned by the session and
+// overwritten by the next ack; copy to retain.
+func (s *Session) Checkpoint() []byte { return s.ckpt }
 
 // WriteCtx pushes one chunk into the stream and returns the matches it
 // finalised (absolute stream offsets) plus the total bytes the server
@@ -85,6 +148,20 @@ func (s *Session) WriteCtx(ctx context.Context, chunk []byte) (ms []server.RuleM
 			s.done = true
 		}
 		return nil, 0, err
+	}
+	if s.ckptOn {
+		final, consumed, ms, ckpt, derr := server.DecodeSessionMatchesCkpt(f.Body)
+		if derr != nil || final {
+			s.done = true
+			if derr != nil {
+				return nil, 0, fmt.Errorf("client: protocol desync: %w", derr)
+			}
+			return nil, 0, errors.New("client: protocol desync: final session answer to a data frame")
+		}
+		if ckpt != nil {
+			s.ckpt = append(s.ckpt[:0], ckpt...)
+		}
+		return ms, consumed, nil
 	}
 	final, consumed, ms, derr := server.DecodeSessionMatches(f.Body)
 	if derr != nil || final {

@@ -44,6 +44,12 @@ const (
 	// OpSessionClose finalises a streaming session: the overlap tail is
 	// scanned as the stream's final window and the session is released.
 	OpSessionClose byte = 0x0C // body = u64 session id
+	// OpSessionRestore opens a streaming session seeded from an exported
+	// checkpoint (the body a SESSION-MATCHES piggyback carried): u8
+	// flags (same bits as the SESSION-OPEN flags byte), then the
+	// checkpoint bytes. Answered like SESSION-OPEN; a garbage checkpoint
+	// answers a parseable ERROR without desyncing the connection.
+	OpSessionRestore byte = 0x0D
 )
 
 // Response opcodes (server → client; high bit set).
@@ -464,7 +470,7 @@ func DecodeTenant(body []byte) (h TenantHeader, innerOp byte, innerBody []byte, 
 func QueueClass(op byte) bool {
 	switch op {
 	case OpScan, OpCount, OpScanPattern, OpReload,
-		OpScanBatch, OpSessionOpen, OpSessionData, OpSessionClose:
+		OpScanBatch, OpSessionOpen, OpSessionRestore, OpSessionData, OpSessionClose:
 		return true
 	}
 	return false
@@ -533,6 +539,8 @@ func OpName(op byte) string {
 		return "SESSION-DATA"
 	case OpSessionClose:
 		return "SESSION-CLOSE"
+	case OpSessionRestore:
+		return "SESSION-RESTORE"
 	case OpPong:
 		return "PONG"
 	case OpMatches:

@@ -203,6 +203,72 @@ func DecodeSessionOpen(body []byte) (overlap uint32, err error) {
 	return overlap, nil
 }
 
+// SessionOpenFlagCheckpoint, set in the optional flags byte of
+// SESSION-OPEN (and in the flags byte of SESSION-RESTORE), asks the
+// server to (a) answer with the extended SESSION-OK carrying the rule
+// generation and (b) piggyback a post-frame checkpoint on every
+// non-final SESSION-MATCHES — the state a relay needs to restore the
+// session elsewhere after losing this shard.
+const SessionOpenFlagCheckpoint byte = 1 << 0
+
+// sessionOpenKnownFlags guards the flags byte: unknown bits are a
+// malformed frame, so a future flag can never be silently ignored.
+const sessionOpenKnownFlags = SessionOpenFlagCheckpoint
+
+// EncodeSessionOpenFlags serialises the extended OpSessionOpen body:
+// u32 requested overlap, u8 flags. The 4-byte flagless form
+// (EncodeSessionOpen) remains valid and means flags = 0.
+func EncodeSessionOpenFlags(overlap uint32, flags byte) []byte {
+	body := make([]byte, 5)
+	binary.BigEndian.PutUint32(body, overlap)
+	body[4] = flags
+	return body
+}
+
+// DecodeSessionOpenFlags parses either OpSessionOpen form: the 4-byte
+// flagless body or the 5-byte body with a trailing flags byte.
+func DecodeSessionOpenFlags(body []byte) (overlap uint32, flags byte, err error) {
+	switch len(body) {
+	case 4:
+	case 5:
+		flags = body[4]
+		if flags&^sessionOpenKnownFlags != 0 {
+			return 0, 0, fmt.Errorf("%w: session-open unknown flags 0x%02X", ErrMalformedFrame, flags)
+		}
+	default:
+		return 0, 0, fmt.Errorf("%w: session-open body %d bytes", ErrMalformedFrame, len(body))
+	}
+	overlap = binary.BigEndian.Uint32(body)
+	if overlap > MaxSessionOverlap {
+		return 0, 0, fmt.Errorf("%w: session overlap %d exceeds %d", ErrMalformedFrame, overlap, MaxSessionOverlap)
+	}
+	return overlap, flags, nil
+}
+
+// EncodeSessionRestore serialises an OpSessionRestore body: u8 flags
+// (same bits as the SESSION-OPEN flags byte), then the checkpoint
+// bytes a SESSION-MATCHES piggyback carried. The checkpoint's own
+// framing is validated by the restoring engine, not here.
+func EncodeSessionRestore(flags byte, ckpt []byte) []byte {
+	body := make([]byte, 1+len(ckpt))
+	body[0] = flags
+	copy(body[1:], ckpt)
+	return body
+}
+
+// DecodeSessionRestore parses an OpSessionRestore body; ckpt aliases
+// body. An empty checkpoint is malformed — there is nothing to restore.
+func DecodeSessionRestore(body []byte) (flags byte, ckpt []byte, err error) {
+	if len(body) < 2 {
+		return 0, nil, fmt.Errorf("%w: session-restore body %d bytes", ErrMalformedFrame, len(body))
+	}
+	flags = body[0]
+	if flags&^sessionOpenKnownFlags != 0 {
+		return 0, nil, fmt.Errorf("%w: session-restore unknown flags 0x%02X", ErrMalformedFrame, flags)
+	}
+	return flags, body[1:], nil
+}
+
 // EncodeSessionOK serialises an OpSessionOK body: u64 session id, u32
 // effective overlap.
 func EncodeSessionOK(id uint64, overlap uint32) []byte {
@@ -218,6 +284,27 @@ func DecodeSessionOK(body []byte) (id uint64, overlap uint32, err error) {
 		return 0, 0, fmt.Errorf("%w: session-ok body %d bytes", ErrMalformedFrame, len(body))
 	}
 	return binary.BigEndian.Uint64(body), binary.BigEndian.Uint32(body[8:]), nil
+}
+
+// EncodeSessionOKGen serialises the extended OpSessionOK body answering
+// a checkpoint-flagged open or restore: u64 session id, u32 effective
+// overlap, u32 rule generation. The generation lets a relay fence
+// failover: a checkpoint may only be restored onto a shard running the
+// same rule generation it was exported under.
+func EncodeSessionOKGen(id uint64, overlap, generation uint32) []byte {
+	body := make([]byte, 16)
+	binary.BigEndian.PutUint64(body, id)
+	binary.BigEndian.PutUint32(body[8:], overlap)
+	binary.BigEndian.PutUint32(body[12:], generation)
+	return body
+}
+
+// DecodeSessionOKGen parses the extended OpSessionOK body.
+func DecodeSessionOKGen(body []byte) (id uint64, overlap, generation uint32, err error) {
+	if len(body) != 16 {
+		return 0, 0, 0, fmt.Errorf("%w: session-ok-gen body %d bytes", ErrMalformedFrame, len(body))
+	}
+	return binary.BigEndian.Uint64(body), binary.BigEndian.Uint32(body[8:]), binary.BigEndian.Uint32(body[12:]), nil
 }
 
 // sessionIDLen prefixes every SESSION-DATA and SESSION-CLOSE body.
@@ -259,6 +346,13 @@ func DecodeSessionClose(body []byte) (id uint64, err error) {
 // the tail window has been scanned and the session is gone.
 const sessionFlagFinal byte = 1 << 0
 
+// sessionFlagCkpt marks a SESSION-MATCHES carrying a checkpoint
+// piggyback: after the MATCHES body, u32 checkpoint length then the
+// checkpoint bytes — the session's post-frame carry state, exactly
+// what SESSION-RESTORE accepts. Only sent when the session was opened
+// with SessionOpenFlagCheckpoint.
+const sessionFlagCkpt byte = 1 << 1
+
 // EncodeSessionMatches serialises an OpSessionMatches body: u8 flags
 // (bit 0: final — answers SESSION-CLOSE), u64 consumed (total stream
 // bytes the session has absorbed), then a standard MATCHES body whose
@@ -287,4 +381,62 @@ func DecodeSessionMatches(body []byte) (final bool, consumed uint64, ms []RuleMa
 		return false, 0, nil, err
 	}
 	return body[0]&sessionFlagFinal != 0, binary.BigEndian.Uint64(body[1:9]), ms, nil
+}
+
+// EncodeSessionMatchesCkpt serialises an OpSessionMatches body with a
+// checkpoint piggyback appended after the MATCHES body (u32 length,
+// checkpoint bytes). A nil checkpoint degrades to the plain form.
+func EncodeSessionMatchesCkpt(final bool, consumed uint64, ms []RuleMatch, ckpt []byte) []byte {
+	plain := EncodeSessionMatches(final, consumed, ms)
+	if ckpt == nil {
+		return plain
+	}
+	body := make([]byte, len(plain)+4+len(ckpt))
+	copy(body, plain)
+	body[0] |= sessionFlagCkpt
+	binary.BigEndian.PutUint32(body[len(plain):], uint32(len(ckpt)))
+	copy(body[len(plain)+4:], ckpt)
+	return body
+}
+
+// DecodeSessionMatchesCkpt parses an OpSessionMatches body in either
+// form; ckpt is nil when no piggyback rode the frame and aliases body
+// otherwise. Clients that negotiated the checkpoint flag must decode
+// with this; DecodeSessionMatches stays strict and rejects the flag.
+func DecodeSessionMatchesCkpt(body []byte) (final bool, consumed uint64, ms []RuleMatch, ckpt []byte, err error) {
+	if len(body) < 13 {
+		return false, 0, nil, nil, fmt.Errorf("%w: session-matches body %d bytes", ErrMalformedFrame, len(body))
+	}
+	if body[0]&^(sessionFlagFinal|sessionFlagCkpt) != 0 {
+		return false, 0, nil, nil, fmt.Errorf("%w: session-matches unknown flags 0x%02X", ErrMalformedFrame, body[0])
+	}
+	mn := binary.BigEndian.Uint32(body[9:13])
+	if mn > uint32(len(body)) {
+		return false, 0, nil, nil, fmt.Errorf("%w: session-matches count %d exceeds body", ErrMalformedFrame, mn)
+	}
+	mlen := 4 + int(mn)*matchRecord
+	if len(body)-9 < mlen {
+		return false, 0, nil, nil, fmt.Errorf("%w: session-matches truncated match list", ErrMalformedFrame)
+	}
+	ms, err = DecodeMatches(body[9 : 9+mlen])
+	if err != nil {
+		return false, 0, nil, nil, err
+	}
+	off := 9 + mlen
+	if body[0]&sessionFlagCkpt != 0 {
+		if len(body)-off < 4 {
+			return false, 0, nil, nil, fmt.Errorf("%w: session-matches truncated checkpoint length", ErrMalformedFrame)
+		}
+		clen := int(binary.BigEndian.Uint32(body[off:]))
+		off += 4
+		if clen == 0 || len(body)-off < clen {
+			return false, 0, nil, nil, fmt.Errorf("%w: session-matches checkpoint length %d exceeds body", ErrMalformedFrame, clen)
+		}
+		ckpt = body[off : off+clen]
+		off += clen
+	}
+	if off != len(body) {
+		return false, 0, nil, nil, fmt.Errorf("%w: session-matches body has %d trailing bytes", ErrMalformedFrame, len(body)-off)
+	}
+	return body[0]&sessionFlagFinal != 0, binary.BigEndian.Uint64(body[1:9]), ms, ckpt, nil
 }

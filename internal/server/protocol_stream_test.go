@@ -324,3 +324,219 @@ func TestStreamOpsQueueClass(t *testing.T) {
 		}
 	}
 }
+
+// goldenCheckpointFrames pins the byte-level wire format of the
+// checkpoint-handoff extension (SESSION-OPEN flags byte,
+// SESSION-RESTORE, the generation form of SESSION-OK, and the
+// SESSION-MATCHES checkpoint piggyback) against docs/PROTOCOL.md.
+// Changing any of these bytes is a protocol break.
+var goldenCheckpointFrames = []struct {
+	name  string
+	frame Frame
+	wire  []byte
+}{
+	{
+		name:  "session-open-ckpt",
+		frame: Frame{Op: OpSessionOpen, ID: 20, Body: EncodeSessionOpenFlags(256, SessionOpenFlagCheckpoint)},
+		wire: []byte{0, 0, 0, 10, 0x0A, 0, 0, 0, 20,
+			0, 0, 1, 0, // requested overlap
+			0x01, // flags: checkpoint negotiation
+		},
+	},
+	{
+		name:  "session-restore",
+		frame: Frame{Op: OpSessionRestore, ID: 21, Body: EncodeSessionRestore(SessionOpenFlagCheckpoint, []byte{0xCA, 0xFE})},
+		wire: []byte{0, 0, 0, 8, 0x0D, 0, 0, 0, 21,
+			0x01,       // flags: checkpoint negotiation stays on
+			0xCA, 0xFE, // opaque checkpoint bytes (engine-validated)
+		},
+	},
+	{
+		name:  "session-ok-gen",
+		frame: Frame{Op: OpSessionOK, ID: 20, Body: EncodeSessionOKGen(7, 256, 3)},
+		wire: []byte{0, 0, 0, 21, 0x8C, 0, 0, 0, 20,
+			0, 0, 0, 0, 0, 0, 0, 7, // session id
+			0, 0, 1, 0, // effective overlap
+			0, 0, 0, 3, // rule generation
+		},
+	},
+	{
+		name: "session-matches-ckpt",
+		frame: Frame{Op: OpSessionMatches, ID: 22,
+			Body: EncodeSessionMatchesCkpt(false, 1024, []RuleMatch{{Rule: 1, Start: 2, End: 5}}, []byte{9, 9})},
+		wire: []byte{0, 0, 0, 44, 0x8D, 0, 0, 0, 22,
+			0x02,                   // flags: checkpoint piggyback, not final
+			0, 0, 0, 0, 0, 0, 4, 0, // consumed
+			0, 0, 0, 1, // match count
+			0, 0, 0, 1, // rule
+			0, 0, 0, 0, 0, 0, 0, 2, // start
+			0, 0, 0, 0, 0, 0, 0, 5, // end
+			0, 0, 0, 2, // checkpoint length
+			9, 9, // checkpoint bytes
+		},
+	},
+}
+
+func TestGoldenCheckpointFrames(t *testing.T) {
+	for _, tc := range goldenCheckpointFrames {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, tc.frame); err != nil {
+				t.Fatalf("WriteFrame: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), tc.wire) {
+				t.Fatalf("wire bytes\n got %v\nwant %v", buf.Bytes(), tc.wire)
+			}
+			got, err := ReadFrame(bytes.NewReader(tc.wire), 0)
+			if err != nil {
+				t.Fatalf("ReadFrame: %v", err)
+			}
+			if got.Op != tc.frame.Op || got.ID != tc.frame.ID || !bytes.Equal(got.Body, tc.frame.Body) {
+				t.Fatalf("round-trip mismatch: got %+v want %+v", got, tc.frame)
+			}
+		})
+	}
+}
+
+// Every strict prefix of every checkpoint frame must read as a torn
+// frame, mirroring TestReadFrameTruncatedStream.
+func TestReadFrameTruncatedCheckpoint(t *testing.T) {
+	for _, tc := range goldenCheckpointFrames {
+		for cut := 1; cut < len(tc.wire); cut++ {
+			_, err := ReadFrame(bytes.NewReader(tc.wire[:cut]), 0)
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("%s cut=%d: got %v, want EOF-class error", tc.name, cut, err)
+			}
+		}
+	}
+}
+
+// Every truncation, flag violation and length lie on the checkpoint
+// bodies must decode to ErrMalformedFrame.
+func TestDecodeMalformedCheckpointBodies(t *testing.T) {
+	ckptBody := EncodeSessionMatchesCkpt(false, 7, nil, []byte{1, 2, 3})
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"open-flags-unknown", func() error {
+			_, _, err := DecodeSessionOpenFlags([]byte{0, 0, 0, 1, 0x80})
+			return err
+		}()},
+		{"open-flags-overlong", func() error {
+			_, _, err := DecodeSessionOpenFlags([]byte{0, 0, 0, 1, 0, 0})
+			return err
+		}()},
+		{"restore-empty", func() error { _, _, err := DecodeSessionRestore(nil); return err }()},
+		{"restore-flags-only", func() error { _, _, err := DecodeSessionRestore([]byte{0x01}); return err }()},
+		{"restore-unknown-flags", func() error {
+			_, _, err := DecodeSessionRestore([]byte{0x80, 1, 2})
+			return err
+		}()},
+		{"ok-gen-short", func() error {
+			_, _, _, err := DecodeSessionOKGen(make([]byte, 15))
+			return err
+		}()},
+		{"ok-gen-long", func() error {
+			_, _, _, err := DecodeSessionOKGen(make([]byte, 17))
+			return err
+		}()},
+		{"matches-ckpt-unknown-flags", func() error {
+			body := append([]byte(nil), ckptBody...)
+			body[0] |= 0x04
+			_, _, _, _, err := DecodeSessionMatchesCkpt(body)
+			return err
+		}()},
+		{"matches-ckpt-truncated-length", func() error {
+			body := EncodeSessionMatches(false, 0, nil)
+			body[0] |= 0x02
+			_, _, _, _, err := DecodeSessionMatchesCkpt(body)
+			return err
+		}()},
+		{"matches-ckpt-zero-length", func() error {
+			plain := EncodeSessionMatches(false, 0, nil)
+			body := append(append([]byte(nil), plain...), 0, 0, 0, 0)
+			body[0] |= 0x02
+			_, _, _, _, err := DecodeSessionMatchesCkpt(body)
+			return err
+		}()},
+		{"matches-ckpt-overrun", func() error {
+			plain := EncodeSessionMatches(false, 0, nil)
+			body := append(append([]byte(nil), plain...), 0, 0, 0, 9, 1)
+			body[0] |= 0x02
+			_, _, _, _, err := DecodeSessionMatchesCkpt(body)
+			return err
+		}()},
+		{"matches-ckpt-trailing", func() error {
+			_, _, _, _, err := DecodeSessionMatchesCkpt(append(append([]byte(nil), ckptBody...), 0xFF))
+			return err
+		}()},
+		{"matches-plain-rejects-ckpt-flag", func() error {
+			_, _, _, err := DecodeSessionMatches(ckptBody)
+			return err
+		}()},
+	}
+	for _, tc := range cases {
+		if !errors.Is(tc.err, ErrMalformedFrame) {
+			t.Errorf("%s: got %v, want ErrMalformedFrame", tc.name, tc.err)
+		}
+	}
+}
+
+func TestCheckpointEncodeDecodeRoundTrips(t *testing.T) {
+	// SESSION-OPEN: both forms parse through the flags-aware decoder.
+	if ov, fl, err := DecodeSessionOpenFlags(EncodeSessionOpen(512)); err != nil || ov != 512 || fl != 0 {
+		t.Fatalf("open flagless: %d %d %v", ov, fl, err)
+	}
+	if ov, fl, err := DecodeSessionOpenFlags(EncodeSessionOpenFlags(512, SessionOpenFlagCheckpoint)); err != nil ||
+		ov != 512 || fl != SessionOpenFlagCheckpoint {
+		t.Fatalf("open flagged: %d %d %v", ov, fl, err)
+	}
+
+	// SESSION-RESTORE round trip.
+	ck := []byte{1, 0, 0, 0, 16, 7}
+	fl, gotCk, err := DecodeSessionRestore(EncodeSessionRestore(SessionOpenFlagCheckpoint, ck))
+	if err != nil || fl != SessionOpenFlagCheckpoint || !bytes.Equal(gotCk, ck) {
+		t.Fatalf("restore: %d %v %v", fl, gotCk, err)
+	}
+
+	// SESSION-OK generation form; the flagless decoder must reject its
+	// length rather than misparse the generation as part of the id.
+	id, ov, gen, err := DecodeSessionOKGen(EncodeSessionOKGen(1<<40, 256, 9))
+	if err != nil || id != 1<<40 || ov != 256 || gen != 9 {
+		t.Fatalf("ok-gen: %d %d %d %v", id, ov, gen, err)
+	}
+	if _, _, err := DecodeSessionOK(EncodeSessionOKGen(1, 2, 3)); !errors.Is(err, ErrMalformedFrame) {
+		t.Fatalf("flagless SESSION-OK decoder accepted the generation form: %v", err)
+	}
+
+	// SESSION-MATCHES piggyback: nil checkpoint degrades to the plain
+	// form byte for byte; the ckpt-aware decoder handles both.
+	ms := []RuleMatch{{Rule: 2, Start: 3, End: 9}}
+	if !bytes.Equal(EncodeSessionMatchesCkpt(true, 77, ms, nil), EncodeSessionMatches(true, 77, ms)) {
+		t.Fatal("nil-checkpoint piggyback encoding diverged from the plain form")
+	}
+	fin, consumed, gotMs, gotCk2, err := DecodeSessionMatchesCkpt(EncodeSessionMatches(false, 5, ms))
+	if err != nil || fin || consumed != 5 || gotCk2 != nil || !reflect.DeepEqual(gotMs, ms) {
+		t.Fatalf("ckpt decoder on plain form: %v %d %+v %v %v", fin, consumed, gotMs, gotCk2, err)
+	}
+	fin, consumed, gotMs, gotCk2, err = DecodeSessionMatchesCkpt(EncodeSessionMatchesCkpt(false, 5, ms, ck))
+	if err != nil || fin || consumed != 5 || !bytes.Equal(gotCk2, ck) || !reflect.DeepEqual(gotMs, ms) {
+		t.Fatalf("ckpt round trip: %v %d %+v %v %v", fin, consumed, gotMs, gotCk2, err)
+	}
+}
+
+// SESSION-RESTORE is queue-class like the other session opcodes: it
+// passes admission control and a TENANT envelope may wrap it, so the
+// gateway can restore under a tenant's quota.
+func TestSessionRestoreQueueClass(t *testing.T) {
+	if !QueueClass(OpSessionRestore) {
+		t.Error("OpSessionRestore: want queue-class")
+	}
+	if _, err := EncodeTenant(TenantHeader{Tenant: "t"}, OpSessionRestore, EncodeSessionRestore(1, []byte{1})); err != nil {
+		t.Errorf("TENANT wrap of SESSION-RESTORE failed: %v", err)
+	}
+	if OpName(OpSessionRestore) != "SESSION-RESTORE" {
+		t.Errorf("OpName(OpSessionRestore) = %q", OpName(OpSessionRestore))
+	}
+}

@@ -227,11 +227,12 @@ type serverMetrics struct {
 	scan, count, pattern, ping, info, reload, stats endpointMetrics
 	batch, sessData                                 endpointMetrics
 
-	batchItems *metrics.Counter
-	sessOpens  *metrics.Counter
-	sessCloses *metrics.Counter
-	sessReaped *metrics.Counter
-	sessActive *metrics.Gauge
+	batchItems   *metrics.Counter
+	sessOpens    *metrics.Counter
+	sessRestores *metrics.Counter
+	sessCloses   *metrics.Counter
+	sessReaped   *metrics.Counter
+	sessActive   *metrics.Gauge
 
 	matches    *metrics.Counter
 	shed       *metrics.Counter
@@ -256,31 +257,32 @@ func newEndpoint(r *metrics.Registry, name string) endpointMetrics {
 
 func resolveMetrics(r *metrics.Registry) serverMetrics {
 	return serverMetrics{
-		scan:       newEndpoint(r, "scan"),
-		count:      newEndpoint(r, "count"),
-		pattern:    newEndpoint(r, "pattern"),
-		ping:       newEndpoint(r, "ping"),
-		info:       newEndpoint(r, "info"),
-		reload:     newEndpoint(r, "reload"),
-		stats:      newEndpoint(r, "stats"),
-		batch:      newEndpoint(r, "batch"),
-		sessData:   newEndpoint(r, "session.data"),
-		batchItems: r.Counter("server.batch.items"),
-		sessOpens:  r.Counter("server.session.opens"),
-		sessCloses: r.Counter("server.session.closes"),
-		sessReaped: r.Counter("server.session.reaped"),
-		sessActive: r.Gauge("server.session.active"),
-		matches:    r.Counter("server.matches"),
-		shed:       r.Counter("server.shed"),
-		errs:       r.Counter("server.errors"),
-		bytesIn:    r.Counter("server.bytes.in"),
-		bytesOut:   r.Counter("server.bytes.out"),
-		connsOpen:  r.Gauge("server.conns.open"),
-		connsTotal: r.Counter("server.conns.total"),
-		queueDepth: r.Gauge("server.queue.depth"),
-		queueHigh:  r.Gauge("server.queue.highwater"),
-		reloads:    r.Counter("server.reloads"),
-		generation: r.Gauge("server.generation"),
+		scan:         newEndpoint(r, "scan"),
+		count:        newEndpoint(r, "count"),
+		pattern:      newEndpoint(r, "pattern"),
+		ping:         newEndpoint(r, "ping"),
+		info:         newEndpoint(r, "info"),
+		reload:       newEndpoint(r, "reload"),
+		stats:        newEndpoint(r, "stats"),
+		batch:        newEndpoint(r, "batch"),
+		sessData:     newEndpoint(r, "session.data"),
+		batchItems:   r.Counter("server.batch.items"),
+		sessOpens:    r.Counter("server.session.opens"),
+		sessRestores: r.Counter("server.session.restores"),
+		sessCloses:   r.Counter("server.session.closes"),
+		sessReaped:   r.Counter("server.session.reaped"),
+		sessActive:   r.Gauge("server.session.active"),
+		matches:      r.Counter("server.matches"),
+		shed:         r.Counter("server.shed"),
+		errs:         r.Counter("server.errors"),
+		bytesIn:      r.Counter("server.bytes.in"),
+		bytesOut:     r.Counter("server.bytes.out"),
+		connsOpen:    r.Gauge("server.conns.open"),
+		connsTotal:   r.Counter("server.conns.total"),
+		queueDepth:   r.Gauge("server.queue.depth"),
+		queueHigh:    r.Gauge("server.queue.highwater"),
+		reloads:      r.Counter("server.reloads"),
+		generation:   r.Gauge("server.generation"),
 	}
 }
 
@@ -312,14 +314,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		opts:    opts,
-		cache:   newProgramCache(cfg.PatternCache),
-		reg:     reg,
-		met:     resolveMetrics(reg),
-		queue:   make(chan *job, cfg.QueueDepth),
-		baseCtx: ctx,
-		abort:   cancel,
+		cfg:      cfg,
+		opts:     opts,
+		cache:    newProgramCache(cfg.PatternCache),
+		reg:      reg,
+		met:      resolveMetrics(reg),
+		queue:    make(chan *job, cfg.QueueDepth),
+		baseCtx:  ctx,
+		abort:    cancel,
 		conns:    map[*conn]struct{}{},
 		sessions: map[uint64]*session{},
 		sessStop: make(chan struct{}),
@@ -609,7 +611,7 @@ func (s *Server) dispatch(c *conn, f Frame) {
 			return
 		}
 		s.dispatchSession(c, f, start)
-	case OpScan, OpCount, OpScanPattern, OpReload, OpScanBatch, OpSessionOpen:
+	case OpScan, OpCount, OpScanPattern, OpReload, OpScanBatch, OpSessionOpen, OpSessionRestore:
 		if s.isDraining() {
 			s.replyErr(c, f.ID, ErrCodeDraining, errors.New("server draining"))
 			return
@@ -717,6 +719,8 @@ func (s *Server) execute(j *job) {
 		s.executeBatch(ctx, j)
 	case OpSessionOpen:
 		s.openSession(j)
+	case OpSessionRestore:
+		s.restoreSession(j)
 	}
 }
 

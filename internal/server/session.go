@@ -38,6 +38,7 @@ type session struct {
 	id    uint64
 	owner *conn
 	st    *core.Stream
+	ckpt  bool // piggyback a post-frame checkpoint on SESSION-MATCHES
 
 	mu      sync.Mutex
 	pending []*job // admitted frames awaiting the runner, FIFO
@@ -51,29 +52,84 @@ type session struct {
 // sheds (an authoritative refusal before any state was created — safe
 // to retry after backoff).
 func (s *Server) openSession(j *job) {
-	overlap, err := DecodeSessionOpen(j.f.Body)
+	overlap, flags, err := DecodeSessionOpenFlags(j.f.Body)
 	if err != nil {
 		s.replyErr(j.c, j.f.ID, ErrCodeBadFrame, err)
 		return
 	}
 	snap := s.snap.Load()
-	sess := &session{owner: j.c, st: snap.rules.NewStream(int(overlap)), last: time.Now()}
+	sess := &session{owner: j.c, st: snap.rules.NewStream(int(overlap)),
+		ckpt: flags&SessionOpenFlagCheckpoint != 0, last: time.Now()}
+	if !s.registerSession(j, sess) {
+		return
+	}
+	s.met.sessOpens.Inc()
+	s.replySessionOK(j, sess, snap)
+}
+
+// restoreSession executes an admitted SESSION-RESTORE: rebuild the
+// stream from the carried checkpoint against the current snapshot and
+// register it like a fresh open. A checkpoint that fails validation —
+// garbage bytes, a rule count that disagrees with the snapshot, broken
+// carry invariants — answers a parseable ERROR on this frame alone;
+// the connection never desyncs and no session state is created.
+func (s *Server) restoreSession(j *job) {
+	flags, ckpt, err := DecodeSessionRestore(j.f.Body)
+	if err != nil {
+		s.replyErr(j.c, j.f.ID, ErrCodeBadFrame, err)
+		return
+	}
+	snap := s.snap.Load()
+	st, err := snap.rules.RestoreStream(ckpt)
+	if err != nil {
+		s.replyErr(j.c, j.f.ID, ErrCodeBadFrame, err)
+		return
+	}
+	if st.Overlap() > MaxSessionOverlap {
+		s.replyErr(j.c, j.f.ID, ErrCodeBadFrame,
+			fmt.Errorf("%w: checkpoint overlap %d exceeds %d", ErrMalformedFrame, st.Overlap(), MaxSessionOverlap))
+		return
+	}
+	sess := &session{owner: j.c, st: st,
+		ckpt: flags&SessionOpenFlagCheckpoint != 0, last: time.Now()}
+	if !s.registerSession(j, sess) {
+		return
+	}
+	s.met.sessRestores.Inc()
+	s.replySessionOK(j, sess, snap)
+}
+
+// registerSession installs a freshly built session in the registry,
+// shedding at the MaxSessions cap (an authoritative refusal before any
+// state escaped — safe to retry after backoff).
+func (s *Server) registerSession(j *job, sess *session) bool {
 	s.sessMu.Lock()
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		s.sessMu.Unlock()
 		s.met.shed.Inc()
 		s.writeFrame(j.c, Frame{Op: OpShed, ID: j.f.ID})
-		return
+		return false
 	}
 	s.sessNext++
 	sess.id = s.sessNext
 	s.sessions[sess.id] = sess
 	active := len(s.sessions)
 	s.sessMu.Unlock()
-	s.met.sessOpens.Inc()
 	s.met.sessActive.Set(int64(active))
-	s.writeFrame(j.c, Frame{Op: OpSessionOK, ID: j.f.ID,
-		Body: EncodeSessionOK(sess.id, uint32(sess.st.Overlap()))})
+	return true
+}
+
+// replySessionOK answers an open or restore: the plain 12-byte form,
+// or the extended form carrying the rule generation when the caller
+// negotiated checkpoints (the generation is the failover fence — a
+// checkpoint may only be restored under the generation it was exported
+// under).
+func (s *Server) replySessionOK(j *job, sess *session, snap *snapshot) {
+	body := EncodeSessionOK(sess.id, uint32(sess.st.Overlap()))
+	if sess.ckpt {
+		body = EncodeSessionOKGen(sess.id, uint32(sess.st.Overlap()), snap.generation)
+	}
+	s.writeFrame(j.c, Frame{Op: OpSessionOK, ID: j.f.ID, Body: body})
 }
 
 // dispatchSession admits one SESSION-DATA/SESSION-CLOSE frame on the
@@ -195,8 +251,15 @@ func (s *Server) executeSession(sess *session, j *job) {
 			return
 		}
 		s.met.matches.Add(int64(len(ms)))
+		var ckpt []byte
+		if sess.ckpt {
+			// Post-frame carry state, exactly what SESSION-RESTORE
+			// accepts: a relay holding this can move the session to a
+			// replica after losing this shard.
+			ckpt = sess.st.Export()
+		}
 		s.writeFrame(j.c, Frame{Op: OpSessionMatches, ID: j.f.ID,
-			Body: EncodeSessionMatches(false, uint64(sess.st.Consumed()), ms)})
+			Body: EncodeSessionMatchesCkpt(false, uint64(sess.st.Consumed()), ms, ckpt)})
 		s.met.sessData.latency.Observe(time.Since(j.admitted).Microseconds())
 	case OpSessionClose:
 		if len(j.f.Body) != sessionIDLen {

@@ -565,3 +565,201 @@ func TestServerBatchMatchesPerItem(t *testing.T) {
 		}
 	}
 }
+
+// TestServerSessionRestoreHandoff is the checkpoint tentpole at the
+// protocol layer: a checkpointed session streams half its flow into
+// server A, the last acked piggyback is SESSION-RESTOREd on server B
+// (same rules), and the second half plus close completes there. The
+// combined transcript must be byte-identical to the local streaming
+// engine over the uninterrupted flow — the client-visible definition
+// of a lossless handoff.
+func TestServerSessionRestoreHandoff(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	payload := streamPayload(32 << 10)
+	want := localStreamMatches(t, streamRules, payload, 0)
+	_, addrA := startServer(t, server.Config{Rules: streamRules})
+	_, addrB := startServer(t, server.Config{Rules: streamRules})
+	ca := dial(t, addrA)
+	cb := dial(t, addrB)
+
+	for _, chunk := range []int{97, 1024, 8192} {
+		sa, err := ca.OpenSessionCheckpointCtx(context.Background(), 0)
+		if err != nil {
+			t.Fatalf("chunk=%d open on A: %v", chunk, err)
+		}
+		var got []server.RuleMatch
+		half := len(payload) / 2
+		for off := 0; off < half; off += chunk {
+			end := off + chunk
+			if end > half {
+				end = half
+			}
+			ms, _, err := sa.WriteCtx(context.Background(), payload[off:end])
+			if err != nil {
+				t.Fatalf("chunk=%d write A at %d: %v", chunk, off, err)
+			}
+			got = append(got, ms...)
+		}
+		ckpt := sa.Checkpoint()
+		if ckpt == nil {
+			t.Fatalf("chunk=%d: no checkpoint piggybacked after %d writes", chunk, (half+chunk-1)/chunk)
+		}
+		info, err := core.PeekCheckpoint(ckpt)
+		if err != nil {
+			t.Fatalf("chunk=%d: piggybacked checkpoint unparseable: %v", chunk, err)
+		}
+		if info.Consumed != uint64(half) {
+			t.Fatalf("chunk=%d: checkpoint consumed %d, want %d", chunk, info.Consumed, half)
+		}
+
+		// Hand off to B. A's half-open session is abandoned (its reaper's
+		// problem); B continues the stream from the checkpoint.
+		sb, err := cb.RestoreSessionCtx(context.Background(), ckpt)
+		if err != nil {
+			t.Fatalf("chunk=%d restore on B: %v", chunk, err)
+		}
+		if sb.Generation() != sa.Generation() {
+			t.Fatalf("chunk=%d: generation changed across handoff: %d -> %d", chunk, sa.Generation(), sb.Generation())
+		}
+		if sb.Overlap() != sa.Overlap() {
+			t.Fatalf("chunk=%d: overlap changed across handoff: %d -> %d", chunk, sa.Overlap(), sb.Overlap())
+		}
+		for off := half; off < len(payload); off += chunk {
+			end := off + chunk
+			if end > len(payload) {
+				end = len(payload)
+			}
+			ms, _, err := sb.WriteCtx(context.Background(), payload[off:end])
+			if err != nil {
+				t.Fatalf("chunk=%d write B at %d: %v", chunk, off, err)
+			}
+			got = append(got, ms...)
+		}
+		if sb.Checkpoint() == nil {
+			t.Fatalf("chunk=%d: restored session stopped piggybacking checkpoints", chunk)
+		}
+		ms, consumed, err := sb.CloseCtx(context.Background())
+		if err != nil {
+			t.Fatalf("chunk=%d close on B: %v", chunk, err)
+		}
+		if consumed != uint64(len(payload)) {
+			t.Fatalf("chunk=%d: consumed %d, want %d", chunk, consumed, len(payload))
+		}
+		got = append(got, ms...)
+		sortMatches(got)
+		if len(got) != len(want) {
+			t.Fatalf("chunk=%d: handoff transcript %d matches, local %d", chunk, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("chunk=%d match %d: handoff %+v, local %+v", chunk, i, got[i], want[i])
+			}
+		}
+	}
+	snap, err := cb.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if snap.Get("server.session.restores") < 3 {
+		t.Fatalf("server.session.restores = %d, want >= 3", snap.Get("server.session.restores"))
+	}
+}
+
+// TestServerSessionRestoreGarbage: a SESSION-RESTORE carrying garbage —
+// truncated frames, corrupt checkpoints, or a checkpoint exported under
+// a different rule set — must answer a parseable typed ERROR on that
+// frame alone, create no session state, and leave the connection in
+// sync for subsequent requests.
+func TestServerSessionRestoreGarbage(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	srv, addr := startServer(t, server.Config{Rules: streamRules})
+	c := dial(t, addr)
+
+	// A structurally valid checkpoint from a ONE-rule server: the rule
+	// count disagrees with this server's four.
+	_, addrOther := startServer(t, server.Config{Rules: []string{"needle"}})
+	co := dial(t, addrOther)
+	so, err := co.OpenSessionCheckpointCtx(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("open on one-rule server: %v", err)
+	}
+	if _, _, err := so.WriteCtx(context.Background(), []byte("..needle..")); err != nil {
+		t.Fatalf("write on one-rule server: %v", err)
+	}
+	foreign := append([]byte(nil), so.Checkpoint()...)
+
+	// A checkpoint from THIS rule set, corrupted after export.
+	sv, err := c.OpenSessionCheckpointCtx(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, _, err := sv.WriteCtx(context.Background(), streamPayload(4096)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	valid := append([]byte(nil), sv.Checkpoint()...)
+	truncated := valid[:len(valid)-1]
+	badVersion := append([]byte(nil), valid...)
+	badVersion[0] = 99
+	badFlags := append([]byte(nil), valid...)
+	badFlags[1] = 0xFF
+
+	for name, ckpt := range map[string][]byte{
+		"empty":         {},
+		"one-byte":      {1},
+		"junk":          []byte("this is not a checkpoint"),
+		"truncated":     truncated,
+		"bad-version":   badVersion,
+		"bad-flags":     badFlags,
+		"foreign-rules": foreign,
+	} {
+		_, err := c.RestoreSessionCtx(context.Background(), ckpt)
+		if err == nil {
+			t.Fatalf("%s: garbage restore succeeded", name)
+		}
+		var se *client.ServerError
+		if !errors.As(err, &se) {
+			t.Fatalf("%s: garbage restore failed without a typed server error: %v", name, err)
+		}
+		if se.Code != server.ErrCodeBadFrame {
+			t.Fatalf("%s: error code %d, want bad-frame %d", name, se.Code, server.ErrCodeBadFrame)
+		}
+	}
+
+	// No state leaked: only the one valid session remains, and the
+	// connection never desynced — a fresh restore of the intact
+	// checkpoint and a plain scan both still work.
+	if got := srv.SessionCount(); got != 1 {
+		t.Fatalf("garbage restores leaked sessions: %d, want 1", got)
+	}
+	sr, err := c.RestoreSessionCtx(context.Background(), valid)
+	if err != nil {
+		t.Fatalf("valid restore after garbage barrage: %v", err)
+	}
+	if _, _, err := sr.CloseCtx(context.Background()); err != nil {
+		t.Fatalf("close restored session: %v", err)
+	}
+	if _, err := c.Scan([]byte("..needle..")); err != nil {
+		t.Fatalf("scan after garbage barrage: %v", err)
+	}
+}
+
+// TestServerSessionPlainNoCheckpoint: a session opened WITHOUT the
+// checkpoint flag must never see a piggyback (the strict decode in the
+// plain client would reject it) and answers the 12-byte SESSION-OK.
+func TestServerSessionPlainNoCheckpoint(t *testing.T) {
+	t.Cleanup(leakCheck(t))
+	_, addr := startServer(t, server.Config{Rules: streamRules})
+	c := dial(t, addr)
+	sess, err := c.OpenSession(0)
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	// The plain client decodes with the strict DecodeSessionMatches: a
+	// stray piggyback would fail this write loudly.
+	if _, _, err := sess.Write(streamPayload(8192)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, _, err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -1,0 +1,103 @@
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrBadCheckpoint reports a checkpoint that failed structural
+// validation: wrong version, unknown flags, truncated or trailing
+// bytes, or offsets that violate the overlap-carry invariants. A
+// checkpoint that decodes cleanly restores a session whose future
+// matches are byte-identical to the exporter's.
+var ErrBadCheckpoint = errors.New("stream: bad session checkpoint")
+
+// Checkpoint wire layout (version 1, big-endian):
+//
+//	u8  version (1)
+//	u8  flags   (bit0: finished)
+//	u32 overlap
+//	u64 base    (stream offset of the first buffered byte)
+//	u64 pos     (absolute resume offset)
+//	u32 buffered length, then that many carry-window bytes
+//
+// The encoding is self-delimiting and strict: trailing bytes are an
+// error, so a checkpoint embedded in a larger frame must be sliced
+// exactly.
+const (
+	ckptVersion    = 1
+	ckptFlagDone   = 1 << 0
+	ckptHeaderLen  = 1 + 1 + 4 + 8 + 8 + 4
+	ckptMaxOffset  = 1 << 62 // u64→int safety fence on 64-bit offsets
+	ckptKnownFlags = ckptFlagDone
+	ckptMaxOverlap = 1 << 30
+)
+
+// Export serialises the session's resumable state — consumed offset,
+// carry-window bytes, resume position and config — as a small versioned
+// checkpoint. Exported at a push boundary (after Push returned), the
+// checkpoint restored via RestoreSession continues the stream with
+// matches byte-identical to the uninterrupted session.
+func (s *Session) Export() []byte {
+	out := make([]byte, ckptHeaderLen+len(s.buf))
+	out[0] = ckptVersion
+	if s.done {
+		out[1] |= ckptFlagDone
+	}
+	binary.BigEndian.PutUint32(out[2:6], uint32(s.overlap))
+	binary.BigEndian.PutUint64(out[6:14], uint64(s.base))
+	binary.BigEndian.PutUint64(out[14:22], uint64(s.pos))
+	binary.BigEndian.PutUint32(out[22:26], uint32(len(s.buf)))
+	copy(out[ckptHeaderLen:], s.buf)
+	return out
+}
+
+// RestoreSession rebuilds a session from an Export checkpoint. The
+// finder must be equivalent to the exporter's (same compiled pattern);
+// cfg contributes only Screen — the overlap is part of the checkpoint.
+// Garbage input yields ErrBadCheckpoint, never a panic or a session
+// that silently diverges.
+func RestoreSession(f Finder, cfg Config, cp []byte) (*Session, error) {
+	if len(cp) < ckptHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes, want >= %d", ErrBadCheckpoint, len(cp), ckptHeaderLen)
+	}
+	if cp[0] != ckptVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadCheckpoint, cp[0])
+	}
+	if cp[1]&^byte(ckptKnownFlags) != 0 {
+		return nil, fmt.Errorf("%w: unknown flags 0x%02x", ErrBadCheckpoint, cp[1])
+	}
+	done := cp[1]&ckptFlagDone != 0
+	overlap := binary.BigEndian.Uint32(cp[2:6])
+	base := binary.BigEndian.Uint64(cp[6:14])
+	pos := binary.BigEndian.Uint64(cp[14:22])
+	blen := binary.BigEndian.Uint32(cp[22:26])
+	if uint64(len(cp)) != ckptHeaderLen+uint64(blen) {
+		return nil, fmt.Errorf("%w: body length %d, want %d", ErrBadCheckpoint, len(cp), ckptHeaderLen+uint64(blen))
+	}
+	if overlap == 0 || overlap > ckptMaxOverlap {
+		return nil, fmt.Errorf("%w: overlap %d", ErrBadCheckpoint, overlap)
+	}
+	if base > ckptMaxOffset || pos > ckptMaxOffset {
+		return nil, fmt.Errorf("%w: offset overflow", ErrBadCheckpoint)
+	}
+	limit := base + uint64(blen)
+	if pos < base || pos > limit+1 {
+		return nil, fmt.Errorf("%w: pos %d outside [%d,%d]", ErrBadCheckpoint, pos, base, limit+1)
+	}
+	if !done && uint64(blen) > uint64(overlap) {
+		return nil, fmt.Errorf("%w: %d buffered bytes exceed overlap %d", ErrBadCheckpoint, blen, overlap)
+	}
+	buf := make([]byte, blen)
+	copy(buf, cp[ckptHeaderLen:])
+	return &Session{
+		f:       f,
+		screen:  cfg.Screen,
+		overlap: int(overlap),
+		buf:     buf,
+		base:    int(base),
+		pos:     int(pos),
+		done:    done,
+	}, nil
+}
